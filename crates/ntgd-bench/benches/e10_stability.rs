@@ -1,0 +1,21 @@
+//! Criterion benchmark for experiment E10: cost of the W-Stability check
+//! (Section 5.2) as the candidate model grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_stability");
+    for &n in &[2usize, 4, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| std::hint::black_box(ntgd_bench::e10_stability(n)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benchmark for experiment E11: the bounded equality-friendly
+//! well-founded semantics on the paper's Examples 2/3, as the number of fresh
+//! constants (and hence the explored instance space) grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ntgd_lp::EfwfsConfig;
+use ntgd_parser::parse_query;
+
+fn bench(c: &mut Criterion) {
+    let database = ntgd_bench::example1_database();
+    let program = ntgd_bench::example1_program();
+    let query = parse_query("?- not abnormal(alice).").expect("query parses");
+
+    let mut group = c.benchmark_group("e11_efwfs");
+    for &fresh in &[0usize, 1] {
+        let config = EfwfsConfig {
+            fresh_constants: fresh,
+            ..EfwfsConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("example3_cautious", fresh),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    std::hint::black_box(ntgd_lp::efwfs_entails_cautious(
+                        &database, &program, &query, config,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+
+    c.bench_function("e11_efwfs_table", |b| {
+        b.iter(|| std::hint::black_box(ntgd_bench::e11_efwfs()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benchmark for experiment E12: the full class-landscape
+//! classification (weak/joint acyclicity, MFA, aGRD, guardedness fragments,
+//! stickiness, stratification) on growing random rule sets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_landscape");
+    for &rules in &[5usize, 15, 30] {
+        let mut rng = StdRng::seed_from_u64(12);
+        let program = ntgd_bench::random_weakly_acyclic_program(&mut rng, rules);
+        group.bench_with_input(BenchmarkId::new("classify", rules), &program, |b, p| {
+            b.iter(|| std::hint::black_box(ntgd_classes::classify(p)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("joint_acyclicity", rules),
+            &program,
+            |b, p| b.iter(|| std::hint::black_box(ntgd_classes::is_jointly_acyclic(p))),
+        );
+        group.bench_with_input(BenchmarkId::new("mfa", rules), &program, |b, p| {
+            b.iter(|| std::hint::black_box(ntgd_classes::is_model_faithful_acyclic(p)))
+        });
+    }
+    group.finish();
+
+    c.bench_function("e12_landscape_table", |b| {
+        b.iter(|| std::hint::black_box(ntgd_bench::e12_landscape()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

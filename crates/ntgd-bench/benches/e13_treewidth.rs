@@ -1,0 +1,51 @@
+//! Criterion benchmark for experiment E13: treewidth of stable models of a
+//! weakly-acyclic program (flat, by the stable tree model property) versus
+//! the treewidth of grid interpretations (growing with the grid side), plus
+//! the exact-vs-heuristic treewidth algorithms themselves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ntgd_core::{atom, cst, Interpretation};
+use ntgd_treewidth::{exact_treewidth, min_fill_decomposition, GaifmanGraph};
+
+fn grid(n: usize) -> GaifmanGraph {
+    let mut atoms = Vec::new();
+    let name = |r: usize, c: usize| cst(&format!("g{r}_{c}"));
+    for r in 0..n {
+        for c in 0..n {
+            if c + 1 < n {
+                atoms.push(atom("edge", vec![name(r, c), name(r, c + 1)]));
+            }
+            if r + 1 < n {
+                atoms.push(atom("edge", vec![name(r, c), name(r + 1, c)]));
+            }
+        }
+    }
+    GaifmanGraph::of_interpretation(&Interpretation::from_atoms(atoms))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_treewidth");
+    for &n in &[2usize, 3, 4] {
+        let graph = grid(n);
+        group.bench_with_input(BenchmarkId::new("min_fill_grid", n), &graph, |b, g| {
+            b.iter(|| std::hint::black_box(min_fill_decomposition(g).width()))
+        });
+        if n <= 4 {
+            group.bench_with_input(BenchmarkId::new("exact_grid", n), &graph, |b, g| {
+                b.iter(|| std::hint::black_box(exact_treewidth(g)))
+            });
+        }
+    }
+    group.finish();
+
+    c.bench_function("e13_stable_model_vs_grid", |b| {
+        b.iter(|| std::hint::black_box(ntgd_bench::e13_treewidth(3, 3)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benchmark for experiment E14: restricted vs Skolem vs oblivious
+//! chase on the Example-1 program as the database grows, plus the core
+//! computation of the Skolem-chase result.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ntgd_chase::{core_of, oblivious_chase, restricted_chase, skolem_chase, ChaseConfig};
+use ntgd_core::{atom, cst, Database};
+
+fn database(n: usize) -> Database {
+    let mut facts = Vec::new();
+    for i in 0..n {
+        facts.push(atom("person", vec![cst(&format!("p{i}"))]));
+    }
+    facts.push(atom("hasFather", vec![cst("p0"), cst("dad")]));
+    Database::from_facts(facts).expect("ground facts")
+}
+
+fn bench(c: &mut Criterion) {
+    let program = ntgd_bench::example1_program();
+    let config = ChaseConfig::default();
+    let mut group = c.benchmark_group("e14_chase_variants");
+    for &n in &[5usize, 20, 50] {
+        let db = database(n);
+        group.bench_with_input(BenchmarkId::new("restricted", n), &db, |b, db| {
+            b.iter(|| std::hint::black_box(restricted_chase(db, &program, &config).instance.len()))
+        });
+        group.bench_with_input(BenchmarkId::new("skolem", n), &db, |b, db| {
+            b.iter(|| std::hint::black_box(skolem_chase(db, &program, &config).instance.len()))
+        });
+        group.bench_with_input(BenchmarkId::new("oblivious", n), &db, |b, db| {
+            b.iter(|| std::hint::black_box(oblivious_chase(db, &program, &config).instance.len()))
+        });
+    }
+    for &n in &[3usize, 6] {
+        let db = database(n);
+        let skolem = skolem_chase(&db, &program, &config).instance;
+        group.bench_with_input(BenchmarkId::new("core_of_skolem", n), &skolem, |b, i| {
+            b.iter(|| std::hint::black_box(core_of(i).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

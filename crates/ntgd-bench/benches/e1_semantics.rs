@@ -1,0 +1,18 @@
+//! Criterion benchmark for experiment E1: the semantic comparison of
+//! Examples 1-4 (LP approach vs chase-based operational semantics vs the
+//! paper's new SMS) on the person/hasFather program.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("e1_semantics", |b| {
+        b.iter(|| std::hint::black_box(ntgd_bench::e1_semantics()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion benchmark for experiment E2: Theorem 1 (LP = SO on Skolemized
+//! programs) — comparing the stable-model sets of the two engines on random
+//! existential-free normal programs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("e2_theorem1", |b| {
+        b.iter(|| std::hint::black_box(ntgd_bench::e2_theorem1(5, 42)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benchmark for experiment E3: class-checker runtime scaling
+//! (weak-acyclicity, stickiness, guardedness) on growing rule sets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_classes");
+    for &rules in &[5usize, 20, 50] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let program = ntgd_bench::random_weakly_acyclic_program(&mut rng, rules);
+        group.bench_with_input(BenchmarkId::new("weak_acyclicity", rules), &program, |b, p| {
+            b.iter(|| std::hint::black_box(ntgd_classes::is_weakly_acyclic(p)))
+        });
+        group.bench_with_input(BenchmarkId::new("stickiness", rules), &program, |b, p| {
+            b.iter(|| std::hint::black_box(ntgd_classes::is_sticky(p)))
+        });
+        group.bench_with_input(BenchmarkId::new("guardedness", rules), &program, |b, p| {
+            b.iter(|| std::hint::black_box(ntgd_classes::is_guarded(p)))
+        });
+    }
+    group.finish();
+    // The fixed classification table of Figure 1 and friends.
+    c.bench_function("e3_figure1_table", |b| {
+        b.iter(|| std::hint::black_box(ntgd_bench::e3_classes()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion benchmark for experiment E4: data-complexity shape of
+//! SMS-QAns(WATGD¬) (Theorem 6) against the polynomial positive-chase
+//! baseline, as the database grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_data_complexity");
+    for &n in &[1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::new("sms_qans", n), &n, |b, &n| {
+            b.iter(|| std::hint::black_box(ntgd_bench::e4_data_complexity(n)))
+        });
+        let db = ntgd_bench::e4_database(n);
+        let program = ntgd_bench::e4_program();
+        group.bench_with_input(BenchmarkId::new("positive_chase", n), &n, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(ntgd_chase::restricted_chase(
+                    &db,
+                    &program,
+                    &ntgd_chase::ChaseConfig::default(),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benchmark for experiment E5: 2-QBF∃ solved through the
+//! Section 5.3 encoding (brave/cautious stable-model reasoning) vs. brute
+//! force.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let formulas: Vec<ntgd_encodings::TwoQbf> = (0..3)
+        .map(|_| ntgd_encodings::TwoQbf::random(&mut rng, 1, 1, 2))
+        .collect();
+    c.bench_function("e5_qbf_via_sms", |b| {
+        b.iter(|| {
+            for f in &formulas {
+                std::hint::black_box(f.solve_via_sms().expect("solves"));
+            }
+        })
+    });
+    c.bench_function("e5_qbf_brute_force", |b| {
+        b.iter(|| {
+            for f in &formulas {
+                std::hint::black_box(f.brute_force_satisfiable());
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion benchmark for experiment E6: the Lemma 13 disjunction
+//! elimination — cost of the translation itself on colouring programs of
+//! growing size (the end-to-end answer equivalence is checked by the
+//! experiments binary, which performs the full counter-model exhaustion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ntgd_parser::parse_unit;
+use std::fmt::Write as _;
+
+fn colouring_program(colours: usize) -> ntgd_core::DisjunctiveProgram {
+    let mut head = String::new();
+    for c in 0..colours {
+        if c > 0 {
+            head.push_str(" | ");
+        }
+        let _ = write!(head, "colour{c}(X)");
+    }
+    let mut text = format!("node(X) -> {head}.");
+    for c in 0..colours {
+        let _ = write!(text, " edge(X, Y), colour{c}(X), colour{c}(Y) -> clash.");
+    }
+    parse_unit(&text)
+        .expect("colouring program parses")
+        .disjunctive_program()
+        .expect("consistent schema")
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_disjunction");
+    for &colours in &[2usize, 4, 8] {
+        let program = colouring_program(colours);
+        group.bench_with_input(
+            BenchmarkId::new("eliminate_disjunction", colours),
+            &program,
+            |b, p| b.iter(|| std::hint::black_box(ntgd_disjunction::eliminate_disjunction(p))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

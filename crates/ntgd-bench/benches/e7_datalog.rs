@@ -1,0 +1,55 @@
+//! Criterion benchmark for experiment E7: the Theorem 15/16 translation from
+//! disjunctive Datalog to WATGD¬ — cost of the translation and of the
+//! weak-acyclicity check of its output (the end-to-end answer equivalence is
+//! checked by the experiments binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ntgd_parser::parse_unit;
+use std::fmt::Write as _;
+
+fn datalog_query(colours: usize) -> ntgd_disjunction::DatalogQuery {
+    let mut head = String::new();
+    for c in 0..colours {
+        if c > 0 {
+            head.push_str(" | ");
+        }
+        let _ = write!(head, "colour{c}(X)");
+    }
+    let mut text = format!("node(X) -> {head}.");
+    for c in 0..colours {
+        let _ = write!(text, " edge(X, Y), colour{c}(X), colour{c}(Y) -> clash.");
+    }
+    text.push_str(" clash -> q.");
+    let program = parse_unit(&text)
+        .expect("datalog program parses")
+        .disjunctive_program()
+        .expect("consistent schema");
+    ntgd_disjunction::DatalogQuery::new(program, ntgd_core::Symbol::intern("q"))
+        .expect("valid datalog query")
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_datalog");
+    for &colours in &[2usize, 4, 8] {
+        let query = datalog_query(colours);
+        group.bench_with_input(
+            BenchmarkId::new("datalog_to_watgd", colours),
+            &query,
+            |b, q| b.iter(|| std::hint::black_box(ntgd_disjunction::datalog_to_watgd(q))),
+        );
+        let translated = ntgd_disjunction::datalog_to_watgd(&query).expect("translation");
+        group.bench_with_input(
+            BenchmarkId::new("weak_acyclicity_of_translation", colours),
+            &translated.program,
+            |b, p| b.iter(|| std::hint::black_box(ntgd_classes::is_weakly_acyclic(p))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion benchmark for experiment E8: model-size bound (Lemma 7 /
+//! Proposition 9) — enumerating all stable models and comparing against the
+//! chase bound as the database grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_bounds");
+    for &n in &[1usize, 2] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| std::hint::black_box(ntgd_bench::e8_bounds(n)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion benchmark for experiment E9: the declarative applications of
+//! Section 7.1 — consistent query answering over subset repairs and robust
+//! graph colouring — validated against brute force.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("e9_applications", |b| {
+        b.iter(|| std::hint::black_box(ntgd_bench::e9_applications()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,245 @@
+//! Cores of chase instances.
+//!
+//! A (finite) instance `I` is a **core** if every homomorphism `I → I` that is
+//! the identity on constants is surjective (equivalently, injective).  The
+//! *core of `I`* is a minimal sub-instance `C ⊆ I` such that some
+//! homomorphism `I → C` fixes the constants; it is unique up to isomorphism
+//! and is the canonical, most compact universal model.  Cores are the natural
+//! yardstick when comparing the outputs of the restricted, Skolem and
+//! oblivious chases (all three are homomorphically equivalent, and their
+//! cores coincide up to null renaming); they also give the tightest instance
+//! against which the model-size bound of Lemma 8 can be measured.
+//!
+//! The algorithm is the classical retraction search: repeatedly look for an
+//! endomorphism whose image is a *proper* sub-instance (it must collapse some
+//! labelled null onto another term) and restrict the instance to that image.
+//! Finding such an endomorphism is NP-hard in general, so this is intended
+//! for the moderate instance sizes produced by the chase on the paper's
+//! examples and the benchmark workloads.
+
+use ntgd_core::{matcher, Atom, Interpretation, Literal, Substitution, Term};
+
+/// Configuration for the core computation.
+#[derive(Clone, Copy, Debug)]
+pub struct CoreConfig {
+    /// Give up (returning the current instance unchanged) when the instance
+    /// has more atoms than this.
+    pub max_atoms: usize,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig { max_atoms: 2_000 }
+    }
+}
+
+/// The result of a core computation.
+#[derive(Clone, Debug)]
+pub struct CoreResult {
+    /// The computed core (or the original instance when `gave_up` is true).
+    pub core: Interpretation,
+    /// Number of retraction steps performed.
+    pub retractions: usize,
+    /// `true` if the instance exceeded [`CoreConfig::max_atoms`] and was
+    /// returned unchanged.
+    pub gave_up: bool,
+}
+
+/// Turns an instance's atoms into a "frozen query": every labelled null
+/// becomes a variable, so homomorphisms of the literal list into the instance
+/// are exactly the endomorphisms fixing constants.
+fn frozen_literals(instance: &Interpretation) -> Vec<Literal> {
+    instance
+        .atoms()
+        .map(|atom| {
+            let args = atom
+                .args()
+                .iter()
+                .map(|term| match term {
+                    Term::Null(id) => Term::Var(ntgd_core::Symbol::intern(&format!(
+                        "__core_null_{id}"
+                    ))),
+                    other => *other,
+                })
+                .collect();
+            Literal::positive(Atom::new(atom.predicate(), args))
+        })
+        .collect()
+}
+
+fn null_variable_image(instance: &Interpretation, h: &Substitution) -> Vec<(Term, Term)> {
+    instance
+        .nulls()
+        .into_iter()
+        .map(|null| {
+            let Term::Null(id) = null else { unreachable!() };
+            let variable = Term::Var(ntgd_core::Symbol::intern(&format!("__core_null_{id}")));
+            (null, h.apply_term(&variable))
+        })
+        .collect()
+}
+
+/// Applies an endomorphism (given as a null → term map) to the instance.
+fn apply_endomorphism(instance: &Interpretation, mapping: &[(Term, Term)]) -> Interpretation {
+    let mut substitution = Substitution::new();
+    for (from, to) in mapping {
+        substitution.bind(*from, *to);
+    }
+    Interpretation::from_atoms(instance.atoms().map(|a| substitution.apply_atom(a)))
+}
+
+/// Searches for an endomorphism of the instance (fixing constants) whose
+/// image has strictly fewer atoms; returns the image if one exists.
+fn proper_retraction(instance: &Interpretation) -> Option<Interpretation> {
+    let literals = frozen_literals(instance);
+    let mut found: Option<Interpretation> = None;
+    matcher::for_each_homomorphism(
+        &literals,
+        instance,
+        &Substitution::new(),
+        &mut |candidate| {
+            let mapping = null_variable_image(instance, candidate);
+            // A proper retraction must identify some null with another term.
+            if mapping.iter().all(|(null, image)| null == image) {
+                return std::ops::ControlFlow::Continue(());
+            }
+            let image = apply_endomorphism(instance, &mapping);
+            if image.len() < instance.len() {
+                found = Some(image);
+                std::ops::ControlFlow::Break(())
+            } else {
+                std::ops::ControlFlow::Continue(())
+            }
+        },
+    );
+    found
+}
+
+/// Computes the core of an instance.
+pub fn core_of_with(instance: &Interpretation, config: &CoreConfig) -> CoreResult {
+    if instance.len() > config.max_atoms {
+        return CoreResult {
+            core: instance.clone(),
+            retractions: 0,
+            gave_up: true,
+        };
+    }
+    let mut current = instance.clone();
+    let mut retractions = 0usize;
+    while let Some(smaller) = proper_retraction(&current) {
+        current = smaller;
+        retractions += 1;
+    }
+    CoreResult {
+        core: current,
+        retractions,
+        gave_up: false,
+    }
+}
+
+/// Computes the core of an instance with the default configuration.
+pub fn core_of(instance: &Interpretation) -> Interpretation {
+    core_of_with(instance, &CoreConfig::default()).core
+}
+
+/// Returns `true` if the instance is a core (no proper retraction exists).
+pub fn is_core(instance: &Interpretation) -> bool {
+    proper_retraction(instance).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oblivious::oblivious_chase;
+    use crate::restricted::{restricted_chase, ChaseConfig};
+    use crate::skolem::skolem_chase;
+    use ntgd_core::matcher::exists_atom_homomorphism;
+    use ntgd_parser::{parse_database, parse_program};
+
+    #[test]
+    fn databases_without_nulls_are_cores() {
+        let db = parse_database("edge(a, b). edge(b, c). p(a).").unwrap();
+        let instance = db.to_interpretation();
+        assert!(is_core(&instance));
+        assert_eq!(core_of(&instance).len(), instance.len());
+    }
+
+    #[test]
+    fn a_redundant_null_is_folded_onto_a_constant() {
+        // hasFather(alice, bob) makes the null witness redundant.
+        let db = parse_database("person(alice). hasFather(alice, bob).").unwrap();
+        let p = parse_program("person(X) -> hasFather(X, Y).").unwrap();
+        let config = ChaseConfig::default();
+        let skolem = skolem_chase(&db, &p, &config);
+        assert_eq!(skolem.instance.len(), 3);
+        let result = core_of_with(&skolem.instance, &CoreConfig::default());
+        assert!(!result.gave_up);
+        assert_eq!(result.core.len(), 2);
+        assert!(result.core.nulls().is_empty());
+        assert!(is_core(&result.core));
+    }
+
+    #[test]
+    fn chase_variants_have_homomorphically_equivalent_results_with_equal_core_sizes() {
+        let db = parse_database("person(alice).").unwrap();
+        let p = parse_program(
+            "person(X) -> hasFather(X, Y). hasFather(X, Y) -> sameAs(Y, Y).",
+        )
+        .unwrap();
+        let config = ChaseConfig::default();
+        let restricted = restricted_chase(&db, &p, &config).instance;
+        let skolem = skolem_chase(&db, &p, &config).instance;
+        let oblivious = oblivious_chase(&db, &p, &config).instance;
+        let sizes: Vec<usize> = [&restricted, &skolem, &oblivious]
+            .iter()
+            .map(|i| core_of(i).len())
+            .collect();
+        assert_eq!(sizes[0], sizes[1]);
+        assert_eq!(sizes[1], sizes[2]);
+        // And the restricted-chase result is already a core here.
+        assert!(is_core(&restricted));
+    }
+
+    #[test]
+    fn the_core_is_a_homomorphic_image_of_the_original_instance() {
+        let db = parse_database("knows(alice, bo). knows(alice, carol).").unwrap();
+        let p = parse_program("knows(X, Y) -> friend(X, Z), friend(Z, X).").unwrap();
+        let config = ChaseConfig::default();
+        let oblivious = oblivious_chase(&db, &p, &config).instance;
+        let core = core_of(&oblivious);
+        assert!(core.len() <= oblivious.len());
+        // Core ⊆ original and original → core: check the latter by mapping
+        // the frozen original into the core.
+        let frozen: Vec<ntgd_core::Atom> = frozen_literals(&oblivious)
+            .into_iter()
+            .map(|l| l.atom().clone())
+            .collect();
+        assert!(exists_atom_homomorphism(
+            &frozen,
+            &core,
+            &Substitution::new()
+        ));
+    }
+
+    #[test]
+    fn oversized_instances_are_returned_unchanged() {
+        let db = parse_database("person(alice). hasFather(alice, bob).").unwrap();
+        let p = parse_program("person(X) -> hasFather(X, Y).").unwrap();
+        let skolem = skolem_chase(&db, &p, &ChaseConfig::default());
+        let result = core_of_with(&skolem.instance, &CoreConfig { max_atoms: 1 });
+        assert!(result.gave_up);
+        assert_eq!(result.core.len(), skolem.instance.len());
+    }
+
+    #[test]
+    fn symmetric_nulls_collapse_onto_each_other() {
+        // Two interchangeable nulls generated for the same person collapse to
+        // one in the core.
+        let db = parse_database("p(a).").unwrap();
+        let program = parse_program("p(X) -> r(X, Y). p(X) -> r(X, Z).").unwrap();
+        let oblivious = oblivious_chase(&db, &program, &ChaseConfig::default()).instance;
+        assert_eq!(oblivious.len(), 3);
+        let core = core_of(&oblivious);
+        assert_eq!(core.len(), 2);
+    }
+}

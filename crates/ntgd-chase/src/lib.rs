@@ -1,0 +1,39 @@
+//! # ntgd-chase
+//!
+//! Chase procedures for (positive parts of) TGD programs, plus the
+//! *blocked-trigger* operational semantics of Baget et al. [3] that the paper
+//! discusses (and criticises) in its introduction.
+//!
+//! * [`restricted_chase`] — the standard (a.k.a. restricted) chase: a trigger
+//!   is applied only when its head is not already satisfied.  This is the
+//!   variant referenced by Lemma 8 of the paper to bound the size of stable
+//!   models of weakly-acyclic programs.
+//! * [`skolem_chase`] — the Skolem (semi-oblivious) chase: witnesses are
+//!   memoised per rule and frontier binding, mirroring Skolemization (the
+//!   operational counterpart of the LP approach of Section 3.1).
+//! * [`oblivious_chase`] — applies every trigger once, regardless of whether
+//!   the head is already satisfied (used for worst-case bounds and testing).
+//! * [`core_instance`] — cores of chase instances (minimal retracts), the
+//!   canonical representatives under homomorphic equivalence.
+//! * [`operational`] — the chase-based stable models of [3]: chase `Σ⁺` while
+//!   guessing, for every trigger whose rule has negative literals, whether the
+//!   trigger is *blocked* (some negated atom ends up in the final result) or
+//!   *sound* (none does), and keep exactly the fair, sound, complete runs.
+//!
+//! All functions operate on the **positive parts** of the given rules; the
+//! operational semantics additionally consults the negative literals as
+//! described above.
+
+pub mod core_instance;
+pub mod operational;
+pub mod oblivious;
+pub mod restricted;
+pub mod skolem;
+pub mod trigger;
+
+pub use core_instance::{core_of, core_of_with, is_core, CoreConfig, CoreResult};
+pub use oblivious::oblivious_chase;
+pub use operational::{operational_stable_models, OperationalConfig};
+pub use restricted::{restricted_chase, ChaseConfig, ChaseOutcome, ChaseResult};
+pub use skolem::skolem_chase;
+pub use trigger::{active_triggers, all_triggers, apply_trigger, Trigger};

@@ -1,0 +1,269 @@
+//! The chase-based ("operational") stable model semantics of Baget et al. [3],
+//! reproduced as a comparison baseline.
+//!
+//! A (possibly infinite) set of atoms `M` is an operational stable model of
+//! `(D, Σ)` if it can be obtained by chasing `D` with `Σ⁺` such that
+//!
+//! 1. every applied trigger is *sound*: none of the instantiated negative
+//!    literals of its rule occurs in `M`, and
+//! 2. the chase is *complete*: every active trigger that is not blocked is
+//!    eventually applied.
+//!
+//! The search below enumerates chase runs with a deterministic (fair) trigger
+//! order and branches, for every trigger of a rule with negative literals, on
+//! whether the trigger is applied (recording that its negated atoms must stay
+//! out of the model) or assumed blocked (verified against the final result).
+//! Nulls are always fresh — this is precisely the behaviour the paper
+//! criticises in Example 2: the chase never reuses a constant to witness an
+//! existential variable, which makes `¬hasFather(alice, bob)` (unexpectedly)
+//! certain.
+
+use std::collections::BTreeSet;
+
+use ntgd_core::{Atom, Database, Interpretation, NullFactory, Program, Substitution};
+
+use crate::trigger::{active_triggers, apply_trigger, is_active, Trigger};
+
+/// Configuration for the operational-semantics search.
+#[derive(Clone, Debug)]
+pub struct OperationalConfig {
+    /// Maximum chase steps along a single branch.
+    pub max_steps: usize,
+    /// Maximum number of stable models to return.
+    pub max_models: usize,
+}
+
+impl Default for OperationalConfig {
+    fn default() -> Self {
+        OperationalConfig {
+            max_steps: 10_000,
+            max_models: 64,
+        }
+    }
+}
+
+/// A trigger that the search decided to *skip*, assuming it blocked.
+#[derive(Clone, Debug)]
+struct SkippedTrigger {
+    trigger: Trigger,
+    negatives: Vec<Atom>,
+}
+
+struct Search<'a> {
+    positive: Program,
+    original: &'a Program,
+    config: &'a OperationalConfig,
+    models: Vec<Interpretation>,
+}
+
+impl<'a> Search<'a> {
+    fn negatives_of(&self, trigger: &Trigger) -> Vec<Atom> {
+        trigger.negative_images(&self.original.rules()[trigger.rule_index])
+    }
+
+    fn run(
+        &mut self,
+        instance: Interpretation,
+        forbidden: BTreeSet<Atom>,
+        skipped: Vec<SkippedTrigger>,
+        nulls: NullFactory,
+        steps: usize,
+    ) {
+        if self.models.len() >= self.config.max_models || steps > self.config.max_steps {
+            return;
+        }
+        // Soundness: no forbidden atom may have been derived.
+        if forbidden.iter().any(|a| instance.contains(a)) {
+            return;
+        }
+        let was_skipped = |t: &Trigger, skipped: &[SkippedTrigger]| {
+            skipped.iter().any(|s| {
+                s.trigger.rule_index == t.rule_index && s.trigger.homomorphism == t.homomorphism
+            })
+        };
+        let next = active_triggers(&self.positive, &instance)
+            .into_iter()
+            .find(|t| !was_skipped(t, &skipped));
+
+        let Some(trigger) = next else {
+            // Fixpoint: completeness requires every skipped trigger that is
+            // still active to actually be blocked in the final result.
+            let complete = skipped.iter().all(|s| {
+                !is_active(&s.trigger, &self.positive, &instance)
+                    || s.negatives.iter().any(|a| instance.contains(a))
+            });
+            if complete && !self.models.iter().any(|m| m.same_atoms_as(&instance)) {
+                self.models.push(instance);
+            }
+            return;
+        };
+        let negatives = self.negatives_of(&trigger);
+
+        // Branch 1: apply the trigger (sound application).
+        {
+            let mut inst = instance.clone();
+            let mut nf = nulls.clone();
+            let mut forb = forbidden.clone();
+            let mut ok = true;
+            for n in &negatives {
+                if inst.contains(n) {
+                    ok = false;
+                    break;
+                }
+                forb.insert(n.clone());
+            }
+            if ok {
+                apply_trigger(&trigger, &self.positive, &mut inst, &mut nf);
+                self.run(inst, forb, skipped.clone(), nf, steps + 1);
+            }
+        }
+
+        // Branch 2: assume the trigger is blocked (only sensible for rules
+        // with negative literals).
+        if !negatives.is_empty() {
+            let mut skp = skipped;
+            skp.push(SkippedTrigger {
+                trigger: Trigger {
+                    rule_index: trigger.rule_index,
+                    homomorphism: Substitution::from_bindings(
+                        trigger
+                            .homomorphism
+                            .bindings()
+                            .map(|(k, v)| (*k, *v))
+                            .collect::<Vec<_>>(),
+                    ),
+                },
+                negatives,
+            });
+            self.run(instance, forbidden, skp, nulls, steps + 1);
+        }
+    }
+}
+
+/// Enumerates the operational (chase-based) stable models of `(database,
+/// program)` following [3], up to the configured limits.
+pub fn operational_stable_models(
+    database: &Database,
+    program: &Program,
+    config: &OperationalConfig,
+) -> Vec<Interpretation> {
+    let mut search = Search {
+        positive: program.positive_part(),
+        original: program,
+        config,
+        models: Vec::new(),
+    };
+    search.run(
+        database.to_interpretation(),
+        BTreeSet::new(),
+        Vec::new(),
+        NullFactory::new(),
+        0,
+    );
+    search.models
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntgd_core::{atom, cst};
+    use ntgd_parser::{parse_database, parse_program, parse_query};
+
+    /// Example 1/2 of the paper.
+    fn example1() -> (Database, Program) {
+        let db = parse_database("person(alice).").unwrap();
+        let p = parse_program(
+            "person(X) -> hasFather(X, Y).\
+             hasFather(X, Y) -> sameAs(Y, Y).\
+             hasFather(X, Y), hasFather(X, Z), not sameAs(Y, Z) -> abnormal(X).",
+        )
+        .unwrap();
+        (db, p)
+    }
+
+    #[test]
+    fn example2_the_chase_semantics_entails_the_unintended_query() {
+        let (db, p) = example1();
+        let models = operational_stable_models(&db, &p, &OperationalConfig::default());
+        assert!(!models.is_empty());
+        // In every operational stable model the father of alice is a fresh
+        // null, never the constant bob, so ¬hasFather(alice, bob) is certain —
+        // the unintended answer discussed in Example 2.
+        for m in &models {
+            assert!(!m.contains(&atom("hasFather", vec![cst("alice"), cst("bob")])));
+            let father_is_null = m
+                .atoms_with_predicate(ntgd_core::Symbol::intern("hasFather"))
+                .iter()
+                .all(|a| a.args()[1].is_null());
+            assert!(father_is_null);
+            // And alice is never abnormal.
+            assert!(!parse_query("?- abnormal(alice).").unwrap().holds(m));
+        }
+    }
+
+    #[test]
+    fn positive_programs_have_exactly_the_chase_result() {
+        let db = parse_database("p(a).").unwrap();
+        let p = parse_program("p(X) -> q(X).").unwrap();
+        let models = operational_stable_models(&db, &p, &OperationalConfig::default());
+        assert_eq!(models.len(), 1);
+        assert_eq!(models[0].len(), 2);
+    }
+
+    #[test]
+    fn odd_negative_loop_has_no_stable_model() {
+        // p(a).  p(X), not q(X) -> r(X).  r(X) -> q(X).
+        // Applying the first rule derives r(a) and then q(a), violating the
+        // soundness of the application; assuming it blocked requires q(a) in
+        // the final model, which never appears.  Hence no stable model.
+        let db = parse_database("p(a).").unwrap();
+        let p = parse_program("p(X), not q(X) -> r(X). r(X) -> q(X).").unwrap();
+        let models = operational_stable_models(&db, &p, &OperationalConfig::default());
+        assert!(models.is_empty());
+    }
+
+    #[test]
+    fn even_cycle_yields_two_models() {
+        // The classical even negative loop, existential-free:
+        //   a ← not b.   b ← not a.   (guarded by a seed fact)
+        let db = parse_database("seed(x).").unwrap();
+        let p = parse_program("seed(X), not b -> a. seed(X), not a -> b.").unwrap();
+        let models = operational_stable_models(&db, &p, &OperationalConfig::default());
+        assert_eq!(models.len(), 2);
+        let has_a = models
+            .iter()
+            .filter(|m| m.contains(&atom("a", vec![])))
+            .count();
+        let has_b = models
+            .iter()
+            .filter(|m| m.contains(&atom("b", vec![])))
+            .count();
+        assert_eq!(has_a, 1);
+        assert_eq!(has_b, 1);
+    }
+
+    #[test]
+    fn model_limit_is_respected() {
+        let db = parse_database("seed(x).").unwrap();
+        let p = parse_program("seed(X), not b -> a. seed(X), not a -> b.").unwrap();
+        let cfg = OperationalConfig {
+            max_models: 1,
+            ..Default::default()
+        };
+        let models = operational_stable_models(&db, &p, &cfg);
+        assert_eq!(models.len(), 1);
+    }
+
+    #[test]
+    fn skipped_triggers_whose_head_gets_satisfied_do_not_block_completeness() {
+        // p(a).  p(X), not s(X) -> q(X).  p(X) -> q(X).
+        // Skipping the first rule's trigger is fine only if it is blocked or
+        // its head becomes satisfied; the second rule satisfies the head, so a
+        // single stable model exists either way.
+        let db = parse_database("p(a).").unwrap();
+        let p = parse_program("p(X), not s(X) -> q(X). p(X) -> q(X).").unwrap();
+        let models = operational_stable_models(&db, &p, &OperationalConfig::default());
+        assert_eq!(models.len(), 1);
+        assert!(models[0].contains(&atom("q", vec![cst("a")])));
+    }
+}

@@ -1,0 +1,178 @@
+//! The restricted (standard) chase.
+
+use ntgd_core::{Database, Interpretation, NullFactory, Program};
+
+use crate::trigger::{active_triggers, apply_trigger};
+
+/// Configuration for a chase run.
+#[derive(Clone, Debug)]
+pub struct ChaseConfig {
+    /// Maximum number of trigger applications before giving up.  The chase of
+    /// a weakly-acyclic program always terminates, but arbitrary programs may
+    /// not; the bound makes every call total.
+    pub max_steps: usize,
+}
+
+impl Default for ChaseConfig {
+    fn default() -> Self {
+        ChaseConfig { max_steps: 100_000 }
+    }
+}
+
+impl ChaseConfig {
+    /// A configuration with the given step bound.
+    pub fn with_max_steps(max_steps: usize) -> ChaseConfig {
+        ChaseConfig { max_steps }
+    }
+}
+
+/// Whether the chase reached a fixpoint or was cut off by the step bound.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChaseOutcome {
+    /// No active trigger remained: the result is a universal model of `(D, Σ⁺)`.
+    Terminated,
+    /// The step bound was hit before reaching a fixpoint.
+    StepLimitReached,
+}
+
+/// The result of a chase run.
+#[derive(Clone, Debug)]
+pub struct ChaseResult {
+    /// The final instance.
+    pub instance: Interpretation,
+    /// Number of trigger applications performed.
+    pub steps: usize,
+    /// Number of labelled nulls invented.
+    pub nulls_created: u64,
+    /// Whether a fixpoint was reached.
+    pub outcome: ChaseOutcome,
+}
+
+impl ChaseResult {
+    /// Returns `true` if the chase reached a fixpoint.
+    pub fn terminated(&self) -> bool {
+        self.outcome == ChaseOutcome::Terminated
+    }
+}
+
+/// Runs the restricted chase of `database` with the **positive part** of
+/// `program` (negative literals are dropped, i.e. this is the chase of
+/// `(D, Σ⁺)` used by Lemma 8 of the paper).
+///
+/// Triggers are selected in a deterministic round-robin fashion (first rule,
+/// first homomorphism), which is a fair strategy.
+pub fn restricted_chase(
+    database: &Database,
+    program: &Program,
+    config: &ChaseConfig,
+) -> ChaseResult {
+    let positive = program.positive_part();
+    let mut instance = database.to_interpretation();
+    let mut nulls = NullFactory::new();
+    let mut steps = 0usize;
+
+    loop {
+        if steps >= config.max_steps {
+            return ChaseResult {
+                instance,
+                steps,
+                nulls_created: nulls.issued(),
+                outcome: ChaseOutcome::StepLimitReached,
+            };
+        }
+        let active = active_triggers(&positive, &instance);
+        let Some(trigger) = active.into_iter().next() else {
+            return ChaseResult {
+                instance,
+                steps,
+                nulls_created: nulls.issued(),
+                outcome: ChaseOutcome::Terminated,
+            };
+        };
+        apply_trigger(&trigger, &positive, &mut instance, &mut nulls);
+        steps += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntgd_core::{atom, cst, Query, Symbol};
+    use ntgd_parser::{parse_database, parse_program, parse_query};
+
+    #[test]
+    fn chase_of_terminating_program_reaches_fixpoint() {
+        let db = parse_database("person(alice).").unwrap();
+        let p = parse_program(
+            "person(X) -> hasFather(X, Y). hasFather(X, Y) -> sameAs(Y, Y).",
+        )
+        .unwrap();
+        let r = restricted_chase(&db, &p, &ChaseConfig::default());
+        assert!(r.terminated());
+        assert_eq!(r.steps, 2);
+        assert_eq!(r.nulls_created, 1);
+        assert_eq!(r.instance.len(), 3);
+        let q = parse_query("?- hasFather(X, Y), sameAs(Y, Y).").unwrap();
+        assert!(q.holds(&r.instance));
+    }
+
+    #[test]
+    fn chase_reuses_existing_witnesses() {
+        // The father is already present, so no null should be created.
+        let db = parse_database("person(alice). hasFather(alice, bob).").unwrap();
+        let p = parse_program("person(X) -> hasFather(X, Y).").unwrap();
+        let r = restricted_chase(&db, &p, &ChaseConfig::default());
+        assert!(r.terminated());
+        assert_eq!(r.steps, 0);
+        assert_eq!(r.nulls_created, 0);
+    }
+
+    #[test]
+    fn non_terminating_chase_is_cut_off() {
+        // person(X) -> parent(X, Y), person(Y): the classical infinite chase.
+        let db = parse_database("person(adam).").unwrap();
+        let p = parse_program("person(X) -> parent(X, Y), person(Y).").unwrap();
+        let r = restricted_chase(&db, &p, &ChaseConfig::with_max_steps(25));
+        assert_eq!(r.outcome, ChaseOutcome::StepLimitReached);
+        assert_eq!(r.steps, 25);
+        assert!(r.instance.len() > 25);
+    }
+
+    #[test]
+    fn negative_literals_are_ignored() {
+        // The chase of Σ⁺ fires the rule even though the negative literal
+        // would block it under a stable semantics.
+        let db = parse_database("p(a). q(a).").unwrap();
+        let p = parse_program("p(X), not q(X) -> r(X).").unwrap();
+        let r = restricted_chase(&db, &p, &ChaseConfig::default());
+        assert!(r.terminated());
+        assert!(r.instance.contains(&atom("r", vec![cst("a")])));
+    }
+
+    #[test]
+    fn weakly_acyclic_example_produces_polynomial_instance() {
+        // A two-rule weakly-acyclic program over a small relation.
+        let db = parse_database("e(a, b). e(b, c). e(c, d).").unwrap();
+        let p = parse_program("e(X, Y) -> n(X), n(Y). n(X) -> l(X, Z).").unwrap();
+        let r = restricted_chase(&db, &p, &ChaseConfig::default());
+        assert!(r.terminated());
+        // 4 nodes, each with one invented label plus the original edges.
+        assert_eq!(r.nulls_created, 4);
+        let q = Query::new(
+            vec![Symbol::intern("X")],
+            vec![ntgd_core::pos("n", vec![ntgd_core::var("X")])],
+        )
+        .unwrap();
+        assert_eq!(q.answers(&r.instance).len(), 4);
+    }
+
+    #[test]
+    fn empty_program_returns_database() {
+        let db = parse_database("p(a).").unwrap();
+        let p = Program::new();
+        let r = restricted_chase(&db, &p, &ChaseConfig::default());
+        assert!(r.terminated());
+        assert_eq!(r.instance.len(), 1);
+        assert_eq!(r.steps, 0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Triggers: a rule together with a homomorphism from its (positive) body.
+
+use ntgd_core::{
+    matcher, Atom, Interpretation, Ntgd, NullFactory, Program, Substitution, Term,
+};
+
+/// A trigger `(σ, h)`: rule index and a homomorphism from the positive body of
+/// `σ` into the current instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Trigger {
+    /// Index of the rule in the program.
+    pub rule_index: usize,
+    /// Homomorphism from the positive body into the instance, restricted to
+    /// the rule's universal variables.
+    pub homomorphism: Substitution,
+}
+
+impl Trigger {
+    /// The image of the rule's negative body atoms under the trigger's
+    /// homomorphism (ground atoms that must *not* appear in the final model
+    /// for the trigger to be sound, in the sense of [3]).
+    pub fn negative_images(&self, rule: &Ntgd) -> Vec<Atom> {
+        rule.body_negative()
+            .iter()
+            .map(|a| self.homomorphism.apply_atom(a))
+            .collect()
+    }
+
+    /// A canonical key identifying the trigger up to the frontier of the rule
+    /// (used by the oblivious chase to apply each trigger at most once).
+    pub fn key(&self, rule: &Ntgd) -> (usize, Vec<(Term, Term)>) {
+        let frontier: Vec<(Term, Term)> = rule
+            .universal_variables()
+            .into_iter()
+            .map(|v| {
+                let t = Term::Var(v);
+                (t, self.homomorphism.apply_term(&t))
+            })
+            .collect();
+        (self.rule_index, frontier)
+    }
+}
+
+/// All triggers of the program on the instance: homomorphisms from the
+/// positive body of each rule into the instance (negative literals are
+/// ignored — this is the chase of `Σ⁺`).
+pub fn all_triggers(program: &Program, instance: &Interpretation) -> Vec<Trigger> {
+    let mut out = Vec::new();
+    for (idx, rule) in program.iter() {
+        let body_atoms: Vec<Atom> = rule.body_positive().into_iter().cloned().collect();
+        for h in matcher::all_atom_homomorphisms(&body_atoms, instance, &Substitution::new()) {
+            out.push(Trigger {
+                rule_index: idx,
+                homomorphism: h,
+            });
+        }
+    }
+    out
+}
+
+/// Returns `true` if the trigger is *active* in the restricted-chase sense:
+/// there is no extension of its homomorphism mapping the head into the
+/// instance.
+pub fn is_active(trigger: &Trigger, program: &Program, instance: &Interpretation) -> bool {
+    let rule = &program.rules()[trigger.rule_index];
+    !matcher::exists_atom_homomorphism(rule.head(), instance, &trigger.homomorphism)
+}
+
+/// The active triggers of the program on the instance (restricted chase).
+pub fn active_triggers(program: &Program, instance: &Interpretation) -> Vec<Trigger> {
+    all_triggers(program, instance)
+        .into_iter()
+        .filter(|t| is_active(t, program, instance))
+        .collect()
+}
+
+/// Applies a trigger: instantiate the head, mapping each existential variable
+/// to a fresh labelled null, and insert the resulting atoms into the instance.
+/// Returns the newly added atoms.
+pub fn apply_trigger(
+    trigger: &Trigger,
+    program: &Program,
+    instance: &mut Interpretation,
+    nulls: &mut NullFactory,
+) -> Vec<Atom> {
+    let rule = &program.rules()[trigger.rule_index];
+    let mut h = trigger.homomorphism.clone();
+    for z in rule.existential_variables() {
+        h.bind(Term::Var(z), nulls.fresh());
+    }
+    let mut added = Vec::new();
+    for atom in rule.head() {
+        let ground = h.apply_atom(atom);
+        debug_assert!(ground.is_ground(), "head instantiation must be ground");
+        if instance.insert(ground.clone()) {
+            added.push(ground);
+        }
+    }
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntgd_core::{atom, cst, var};
+    use ntgd_parser::parse_program;
+
+    fn father_program() -> Program {
+        parse_program("person(X) -> hasFather(X, Y). hasFather(X, Y) -> person(Y).").unwrap()
+    }
+
+    fn db_interp() -> Interpretation {
+        Interpretation::from_atoms(vec![atom("person", vec![cst("alice")])])
+    }
+
+    #[test]
+    fn triggers_are_found_for_matching_bodies() {
+        let p = father_program();
+        let i = db_interp();
+        let ts = all_triggers(&p, &i);
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0].rule_index, 0);
+        assert_eq!(
+            ts[0].homomorphism.apply_term(&var("X")),
+            cst("alice")
+        );
+    }
+
+    #[test]
+    fn active_triggers_exclude_satisfied_heads() {
+        let p = father_program();
+        let mut i = db_interp();
+        assert_eq!(active_triggers(&p, &i).len(), 1);
+        i.insert(atom("hasFather", vec![cst("alice"), cst("bob")]));
+        // The head of rule 0 is now satisfiable (Y -> bob), so the trigger is
+        // inactive; but rule 1 now has an active trigger for bob.
+        let active = active_triggers(&p, &i);
+        assert_eq!(active.len(), 1);
+        assert_eq!(active[0].rule_index, 1);
+    }
+
+    #[test]
+    fn applying_a_trigger_invents_fresh_nulls() {
+        let p = father_program();
+        let mut i = db_interp();
+        let mut nulls = NullFactory::new();
+        let ts = active_triggers(&p, &i);
+        let added = apply_trigger(&ts[0], &p, &mut i, &mut nulls);
+        assert_eq!(added.len(), 1);
+        assert_eq!(added[0].predicate().as_str(), "hasFather");
+        assert!(added[0].args()[1].is_null());
+        assert_eq!(nulls.issued(), 1);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn negative_images_ground_the_negated_atoms() {
+        let p = parse_program(
+            "hasFather(X,Y), hasFather(X,Z), not sameAs(Y,Z) -> abnormal(X).",
+        )
+        .unwrap();
+        let i = Interpretation::from_atoms(vec![
+            atom("hasFather", vec![cst("a"), cst("b")]),
+            atom("hasFather", vec![cst("a"), cst("c")]),
+        ]);
+        let ts = all_triggers(&p, &i);
+        assert_eq!(ts.len(), 4); // (Y,Z) ∈ {b,c}²
+        for t in &ts {
+            let negs = t.negative_images(&p.rules()[0]);
+            assert_eq!(negs.len(), 1);
+            assert!(negs[0].is_ground());
+            assert_eq!(negs[0].predicate().as_str(), "sameAs");
+        }
+    }
+
+    #[test]
+    fn trigger_keys_identify_frontier_bindings() {
+        let p = father_program();
+        let i = db_interp();
+        let ts = all_triggers(&p, &i);
+        let k1 = ts[0].key(&p.rules()[0]);
+        let k2 = ts[0].key(&p.rules()[0]);
+        assert_eq!(k1, k2);
+    }
+}

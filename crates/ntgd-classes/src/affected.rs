@@ -1,0 +1,221 @@
+//! Affected positions (Calì, Gottlob, Kifer [7]).
+//!
+//! A position `p[i]` is *affected* w.r.t. a set of TGDs `Σ` if a labelled null
+//! may reach it during the chase.  The set `aff(Σ)` is the smallest set of
+//! positions such that
+//!
+//! * every position hosting an existentially quantified variable in the head
+//!   of a rule is affected, and
+//! * if a universally quantified variable `X` of a rule `σ` occurs in the body
+//!   of `σ` **only** at affected positions, then every head position of `X`
+//!   is affected.
+//!
+//! Affected positions underpin the *weakly-guarded* and
+//! *weakly-frontier-guarded* fragments implemented in
+//! [`crate::fragments`]: variables occurring at some unaffected position can
+//! only ever be bound to database constants and therefore never need to be
+//! covered by a guard.
+//!
+//! For NTGDs the computation is carried out on `Σ⁺` (negative literals are
+//! ignored), mirroring how the paper lifts the positive-TGD paradigms to
+//! normal rules.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ntgd_core::{Ntgd, Position, Program, Symbol, Term};
+
+/// The set of affected positions of a program, with helpers for interrogating
+/// which body variables of a rule can only be bound to constants.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AffectedPositions {
+    positions: BTreeSet<Position>,
+}
+
+impl AffectedPositions {
+    /// Computes the affected positions of `Σ⁺` by the least-fixpoint
+    /// construction described in the module documentation.
+    pub fn compute(program: &Program) -> AffectedPositions {
+        let positive = program.positive_part();
+        let mut affected: BTreeSet<Position> = BTreeSet::new();
+
+        // Base step: head positions of existential variables.
+        for (_, rule) in positive.iter() {
+            let existential = rule.existential_variables();
+            for atom in rule.head() {
+                for (i, term) in atom.args().iter().enumerate() {
+                    if let Term::Var(v) = term {
+                        if existential.contains(v) {
+                            affected.insert(Position::new(atom.predicate(), i + 1));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Inductive step: propagate through universal variables whose body
+        // occurrences are all affected.
+        loop {
+            let mut changed = false;
+            for (_, rule) in positive.iter() {
+                let body_positions = body_positions_by_variable(rule);
+                for (variable, positions) in &body_positions {
+                    if positions.is_empty() || !positions.iter().all(|p| affected.contains(p)) {
+                        continue;
+                    }
+                    for atom in rule.head() {
+                        for (i, term) in atom.args().iter().enumerate() {
+                            if *term == Term::Var(*variable) {
+                                let pos = Position::new(atom.predicate(), i + 1);
+                                if affected.insert(pos) {
+                                    changed = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        AffectedPositions {
+            positions: affected,
+        }
+    }
+
+    /// Returns `true` if the position is affected.
+    pub fn contains(&self, position: Position) -> bool {
+        self.positions.contains(&position)
+    }
+
+    /// The affected positions, in a deterministic order.
+    pub fn positions(&self) -> impl Iterator<Item = &Position> + '_ {
+        self.positions.iter()
+    }
+
+    /// Number of affected positions.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Returns `true` if no position is affected (e.g. for existential-free
+    /// programs).
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The *harmful* variables of a rule: universally quantified variables
+    /// whose positive-body occurrences are **all** at affected positions.
+    /// Only these variables may ever be bound to labelled nulls, so only they
+    /// must be covered by a weak guard.
+    pub fn harmful_variables(&self, rule: &Ntgd) -> BTreeSet<Symbol> {
+        body_positions_by_variable(rule)
+            .into_iter()
+            .filter(|(_, positions)| {
+                !positions.is_empty() && positions.iter().all(|p| self.contains(*p))
+            })
+            .map(|(v, _)| v)
+            .collect()
+    }
+}
+
+/// Positions (in the positive body) at which each universally quantified
+/// variable of the rule occurs.
+fn body_positions_by_variable(rule: &Ntgd) -> BTreeMap<Symbol, Vec<Position>> {
+    let mut map: BTreeMap<Symbol, Vec<Position>> = BTreeMap::new();
+    for atom in rule.body_positive() {
+        for (i, term) in atom.args().iter().enumerate() {
+            if let Term::Var(v) = term {
+                map.entry(*v)
+                    .or_default()
+                    .push(Position::new(atom.predicate(), i + 1));
+            }
+        }
+    }
+    map
+}
+
+/// Convenience wrapper returning the affected positions as a set.
+pub fn affected_positions(program: &Program) -> BTreeSet<Position> {
+    AffectedPositions::compute(program).positions.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntgd_core::Symbol;
+    use ntgd_parser::{parse_program, parse_rule};
+
+    fn pos_of(p: &str, i: usize) -> Position {
+        Position::new(Symbol::intern(p), i)
+    }
+
+    #[test]
+    fn existential_free_programs_have_no_affected_positions() {
+        let p = parse_program("e(X, Y), e(Y, Z) -> e(X, Z). p(X), not q(X) -> r(X).").unwrap();
+        let aff = AffectedPositions::compute(&p);
+        assert!(aff.is_empty());
+    }
+
+    #[test]
+    fn existential_head_positions_are_affected() {
+        let p = parse_program("person(X) -> hasFather(X, Y).").unwrap();
+        let aff = AffectedPositions::compute(&p);
+        assert!(aff.contains(pos_of("hasFather", 2)));
+        assert!(!aff.contains(pos_of("hasFather", 1)));
+        assert!(!aff.contains(pos_of("person", 1)));
+        assert_eq!(aff.len(), 1);
+    }
+
+    #[test]
+    fn affectedness_propagates_through_fully_affected_variables() {
+        // The null created in q[2] flows to r[1] because Y occurs in the body
+        // of the second rule only at the affected position q[2].
+        let p = parse_program("p(X) -> q(X, Y). q(X, Y) -> r(Y).").unwrap();
+        let aff = AffectedPositions::compute(&p);
+        assert!(aff.contains(pos_of("q", 2)));
+        assert!(aff.contains(pos_of("r", 1)));
+        assert!(!aff.contains(pos_of("q", 1)));
+    }
+
+    #[test]
+    fn an_unaffected_occurrence_blocks_propagation() {
+        // Y also occurs at the unaffected position s[1], so it can only be
+        // bound to constants and r[1] stays unaffected.
+        let p = parse_program("p(X) -> q(X, Y). q(X, Y), s(Y) -> r(Y).").unwrap();
+        let aff = AffectedPositions::compute(&p);
+        assert!(aff.contains(pos_of("q", 2)));
+        assert!(!aff.contains(pos_of("r", 1)));
+    }
+
+    #[test]
+    fn negative_literals_do_not_contribute_positions() {
+        let p = parse_program("p(X) -> q(X, Y). q(X, Y), not s(Y) -> r(Y).").unwrap();
+        let aff = AffectedPositions::compute(&p);
+        // The negated occurrence of Y is ignored; its only positive
+        // occurrence q[2] is affected, so r[1] becomes affected.
+        assert!(aff.contains(pos_of("r", 1)));
+    }
+
+    #[test]
+    fn harmful_variables_are_those_bound_only_at_affected_positions() {
+        let p = parse_program("p(X) -> q(X, Y). q(X, Y), s(X) -> t(X, Y).").unwrap();
+        let aff = AffectedPositions::compute(&p);
+        let rule = parse_rule("q(X, Y), s(X) -> t(X, Y).").unwrap();
+        let harmful = aff.harmful_variables(&rule);
+        assert!(harmful.contains(&Symbol::intern("Y")));
+        assert!(!harmful.contains(&Symbol::intern("X")));
+    }
+
+    #[test]
+    fn recursive_value_creation_affects_every_reachable_position() {
+        let p = parse_program("person(X) -> parent(X, Y), person(Y).").unwrap();
+        let aff = AffectedPositions::compute(&p);
+        assert!(aff.contains(pos_of("parent", 2)));
+        assert!(aff.contains(pos_of("person", 1)));
+        // Once person[1] is affected, X itself becomes harmful and parent[1]
+        // is reached too.
+        assert!(aff.contains(pos_of("parent", 1)));
+    }
+}

@@ -1,0 +1,272 @@
+//! Syntactic fragments of (N)TGDs beyond the three paradigms studied in the
+//! paper.
+//!
+//! The paper's Section 4 examines weak-acyclicity, stickiness and guardedness.
+//! Its related-work discussion (and the broader Datalog± literature it builds
+//! on, [4, 7, 8, 24]) also works with several finer-grained fragments, which
+//! this module makes checkable so that workloads can be placed precisely in
+//! the decidability landscape:
+//!
+//! * **full** — no existentially quantified variables (plain normal Datalog
+//!   rules);
+//! * **linear** — at most one positive body atom;
+//! * **atomic-head** — exactly one head atom;
+//! * **frontier-1** — at most one frontier variable;
+//! * **frontier-guarded** — some positive body atom covers every frontier
+//!   variable;
+//! * **weakly guarded** — some positive body atom covers every *harmful*
+//!   body variable (variables occurring only at affected positions, see
+//!   [`crate::affected`]);
+//! * **weakly frontier-guarded** — some positive body atom covers every
+//!   harmful frontier variable.
+//!
+//! All checks are performed on the rules as given; for NTGDs the affected
+//! positions are computed on `Σ⁺`, in line with how the paper lifts the
+//! positive-TGD paradigms to normal rules.
+
+use std::collections::BTreeSet;
+
+use ntgd_core::{Ntgd, Program, Symbol, Term};
+
+use crate::affected::AffectedPositions;
+
+/// Returns `true` if the rule has no existentially quantified variables.
+pub fn is_full_rule(rule: &Ntgd) -> bool {
+    !rule.has_existential()
+}
+
+/// Returns `true` if every rule of the program is existential-free (a normal
+/// Datalog program).
+pub fn is_full(program: &Program) -> bool {
+    program.rules().iter().all(is_full_rule)
+}
+
+/// Returns `true` if the rule has at most one positive body atom.
+pub fn is_linear_rule(rule: &Ntgd) -> bool {
+    rule.body_positive().len() <= 1
+}
+
+/// Returns `true` if every rule of the program is linear.
+pub fn is_linear(program: &Program) -> bool {
+    program.rules().iter().all(is_linear_rule)
+}
+
+/// Returns `true` if the rule has exactly one head atom.
+pub fn is_atomic_head_rule(rule: &Ntgd) -> bool {
+    rule.head().len() == 1
+}
+
+/// Returns `true` if every rule of the program has a single head atom.
+pub fn is_atomic_head(program: &Program) -> bool {
+    program.rules().iter().all(is_atomic_head_rule)
+}
+
+/// Returns `true` if the rule has at most one frontier variable.
+pub fn is_frontier_one_rule(rule: &Ntgd) -> bool {
+    rule.frontier_variables().len() <= 1
+}
+
+/// Returns `true` if every rule of the program has at most one frontier
+/// variable.
+pub fn is_frontier_one(program: &Program) -> bool {
+    program.rules().iter().all(is_frontier_one_rule)
+}
+
+/// Returns `true` if some positive body atom of the rule contains all the
+/// given variables.
+fn some_atom_covers(rule: &Ntgd, variables: &BTreeSet<Symbol>) -> bool {
+    if variables.is_empty() {
+        return true;
+    }
+    rule.body_positive().iter().any(|atom| {
+        variables
+            .iter()
+            .all(|v| atom.args().contains(&Term::Var(*v)))
+    })
+}
+
+/// Returns `true` if some positive body atom covers every frontier variable
+/// of the rule.
+pub fn is_frontier_guarded_rule(rule: &Ntgd) -> bool {
+    some_atom_covers(rule, &rule.frontier_variables())
+}
+
+/// Returns `true` if every rule of the program is frontier-guarded.
+pub fn is_frontier_guarded(program: &Program) -> bool {
+    program.rules().iter().all(is_frontier_guarded_rule)
+}
+
+/// Returns `true` if some positive body atom of the rule covers every harmful
+/// body variable (a variable all of whose positive-body occurrences lie at
+/// affected positions).
+pub fn is_weakly_guarded_rule(rule: &Ntgd, affected: &AffectedPositions) -> bool {
+    some_atom_covers(rule, &affected.harmful_variables(rule))
+}
+
+/// Returns `true` if every rule of the program is weakly guarded w.r.t. the
+/// program's affected positions.
+pub fn is_weakly_guarded(program: &Program) -> bool {
+    let affected = AffectedPositions::compute(program);
+    program
+        .rules()
+        .iter()
+        .all(|rule| is_weakly_guarded_rule(rule, &affected))
+}
+
+/// Returns `true` if some positive body atom of the rule covers every harmful
+/// frontier variable.
+pub fn is_weakly_frontier_guarded_rule(rule: &Ntgd, affected: &AffectedPositions) -> bool {
+    let harmful = affected.harmful_variables(rule);
+    let frontier = rule.frontier_variables();
+    let harmful_frontier: BTreeSet<Symbol> =
+        harmful.intersection(&frontier).copied().collect();
+    some_atom_covers(rule, &harmful_frontier)
+}
+
+/// Returns `true` if every rule of the program is weakly frontier-guarded
+/// w.r.t. the program's affected positions.
+pub fn is_weakly_frontier_guarded(program: &Program) -> bool {
+    let affected = AffectedPositions::compute(program);
+    program
+        .rules()
+        .iter()
+        .all(|rule| is_weakly_frontier_guarded_rule(rule, &affected))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guardedness::is_guarded;
+    use ntgd_parser::{parse_program, parse_rule};
+
+    const EXAMPLE1: &str = "person(X) -> hasFather(X, Y).\
+         hasFather(X, Y) -> sameAs(Y, Y).\
+         hasFather(X, Y), hasFather(X, Z), not sameAs(Y, Z) -> abnormal(X).";
+
+    #[test]
+    fn full_rules_have_no_existentials() {
+        assert!(is_full_rule(
+            &parse_rule("e(X, Y), e(Y, Z) -> e(X, Z).").unwrap()
+        ));
+        assert!(!is_full_rule(
+            &parse_rule("person(X) -> hasFather(X, Y).").unwrap()
+        ));
+        assert!(!is_full(&parse_program(EXAMPLE1).unwrap()));
+    }
+
+    #[test]
+    fn linear_rules_have_at_most_one_positive_body_atom() {
+        assert!(is_linear_rule(
+            &parse_rule("person(X) -> hasFather(X, Y).").unwrap()
+        ));
+        // Negative literals do not count against linearity.
+        assert!(is_linear_rule(
+            &parse_rule("p(X), not q(X) -> r(X).").unwrap()
+        ));
+        assert!(!is_linear_rule(
+            &parse_rule("e(X, Y), e(Y, Z) -> e(X, Z).").unwrap()
+        ));
+    }
+
+    #[test]
+    fn atomic_head_counts_head_atoms() {
+        assert!(is_atomic_head_rule(
+            &parse_rule("p(X) -> q(X, Y).").unwrap()
+        ));
+        assert!(!is_atomic_head_rule(
+            &parse_rule("person(X) -> parent(X, Y), person(Y).").unwrap()
+        ));
+    }
+
+    #[test]
+    fn frontier_one_counts_frontier_variables_only() {
+        // X and Z occur in the body, but only X is propagated to the head.
+        assert!(is_frontier_one_rule(
+            &parse_rule("t(X, Y, Z) -> s(X, W).").unwrap()
+        ));
+        assert!(!is_frontier_one_rule(
+            &parse_rule("r(X, Y) -> s(X, Y, W).").unwrap()
+        ));
+    }
+
+    #[test]
+    fn frontier_guardedness_is_weaker_than_guardedness() {
+        // The transitivity rule is not guarded (no atom covers X, Y, Z) but it
+        // is frontier-guarded?  No: the frontier is {X, Z}, and no single body
+        // atom contains both.
+        let transitive = parse_program("e(X, Y), e(Y, Z) -> e(X, Z).").unwrap();
+        assert!(!is_guarded(&transitive));
+        assert!(!is_frontier_guarded(&transitive));
+
+        // Here the frontier is just {X}, covered by either atom, while the
+        // full body {X, Y} is covered by neither... except r(X,Y); so the rule
+        // is guarded too.  Drop the covering atom to get a separation:
+        let p = parse_program("r(X, Y), s(Y, Z) -> t(X, W).").unwrap();
+        assert!(!is_guarded(&p));
+        assert!(is_frontier_guarded(&p));
+    }
+
+    #[test]
+    fn guarded_programs_are_frontier_guarded_and_weakly_guarded() {
+        let p = parse_program("person(X) -> hasFather(X, Y). hasFather(X, Y) -> person(Y).")
+            .unwrap();
+        assert!(is_guarded(&p));
+        assert!(is_frontier_guarded(&p));
+        assert!(is_weakly_guarded(&p));
+        assert!(is_weakly_frontier_guarded(&p));
+    }
+
+    #[test]
+    fn weak_guardedness_ignores_variables_bound_at_unaffected_positions() {
+        // The join rule is not guarded, but every joined variable lives at an
+        // unaffected position (no existentials anywhere), so it is weakly
+        // guarded.
+        let p = parse_program("e(X, Y), e(Y, Z) -> e(X, Z).").unwrap();
+        assert!(!is_guarded(&p));
+        assert!(is_weakly_guarded(&p));
+        assert!(is_weakly_frontier_guarded(&p));
+    }
+
+    #[test]
+    fn weak_guardedness_still_requires_covering_harmful_joins() {
+        // The swap rule makes both q-positions affected, so in the join rule
+        // X, Y and Z are all harmful and no single atom covers them.
+        let p = parse_program(
+            "p(X) -> q(X, Y). q(X, Y) -> q(Y, X). q(X, Y), q(Y, Z) -> t(X, Z).",
+        )
+        .unwrap();
+        assert!(!is_weakly_guarded(&p));
+        // Adding a wide guard atom restores weak guardedness.
+        let p = parse_program(
+            "p(X) -> q(X, Y). q(X, Y) -> q(Y, X). g(X, Y, Z), q(X, Y), q(Y, Z) -> t(X, Z).",
+        )
+        .unwrap();
+        assert!(is_weakly_guarded(&p));
+    }
+
+    #[test]
+    fn example1_is_frontier_guarded_but_not_guarded() {
+        let p = parse_program(EXAMPLE1).unwrap();
+        assert!(!is_guarded(&p));
+        // The abnormality rule's frontier is just {X}, which hasFather(X, Y)
+        // covers, so the program is frontier-guarded even though it is not
+        // guarded (no atom covers X, Y and Z together).
+        assert!(is_frontier_guarded(&p));
+        // X only occurs at the unaffected position hasFather[1], so no weak
+        // (frontier) guard is needed at all.
+        assert!(is_weakly_frontier_guarded(&p));
+        assert!(!is_weakly_guarded(&p));
+    }
+
+    #[test]
+    fn empty_program_belongs_to_every_fragment() {
+        let p = Program::new();
+        assert!(is_full(&p));
+        assert!(is_linear(&p));
+        assert!(is_atomic_head(&p));
+        assert!(is_frontier_one(&p));
+        assert!(is_frontier_guarded(&p));
+        assert!(is_weakly_guarded(&p));
+        assert!(is_weakly_frontier_guarded(&p));
+    }
+}

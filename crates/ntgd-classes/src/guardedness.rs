@@ -1,0 +1,102 @@
+//! Guardedness (paper, Section 4.3).
+//!
+//! An NTGD is *guarded* if some positive body atom (the guard) contains every
+//! variable occurring in the body; a program is guarded if all of its rules
+//! are.
+
+use ntgd_core::{Ntgd, Program, Term};
+
+/// Returns `true` if the rule is guarded: some positive body atom contains all
+/// body variables.  Rules with an empty (or variable-free) body are trivially
+/// guarded.
+pub fn is_guarded_rule(rule: &Ntgd) -> bool {
+    let body_vars = rule.universal_variables();
+    if body_vars.is_empty() {
+        return true;
+    }
+    rule.body_positive().iter().any(|atom| {
+        body_vars
+            .iter()
+            .all(|v| atom.args().contains(&Term::Var(*v)))
+    })
+}
+
+/// Returns the guard atom of the rule (the first positive body atom containing
+/// all body variables), if one exists.
+pub fn guard_of(rule: &Ntgd) -> Option<ntgd_core::Atom> {
+    let body_vars = rule.universal_variables();
+    rule.body_positive()
+        .into_iter()
+        .find(|atom| {
+            body_vars
+                .iter()
+                .all(|v| atom.args().contains(&Term::Var(*v)))
+        })
+        .cloned()
+}
+
+/// Returns `true` if every rule of the program is guarded (`GTGD¬`
+/// membership).
+pub fn is_guarded(program: &Program) -> bool {
+    program.rules().iter().all(is_guarded_rule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntgd_parser::{parse_program, parse_rule};
+
+    #[test]
+    fn single_atom_bodies_are_guarded() {
+        let r = parse_rule("person(X) -> hasFather(X, Y).").unwrap();
+        assert!(is_guarded_rule(&r));
+        assert_eq!(guard_of(&r).unwrap().predicate().as_str(), "person");
+    }
+
+    #[test]
+    fn joins_without_a_covering_atom_are_not_guarded() {
+        let r = parse_rule("e(X, Y), e(Y, Z) -> e(X, Z).").unwrap();
+        assert!(!is_guarded_rule(&r));
+        assert!(guard_of(&r).is_none());
+    }
+
+    #[test]
+    fn a_wide_atom_can_guard_a_join() {
+        let r = parse_rule("g(X, Y, Z), e(X, Y), e(Y, Z) -> t(X, Z).").unwrap();
+        assert!(is_guarded_rule(&r));
+        assert_eq!(guard_of(&r).unwrap().predicate().as_str(), "g");
+    }
+
+    #[test]
+    fn guard_must_cover_variables_of_negative_literals_too() {
+        // W occurs only in the negated atom and in no positive atom other
+        // than the guard candidate e(X, Y): not guarded.
+        let r = parse_rule("e(X, Y), f(W), not s(X, W) -> t(X).").unwrap();
+        assert!(!is_guarded_rule(&r));
+        let r2 = parse_rule("g(X, Y, W), not s(X, W) -> t(X).").unwrap();
+        assert!(is_guarded_rule(&r2));
+    }
+
+    #[test]
+    fn variable_free_and_empty_bodies_are_trivially_guarded() {
+        let r = parse_rule("-> p(X).").unwrap();
+        assert!(is_guarded_rule(&r));
+        let r2 = parse_rule("not saturate -> saturate.").unwrap();
+        assert!(is_guarded_rule(&r2));
+    }
+
+    #[test]
+    fn program_level_check_requires_all_rules_guarded() {
+        let p = parse_program(
+            "person(X) -> hasFather(X, Y). hasFather(X, Y), person(Y) -> child(Y, X).",
+        )
+        .unwrap();
+        assert!(is_guarded(&p));
+        let p2 = parse_program(
+            "person(X) -> hasFather(X, Y). hasFather(X, Y), hasFather(X, Z), not sameAs(Y, Z) -> abnormal(X).",
+        )
+        .unwrap();
+        assert!(!is_guarded(&p2));
+        assert!(is_guarded(&Program::new()));
+    }
+}

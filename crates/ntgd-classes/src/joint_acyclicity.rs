@@ -1,0 +1,312 @@
+//! Joint acyclicity (Krötzsch & Rudolph; surveyed by Baget et al. [2]).
+//!
+//! Joint acyclicity refines weak-acyclicity by tracking, *per existentially
+//! quantified variable*, the set of positions its invented nulls may reach,
+//! instead of merging all value creation that happens at a position.
+//!
+//! For an existential variable `y` of rule `ρ_y`, the **movement set**
+//! `Mv(y)` is the smallest set of positions such that
+//!
+//! * every head position of `y` in `ρ_y` belongs to `Mv(y)`, and
+//! * for every rule `ρ` and every frontier variable `x` of `ρ`: if every
+//!   positive-body position of `x` belongs to `Mv(y)`, then every head
+//!   position of `x` belongs to `Mv(y)`.
+//!
+//! The **existential dependency graph** has the existential variables as
+//! vertices and an edge `y → y'` whenever the rule `ρ_{y'}` containing `y'`
+//! has a frontier variable `x` all of whose positive-body positions lie in
+//! `Mv(y)` — that is, a null invented for `y` may end up feeding the join
+//! that makes `ρ_{y'}` fire and invent a null for `y'`.  A program is
+//! *jointly acyclic* if this graph is acyclic.  Every weakly-acyclic program
+//! is jointly acyclic, and joint acyclicity still guarantees termination of
+//! the (Skolem) chase.
+//!
+//! As with the other class analyses, NTGDs are analysed via `Σ⁺`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ntgd_core::{Ntgd, Position, Program, Symbol, Term};
+
+/// Identifies an existentially quantified variable: which rule, and which
+/// variable symbol.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct ExistentialVariable {
+    /// Index of the rule in the program.
+    pub rule_index: usize,
+    /// The variable symbol.
+    pub variable: Symbol,
+}
+
+/// The joint-acyclicity analysis: movement sets and the existential
+/// dependency graph.
+#[derive(Clone, Debug, Default)]
+pub struct JointAcyclicityAnalysis {
+    movement: BTreeMap<ExistentialVariable, BTreeSet<Position>>,
+    edges: BTreeSet<(ExistentialVariable, ExistentialVariable)>,
+}
+
+fn body_positions_of(rule: &Ntgd, variable: Symbol) -> BTreeSet<Position> {
+    let mut out = BTreeSet::new();
+    for atom in rule.body_positive() {
+        for (i, term) in atom.args().iter().enumerate() {
+            if *term == Term::Var(variable) {
+                out.insert(Position::new(atom.predicate(), i + 1));
+            }
+        }
+    }
+    out
+}
+
+fn head_positions_of(rule: &Ntgd, variable: Symbol) -> BTreeSet<Position> {
+    let mut out = BTreeSet::new();
+    for atom in rule.head() {
+        for (i, term) in atom.args().iter().enumerate() {
+            if *term == Term::Var(variable) {
+                out.insert(Position::new(atom.predicate(), i + 1));
+            }
+        }
+    }
+    out
+}
+
+impl JointAcyclicityAnalysis {
+    /// Runs the analysis on the positive part of the program.
+    pub fn analyse(program: &Program) -> JointAcyclicityAnalysis {
+        let rules: Vec<Ntgd> = program
+            .rules()
+            .iter()
+            .map(ntgd_core::Ntgd::positive_part)
+            .collect();
+
+        // Frontier variables of every rule, with their body/head positions.
+        struct FrontierInfo {
+            rule_index: usize,
+            body_positions: BTreeSet<Position>,
+            head_positions: BTreeSet<Position>,
+        }
+        let mut frontier_infos: Vec<FrontierInfo> = Vec::new();
+        for (rule_index, rule) in rules.iter().enumerate() {
+            for variable in rule.frontier_variables() {
+                frontier_infos.push(FrontierInfo {
+                    rule_index,
+                    body_positions: body_positions_of(rule, variable),
+                    head_positions: head_positions_of(rule, variable),
+                });
+            }
+        }
+
+        // Movement set of every existential variable (least fixpoint).
+        let mut movement: BTreeMap<ExistentialVariable, BTreeSet<Position>> = BTreeMap::new();
+        for (rule_index, rule) in rules.iter().enumerate() {
+            for variable in rule.existential_variables() {
+                let key = ExistentialVariable {
+                    rule_index,
+                    variable,
+                };
+                movement.insert(key, head_positions_of(rule, variable));
+            }
+        }
+        for positions in movement.values_mut() {
+            loop {
+                let mut changed = false;
+                for info in &frontier_infos {
+                    if info.body_positions.is_empty()
+                        || !info.body_positions.iter().all(|p| positions.contains(p))
+                    {
+                        continue;
+                    }
+                    for p in &info.head_positions {
+                        if positions.insert(*p) {
+                            changed = true;
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+        }
+
+        // Existential dependency graph.
+        let mut edges: BTreeSet<(ExistentialVariable, ExistentialVariable)> = BTreeSet::new();
+        for (&source, positions) in &movement {
+            for info in &frontier_infos {
+                if info.body_positions.is_empty()
+                    || !info.body_positions.iter().all(|p| positions.contains(p))
+                {
+                    continue;
+                }
+                // A null for `source` can feed this frontier variable, so it
+                // contributes to every existential variable of that rule.
+                for target_variable in rules[info.rule_index].existential_variables() {
+                    edges.insert((
+                        source,
+                        ExistentialVariable {
+                            rule_index: info.rule_index,
+                            variable: target_variable,
+                        },
+                    ));
+                }
+            }
+        }
+
+        JointAcyclicityAnalysis { movement, edges }
+    }
+
+    /// The movement set of an existential variable, if the variable exists.
+    pub fn movement_set(&self, variable: ExistentialVariable) -> Option<&BTreeSet<Position>> {
+        self.movement.get(&variable)
+    }
+
+    /// The existential variables of the program.
+    pub fn existential_variables(&self) -> impl Iterator<Item = &ExistentialVariable> + '_ {
+        self.movement.keys()
+    }
+
+    /// The edges of the existential dependency graph.
+    pub fn edges(
+        &self,
+    ) -> impl Iterator<Item = &(ExistentialVariable, ExistentialVariable)> + '_ {
+        self.edges.iter()
+    }
+
+    /// Returns `true` if the existential dependency graph is acyclic.
+    pub fn is_acyclic(&self) -> bool {
+        // Depth-first search for a back edge.
+        let vertices: Vec<ExistentialVariable> = self.movement.keys().copied().collect();
+        let index_of: BTreeMap<ExistentialVariable, usize> = vertices
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (*v, i))
+            .collect();
+        let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); vertices.len()];
+        for (from, to) in &self.edges {
+            adjacency[index_of[from]].push(index_of[to]);
+        }
+        // 0 = unvisited, 1 = on stack, 2 = done.
+        let mut state = vec![0u8; vertices.len()];
+        for start in 0..vertices.len() {
+            if state[start] != 0 {
+                continue;
+            }
+            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+            state[start] = 1;
+            while let Some(&(v, child)) = stack.last() {
+                if child < adjacency[v].len() {
+                    stack.last_mut().expect("frame").1 += 1;
+                    let w = adjacency[v][child];
+                    match state[w] {
+                        0 => {
+                            state[w] = 1;
+                            stack.push((w, 0));
+                        }
+                        1 => return false,
+                        _ => {}
+                    }
+                } else {
+                    state[v] = 2;
+                    stack.pop();
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Returns `true` if the program is jointly acyclic.
+pub fn is_jointly_acyclic(program: &Program) -> bool {
+    JointAcyclicityAnalysis::analyse(program).is_acyclic()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weak_acyclicity::is_weakly_acyclic;
+    use ntgd_parser::parse_program;
+
+    #[test]
+    fn existential_free_programs_are_jointly_acyclic() {
+        let p = parse_program("e(X, Y), e(Y, Z) -> e(X, Z). p(X), not q(X) -> r(X).").unwrap();
+        assert!(is_jointly_acyclic(&p));
+    }
+
+    #[test]
+    fn weakly_acyclic_examples_are_jointly_acyclic() {
+        for text in [
+            "person(X) -> hasFather(X, Y).\
+             hasFather(X, Y) -> sameAs(Y, Y).\
+             hasFather(X, Y), hasFather(X, Z), not sameAs(Y, Z) -> abnormal(X).",
+            "p(X) -> q(X, Y). q(X, Y) -> r(Y).",
+            "node(X) -> edge(X, Y). edge(X, Y), edge(Y, Z) -> edge(X, Z).",
+            "emp(X) -> worksIn(X, D). worksIn(X, D) -> unit(D).",
+        ] {
+            let p = parse_program(text).unwrap();
+            assert!(is_weakly_acyclic(&p), "expected WA: {text}");
+            assert!(is_jointly_acyclic(&p), "expected JA: {text}");
+        }
+    }
+
+    #[test]
+    fn the_person_chain_is_not_jointly_acyclic() {
+        let p = parse_program("person(X) -> parent(X, Y), person(Y).").unwrap();
+        assert!(!is_weakly_acyclic(&p));
+        assert!(!is_jointly_acyclic(&p));
+    }
+
+    #[test]
+    fn feeding_a_generated_null_back_into_the_generator_is_cyclic() {
+        let p = parse_program("p(X) -> q(X, Y). q(X, Y) -> p(Y).").unwrap();
+        assert!(!is_weakly_acyclic(&p));
+        assert!(!is_jointly_acyclic(&p));
+    }
+
+    #[test]
+    fn joint_acyclicity_is_strictly_more_general_than_weak_acyclicity() {
+        // Nulls are created in q[2] and copied into r[2]/back into q[2] only
+        // for *different* existential variables that never feed each other's
+        // generating joins: the WA position graph sees a special-edge cycle,
+        // but the per-variable movement sets stay acyclic.
+        //
+        //   σ1: p(X) → ∃Y q(X, Y)
+        //   σ2: q(X, Y), s(X) → ∃Z q(Z, X)
+        //
+        // WA: q[2] → q[2] via σ2?  σ2's frontier is {X}; X occurs at q[1] and
+        // s[1] in the body and at q[2] in the head, so there is a regular
+        // edge q[1] → q[2] and a special edge q[1] → q[1] (and s[1] → …).
+        // Together with σ1's special edge p[1] → q[2] and regular p[1] → q[1]
+        // this yields the cycle q[1] → q[1] through a special edge: not WA.
+        //
+        // JA: Mv(Y of σ1) = {q[2]} (no frontier variable has all its body
+        // positions inside {q[2]}, because σ2's X also occurs at s[1]).
+        // Mv(Z of σ2) = {q[1]}.  σ2's X needs both q[1] *and* s[1], and σ1's
+        // X needs p[1]; no movement set covers either, so the existential
+        // dependency graph has no edges at all: jointly acyclic.
+        let p = parse_program("p(X) -> q(X, Y). q(X, Y), s(X) -> q(Z, X).").unwrap();
+        assert!(!is_weakly_acyclic(&p));
+        assert!(is_jointly_acyclic(&p));
+    }
+
+    #[test]
+    fn movement_sets_follow_propagation() {
+        let p = parse_program("p(X) -> q(X, Y). q(X, Y) -> r(Y).").unwrap();
+        let analysis = JointAcyclicityAnalysis::analyse(&p);
+        let y = *analysis
+            .existential_variables()
+            .next()
+            .expect("one existential variable");
+        let mv = analysis.movement_set(y).unwrap();
+        assert!(mv.contains(&Position::new(Symbol::intern("q"), 2)));
+        assert!(mv.contains(&Position::new(Symbol::intern("r"), 1)));
+        assert!(!mv.contains(&Position::new(Symbol::intern("q"), 1)));
+    }
+
+    #[test]
+    fn edges_point_at_every_existential_of_the_dependent_rule() {
+        // The null for Y reaches q[2]; rule 2 fires on q[2] alone and creates
+        // two existential variables, both of which therefore depend on Y.
+        let p = parse_program("p(X) -> q(X, Y). q(X, Y) -> t(Y, V, W).").unwrap();
+        let analysis = JointAcyclicityAnalysis::analyse(&p);
+        assert!(analysis.is_acyclic());
+        assert_eq!(analysis.edges().count(), 2);
+    }
+}

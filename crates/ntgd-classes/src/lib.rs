@@ -1,0 +1,58 @@
+//! # ntgd-classes
+//!
+//! Syntactic class analyzers for the three decidability paradigms studied in
+//! the paper (Section 4):
+//!
+//! * **weak-acyclicity** ([`weak_acyclicity`]) via the position graph of
+//!   Definition 3 — no cycle through a special edge;
+//! * **stickiness** ([`stickiness`]) via the inductive variable-marking
+//!   procedure illustrated in Figure 1;
+//! * **guardedness** ([`guardedness`]) — some positive body atom contains all
+//!   body variables.
+//!
+//! Each analyzer works on the appropriate transformation of a normal
+//! (disjunctive) program: weak-acyclicity looks at `Σ⁺` (resp. `Σ⁺,∧` for
+//! NDTGDs), stickiness at the program with negated atoms turned positive, and
+//! guardedness at the literal bodies.
+//!
+//! Beyond the paper's three paradigms, the crate also implements the wider
+//! landscape that the related work ([2, 4, 7] in the paper's bibliography)
+//! situates them in:
+//!
+//! * **acyclicity notions** — joint acyclicity ([`joint_acyclicity`]),
+//!   model-faithful acyclicity via the critical-instance Skolem chase
+//!   ([`mfa`]), and acyclicity of the graph of rule dependencies
+//!   ([`rule_dependencies`]);
+//! * **guardedness fragments** — linear, frontier-1, (weakly)
+//!   frontier-guarded and weakly guarded rules ([`fragments`]), built on the
+//!   affected-position analysis of [`affected`];
+//! * **stratification** of the negation ([`stratification`]);
+//! * a one-stop [`classify`] function returning the full [`ClassReport`]
+//!   ([`landscape`]).
+
+pub mod affected;
+pub mod fragments;
+pub mod guardedness;
+pub mod joint_acyclicity;
+pub mod landscape;
+pub mod mfa;
+pub mod position_graph;
+pub mod rule_dependencies;
+pub mod stickiness;
+pub mod stratification;
+pub mod weak_acyclicity;
+
+pub use affected::{affected_positions, AffectedPositions};
+pub use fragments::{
+    is_atomic_head, is_frontier_guarded, is_frontier_one, is_full, is_linear,
+    is_weakly_frontier_guarded, is_weakly_guarded,
+};
+pub use guardedness::{is_guarded, is_guarded_rule};
+pub use joint_acyclicity::{is_jointly_acyclic, ExistentialVariable, JointAcyclicityAnalysis};
+pub use landscape::{classify, ClassReport};
+pub use mfa::{is_model_faithful_acyclic, mfa_report, FunctionSymbol, MfaConfig, MfaReport};
+pub use position_graph::{EdgeKind, PositionGraph};
+pub use rule_dependencies::{is_agrd, rule_depends_on, RuleDependencyGraph};
+pub use stickiness::{is_sticky, marked_variables, MarkedVariable};
+pub use stratification::{is_stratified, DependencyGraph, DependencyKind};
+pub use weak_acyclicity::{is_weakly_acyclic, is_weakly_acyclic_disjunctive, WeakAcyclicityReport};

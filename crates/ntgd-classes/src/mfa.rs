@@ -1,0 +1,404 @@
+//! Model-faithful acyclicity (MFA), the semantic acyclicity notion surveyed
+//! by Baget et al. [2].
+//!
+//! MFA goes beyond the purely syntactic notions (weak and joint acyclicity,
+//! aGRD) by actually *running* the Skolem chase on the **critical instance**
+//! — the database containing `p(⋆, …, ⋆)` for every predicate `p` of the
+//! program, where `⋆` is a single fresh constant.  The program is MFA if this
+//! chase never produces a *cyclic* term, i.e. a Skolem term in which the same
+//! function symbol (the same existential variable of the same rule) occurs
+//! nested inside itself.  If no cyclic term appears the chase is guaranteed
+//! to terminate, because terms of nesting depth beyond the number of function
+//! symbols necessarily repeat one; MFA therefore guarantees termination of
+//! the Skolem chase on **every** database.
+//!
+//! The core `Term` type of this workspace has no function symbols, so the
+//! checker keeps its own little term arena: every invented value records the
+//! function symbol (rule index, existential variable) that created it and the
+//! values it was created from, which is exactly the information needed to
+//! detect nesting.  As everywhere else in the crate, NTGDs are analysed via
+//! their positive part `Σ⁺`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ntgd_core::{Ntgd, Program, Symbol, Term};
+
+/// A function symbol of the Skolemisation: one per existential variable of
+/// each rule.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct FunctionSymbol {
+    /// Index of the rule in the program.
+    pub rule_index: usize,
+    /// The existential variable the symbol replaces.
+    pub variable: Symbol,
+}
+
+/// Value identifier in the checker's term arena.
+type ValueId = usize;
+
+/// A value of the critical-instance chase: either the critical constant `⋆`,
+/// a database constant mentioned in the rules, or a Skolem term.
+#[derive(Clone, Debug)]
+enum Value {
+    /// The critical constant, or a constant occurring in the program.
+    Constant,
+    /// A Skolem term `f(args…)`.
+    Functional {
+        /// The function symbols occurring in this term or (transitively) in
+        /// its arguments — the information needed for cyclicity detection.
+        symbols_inside: BTreeSet<FunctionSymbol>,
+    },
+}
+
+/// Internal ground atom over arena values.
+type ValueAtom = (Symbol, Vec<ValueId>);
+
+/// The outcome of the MFA check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MfaReport {
+    /// `true` if the program is model-faithfully acyclic.
+    pub acyclic: bool,
+    /// The function symbol that was nested inside itself, if the check
+    /// failed.
+    pub cyclic_symbol: Option<FunctionSymbol>,
+    /// Number of atoms derived by the critical-instance chase (including the
+    /// critical instance itself).
+    pub atoms_derived: usize,
+    /// `true` if the chase was cut off by the step limit before reaching a
+    /// fixpoint or a cyclic term (the result is then inconclusive and
+    /// reported as non-acyclic).
+    pub truncated: bool,
+}
+
+/// Configuration of the MFA check.
+#[derive(Clone, Copy, Debug)]
+pub struct MfaConfig {
+    /// Maximum number of chase rounds before giving up (safety valve; the
+    /// check itself always terminates, but the intermediate instance can be
+    /// large for wide schemas).
+    pub max_rounds: usize,
+    /// Maximum number of derived atoms before giving up.
+    pub max_atoms: usize,
+}
+
+impl Default for MfaConfig {
+    fn default() -> Self {
+        MfaConfig {
+            max_rounds: 64,
+            max_atoms: 200_000,
+        }
+    }
+}
+
+struct CriticalChase {
+    values: Vec<Value>,
+    atoms: BTreeSet<ValueAtom>,
+    /// Memoisation of Skolem terms: (function symbol, frontier binding) →
+    /// value, so repeated triggers reuse the same term (Skolem semantics).
+    skolem_cache: BTreeMap<(FunctionSymbol, Vec<ValueId>), ValueId>,
+    constant_ids: BTreeMap<Symbol, ValueId>,
+}
+
+impl CriticalChase {
+    fn new() -> CriticalChase {
+        CriticalChase {
+            values: Vec::new(),
+            atoms: BTreeSet::new(),
+            skolem_cache: BTreeMap::new(),
+            constant_ids: BTreeMap::new(),
+        }
+    }
+
+    fn constant(&mut self, symbol: Symbol) -> ValueId {
+        if let Some(id) = self.constant_ids.get(&symbol) {
+            return *id;
+        }
+        let id = self.values.len();
+        self.values.push(Value::Constant);
+        self.constant_ids.insert(symbol, id);
+        id
+    }
+
+    fn symbols_inside(&self, id: ValueId) -> BTreeSet<FunctionSymbol> {
+        match &self.values[id] {
+            Value::Constant => BTreeSet::new(),
+            Value::Functional { symbols_inside } => symbols_inside.clone(),
+        }
+    }
+
+    /// Returns the Skolem term for the given function symbol and frontier
+    /// binding, together with a flag indicating whether the term is cyclic.
+    fn skolem(&mut self, symbol: FunctionSymbol, frontier: Vec<ValueId>) -> (ValueId, bool) {
+        if let Some(id) = self.skolem_cache.get(&(symbol, frontier.clone())) {
+            return (*id, false);
+        }
+        let mut inside: BTreeSet<FunctionSymbol> = BTreeSet::new();
+        for arg in &frontier {
+            inside.extend(self.symbols_inside(*arg));
+        }
+        let cyclic = inside.contains(&symbol);
+        inside.insert(symbol);
+        let id = self.values.len();
+        self.values.push(Value::Functional {
+            symbols_inside: inside,
+        });
+        self.skolem_cache.insert((symbol, frontier), id);
+        (id, cyclic)
+    }
+
+    /// All homomorphisms from the rule's positive body into the current atom
+    /// set, as bindings of the rule's variables to value ids.
+    fn body_matches(&self, rule: &Ntgd) -> Vec<BTreeMap<Symbol, ValueId>> {
+        let mut results = Vec::new();
+        let body: Vec<&ntgd_core::Atom> = rule.body_positive();
+        let mut binding: BTreeMap<Symbol, ValueId> = BTreeMap::new();
+        self.match_from(&body, 0, &mut binding, &mut results);
+        results
+    }
+
+    fn match_from(
+        &self,
+        body: &[&ntgd_core::Atom],
+        index: usize,
+        binding: &mut BTreeMap<Symbol, ValueId>,
+        results: &mut Vec<BTreeMap<Symbol, ValueId>>,
+    ) {
+        if index == body.len() {
+            results.push(binding.clone());
+            return;
+        }
+        let atom = body[index];
+        for (pred, args) in &self.atoms {
+            if *pred != atom.predicate() || args.len() != atom.arity() {
+                continue;
+            }
+            let mut added: Vec<Symbol> = Vec::new();
+            let mut ok = true;
+            for (term, value) in atom.args().iter().zip(args) {
+                match term {
+                    Term::Const(c) => {
+                        if self.constant_ids.get(c) != Some(value) {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    Term::Null(_) => {
+                        ok = false;
+                        break;
+                    }
+                    Term::Var(v) => match binding.get(v) {
+                        Some(bound) if bound != value => {
+                            ok = false;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => {
+                            binding.insert(*v, *value);
+                            added.push(*v);
+                        }
+                    },
+                }
+            }
+            if ok {
+                self.match_from(body, index + 1, binding, results);
+            }
+            for v in added {
+                binding.remove(&v);
+            }
+        }
+    }
+}
+
+/// Runs the MFA check with the given configuration.
+pub fn mfa_report_with(program: &Program, config: &MfaConfig) -> MfaReport {
+    let rules: Vec<Ntgd> = program
+        .rules()
+        .iter()
+        .map(ntgd_core::Ntgd::positive_part)
+        .collect();
+    let mut chase = CriticalChase::new();
+    let star = chase.constant(Symbol::intern("⋆"));
+
+    // Critical instance: p(⋆, …, ⋆) for every predicate, plus the constants
+    // mentioned in the rules (each in every position, to stay sound for
+    // programs with constants).
+    let schema = match program.schema() {
+        Ok(schema) => schema,
+        Err(_) => {
+            return MfaReport {
+                acyclic: true,
+                cyclic_symbol: None,
+                atoms_derived: 0,
+                truncated: false,
+            }
+        }
+    };
+    let mut seed_values = vec![star];
+    for c in program.constants() {
+        if let Term::Const(symbol) = c {
+            seed_values.push(chase.constant(symbol));
+        }
+    }
+    for (predicate, arity) in schema.predicates() {
+        for value in &seed_values {
+            chase.atoms.insert((predicate, vec![*value; arity]));
+        }
+    }
+
+    let mut truncated = false;
+    'chase: for _round in 0..config.max_rounds {
+        let mut new_atoms: Vec<ValueAtom> = Vec::new();
+        for (rule_index, rule) in rules.iter().enumerate() {
+            let existential = rule.existential_variables();
+            let frontier: Vec<Symbol> = rule.frontier_variables().into_iter().collect();
+            for binding in chase.body_matches(rule) {
+                // Skolem terms for this trigger's existential variables.
+                let frontier_values: Vec<ValueId> = frontier
+                    .iter()
+                    .map(|v| *binding.get(v).expect("safe rule: frontier bound"))
+                    .collect();
+                let mut extended = binding.clone();
+                for variable in &existential {
+                    let symbol = FunctionSymbol {
+                        rule_index,
+                        variable: *variable,
+                    };
+                    let (value, cyclic) = chase.skolem(symbol, frontier_values.clone());
+                    if cyclic {
+                        return MfaReport {
+                            acyclic: false,
+                            cyclic_symbol: Some(symbol),
+                            atoms_derived: chase.atoms.len(),
+                            truncated: false,
+                        };
+                    }
+                    extended.insert(*variable, value);
+                }
+                for atom in rule.head() {
+                    let args: Vec<ValueId> = atom
+                        .args()
+                        .iter()
+                        .map(|t| match t {
+                            Term::Const(c) => chase.constant(*c),
+                            Term::Var(v) => *extended.get(v).expect("head variable bound"),
+                            Term::Null(_) => unreachable!("rules contain no nulls"),
+                        })
+                        .collect();
+                    let value_atom = (atom.predicate(), args);
+                    if !chase.atoms.contains(&value_atom) {
+                        new_atoms.push(value_atom);
+                    }
+                }
+            }
+        }
+        if new_atoms.is_empty() {
+            break;
+        }
+        for atom in new_atoms {
+            chase.atoms.insert(atom);
+        }
+        if chase.atoms.len() > config.max_atoms {
+            truncated = true;
+            break 'chase;
+        }
+    }
+
+    MfaReport {
+        acyclic: !truncated,
+        cyclic_symbol: None,
+        atoms_derived: chase.atoms.len(),
+        truncated,
+    }
+}
+
+/// Runs the MFA check with the default configuration.
+pub fn mfa_report(program: &Program) -> MfaReport {
+    mfa_report_with(program, &MfaConfig::default())
+}
+
+/// Returns `true` if the program is model-faithfully acyclic.
+pub fn is_model_faithful_acyclic(program: &Program) -> bool {
+    mfa_report(program).acyclic
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::joint_acyclicity::is_jointly_acyclic;
+    use crate::weak_acyclicity::is_weakly_acyclic;
+    use ntgd_parser::parse_program;
+
+    #[test]
+    fn existential_free_programs_are_mfa() {
+        let p = parse_program("e(X, Y), e(Y, Z) -> e(X, Z). p(X), not q(X) -> r(X).").unwrap();
+        let report = mfa_report(&p);
+        assert!(report.acyclic);
+        assert!(report.cyclic_symbol.is_none());
+        assert!(!report.truncated);
+    }
+
+    #[test]
+    fn weakly_acyclic_programs_are_mfa() {
+        for text in [
+            "person(X) -> hasFather(X, Y).\
+             hasFather(X, Y) -> sameAs(Y, Y).\
+             hasFather(X, Y), hasFather(X, Z), not sameAs(Y, Z) -> abnormal(X).",
+            "p(X) -> q(X, Y). q(X, Y) -> r(Y).",
+            "emp(X) -> worksIn(X, D). worksIn(X, D) -> unit(D).",
+        ] {
+            let p = parse_program(text).unwrap();
+            assert!(is_weakly_acyclic(&p));
+            assert!(is_model_faithful_acyclic(&p), "expected MFA: {text}");
+        }
+    }
+
+    #[test]
+    fn the_person_chain_is_not_mfa() {
+        let p = parse_program("person(X) -> parent(X, Y), person(Y).").unwrap();
+        let report = mfa_report(&p);
+        assert!(!report.acyclic);
+        let symbol = report.cyclic_symbol.expect("cyclic witness");
+        assert_eq!(symbol.rule_index, 0);
+    }
+
+    #[test]
+    fn a_non_weakly_acyclic_program_whose_chase_terminates_is_mfa() {
+        //   σ1: p(X) → ∃Y q(X, Y)
+        //   σ2: q(X, Y), q(Y, X) → p(Y)
+        //
+        // The position graph has a special-edge cycle (p[1] → q[2] → p[1]),
+        // yet the Skolem chase on the critical instance stops: q(⋆, f(⋆)) is
+        // derived but the symmetric q(f(⋆), ⋆) never is, so σ2 cannot fire on
+        // a functional term.  Both joint acyclicity and MFA classify the
+        // program as terminating.
+        let p = parse_program("p(X) -> q(X, Y). q(X, Y), q(Y, X) -> p(Y).").unwrap();
+        assert!(!is_weakly_acyclic(&p));
+        assert!(is_jointly_acyclic(&p));
+        assert!(is_model_faithful_acyclic(&p));
+    }
+
+    #[test]
+    fn mutual_generation_is_caught_by_the_critical_instance() {
+        let p = parse_program("p(X) -> q(X, Y). q(X, Y) -> p(Y).").unwrap();
+        assert!(!is_model_faithful_acyclic(&p));
+    }
+
+    #[test]
+    fn constants_in_rules_participate_in_the_critical_instance() {
+        // The existential value is only created for the constant a; the
+        // recursion cannot restart from it, so the program is MFA even though
+        // the critical instance must include a.
+        let p = parse_program("p(a) -> q(a, Y). q(X, Y) -> r(X).").unwrap();
+        assert!(is_model_faithful_acyclic(&p));
+    }
+
+    #[test]
+    fn report_counts_derived_atoms() {
+        let p = parse_program("p(X) -> q(X, Y). q(X, Y) -> r(Y).").unwrap();
+        let report = mfa_report(&p);
+        assert!(report.acyclic);
+        // Critical instance has p(⋆), q(⋆,⋆), r(⋆); the chase adds q(⋆, f(⋆)),
+        // r(f(⋆)) and r(⋆) (already there).
+        assert!(report.atoms_derived >= 5);
+    }
+}

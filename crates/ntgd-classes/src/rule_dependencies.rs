@@ -1,0 +1,335 @@
+//! The graph of rule dependencies (GRD) and acyclicity of that graph (aGRD).
+//!
+//! The GRD is the classical tool of Baget et al. [2, 4] for analysing when
+//! the application of one rule may *trigger* another: rule `σ₂` depends on
+//! rule `σ₁` when an atom produced by applying `σ₁` can take part in a new
+//! application of `σ₂`.  If the GRD is acyclic (aGRD) then every chase
+//! sequence terminates, because the rules can only fire along finitely many
+//! dependency chains.
+//!
+//! The dependency test implemented here is the standard unification-based
+//! over-approximation: `σ₂` depends on `σ₁` if some head atom of `σ₁` unifies
+//! with some positive body atom of `σ₂`, where
+//!
+//! * existentially quantified variables of `σ₁` stand for *fresh labelled
+//!   nulls* — they can never be unified with a constant of `σ₂`, nor forced
+//!   equal to a *different* existential variable of `σ₁`;
+//! * universally quantified variables of either rule unify freely.
+//!
+//! This test is sound (every real trigger chain induces an edge) but not
+//! complete (it may add edges for rule pairs that can never actually interact
+//! once whole-body satisfaction is taken into account), which is the usual
+//! trade-off for a polynomial-time check.  As everywhere else in this crate,
+//! NTGDs are analysed through their positive part `Σ⁺`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ntgd_core::{Atom, Ntgd, Program, Symbol, Term};
+
+/// A node of the unification graph used by [`head_body_unify`]: either a
+/// concrete value class or a variable of one of the two rules.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+enum UnifTerm {
+    /// A constant (shared alphabet).
+    Const(Symbol),
+    /// An existential variable of the head rule: a fresh labelled null.
+    FreshNull(Symbol),
+    /// A universally quantified variable of the head rule.
+    HeadVar(Symbol),
+    /// A variable of the body rule.
+    BodyVar(Symbol),
+}
+
+/// Union-find over [`UnifTerm`] classes with incompatibility detection.
+#[derive(Default)]
+struct Unifier {
+    parent: BTreeMap<UnifTerm, UnifTerm>,
+}
+
+impl Unifier {
+    fn find(&mut self, t: UnifTerm) -> UnifTerm {
+        let p = *self.parent.entry(t).or_insert(t);
+        if p == t {
+            return t;
+        }
+        let root = self.find(p);
+        self.parent.insert(t, root);
+        root
+    }
+
+    /// Merges the classes of `a` and `b`; returns `false` when the merge is
+    /// impossible (two distinct constants, a constant with a fresh null, or
+    /// two distinct fresh nulls).
+    fn union(&mut self, a: UnifTerm, b: UnifTerm) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return true;
+        }
+        let rank = |t: &UnifTerm| match t {
+            UnifTerm::Const(_) => 3,
+            UnifTerm::FreshNull(_) => 2,
+            UnifTerm::HeadVar(_) | UnifTerm::BodyVar(_) => 1,
+        };
+        let (hi, lo) = if rank(&ra) >= rank(&rb) {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        // Two "rigid" terms (constants or fresh nulls) can never be merged
+        // unless they are identical.
+        if rank(&lo) >= 2 {
+            return false;
+        }
+        self.parent.insert(lo, hi);
+        true
+    }
+}
+
+fn head_term(t: &Term, existential: &BTreeSet<Symbol>) -> UnifTerm {
+    match t {
+        Term::Const(c) => UnifTerm::Const(*c),
+        Term::Null(_) => UnifTerm::Const(Symbol::intern(&format!("{t}"))),
+        Term::Var(v) if existential.contains(v) => UnifTerm::FreshNull(*v),
+        Term::Var(v) => UnifTerm::HeadVar(*v),
+    }
+}
+
+fn body_term(t: &Term) -> UnifTerm {
+    match t {
+        Term::Const(c) => UnifTerm::Const(*c),
+        Term::Null(_) => UnifTerm::Const(Symbol::intern(&format!("{t}"))),
+        Term::Var(v) => UnifTerm::BodyVar(*v),
+    }
+}
+
+/// Returns `true` if `head_atom` (an atom produced by `producer`) unifies with
+/// `body_atom` (a positive body atom of the candidate dependent rule) under
+/// the null-awareness constraints described in the module documentation.
+fn head_body_unify(head_atom: &Atom, producer: &Ntgd, body_atom: &Atom) -> bool {
+    if head_atom.predicate() != body_atom.predicate()
+        || head_atom.arity() != body_atom.arity()
+    {
+        return false;
+    }
+    let existential = producer.existential_variables();
+    let mut unifier = Unifier::default();
+    head_atom
+        .args()
+        .iter()
+        .zip(body_atom.args())
+        .all(|(h, b)| unifier.union(head_term(h, &existential), body_term(b)))
+}
+
+/// Returns `true` if `dependent` depends on `producer`: some head atom of the
+/// producer unifies with some positive body atom of the dependent rule.
+pub fn rule_depends_on(dependent: &Ntgd, producer: &Ntgd) -> bool {
+    producer.head().iter().any(|head_atom| {
+        dependent
+            .body_positive()
+            .iter()
+            .any(|body_atom| head_body_unify(head_atom, producer, body_atom))
+    })
+}
+
+/// The graph of rule dependencies of a program: vertex `i` is the `i`-th rule
+/// and an edge `i → j` states that rule `j` depends on rule `i`.
+#[derive(Clone, Debug, Default)]
+pub struct RuleDependencyGraph {
+    rule_count: usize,
+    edges: BTreeSet<(usize, usize)>,
+}
+
+impl RuleDependencyGraph {
+    /// Builds the GRD of the program's positive part.
+    pub fn build(program: &Program) -> RuleDependencyGraph {
+        let rules: Vec<Ntgd> = program
+            .rules()
+            .iter()
+            .map(ntgd_core::Ntgd::positive_part)
+            .collect();
+        let mut edges = BTreeSet::new();
+        for (i, producer) in rules.iter().enumerate() {
+            for (j, dependent) in rules.iter().enumerate() {
+                if rule_depends_on(dependent, producer) {
+                    edges.insert((i, j));
+                }
+            }
+        }
+        RuleDependencyGraph {
+            rule_count: rules.len(),
+            edges,
+        }
+    }
+
+    /// Number of rules (vertices).
+    pub fn rule_count(&self) -> usize {
+        self.rule_count
+    }
+
+    /// The edges `producer → dependent`.
+    pub fn edges(&self) -> impl Iterator<Item = &(usize, usize)> + '_ {
+        self.edges.iter()
+    }
+
+    /// Returns `true` if rule `dependent` depends on rule `producer`.
+    pub fn has_edge(&self, producer: usize, dependent: usize) -> bool {
+        self.edges.contains(&(producer, dependent))
+    }
+
+    /// Returns `true` if the graph contains a directed cycle.
+    pub fn has_cycle(&self) -> bool {
+        // Kahn's algorithm: the graph is acyclic iff all vertices can be
+        // removed in topological order.
+        let mut indegree = vec![0usize; self.rule_count];
+        for (_, to) in &self.edges {
+            indegree[*to] += 1;
+        }
+        let mut queue: Vec<usize> = (0..self.rule_count)
+            .filter(|v| indegree[*v] == 0)
+            .collect();
+        let mut removed = 0usize;
+        while let Some(v) = queue.pop() {
+            removed += 1;
+            for (from, to) in &self.edges {
+                if *from == v {
+                    indegree[*to] -= 1;
+                    if indegree[*to] == 0 {
+                        queue.push(*to);
+                    }
+                }
+            }
+        }
+        removed != self.rule_count
+    }
+
+    /// Returns the rules reachable (transitively) from the given rule,
+    /// including the rule itself.
+    pub fn reachable_from(&self, rule: usize) -> BTreeSet<usize> {
+        let mut seen = BTreeSet::from([rule]);
+        let mut frontier = vec![rule];
+        while let Some(v) = frontier.pop() {
+            for (from, to) in &self.edges {
+                if *from == v && seen.insert(*to) {
+                    frontier.push(*to);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Returns `true` if the program's graph of rule dependencies is acyclic
+/// (the aGRD condition of [2, 4], which guarantees chase termination).
+pub fn is_agrd(program: &Program) -> bool {
+    !RuleDependencyGraph::build(program).has_cycle()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntgd_parser::{parse_program, parse_rule};
+
+    #[test]
+    fn a_rule_feeding_another_produces_an_edge() {
+        let p = parse_program("p(X) -> q(X, Y). q(X, Y) -> r(Y).").unwrap();
+        let g = RuleDependencyGraph::build(&p);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert!(!g.has_cycle());
+        assert!(is_agrd(&p));
+    }
+
+    #[test]
+    fn predicate_mismatch_means_no_dependency() {
+        let producer = parse_rule("p(X) -> q(X).").unwrap();
+        let dependent = parse_rule("r(X) -> s(X).").unwrap();
+        assert!(!rule_depends_on(&dependent, &producer));
+    }
+
+    #[test]
+    fn existential_output_cannot_unify_with_a_constant() {
+        // The produced atom is q(X, fresh-null); the consumer requires the
+        // second argument to be the constant a, which a null can never equal.
+        let producer = parse_rule("p(X) -> q(X, Y).").unwrap();
+        let dependent = parse_rule("q(X, a) -> r(X).").unwrap();
+        assert!(!rule_depends_on(&dependent, &producer));
+        // With a universally quantified second argument the dependency holds.
+        let dependent = parse_rule("q(X, Z) -> r(X).").unwrap();
+        assert!(rule_depends_on(&dependent, &producer));
+    }
+
+    #[test]
+    fn two_distinct_existentials_cannot_be_forced_equal() {
+        // The producer invents two distinct nulls; the consumer requires both
+        // arguments to be the same value.
+        let producer = parse_rule("p(X) -> q(Y, Z).").unwrap();
+        let dependent = parse_rule("q(W, W) -> r(W).").unwrap();
+        assert!(!rule_depends_on(&dependent, &producer));
+        // A single existential repeated does satisfy the join.
+        let producer = parse_rule("p(X) -> q(Y, Y).").unwrap();
+        assert!(rule_depends_on(&dependent, &producer));
+    }
+
+    #[test]
+    fn frontier_variables_unify_with_constants() {
+        let producer = parse_rule("p(X) -> q(X).").unwrap();
+        let dependent = parse_rule("q(a) -> r(a).").unwrap();
+        assert!(rule_depends_on(&dependent, &producer));
+    }
+
+    #[test]
+    fn self_recursive_rules_form_a_cycle() {
+        let p = parse_program("e(X, Y), e(Y, Z) -> e(X, Z).").unwrap();
+        let g = RuleDependencyGraph::build(&p);
+        assert!(g.has_edge(0, 0));
+        assert!(g.has_cycle());
+        assert!(!is_agrd(&p));
+    }
+
+    #[test]
+    fn the_person_chain_is_cyclic_but_a_linear_pipeline_is_not() {
+        assert!(!is_agrd(
+            &parse_program("person(X) -> parent(X, Y), person(Y).").unwrap()
+        ));
+        assert!(is_agrd(
+            &parse_program("a(X) -> b(X, Y). b(X, Y) -> c(Y). c(X) -> d(X).").unwrap()
+        ));
+    }
+
+    #[test]
+    fn negative_literals_do_not_create_dependencies() {
+        // The only occurrence of q in the second rule's body is negated, so
+        // the positive-part analysis sees no dependency.
+        let p = parse_program("p(X) -> q(X). r(X), not q(X) -> s(X).").unwrap();
+        let g = RuleDependencyGraph::build(&p);
+        assert!(!g.has_edge(0, 1));
+        assert!(is_agrd(&p));
+    }
+
+    #[test]
+    fn reachability_follows_dependency_chains() {
+        let p =
+            parse_program("a(X) -> b(X). b(X) -> c(X). c(X) -> d(X). e(X) -> f(X).").unwrap();
+        let g = RuleDependencyGraph::build(&p);
+        assert_eq!(g.reachable_from(0), BTreeSet::from([0, 1, 2]));
+        assert_eq!(g.reachable_from(3), BTreeSet::from([3]));
+    }
+
+    #[test]
+    fn example1_grd_is_acyclic() {
+        // hasFather atoms trigger the sameAs and abnormality rules, but no
+        // rule produces person atoms and the negated sameAs occurrence does
+        // not count, so the GRD has no cycle.
+        let p = parse_program(
+            "person(X) -> hasFather(X, Y).\
+             hasFather(X, Y) -> sameAs(Y, Y).\
+             hasFather(X, Y), hasFather(X, Z), not sameAs(Y, Z) -> abnormal(X).",
+        )
+        .unwrap();
+        let g = RuleDependencyGraph::build(&p);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_cycle());
+    }
+}

@@ -1,0 +1,216 @@
+//! Stickiness (paper, Section 4.2 and Figure 1).
+//!
+//! Stickiness is defined through an inductive *marking* of body-variable
+//! occurrences:
+//!
+//! * **base step** — for every rule `σ` and every variable `V` occurring in
+//!   the body of `σ`, if there is a head atom of `σ` in which `V` does not
+//!   occur, then every occurrence of `V` in the body of `σ` is marked;
+//! * **inductive step** — for every rule `σ` and every variable `V` occurring
+//!   in the head of `σ` at some position `π`, if a marked variable occurs at
+//!   position `π` in the body of some rule `σ'`, then every occurrence of `V`
+//!   in the body of `σ` is marked.
+//!
+//! A program is *sticky* if no rule has a marked variable occurring more than
+//! once in its body.  For NTGDs, negated atoms are first turned into positive
+//! atoms (Section 4.2, following [1]).
+
+use std::collections::BTreeSet;
+
+use ntgd_core::{Literal, Ntgd, Position, Program, Symbol, Term};
+
+/// A marked body variable: which rule, and which variable.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct MarkedVariable {
+    /// Index of the rule in the program.
+    pub rule_index: usize,
+    /// The marked variable.
+    pub variable: Symbol,
+}
+
+/// Turns every negated body atom into a positive one (the transformation used
+/// to extend stickiness to NTGDs).
+fn positivised(program: &Program) -> Vec<Ntgd> {
+    program
+        .rules()
+        .iter()
+        .map(|r| {
+            let body: Vec<Literal> = r
+                .body()
+                .iter()
+                .map(|l| Literal::positive(l.atom().clone()))
+                .collect();
+            Ntgd::new(body, r.head().to_vec()).expect("positivised rule remains safe")
+        })
+        .collect()
+}
+
+/// Positions at which a variable occurs in the body of a rule.
+fn body_positions_of(rule: &Ntgd, variable: Symbol) -> Vec<Position> {
+    let mut out = Vec::new();
+    for lit in rule.body() {
+        let atom = lit.atom();
+        for (i, t) in atom.args().iter().enumerate() {
+            if *t == Term::Var(variable) {
+                out.push(Position::new(atom.predicate(), i + 1));
+            }
+        }
+    }
+    out
+}
+
+/// Runs the marking procedure and returns the set of marked body variables
+/// (per rule).
+pub fn marked_variables(program: &Program) -> BTreeSet<MarkedVariable> {
+    let rules = positivised(program);
+    let mut marked: BTreeSet<MarkedVariable> = BTreeSet::new();
+    // Base step.
+    for (idx, rule) in rules.iter().enumerate() {
+        for v in rule.universal_variables() {
+            let in_every_head_atom = rule
+                .head()
+                .iter()
+                .all(|a| a.args().contains(&Term::Var(v)));
+            if !in_every_head_atom {
+                marked.insert(MarkedVariable {
+                    rule_index: idx,
+                    variable: v,
+                });
+            }
+        }
+    }
+    // Inductive propagation (head to body) until fixpoint.
+    loop {
+        let mut changed = false;
+        // Positions at which some marked variable occurs in some body.
+        let marked_positions: BTreeSet<Position> = marked
+            .iter()
+            .flat_map(|m| body_positions_of(&rules[m.rule_index], m.variable))
+            .collect();
+        for (idx, rule) in rules.iter().enumerate() {
+            for v in rule.universal_variables() {
+                if marked.contains(&MarkedVariable {
+                    rule_index: idx,
+                    variable: v,
+                }) {
+                    continue;
+                }
+                // Does v occur in the head of `rule` at a marked position?
+                let occurs_at_marked_position = rule.head().iter().any(|a| {
+                    a.args().iter().enumerate().any(|(i, t)| {
+                        *t == Term::Var(v)
+                            && marked_positions.contains(&Position::new(a.predicate(), i + 1))
+                    })
+                });
+                if occurs_at_marked_position {
+                    marked.insert(MarkedVariable {
+                        rule_index: idx,
+                        variable: v,
+                    });
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return marked;
+        }
+    }
+}
+
+/// Returns `true` if the program is sticky: no rule contains two occurrences
+/// of a marked variable in its body.
+pub fn is_sticky(program: &Program) -> bool {
+    let rules = positivised(program);
+    let marked = marked_variables(program);
+    for m in &marked {
+        let occurrences = body_positions_of(&rules[m.rule_index], m.variable).len();
+        if occurrences > 1 {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntgd_parser::parse_program;
+
+    /// The sticky rule set of Figure 1(a), first listing.
+    fn figure1_sticky() -> Program {
+        parse_program(
+            "t(X, Y, Z) -> s(Y, W).\
+             r(X, Y), p(Y, Z) -> t(X, Y, W).",
+        )
+        .unwrap()
+    }
+
+    /// The non-sticky rule set of Figure 1(a), second listing.
+    fn figure1_non_sticky() -> Program {
+        parse_program(
+            "t(X, Y, Z) -> s(X, W).\
+             r(X, Y), p(Y, Z) -> t(X, Y, W).",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure1a_first_set_is_sticky() {
+        assert!(is_sticky(&figure1_sticky()));
+    }
+
+    #[test]
+    fn figure1a_second_set_is_not_sticky() {
+        // The join variable Y of the second rule becomes marked (it is
+        // propagated into t[2], and t[2]'s variable Y does not reach the head
+        // of the first rule), and Y occurs twice in the body.
+        assert!(!is_sticky(&figure1_non_sticky()));
+    }
+
+    #[test]
+    fn base_marking_marks_variables_missing_from_some_head_atom() {
+        let p = parse_program("t(X, Y, Z) -> s(Y, W).").unwrap();
+        let marked = marked_variables(&p);
+        let vars: BTreeSet<&str> = marked.iter().map(|m| m.variable.as_str()).collect();
+        assert!(vars.contains("X"));
+        assert!(vars.contains("Z"));
+        assert!(!vars.contains("Y"));
+    }
+
+    #[test]
+    fn cartesian_product_rules_are_sticky() {
+        // The paper notes sticky sets can express cartesian products.
+        let p = parse_program("p(X), s(Y) -> t(X, Y).").unwrap();
+        assert!(is_sticky(&p));
+        let marked = marked_variables(&p);
+        assert!(marked.is_empty());
+    }
+
+    #[test]
+    fn non_sticky_join_detected() {
+        // Classic non-sticky example: the join variable disappears from the
+        // head.
+        let p = parse_program("e(X, Y), e(Y, Z) -> e(X, Z).").unwrap();
+        assert!(!is_sticky(&p));
+    }
+
+    #[test]
+    fn negated_atoms_participate_in_the_marking() {
+        // Same shape as the previous test but with one literal negated; the
+        // definition converts it to a positive atom first.
+        let p = parse_program("e(X, Y), not e(Y, Z), f(Y, Z) -> e(X, Z).").unwrap();
+        assert!(!is_sticky(&p));
+    }
+
+    #[test]
+    fn single_occurrence_of_marked_variables_is_fine() {
+        let p = parse_program("p(X, Y) -> q(X).").unwrap();
+        // Y is marked (missing from the head) but occurs only once.
+        assert!(is_sticky(&p));
+    }
+
+    #[test]
+    fn empty_program_is_sticky() {
+        assert!(is_sticky(&Program::new()));
+    }
+}

@@ -1,0 +1,226 @@
+//! Stratified negation.
+//!
+//! The paper's related work ([2, 25]) studies acyclicity and *stratification*
+//! conditions under which NTGDs admit unique or finitely many stable models.
+//! We provide the classical predicate-level notion: build the dependency
+//! graph whose vertices are predicates, with a positive edge `p → q` whenever
+//! `p` occurs positively in the body of a rule with `q` in its head, and a
+//! negative edge when `p` occurs negatively; the program is **stratified** if
+//! no cycle goes through a negative edge.  For stratified programs the stable
+//! model semantics, the well-founded semantics and the perfect model
+//! coincide on existential-free programs, which makes this a useful
+//! diagnostic alongside the main three classes.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ntgd_core::{Program, Symbol};
+
+/// Edge polarity in the predicate dependency graph.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum DependencyKind {
+    /// The body predicate occurs positively.
+    Positive,
+    /// The body predicate occurs under default negation.
+    Negative,
+}
+
+/// The predicate dependency graph of a program.
+#[derive(Clone, Debug, Default)]
+pub struct DependencyGraph {
+    edges: BTreeSet<(Symbol, Symbol, DependencyKind)>,
+    predicates: BTreeSet<Symbol>,
+}
+
+impl DependencyGraph {
+    /// Builds the dependency graph of a program.
+    pub fn build(program: &Program) -> DependencyGraph {
+        let mut graph = DependencyGraph::default();
+        for (_, rule) in program.iter() {
+            for head in rule.head() {
+                graph.predicates.insert(head.predicate());
+                for lit in rule.body() {
+                    let kind = if lit.is_positive() {
+                        DependencyKind::Positive
+                    } else {
+                        DependencyKind::Negative
+                    };
+                    graph.predicates.insert(lit.atom().predicate());
+                    graph
+                        .edges
+                        .insert((lit.atom().predicate(), head.predicate(), kind));
+                }
+            }
+        }
+        graph
+    }
+
+    /// The edges of the graph.
+    pub fn edges(&self) -> impl Iterator<Item = &(Symbol, Symbol, DependencyKind)> + '_ {
+        self.edges.iter()
+    }
+
+    /// Computes, for every predicate, the index of its strongly connected
+    /// component (iterative DFS-based Tarjan, shared logic with the position
+    /// graph would be overkill for this small structure).
+    fn components(&self) -> BTreeMap<Symbol, usize> {
+        let vertices: Vec<Symbol> = self.predicates.iter().copied().collect();
+        let index_of: BTreeMap<Symbol, usize> =
+            vertices.iter().enumerate().map(|(i, p)| (*p, i)).collect();
+        let n = vertices.len();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (f, t, _) in &self.edges {
+            adj[index_of[f]].push(index_of[t]);
+        }
+        // Kosaraju: order by finish time, then assign components on the
+        // transposed graph.
+        let mut visited = vec![false; n];
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+        for start in 0..n {
+            if visited[start] {
+                continue;
+            }
+            let mut stack = vec![(start, 0usize)];
+            visited[start] = true;
+            while let Some(&(v, child)) = stack.last() {
+                if child < adj[v].len() {
+                    let w = adj[v][child];
+                    stack.last_mut().expect("stack is non-empty").1 += 1;
+                    if !visited[w] {
+                        visited[w] = true;
+                        stack.push((w, 0));
+                    }
+                } else {
+                    order.push(v);
+                    stack.pop();
+                }
+            }
+        }
+        let mut transposed: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (f, t, _) in &self.edges {
+            transposed[index_of[t]].push(index_of[f]);
+        }
+        let mut component = vec![usize::MAX; n];
+        let mut current = 0;
+        for &v in order.iter().rev() {
+            if component[v] != usize::MAX {
+                continue;
+            }
+            let mut stack = vec![v];
+            component[v] = current;
+            while let Some(u) = stack.pop() {
+                for &w in &transposed[u] {
+                    if component[w] == usize::MAX {
+                        component[w] = current;
+                        stack.push(w);
+                    }
+                }
+            }
+            current += 1;
+        }
+        vertices
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (p, component[i]))
+            .collect()
+    }
+
+    /// Returns `true` if no cycle of the graph contains a negative edge.
+    pub fn is_stratified(&self) -> bool {
+        let components = self.components();
+        self.edges.iter().all(|(f, t, kind)| {
+            *kind == DependencyKind::Positive || components[f] != components[t]
+        })
+    }
+
+    /// A stratification: a map from predicates to stratum numbers such that
+    /// positive dependencies never decrease the stratum and negative
+    /// dependencies strictly increase it.  Returns `None` if the program is
+    /// not stratified.
+    pub fn stratification(&self) -> Option<BTreeMap<Symbol, usize>> {
+        if !self.is_stratified() {
+            return None;
+        }
+        // Iterate to a fixpoint; at most |predicates| rounds are needed.
+        let mut stratum: BTreeMap<Symbol, usize> =
+            self.predicates.iter().map(|&p| (p, 0)).collect();
+        for _ in 0..=self.predicates.len() {
+            let mut changed = false;
+            for (f, t, kind) in &self.edges {
+                let required = match kind {
+                    DependencyKind::Positive => stratum[f],
+                    DependencyKind::Negative => stratum[f] + 1,
+                };
+                if stratum[t] < required {
+                    stratum.insert(*t, required);
+                    changed = true;
+                }
+            }
+            if !changed {
+                return Some(stratum);
+            }
+        }
+        None
+    }
+}
+
+/// Returns `true` if the program uses negation in a stratified way.
+pub fn is_stratified(program: &Program) -> bool {
+    DependencyGraph::build(program).is_stratified()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntgd_parser::parse_program;
+
+    #[test]
+    fn positive_programs_are_stratified() {
+        let p = parse_program("e(X,Y), e(Y,Z) -> e(X,Z). e(X,Y) -> n(X).").unwrap();
+        assert!(is_stratified(&p));
+        let strata = DependencyGraph::build(&p).stratification().unwrap();
+        assert_eq!(strata[&Symbol::intern("e")], 0);
+    }
+
+    #[test]
+    fn example1_is_stratified() {
+        let p = parse_program(
+            "person(X) -> hasFather(X, Y). hasFather(X, Y) -> sameAs(Y, Y). \
+             hasFather(X, Y), hasFather(X, Z), not sameAs(Y, Z) -> abnormal(X).",
+        )
+        .unwrap();
+        assert!(is_stratified(&p));
+        let strata = DependencyGraph::build(&p).stratification().unwrap();
+        assert!(strata[&Symbol::intern("abnormal")] > strata[&Symbol::intern("sameAs")]);
+    }
+
+    #[test]
+    fn even_negative_loops_are_not_stratified() {
+        let p = parse_program("seed(X), not b -> a. seed(X), not a -> b.").unwrap();
+        assert!(!is_stratified(&p));
+        assert!(DependencyGraph::build(&p).stratification().is_none());
+    }
+
+    #[test]
+    fn negation_within_a_positive_cycle_is_not_stratified() {
+        let p = parse_program("p(X), not q(X) -> r(X). r(X) -> q(X).").unwrap();
+        assert!(!is_stratified(&p));
+    }
+
+    #[test]
+    fn negation_across_strata_is_fine() {
+        let p = parse_program("p(X), not q(X) -> r(X). s(X) -> q(X).").unwrap();
+        assert!(is_stratified(&p));
+        let strata = DependencyGraph::build(&p).stratification().unwrap();
+        assert!(strata[&Symbol::intern("r")] > strata[&Symbol::intern("q")]);
+    }
+
+    #[test]
+    fn dependency_graph_records_polarities() {
+        let p = parse_program("p(X), not q(X) -> r(X).").unwrap();
+        let g = DependencyGraph::build(&p);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 2);
+        assert!(edges.iter().any(|(f, _, k)| f.as_str() == "q" && *k == DependencyKind::Negative));
+        assert!(edges.iter().any(|(f, _, k)| f.as_str() == "p" && *k == DependencyKind::Positive));
+    }
+}

@@ -1,0 +1,130 @@
+//! Weak-acyclicity (paper, Section 4.1).
+//!
+//! A set `Σ` of NTGDs is weakly acyclic if no cycle of the position graph of
+//! `Σ⁺` goes through a special edge; equivalently, no special edge has both
+//! endpoints in the same strongly connected component.
+
+use ntgd_core::{DisjunctiveProgram, Position, Program};
+
+use crate::position_graph::{EdgeKind, PositionGraph};
+
+/// The outcome of a weak-acyclicity check, with a witness when the check
+/// fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WeakAcyclicityReport {
+    /// `true` if the program is weakly acyclic.
+    pub weakly_acyclic: bool,
+    /// A special edge lying on a cycle, if any.
+    pub offending_edge: Option<(Position, Position)>,
+}
+
+impl WeakAcyclicityReport {
+    fn acyclic() -> Self {
+        WeakAcyclicityReport {
+            weakly_acyclic: true,
+            offending_edge: None,
+        }
+    }
+}
+
+/// Checks weak-acyclicity of a normal program (`WATGD¬` membership): the
+/// position graph of `Σ⁺` must have no cycle through a special edge.
+pub fn weak_acyclicity_report(program: &Program) -> WeakAcyclicityReport {
+    let graph = PositionGraph::build(&program.positive_part());
+    let scc = graph.strongly_connected_components();
+    for (from, to, kind) in graph.edges() {
+        if *kind == EdgeKind::Special && scc.get(from) == scc.get(to) {
+            return WeakAcyclicityReport {
+                weakly_acyclic: false,
+                offending_edge: Some((*from, *to)),
+            };
+        }
+    }
+    WeakAcyclicityReport::acyclic()
+}
+
+/// Returns `true` if the program is weakly acyclic.
+pub fn is_weakly_acyclic(program: &Program) -> bool {
+    weak_acyclicity_report(program).weakly_acyclic
+}
+
+/// Weak-acyclicity for disjunctive programs (`WATGD¬,∨`, Section 6): the check
+/// is performed on `Σ⁺,∧` — negative literals removed and the disjunction
+/// turned into a conjunction.
+pub fn is_weakly_acyclic_disjunctive(program: &DisjunctiveProgram) -> bool {
+    is_weakly_acyclic(&program.positive_conjunctive_part())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntgd_parser::{parse_program, parse_unit};
+
+    #[test]
+    fn example1_program_is_weakly_acyclic() {
+        let p = parse_program(
+            "person(X) -> hasFather(X, Y).\
+             hasFather(X, Y) -> sameAs(Y, Y).\
+             hasFather(X, Y), hasFather(X, Z), not sameAs(Y, Z) -> abnormal(X).",
+        )
+        .unwrap();
+        assert!(is_weakly_acyclic(&p));
+    }
+
+    #[test]
+    fn the_classical_infinite_person_chain_is_not_weakly_acyclic() {
+        let p = parse_program("person(X) -> parent(X, Y), person(Y).").unwrap();
+        let report = weak_acyclicity_report(&p);
+        assert!(!report.weakly_acyclic);
+        let (from, to) = report.offending_edge.unwrap();
+        assert_eq!(from.predicate.as_str(), "person");
+        // The special edge goes into one of the generated positions.
+        assert!(to.predicate.as_str() == "parent" || to.predicate.as_str() == "person");
+    }
+
+    #[test]
+    fn special_edges_without_cycles_are_fine() {
+        let p = parse_program("p(X) -> q(X, Y). q(X, Y) -> r(Y).").unwrap();
+        assert!(is_weakly_acyclic(&p));
+    }
+
+    #[test]
+    fn cycle_through_regular_edges_only_is_fine() {
+        let p = parse_program("p(X) -> q(X). q(X) -> p(X).").unwrap();
+        assert!(is_weakly_acyclic(&p));
+    }
+
+    #[test]
+    fn negative_literals_are_ignored_by_the_check() {
+        // The negated atom would create a cycle if it were considered, but
+        // weak-acyclicity only looks at Σ⁺.
+        let p = parse_program("p(X), not q(X) -> q(X). q(X) -> p(X).").unwrap();
+        assert!(is_weakly_acyclic(&p));
+    }
+
+    #[test]
+    fn two_rule_cycle_with_value_creation_is_rejected() {
+        let p = parse_program("p(X) -> q(X, Y). q(X, Y) -> p(Y).").unwrap();
+        assert!(!is_weakly_acyclic(&p));
+    }
+
+    #[test]
+    fn disjunctive_weak_acyclicity_uses_the_conjunctive_transform() {
+        // Example 5 of the paper (the translated program is *not* weakly
+        // acyclic, but the original disjunctive one is).
+        let unit = parse_unit("p(X) -> s(X, Y). r(X) -> p(X) | s(X, X).").unwrap();
+        let d = unit.disjunctive_program().unwrap();
+        assert!(is_weakly_acyclic_disjunctive(&d));
+        // A disjunctive rule that creates a value feeding back into itself.
+        let unit = parse_unit("p(X) -> q(X, Y) | r(X). q(X, Y) -> p(Y).").unwrap();
+        let d = unit.disjunctive_program().unwrap();
+        assert!(!is_weakly_acyclic_disjunctive(&d));
+    }
+
+    #[test]
+    fn empty_and_existential_free_programs_are_weakly_acyclic() {
+        assert!(is_weakly_acyclic(&Program::new()));
+        let p = parse_program("e(X, Y), e(Y, Z) -> e(X, Z).").unwrap();
+        assert!(is_weakly_acyclic(&p));
+    }
+}

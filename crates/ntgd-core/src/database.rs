@@ -1,0 +1,249 @@
+//! Databases: finite sets of constant-only atoms.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+use crate::atom::Atom;
+use crate::error::{CoreError, CoreResult};
+use crate::interpretation::Interpretation;
+use crate::schema::Schema;
+use crate::symbol::Symbol;
+use crate::term::Term;
+
+/// A database `D` over a schema: a finite set of atoms whose arguments are
+/// constants (paper, Section 2: `dom(D) ⊂ C`).
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct Database {
+    atoms: BTreeSet<Atom>,
+    by_predicate: HashMap<Symbol, Vec<Atom>>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Creates a database from an iterator of facts.
+    ///
+    /// Returns an error if any fact contains a variable or a null.
+    pub fn from_facts<I>(facts: I) -> CoreResult<Database>
+    where
+        I: IntoIterator<Item = Atom>,
+    {
+        let mut db = Database::new();
+        for f in facts {
+            db.insert(f)?;
+        }
+        Ok(db)
+    }
+
+    /// Inserts a fact.  Returns `Ok(true)` if the fact was new.
+    pub fn insert(&mut self, fact: Atom) -> CoreResult<bool> {
+        if !fact.is_constant_only() {
+            return Err(CoreError::NonGroundFact {
+                atom: fact.to_string(),
+            });
+        }
+        if self.atoms.contains(&fact) {
+            return Ok(false);
+        }
+        self.by_predicate
+            .entry(fact.predicate())
+            .or_default()
+            .push(fact.clone());
+        self.atoms.insert(fact);
+        Ok(true)
+    }
+
+    /// Returns `true` if the database contains the fact.
+    pub fn contains(&self, fact: &Atom) -> bool {
+        self.atoms.contains(fact)
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Returns `true` if the database has no facts.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Iterates over the facts in a deterministic order.
+    pub fn facts(&self) -> impl Iterator<Item = &Atom> + '_ {
+        self.atoms.iter()
+    }
+
+    /// The facts with a given predicate.
+    pub fn facts_with_predicate(&self, predicate: Symbol) -> &[Atom] {
+        self.by_predicate
+            .get(&predicate)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The active domain `dom(D)`: all constants occurring in the database.
+    pub fn domain(&self) -> BTreeSet<Term> {
+        let mut out = BTreeSet::new();
+        for a in &self.atoms {
+            for t in a.terms() {
+                out.insert(*t);
+            }
+        }
+        out
+    }
+
+    /// The set of constant symbols occurring in the database.
+    pub fn constants(&self) -> BTreeSet<Symbol> {
+        self.domain()
+            .into_iter()
+            .filter_map(|t| t.as_constant())
+            .collect()
+    }
+
+    /// The schema induced by the database facts.
+    pub fn schema(&self) -> Schema {
+        let mut s = Schema::new();
+        for a in &self.atoms {
+            // Facts of the same predicate always have the same arity inside a
+            // `Database` only if they were inserted consistently; inconsistent
+            // arities are tolerated here and caught by `Program::validate`.
+            let _ = s.declare_atom(a);
+        }
+        s
+    }
+
+    /// Converts the database into an interpretation whose positive part is the
+    /// database itself (`I⁺ = D`, `dom(I) = dom(D)`).
+    pub fn to_interpretation(&self) -> Interpretation {
+        Interpretation::from_atoms(self.atoms.iter().cloned())
+    }
+
+    /// Returns the union of this database with another.
+    pub fn union(&self, other: &Database) -> Database {
+        let mut out = self.clone();
+        for f in other.facts() {
+            out.insert(f.clone()).expect("facts are constant-only");
+        }
+        out
+    }
+
+    /// Returns a new database containing only facts satisfying the predicate.
+    pub fn filter<F>(&self, mut keep: F) -> Database
+    where
+        F: FnMut(&Atom) -> bool,
+    {
+        Database::from_facts(self.facts().filter(|a| keep(a)).cloned())
+            .expect("filtered facts remain constant-only")
+    }
+
+    /// Returns `true` if `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &Database) -> bool {
+        self.atoms.iter().all(|a| other.contains(a))
+    }
+
+    /// The set of predicates used by the database.
+    pub fn predicates(&self) -> HashSet<Symbol> {
+        self.by_predicate.keys().copied().collect()
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for a in &self.atoms {
+            writeln!(f, "{a}.")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Atom> for Database {
+    /// Builds a database from facts, panicking on non-ground facts.  Use
+    /// [`Database::from_facts`] for fallible construction.
+    fn from_iter<I: IntoIterator<Item = Atom>>(iter: I) -> Self {
+        Database::from_facts(iter).expect("facts must be constant-only")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{atom, cst, var};
+
+    fn sample() -> Database {
+        Database::from_facts(vec![
+            atom("person", vec![cst("alice")]),
+            atom("person", vec![cst("bob")]),
+            atom("knows", vec![cst("alice"), cst("bob")]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let db = sample();
+        assert_eq!(db.len(), 3);
+        assert!(db.contains(&atom("person", vec![cst("alice")])));
+        assert!(!db.contains(&atom("person", vec![cst("carol")])));
+    }
+
+    #[test]
+    fn duplicate_insert_is_noop() {
+        let mut db = sample();
+        assert!(!db.insert(atom("person", vec![cst("alice")])).unwrap());
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.facts_with_predicate(Symbol::intern("person")).len(), 2);
+    }
+
+    #[test]
+    fn non_ground_facts_are_rejected() {
+        let mut db = Database::new();
+        assert!(db.insert(atom("p", vec![var("X")])).is_err());
+        assert!(db.insert(atom("p", vec![Term::null(0)])).is_err());
+    }
+
+    #[test]
+    fn domain_and_constants() {
+        let db = sample();
+        let dom = db.domain();
+        assert_eq!(dom.len(), 2);
+        assert!(dom.contains(&cst("alice")));
+        assert!(dom.contains(&cst("bob")));
+        assert_eq!(db.constants().len(), 2);
+    }
+
+    #[test]
+    fn schema_is_induced_from_facts() {
+        let db = sample();
+        let s = db.schema();
+        assert_eq!(s.arity(Symbol::intern("person")), Some(1));
+        assert_eq!(s.arity(Symbol::intern("knows")), Some(2));
+    }
+
+    #[test]
+    fn union_and_subset() {
+        let db = sample();
+        let extra = Database::from_facts(vec![atom("person", vec![cst("carol")])]).unwrap();
+        let u = db.union(&extra);
+        assert_eq!(u.len(), 4);
+        assert!(db.is_subset_of(&u));
+        assert!(!u.is_subset_of(&db));
+    }
+
+    #[test]
+    fn filter_keeps_matching_facts() {
+        let db = sample();
+        let people = db.filter(|a| a.predicate() == Symbol::intern("person"));
+        assert_eq!(people.len(), 2);
+    }
+
+    #[test]
+    fn to_interpretation_has_same_atoms() {
+        let db = sample();
+        let i = db.to_interpretation();
+        assert_eq!(i.len(), 3);
+        assert!(i.contains(&atom("knows", vec![cst("alice"), cst("bob")])));
+    }
+}

@@ -1,0 +1,107 @@
+//! Error types shared by the core crate and its clients.
+
+use std::fmt;
+
+/// Result alias for core operations.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+/// Errors raised while constructing or validating logical objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A rule violates the safety condition: a variable of a negative body
+    /// literal (or of the head frontier) does not occur in a positive body
+    /// literal.
+    UnsafeRule {
+        /// Human-readable rendering of the offending rule.
+        rule: String,
+        /// The offending variable.
+        variable: String,
+        /// Which part of the rule is unsafe.
+        reason: String,
+    },
+    /// A predicate is used with two different arities.
+    ArityMismatch {
+        /// Predicate name.
+        predicate: String,
+        /// Arity recorded first.
+        expected: usize,
+        /// Conflicting arity.
+        found: usize,
+    },
+    /// A database fact contains a variable or a labelled null.
+    NonGroundFact {
+        /// Rendering of the offending atom.
+        atom: String,
+    },
+    /// A rule head is empty (TGDs must generate at least one atom).
+    EmptyHead {
+        /// Rendering of the offending rule body.
+        rule: String,
+    },
+    /// A rule body has no positive literal (required for safety).
+    EmptyPositiveBody {
+        /// Rendering of the offending rule.
+        rule: String,
+    },
+    /// A query violates the safety condition.
+    UnsafeQuery {
+        /// Rendering of the offending query.
+        query: String,
+        /// The offending variable.
+        variable: String,
+    },
+    /// Any other validation failure.
+    Invalid(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnsafeRule {
+                rule,
+                variable,
+                reason,
+            } => write!(f, "unsafe rule `{rule}`: variable {variable} {reason}"),
+            CoreError::ArityMismatch {
+                predicate,
+                expected,
+                found,
+            } => write!(
+                f,
+                "predicate {predicate} used with arity {found}, but previously with arity {expected}"
+            ),
+            CoreError::NonGroundFact { atom } => {
+                write!(f, "database fact `{atom}` must contain only constants")
+            }
+            CoreError::EmptyHead { rule } => write!(f, "rule `{rule}` has an empty head"),
+            CoreError::EmptyPositiveBody { rule } => {
+                write!(f, "rule `{rule}` has no positive body literal")
+            }
+            CoreError::UnsafeQuery { query, variable } => {
+                write!(f, "unsafe query `{query}`: variable {variable} occurs only negatively")
+            }
+            CoreError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_human_readable_messages() {
+        let e = CoreError::ArityMismatch {
+            predicate: "p".into(),
+            expected: 2,
+            found: 3,
+        };
+        assert!(e.to_string().contains("arity 3"));
+        let e = CoreError::NonGroundFact { atom: "p(X)".into() };
+        assert!(e.to_string().contains("p(X)"));
+        let e = CoreError::Invalid("boom".into());
+        assert_eq!(e.to_string(), "boom");
+    }
+}

@@ -1,0 +1,298 @@
+//! Total interpretations, represented by their positive part.
+//!
+//! A (two-valued) interpretation `I` over a schema is, in the paper, a set of
+//! literals over constants and nulls such that for every atom over `dom(I)`
+//! either the atom or its negation belongs to `I`.  Such an interpretation is
+//! fully determined by its positive part `I⁺` together with its domain, so we
+//! store exactly that:  `¬p(t̄) ∈ I` iff every term of `t̄` belongs to
+//! `dom(I)` and `p(t̄) ∉ I⁺`.
+//!
+//! The domain is by default the set of terms occurring in `I⁺`; additional
+//! domain elements can be registered explicitly (used by engines that fix a
+//! candidate domain before choosing which atoms are true).
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+use crate::atom::{Atom, Literal};
+use crate::symbol::Symbol;
+use crate::term::Term;
+
+/// A total interpretation represented by its positive part plus its domain.
+#[derive(Clone, Default, Debug)]
+pub struct Interpretation {
+    atoms: HashSet<Atom>,
+    by_predicate: HashMap<Symbol, Vec<Atom>>,
+    domain: BTreeSet<Term>,
+    extra_domain: BTreeSet<Term>,
+}
+
+impl Interpretation {
+    /// Creates an empty interpretation (empty positive part, empty domain).
+    pub fn new() -> Interpretation {
+        Interpretation::default()
+    }
+
+    /// Creates an interpretation from ground atoms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an atom contains a variable.
+    pub fn from_atoms<I>(atoms: I) -> Interpretation
+    where
+        I: IntoIterator<Item = Atom>,
+    {
+        let mut out = Interpretation::new();
+        for a in atoms {
+            out.insert(a);
+        }
+        out
+    }
+
+    /// Inserts a ground atom into the positive part.  Returns `true` if it was
+    /// new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the atom contains a variable.
+    pub fn insert(&mut self, atom: Atom) -> bool {
+        assert!(
+            atom.is_ground(),
+            "interpretations contain only ground atoms, got {atom}"
+        );
+        if self.atoms.contains(&atom) {
+            return false;
+        }
+        for t in atom.terms() {
+            self.domain.insert(*t);
+        }
+        self.by_predicate
+            .entry(atom.predicate())
+            .or_default()
+            .push(atom.clone());
+        self.atoms.insert(atom);
+        true
+    }
+
+    /// Registers an additional domain element that need not occur in `I⁺`.
+    pub fn add_domain_element(&mut self, term: Term) {
+        assert!(term.is_ground(), "domain elements must be ground");
+        self.extra_domain.insert(term);
+    }
+
+    /// Returns `true` if the positive part contains the atom.
+    pub fn contains(&self, atom: &Atom) -> bool {
+        self.atoms.contains(atom)
+    }
+
+    /// Returns `true` if `t` belongs to `dom(I)`.
+    pub fn in_domain(&self, t: &Term) -> bool {
+        self.domain.contains(t) || self.extra_domain.contains(t)
+    }
+
+    /// Returns `true` if the *negative* literal `¬atom` belongs to `I`, i.e.
+    /// all terms of `atom` are in `dom(I)` and `atom ∉ I⁺`.
+    pub fn satisfies_negation_of(&self, atom: &Atom) -> bool {
+        atom.terms().all(|t| self.in_domain(t)) && !self.contains(atom)
+    }
+
+    /// Returns `true` if the ground literal belongs to `I`.
+    pub fn satisfies_literal(&self, lit: &Literal) -> bool {
+        if lit.is_positive() {
+            self.contains(lit.atom())
+        } else {
+            self.satisfies_negation_of(lit.atom())
+        }
+    }
+
+    /// Number of atoms in the positive part `|I⁺|`.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Returns `true` if the positive part is empty.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Iterates over the positive part (unordered).
+    pub fn atoms(&self) -> impl Iterator<Item = &Atom> + '_ {
+        self.atoms.iter()
+    }
+
+    /// Returns the positive part as a sorted vector (deterministic order).
+    pub fn sorted_atoms(&self) -> Vec<Atom> {
+        let mut v: Vec<Atom> = self.atoms.iter().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// The atoms of the positive part with the given predicate.
+    pub fn atoms_with_predicate(&self, predicate: Symbol) -> &[Atom] {
+        self.by_predicate
+            .get(&predicate)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The domain `dom(I)` (terms of `I⁺` plus explicitly registered ones).
+    pub fn domain(&self) -> BTreeSet<Term> {
+        let mut d = self.domain.clone();
+        d.extend(self.extra_domain.iter().copied());
+        d
+    }
+
+    /// Returns `true` if `self⁺ ⊆ other⁺`.
+    pub fn is_subset_of(&self, other: &Interpretation) -> bool {
+        self.atoms.iter().all(|a| other.contains(a))
+    }
+
+    /// Returns `true` if the positive parts coincide.
+    pub fn same_atoms_as(&self, other: &Interpretation) -> bool {
+        self.len() == other.len() && self.is_subset_of(other)
+    }
+
+    /// Set-difference of positive parts: atoms of `self` not in `other`.
+    pub fn difference(&self, other: &Interpretation) -> Vec<Atom> {
+        let mut v: Vec<Atom> = self
+            .atoms
+            .iter()
+            .filter(|a| !other.contains(a))
+            .cloned()
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// The set of predicates with at least one true atom.
+    pub fn predicates(&self) -> HashSet<Symbol> {
+        self.by_predicate
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(&p, _)| p)
+            .collect()
+    }
+
+    /// Returns the nulls occurring in the positive part.
+    pub fn nulls(&self) -> BTreeSet<Term> {
+        self.domain
+            .iter()
+            .filter(|t| t.is_null())
+            .copied()
+            .collect()
+    }
+}
+
+impl PartialEq for Interpretation {
+    /// Two interpretations are equal when their positive parts and domains
+    /// coincide.
+    fn eq(&self, other: &Self) -> bool {
+        self.same_atoms_as(other) && self.domain() == other.domain()
+    }
+}
+
+impl Eq for Interpretation {}
+
+impl fmt::Display for Interpretation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.sorted_atoms().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Atom> for Interpretation {
+    fn from_iter<I: IntoIterator<Item = Atom>>(iter: I) -> Self {
+        Interpretation::from_atoms(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{atom, cst};
+
+    fn sample() -> Interpretation {
+        Interpretation::from_atoms(vec![
+            atom("p", vec![cst("a")]),
+            atom("q", vec![cst("a"), Term::null(0)]),
+        ])
+    }
+
+    #[test]
+    fn insert_builds_domain() {
+        let i = sample();
+        assert_eq!(i.len(), 2);
+        assert!(i.in_domain(&cst("a")));
+        assert!(i.in_domain(&Term::null(0)));
+        assert!(!i.in_domain(&cst("b")));
+        assert_eq!(i.domain().len(), 2);
+        assert_eq!(i.nulls().len(), 1);
+    }
+
+    #[test]
+    fn negative_literals_require_domain_membership() {
+        let i = sample();
+        // q(a,a) is over the domain and not true, so ¬q(a,a) holds.
+        assert!(i.satisfies_negation_of(&atom("q", vec![cst("a"), cst("a")])));
+        // p(b) mentions b ∉ dom(I): neither p(b) nor ¬p(b) is in I.
+        assert!(!i.satisfies_negation_of(&atom("p", vec![cst("b")])));
+        assert!(!i.contains(&atom("p", vec![cst("b")])));
+        // p(a) is true, so ¬p(a) does not hold.
+        assert!(!i.satisfies_negation_of(&atom("p", vec![cst("a")])));
+    }
+
+    #[test]
+    fn satisfies_literal_dispatches_on_polarity() {
+        let i = sample();
+        assert!(i.satisfies_literal(&Literal::positive(atom("p", vec![cst("a")]))));
+        assert!(i.satisfies_literal(&Literal::negative(atom("p", vec![Term::null(0)]))));
+        assert!(!i.satisfies_literal(&Literal::negative(atom("p", vec![cst("a")]))));
+    }
+
+    #[test]
+    fn extra_domain_elements_extend_negative_knowledge() {
+        let mut i = sample();
+        assert!(!i.satisfies_negation_of(&atom("p", vec![cst("bob")])));
+        i.add_domain_element(cst("bob"));
+        assert!(i.satisfies_negation_of(&atom("p", vec![cst("bob")])));
+    }
+
+    #[test]
+    fn subset_and_equality() {
+        let i = sample();
+        let mut j = i.clone();
+        assert!(i.is_subset_of(&j) && j.is_subset_of(&i));
+        assert!(i.same_atoms_as(&j));
+        assert_eq!(i, j);
+        j.insert(atom("p", vec![cst("b")]));
+        assert!(i.is_subset_of(&j));
+        assert!(!j.is_subset_of(&i));
+        assert_eq!(j.difference(&i), vec![atom("p", vec![cst("b")])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ground atoms")]
+    fn inserting_non_ground_atom_panics() {
+        let mut i = Interpretation::new();
+        i.insert(atom("p", vec![crate::var("X")]));
+    }
+
+    #[test]
+    fn duplicate_insert_reports_false() {
+        let mut i = sample();
+        assert!(!i.insert(atom("p", vec![cst("a")])));
+        assert!(i.insert(atom("p", vec![cst("z")])));
+    }
+
+    #[test]
+    fn display_is_sorted_and_braced() {
+        let i = Interpretation::from_atoms(vec![atom("b", vec![]), atom("a", vec![])]);
+        assert_eq!(i.to_string(), "{a, b}");
+    }
+}

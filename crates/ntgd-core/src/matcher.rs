@@ -1,0 +1,359 @@
+//! Homomorphism enumeration (conjunctive matching).
+//!
+//! The central evaluation primitive of the whole system: enumerate the
+//! homomorphisms from a conjunction of literals into an interpretation.  A
+//! homomorphism `h` satisfies
+//!
+//! * `h(a) ∈ I⁺` for every positive literal `a` of the conjunction, and
+//! * `¬h(a) ∈ I` for every negative literal `¬a`, i.e. every term of `h(a)`
+//!   belongs to `dom(I)` and `h(a) ∉ I⁺`.
+//!
+//! The matcher performs a backtracking join over the positive literals using
+//! the per-predicate index of [`Interpretation`], then verifies the negative
+//! literals.  Variables that occur *only* in negative literals (unsafe
+//! conjunctions) are enumerated over `dom(I)`; safe rules and queries never
+//! hit that path.
+
+use std::collections::BTreeSet;
+use std::ops::ControlFlow;
+
+use crate::atom::{Atom, Literal};
+use crate::interpretation::Interpretation;
+use crate::substitution::Substitution;
+use crate::term::Term;
+
+/// Enumerates every homomorphism from `literals` into `target` extending
+/// `initial`, invoking `visit` for each; stops early if `visit` breaks.
+///
+/// Returns `true` if the enumeration was stopped early by the visitor.
+pub fn for_each_homomorphism<F>(
+    literals: &[Literal],
+    target: &Interpretation,
+    initial: &Substitution,
+    visit: &mut F,
+) -> bool
+where
+    F: FnMut(&Substitution) -> ControlFlow<()>,
+{
+    let (positives, negatives): (Vec<&Literal>, Vec<&Literal>) =
+        literals.iter().partition(|l| l.is_positive());
+    let pos_atoms: Vec<&Atom> = positives.iter().map(|l| l.atom()).collect();
+    let neg_atoms: Vec<&Atom> = negatives.iter().map(|l| l.atom()).collect();
+    let mut subst = initial.clone();
+    match_positives(&pos_atoms, 0, target, &mut subst, &neg_atoms, visit).is_break()
+}
+
+/// All homomorphisms from `literals` into `target` extending `initial`.
+pub fn all_homomorphisms(
+    literals: &[Literal],
+    target: &Interpretation,
+    initial: &Substitution,
+) -> Vec<Substitution> {
+    let mut out = Vec::new();
+    for_each_homomorphism(literals, target, initial, &mut |s| {
+        out.push(s.clone());
+        ControlFlow::Continue(())
+    });
+    out
+}
+
+/// Returns `true` if at least one homomorphism from `literals` into `target`
+/// extending `initial` exists.
+pub fn exists_homomorphism(
+    literals: &[Literal],
+    target: &Interpretation,
+    initial: &Substitution,
+) -> bool {
+    for_each_homomorphism(literals, target, initial, &mut |_| ControlFlow::Break(()))
+}
+
+/// All homomorphisms from a conjunction of *atoms* (all positive) into the
+/// positive part of `target`, extending `initial`.  Used for checking head
+/// satisfaction and for chase trigger matching.
+pub fn all_atom_homomorphisms(
+    atoms: &[Atom],
+    target: &Interpretation,
+    initial: &Substitution,
+) -> Vec<Substitution> {
+    let literals: Vec<Literal> = atoms.iter().cloned().map(Literal::positive).collect();
+    all_homomorphisms(&literals, target, initial)
+}
+
+/// Returns `true` if the conjunction of atoms maps into `target⁺` by some
+/// extension of `initial`.
+pub fn exists_atom_homomorphism(
+    atoms: &[Atom],
+    target: &Interpretation,
+    initial: &Substitution,
+) -> bool {
+    let literals: Vec<Literal> = atoms.iter().cloned().map(Literal::positive).collect();
+    exists_homomorphism(&literals, target, initial)
+}
+
+fn match_positives<F>(
+    atoms: &[&Atom],
+    idx: usize,
+    target: &Interpretation,
+    subst: &mut Substitution,
+    negatives: &[&Atom],
+    visit: &mut F,
+) -> ControlFlow<()>
+where
+    F: FnMut(&Substitution) -> ControlFlow<()>,
+{
+    if idx == atoms.len() {
+        return check_negatives(negatives, 0, target, subst, visit);
+    }
+    let pattern = atoms[idx];
+    let candidates = target.atoms_with_predicate(pattern.predicate());
+    for candidate in candidates {
+        if candidate.arity() != pattern.arity() {
+            continue;
+        }
+        let saved = subst.clone();
+        let mut ok = true;
+        for (pat, val) in pattern.args().iter().zip(candidate.args()) {
+            let current = subst.apply_term(pat);
+            let bindable = match current {
+                Term::Var(_) => subst.try_bind(current, *val),
+                ground => ground == *val,
+            };
+            if !bindable {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            if match_positives(atoms, idx + 1, target, subst, negatives, visit).is_break() {
+                return ControlFlow::Break(());
+            }
+        }
+        *subst = saved;
+    }
+    ControlFlow::Continue(())
+}
+
+fn check_negatives<F>(
+    negatives: &[&Atom],
+    idx: usize,
+    target: &Interpretation,
+    subst: &mut Substitution,
+    visit: &mut F,
+) -> ControlFlow<()>
+where
+    F: FnMut(&Substitution) -> ControlFlow<()>,
+{
+    if idx == negatives.len() {
+        return visit(subst);
+    }
+    let grounded = subst.apply_atom(negatives[idx]);
+    let unbound: BTreeSet<Term> = grounded
+        .args()
+        .iter()
+        .filter(|t| t.is_variable())
+        .copied()
+        .collect();
+    if unbound.is_empty() {
+        if target.satisfies_negation_of(&grounded) {
+            return check_negatives(negatives, idx + 1, target, subst, visit);
+        }
+        return ControlFlow::Continue(());
+    }
+    // Unsafe conjunction: enumerate the unbound variables over dom(I).
+    let domain: Vec<Term> = target.domain().into_iter().collect();
+    enumerate_unbound(
+        &unbound.into_iter().collect::<Vec<_>>(),
+        0,
+        &domain,
+        negatives,
+        idx,
+        target,
+        subst,
+        visit,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate_unbound<F>(
+    vars: &[Term],
+    vidx: usize,
+    domain: &[Term],
+    negatives: &[&Atom],
+    idx: usize,
+    target: &Interpretation,
+    subst: &mut Substitution,
+    visit: &mut F,
+) -> ControlFlow<()>
+where
+    F: FnMut(&Substitution) -> ControlFlow<()>,
+{
+    if vidx == vars.len() {
+        let grounded = subst.apply_atom(negatives[idx]);
+        if target.satisfies_negation_of(&grounded) {
+            return check_negatives(negatives, idx + 1, target, subst, visit);
+        }
+        return ControlFlow::Continue(());
+    }
+    for value in domain {
+        let saved = subst.clone();
+        if subst.try_bind(vars[vidx], *value)
+            && enumerate_unbound(
+                vars,
+                vidx + 1,
+                domain,
+                negatives,
+                idx,
+                target,
+                subst,
+                visit,
+            )
+            .is_break()
+        {
+            return ControlFlow::Break(());
+        }
+        *subst = saved;
+    }
+    ControlFlow::Continue(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{atom, cst, neg, pos, var};
+
+    fn interp() -> Interpretation {
+        Interpretation::from_atoms(vec![
+            atom("edge", vec![cst("a"), cst("b")]),
+            atom("edge", vec![cst("b"), cst("c")]),
+            atom("edge", vec![cst("c"), cst("a")]),
+            atom("red", vec![cst("a")]),
+        ])
+    }
+
+    #[test]
+    fn single_atom_matching() {
+        let hs = all_homomorphisms(&[pos("edge", vec![var("X"), var("Y")])], &interp(), &Substitution::new());
+        assert_eq!(hs.len(), 3);
+    }
+
+    #[test]
+    fn join_matching_chains_edges() {
+        let body = vec![
+            pos("edge", vec![var("X"), var("Y")]),
+            pos("edge", vec![var("Y"), var("Z")]),
+        ];
+        let hs = all_homomorphisms(&body, &interp(), &Substitution::new());
+        // a->b->c, b->c->a, c->a->b
+        assert_eq!(hs.len(), 3);
+        for h in &hs {
+            assert_ne!(h.apply_term(&var("X")), h.apply_term(&var("Y")));
+        }
+    }
+
+    #[test]
+    fn constants_in_patterns_restrict_matches() {
+        let body = vec![pos("edge", vec![cst("a"), var("Y")])];
+        let hs = all_homomorphisms(&body, &interp(), &Substitution::new());
+        assert_eq!(hs.len(), 1);
+        assert_eq!(hs[0].apply_term(&var("Y")), cst("b"));
+    }
+
+    #[test]
+    fn negative_literals_filter_matches() {
+        // Vertices with an outgoing edge that are not red.
+        let body = vec![
+            pos("edge", vec![var("X"), var("Y")]),
+            neg("red", vec![var("X")]),
+        ];
+        let hs = all_homomorphisms(&body, &interp(), &Substitution::new());
+        assert_eq!(hs.len(), 2);
+        for h in &hs {
+            assert_ne!(h.apply_term(&var("X")), cst("a"));
+        }
+    }
+
+    #[test]
+    fn negative_literal_with_term_outside_domain_fails() {
+        let body = vec![
+            pos("red", vec![var("X")]),
+            neg("edge", vec![var("X"), cst("zzz")]),
+        ];
+        // zzz is not in the domain, so ¬edge(a, zzz) is not in I.
+        assert!(all_homomorphisms(&body, &interp(), &Substitution::new()).is_empty());
+    }
+
+    #[test]
+    fn initial_substitution_is_respected() {
+        let mut init = Substitution::new();
+        init.bind(var("X"), cst("b"));
+        let hs = all_homomorphisms(
+            &[pos("edge", vec![var("X"), var("Y")])],
+            &interp(),
+            &init,
+        );
+        assert_eq!(hs.len(), 1);
+        assert_eq!(hs[0].apply_term(&var("Y")), cst("c"));
+    }
+
+    #[test]
+    fn exists_homomorphism_short_circuits() {
+        assert!(exists_homomorphism(
+            &[pos("edge", vec![var("X"), var("X")])],
+            &Interpretation::from_atoms(vec![atom("edge", vec![cst("a"), cst("a")])]),
+            &Substitution::new()
+        ));
+        assert!(!exists_homomorphism(
+            &[pos("edge", vec![var("X"), var("X")])],
+            &interp(),
+            &Substitution::new()
+        ));
+    }
+
+    #[test]
+    fn empty_conjunction_has_exactly_the_initial_homomorphism() {
+        let hs = all_homomorphisms(&[], &interp(), &Substitution::new());
+        assert_eq!(hs.len(), 1);
+        assert!(hs[0].is_empty());
+    }
+
+    #[test]
+    fn unsafe_negative_variables_enumerate_the_domain() {
+        // X occurs only negatively: all domain elements that are not red.
+        let body = vec![neg("red", vec![var("X")])];
+        let hs = all_homomorphisms(&body, &interp(), &Substitution::new());
+        let values: BTreeSet<Term> = hs.iter().map(|h| h.apply_term(&var("X"))).collect();
+        assert_eq!(values, BTreeSet::from([cst("b"), cst("c")]));
+    }
+
+    #[test]
+    fn atom_homomorphisms_ignore_polarity_helpers() {
+        let atoms = vec![atom("edge", vec![var("X"), var("Y")])];
+        assert_eq!(
+            all_atom_homomorphisms(&atoms, &interp(), &Substitution::new()).len(),
+            3
+        );
+        assert!(exists_atom_homomorphism(&atoms, &interp(), &Substitution::new()));
+    }
+
+    #[test]
+    fn zero_ary_atoms_match_when_present() {
+        let i = Interpretation::from_atoms(vec![atom("saturate", vec![])]);
+        assert!(exists_homomorphism(
+            &[pos("saturate", vec![])],
+            &i,
+            &Substitution::new()
+        ));
+        assert!(!exists_homomorphism(
+            &[neg("saturate", vec![])],
+            &i,
+            &Substitution::new()
+        ));
+        let empty = Interpretation::new();
+        assert!(empty.satisfies_negation_of(&atom("saturate", vec![])));
+        assert!(exists_homomorphism(
+            &[neg("saturate", vec![])],
+            &empty,
+            &Substitution::new()
+        ));
+    }
+}

@@ -1,0 +1,291 @@
+//! Normal (Boolean) conjunctive queries (paper, Section 2).
+//!
+//! An n-ary *normal conjunctive query* (NCQ) is an existentially quantified
+//! conjunction of literals with `n` free (answer) variables; the 0-ary case is
+//! a normal *Boolean* conjunctive query (NBCQ).  Queries must be safe: every
+//! variable occurring in a negative literal — and every answer variable —
+//! also occurs in a positive literal.
+//!
+//! The answer of an n-ary NCQ over an interpretation `I` is the set of
+//! constant tuples `t ∈ Cⁿ` for which a homomorphism `h` with `h(ϕ) ⊆ I` and
+//! `h(X) = t` exists.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::atom::Literal;
+use crate::error::{CoreError, CoreResult};
+use crate::interpretation::Interpretation;
+use crate::matcher::all_homomorphisms;
+use crate::matcher::exists_homomorphism;
+use crate::schema::Schema;
+use crate::substitution::Substitution;
+use crate::symbol::Symbol;
+use crate::term::Term;
+
+/// A normal conjunctive query.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Query {
+    answer_variables: Vec<Symbol>,
+    literals: Vec<Literal>,
+}
+
+impl Query {
+    /// Creates and validates a query.
+    pub fn new(answer_variables: Vec<Symbol>, literals: Vec<Literal>) -> CoreResult<Query> {
+        let q = Query {
+            answer_variables,
+            literals,
+        };
+        q.validate()?;
+        Ok(q)
+    }
+
+    /// Creates a Boolean query (no answer variables).
+    pub fn boolean(literals: Vec<Literal>) -> CoreResult<Query> {
+        Query::new(Vec::new(), literals)
+    }
+
+    fn validate(&self) -> CoreResult<()> {
+        let positive_vars: BTreeSet<Symbol> = self
+            .literals
+            .iter()
+            .filter(|l| l.is_positive())
+            .flat_map(|l| l.variables().collect::<Vec<_>>())
+            .collect();
+        for lit in self.literals.iter().filter(|l| l.is_negative()) {
+            for v in lit.variables() {
+                if !positive_vars.contains(&v) {
+                    return Err(CoreError::UnsafeQuery {
+                        query: self.to_string(),
+                        variable: v.as_str().to_owned(),
+                    });
+                }
+            }
+        }
+        for v in &self.answer_variables {
+            if !positive_vars.contains(v) {
+                return Err(CoreError::UnsafeQuery {
+                    query: self.to_string(),
+                    variable: v.as_str().to_owned(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The answer variables (free variables) of the query.
+    pub fn answer_variables(&self) -> &[Symbol] {
+        &self.answer_variables
+    }
+
+    /// The literals of the query.
+    pub fn literals(&self) -> &[Literal] {
+        &self.literals
+    }
+
+    /// The arity of the query.
+    pub fn arity(&self) -> usize {
+        self.answer_variables.len()
+    }
+
+    /// Returns `true` if the query is Boolean.
+    pub fn is_boolean(&self) -> bool {
+        self.answer_variables.is_empty()
+    }
+
+    /// Returns `true` if the query contains no negative literal.
+    pub fn is_positive(&self) -> bool {
+        self.literals.iter().all(Literal::is_positive)
+    }
+
+    /// Registers the query's predicates into a schema.
+    pub fn declare_into(&self, schema: &mut Schema) -> CoreResult<()> {
+        for l in &self.literals {
+            schema.declare_atom(l.atom())?;
+        }
+        Ok(())
+    }
+
+    /// Evaluates the query over an interpretation: the set of constant answer
+    /// tuples (paper: `q(I) ⊆ Cⁿ`).
+    pub fn answers(&self, interpretation: &Interpretation) -> BTreeSet<Vec<Term>> {
+        let hs = all_homomorphisms(&self.literals, interpretation, &Substitution::new());
+        let mut out = BTreeSet::new();
+        for h in hs {
+            let tuple: Vec<Term> = self
+                .answer_variables
+                .iter()
+                .map(|v| h.apply_term(&Term::Var(*v)))
+                .collect();
+            if tuple.iter().all(Term::is_constant) {
+                out.insert(tuple);
+            }
+        }
+        out
+    }
+
+    /// Returns `true` if a Boolean query holds over the interpretation
+    /// (`I ⊨ q`), or — for a non-Boolean query — if it has at least one
+    /// answer.
+    pub fn holds(&self, interpretation: &Interpretation) -> bool {
+        if self.is_boolean() {
+            exists_homomorphism(&self.literals, interpretation, &Substitution::new())
+        } else {
+            !self.answers(interpretation).is_empty()
+        }
+    }
+
+    /// The negation of a *single-literal* Boolean query (used to build
+    /// counter-model queries); returns `None` for conjunctions of more than
+    /// one literal.
+    pub fn negate_single_literal(&self) -> Option<Query> {
+        if self.literals.len() != 1 || !self.is_boolean() {
+            return None;
+        }
+        Query::boolean(vec![self.literals[0].negated()]).ok()
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?")?;
+        if !self.answer_variables.is_empty() {
+            write!(f, "(")?;
+            for (i, v) in self.answer_variables.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{v}")?;
+            }
+            write!(f, ")")?;
+        }
+        write!(f, " :- ")?;
+        for (i, l) in self.literals.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, ".")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{atom, cst, neg, pos, var};
+
+    fn interp() -> Interpretation {
+        Interpretation::from_atoms(vec![
+            atom("person", vec![cst("alice")]),
+            atom("person", vec![cst("bob")]),
+            atom("abnormal", vec![cst("bob")]),
+            atom("hasFather", vec![cst("alice"), Term::null(0)]),
+        ])
+    }
+
+    #[test]
+    fn boolean_query_positive() {
+        let q = Query::boolean(vec![pos("person", vec![var("X")])]).unwrap();
+        assert!(q.is_boolean());
+        assert!(q.holds(&interp()));
+        let q2 = Query::boolean(vec![pos("person", vec![cst("carol")])]).unwrap();
+        assert!(!q2.holds(&interp()));
+    }
+
+    #[test]
+    fn boolean_query_with_negation() {
+        // ∃X person(X) ∧ ¬abnormal(X)   — alice witnesses it.
+        let q = Query::boolean(vec![
+            pos("person", vec![var("X")]),
+            neg("abnormal", vec![var("X")]),
+        ])
+        .unwrap();
+        assert!(q.holds(&interp()));
+        // ∃X person(X) ∧ abnormal(X)   — bob witnesses it.
+        let q2 = Query::boolean(vec![
+            pos("person", vec![var("X")]),
+            pos("abnormal", vec![var("X")]),
+        ])
+        .unwrap();
+        assert!(q2.holds(&interp()));
+    }
+
+    #[test]
+    fn answers_contain_only_constant_tuples() {
+        // ?(Y) :- hasFather(X, Y): the only father is a null, so no answer.
+        let q = Query::new(
+            vec![Symbol::intern("Y")],
+            vec![pos("hasFather", vec![var("X"), var("Y")])],
+        )
+        .unwrap();
+        assert!(q.answers(&interp()).is_empty());
+        // ?(X) :- person(X), not abnormal(X)  => {alice}
+        let q2 = Query::new(
+            vec![Symbol::intern("X")],
+            vec![
+                pos("person", vec![var("X")]),
+                neg("abnormal", vec![var("X")]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            q2.answers(&interp()),
+            BTreeSet::from([vec![cst("alice")]])
+        );
+    }
+
+    #[test]
+    fn unsafe_queries_are_rejected() {
+        assert!(Query::boolean(vec![neg("p", vec![var("X")])]).is_err());
+        assert!(Query::new(
+            vec![Symbol::intern("Z")],
+            vec![pos("person", vec![var("X")])]
+        )
+        .is_err());
+        // Ground negative literal is fine.
+        assert!(Query::boolean(vec![neg("person", vec![cst("zed")])]).is_ok());
+    }
+
+    #[test]
+    fn negative_ground_query_follows_domain_semantics() {
+        // ¬hasFather(alice, carol): carol is not in the domain of `interp`, so
+        // the negative literal is not in I and the query does not hold.
+        let q = Query::boolean(vec![neg("hasFather", vec![cst("alice"), cst("carol")])]).unwrap();
+        assert!(!q.holds(&interp()));
+        // ¬hasFather(alice, bob) holds: bob is in the domain (person(bob)) and
+        // the atom is false.
+        let q1 = Query::boolean(vec![neg("hasFather", vec![cst("alice"), cst("bob")])]).unwrap();
+        assert!(q1.holds(&interp()));
+        // ¬abnormal(alice) holds (alice is in the domain, atom is false).
+        let q2 = Query::boolean(vec![neg("abnormal", vec![cst("alice")])]).unwrap();
+        assert!(q2.holds(&interp()));
+    }
+
+    #[test]
+    fn negate_single_literal() {
+        let q = Query::boolean(vec![pos("abnormal", vec![cst("bob")])]).unwrap();
+        let n = q.negate_single_literal().unwrap();
+        assert!(!n.holds(&interp()) == q.holds(&interp()));
+        let conj = Query::boolean(vec![
+            pos("person", vec![var("X")]),
+            pos("abnormal", vec![var("X")]),
+        ])
+        .unwrap();
+        assert!(conj.negate_single_literal().is_none());
+    }
+
+    #[test]
+    fn display_renders_queries() {
+        let q = Query::new(
+            vec![Symbol::intern("X")],
+            vec![
+                pos("person", vec![var("X")]),
+                neg("abnormal", vec![var("X")]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(q.to_string(), "?(X) :- person(X), not abnormal(X).");
+    }
+}

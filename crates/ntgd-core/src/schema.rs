@@ -1,0 +1,205 @@
+//! Relational schemas and positions.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::atom::Atom;
+use crate::error::{CoreError, CoreResult};
+use crate::symbol::Symbol;
+
+/// A *position* `p[i]` — the `i`-th attribute (1-based, as in the paper) of
+/// predicate `p`.  Positions are the vertices of the position graph used to
+/// define weak-acyclicity (paper, Definition 3).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Position {
+    /// The predicate symbol.
+    pub predicate: Symbol,
+    /// 1-based attribute index.
+    pub index: usize,
+}
+
+impl Position {
+    /// Creates the position `predicate[index]` (1-based index).
+    pub fn new(predicate: Symbol, index: usize) -> Position {
+        Position { predicate, index }
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.predicate, self.index)
+    }
+}
+
+/// A relational schema: a finite map from predicate symbols to arities.
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct Schema {
+    arities: BTreeMap<Symbol, usize>,
+}
+
+impl Schema {
+    /// Creates an empty schema.
+    pub fn new() -> Schema {
+        Schema::default()
+    }
+
+    /// Declares (or re-checks) a predicate with the given arity.
+    ///
+    /// Returns an error if the predicate was previously declared with a
+    /// different arity.
+    pub fn declare(&mut self, predicate: Symbol, arity: usize) -> CoreResult<()> {
+        match self.arities.get(&predicate) {
+            Some(&existing) if existing != arity => Err(CoreError::ArityMismatch {
+                predicate: predicate.as_str().to_owned(),
+                expected: existing,
+                found: arity,
+            }),
+            _ => {
+                self.arities.insert(predicate, arity);
+                Ok(())
+            }
+        }
+    }
+
+    /// Declares the predicate of an atom.
+    pub fn declare_atom(&mut self, atom: &Atom) -> CoreResult<()> {
+        self.declare(atom.predicate(), atom.arity())
+    }
+
+    /// Returns the arity of a predicate, if declared.
+    pub fn arity(&self, predicate: Symbol) -> Option<usize> {
+        self.arities.get(&predicate).copied()
+    }
+
+    /// Returns `true` if the predicate is declared.
+    pub fn contains(&self, predicate: Symbol) -> bool {
+        self.arities.contains_key(&predicate)
+    }
+
+    /// Number of declared predicates.
+    pub fn len(&self) -> usize {
+        self.arities.len()
+    }
+
+    /// Returns `true` if no predicate is declared.
+    pub fn is_empty(&self) -> bool {
+        self.arities.is_empty()
+    }
+
+    /// Iterates over `(predicate, arity)` pairs in a deterministic order.
+    pub fn predicates(&self) -> impl Iterator<Item = (Symbol, usize)> + '_ {
+        self.arities.iter().map(|(&p, &a)| (p, a))
+    }
+
+    /// The set of positions `pos(R)` of this schema (paper, Section 4.1).
+    pub fn positions(&self) -> Vec<Position> {
+        let mut out = Vec::new();
+        for (&p, &a) in &self.arities {
+            for i in 1..=a {
+                out.push(Position::new(p, i));
+            }
+        }
+        out
+    }
+
+    /// Merges another schema into this one, checking arity consistency.
+    pub fn merge(&mut self, other: &Schema) -> CoreResult<()> {
+        for (p, a) in other.predicates() {
+            self.declare(p, a)?;
+        }
+        Ok(())
+    }
+
+    /// The maximum arity over all declared predicates (0 for an empty schema).
+    pub fn max_arity(&self) -> usize {
+        self.arities.values().copied().max().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (p, a) in self.predicates() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}/{a}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cst;
+
+    #[test]
+    fn declare_and_query_arities() {
+        let mut s = Schema::new();
+        s.declare(Symbol::intern("p"), 2).unwrap();
+        s.declare(Symbol::intern("q"), 0).unwrap();
+        assert_eq!(s.arity(Symbol::intern("p")), Some(2));
+        assert_eq!(s.arity(Symbol::intern("q")), Some(0));
+        assert_eq!(s.arity(Symbol::intern("r")), None);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.max_arity(), 2);
+    }
+
+    #[test]
+    fn arity_conflicts_are_rejected() {
+        let mut s = Schema::new();
+        s.declare(Symbol::intern("p"), 2).unwrap();
+        let err = s.declare(Symbol::intern("p"), 3).unwrap_err();
+        assert!(matches!(err, CoreError::ArityMismatch { .. }));
+        // Re-declaring with the same arity is fine.
+        s.declare(Symbol::intern("p"), 2).unwrap();
+    }
+
+    #[test]
+    fn positions_enumerate_all_attributes() {
+        let mut s = Schema::new();
+        s.declare(Symbol::intern("p"), 2).unwrap();
+        s.declare(Symbol::intern("q"), 1).unwrap();
+        let pos = s.positions();
+        assert_eq!(pos.len(), 3);
+        assert!(pos.contains(&Position::new(Symbol::intern("p"), 1)));
+        assert!(pos.contains(&Position::new(Symbol::intern("p"), 2)));
+        assert!(pos.contains(&Position::new(Symbol::intern("q"), 1)));
+    }
+
+    #[test]
+    fn declare_atom_uses_atom_arity() {
+        let mut s = Schema::new();
+        s.declare_atom(&Atom::from_parts("p", vec![cst("a"), cst("b")]))
+            .unwrap();
+        assert_eq!(s.arity(Symbol::intern("p")), Some(2));
+        assert!(s
+            .declare_atom(&Atom::from_parts("p", vec![cst("a")]))
+            .is_err());
+    }
+
+    #[test]
+    fn merge_combines_schemas() {
+        let mut a = Schema::new();
+        a.declare(Symbol::intern("p"), 1).unwrap();
+        let mut b = Schema::new();
+        b.declare(Symbol::intern("q"), 2).unwrap();
+        a.merge(&b).unwrap();
+        assert!(a.contains(Symbol::intern("q")));
+        let mut c = Schema::new();
+        c.declare(Symbol::intern("p"), 3).unwrap();
+        assert!(a.merge(&c).is_err());
+    }
+
+    #[test]
+    fn display_lists_predicates() {
+        let mut s = Schema::new();
+        s.declare(Symbol::intern("p"), 2).unwrap();
+        s.declare(Symbol::intern("q"), 0).unwrap();
+        let rendered = s.to_string();
+        assert!(rendered.contains("p/2"));
+        assert!(rendered.contains("q/0"));
+    }
+}

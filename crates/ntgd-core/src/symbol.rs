@@ -1,0 +1,163 @@
+//! A small global string interner.
+//!
+//! Predicate names, constants and variable names are interned into [`Symbol`]s
+//! (a `u32` index) so that equality checks, hashing and cloning of terms and
+//! atoms are cheap.  Interned strings live for the lifetime of the process;
+//! logic programs have a bounded number of distinct symbols, so this is an
+//! acceptable trade-off for a reasoning engine (the same strategy is used by
+//! most compilers and Datalog engines).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+/// An interned string.
+///
+/// `Symbol` is `Copy`, `Eq`, `Ord` and `Hash`; the ordering is the order of
+/// interning (stable within one process run), which is sufficient for use in
+/// ordered containers but is **not** lexicographic.  Use [`Symbol::as_str`]
+/// when a lexicographic order is required.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+impl Interner {
+    fn new() -> Self {
+        Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        }
+    }
+
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.map.get(s) {
+            return id;
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = self.strings.len() as u32;
+        self.strings.push(leaked);
+        self.map.insert(leaked, id);
+        id
+    }
+
+    fn resolve(&self, id: u32) -> &'static str {
+        self.strings[id as usize]
+    }
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| RwLock::new(Interner::new()))
+}
+
+impl Symbol {
+    /// Interns `s` and returns its symbol.  Interning the same string twice
+    /// yields the same symbol.
+    pub fn intern(s: &str) -> Symbol {
+        // Fast path: read lock only.
+        {
+            let guard = interner().read().expect("interner poisoned");
+            if let Some(&id) = guard.map.get(s) {
+                return Symbol(id);
+            }
+        }
+        let mut guard = interner().write().expect("interner poisoned");
+        Symbol(guard.intern(s))
+    }
+
+    /// Returns the interned string.
+    pub fn as_str(&self) -> &'static str {
+        interner()
+            .read()
+            .expect("interner poisoned")
+            .resolve(self.0)
+    }
+
+    /// Returns the raw interner index (useful for dense tables keyed by symbol).
+    pub fn index(&self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol::intern(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Self {
+        Symbol::intern(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::intern("person");
+        let b = Symbol::intern("person");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "person");
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let a = Symbol::intern("p");
+        let b = Symbol::intern("q");
+        assert_ne!(a, b);
+        assert_eq!(a.as_str(), "p");
+        assert_eq!(b.as_str(), "q");
+    }
+
+    #[test]
+    fn symbols_hash_consistently() {
+        let mut set = HashSet::new();
+        set.insert(Symbol::intern("x"));
+        assert!(set.contains(&Symbol::intern("x")));
+        assert!(!set.contains(&Symbol::intern("y")));
+    }
+
+    #[test]
+    fn display_matches_source_string() {
+        let s = Symbol::intern("hasFather");
+        assert_eq!(format!("{s}"), "hasFather");
+        assert_eq!(format!("{s:?}"), "\"hasFather\"");
+    }
+
+    #[test]
+    fn empty_and_unicode_strings() {
+        let e = Symbol::intern("");
+        assert_eq!(e.as_str(), "");
+        let u = Symbol::intern("déjà_vu");
+        assert_eq!(u.as_str(), "déjà_vu");
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(|| Symbol::intern("shared_symbol")))
+            .collect();
+        let ids: Vec<Symbol> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -1,0 +1,183 @@
+//! Terms: constants, labelled nulls and variables (paper, Section 2).
+//!
+//! * Different **constants** represent different values (unique name
+//!   assumption).
+//! * **Labelled nulls** are placeholders for unknown values; different nulls
+//!   may represent the same value.
+//! * **Variables** occur only in rules and queries, never in databases or
+//!   interpretations.
+
+use std::fmt;
+
+use crate::symbol::Symbol;
+
+/// Identifier of a labelled null.
+pub type NullId = u64;
+
+/// A term: constant, labelled null, or variable.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Term {
+    /// A constant from the countably infinite set **C**.
+    Const(Symbol),
+    /// A labelled null from the set **N**.
+    Null(NullId),
+    /// A variable from the set **V**.
+    Var(Symbol),
+}
+
+impl Term {
+    /// Creates a constant term.
+    pub fn constant(name: &str) -> Term {
+        Term::Const(Symbol::intern(name))
+    }
+
+    /// Creates a variable term.
+    pub fn variable(name: &str) -> Term {
+        Term::Var(Symbol::intern(name))
+    }
+
+    /// Creates a labelled null term.
+    pub fn null(id: NullId) -> Term {
+        Term::Null(id)
+    }
+
+    /// Returns `true` for constants.
+    pub fn is_constant(&self) -> bool {
+        matches!(self, Term::Const(_))
+    }
+
+    /// Returns `true` for labelled nulls.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Term::Null(_))
+    }
+
+    /// Returns `true` for variables.
+    pub fn is_variable(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// Returns `true` for constants and nulls (the terms allowed in
+    /// interpretations).
+    pub fn is_ground(&self) -> bool {
+        !self.is_variable()
+    }
+
+    /// Returns the symbol of a constant or variable, if any.
+    pub fn symbol(&self) -> Option<Symbol> {
+        match self {
+            Term::Const(s) | Term::Var(s) => Some(*s),
+            Term::Null(_) => None,
+        }
+    }
+
+    /// Returns the variable symbol if this term is a variable.
+    pub fn as_variable(&self) -> Option<Symbol> {
+        match self {
+            Term::Var(s) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// Returns the constant symbol if this term is a constant.
+    pub fn as_constant(&self) -> Option<Symbol> {
+        match self {
+            Term::Const(s) => Some(*s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Const(s) => write!(f, "{s}"),
+            Term::Null(id) => write!(f, "_n{id}"),
+            Term::Var(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A monotone factory for fresh labelled nulls.
+///
+/// Chase procedures and the stable-model grounder use a `NullFactory` to invent
+/// new values; the factory never hands out the same identifier twice.
+#[derive(Debug, Clone, Default)]
+pub struct NullFactory {
+    next: NullId,
+}
+
+impl NullFactory {
+    /// Creates a factory whose first null is `_n0`.
+    pub fn new() -> Self {
+        NullFactory { next: 0 }
+    }
+
+    /// Creates a factory starting at the given identifier.
+    pub fn starting_at(next: NullId) -> Self {
+        NullFactory { next }
+    }
+
+    /// Returns a fresh null term.
+    pub fn fresh(&mut self) -> Term {
+        let id = self.next;
+        self.next += 1;
+        Term::Null(id)
+    }
+
+    /// Number of nulls issued so far (relative to the starting point).
+    pub fn issued(&self) -> NullId {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_predicates() {
+        let c = Term::constant("alice");
+        let v = Term::variable("X");
+        let n = Term::null(3);
+        assert!(c.is_constant() && c.is_ground() && !c.is_variable());
+        assert!(v.is_variable() && !v.is_ground() && !v.is_constant());
+        assert!(n.is_null() && n.is_ground() && !n.is_constant());
+    }
+
+    #[test]
+    fn equality_follows_unique_name_assumption() {
+        assert_eq!(Term::constant("a"), Term::constant("a"));
+        assert_ne!(Term::constant("a"), Term::constant("b"));
+        assert_ne!(Term::constant("a"), Term::variable("a"));
+        assert_ne!(Term::null(0), Term::null(1));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Term::constant("bob").to_string(), "bob");
+        assert_eq!(Term::variable("X").to_string(), "X");
+        assert_eq!(Term::null(7).to_string(), "_n7");
+    }
+
+    #[test]
+    fn null_factory_is_monotone() {
+        let mut f = NullFactory::new();
+        let a = f.fresh();
+        let b = f.fresh();
+        assert_ne!(a, b);
+        assert_eq!(f.issued(), 2);
+        let mut g = NullFactory::starting_at(100);
+        assert_eq!(g.fresh(), Term::Null(100));
+    }
+
+    #[test]
+    fn symbol_accessors() {
+        assert_eq!(
+            Term::constant("a").as_constant(),
+            Some(Symbol::intern("a"))
+        );
+        assert_eq!(Term::variable("X").as_variable(), Some(Symbol::intern("X")));
+        assert_eq!(Term::null(1).symbol(), None);
+        assert_eq!(Term::constant("a").as_variable(), None);
+    }
+}

@@ -1,0 +1,304 @@
+//! Disjunctive Datalog and the Theorem 15/16 translation into `WATGD¬`.
+//!
+//! A `DATALOG¬,∨` query is a pair `(Σ, q)` where `Σ` is a set of NDTGDs whose
+//! heads are existential-free disjunctions of atoms and `q` is a predicate
+//! not occurring in rule bodies.  Theorem 15 (cautious) and Theorem 16
+//! (brave) show that every such query can be translated into an equivalent
+//! `WATGD¬` query — disjunction is *simulated* with existential
+//! quantification and stable negation:
+//!
+//! * every predicate `p` is reified by a fresh unary predicate `pred_p`
+//!   populated with a single guessed witness (`→ ∃X pred_p(X)`), pairwise
+//!   disjoint from the other predicate witnesses;
+//! * each disjunctive rule guesses a value `Z` (via `∃Z t_ρ(Z, X)`), forces
+//!   `Z` to be one of the predicate witnesses of its disjuncts, infers the
+//!   chosen disjunct, and adds support rules so that already-satisfied
+//!   disjuncts keep `t_ρ` stable.
+//!
+//! Crucially, the only special edges of the translated position graph point
+//! *into* `t_ρ[1]` and no edge leaves it, so the result is weakly acyclic —
+//! this is exactly the argument closing Theorem 15 in the paper.
+
+use ntgd_core::{
+    atom, Atom, CoreError, CoreResult, DisjunctiveProgram, Literal, Ntgd, Program,
+    Symbol, Term,
+};
+
+/// A disjunctive Datalog query `(Σ, q)`.
+#[derive(Clone, Debug)]
+pub struct DatalogQuery {
+    /// The query program: NDTGDs with existential-free single-atom disjuncts.
+    pub program: DisjunctiveProgram,
+    /// The answer predicate (must not occur in rule bodies).
+    pub query_predicate: Symbol,
+}
+
+impl DatalogQuery {
+    /// Creates and validates a disjunctive Datalog query.
+    pub fn new(program: DisjunctiveProgram, query_predicate: Symbol) -> CoreResult<DatalogQuery> {
+        for rule in program.rules() {
+            for (d, disjunct) in rule.disjuncts().iter().enumerate() {
+                if disjunct.len() != 1 {
+                    return Err(CoreError::Invalid(format!(
+                        "disjunct `{}` is not a single atom",
+                        disjunct
+                            .iter()
+                            .map(|a| a.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )));
+                }
+                if !rule.existential_variables_of(d).is_empty() {
+                    return Err(CoreError::Invalid(format!(
+                        "rule `{rule}` has existential variables; not a Datalog rule"
+                    )));
+                }
+            }
+            for lit in rule.body() {
+                if lit.atom().predicate() == query_predicate {
+                    return Err(CoreError::Invalid(format!(
+                        "query predicate {query_predicate} occurs in a rule body"
+                    )));
+                }
+            }
+        }
+        Ok(DatalogQuery {
+            program,
+            query_predicate,
+        })
+    }
+}
+
+/// The result of the Theorem 15/16 translation.
+#[derive(Clone, Debug)]
+pub struct TranslatedDatalogQuery {
+    /// The weakly-acyclic normal program `Σ′`.
+    pub program: Program,
+    /// The fresh answer predicate `q′`.
+    pub query_predicate: Symbol,
+}
+
+fn pred_witness(p: Symbol) -> Symbol {
+    Symbol::intern(&format!("pred_{p}"))
+}
+
+/// Translates a disjunctive Datalog query into a `WATGD¬` query
+/// (Theorem 15/16).  The same translation serves both the cautious and the
+/// brave semantics.
+pub fn datalog_to_watgd(query: &DatalogQuery) -> CoreResult<TranslatedDatalogQuery> {
+    let schema = query.program.schema()?;
+    let mut rules: Vec<Ntgd> = Vec::new();
+    let false_atom = atom("false", vec![]);
+
+    // Reify predicates: → ∃X pred_p(X), pairwise disjoint.
+    let predicates: Vec<Symbol> = schema.predicates().map(|(p, _)| p).collect();
+    for &p in &predicates {
+        rules.push(Ntgd::new(
+            Vec::new(),
+            vec![Atom::new(pred_witness(p), vec![Term::variable("W")])],
+        )?);
+    }
+    for (i, &p) in predicates.iter().enumerate() {
+        for &s in predicates.iter().skip(i + 1) {
+            rules.push(Ntgd::new(
+                vec![
+                    Literal::positive(Atom::new(pred_witness(p), vec![Term::variable("W")])),
+                    Literal::positive(Atom::new(pred_witness(s), vec![Term::variable("W")])),
+                ],
+                vec![false_atom.clone()],
+            )?);
+        }
+    }
+
+    // Per-rule translation.
+    for (ridx, rule) in query.program.rules().iter().enumerate() {
+        if rule.is_non_disjunctive() {
+            rules.push(rule.to_ntgd().expect("single disjunct"));
+            continue;
+        }
+        let t_pred = Symbol::intern(&format!("t_datalog{ridx}"));
+        let guess_var = Term::variable(&format!("Z_{ridx}"));
+        let frontier: Vec<Term> = rule
+            .universal_variables()
+            .into_iter()
+            .map(Term::Var)
+            .collect();
+        let mut t_args = vec![guess_var];
+        t_args.extend(frontier.iter().copied());
+        let t_head = Atom::new(t_pred, t_args);
+
+        // ϕ(X,Y) → ∃Z t_ρ(Z, X).
+        rules.push(Ntgd::new(rule.body().to_vec(), vec![t_head.clone()])?);
+        // t_ρ(Z,X) ∧ ¬pred_{p₁}(Z) ∧ … ∧ ¬pred_{pₘ}(Z) → false.
+        let mut guard = vec![Literal::positive(t_head.clone())];
+        for disjunct in rule.disjuncts() {
+            guard.push(Literal::negative(Atom::new(
+                pred_witness(disjunct[0].predicate()),
+                vec![guess_var],
+            )));
+        }
+        rules.push(Ntgd::new(guard, vec![false_atom.clone()])?);
+        // t_ρ(Z,X) ∧ pred_{pᵢ}(Z) → pᵢ(X).
+        for disjunct in rule.disjuncts() {
+            rules.push(Ntgd::new(
+                vec![
+                    Literal::positive(t_head.clone()),
+                    Literal::positive(Atom::new(
+                        pred_witness(disjunct[0].predicate()),
+                        vec![guess_var],
+                    )),
+                ],
+                vec![disjunct[0].clone()],
+            )?);
+        }
+        // ϕ(X,Y) ∧ pᵢ(X) ∧ pred_{pᵢ}(Z) → t_ρ(Z, X).
+        for disjunct in rule.disjuncts() {
+            let mut body = rule.body().to_vec();
+            body.push(Literal::positive(disjunct[0].clone()));
+            body.push(Literal::positive(Atom::new(
+                pred_witness(disjunct[0].predicate()),
+                vec![guess_var],
+            )));
+            rules.push(Ntgd::new(body, vec![t_head.clone()])?);
+        }
+    }
+
+    // false ∧ ¬aux → aux.
+    rules.push(Ntgd::new(
+        vec![
+            Literal::positive(false_atom),
+            Literal::negative(atom("aux", vec![])),
+        ],
+        vec![atom("aux", vec![])],
+    )?);
+
+    // q(X) → q′(X).
+    let arity = schema.arity(query.query_predicate).unwrap_or(0);
+    let q_vars: Vec<Term> = (0..arity)
+        .map(|i| Term::variable(&format!("Q{i}")))
+        .collect();
+    let q_prime = Symbol::intern(&format!("{}_prime", query.query_predicate));
+    rules.push(Ntgd::new(
+        vec![Literal::positive(Atom::new(
+            query.query_predicate,
+            q_vars.clone(),
+        ))],
+        vec![Atom::new(q_prime, q_vars)],
+    )?);
+
+    Ok(TranslatedDatalogQuery {
+        program: Program::from_rules(rules)?,
+        query_predicate: q_prime,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntgd_classes::is_weakly_acyclic;
+    use ntgd_core::Query;
+    use ntgd_parser::{parse_database, parse_unit};
+    use ntgd_sms::{NullBudget, SmsAnswer, SmsEngine, SmsOptions};
+
+    /// A small disjunctive Datalog program: guess a 2-colouring, derive
+    /// `clash` on monochromatic edges, and `ok` when no clash can be avoided
+    /// is *not* derived — the classical structure of CERT-style queries.
+    fn two_colouring_query() -> DatalogQuery {
+        let program = parse_unit(
+            "node(X) -> red(X) | green(X).\
+             edge(X, Y), red(X), red(Y) -> clash.\
+             edge(X, Y), green(X), green(Y) -> clash.\
+             clash -> q.",
+        )
+        .unwrap()
+        .disjunctive_program()
+        .unwrap();
+        DatalogQuery::new(program, Symbol::intern("q")).unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_non_datalog_rules() {
+        let with_exist = parse_unit("p(X) -> q(X, Y) | r(X).")
+            .unwrap()
+            .disjunctive_program()
+            .unwrap();
+        assert!(DatalogQuery::new(with_exist, Symbol::intern("q")).is_err());
+        let conj_head = parse_unit("p(X) -> q(X), r(X) | s(X).")
+            .unwrap()
+            .disjunctive_program()
+            .unwrap();
+        assert!(DatalogQuery::new(conj_head, Symbol::intern("q")).is_err());
+        let body_query = parse_unit("q(X) -> p(X) | r(X).")
+            .unwrap()
+            .disjunctive_program()
+            .unwrap();
+        assert!(DatalogQuery::new(body_query, Symbol::intern("q")).is_err());
+    }
+
+    #[test]
+    fn translation_is_weakly_acyclic() {
+        // The decisive point of Theorem 15: the translated program belongs to
+        // WATGD¬ even though it uses existential quantification.
+        let t = datalog_to_watgd(&two_colouring_query()).unwrap();
+        assert!(is_weakly_acyclic(&t.program));
+        assert_eq!(t.query_predicate.as_str(), "q_prime");
+    }
+
+    #[test]
+    fn direct_disjunctive_answers_follow_colourability() {
+        let dq = two_colouring_query();
+        // Odd cycle: not 2-colourable, so clash (hence q) holds in every
+        // stable model.  Even path: 2-colourable, so q is not cautiously
+        // entailed but is bravely entailed (some colourings clash).
+        let cases = [
+            (
+                "node(a). node(b). node(c). edge(a,b). edge(b,c). edge(c,a).",
+                SmsAnswer::Entailed,
+                true,
+            ),
+            ("node(a). node(b). edge(a,b).", SmsAnswer::NotEntailed, true),
+        ];
+        for (db_text, expected_cautious, expected_brave) in cases {
+            let db = parse_database(db_text).unwrap();
+            let q_direct = Query::boolean(vec![ntgd_core::pos("q", vec![])]).unwrap();
+            let direct = SmsEngine::new_disjunctive(dq.program.clone());
+            assert_eq!(
+                direct.entails_cautious(&db, &q_direct).unwrap(),
+                expected_cautious,
+                "direct cautious answer for {db_text}"
+            );
+            assert_eq!(
+                direct.entails_brave(&db, &q_direct).unwrap(),
+                expected_brave,
+                "direct brave answer for {db_text}"
+            );
+        }
+    }
+
+    #[test]
+    #[ignore = "expensive: full counter-model exhaustion; exercised by the experiments binary instead"]
+    fn translation_preserves_answers_on_a_small_graph() {
+        // The translated program has a much larger grounding (one witness
+        // predicate per relation), so the equivalence is exercised on the
+        // smallest non-trivial graph; the larger comparison is part of
+        // experiment E7 in the benchmark harness.
+        let dq = two_colouring_query();
+        let t = datalog_to_watgd(&dq).unwrap();
+        let db = parse_database("node(a). node(b). edge(a,b).").unwrap();
+        let q_direct = Query::boolean(vec![ntgd_core::pos("q", vec![])]).unwrap();
+        let q_translated = Query::boolean(vec![ntgd_core::pos("q_prime", vec![])]).unwrap();
+        let direct = SmsEngine::new_disjunctive(dq.program.clone());
+        let translated = SmsEngine::new(t.program.clone()).with_options(SmsOptions {
+            null_budget: NullBudget::Auto,
+            ..Default::default()
+        });
+        assert_eq!(
+            direct.entails_brave(&db, &q_direct).unwrap(),
+            translated.entails_brave(&db, &q_translated).unwrap(),
+        );
+        assert_eq!(
+            direct.entails_cautious(&db, &q_direct).unwrap(),
+            translated.entails_cautious(&db, &q_translated).unwrap(),
+        );
+    }
+}

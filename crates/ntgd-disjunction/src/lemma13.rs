@@ -1,0 +1,256 @@
+//! Lemma 13: eliminating disjunction from NDTGDs.
+//!
+//! Given a database `D` and a set `Σ ∈ WATGD¬,∨`, the translation produces a
+//! database `D′` and a set `Σ′ ∈ TGD¬` (non-disjunctive) such that
+//! `(D,Σ) ⊨_SMS q  iff  (D′,Σ′) ⊨_SMS q`.  For every disjunctive rule
+//! `σ : ϕ(X,Y) → ⋁ᵢ ∃Zᵢ ψᵢ(X,Zᵢ)` the translation introduces
+//!
+//! * a *guess* part — a fresh predicate `t_σ(I, X, Z)` whose first position
+//!   holds a disjunct index, constrained to one of the index constants
+//!   `c₁,…,c_k` added to the database;
+//! * an *infer* part — `t_σ(I,X,Z) ∧ idxᵢ(I) → ψᵢ(X,Zᵢ)`;
+//! * a *stability* part — if some disjunct already holds, `t_σ` is supported
+//!   with the `nil` constant padding the unused existential positions, so
+//!   that the guess rule does not create spurious support.
+//!
+//! A 0-ary predicate `false` is forced to be false in every stable model via
+//! the auxiliary rule `false ∧ ¬aux → aux`.
+
+use ntgd_core::{
+    atom, cst, Atom, CoreResult, Database, DisjunctiveProgram, Literal, Ntgd, Program,
+    Symbol, Term,
+};
+
+/// The output of the Lemma 13 translation.
+#[derive(Clone, Debug)]
+pub struct DisjunctionFreeProgram {
+    /// The translated, non-disjunctive program `Σ′`.
+    pub program: Program,
+    /// The facts to add to any input database (`nil(⋆)` and the disjunct
+    /// index constants).
+    pub extra_facts: Vec<Atom>,
+}
+
+impl DisjunctionFreeProgram {
+    /// Extends a database with the auxiliary facts of the translation
+    /// (producing the `D′` of Lemma 13).
+    pub fn extend_database(&self, database: &Database) -> Database {
+        let mut out = database.clone();
+        for f in &self.extra_facts {
+            out.insert(f.clone()).expect("auxiliary facts are ground");
+        }
+        out
+    }
+}
+
+fn idx_predicate(i: usize) -> Symbol {
+    Symbol::intern(&format!("idx{}", i + 1))
+}
+
+fn index_constant(i: usize) -> Term {
+    cst(&format!("c_idx{}", i + 1))
+}
+
+const NIL_CONSTANT: &str = "nil_star";
+
+/// Applies the Lemma 13 translation to a disjunctive program.
+pub fn eliminate_disjunction(program: &DisjunctiveProgram) -> CoreResult<DisjunctionFreeProgram> {
+    let max_disjuncts = program.max_disjuncts();
+    let mut rules: Vec<Ntgd> = Vec::new();
+    let mut needs_false_machinery = false;
+
+    for (ridx, rule) in program.rules().iter().enumerate() {
+        if rule.is_non_disjunctive() {
+            rules.push(rule.to_ntgd().expect("single disjunct"));
+            continue;
+        }
+        needs_false_machinery = true;
+        let n = rule.disjunct_count();
+        let t_pred = Symbol::intern(&format!("t_rule{ridx}"));
+        let frontier: Vec<Term> = rule
+            .universal_variables()
+            .into_iter()
+            .map(Term::Var)
+            .collect();
+        // The existential variables of each disjunct, in a fixed order.
+        let per_disjunct_exist: Vec<Vec<Term>> = (0..n)
+            .map(|d| {
+                rule.existential_variables_of(d)
+                    .into_iter()
+                    .map(Term::Var)
+                    .collect()
+            })
+            .collect();
+        let all_exist: Vec<Term> = per_disjunct_exist.iter().flatten().copied().collect();
+        let index_var = Term::variable(&format!("IDX_{ridx}"));
+
+        // t_σ(I, X, Z) arguments: index, frontier, then all existential slots.
+        let mut t_args = vec![index_var];
+        t_args.extend(frontier.iter().copied());
+        t_args.extend(all_exist.iter().copied());
+        let t_head = Atom::new(t_pred, t_args.clone());
+
+        // Guess: ϕ(X,Y) → ∃I ∃Z t_σ(I,X,Z).
+        rules.push(Ntgd::new(rule.body().to_vec(), vec![t_head.clone()])?);
+
+        // The index must be one of the declared disjunct indices:
+        // t_σ(I,X,Z) ∧ ¬idx₁(I) ∧ … ∧ ¬idxₙ(I) → false.
+        let mut guard_body = vec![Literal::positive(t_head.clone())];
+        for i in 0..n {
+            guard_body.push(Literal::negative(Atom::new(
+                idx_predicate(i),
+                vec![index_var],
+            )));
+        }
+        rules.push(Ntgd::new(guard_body, vec![atom("false", vec![])])?);
+
+        // Infer: t_σ(I,X,Z) ∧ idxᵢ(I) → ψᵢ(X,Zᵢ).
+        for (i, disjunct) in rule.disjuncts().iter().enumerate() {
+            let body = vec![
+                Literal::positive(t_head.clone()),
+                Literal::positive(Atom::new(idx_predicate(i), vec![index_var])),
+            ];
+            rules.push(Ntgd::new(body, vec![disjunct.clone()].concat())?);
+        }
+
+        // Stability: ϕ(X,Y) ∧ ψᵢ(X,Zᵢ) ∧ idxᵢ(I) ∧ nil(N)
+        //              → t_σ(I, X, N..Zᵢ..N).
+        let nil_var = Term::variable(&format!("NIL_{ridx}"));
+        for (i, disjunct) in rule.disjuncts().iter().enumerate() {
+            let mut body = rule.body().to_vec();
+            for a in disjunct {
+                body.push(Literal::positive(a.clone()));
+            }
+            body.push(Literal::positive(Atom::new(
+                idx_predicate(i),
+                vec![index_var],
+            )));
+            body.push(Literal::positive(atom("nil", vec![nil_var])));
+            let mut head_args = vec![index_var];
+            head_args.extend(frontier.iter().copied());
+            for (d, exist) in per_disjunct_exist.iter().enumerate() {
+                for z in exist {
+                    if d == i {
+                        head_args.push(*z);
+                    } else {
+                        head_args.push(nil_var);
+                    }
+                }
+            }
+            rules.push(Ntgd::new(body, vec![Atom::new(t_pred, head_args)])?);
+        }
+    }
+
+    if needs_false_machinery {
+        // false ∧ ¬aux → aux  forces `false` to be false in stable models.
+        rules.push(Ntgd::new(
+            vec![
+                Literal::positive(atom("false", vec![])),
+                Literal::negative(atom("aux", vec![])),
+            ],
+            vec![atom("aux", vec![])],
+        )?);
+    }
+
+    let mut extra_facts = vec![atom("nil", vec![cst(NIL_CONSTANT)])];
+    if needs_false_machinery {
+        for i in 0..max_disjuncts {
+            extra_facts.push(Atom::new(idx_predicate(i), vec![index_constant(i)]));
+        }
+    }
+    Ok(DisjunctionFreeProgram {
+        program: Program::from_rules(rules)?,
+        extra_facts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntgd_core::Query;
+    use ntgd_sms::{SmsAnswer, SmsEngine};
+    use ntgd_parser::{parse_database, parse_query, parse_unit};
+
+    fn disjunctive(text: &str) -> DisjunctiveProgram {
+        parse_unit(text).unwrap().disjunctive_program().unwrap()
+    }
+
+    fn cautious_direct(db: &Database, prog: &DisjunctiveProgram, q: &Query) -> SmsAnswer {
+        SmsEngine::new_disjunctive(prog.clone())
+            .entails_cautious(db, q)
+            .unwrap()
+    }
+
+    fn cautious_translated(db: &Database, prog: &DisjunctiveProgram, q: &Query) -> SmsAnswer {
+        let translated = eliminate_disjunction(prog).unwrap();
+        let db2 = translated.extend_database(db);
+        SmsEngine::new(translated.program.clone())
+            .entails_cautious(&db2, q)
+            .unwrap()
+    }
+
+    #[test]
+    fn non_disjunctive_rules_pass_through_unchanged() {
+        let prog = disjunctive("p(X) -> q(X). q(X), not r(X) -> s(X).");
+        let t = eliminate_disjunction(&prog).unwrap();
+        assert_eq!(t.program.len(), 2);
+        assert_eq!(t.extra_facts.len(), 1); // just nil(⋆)
+    }
+
+    #[test]
+    fn translation_introduces_guess_infer_and_stability_rules() {
+        let prog = disjunctive("node(X) -> red(X) | green(X).");
+        let t = eliminate_disjunction(&prog).unwrap();
+        // guess + guard + 2 infer + 2 stability + false machinery = 7 rules.
+        assert_eq!(t.program.len(), 7);
+        // nil + idx1 + idx2 facts.
+        assert_eq!(t.extra_facts.len(), 3);
+    }
+
+    #[test]
+    #[ignore = "expensive: full counter-model exhaustion; exercised by the experiments binary instead"]
+    fn translated_program_preserves_cautious_answers_for_colouring() {
+        let prog = disjunctive("node(X) -> red(X) | green(X). edge(X,Y), red(X), red(Y) -> clash. edge(X,Y), green(X), green(Y) -> clash.");
+        let db = parse_database("node(a). node(b). edge(a,b).").unwrap();
+        let queries = [
+            "?- clash.",
+            "?- red(a), green(b).",
+            "?- not clash.",
+        ];
+        for q_text in queries {
+            let q = parse_query(q_text).unwrap();
+            assert_eq!(
+                cautious_direct(&db, &prog, &q),
+                cautious_translated(&db, &prog, &q),
+                "answers differ for {q_text}"
+            );
+        }
+    }
+
+    #[test]
+    #[ignore = "expensive: full counter-model exhaustion; exercised by the experiments binary instead"]
+    fn translated_program_preserves_answers_with_existentials_in_disjuncts() {
+        // r(X) → p(X) ∨ ∃Y s(X,Y)   (the shape of Example 5).
+        let prog = disjunctive("r(X) -> p(X) | s(X, Y). p(X) -> covered(X). s(X, Y) -> covered(X).");
+        let db = parse_database("r(a).").unwrap();
+        let q = parse_query("?- covered(a).").unwrap();
+        assert_eq!(cautious_direct(&db, &prog, &q), SmsAnswer::Entailed);
+        assert_eq!(cautious_translated(&db, &prog, &q), SmsAnswer::Entailed);
+        let q2 = parse_query("?- p(a).").unwrap();
+        assert_eq!(
+            cautious_direct(&db, &prog, &q2),
+            cautious_translated(&db, &prog, &q2)
+        );
+    }
+
+    #[test]
+    fn example5_shows_the_translation_may_break_weak_acyclicity() {
+        // Example 5 of the paper: the original disjunctive program is weakly
+        // acyclic but its translation is not (the new cycles are harmless for
+        // complexity, as the paper argues).
+        let prog = disjunctive("p(X) -> s(X, Y). r(X) -> p(X) | s(X, X).");
+        assert!(ntgd_classes::is_weakly_acyclic_disjunctive(&prog));
+        let t = eliminate_disjunction(&prog).unwrap();
+        assert!(!ntgd_classes::is_weakly_acyclic(&t.program));
+    }
+}

@@ -1,0 +1,21 @@
+//! # ntgd-disjunction
+//!
+//! Disjunction in rule heads (paper, Sections 6 and 7.2):
+//!
+//! * [`lemma13`] — the polynomial translation of Lemma 13 that eliminates
+//!   disjunction from weakly-acyclic NDTGDs by *simulating it with existential
+//!   quantification and stable negation* (the reason Theorem 12 shows that
+//!   disjunction comes for free);
+//! * [`datalog`] — disjunctive Datalog (`DATALOG¬,∨`) programs and the
+//!   translation of Theorem 15/16 embedding them into `WATGD¬`, which
+//!   underlies the expressive-power results (`WATGD¬_c = ΠᴾP₂`,
+//!   `WATGD¬_b = ΣᴾP₂`).
+//!
+//! Both translations are validated in tests by comparing query answers
+//! against the `ntgd-sms` engine run directly on the disjunctive input.
+
+pub mod datalog;
+pub mod lemma13;
+
+pub use datalog::{datalog_to_watgd, DatalogQuery};
+pub use lemma13::{eliminate_disjunction, DisjunctionFreeProgram};

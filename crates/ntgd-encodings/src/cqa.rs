@@ -1,0 +1,332 @@
+//! Consistent query answering (CQA) over subset repairs.
+//!
+//! Section 7.1 lists consistent query answering relative to set-based repairs
+//! [30] as a flagship application of the new query languages.  We reproduce
+//! the classical setting where the constraints are *conflicts* between facts
+//! (as produced, e.g., by key or denial constraints): a **repair** is a
+//! ⊆-maximal subset of the database containing no conflicting pair, and a
+//! tuple is a *consistent answer* if it is an answer over every repair.
+//!
+//! The declarative encoding reifies each database fact with an identifier and
+//! uses stable negation for the repair choice:
+//!
+//! ```text
+//! fact(F), not out(F) -> in(F).          % choose
+//! fact(F), not in(F)  -> out(F).
+//! in(F), in(G), conflict(F, G) -> bad.   % consistency
+//! conflict(F, G), in(G) -> blocked(F).   % maximality: an excluded fact must
+//! conflict(G, F), in(G) -> blocked(F).   %   be blocked by an included one
+//! out(F), not blocked(F) -> bad.
+//! bad, not aux -> aux.                   % kill models containing bad
+//! holds_<p>(...) reconstructed from in/1 for querying.
+//! ```
+//!
+//! The stable models of this program are exactly the repairs, and certain
+//! answers are cautious answers — all computed by `ntgd-sms`.  A brute-force
+//! reference solver validates the encoding.
+
+use std::collections::BTreeSet;
+
+use ntgd_core::{atom, cst, Atom, Database, Literal, Ntgd, Program, Query, Symbol, Term};
+use ntgd_sms::{NullBudget, SmsAnswer, SmsEngine, SmsError, SmsOptions};
+
+/// A CQA instance: a database, a conflict relation between its facts, and a
+/// query over the repaired database.
+#[derive(Clone, Debug)]
+pub struct CqaInstance {
+    /// The (possibly inconsistent) facts.
+    pub facts: Vec<Atom>,
+    /// Conflicting pairs, as indices into `facts`.
+    pub conflicts: Vec<(usize, usize)>,
+}
+
+impl CqaInstance {
+    /// Creates an instance.
+    pub fn new(facts: Vec<Atom>, conflicts: Vec<(usize, usize)>) -> CqaInstance {
+        CqaInstance { facts, conflicts }
+    }
+
+    fn fact_id(&self, i: usize) -> Term {
+        cst(&format!("f{i}"))
+    }
+
+    /// The reified database: `fact/1`, `conflict/2` and one
+    /// `claims_<p>(id, args…)` atom per original fact.
+    pub fn reified_database(&self) -> Database {
+        let mut out: Vec<Atom> = Vec::new();
+        for (i, f) in self.facts.iter().enumerate() {
+            out.push(atom("fact", vec![self.fact_id(i)]));
+            let mut args = vec![self.fact_id(i)];
+            args.extend(f.args().iter().copied());
+            out.push(Atom::new(
+                Symbol::intern(&format!("claims_{}", f.predicate())),
+                args,
+            ));
+        }
+        for &(a, b) in &self.conflicts {
+            out.push(atom("conflict", vec![self.fact_id(a), self.fact_id(b)]));
+        }
+        Database::from_facts(out).expect("reified facts are ground")
+    }
+
+    /// The repair program described in the module documentation.
+    pub fn repair_program(&self) -> Program {
+        let f = ntgd_core::var("F");
+        let g = ntgd_core::var("G");
+        let mut rules = vec![
+            Ntgd::new(
+                vec![
+                    ntgd_core::pos("fact", vec![f]),
+                    ntgd_core::neg("out", vec![f]),
+                ],
+                vec![atom("in", vec![f])],
+            )
+            .expect("choice rule"),
+            Ntgd::new(
+                vec![
+                    ntgd_core::pos("fact", vec![f]),
+                    ntgd_core::neg("in", vec![f]),
+                ],
+                vec![atom("out", vec![f])],
+            )
+            .expect("choice rule"),
+            Ntgd::new(
+                vec![
+                    ntgd_core::pos("in", vec![f]),
+                    ntgd_core::pos("in", vec![g]),
+                    ntgd_core::pos("conflict", vec![f, g]),
+                ],
+                vec![atom("bad", vec![])],
+            )
+            .expect("consistency rule"),
+            Ntgd::new(
+                vec![
+                    ntgd_core::pos("conflict", vec![f, g]),
+                    ntgd_core::pos("in", vec![g]),
+                ],
+                vec![atom("blocked", vec![f])],
+            )
+            .expect("maximality rule"),
+            Ntgd::new(
+                vec![
+                    ntgd_core::pos("conflict", vec![g, f]),
+                    ntgd_core::pos("in", vec![g]),
+                ],
+                vec![atom("blocked", vec![f])],
+            )
+            .expect("maximality rule"),
+            Ntgd::new(
+                vec![
+                    ntgd_core::pos("out", vec![f]),
+                    ntgd_core::neg("blocked", vec![f]),
+                ],
+                vec![atom("bad", vec![])],
+            )
+            .expect("maximality rule"),
+            Ntgd::new(
+                vec![
+                    ntgd_core::pos("bad", vec![]),
+                    ntgd_core::neg("aux", vec![]),
+                ],
+                vec![atom("aux", vec![])],
+            )
+            .expect("constraint rule"),
+        ];
+        // Reconstruct the original relations from the chosen facts:
+        // claims_p(F, X…), in(F) → holds_p(X…).
+        let mut predicates: BTreeSet<(Symbol, usize)> = BTreeSet::new();
+        for fct in &self.facts {
+            predicates.insert((fct.predicate(), fct.arity()));
+        }
+        for (p, arity) in predicates {
+            let vars: Vec<Term> = (0..arity)
+                .map(|i| Term::variable(&format!("A{i}")))
+                .collect();
+            let mut claim_args = vec![f];
+            claim_args.extend(vars.iter().copied());
+            rules.push(
+                Ntgd::new(
+                    vec![
+                        Literal::positive(Atom::new(
+                            Symbol::intern(&format!("claims_{p}")),
+                            claim_args,
+                        )),
+                        ntgd_core::pos("in", vec![f]),
+                    ],
+                    vec![Atom::new(Symbol::intern(&format!("holds_{p}")), vars)],
+                )
+                .expect("reconstruction rule"),
+            );
+        }
+        Program::from_rules(rules).expect("consistent schema")
+    }
+
+    fn engine(&self) -> SmsEngine {
+        SmsEngine::new(self.repair_program()).with_options(SmsOptions {
+            null_budget: NullBudget::None,
+            ..Default::default()
+        })
+    }
+
+    /// The repairs computed declaratively: one stable model per repair,
+    /// projected back to the original facts.
+    pub fn repairs_via_sms(&self) -> Result<Vec<BTreeSet<Atom>>, SmsError> {
+        let models = self.engine().stable_models(&self.reified_database())?;
+        let mut repairs: Vec<BTreeSet<Atom>> = models
+            .iter()
+            .map(|m| {
+                self.facts
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| m.contains(&atom("in", vec![self.fact_id(*i)])))
+                    .map(|(_, f)| f.clone())
+                    .collect()
+            })
+            .collect();
+        repairs.sort();
+        repairs.dedup();
+        Ok(repairs)
+    }
+
+    /// Brute-force repairs: maximal conflict-free subsets.
+    pub fn repairs_brute_force(&self) -> Vec<BTreeSet<Atom>> {
+        let n = self.facts.len();
+        let conflict_free = |mask: u64| {
+            self.conflicts
+                .iter()
+                .all(|&(a, b)| mask & (1 << a) == 0 || mask & (1 << b) == 0)
+        };
+        let mut repairs = Vec::new();
+        for mask in 0..(1u64 << n) {
+            if !conflict_free(mask) {
+                continue;
+            }
+            let maximal = (0..n).all(|i| mask & (1 << i) != 0 || !conflict_free(mask | (1 << i)));
+            if maximal {
+                repairs.push(
+                    (0..n)
+                        .filter(|i| mask & (1 << i) != 0)
+                        .map(|i| self.facts[i].clone())
+                        .collect::<BTreeSet<Atom>>(),
+                );
+            }
+        }
+        repairs.sort();
+        repairs
+    }
+
+    /// Rewrites a query over the original schema (`p(...)`) into one over the
+    /// reconstructed schema (`holds_p(...)`).
+    pub fn rewrite_query(&self, query: &Query) -> Query {
+        let literals = query
+            .literals()
+            .iter()
+            .map(|l| {
+                let a = l.atom();
+                let renamed = Atom::new(
+                    Symbol::intern(&format!("holds_{}", a.predicate())),
+                    a.args().to_vec(),
+                );
+                if l.is_positive() {
+                    Literal::positive(renamed)
+                } else {
+                    Literal::negative(renamed)
+                }
+            })
+            .collect();
+        Query::new(query.answer_variables().to_vec(), literals).expect("rewriting preserves safety")
+    }
+
+    /// Consistent (certain) entailment of a Boolean query: true in every
+    /// repair.
+    pub fn certain_via_sms(&self, query: &Query) -> Result<bool, SmsError> {
+        let q = self.rewrite_query(query);
+        Ok(matches!(
+            self.engine().entails_cautious(&self.reified_database(), &q)?,
+            SmsAnswer::Entailed
+        ))
+    }
+
+    /// Brute-force certain entailment over all repairs.
+    pub fn certain_brute_force(&self, query: &Query) -> bool {
+        self.repairs_brute_force().iter().all(|repair| {
+            let i = ntgd_core::Interpretation::from_atoms(repair.iter().cloned());
+            query.holds(&i)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntgd_parser::parse_query;
+
+    /// A classic key-violation example: two salaries for bob, one for alice.
+    fn payroll() -> CqaInstance {
+        CqaInstance::new(
+            vec![
+                atom("salary", vec![cst("alice"), cst("50")]),
+                atom("salary", vec![cst("bob"), cst("60")]),
+                atom("salary", vec![cst("bob"), cst("70")]),
+            ],
+            vec![(1, 2)],
+        )
+    }
+
+    #[test]
+    fn repairs_match_brute_force() {
+        let inst = payroll();
+        let declarative = inst.repairs_via_sms().unwrap();
+        let reference = inst.repairs_brute_force();
+        assert_eq!(declarative, reference);
+        assert_eq!(declarative.len(), 2);
+        for r in &declarative {
+            assert!(r.contains(&atom("salary", vec![cst("alice"), cst("50")])));
+            assert_eq!(r.len(), 2);
+        }
+    }
+
+    #[test]
+    fn certain_answers_agree_with_brute_force() {
+        let inst = payroll();
+        // Alice's salary is certain.
+        let q_alice = parse_query("?- salary(alice, 50).").unwrap();
+        assert!(inst.certain_brute_force(&q_alice));
+        assert!(inst.certain_via_sms(&q_alice).unwrap());
+        // Bob's specific salary is not certain, but his having *some* salary is.
+        let q_bob60 = parse_query("?- salary(bob, 60).").unwrap();
+        assert!(!inst.certain_brute_force(&q_bob60));
+        assert!(!inst.certain_via_sms(&q_bob60).unwrap());
+        let q_bob_some = parse_query("?- salary(bob, X).").unwrap();
+        assert!(inst.certain_brute_force(&q_bob_some));
+        assert!(inst.certain_via_sms(&q_bob_some).unwrap());
+    }
+
+    #[test]
+    fn consistent_databases_have_a_single_repair() {
+        let inst = CqaInstance::new(
+            vec![atom("p", vec![cst("a")]), atom("q", vec![cst("b")])],
+            vec![],
+        );
+        let repairs = inst.repairs_via_sms().unwrap();
+        assert_eq!(repairs, inst.repairs_brute_force());
+        assert_eq!(repairs.len(), 1);
+        assert_eq!(repairs[0].len(), 2);
+    }
+
+    #[test]
+    fn conflict_chains_produce_alternating_repairs() {
+        // f0 - f1 - f2 conflicts: repairs are {f0, f2} and {f1}.
+        let inst = CqaInstance::new(
+            vec![
+                atom("r", vec![cst("a")]),
+                atom("r", vec![cst("b")]),
+                atom("r", vec![cst("c")]),
+            ],
+            vec![(0, 1), (1, 2)],
+        );
+        let repairs = inst.repairs_via_sms().unwrap();
+        assert_eq!(repairs, inst.repairs_brute_force());
+        assert_eq!(repairs.len(), 2);
+    }
+}

@@ -1,0 +1,25 @@
+//! # ntgd-encodings
+//!
+//! Declarative applications of the `WATGD¬` query languages (paper,
+//! Sections 5.3 and 7.1): problems in the second level of the polynomial
+//! hierarchy solved by encoding them as NTGD programs and letting the
+//! stable-model engine do the work.  Each module ships a brute-force
+//! reference solver used to validate the encodings in tests and experiments.
+//!
+//! * [`qbf`] — satisfiability of `∃∀` quantified Boolean formulas (2-QBF∃)
+//!   via the exact reduction of Section 5.3, answered with the brave
+//!   semantics as in Section 7.1;
+//! * [`coloring`] — graph colourability via disjunctive rules, plus the
+//!   "robust colourability under adversarial edge subsets" variation the
+//!   paper mentions as a CERT3COL generalisation;
+//! * [`cqa`] — consistent query answering over subset repairs: repairs are
+//!   the stable models of a choice-and-saturate NTGD program, certain answers
+//!   are cautious answers.
+
+pub mod coloring;
+pub mod cqa;
+pub mod qbf;
+
+pub use coloring::{ColoringInstance, RobustColoringInstance};
+pub use cqa::CqaInstance;
+pub use qbf::TwoQbf;

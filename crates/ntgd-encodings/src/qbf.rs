@@ -1,0 +1,289 @@
+//! 2-QBF∃ satisfiability via the Section 5.3 reduction.
+//!
+//! A formula `ϕ = ∃X ∀Y ψ(X,Y)` with `ψ` in 3-DNF is encoded as a database
+//! `D_ϕ` plus the *fixed* weakly-acyclic set of NTGDs given in the paper's
+//! ΠᴾP₂-hardness proof; `ϕ` is satisfiable iff `(D_ϕ, Σ) ⊭_SMS error`,
+//! equivalently (Section 7.1) iff the 0-ary atom `ans` of the brave query
+//! `(Σ ∪ {¬error → ans}, ans)` is bravely entailed.
+//!
+//! The module also contains a brute-force evaluator and a random instance
+//! generator used for validation and for the E5 experiment.
+
+use rand::Rng;
+
+use ntgd_core::{atom, cst, Atom, Database, Program, Query};
+use ntgd_parser::parse_program;
+use ntgd_sms::{NullBudget, SmsAnswer, SmsEngine, SmsError, SmsOptions};
+
+/// A literal over Boolean variables: the variable index and its polarity.
+pub type QbfLiteral = (usize, bool);
+
+/// A 2-QBF∃ formula `∃X ∀Y ⋁ᵢ (ℓ¹ᵢ ∧ ℓ²ᵢ ∧ ℓ³ᵢ)`.
+///
+/// Variables `0..num_exists` are existential, `num_exists..num_exists +
+/// num_foralls` are universal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TwoQbf {
+    /// Number of existentially quantified variables.
+    pub num_exists: usize,
+    /// Number of universally quantified variables.
+    pub num_foralls: usize,
+    /// The 3-DNF matrix: each term is a conjunction of three literals.
+    pub terms: Vec<[QbfLiteral; 3]>,
+}
+
+impl TwoQbf {
+    /// Total number of Boolean variables.
+    pub fn num_variables(&self) -> usize {
+        self.num_exists + self.num_foralls
+    }
+
+    /// Evaluates the 3-DNF matrix under a full assignment.
+    fn matrix_holds(&self, assignment: &[bool]) -> bool {
+        self.terms.iter().any(|term| {
+            term.iter()
+                .all(|&(var, positive)| assignment[var] == positive)
+        })
+    }
+
+    /// Brute-force satisfiability: exists an assignment of the existential
+    /// variables such that for all assignments of the universal variables the
+    /// matrix holds.
+    pub fn brute_force_satisfiable(&self) -> bool {
+        let e = self.num_exists;
+        let a = self.num_foralls;
+        (0..(1u64 << e)).any(|emask| {
+            (0..(1u64 << a)).all(|amask| {
+                let mut assignment = vec![false; self.num_variables()];
+                for (i, slot) in assignment.iter_mut().take(e).enumerate() {
+                    *slot = emask & (1 << i) != 0;
+                }
+                for i in 0..a {
+                    assignment[e + i] = amask & (1 << i) != 0;
+                }
+                self.matrix_holds(&assignment)
+            })
+        })
+    }
+
+    /// Generates a random instance.
+    pub fn random<R: Rng>(
+        rng: &mut R,
+        num_exists: usize,
+        num_foralls: usize,
+        num_terms: usize,
+    ) -> TwoQbf {
+        let total = num_exists + num_foralls;
+        assert!(total > 0, "at least one variable is required");
+        let terms = (0..num_terms)
+            .map(|_| {
+                [
+                    (rng.gen_range(0..total), rng.gen_bool(0.5)),
+                    (rng.gen_range(0..total), rng.gen_bool(0.5)),
+                    (rng.gen_range(0..total), rng.gen_bool(0.5)),
+                ]
+            })
+            .collect();
+        TwoQbf {
+            num_exists,
+            num_foralls,
+            terms,
+        }
+    }
+
+    fn variable_constant(&self, var: usize) -> String {
+        if var < self.num_exists {
+            format!("x{var}")
+        } else {
+            format!("y{}", var - self.num_exists)
+        }
+    }
+
+    /// The database `D_ϕ` of the Section 5.3 reduction.
+    pub fn database(&self) -> Database {
+        let star = cst("star");
+        let mut facts: Vec<Atom> = Vec::new();
+        for v in 0..self.num_exists {
+            facts.push(atom("exists", vec![cst(&self.variable_constant(v))]));
+        }
+        for v in self.num_exists..self.num_variables() {
+            facts.push(atom("forall", vec![cst(&self.variable_constant(v))]));
+        }
+        for term in &self.terms {
+            // π(ℓ) = the variable for positive literals, ⋆ otherwise;
+            // ν(ℓ) = the variable for negative literals, ⋆ otherwise.
+            let pi = |&(var, positive): &QbfLiteral| {
+                if positive {
+                    cst(&self.variable_constant(var))
+                } else {
+                    star
+                }
+            };
+            let nu = |&(var, positive): &QbfLiteral| {
+                if positive {
+                    star
+                } else {
+                    cst(&self.variable_constant(var))
+                }
+            };
+            facts.push(atom(
+                "cl",
+                vec![
+                    pi(&term[0]),
+                    pi(&term[1]),
+                    pi(&term[2]),
+                    nu(&term[0]),
+                    nu(&term[1]),
+                    nu(&term[2]),
+                ],
+            ));
+        }
+        facts.push(atom("nil", vec![star]));
+        Database::from_facts(facts).expect("QBF facts are ground")
+    }
+
+    /// The fixed program `Σ` of the Section 5.3 reduction (independent of the
+    /// formula).
+    pub fn program() -> Program {
+        parse_program(
+            "-> zero(X).\
+             -> one(X).\
+             zero(X), one(X) -> error.\
+             zero(X) -> truthVal(X).\
+             one(X) -> truthVal(X).\
+             exists(X) -> assign(X, Y).\
+             forall(X) -> assign(X, Y).\
+             assign(X, Y), not truthVal(Y) -> error.\
+             not saturate -> saturate.\
+             forall(X), truthVal(Y), saturate -> assign(X, Y).\
+             nil(X), truthVal(Y) -> assign(X, Y).\
+             cl(P1, P2, P3, N1, N2, N3), assign(P1, O), assign(P2, O), assign(P3, O), one(O), assign(N1, Z), assign(N2, Z), assign(N3, Z), zero(Z) -> saturate.",
+        )
+        .expect("the fixed QBF program parses")
+    }
+
+    /// Solver options tuned for the reduction: the chase-derived null budget
+    /// would add one null per variable, but two fresh values (for `zero` and
+    /// `one`) suffice and keep the grounding small.
+    pub fn engine() -> SmsEngine {
+        SmsEngine::new(Self::program()).with_options(SmsOptions {
+            null_budget: NullBudget::Exact(2),
+            ..Default::default()
+        })
+    }
+
+    /// Decides satisfiability through the stable-model engine:
+    /// `ϕ` is satisfiable iff `(D_ϕ, Σ) ⊭_SMS error`.
+    pub fn solve_via_sms(&self) -> Result<bool, SmsError> {
+        let engine = Self::engine();
+        let query = Query::boolean(vec![ntgd_core::pos("error", vec![])]).expect("valid query");
+        Ok(matches!(
+            engine.entails_cautious(&self.database(), &query)?,
+            SmsAnswer::NotEntailed
+        ))
+    }
+
+    /// Decides satisfiability through the brave query of Section 7.1:
+    /// `Q = (Σ ∪ {¬error → ans}, ans)` and `ϕ` is satisfiable iff the empty
+    /// tuple is a brave answer of `Q` over `D_ϕ`.
+    pub fn solve_via_brave_query(&self) -> Result<bool, SmsError> {
+        let mut program = Self::program();
+        program.push(
+            ntgd_core::Ntgd::new(
+                vec![ntgd_core::neg("error", vec![])],
+                vec![atom("ans", vec![])],
+            )
+            .expect("¬error → ans is safe"),
+        );
+        let engine = SmsEngine::new(program).with_options(SmsOptions {
+            null_budget: NullBudget::Exact(2),
+            ..Default::default()
+        });
+        let query = Query::boolean(vec![ntgd_core::pos("ans", vec![])]).expect("valid query");
+        engine.entails_brave(&self.database(), &query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntgd_classes::is_weakly_acyclic;
+    use rand::SeedableRng;
+
+    /// ∃x ∀y (x ∧ y ∧ y) ∨ (x ∧ ¬y ∧ ¬y): satisfiable with x = true.
+    fn satisfiable_formula() -> TwoQbf {
+        TwoQbf {
+            num_exists: 1,
+            num_foralls: 1,
+            terms: vec![
+                [(0, true), (1, true), (1, true)],
+                [(0, true), (1, false), (1, false)],
+            ],
+        }
+    }
+
+    /// ∃x ∀y (x ∧ y ∧ y): unsatisfiable (fails for y = false).
+    fn unsatisfiable_formula() -> TwoQbf {
+        TwoQbf {
+            num_exists: 1,
+            num_foralls: 1,
+            terms: vec![[(0, true), (1, true), (1, true)]],
+        }
+    }
+
+    #[test]
+    fn the_fixed_program_is_weakly_acyclic() {
+        assert!(is_weakly_acyclic(&TwoQbf::program()));
+    }
+
+    #[test]
+    fn brute_force_agrees_with_hand_analysis() {
+        assert!(satisfiable_formula().brute_force_satisfiable());
+        assert!(!unsatisfiable_formula().brute_force_satisfiable());
+    }
+
+    #[test]
+    fn the_database_encodes_literals_with_star_padding() {
+        let db = satisfiable_formula().database();
+        assert!(db.contains(&atom("exists", vec![cst("x0")])));
+        assert!(db.contains(&atom("forall", vec![cst("y0")])));
+        assert!(db.contains(&atom("nil", vec![cst("star")])));
+        assert!(db.contains(&atom(
+            "cl",
+            vec![cst("x0"), cst("y0"), cst("y0"), cst("star"), cst("star"), cst("star")]
+        )));
+        assert!(db.contains(&atom(
+            "cl",
+            vec![cst("x0"), cst("star"), cst("star"), cst("star"), cst("y0"), cst("y0")]
+        )));
+    }
+
+    #[test]
+    fn sms_answers_match_brute_force_on_hand_built_formulas() {
+        let sat = satisfiable_formula();
+        assert!(sat.solve_via_sms().unwrap());
+        let unsat = unsatisfiable_formula();
+        assert!(!unsat.solve_via_sms().unwrap());
+    }
+
+    #[test]
+    #[ignore = "expensive: exercised by the experiments binary / benchmarks instead"]
+    fn the_brave_query_formulation_agrees() {
+        assert!(satisfiable_formula().solve_via_brave_query().unwrap());
+        assert!(!unsatisfiable_formula().solve_via_brave_query().unwrap());
+    }
+
+    #[test]
+    #[ignore = "expensive: exercised by the experiments binary / benchmarks instead"]
+    fn random_small_instances_agree_with_brute_force() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..4 {
+            let formula = TwoQbf::random(&mut rng, 1, 1, 2);
+            assert_eq!(
+                formula.solve_via_sms().unwrap(),
+                formula.brute_force_satisfiable(),
+                "disagreement on {formula:?}"
+            );
+        }
+    }
+}

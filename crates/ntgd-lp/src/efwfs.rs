@@ -1,0 +1,511 @@
+//! The equality-friendly well-founded semantics (EFWFS) of Gottlob et al.
+//! [21], reproduced far enough to run the paper's Examples 2 and 3.
+//!
+//! The idea (paper, Section 1): the meaning of `(D, Σ)` is captured by the
+//! set `I(D, Σ)` of all normal programs obtained by
+//!
+//! 1. *unifying* constants occurring in `D` (the unique name assumption is
+//!    **not** adopted), and
+//! 2. replacing each NTGD `σ ∈ Σ` by arbitrary ground *instances* of `σ` —
+//!    at least one for every assignment of its body variables — where an
+//!    instance of `∀X∀Y(ϕ(X,Y) → ∃Z ψ(X,Z))` is a rule `ϕ(a,b) → ψ(a,c)`
+//!    over constants.
+//!
+//! The EFWFS models of `(D, Σ)` are `{WFS(Π) | Π ∈ I(D,Σ)}`, and a query is
+//! (cautiously) entailed if it holds in every such three-valued model.
+//!
+//! `I(D, Σ)` is infinite (instances may use arbitrary constants, and each
+//! body assignment may receive arbitrarily many instances), so this module
+//! implements the obvious **bounded** version: instances draw their constants
+//! from `dom(D)` ∪ the constants of `Σ` and the query ∪ a configurable pool
+//! of fresh constants, each body assignment receives at most
+//! `max_witnesses_per_trigger` instances, and at most `max_programs` programs
+//! are explored.  Within those bounds the construction is exhaustive, which
+//! is enough to replay the paper's discussion: non-entailment results
+//! (Examples 2 and 3) are definitive because they only need *one* witnessing
+//! program, while entailment results are relative to the explored bound (the
+//! [`EfwfsOutcome::exhaustive`] flag reports whether the bound was reached).
+
+use std::collections::BTreeSet;
+
+use ntgd_core::matcher::all_atom_homomorphisms;
+use ntgd_core::{Atom, Database, Literal, Program, Query, Substitution, Symbol, Term};
+
+use crate::program::{GroundProgram, GroundRule};
+use crate::wellfounded::{well_founded_model, WellFoundedModel};
+
+/// Bounds for the EFWFS instance-space exploration.
+#[derive(Clone, Debug)]
+pub struct EfwfsConfig {
+    /// Fresh constants added to the instance pool (beyond the constants of
+    /// the database, the rules and the query).
+    pub fresh_constants: usize,
+    /// Maximum number of instances generated for a single rule and body
+    /// assignment (the paper allows arbitrarily many; 2 suffices to replay
+    /// Example 3's "two fathers" program).
+    pub max_witnesses_per_trigger: usize,
+    /// Maximum number of programs of `I(D,Σ)` explored before truncating.
+    pub max_programs: usize,
+    /// Whether to enumerate unifications (set partitions) of the database
+    /// constants, as the equality-friendly semantics prescribes.
+    pub unify_database_constants: bool,
+    /// Partition enumeration is skipped (identity only) when the database has
+    /// more constants than this.
+    pub max_unified_constants: usize,
+}
+
+impl Default for EfwfsConfig {
+    fn default() -> Self {
+        EfwfsConfig {
+            fresh_constants: 1,
+            max_witnesses_per_trigger: 2,
+            max_programs: 20_000,
+            unify_database_constants: true,
+            max_unified_constants: 5,
+        }
+    }
+}
+
+/// The (bounded) set of equality-friendly well-founded models.
+#[derive(Clone, Debug)]
+pub struct EfwfsResult {
+    /// The distinct well-founded models of the explored programs.
+    pub models: Vec<WellFoundedModel>,
+    /// How many programs of `I(D,Σ)` were explored.
+    pub programs_explored: usize,
+    /// `true` if the exploration stopped because `max_programs` was reached.
+    pub truncated: bool,
+}
+
+/// The outcome of a cautious EFWFS entailment check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EfwfsOutcome {
+    /// `true` if the query holds in every explored model.
+    pub entailed: bool,
+    /// `true` if the bounded instance space was explored completely (the
+    /// answer is then definitive *for the bounded pool*; non-entailment is
+    /// always definitive).
+    pub exhaustive: bool,
+}
+
+/// Enumerates the set partitions of `items` as vectors of blocks.
+fn set_partitions<T: Clone>(items: &[T]) -> Vec<Vec<Vec<T>>> {
+    if items.is_empty() {
+        return vec![Vec::new()];
+    }
+    let first = items[0].clone();
+    let rest = set_partitions(&items[1..]);
+    let mut out = Vec::new();
+    for partition in rest {
+        // Add `first` to each existing block …
+        for i in 0..partition.len() {
+            let mut extended = partition.clone();
+            extended[i].push(first.clone());
+            out.push(extended);
+        }
+        // … or as its own new block.
+        let mut extended = partition.clone();
+        extended.push(vec![first.clone()]);
+        out.push(extended);
+    }
+    out
+}
+
+/// A constant-unification map induced by a partition of the database
+/// constants: every constant is replaced by its block representative.
+fn unification_maps(database: &Database, config: &EfwfsConfig) -> Vec<Vec<(Symbol, Symbol)>> {
+    let constants: Vec<Symbol> = database.constants().into_iter().collect();
+    if !config.unify_database_constants || constants.len() > config.max_unified_constants {
+        return vec![Vec::new()];
+    }
+    set_partitions(&constants)
+        .into_iter()
+        .map(|partition| {
+            let mut map = Vec::new();
+            for block in partition {
+                let representative = *block.iter().min().expect("non-empty block");
+                for constant in block {
+                    if constant != representative {
+                        map.push((constant, representative));
+                    }
+                }
+            }
+            map
+        })
+        .collect()
+}
+
+fn apply_unification_to_term(term: &Term, map: &[(Symbol, Symbol)]) -> Term {
+    match term {
+        Term::Const(c) => {
+            for (from, to) in map {
+                if c == from {
+                    return Term::Const(*to);
+                }
+            }
+            *term
+        }
+        other => *other,
+    }
+}
+
+fn apply_unification_to_atom(atom: &Atom, map: &[(Symbol, Symbol)]) -> Atom {
+    Atom::new(
+        atom.predicate(),
+        atom.args()
+            .iter()
+            .map(|t| apply_unification_to_term(t, map))
+            .collect(),
+    )
+}
+
+/// The ground rules of one instance of a rule: the body assignment extended
+/// with one witness assignment, one ground rule per head atom.
+fn instance_rules(rule: &ntgd_core::Ntgd, assignment: &Substitution) -> Vec<GroundRule> {
+    let body_pos: Vec<Atom> = rule
+        .body_positive()
+        .into_iter()
+        .map(|a| assignment.apply_atom(a))
+        .collect();
+    let body_neg: Vec<Atom> = rule
+        .body_negative()
+        .into_iter()
+        .map(|a| assignment.apply_atom(a))
+        .collect();
+    rule.head()
+        .iter()
+        .map(|head| GroundRule::new(assignment.apply_atom(head), body_pos.clone(), body_neg.clone()))
+        .collect()
+}
+
+/// All assignments of `variables` to the constant pool.
+fn assignments(
+    variables: &[Symbol],
+    pool: &[Term],
+    base: &Substitution,
+) -> Vec<Substitution> {
+    let mut out = vec![base.clone()];
+    for variable in variables {
+        let mut next = Vec::with_capacity(out.len() * pool.len());
+        for assignment in &out {
+            for value in pool {
+                let mut extended = assignment.clone();
+                extended.bind(Term::Var(*variable), *value);
+                next.push(extended);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// The non-empty subsets of `0..n` with at most `k` elements, as index lists.
+fn bounded_subsets(n: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut out: Vec<Vec<usize>> = Vec::new();
+    let mut current: Vec<usize> = Vec::new();
+    fn recurse(
+        start: usize,
+        n: usize,
+        k: usize,
+        current: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
+        if !current.is_empty() {
+            out.push(current.clone());
+        }
+        if current.len() == k {
+            return;
+        }
+        for i in start..n {
+            current.push(i);
+            recurse(i + 1, n, k, current, out);
+            current.pop();
+        }
+    }
+    recurse(0, n, k, &mut current, &mut out);
+    out
+}
+
+/// Computes the (bounded) EFWFS models of `(D, Σ)`.  The `query` is only used
+/// to make sure its constants belong to the instance pool.
+pub fn efwfs_models(
+    database: &Database,
+    program: &Program,
+    query: Option<&Query>,
+    config: &EfwfsConfig,
+) -> EfwfsResult {
+    // Constant pool.
+    let mut pool_symbols: BTreeSet<Symbol> = database.constants();
+    for term in program.constants() {
+        if let Term::Const(c) = term {
+            pool_symbols.insert(c);
+        }
+    }
+    if let Some(query) = query {
+        for literal in query.literals() {
+            for term in literal.atom().args() {
+                if let Term::Const(c) = term {
+                    pool_symbols.insert(*c);
+                }
+            }
+        }
+    }
+    for i in 0..config.fresh_constants {
+        pool_symbols.insert(Symbol::intern(&format!("efwfs_fresh_{i}")));
+    }
+    let pool: Vec<Term> = pool_symbols.into_iter().map(Term::Const).collect();
+
+    let mut models: Vec<WellFoundedModel> = Vec::new();
+    let mut seen: BTreeSet<(Vec<Atom>, Vec<Atom>, Vec<Atom>)> = BTreeSet::new();
+    let mut programs_explored = 0usize;
+    let mut truncated = false;
+
+    'partitions: for unification in unification_maps(database, config) {
+        let facts: Vec<GroundRule> = database
+            .facts()
+            .map(|fact| GroundRule::fact(apply_unification_to_atom(fact, &unification)))
+            .collect();
+
+        // Per trigger (rule + body assignment), the list of alternative
+        // instance sets to choose from.
+        let mut choice_sets: Vec<Vec<Vec<GroundRule>>> = Vec::new();
+        for (_, rule) in program.iter() {
+            let body_variables: Vec<Symbol> = rule.universal_variables().into_iter().collect();
+            let existential_variables: Vec<Symbol> =
+                rule.existential_variables().into_iter().collect();
+            for body_assignment in assignments(&body_variables, &pool, &Substitution::new()) {
+                if existential_variables.is_empty() {
+                    choice_sets.push(vec![instance_rules(rule, &body_assignment)]);
+                    continue;
+                }
+                let witness_assignments =
+                    assignments(&existential_variables, &pool, &body_assignment);
+                let subsets = bounded_subsets(
+                    witness_assignments.len(),
+                    config.max_witnesses_per_trigger,
+                );
+                let choices: Vec<Vec<GroundRule>> = subsets
+                    .into_iter()
+                    .map(|subset| {
+                        subset
+                            .into_iter()
+                            .flat_map(|i| instance_rules(rule, &witness_assignments[i]))
+                            .collect()
+                    })
+                    .collect();
+                choice_sets.push(choices);
+            }
+        }
+
+        // Odometer over the choice sets.
+        let mut odometer = vec![0usize; choice_sets.len()];
+        loop {
+            if programs_explored >= config.max_programs {
+                truncated = true;
+                break 'partitions;
+            }
+            let mut rules: Vec<GroundRule> = facts.clone();
+            for (trigger, &choice) in odometer.iter().enumerate() {
+                rules.extend(choice_sets[trigger][choice].iter().cloned());
+            }
+            let ground = GroundProgram::new(rules);
+            let wfs = well_founded_model(&ground);
+            programs_explored += 1;
+            let key = (
+                wfs.true_atoms.iter().cloned().collect::<Vec<Atom>>(),
+                wfs.false_atoms.iter().cloned().collect::<Vec<Atom>>(),
+                wfs.undefined_atoms.iter().cloned().collect::<Vec<Atom>>(),
+            );
+            if seen.insert(key) {
+                models.push(wfs);
+            }
+
+            // Advance the odometer.
+            let mut position = 0usize;
+            loop {
+                if position == odometer.len() {
+                    break;
+                }
+                odometer[position] += 1;
+                if odometer[position] < choice_sets[position].len() {
+                    break;
+                }
+                odometer[position] = 0;
+                position += 1;
+            }
+            if position == odometer.len() {
+                break;
+            }
+            if odometer.is_empty() {
+                break;
+            }
+        }
+    }
+
+    EfwfsResult {
+        models,
+        programs_explored,
+        truncated,
+    }
+}
+
+/// Evaluates a normal (Boolean or non-Boolean) query over a three-valued
+/// well-founded model: positive literals must be *true*, negative literals
+/// must be over *false* atoms (undefined atoms satisfy neither).
+pub fn holds_in_wfs(query: &Query, model: &WellFoundedModel) -> bool {
+    let positive_interpretation =
+        ntgd_core::Interpretation::from_atoms(model.true_atoms.iter().cloned());
+    let positive_atoms: Vec<Atom> = query
+        .literals()
+        .iter()
+        .filter(|l| l.is_positive())
+        .map(|l| l.atom().clone())
+        .collect();
+    let negative_atoms: Vec<&Literal> = query
+        .literals()
+        .iter()
+        .filter(|l| l.is_negative())
+        .collect();
+    let homomorphisms =
+        all_atom_homomorphisms(&positive_atoms, &positive_interpretation, &Substitution::new());
+    homomorphisms.into_iter().any(|h| {
+        negative_atoms
+            .iter()
+            .all(|l| model.false_atoms.contains(&h.apply_atom(l.atom())))
+    })
+}
+
+/// Cautious EFWFS entailment of a Boolean query within the configured bounds.
+pub fn efwfs_entails_cautious(
+    database: &Database,
+    program: &Program,
+    query: &Query,
+    config: &EfwfsConfig,
+) -> EfwfsOutcome {
+    let result = efwfs_models(database, program, Some(query), config);
+    let entailed = result.models.iter().all(|m| holds_in_wfs(query, m));
+    EfwfsOutcome {
+        entailed,
+        exhaustive: !result.truncated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntgd_parser::{parse_database, parse_program, parse_query};
+
+    const EXAMPLE1: &str = "person(X) -> hasFather(X, Y).\
+         hasFather(X, Y) -> sameAs(Y, Y).\
+         hasFather(X, Y), hasFather(X, Z), not sameAs(Y, Z) -> abnormal(X).";
+
+    fn small_config() -> EfwfsConfig {
+        EfwfsConfig {
+            fresh_constants: 1,
+            max_witnesses_per_trigger: 2,
+            max_programs: 5_000,
+            unify_database_constants: true,
+            max_unified_constants: 4,
+        }
+    }
+
+    #[test]
+    fn example2_efwfs_does_not_entail_the_negative_father_query() {
+        // The paper: EFWFS yields the *intended* answer here — the query
+        // ¬hasFather(alice, bob) is not entailed, because some instance
+        // program makes bob the father of alice.
+        let database = parse_database("person(alice).").unwrap();
+        let program = parse_program(EXAMPLE1).unwrap();
+        let query = parse_query("?- not hasFather(alice, bob).").unwrap();
+        let outcome = efwfs_entails_cautious(&database, &program, &query, &small_config());
+        assert!(!outcome.entailed);
+    }
+
+    #[test]
+    fn example3_efwfs_fails_to_entail_that_alice_is_normal() {
+        // The paper: one expects ¬abnormal(alice) to be entailed, but EFWFS
+        // does not entail it — some instance program gives alice two distinct
+        // fathers, making her abnormal.  This is the shortcoming that
+        // motivates the paper's new semantics.
+        let database = parse_database("person(alice).").unwrap();
+        let program = parse_program(EXAMPLE1).unwrap();
+        let query = parse_query("?- not abnormal(alice).").unwrap();
+        let outcome = efwfs_entails_cautious(&database, &program, &query, &small_config());
+        assert!(!outcome.entailed);
+    }
+
+    #[test]
+    fn positive_consequences_of_every_instance_are_entailed() {
+        let database = parse_database("person(alice).").unwrap();
+        let program = parse_program(EXAMPLE1).unwrap();
+        // Every instance program derives *some* father for alice, and then a
+        // reflexive sameAs fact for that father; the existential query holds
+        // in every model.
+        let query = parse_query("?- hasFather(alice, Y), sameAs(Y, Y).").unwrap();
+        let outcome = efwfs_entails_cautious(&database, &program, &query, &small_config());
+        assert!(outcome.entailed);
+        assert!(outcome.exhaustive);
+    }
+
+    #[test]
+    fn existential_free_programs_have_a_single_efwfs_model() {
+        let database = parse_database("course(db). hard(db).").unwrap();
+        let program = parse_program("course(X), not hard(X) -> easy(X).").unwrap();
+        let config = EfwfsConfig {
+            unify_database_constants: false,
+            ..small_config()
+        };
+        let result = efwfs_models(&database, &program, None, &config);
+        assert_eq!(result.models.len(), 1);
+        assert!(!result.truncated);
+        let model = &result.models[0];
+        assert!(model
+            .false_atoms
+            .contains(&ntgd_core::atom("easy", vec![ntgd_core::cst("db")])));
+    }
+
+    #[test]
+    fn constant_unification_produces_models_where_distinct_constants_coincide() {
+        // Without the unique name assumption, a ≈ b is a legitimate reading:
+        // in the unified program the fact p(b) becomes p(a), so q(a) is
+        // derived while q(b) is underivable in the non-unified reading — the
+        // query ?- q(b). is therefore not entailed, but ?- q(X). is.
+        let database = parse_database("p(a). r(b).").unwrap();
+        let program = parse_program("p(X) -> q(X).").unwrap();
+        let entailed_everywhere = parse_query("?- q(X).").unwrap();
+        let only_sometimes = parse_query("?- q(b).").unwrap();
+        let config = small_config();
+        assert!(
+            efwfs_entails_cautious(&database, &program, &entailed_everywhere, &config).entailed
+        );
+        assert!(!efwfs_entails_cautious(&database, &program, &only_sometimes, &config).entailed);
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let database = parse_database("person(alice). person(bo).").unwrap();
+        let program = parse_program(EXAMPLE1).unwrap();
+        let config = EfwfsConfig {
+            max_programs: 3,
+            ..small_config()
+        };
+        let result = efwfs_models(&database, &program, None, &config);
+        assert!(result.truncated);
+        assert_eq!(result.programs_explored, 3);
+    }
+
+    #[test]
+    fn bounded_subsets_enumerates_singletons_and_pairs() {
+        let subsets = bounded_subsets(3, 2);
+        assert_eq!(subsets.len(), 6);
+        assert!(subsets.contains(&vec![0]));
+        assert!(subsets.contains(&vec![1, 2]));
+        assert!(!subsets.iter().any(std::vec::Vec::is_empty));
+    }
+
+    #[test]
+    fn set_partitions_of_three_elements_number_five() {
+        let partitions = set_partitions(&[1, 2, 3]);
+        assert_eq!(partitions.len(), 5);
+    }
+}

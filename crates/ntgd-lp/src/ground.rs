@@ -1,0 +1,207 @@
+//! Relevance-based bottom-up grounding of Skolemized programs.
+//!
+//! The grounding of a Skolemized program is in general infinite (the Herbrand
+//! universe contains arbitrarily nested Skolem terms).  For weakly-acyclic
+//! programs the *relevant* grounding — instantiations whose positive bodies
+//! are over atoms derivable from the database when negation is ignored — is
+//! finite, and restricting to it preserves the stable models.  Arbitrary
+//! programs are handled by explicit limits.
+//!
+//! Ground Skolem terms are rendered as fresh constants (see
+//! [`crate::skolem::skolem_constant`]), which is faithful to Herbrand
+//! semantics: distinct ground Skolem terms denote distinct objects, distinct
+//! from every ordinary constant.
+
+use std::collections::BTreeSet;
+
+use ntgd_core::{Atom, Database, Substitution};
+
+use crate::program::{GroundProgram, GroundRule};
+use crate::skolem::{instantiate_head, SkolemProgram};
+
+/// Limits for the grounding procedure.
+#[derive(Clone, Debug)]
+pub struct GroundingLimits {
+    /// Maximum number of distinct ground atoms to derive.
+    pub max_atoms: usize,
+    /// Maximum number of ground rule instances to produce.
+    pub max_rules: usize,
+}
+
+impl Default for GroundingLimits {
+    fn default() -> Self {
+        GroundingLimits {
+            max_atoms: 100_000,
+            max_rules: 500_000,
+        }
+    }
+}
+
+/// Whether the grounding reached a fixpoint or was truncated by the limits.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GroundingOutcome {
+    /// The relevant grounding is complete.
+    Complete,
+    /// A limit was hit; the ground program is only a fragment.
+    LimitReached,
+}
+
+/// Computes the relevant grounding of `program` over `database`.
+///
+/// The returned ground program contains one fact per database atom plus every
+/// relevant rule instance.
+pub fn ground_program(
+    database: &Database,
+    program: &SkolemProgram,
+    limits: &GroundingLimits,
+) -> (GroundProgram, GroundingOutcome) {
+    let mut possibly_true = database.to_interpretation();
+    let mut rules: Vec<GroundRule> = database
+        .facts()
+        .cloned()
+        .map(GroundRule::fact)
+        .collect();
+    let mut seen_rules: BTreeSet<GroundRule> = rules.iter().cloned().collect();
+    let mut outcome = GroundingOutcome::Complete;
+
+    loop {
+        let mut new_atoms: Vec<Atom> = Vec::new();
+        let mut new_rules: Vec<GroundRule> = Vec::new();
+        for rule in &program.rules {
+            let positive: Vec<ntgd_core::Literal> = rule
+                .body
+                .iter()
+                .filter(|l| l.is_positive())
+                .cloned()
+                .collect();
+            let homs =
+                ntgd_core::all_homomorphisms(&positive, &possibly_true, &Substitution::new());
+            for h in homs {
+                let head = instantiate_head(&rule.head, &h);
+                let body_pos: Vec<Atom> = rule
+                    .body
+                    .iter()
+                    .filter(|l| l.is_positive())
+                    .map(|l| h.apply_atom(l.atom()))
+                    .collect();
+                let body_neg: Vec<Atom> = rule
+                    .body
+                    .iter()
+                    .filter(|l| l.is_negative())
+                    .map(|l| h.apply_atom(l.atom()))
+                    .collect();
+                debug_assert!(
+                    body_neg.iter().all(Atom::is_ground),
+                    "safety guarantees ground negative bodies"
+                );
+                let ground = GroundRule::new(head.clone(), body_pos, body_neg);
+                if seen_rules.insert(ground.clone()) {
+                    new_rules.push(ground);
+                }
+                if !possibly_true.contains(&head) {
+                    new_atoms.push(head);
+                }
+            }
+        }
+        if new_rules.is_empty() && new_atoms.is_empty() {
+            break;
+        }
+        for a in new_atoms {
+            possibly_true.insert(a);
+        }
+        rules.extend(new_rules);
+        if possibly_true.len() > limits.max_atoms || rules.len() > limits.max_rules {
+            outcome = GroundingOutcome::LimitReached;
+            break;
+        }
+    }
+    (GroundProgram::new(rules), outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skolem::skolemize;
+    use ntgd_core::{atom, cst};
+    use ntgd_parser::{parse_database, parse_program};
+
+    #[test]
+    fn grounding_of_example1_is_finite_and_complete() {
+        let db = parse_database("person(alice).").unwrap();
+        let p = parse_program(
+            "person(X) -> hasFather(X, Y).\
+             hasFather(X, Y) -> sameAs(Y, Y).\
+             hasFather(X, Y), hasFather(X, Z), not sameAs(Y, Z) -> abnormal(X).",
+        )
+        .unwrap();
+        let (gp, outcome) = ground_program(&db, &skolemize(&p), &GroundingLimits::default());
+        assert_eq!(outcome, GroundingOutcome::Complete);
+        // fact + father rule + sameAs rule + one abnormal instance.
+        assert!(gp.herbrand.contains(&atom("person", vec![cst("alice")])));
+        assert!(gp
+            .herbrand
+            .iter()
+            .any(|a| a.predicate().as_str() == "hasFather"));
+        assert!(gp
+            .herbrand
+            .iter()
+            .any(|a| a.predicate().as_str() == "abnormal"));
+        // The Skolem term shows up as a rendered constant.
+        assert!(gp
+            .herbrand_terms()
+            .iter()
+            .any(|t| t.to_string().contains("f0_Y(alice)")));
+    }
+
+    #[test]
+    fn datalog_grounding_matches_naive_instantiation() {
+        let db = parse_database("e(a,b). e(b,c).").unwrap();
+        let p = parse_program("e(X,Y), e(Y,Z) -> e(X,Z).").unwrap();
+        let (gp, outcome) = ground_program(&db, &skolemize(&p), &GroundingLimits::default());
+        assert_eq!(outcome, GroundingOutcome::Complete);
+        assert!(gp.herbrand.contains(&atom("e", vec![cst("a"), cst("c")])));
+        // 2 facts, e(a,c) derivable via one instance, plus the instance of
+        // a->c joined with c->? (none).  The relevant instances are those
+        // whose bodies are possibly true.
+        assert!(gp.len() >= 3);
+    }
+
+    #[test]
+    fn non_terminating_grounding_hits_the_limit() {
+        let db = parse_database("person(adam).").unwrap();
+        let p = parse_program("person(X) -> parent(X, Y), person(Y).").unwrap();
+        let limits = GroundingLimits {
+            max_atoms: 50,
+            max_rules: 1_000,
+        };
+        let (gp, outcome) = ground_program(&db, &skolemize(&p), &limits);
+        assert_eq!(outcome, GroundingOutcome::LimitReached);
+        assert!(gp.herbrand.len() > 50);
+    }
+
+    #[test]
+    fn negative_literals_are_grounded_but_do_not_drive_derivation() {
+        let db = parse_database("p(a).").unwrap();
+        let p = parse_program("p(X), not q(X) -> r(X).").unwrap();
+        let (gp, _) = ground_program(&db, &skolemize(&p), &GroundingLimits::default());
+        let rule = gp
+            .rules
+            .iter()
+            .find(|r| r.head.predicate().as_str() == "r")
+            .unwrap();
+        assert_eq!(rule.body_neg, vec![atom("q", vec![cst("a")])]);
+    }
+
+    #[test]
+    fn facts_become_rules_with_empty_bodies() {
+        let db = parse_database("p(a). p(b).").unwrap();
+        let p = parse_program("p(X) -> q(X).").unwrap();
+        let (gp, _) = ground_program(&db, &skolemize(&p), &GroundingLimits::default());
+        let fact_count = gp
+            .rules
+            .iter()
+            .filter(|r| r.body_pos.is_empty() && r.body_neg.is_empty())
+            .count();
+        assert_eq!(fact_count, 2);
+    }
+}

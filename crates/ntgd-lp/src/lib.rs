@@ -1,0 +1,45 @@
+//! # ntgd-lp
+//!
+//! The classical **logic-programming (LP) approach** to stable model semantics
+//! for NTGDs (paper, Section 3.1), implemented as a baseline:
+//!
+//! 1. [`skolem`] — eliminate existentially quantified variables by
+//!    Skolemization, producing a normal logic program with function symbols;
+//! 2. [`ground`] — compute the relevant part of the grounding bottom-up
+//!    (finite for weakly-acyclic programs; guarded by explicit limits
+//!    otherwise);
+//! 3. [`wellfounded`] — the well-founded semantics (alternating fixpoint),
+//!    used both as a solver simplification and as a semantics in its own
+//!    right;
+//! 4. [`stable`] — enumeration of the stable models of the ground normal
+//!    program via the Gelfond–Lifschitz reduct;
+//! 5. [`engine`] — the end-to-end [`LpEngine`] answering normal (Boolean)
+//!    conjunctive queries under cautious and brave reasoning.
+//!
+//! The paper's Example 2 is reproduced in this crate's tests: under the LP
+//! approach, `¬hasFather(alice, bob)` is (unintendedly) entailed, because the
+//! Skolem term witnessing alice's father is a *new* object distinct from
+//! `bob`.
+//!
+//! The crate also contains a bounded implementation of the
+//! **equality-friendly well-founded semantics** of [21] ([`efwfs`]), the
+//! other Skolemization-free approach the paper discusses (and whose
+//! shortcoming — Example 3 — motivates the new semantics).
+
+pub mod efwfs;
+pub mod engine;
+pub mod ground;
+pub mod program;
+pub mod skolem;
+pub mod stable;
+pub mod wellfounded;
+
+pub use efwfs::{
+    efwfs_entails_cautious, efwfs_models, holds_in_wfs, EfwfsConfig, EfwfsOutcome, EfwfsResult,
+};
+pub use engine::{LpAnswer, LpEngine, LpLimits};
+pub use ground::{ground_program, GroundingLimits, GroundingOutcome};
+pub use program::{GroundProgram, GroundRule};
+pub use skolem::{skolemize, SkolemProgram, SkolemRule};
+pub use stable::{stable_models, StableEnumerationLimits};
+pub use wellfounded::{well_founded_model, WellFoundedModel};

@@ -1,0 +1,292 @@
+//! Skolemization of NTGDs (paper, Section 3.1).
+//!
+//! The Skolemization of `∀X∀Y(ϕ(X,Y) → ∃Z ψ(X,Z))` is the normal rule
+//! `ψ(X, f_σ(X,Y)) ← ϕ(X,Y)`, with one function symbol `f_{σ,Z}` per
+//! existential variable `Z` of `σ`.  Following the standard treatment, the
+//! Skolem functions take **all** universally quantified variables of the rule
+//! as arguments.
+//!
+//! Head conjunctions are split into one normal rule per head atom (sharing
+//! the same Skolem functions), so the result is a set of single-head normal
+//! rules.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use ntgd_core::{Atom, Literal, Program, Symbol, Term};
+
+/// An argument of a Skolemized head atom: either an original term (variable
+/// or constant) or a Skolem function applied to the rule's universal
+/// variables.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum HeadArg {
+    /// A term of the original rule (constant or universal variable).
+    Plain(Term),
+    /// A Skolem function `f_{σ,Z}(X₁,...,Xₖ)`.
+    Skolem {
+        /// Index of the rule the function belongs to.
+        rule_index: usize,
+        /// The existential variable the function replaces.
+        variable: Symbol,
+        /// The universal variables of the rule (the function's arguments).
+        arguments: Vec<Term>,
+    },
+}
+
+impl fmt::Display for HeadArg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeadArg::Plain(t) => write!(f, "{t}"),
+            HeadArg::Skolem {
+                rule_index,
+                variable,
+                arguments,
+            } => {
+                write!(f, "f{rule_index}_{variable}(")?;
+                for (i, a) in arguments.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// A Skolemized head atom.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SkolemHeadAtom {
+    /// Predicate symbol.
+    pub predicate: Symbol,
+    /// Arguments.
+    pub args: Vec<HeadArg>,
+}
+
+impl fmt::Display for SkolemHeadAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.predicate)?;
+        if self.args.is_empty() {
+            return Ok(());
+        }
+        write!(f, "(")?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A Skolemized normal rule: single head atom, body of literals over
+/// variables and constants.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SkolemRule {
+    /// Index of the originating NTGD in the input program.
+    pub source_rule: usize,
+    /// The single head atom.
+    pub head: SkolemHeadAtom,
+    /// The body literals (unchanged from the original rule).
+    pub body: Vec<Literal>,
+}
+
+impl fmt::Display for SkolemRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} <- ", self.head)?;
+        for (i, l) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, ".")
+    }
+}
+
+/// A Skolemized normal logic program.
+#[derive(Clone, Debug, Default)]
+pub struct SkolemProgram {
+    /// The single-head normal rules.
+    pub rules: Vec<SkolemRule>,
+}
+
+impl SkolemProgram {
+    /// Returns `true` if no rule uses a Skolem function (i.e. the original
+    /// program had no existential variables).
+    pub fn is_function_free(&self) -> bool {
+        self.rules.iter().all(|r| {
+            r.head
+                .args
+                .iter()
+                .all(|a| matches!(a, HeadArg::Plain(_)))
+        })
+    }
+
+    /// The set of predicates appearing in the program.
+    pub fn predicates(&self) -> BTreeSet<Symbol> {
+        let mut out = BTreeSet::new();
+        for r in &self.rules {
+            out.insert(r.head.predicate);
+            for l in &r.body {
+                out.insert(l.atom().predicate());
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for SkolemProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Skolemizes a program of NTGDs into a normal logic program.
+pub fn skolemize(program: &Program) -> SkolemProgram {
+    let mut out = SkolemProgram::default();
+    for (idx, rule) in program.iter() {
+        let universal: Vec<Term> = rule
+            .universal_variables()
+            .into_iter()
+            .map(Term::Var)
+            .collect();
+        let existential = rule.existential_variables();
+        for head_atom in rule.head() {
+            let args: Vec<HeadArg> = head_atom
+                .args()
+                .iter()
+                .map(|t| match t {
+                    Term::Var(v) if existential.contains(v) => HeadArg::Skolem {
+                        rule_index: idx,
+                        variable: *v,
+                        arguments: universal.clone(),
+                    },
+                    other => HeadArg::Plain(*other),
+                })
+                .collect();
+            out.rules.push(SkolemRule {
+                source_rule: idx,
+                head: SkolemHeadAtom {
+                    predicate: head_atom.predicate(),
+                    args,
+                },
+                body: rule.body().to_vec(),
+            });
+        }
+    }
+    out
+}
+
+/// Renders a ground Skolem term as a fresh constant name.  Distinct ground
+/// Skolem terms map to distinct constants, and never collide with ordinary
+/// constants (the rendered name contains parentheses, which the parser never
+/// produces for plain constants).
+pub fn skolem_constant(rule_index: usize, variable: Symbol, arguments: &[Term]) -> Term {
+    let rendered = format!(
+        "f{rule_index}_{variable}({})",
+        arguments
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    Term::Const(Symbol::intern(&rendered))
+}
+
+/// Instantiates a Skolemized head atom under a substitution of the rule's
+/// universal variables by ground terms, producing an ordinary ground atom
+/// whose Skolem terms are rendered as constants via [`skolem_constant`].
+pub fn instantiate_head(
+    head: &SkolemHeadAtom,
+    substitution: &ntgd_core::Substitution,
+) -> Atom {
+    let args: Vec<Term> = head
+        .args
+        .iter()
+        .map(|a| match a {
+            HeadArg::Plain(t) => substitution.apply_term(t),
+            HeadArg::Skolem {
+                rule_index,
+                variable,
+                arguments,
+            } => {
+                let ground_args: Vec<Term> = arguments
+                    .iter()
+                    .map(|t| substitution.apply_term(t))
+                    .collect();
+                skolem_constant(*rule_index, *variable, &ground_args)
+            }
+        })
+        .collect();
+    Atom::new(head.predicate, args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntgd_core::{cst, var, Substitution};
+    use ntgd_parser::parse_program;
+
+    #[test]
+    fn skolemization_replaces_existentials_with_functions() {
+        let p = parse_program("person(X) -> hasFather(X, Y).").unwrap();
+        let s = skolemize(&p);
+        assert_eq!(s.rules.len(), 1);
+        assert!(!s.is_function_free());
+        let head = &s.rules[0].head;
+        assert_eq!(head.predicate.as_str(), "hasFather");
+        assert!(matches!(head.args[0], HeadArg::Plain(Term::Var(_))));
+        assert!(matches!(head.args[1], HeadArg::Skolem { .. }));
+        assert_eq!(s.rules[0].to_string(), "hasFather(X,f0_Y(X)) <- person(X).");
+    }
+
+    #[test]
+    fn existential_free_programs_are_function_free() {
+        let p = parse_program("e(X,Y), e(Y,Z) -> e(X,Z). p(X), not q(X) -> r(X).").unwrap();
+        let s = skolemize(&p);
+        assert!(s.is_function_free());
+        assert_eq!(s.rules.len(), 2);
+    }
+
+    #[test]
+    fn conjunction_heads_are_split_into_single_head_rules() {
+        let p = parse_program("p(X) -> q(X, Y), r(Y).").unwrap();
+        let s = skolemize(&p);
+        assert_eq!(s.rules.len(), 2);
+        // Both rules use the same Skolem function for Y.
+        let rendered: Vec<String> = s.rules.iter().map(|r| r.head.to_string()).collect();
+        assert_eq!(rendered[0], "q(X,f0_Y(X))");
+        assert_eq!(rendered[1], "r(f0_Y(X))");
+    }
+
+    #[test]
+    fn instantiation_renders_ground_skolem_terms_as_constants() {
+        let p = parse_program("person(X) -> hasFather(X, Y).").unwrap();
+        let s = skolemize(&p);
+        let mut sub = Substitution::new();
+        sub.bind(var("X"), cst("alice"));
+        let ground = instantiate_head(&s.rules[0].head, &sub);
+        assert!(ground.is_constant_only());
+        assert_eq!(ground.to_string(), "hasFather(alice,f0_Y(alice))");
+        // Distinct arguments yield distinct Skolem constants.
+        let mut sub2 = Substitution::new();
+        sub2.bind(var("X"), cst("bob"));
+        let ground2 = instantiate_head(&s.rules[0].head, &sub2);
+        assert_ne!(ground.args()[1], ground2.args()[1]);
+    }
+
+    #[test]
+    fn predicates_are_collected() {
+        let p = parse_program("p(X), not q(X) -> r(X, Y).").unwrap();
+        let s = skolemize(&p);
+        let mut preds: Vec<&str> = s.predicates().iter().map(|s| s.as_str()).collect();
+        preds.sort_unstable();
+        assert_eq!(preds, vec!["p", "q", "r"]);
+    }
+}

@@ -1,0 +1,215 @@
+//! Stable models of ground normal programs (Gelfond–Lifschitz).
+//!
+//! An interpretation `M` is a stable model of a ground normal program `P` if
+//! `M` is the least model of the reduct `P^M` (remove every rule with a
+//! negated atom in `M`, drop the remaining negative literals).
+//!
+//! The enumeration below first computes the well-founded model (a sound
+//! approximation: WF-true atoms belong to every stable model, WF-false atoms
+//! to none), then branches over the remaining *undefined* atoms that occur
+//! under negation.  For normal programs the reduct depends only on the
+//! negated atoms, so a guess over those atoms determines a unique candidate,
+//! which is then verified.
+
+use std::collections::BTreeSet;
+
+use ntgd_core::Atom;
+
+use crate::program::GroundProgram;
+use crate::wellfounded::well_founded_model;
+
+/// Limits for stable model enumeration.
+#[derive(Clone, Debug)]
+pub struct StableEnumerationLimits {
+    /// Maximum number of undefined negated atoms to branch over (the search
+    /// is exponential in this number).
+    pub max_choice_atoms: usize,
+    /// Maximum number of stable models to return.
+    pub max_models: usize,
+}
+
+impl Default for StableEnumerationLimits {
+    fn default() -> Self {
+        StableEnumerationLimits {
+            max_choice_atoms: 24,
+            max_models: 1_024,
+        }
+    }
+}
+
+/// Least model of the reduct of `program` w.r.t. the guessed set of negated
+/// atoms `assumed_true`.
+fn reduct_least_model(program: &GroundProgram, assumed_true: &BTreeSet<Atom>) -> BTreeSet<Atom> {
+    let mut model: BTreeSet<Atom> = BTreeSet::new();
+    loop {
+        let mut changed = false;
+        for rule in &program.rules {
+            if model.contains(&rule.head) {
+                continue;
+            }
+            if rule.body_neg.iter().any(|a| assumed_true.contains(a)) {
+                continue;
+            }
+            if rule.body_pos.iter().all(|a| model.contains(a)) {
+                model.insert(rule.head.clone());
+                changed = true;
+            }
+        }
+        if !changed {
+            return model;
+        }
+    }
+}
+
+/// Enumerates the stable models of a ground normal program.
+///
+/// Returns `Err(actual)` if the number of undefined negated atoms exceeds the
+/// configured branching limit (`actual` is that number).
+pub fn stable_models(
+    program: &GroundProgram,
+    limits: &StableEnumerationLimits,
+) -> Result<Vec<BTreeSet<Atom>>, usize> {
+    let wfm = well_founded_model(program);
+    let negated = program.negated_atoms();
+
+    // Negated atoms whose value is already fixed by the well-founded model.
+    let forced_true: BTreeSet<Atom> = negated
+        .iter()
+        .filter(|a| wfm.true_atoms.contains(*a))
+        .cloned()
+        .collect();
+    let choice_atoms: Vec<Atom> = negated
+        .iter()
+        .filter(|a| wfm.undefined_atoms.contains(*a))
+        .cloned()
+        .collect();
+    if choice_atoms.len() > limits.max_choice_atoms {
+        return Err(choice_atoms.len());
+    }
+
+    let mut models = Vec::new();
+    let combinations: u64 = 1u64 << choice_atoms.len();
+    for mask in 0..combinations {
+        if models.len() >= limits.max_models {
+            break;
+        }
+        let mut assumed = forced_true.clone();
+        for (i, a) in choice_atoms.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                assumed.insert(a.clone());
+            }
+        }
+        let candidate = reduct_least_model(program, &assumed);
+        // The guess must be reproduced exactly on the negated atoms.
+        let consistent = negated
+            .iter()
+            .all(|a| candidate.contains(a) == assumed.contains(a));
+        if consistent {
+            models.push(candidate);
+        }
+    }
+    Ok(models)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground::{ground_program, GroundingLimits};
+    use crate::skolem::skolemize;
+    use ntgd_core::{atom, cst};
+    use ntgd_parser::{parse_database, parse_program};
+
+    fn ground(db: &str, rules: &str) -> GroundProgram {
+        let db = parse_database(db).unwrap();
+        let p = parse_program(rules).unwrap();
+        ground_program(&db, &skolemize(&p), &GroundingLimits::default()).0
+    }
+
+    fn models(db: &str, rules: &str) -> Vec<BTreeSet<Atom>> {
+        stable_models(&ground(db, rules), &StableEnumerationLimits::default()).unwrap()
+    }
+
+    #[test]
+    fn positive_programs_have_a_unique_stable_model() {
+        let ms = models("p(a).", "p(X) -> q(X). q(X) -> r(X).");
+        assert_eq!(ms.len(), 1);
+        assert!(ms[0].contains(&atom("r", vec![cst("a")])));
+        assert_eq!(ms[0].len(), 3);
+    }
+
+    #[test]
+    fn even_negative_loop_has_two_stable_models() {
+        let ms = models("seed(x).", "seed(X), not b -> a. seed(X), not a -> b.");
+        assert_eq!(ms.len(), 2);
+        assert!(ms.iter().any(|m| m.contains(&atom("a", vec![]))
+            && !m.contains(&atom("b", vec![]))));
+        assert!(ms.iter().any(|m| m.contains(&atom("b", vec![]))
+            && !m.contains(&atom("a", vec![]))));
+    }
+
+    #[test]
+    fn odd_negative_loop_has_no_stable_model() {
+        let ms = models("seed(x).", "seed(X), not a -> a.");
+        assert!(ms.is_empty());
+    }
+
+    #[test]
+    fn the_running_example_of_section_3_2_has_no_stable_model() {
+        // D = {p(0)},  p(X), not t(X) -> r(X).   r(X) -> t(X).
+        let ms = models("p(0).", "p(X), not t(X) -> r(X). r(X) -> t(X).");
+        assert!(ms.is_empty());
+    }
+
+    #[test]
+    fn example_1_unique_lp_stable_model() {
+        // Example 1 + D = {person(alice)}: the unique LP stable model makes
+        // alice's father the Skolem term and alice not abnormal.
+        let ms = models(
+            "person(alice).",
+            "person(X) -> hasFather(X, Y).\
+             hasFather(X, Y) -> sameAs(Y, Y).\
+             hasFather(X, Y), hasFather(X, Z), not sameAs(Y, Z) -> abnormal(X).",
+        );
+        assert_eq!(ms.len(), 1);
+        let m = &ms[0];
+        assert_eq!(m.len(), 3);
+        assert!(m.iter().any(|a| a.predicate().as_str() == "hasFather"
+            && a.args()[1].to_string().contains("f0_Y(alice)")));
+        assert!(!m.iter().any(|a| a.predicate().as_str() == "abnormal"));
+    }
+
+    #[test]
+    fn stratified_programs_have_the_perfect_model() {
+        let ms = models("p(a). p(b). q(a).", "p(X), not q(X) -> r(X).");
+        assert_eq!(ms.len(), 1);
+        assert!(ms[0].contains(&atom("r", vec![cst("b")])));
+        assert!(!ms[0].contains(&atom("r", vec![cst("a")])));
+    }
+
+    #[test]
+    fn branching_limit_is_reported() {
+        // 30 independent even loops exceed the default branching limit of 24.
+        let mut rules = String::new();
+        let mut facts = String::new();
+        for i in 0..30 {
+            facts.push_str(&format!("s{i}(x). "));
+            rules.push_str(&format!("s{i}(X), not b{i} -> a{i}. s{i}(X), not a{i} -> b{i}. "));
+        }
+        let gp = ground(&facts, &rules);
+        let err = stable_models(&gp, &StableEnumerationLimits::default()).unwrap_err();
+        assert_eq!(err, 60);
+    }
+
+    #[test]
+    fn model_limit_truncates_enumeration() {
+        let gp = ground(
+            "seed(x).",
+            "seed(X), not b -> a. seed(X), not a -> b.",
+        );
+        let limits = StableEnumerationLimits {
+            max_models: 1,
+            ..Default::default()
+        };
+        assert_eq!(stable_models(&gp, &limits).unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,149 @@
+//! The well-founded semantics via the alternating fixpoint.
+//!
+//! The well-founded model of a ground normal program partitions the relevant
+//! Herbrand base into *true*, *false* and *undefined* atoms.  It is used
+//! both as a semantics in its own right (the paper discusses the
+//! equality-friendly WFS of [21]) and as a sound simplification before stable
+//! model enumeration: well-founded-true atoms belong to every stable model,
+//! well-founded-false atoms to none.
+
+use std::collections::BTreeSet;
+
+use ntgd_core::Atom;
+
+use crate::program::GroundProgram;
+
+/// The three-valued well-founded model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WellFoundedModel {
+    /// Atoms true in the well-founded model.
+    pub true_atoms: BTreeSet<Atom>,
+    /// Atoms false in the well-founded model.
+    pub false_atoms: BTreeSet<Atom>,
+    /// Atoms with undefined truth value.
+    pub undefined_atoms: BTreeSet<Atom>,
+}
+
+impl WellFoundedModel {
+    /// Returns `true` if no atom is undefined (the model is total); in that
+    /// case the well-founded model is the unique stable model.
+    pub fn is_total(&self) -> bool {
+        self.undefined_atoms.is_empty()
+    }
+}
+
+/// The Γ operator: least model of the Gelfond–Lifschitz reduct of the program
+/// with respect to `assumed`.
+fn gamma(program: &GroundProgram, assumed: &BTreeSet<Atom>) -> BTreeSet<Atom> {
+    let mut model: BTreeSet<Atom> = BTreeSet::new();
+    loop {
+        let mut changed = false;
+        for rule in &program.rules {
+            if model.contains(&rule.head) {
+                continue;
+            }
+            if rule.body_neg.iter().any(|a| assumed.contains(a)) {
+                continue; // removed by the reduct
+            }
+            if rule.body_pos.iter().all(|a| model.contains(a)) {
+                model.insert(rule.head.clone());
+                changed = true;
+            }
+        }
+        if !changed {
+            return model;
+        }
+    }
+}
+
+/// Computes the well-founded model by the alternating fixpoint construction.
+pub fn well_founded_model(program: &GroundProgram) -> WellFoundedModel {
+    // T_{i+1} = Γ(Γ(T_i)), starting from ∅; the sequence of T's is increasing
+    // and the sequence of U = Γ(T) is decreasing.  At the fixpoint, T is the
+    // set of well-founded-true atoms and U the set of possibly-true atoms.
+    let mut true_set: BTreeSet<Atom> = BTreeSet::new();
+    loop {
+        let possibly_true = gamma(program, &true_set);
+        let next_true = gamma(program, &possibly_true);
+        if next_true == true_set {
+            let false_atoms: BTreeSet<Atom> = program
+                .herbrand
+                .iter()
+                .filter(|a| !possibly_true.contains(*a))
+                .cloned()
+                .collect();
+            let undefined: BTreeSet<Atom> = possibly_true
+                .iter()
+                .filter(|a| !true_set.contains(*a))
+                .cloned()
+                .collect();
+            return WellFoundedModel {
+                true_atoms: true_set,
+                false_atoms,
+                undefined_atoms: undefined,
+            };
+        }
+        true_set = next_true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground::{ground_program, GroundingLimits};
+    use crate::skolem::skolemize;
+    use ntgd_core::{atom, cst};
+    use ntgd_parser::{parse_database, parse_program};
+
+    fn ground(db: &str, rules: &str) -> GroundProgram {
+        let db = parse_database(db).unwrap();
+        let p = parse_program(rules).unwrap();
+        ground_program(&db, &skolemize(&p), &GroundingLimits::default()).0
+    }
+
+    #[test]
+    fn positive_programs_have_total_well_founded_models() {
+        let gp = ground("p(a).", "p(X) -> q(X). q(X) -> r(X).");
+        let wfm = well_founded_model(&gp);
+        assert!(wfm.is_total());
+        assert!(wfm.true_atoms.contains(&atom("r", vec![cst("a")])));
+        assert!(wfm.false_atoms.is_empty());
+    }
+
+    #[test]
+    fn stratified_negation_is_resolved() {
+        let gp = ground("p(a). p(b). q(a).", "p(X), not q(X) -> r(X).");
+        let wfm = well_founded_model(&gp);
+        assert!(wfm.is_total());
+        assert!(wfm.true_atoms.contains(&atom("r", vec![cst("b")])));
+        assert!(wfm.false_atoms.contains(&atom("r", vec![cst("a")])));
+    }
+
+    #[test]
+    fn even_negative_loop_is_undefined() {
+        let gp = ground("seed(x).", "seed(X), not b -> a. seed(X), not a -> b.");
+        let wfm = well_founded_model(&gp);
+        assert!(!wfm.is_total());
+        assert!(wfm.undefined_atoms.contains(&atom("a", vec![])));
+        assert!(wfm.undefined_atoms.contains(&atom("b", vec![])));
+        assert!(wfm.true_atoms.contains(&atom("seed", vec![cst("x")])));
+    }
+
+    #[test]
+    fn odd_negative_loop_is_undefined_not_inconsistent() {
+        let gp = ground("seed(x).", "seed(X), not a -> a.");
+        let wfm = well_founded_model(&gp);
+        assert!(wfm.undefined_atoms.contains(&atom("a", vec![])));
+    }
+
+    #[test]
+    fn unfounded_positive_loops_are_false() {
+        // a <- b.  b <- a.  Nothing supports them.
+        let gp = ground("seed(x).", "a -> b. b -> a. seed(X), not a -> c.");
+        let wfm = well_founded_model(&gp);
+        assert!(wfm.false_atoms.contains(&atom("a", vec![])));
+        // b is not even part of the relevant Herbrand base (never derivable).
+        assert!(!gp.herbrand.contains(&atom("b", vec![])));
+        assert!(wfm.true_atoms.contains(&atom("c", vec![])));
+    }
+}

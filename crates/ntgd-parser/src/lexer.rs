@@ -1,0 +1,359 @@
+//! Tokenizer for the NTGD text format.
+
+use std::fmt;
+
+/// The kind of a token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TokenKind {
+    /// Lower-case identifier, number, or quoted string (constant / predicate).
+    LowerIdent(String),
+    /// Upper-case or `_`-prefixed identifier (variable).
+    UpperIdent(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Period,
+    /// `->`
+    Arrow,
+    /// `|`
+    Pipe,
+    /// `not`
+    Not,
+    /// `?-`
+    QueryArrow,
+    /// `?`
+    Question,
+    /// `:-`
+    ColonDash,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::LowerIdent(s) => write!(f, "constant `{s}`"),
+            TokenKind::UpperIdent(s) => write!(f, "variable `{s}`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Period => write!(f, "`.`"),
+            TokenKind::Arrow => write!(f, "`->`"),
+            TokenKind::Pipe => write!(f, "`|`"),
+            TokenKind::Not => write!(f, "`not`"),
+            TokenKind::QueryArrow => write!(f, "`?-`"),
+            TokenKind::Question => write!(f, "`?`"),
+            TokenKind::ColonDash => write!(f, "`:-`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token together with its source position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    /// What kind of token.
+    pub kind: TokenKind,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub column: usize,
+}
+
+/// Errors produced by the lexer.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LexError {
+    /// Human-readable message.
+    pub message: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub column: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Streaming tokenizer.
+pub struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+    column: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over the given input.
+    pub fn new(input: &'a str) -> Lexer<'a> {
+        Lexer {
+            chars: input.chars().peekable(),
+            line: 1,
+            column: 1,
+        }
+    }
+
+    /// Tokenizes the entire input, appending a final [`TokenKind::Eof`].
+    pub fn tokenize(input: &'a str) -> Result<Vec<Token>, LexError> {
+        let mut lexer = Lexer::new(input);
+        let mut out = Vec::new();
+        loop {
+            let t = lexer.next_token()?;
+            let eof = t.kind == TokenKind::Eof;
+            out.push(t);
+            if eof {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next();
+        if let Some(ch) = c {
+            if ch == '\n' {
+                self.line += 1;
+                self.column = 1;
+            } else {
+                self.column += 1;
+            }
+        }
+        c
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.chars.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('%') => {
+                    while let Some(&c) = self.chars.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> LexError {
+        LexError {
+            message: message.into(),
+            line: self.line,
+            column: self.column,
+        }
+    }
+
+    /// Produces the next token.
+    pub fn next_token(&mut self) -> Result<Token, LexError> {
+        self.skip_trivia();
+        let line = self.line;
+        let column = self.column;
+        let make = |kind| Token { kind, line, column };
+        let Some(&c) = self.chars.peek() else {
+            return Ok(make(TokenKind::Eof));
+        };
+        match c {
+            '(' => {
+                self.bump();
+                Ok(make(TokenKind::LParen))
+            }
+            ')' => {
+                self.bump();
+                Ok(make(TokenKind::RParen))
+            }
+            ',' => {
+                self.bump();
+                Ok(make(TokenKind::Comma))
+            }
+            '.' => {
+                self.bump();
+                Ok(make(TokenKind::Period))
+            }
+            '|' => {
+                self.bump();
+                Ok(make(TokenKind::Pipe))
+            }
+            '-' => {
+                self.bump();
+                if self.chars.peek() == Some(&'>') {
+                    self.bump();
+                    Ok(make(TokenKind::Arrow))
+                } else {
+                    Err(self.error("expected `->`"))
+                }
+            }
+            ':' => {
+                self.bump();
+                if self.chars.peek() == Some(&'-') {
+                    self.bump();
+                    Ok(make(TokenKind::ColonDash))
+                } else {
+                    Err(self.error("expected `:-`"))
+                }
+            }
+            '?' => {
+                self.bump();
+                if self.chars.peek() == Some(&'-') {
+                    self.bump();
+                    Ok(make(TokenKind::QueryArrow))
+                } else {
+                    Ok(make(TokenKind::Question))
+                }
+            }
+            '"' => {
+                self.bump();
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        Some('"') => break,
+                        Some(ch) => s.push(ch),
+                        None => return Err(self.error("unterminated string literal")),
+                    }
+                }
+                Ok(make(TokenKind::LowerIdent(s)))
+            }
+            c if c.is_ascii_digit() => {
+                let mut s = String::new();
+                while let Some(&ch) = self.chars.peek() {
+                    if ch.is_ascii_alphanumeric() || ch == '_' {
+                        s.push(ch);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Ok(make(TokenKind::LowerIdent(s)))
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&ch) = self.chars.peek() {
+                    if ch.is_alphanumeric() || ch == '_' {
+                        s.push(ch);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if s == "not" {
+                    Ok(make(TokenKind::Not))
+                } else if s.starts_with(|ch: char| ch.is_uppercase() || ch == '_') {
+                    Ok(make(TokenKind::UpperIdent(s)))
+                } else {
+                    Ok(make(TokenKind::LowerIdent(s)))
+                }
+            }
+            other => Err(self.error(format!("unexpected character `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        Lexer::tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn tokenizes_a_fact() {
+        assert_eq!(
+            kinds("person(alice)."),
+            vec![
+                TokenKind::LowerIdent("person".into()),
+                TokenKind::LParen,
+                TokenKind::LowerIdent("alice".into()),
+                TokenKind::RParen,
+                TokenKind::Period,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_rules_with_negation_and_disjunction() {
+        let ks = kinds("p(X), not q(X) -> r(X) | s(X).");
+        assert!(ks.contains(&TokenKind::Not));
+        assert!(ks.contains(&TokenKind::Arrow));
+        assert!(ks.contains(&TokenKind::Pipe));
+        assert!(ks.contains(&TokenKind::UpperIdent("X".into())));
+    }
+
+    #[test]
+    fn distinguishes_variables_from_constants() {
+        assert_eq!(
+            kinds("X _y abc 42 \"Hello World\""),
+            vec![
+                TokenKind::UpperIdent("X".into()),
+                TokenKind::UpperIdent("_y".into()),
+                TokenKind::LowerIdent("abc".into()),
+                TokenKind::LowerIdent("42".into()),
+                TokenKind::LowerIdent("Hello World".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_whitespace() {
+        let ks = kinds("% a comment\n  p(a). % trailing\n");
+        assert_eq!(ks.len(), 6);
+    }
+
+    #[test]
+    fn query_tokens() {
+        assert_eq!(
+            kinds("?- p(X). ?(X) :- q(X)."),
+            vec![
+                TokenKind::QueryArrow,
+                TokenKind::LowerIdent("p".into()),
+                TokenKind::LParen,
+                TokenKind::UpperIdent("X".into()),
+                TokenKind::RParen,
+                TokenKind::Period,
+                TokenKind::Question,
+                TokenKind::LParen,
+                TokenKind::UpperIdent("X".into()),
+                TokenKind::RParen,
+                TokenKind::ColonDash,
+                TokenKind::LowerIdent("q".into()),
+                TokenKind::LParen,
+                TokenKind::UpperIdent("X".into()),
+                TokenKind::RParen,
+                TokenKind::Period,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn reports_positions_and_errors() {
+        let err = Lexer::tokenize("p(a) ;").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains(";"));
+        let err = Lexer::tokenize("\"oops").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+        let toks = Lexer::tokenize("p(a).\nq(b).").unwrap();
+        assert_eq!(toks[5].line, 2);
+    }
+
+    #[test]
+    fn lone_dash_is_an_error() {
+        assert!(Lexer::tokenize("p(a) - q(b)").is_err());
+    }
+}

@@ -1,0 +1,35 @@
+//! # ntgd-parser
+//!
+//! A small text format for NTGD programs, databases and queries, with a
+//! hand-written lexer and recursive-descent parser.
+//!
+//! ## Syntax
+//!
+//! ```text
+//! % a comment runs to the end of the line
+//! person(alice).                                   % database fact
+//! person(X) -> hasFather(X, Y).                    % NTGD (Y is existential)
+//! hasFather(X,Y), hasFather(X,Z), not sameAs(Y,Z) -> abnormal(X).
+//! node(X) -> red(X) | green(X) | blue(X).          % disjunctive rule (NDTGD)
+//! -> zero(X).                                      % empty body is allowed
+//! ?- person(X), not abnormal(X).                   % Boolean query
+//! ?(X) :- person(X), not abnormal(X).              % query with answer variables
+//! ```
+//!
+//! Identifiers starting with an upper-case letter or `_` are variables;
+//! identifiers starting with a lower-case letter, numbers, and quoted strings
+//! are constants.  Predicate names are the identifiers heading an atom.
+//!
+//! The entry point is [`parse_unit`], which returns a [`ParsedUnit`] holding
+//! the database, the (possibly disjunctive) program and the queries found in
+//! the input.  [`parse_program`], [`parse_database`], [`parse_rule`] and
+//! [`parse_query`] are convenience wrappers.
+
+pub mod lexer;
+pub mod parser;
+
+pub use lexer::{Lexer, Token, TokenKind};
+pub use parser::{
+    parse_database, parse_ndtgd, parse_program, parse_query, parse_rule, parse_unit, ParseError,
+    ParsedUnit,
+};

@@ -1,0 +1,479 @@
+//! Recursive-descent parser producing `ntgd-core` values.
+
+use std::fmt;
+
+use ntgd_core::{
+    Atom, CoreError, Database, DisjunctiveProgram, Literal, Ndtgd, Ntgd, Program, Query, Symbol,
+    Term,
+};
+
+use crate::lexer::{LexError, Lexer, Token, TokenKind};
+
+/// Errors produced while parsing.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ParseError {
+    /// A lexical error.
+    Lex(LexError),
+    /// An unexpected token.
+    Unexpected {
+        /// What was found.
+        found: String,
+        /// What was expected.
+        expected: String,
+        /// 1-based line.
+        line: usize,
+        /// 1-based column.
+        column: usize,
+    },
+    /// A semantic validation error from `ntgd-core` (safety, arities, ...).
+    Semantic(CoreError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "lexical error: {e}"),
+            ParseError::Unexpected {
+                found,
+                expected,
+                line,
+                column,
+            } => write!(f, "{line}:{column}: expected {expected}, found {found}"),
+            ParseError::Semantic(e) => write!(f, "invalid statement: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::Lex(e)
+    }
+}
+
+impl From<CoreError> for ParseError {
+    fn from(e: CoreError) -> Self {
+        ParseError::Semantic(e)
+    }
+}
+
+/// The result of parsing a full input unit: facts, rules and queries in
+/// source order.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedUnit {
+    /// Database facts (ground atoms terminated by `.`).
+    pub database: Database,
+    /// All rules, in disjunctive form (single-disjunct rules for plain NTGDs).
+    pub rules: Vec<Ndtgd>,
+    /// Queries (`?- ...` and `?(X,...) :- ...`).
+    pub queries: Vec<Query>,
+}
+
+impl ParsedUnit {
+    /// The rules as a non-disjunctive [`Program`], if no rule uses `|`.
+    pub fn program(&self) -> Option<Program> {
+        DisjunctiveProgram::from_rules(self.rules.clone())
+            .ok()?
+            .to_program()
+    }
+
+    /// The rules as a [`DisjunctiveProgram`].
+    pub fn disjunctive_program(&self) -> Result<DisjunctiveProgram, CoreError> {
+        DisjunctiveProgram::from_rules(self.rules.clone())
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(input: &str) -> Result<Parser, ParseError> {
+        Ok(Parser {
+            tokens: Lexer::tokenize(input)?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_eof(&self) -> bool {
+        self.peek().kind == TokenKind::Eof
+    }
+
+    fn unexpected(&self, expected: &str) -> ParseError {
+        let t = self.peek();
+        ParseError::Unexpected {
+            found: t.kind.to_string(),
+            expected: expected.to_owned(),
+            line: t.line,
+            column: t.column,
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), ParseError> {
+        if &self.peek().kind == kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.unexpected(what))
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Term, ParseError> {
+        match self.peek().kind.clone() {
+            TokenKind::LowerIdent(s) => {
+                self.bump();
+                Ok(Term::constant(&s))
+            }
+            TokenKind::UpperIdent(s) => {
+                self.bump();
+                Ok(Term::variable(&s))
+            }
+            _ => Err(self.unexpected("a term (constant or variable)")),
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Atom, ParseError> {
+        let name = match self.peek().kind.clone() {
+            TokenKind::LowerIdent(s) => {
+                self.bump();
+                s
+            }
+            _ => return Err(self.unexpected("a predicate name")),
+        };
+        let mut args = Vec::new();
+        if self.peek().kind == TokenKind::LParen {
+            self.bump();
+            if self.peek().kind != TokenKind::RParen {
+                loop {
+                    args.push(self.parse_term()?);
+                    if self.peek().kind == TokenKind::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(&TokenKind::RParen, "`)`")?;
+        }
+        Ok(Atom::new(Symbol::intern(&name), args))
+    }
+
+    fn parse_literal(&mut self) -> Result<Literal, ParseError> {
+        if self.peek().kind == TokenKind::Not {
+            self.bump();
+            Ok(Literal::negative(self.parse_atom()?))
+        } else {
+            Ok(Literal::positive(self.parse_atom()?))
+        }
+    }
+
+    fn parse_literal_list(&mut self) -> Result<Vec<Literal>, ParseError> {
+        let mut out = vec![self.parse_literal()?];
+        while self.peek().kind == TokenKind::Comma {
+            self.bump();
+            out.push(self.parse_literal()?);
+        }
+        Ok(out)
+    }
+
+    fn parse_atom_list(&mut self) -> Result<Vec<Atom>, ParseError> {
+        let mut out = vec![self.parse_atom()?];
+        while self.peek().kind == TokenKind::Comma {
+            self.bump();
+            out.push(self.parse_atom()?);
+        }
+        Ok(out)
+    }
+
+    /// head ::= atom_list ('|' atom_list)*
+    fn parse_head(&mut self) -> Result<Vec<Vec<Atom>>, ParseError> {
+        let mut disjuncts = vec![self.parse_atom_list()?];
+        while self.peek().kind == TokenKind::Pipe {
+            self.bump();
+            disjuncts.push(self.parse_atom_list()?);
+        }
+        Ok(disjuncts)
+    }
+
+    /// statement ::= fact | rule | query
+    fn parse_statement(&mut self, unit: &mut ParsedUnit) -> Result<(), ParseError> {
+        match self.peek().kind.clone() {
+            TokenKind::QueryArrow => {
+                self.bump();
+                let literals = self.parse_literal_list()?;
+                self.expect(&TokenKind::Period, "`.`")?;
+                unit.queries.push(Query::boolean(literals)?);
+                Ok(())
+            }
+            TokenKind::Question => {
+                self.bump();
+                self.expect(&TokenKind::LParen, "`(`")?;
+                let mut answer_vars = Vec::new();
+                if self.peek().kind != TokenKind::RParen {
+                    loop {
+                        match self.peek().kind.clone() {
+                            TokenKind::UpperIdent(s) => {
+                                self.bump();
+                                answer_vars.push(Symbol::intern(&s));
+                            }
+                            _ => return Err(self.unexpected("an answer variable")),
+                        }
+                        if self.peek().kind == TokenKind::Comma {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&TokenKind::RParen, "`)`")?;
+                self.expect(&TokenKind::ColonDash, "`:-`")?;
+                let literals = self.parse_literal_list()?;
+                self.expect(&TokenKind::Period, "`.`")?;
+                unit.queries.push(Query::new(answer_vars, literals)?);
+                Ok(())
+            }
+            TokenKind::Arrow => {
+                // Rule with an empty body: `-> head.`
+                self.bump();
+                let disjuncts = self.parse_head()?;
+                self.expect(&TokenKind::Period, "`.`")?;
+                unit.rules.push(Ndtgd::new(Vec::new(), disjuncts)?);
+                Ok(())
+            }
+            _ => {
+                let literals = self.parse_literal_list()?;
+                match self.peek().kind.clone() {
+                    TokenKind::Period => {
+                        self.bump();
+                        // A fact: a single positive ground atom.
+                        if literals.len() == 1
+                            && literals[0].is_positive()
+                            && literals[0].atom().is_constant_only()
+                        {
+                            unit.database.insert(literals[0].atom().clone())?;
+                            Ok(())
+                        } else {
+                            Err(ParseError::Semantic(CoreError::Invalid(format!(
+                                "`{}` is neither a ground fact nor a rule",
+                                literals
+                                    .iter()
+                                    .map(|l| l.to_string())
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            ))))
+                        }
+                    }
+                    TokenKind::Arrow => {
+                        self.bump();
+                        let disjuncts = self.parse_head()?;
+                        self.expect(&TokenKind::Period, "`.`")?;
+                        unit.rules.push(Ndtgd::new(literals, disjuncts)?);
+                        Ok(())
+                    }
+                    _ => Err(self.unexpected("`.` or `->`")),
+                }
+            }
+        }
+    }
+
+    fn parse_unit(&mut self) -> Result<ParsedUnit, ParseError> {
+        let mut unit = ParsedUnit::default();
+        while !self.at_eof() {
+            self.parse_statement(&mut unit)?;
+        }
+        Ok(unit)
+    }
+}
+
+/// Parses a full input (facts, rules, queries).
+pub fn parse_unit(input: &str) -> Result<ParsedUnit, ParseError> {
+    Parser::new(input)?.parse_unit()
+}
+
+/// Parses an input that contains only rules (no `|`), returning a [`Program`].
+pub fn parse_program(input: &str) -> Result<Program, ParseError> {
+    let unit = parse_unit(input)?;
+    if !unit.database.is_empty() || !unit.queries.is_empty() {
+        return Err(ParseError::Semantic(CoreError::Invalid(
+            "expected only rules in a program".to_owned(),
+        )));
+    }
+    let mut rules = Vec::new();
+    for r in unit.rules {
+        match r.to_ntgd() {
+            Some(rule) => rules.push(rule),
+            None => {
+                return Err(ParseError::Semantic(CoreError::Invalid(
+                    "disjunctive rule in a non-disjunctive program".to_owned(),
+                )))
+            }
+        }
+    }
+    Ok(Program::from_rules(rules)?)
+}
+
+/// Parses an input that contains only facts, returning a [`Database`].
+pub fn parse_database(input: &str) -> Result<Database, ParseError> {
+    let unit = parse_unit(input)?;
+    if !unit.rules.is_empty() || !unit.queries.is_empty() {
+        return Err(ParseError::Semantic(CoreError::Invalid(
+            "expected only facts in a database".to_owned(),
+        )));
+    }
+    Ok(unit.database)
+}
+
+/// Parses a single (non-disjunctive) rule.
+pub fn parse_rule(input: &str) -> Result<Ntgd, ParseError> {
+    let program = parse_program(input)?;
+    if program.len() != 1 {
+        return Err(ParseError::Semantic(CoreError::Invalid(
+            "expected exactly one rule".to_owned(),
+        )));
+    }
+    Ok(program.rules()[0].clone())
+}
+
+/// Parses a single, possibly disjunctive, rule.
+pub fn parse_ndtgd(input: &str) -> Result<Ndtgd, ParseError> {
+    let unit = parse_unit(input)?;
+    if unit.rules.len() != 1 || !unit.database.is_empty() || !unit.queries.is_empty() {
+        return Err(ParseError::Semantic(CoreError::Invalid(
+            "expected exactly one rule".to_owned(),
+        )));
+    }
+    Ok(unit.rules.into_iter().next().expect("one rule"))
+}
+
+/// Parses a single query.
+pub fn parse_query(input: &str) -> Result<Query, ParseError> {
+    let unit = parse_unit(input)?;
+    if unit.queries.len() != 1 || !unit.database.is_empty() || !unit.rules.is_empty() {
+        return Err(ParseError::Semantic(CoreError::Invalid(
+            "expected exactly one query".to_owned(),
+        )));
+    }
+    Ok(unit.queries.into_iter().next().expect("one query"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntgd_core::{atom, cst};
+
+    const EXAMPLE1: &str = r#"
+        % Example 1 of the paper
+        person(alice).
+        person(X) -> hasFather(X, Y).
+        hasFather(X, Y) -> sameAs(Y, Y).
+        hasFather(X, Y), hasFather(X, Z), not sameAs(Y, Z) -> abnormal(X).
+        ?- person(X), not abnormal(X).
+    "#;
+
+    #[test]
+    fn parses_example1() {
+        let unit = parse_unit(EXAMPLE1).unwrap();
+        assert_eq!(unit.database.len(), 1);
+        assert!(unit
+            .database
+            .contains(&atom("person", vec![cst("alice")])));
+        assert_eq!(unit.rules.len(), 3);
+        assert_eq!(unit.queries.len(), 1);
+        let program = unit.program().unwrap();
+        assert_eq!(program.len(), 3);
+        assert!(!program.is_positive());
+    }
+
+    #[test]
+    fn parses_facts_rules_and_queries_separately() {
+        let db = parse_database("p(a). q(a, b).").unwrap();
+        assert_eq!(db.len(), 2);
+        let prog = parse_program("p(X) -> q(X, Y). q(X, Y), not r(X) -> s(X).").unwrap();
+        assert_eq!(prog.len(), 2);
+        let q = parse_query("?(X) :- p(X), not s(X).").unwrap();
+        assert_eq!(q.arity(), 1);
+        let bq = parse_query("?- p(X).").unwrap();
+        assert!(bq.is_boolean());
+    }
+
+    #[test]
+    fn parses_disjunctive_rules() {
+        let r = parse_ndtgd("node(X) -> red(X) | green(X) | blue(X).").unwrap();
+        assert_eq!(r.disjunct_count(), 3);
+        let unit = parse_unit("node(X) -> red(X) | green(X).").unwrap();
+        assert!(unit.program().is_none());
+        assert!(unit.disjunctive_program().is_ok());
+    }
+
+    #[test]
+    fn parses_empty_body_and_zero_ary_rules() {
+        let r = parse_rule("-> zero(X).").unwrap();
+        assert!(r.body().is_empty());
+        assert_eq!(r.existential_variables().len(), 1);
+        let r = parse_rule("not saturate -> saturate.").unwrap();
+        assert_eq!(r.body_negative().len(), 1);
+        assert_eq!(r.head()[0].arity(), 0);
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        assert!(parse_unit("p(X) ->").is_err());
+        assert!(parse_unit("p(a)").is_err());
+        assert!(parse_unit("p(X).").is_err()); // non-ground fact
+        assert!(parse_unit("-> .").is_err());
+        assert!(parse_unit("?(a) :- p(a).").is_err()); // answer term must be a variable
+        assert!(parse_unit("not q(X) -> p(X).").is_err()); // unsafe rule
+    }
+
+    #[test]
+    fn rejects_category_mixups() {
+        assert!(parse_database("p(X) -> q(X).").is_err());
+        assert!(parse_program("p(a).").is_err());
+        assert!(parse_query("p(a).").is_err());
+        assert!(parse_rule("p(X) -> q(X). r(X) -> s(X).").is_err());
+    }
+
+    #[test]
+    fn quoted_and_numeric_constants() {
+        let db = parse_database("label(1, \"Node One\").").unwrap();
+        assert!(db.contains(&atom("label", vec![cst("1"), cst("Node One")])));
+    }
+
+    #[test]
+    fn display_parse_round_trip_for_rules() {
+        let texts = [
+            "person(X) -> hasFather(X,Y).",
+            "hasFather(X,Y), hasFather(X,Z), not sameAs(Y,Z) -> abnormal(X).",
+            "node(X) -> red(X) | green(X) | blue(X).",
+        ];
+        for t in texts {
+            let r = parse_ndtgd(t).unwrap();
+            let round = parse_ndtgd(&r.to_string()).unwrap();
+            assert_eq!(r, round, "round trip failed for {t}");
+        }
+    }
+
+    #[test]
+    fn parse_error_reports_location() {
+        let err = parse_unit("p(a).\nq(X) -> ;").unwrap_err();
+        match err {
+            ParseError::Lex(e) => assert_eq!(e.line, 2),
+            ParseError::Unexpected { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,453 @@
+//! Grounding of `SM[D,Σ]` over a finite candidate domain.
+//!
+//! Every rule `∀X∀Y(ϕ(X,Y) → ⋁ᵢ ∃Zᵢ ψᵢ(X,Zᵢ))` is instantiated over the
+//! candidate domain: the universal variables range over the domain (restricted
+//! to instantiations whose positive body lies in the *possibly-true* closure —
+//! sound by Lemma 7), and each head disjunct is expanded into one
+//! conjunction per assignment of its existential variables to domain
+//! elements.  The result is a set of ground implications
+//!
+//! ```text
+//! body⁺ ∧ ¬body⁻ ∧ (negated constants are in the domain)  →  ⋁ (conjunctions)
+//! ```
+//!
+//! which is exactly the propositional shape consumed by the SAT-based
+//! generator and by the stability check.
+
+use std::collections::{BTreeSet, HashMap};
+
+use ntgd_core::{
+    matcher, Atom, Database, DisjunctiveProgram, Interpretation, Substitution, Term,
+};
+
+use crate::universe::Domain;
+
+/// A dense table of ground atoms.
+#[derive(Clone, Debug, Default)]
+pub struct AtomTable {
+    atoms: Vec<Atom>,
+    index: HashMap<Atom, usize>,
+}
+
+impl AtomTable {
+    /// Creates an empty table.
+    pub fn new() -> AtomTable {
+        AtomTable::default()
+    }
+
+    /// Interns an atom, returning its identifier.
+    pub fn intern(&mut self, atom: Atom) -> usize {
+        if let Some(&id) = self.index.get(&atom) {
+            return id;
+        }
+        let id = self.atoms.len();
+        self.index.insert(atom.clone(), id);
+        self.atoms.push(atom);
+        id
+    }
+
+    /// Identifier of an atom, if already interned.
+    pub fn id_of(&self, atom: &Atom) -> Option<usize> {
+        self.index.get(atom).copied()
+    }
+
+    /// The atom with the given identifier.
+    pub fn atom(&self, id: usize) -> &Atom {
+        &self.atoms[id]
+    }
+
+    /// Number of interned atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Returns `true` if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Iterates over `(id, atom)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Atom)> + '_ {
+        self.atoms.iter().enumerate()
+    }
+}
+
+/// A ground SMS rule: implication with a disjunction-of-conjunctions head.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct GroundSmsRule {
+    /// Positive body atom ids.
+    pub body_pos: Vec<usize>,
+    /// Negated body atom ids.
+    pub body_neg: Vec<usize>,
+    /// Ground terms occurring in the negated body but not in the positive
+    /// body instance: the rule instance only "fires" if these are in the
+    /// domain of the candidate interpretation (paper semantics of negative
+    /// literals over total interpretations).
+    pub neg_domain_terms: Vec<Term>,
+    /// Head disjuncts, each a conjunction of atom ids.
+    pub disjuncts: Vec<Vec<usize>>,
+    /// The index of the originating rule in the input program.
+    pub source_rule: usize,
+}
+
+/// Errors raised during grounding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GroundingError {
+    /// The possibly-true closure or the rule instantiation exceeded the
+    /// configured limits.
+    TooLarge {
+        /// Number of atoms produced so far.
+        atoms: usize,
+        /// Number of ground rules produced so far.
+        rules: usize,
+    },
+}
+
+impl std::fmt::Display for GroundingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GroundingError::TooLarge { atoms, rules } => write!(
+                f,
+                "grounding exceeded the configured limits ({atoms} atoms, {rules} rules)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GroundingError {}
+
+/// Limits for the grounding step.
+#[derive(Clone, Copy, Debug)]
+pub struct GroundingLimits {
+    /// Maximum number of possibly-true atoms.
+    pub max_atoms: usize,
+    /// Maximum number of ground rule instances.
+    pub max_rules: usize,
+}
+
+impl Default for GroundingLimits {
+    fn default() -> Self {
+        GroundingLimits {
+            max_atoms: 200_000,
+            max_rules: 500_000,
+        }
+    }
+}
+
+/// The grounded `SM[D,Σ]` program.
+#[derive(Clone, Debug)]
+pub struct GroundSmsProgram {
+    /// Table of all ground atoms referenced by the grounding.
+    pub atoms: AtomTable,
+    /// `possibly_true[id]` — whether the atom can occur in a stable model
+    /// (atoms outside the closure are always false).
+    pub possibly_true: Vec<bool>,
+    /// Identifiers of the database facts.
+    pub facts: Vec<usize>,
+    /// The ground rules.
+    pub rules: Vec<GroundSmsRule>,
+    /// The candidate domain used for grounding.
+    pub domain: Domain,
+    /// The possibly-true closure as an interpretation (used to enumerate
+    /// query instantiations).
+    pub closure: Interpretation,
+}
+
+impl GroundSmsProgram {
+    /// Number of possibly-true atoms (the SAT variables of the generator).
+    pub fn possibly_true_count(&self) -> usize {
+        self.possibly_true.iter().filter(|b| **b).count()
+    }
+}
+
+/// Enumerates all assignments of `variables` to terms of `domain`, invoking
+/// `visit` with each substitution extending `base`.
+fn for_each_assignment<F>(
+    variables: &[ntgd_core::Symbol],
+    domain: &Domain,
+    base: &Substitution,
+    visit: &mut F,
+) where
+    F: FnMut(&Substitution),
+{
+    fn recurse<F>(
+        variables: &[ntgd_core::Symbol],
+        idx: usize,
+        domain: &Domain,
+        current: &mut Substitution,
+        visit: &mut F,
+    ) where
+        F: FnMut(&Substitution),
+    {
+        if idx == variables.len() {
+            visit(current);
+            return;
+        }
+        for t in domain.terms() {
+            let saved = current.clone();
+            if current.try_bind(Term::Var(variables[idx]), *t) {
+                recurse(variables, idx + 1, domain, current, visit);
+            }
+            *current = saved;
+        }
+    }
+    let mut current = base.clone();
+    recurse(variables, 0, domain, &mut current, visit);
+}
+
+/// Computes the possibly-true closure: the least set of atoms over the domain
+/// containing the database and closed under firing every rule (ignoring
+/// negative literals) with every instantiation of its existential variables.
+fn possibly_true_closure(
+    database: &Database,
+    program: &DisjunctiveProgram,
+    domain: &Domain,
+    limits: &GroundingLimits,
+) -> Result<Interpretation, GroundingError> {
+    let mut closure = database.to_interpretation();
+    // Register every domain term so that matching can bind unsafe variables
+    // if ever needed, and so `dom(I)` checks see the full candidate domain.
+    for t in domain.terms() {
+        closure.add_domain_element(*t);
+    }
+    loop {
+        let mut additions: BTreeSet<Atom> = BTreeSet::new();
+        for rule in program.rules() {
+            let body_atoms: Vec<Atom> = rule.body_positive().into_iter().cloned().collect();
+            let homs =
+                matcher::all_atom_homomorphisms(&body_atoms, &closure, &Substitution::new());
+            for h in homs {
+                for (d, disjunct) in rule.disjuncts().iter().enumerate() {
+                    let exist: Vec<ntgd_core::Symbol> =
+                        rule.existential_variables_of(d).into_iter().collect();
+                    for_each_assignment(&exist, domain, &h, &mut |assignment| {
+                        for atom in disjunct {
+                            let ground = assignment.apply_atom(atom);
+                            if ground.is_ground() && !closure.contains(&ground) {
+                                additions.insert(ground);
+                            }
+                        }
+                    });
+                }
+            }
+        }
+        if additions.is_empty() {
+            return Ok(closure);
+        }
+        for a in additions {
+            closure.insert(a);
+        }
+        if closure.len() > limits.max_atoms {
+            return Err(GroundingError::TooLarge {
+                atoms: closure.len(),
+                rules: 0,
+            });
+        }
+    }
+}
+
+/// Grounds `SM[D,Σ]` over the given domain.
+pub fn ground_sms(
+    database: &Database,
+    program: &DisjunctiveProgram,
+    domain: &Domain,
+    limits: &GroundingLimits,
+) -> Result<GroundSmsProgram, GroundingError> {
+    let closure = possibly_true_closure(database, program, domain, limits)?;
+    let mut atoms = AtomTable::new();
+    // Intern the closure first so that possibly-true atoms occupy a prefix of
+    // the table; `possibly_true` is then extended as negative-body atoms are
+    // interned.
+    for a in closure.sorted_atoms() {
+        atoms.intern(a);
+    }
+    let closure_size = atoms.len();
+
+    let mut rules: Vec<GroundSmsRule> = Vec::new();
+    let mut seen: BTreeSet<GroundSmsRule> = BTreeSet::new();
+    for (ridx, rule) in program.rules().iter().enumerate() {
+        let body_atoms: Vec<Atom> = rule.body_positive().into_iter().cloned().collect();
+        let neg_atoms: Vec<Atom> = rule.body_negative().into_iter().cloned().collect();
+        let homs = matcher::all_atom_homomorphisms(&body_atoms, &closure, &Substitution::new());
+        for h in homs {
+            let body_pos: Vec<usize> = body_atoms
+                .iter()
+                .map(|a| {
+                    atoms
+                        .id_of(&h.apply_atom(a))
+                        .expect("positive body instances are in the closure")
+                })
+                .collect();
+            let pos_terms: BTreeSet<Term> = body_atoms
+                .iter()
+                .flat_map(|a| h.apply_atom(a).terms().copied().collect::<Vec<_>>())
+                .collect();
+            let mut body_neg = Vec::new();
+            let mut neg_domain_terms: BTreeSet<Term> = BTreeSet::new();
+            for a in &neg_atoms {
+                let ground = h.apply_atom(a);
+                debug_assert!(ground.is_ground(), "safety guarantees ground negative bodies");
+                for t in ground.terms() {
+                    if !pos_terms.contains(t) {
+                        neg_domain_terms.insert(*t);
+                    }
+                }
+                body_neg.push(atoms.intern(ground));
+            }
+            let mut disjuncts: Vec<Vec<usize>> = Vec::new();
+            for (d, disjunct) in rule.disjuncts().iter().enumerate() {
+                let exist: Vec<ntgd_core::Symbol> =
+                    rule.existential_variables_of(d).into_iter().collect();
+                for_each_assignment(&exist, domain, &h, &mut |assignment| {
+                    let conj: Vec<usize> = disjunct
+                        .iter()
+                        .map(|atom| {
+                            let ground = assignment.apply_atom(atom);
+                            atoms
+                                .id_of(&ground)
+                                .expect("head instantiations are in the closure")
+                        })
+                        .collect();
+                    disjuncts.push(conj);
+                });
+            }
+            disjuncts.sort();
+            disjuncts.dedup();
+            let ground_rule = GroundSmsRule {
+                body_pos,
+                body_neg,
+                neg_domain_terms: neg_domain_terms.into_iter().collect(),
+                disjuncts,
+                source_rule: ridx,
+            };
+            if seen.insert(ground_rule.clone()) {
+                rules.push(ground_rule);
+            }
+            if rules.len() > limits.max_rules {
+                return Err(GroundingError::TooLarge {
+                    atoms: atoms.len(),
+                    rules: rules.len(),
+                });
+            }
+        }
+    }
+
+    let mut possibly_true = vec![false; atoms.len()];
+    for flag in possibly_true.iter_mut().take(closure_size) {
+        *flag = true;
+    }
+    let facts: Vec<usize> = database
+        .facts()
+        .map(|f| atoms.id_of(f).expect("database atoms are in the closure"))
+        .collect();
+    Ok(GroundSmsProgram {
+        atoms,
+        possibly_true,
+        facts,
+        rules,
+        domain: domain.clone(),
+        closure,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::{build_domain, NullBudget};
+    use ntgd_core::{atom, cst};
+    use ntgd_parser::{parse_database, parse_unit};
+
+    fn setup(db: &str, rules: &str, budget: NullBudget) -> GroundSmsProgram {
+        let db = parse_database(db).unwrap();
+        let prog = parse_unit(rules).unwrap().disjunctive_program().unwrap();
+        let dom = build_domain(&db, &prog, None, budget);
+        ground_sms(&db, &prog, &dom, &GroundingLimits::default()).unwrap()
+    }
+
+    #[test]
+    fn existentials_expand_into_one_disjunct_per_domain_element() {
+        let g = setup("person(alice).", "person(X) -> hasFather(X, Y).", NullBudget::Auto);
+        // Domain = {alice, _n0}; one rule instance with two disjuncts.
+        assert_eq!(g.domain.len(), 2);
+        assert_eq!(g.rules.len(), 1);
+        assert_eq!(g.rules[0].disjuncts.len(), 2);
+        // Closure: person(alice), hasFather(alice, alice), hasFather(alice, _n0).
+        assert_eq!(g.possibly_true_count(), 3);
+        assert!(g
+            .closure
+            .contains(&atom("hasFather", vec![cst("alice"), cst("alice")])));
+    }
+
+    #[test]
+    fn negative_body_atoms_are_interned_but_not_possibly_true() {
+        let g = setup("p(a).", "p(X), not q(X) -> r(X).", NullBudget::None);
+        let q_id = g.atoms.id_of(&atom("q", vec![cst("a")])).unwrap();
+        assert!(!g.possibly_true[q_id]);
+        let r_id = g.atoms.id_of(&atom("r", vec![cst("a")])).unwrap();
+        assert!(g.possibly_true[r_id]);
+        assert_eq!(g.rules.len(), 1);
+        assert_eq!(g.rules[0].body_neg, vec![q_id]);
+        assert!(g.rules[0].neg_domain_terms.is_empty());
+    }
+
+    #[test]
+    fn constants_only_in_negative_literals_need_domain_guards() {
+        let g = setup("p(a).", "p(X), not q(X, special) -> r(X).", NullBudget::None);
+        assert_eq!(g.rules[0].neg_domain_terms, vec![cst("special")]);
+    }
+
+    #[test]
+    fn disjunctive_heads_produce_multiple_disjunct_groups() {
+        let g = setup("node(v).", "node(X) -> red(X) | green(X).", NullBudget::None);
+        assert_eq!(g.rules.len(), 1);
+        assert_eq!(g.rules[0].disjuncts.len(), 2);
+        // Both colourings are possibly true.
+        assert!(g.closure.contains(&atom("red", vec![cst("v")])));
+        assert!(g.closure.contains(&atom("green", vec![cst("v")])));
+    }
+
+    #[test]
+    fn rules_with_empty_bodies_fire_unconditionally() {
+        let g = setup("dom(a).", "-> zero(X).", NullBudget::None);
+        assert_eq!(g.rules.len(), 1);
+        assert!(g.rules[0].body_pos.is_empty());
+        // zero(t) for every domain element t is possibly true.
+        assert!(g.closure.contains(&atom("zero", vec![cst("a")])));
+    }
+
+    #[test]
+    fn grounding_respects_limits() {
+        let db = parse_database("p(a). p(b). p(c). p(d).").unwrap();
+        let prog = parse_unit("p(X), p(Y) -> q(X, Y, Z).")
+            .unwrap()
+            .disjunctive_program()
+            .unwrap();
+        let dom = build_domain(&db, &prog, None, NullBudget::Exact(4));
+        let limits = GroundingLimits {
+            max_atoms: 10,
+            max_rules: 10,
+        };
+        assert!(ground_sms(&db, &prog, &dom, &limits).is_err());
+    }
+
+    #[test]
+    fn atom_table_round_trips() {
+        let mut t = AtomTable::new();
+        let a = atom("p", vec![cst("a")]);
+        let id = t.intern(a.clone());
+        assert_eq!(t.intern(a.clone()), id);
+        assert_eq!(t.id_of(&a), Some(id));
+        assert_eq!(t.atom(id), &a);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.iter().count(), 1);
+    }
+
+    #[test]
+    fn facts_are_registered() {
+        let g = setup("p(a). p(b).", "p(X) -> q(X).", NullBudget::None);
+        assert_eq!(g.facts.len(), 2);
+        for &f in &g.facts {
+            assert!(g.possibly_true[f]);
+        }
+    }
+}

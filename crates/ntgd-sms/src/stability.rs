@@ -1,0 +1,329 @@
+//! The stability check (paper, Section 5.2).
+//!
+//! A model `M` of `(D ∧ Σ)` is *stable* iff it satisfies
+//! `¬∃s ((s < p) ∧ τ_{p▷s}(D) ∧ τ_{p▷s}(Σ))`: there must be **no** proper
+//! subset `J ⊊ M⁺` with `D ⊆ J` that satisfies every rule when positive
+//! literals are read over `J` and negative literals are read over `M`
+//! (existential witnesses ranging over `dom(M)`).
+//!
+//! The check is coNP (`W-Stability` in the paper); we delegate the
+//! complementary search for such a `J` to the CDCL SAT solver.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use ntgd_core::{
+    matcher, Database, DisjunctiveProgram, Interpretation, Program, Substitution, Term,
+};
+use ntgd_sat::{CnfBuilder, Lit};
+
+use crate::grounding::{ground_sms, GroundSmsProgram, GroundingLimits};
+use crate::universe::Domain;
+
+/// Returns `true` if the interpretation is a classical model of the database
+/// and the (disjunctive) program, in the homomorphism-based sense of the
+/// paper.
+pub fn is_classical_model(
+    interpretation: &Interpretation,
+    database: &Database,
+    program: &DisjunctiveProgram,
+) -> bool {
+    if !database.facts().all(|f| interpretation.contains(f)) {
+        return false;
+    }
+    for rule in program.rules() {
+        let body: Vec<ntgd_core::Literal> = rule.body().to_vec();
+        let homs = matcher::all_homomorphisms(&body, interpretation, &Substitution::new());
+        for h in homs {
+            let satisfied = rule.disjuncts().iter().any(|disjunct| {
+                matcher::exists_atom_homomorphism(disjunct, interpretation, &h)
+            });
+            if !satisfied {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Checks stability of a candidate given an already-grounded program.
+///
+/// `candidate` is the set of atom identifiers forming `M⁺`; it must be a
+/// subset of the possibly-true atoms of the grounding.
+pub fn is_stable_ground(ground: &GroundSmsProgram, candidate: &HashSet<usize>) -> bool {
+    find_instability_witness(ground, candidate).is_none()
+}
+
+/// Searches for an *instability witness*: a proper subset `J ⊊ M⁺` containing
+/// the database that satisfies every rule when negative literals are read
+/// over `M` (the `∃s` of the stability subformula).  Returns `None` when the
+/// candidate is stable.
+pub fn find_instability_witness(
+    ground: &GroundSmsProgram,
+    candidate: &HashSet<usize>,
+) -> Option<HashSet<usize>> {
+    let facts: HashSet<usize> = ground.facts.iter().copied().collect();
+    // dom(M): every term occurring in a candidate atom.
+    let mut domain_of_m: BTreeSet<Term> = BTreeSet::new();
+    for &id in candidate {
+        domain_of_m.extend(ground.atoms.atom(id).terms().copied());
+    }
+
+    let mut builder = CnfBuilder::new();
+    let mut var_of: HashMap<usize, Lit> = HashMap::new();
+    for &id in candidate {
+        var_of.insert(id, builder.new_var().positive());
+    }
+    // τ(D): the database is contained in J.
+    for &f in &ground.facts {
+        if let Some(&lit) = var_of.get(&f) {
+            builder.force(lit);
+        }
+    }
+    // (s < p): at least one non-database atom of M is missing from J.
+    let strict: Vec<Lit> = candidate
+        .iter()
+        .filter(|id| !facts.contains(id))
+        .map(|id| !var_of[id])
+        .collect();
+    if strict.is_empty() {
+        // M = D: no proper subset containing D exists, so M is stable
+        // (provided it is a model, which callers check separately).
+        return None;
+    }
+    builder.clause(&strict);
+
+    // τ(Σ): every rule instance that *fires with respect to M's negative
+    // information* must be satisfied by J.
+    for rule in &ground.rules {
+        // The instance is relevant only if its positive body can lie in J ⊆ M.
+        if !rule.body_pos.iter().all(|id| candidate.contains(id)) {
+            continue;
+        }
+        // Negative literals are evaluated over M (original predicates).
+        if rule.body_neg.iter().any(|id| candidate.contains(id)) {
+            continue;
+        }
+        // Constants occurring only negatively must lie in dom(M).
+        if !rule.neg_domain_terms.iter().all(|t| domain_of_m.contains(t)) {
+            continue;
+        }
+        let body: Vec<Lit> = rule.body_pos.iter().map(|id| var_of[id]).collect();
+        // Existential witnesses range over dom(M): only disjuncts entirely
+        // inside M can be used by J.
+        let disjuncts: Vec<Vec<Lit>> = rule
+            .disjuncts
+            .iter()
+            .filter(|conj| conj.iter().all(|id| candidate.contains(id)))
+            .map(|conj| conj.iter().map(|id| var_of[id]).collect())
+            .collect();
+        if disjuncts.is_empty() {
+            // The body must not be fully contained in J.
+            let clause: Vec<Lit> = body.iter().map(|&l| !l).collect();
+            builder.clause(&clause);
+        } else {
+            builder.rule(&body, &disjuncts);
+        }
+    }
+
+    // M is stable iff no such J exists.
+    match builder.solve_unconstrained() {
+        ntgd_sat::SolveResult::Sat(model) => {
+            let witness: HashSet<usize> = candidate
+                .iter()
+                .copied()
+                .filter(|id| model[var_of[id].var().index()])
+                .collect();
+            Some(witness)
+        }
+        ntgd_sat::SolveResult::Unsat => None,
+    }
+}
+
+/// Checks Definition 1 directly for an explicit interpretation: `I` is a
+/// stable model of `(D, Σ)` iff it is a classical model of `D ∧ Σ` and
+/// satisfies the stability condition.
+///
+/// The check grounds the program over `dom(I)` (plus the constants of `D` and
+/// `Σ`), which is exact: both the minimality subformula and the model
+/// relation only quantify over `dom(I)`.
+pub fn is_stable_model(
+    database: &Database,
+    program: &Program,
+    interpretation: &Interpretation,
+) -> bool {
+    is_stable_model_disjunctive(database, &program.to_disjunctive(), interpretation)
+}
+
+/// [`is_stable_model`] for disjunctive programs.
+pub fn is_stable_model_disjunctive(
+    database: &Database,
+    program: &DisjunctiveProgram,
+    interpretation: &Interpretation,
+) -> bool {
+    if !is_classical_model(interpretation, database, program) {
+        return false;
+    }
+    // Ground over exactly dom(I) (every stable model is contained in the
+    // possibly-true closure over its own domain; an interpretation with
+    // unreachable atoms is rejected below).
+    let domain = Domain::from_terms(interpretation.domain());
+    let Ok(ground) = ground_sms(database, program, &domain, &GroundingLimits::default()) else {
+        return false;
+    };
+    let mut candidate: HashSet<usize> = HashSet::new();
+    for atom in interpretation.atoms() {
+        match ground.atoms.id_of(atom) {
+            Some(id) if ground.possibly_true[id] => {
+                candidate.insert(id);
+            }
+            // An atom that is not even possibly true (not derivable ignoring
+            // negation) cannot belong to a stable model — dropping it yields a
+            // smaller model of the reduct (Lemma 7).
+            _ => return false,
+        }
+    }
+    is_stable_ground(&ground, &candidate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntgd_core::{atom, cst, Term};
+    use ntgd_parser::{parse_database, parse_program};
+
+    /// Example 1's program.
+    fn example1() -> (Database, Program) {
+        (
+            parse_database("person(alice).").unwrap(),
+            parse_program(
+                "person(X) -> hasFather(X, Y).\
+                 hasFather(X, Y) -> sameAs(Y, Y).\
+                 hasFather(X, Y), hasFather(X, Z), not sameAs(Y, Z) -> abnormal(X).",
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn example4_the_bob_interpretation_is_a_stable_model() {
+        // The paper's Example 4: I⁺ = {person(alice), hasFather(alice,bob),
+        // sameAs(bob,bob)} is a stable model under the new semantics (but not
+        // under the LP approach).
+        let (db, p) = example1();
+        let i = Interpretation::from_atoms(vec![
+            atom("person", vec![cst("alice")]),
+            atom("hasFather", vec![cst("alice"), cst("bob")]),
+            atom("sameAs", vec![cst("bob"), cst("bob")]),
+        ]);
+        assert!(is_stable_model(&db, &p, &i));
+    }
+
+    #[test]
+    fn the_null_witness_interpretation_is_also_stable() {
+        let (db, p) = example1();
+        let i = Interpretation::from_atoms(vec![
+            atom("person", vec![cst("alice")]),
+            atom("hasFather", vec![cst("alice"), Term::null(0)]),
+            atom("sameAs", vec![Term::null(0), Term::null(0)]),
+        ]);
+        assert!(is_stable_model(&db, &p, &i));
+    }
+
+    #[test]
+    fn supersets_with_unsupported_atoms_are_not_stable() {
+        let (db, p) = example1();
+        // abnormal(alice) is not supported: the smaller model without it
+        // satisfies the reduct.
+        let i = Interpretation::from_atoms(vec![
+            atom("person", vec![cst("alice")]),
+            atom("hasFather", vec![cst("alice"), cst("bob")]),
+            atom("sameAs", vec![cst("bob"), cst("bob")]),
+            atom("abnormal", vec![cst("alice")]),
+        ]);
+        assert!(!is_stable_model(&db, &p, &i));
+    }
+
+    #[test]
+    fn non_models_are_rejected() {
+        let (db, p) = example1();
+        // Missing the sameAs fact: not even a classical model.
+        let i = Interpretation::from_atoms(vec![
+            atom("person", vec![cst("alice")]),
+            atom("hasFather", vec![cst("alice"), cst("bob")]),
+        ]);
+        assert!(!is_stable_model(&db, &p, &i));
+        // Missing the database: rejected as well.
+        let j = Interpretation::from_atoms(vec![atom("sameAs", vec![cst("bob"), cst("bob")])]);
+        assert!(!is_stable_model(&db, &p, &j));
+    }
+
+    #[test]
+    fn section_3_3_example_j_is_not_stable() {
+        // D = {p(0)}, Σ = { p(X) ∧ ¬t(X) → r(X),  r(X) → t(X) }.
+        // J = {p(0), t(0)} is a minimal model but NOT a stable model: the
+        // content of t is fixed during the stability check, so {p(0)} ⊊ J
+        // satisfies the transformed rules.
+        let db = parse_database("p(0).").unwrap();
+        let p = parse_program("p(X), not t(X) -> r(X). r(X) -> t(X).").unwrap();
+        let j = Interpretation::from_atoms(vec![atom("p", vec![cst("0")]), atom("t", vec![cst("0")])]);
+        assert!(is_classical_model(&j, &db, &p.to_disjunctive()));
+        assert!(!is_stable_model(&db, &p, &j));
+        // And indeed (D, Σ) has no stable model at all containing only these
+        // atoms; the full candidate {p(0), r(0), t(0)} is not stable either.
+        let k = Interpretation::from_atoms(vec![
+            atom("p", vec![cst("0")]),
+            atom("r", vec![cst("0")]),
+            atom("t", vec![cst("0")]),
+        ]);
+        assert!(!is_stable_model(&db, &p, &k));
+    }
+
+    #[test]
+    fn database_only_interpretations_are_stable_for_satisfied_programs() {
+        let db = parse_database("p(a). q(a).").unwrap();
+        let p = parse_program("p(X) -> q(X).").unwrap();
+        let i = db.to_interpretation();
+        assert!(is_stable_model(&db, &p, &i));
+    }
+
+    #[test]
+    fn immediate_consequence_counterexample_from_section_5_1() {
+        // D = {s(a)}, Σ = {s(X) → ∃Y p(X,Y)}: the interpretation with two
+        // fathers {s(a), p(a,b), p(a,c)} reproduces itself under T but is NOT
+        // stable (either single-father subset witnesses non-minimality).
+        let db = parse_database("s(a).").unwrap();
+        let p = parse_program("s(X) -> p(X, Y).").unwrap();
+        let i = Interpretation::from_atoms(vec![
+            atom("s", vec![cst("a")]),
+            atom("p", vec![cst("a"), cst("b")]),
+            atom("p", vec![cst("a"), cst("c")]),
+        ]);
+        assert!(!is_stable_model(&db, &p, &i));
+        let single = Interpretation::from_atoms(vec![
+            atom("s", vec![cst("a")]),
+            atom("p", vec![cst("a"), cst("b")]),
+        ]);
+        assert!(is_stable_model(&db, &p, &single));
+    }
+
+    #[test]
+    fn disjunctive_minimality_is_enforced() {
+        // node(v) -> red(v) | green(v): taking both colours is not stable.
+        let db = parse_database("node(v).").unwrap();
+        let prog = ntgd_parser::parse_unit("node(X) -> red(X) | green(X).")
+            .unwrap()
+            .disjunctive_program()
+            .unwrap();
+        let both = Interpretation::from_atoms(vec![
+            atom("node", vec![cst("v")]),
+            atom("red", vec![cst("v")]),
+            atom("green", vec![cst("v")]),
+        ]);
+        assert!(!is_stable_model_disjunctive(&db, &prog, &both));
+        let red_only = Interpretation::from_atoms(vec![
+            atom("node", vec![cst("v")]),
+            atom("red", vec![cst("v")]),
+        ]);
+        assert!(is_stable_model_disjunctive(&db, &prog, &red_only));
+    }
+}

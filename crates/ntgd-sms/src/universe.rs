@@ -1,0 +1,188 @@
+//! The candidate domain over which stable models are searched.
+//!
+//! For weakly-acyclic programs, Proposition 9 bounds the size of every stable
+//! model polynomially in the database, and Lemma 8 ties that bound to the
+//! restricted chase of `(D, Σ⁺)`.  The candidate domain therefore consists of
+//!
+//! * the active domain of the database,
+//! * the constants occurring in the program and the query, and
+//! * a budget of fresh labelled nulls.
+//!
+//! The default budget ([`NullBudget::Auto`]) is the number of nulls invented
+//! by the restricted chase of `(D, Σ⁺)`; it can be overridden with
+//! [`NullBudget::Exact`] (e.g. the conservative `chase size × max arity`
+//! bound) or disabled with [`NullBudget::None`].
+
+use std::collections::BTreeSet;
+
+use ntgd_chase::{restricted_chase, ChaseConfig};
+use ntgd_core::{Database, DisjunctiveProgram, Program, Query, Term};
+
+/// How many fresh nulls to include in the candidate domain.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum NullBudget {
+    /// Use the number of nulls created by the restricted chase of `(D, Σ⁺)`
+    /// (clamped by the chase step limit).
+    #[default]
+    Auto,
+    /// Use exactly this many nulls.
+    Exact(usize),
+    /// Do not add any nulls (complete only for programs whose stable models
+    /// never need invented values).
+    None,
+}
+
+/// A finite candidate domain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Domain {
+    terms: Vec<Term>,
+    null_count: usize,
+}
+
+impl Domain {
+    /// The terms of the domain (constants first, then nulls), deduplicated
+    /// and in a deterministic order.
+    pub fn terms(&self) -> &[Term] {
+        &self.terms
+    }
+
+    /// Number of terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Returns `true` if the domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Number of labelled nulls in the domain.
+    pub fn null_count(&self) -> usize {
+        self.null_count
+    }
+
+    /// Returns `true` if the domain contains the term.
+    pub fn contains(&self, term: &Term) -> bool {
+        self.terms.contains(term)
+    }
+
+    /// Builds a domain from an explicit set of terms (useful in tests).
+    pub fn from_terms<I: IntoIterator<Item = Term>>(terms: I) -> Domain {
+        let set: BTreeSet<Term> = terms.into_iter().collect();
+        let null_count = set.iter().filter(|t| t.is_null()).count();
+        Domain {
+            terms: set.into_iter().collect(),
+            null_count,
+        }
+    }
+}
+
+/// Builds the candidate domain for `(database, program)` and an optional
+/// query, under the given null budget.
+pub fn build_domain(
+    database: &Database,
+    program: &DisjunctiveProgram,
+    query: Option<&Query>,
+    budget: NullBudget,
+) -> Domain {
+    let mut terms: BTreeSet<Term> = database.domain();
+    for rule in program.rules() {
+        for lit in rule.body() {
+            terms.extend(lit.atom().terms().filter(|t| t.is_constant()).copied());
+        }
+        for disjunct in rule.disjuncts() {
+            for atom in disjunct {
+                terms.extend(atom.terms().filter(|t| t.is_constant()).copied());
+            }
+        }
+    }
+    if let Some(q) = query {
+        for lit in q.literals() {
+            terms.extend(lit.atom().terms().filter(|t| t.is_constant()).copied());
+        }
+    }
+    let null_count = match budget {
+        NullBudget::Exact(n) => n,
+        NullBudget::None => 0,
+        NullBudget::Auto => auto_null_budget(database, program),
+    };
+    for i in 0..null_count {
+        terms.insert(Term::Null(i as u64));
+    }
+    Domain {
+        terms: terms.into_iter().collect(),
+        null_count,
+    }
+}
+
+/// The automatic null budget: the number of nulls invented by the restricted
+/// chase of `(D, Σ⁺)` (Lemma 8), where disjunctive heads are first turned
+/// into conjunctions (an over-approximation).
+pub fn auto_null_budget(database: &Database, program: &DisjunctiveProgram) -> usize {
+    let positive: Program = program.positive_conjunctive_part();
+    let result = restricted_chase(database, &positive, &ChaseConfig::default());
+    result.nulls_created as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntgd_core::cst;
+    use ntgd_parser::{parse_database, parse_query, parse_unit};
+
+    fn disjunctive(rules: &str) -> DisjunctiveProgram {
+        parse_unit(rules).unwrap().disjunctive_program().unwrap()
+    }
+
+    #[test]
+    fn domain_contains_database_and_rule_constants() {
+        let db = parse_database("p(a). q(b).").unwrap();
+        let prog = disjunctive("p(X), not r(X, c) -> s(X, d).");
+        let dom = build_domain(&db, &prog, None, NullBudget::None);
+        for name in ["a", "b", "c", "d"] {
+            assert!(dom.contains(&cst(name)), "missing constant {name}");
+        }
+        assert_eq!(dom.null_count(), 0);
+    }
+
+    #[test]
+    fn query_constants_are_included() {
+        let db = parse_database("person(alice).").unwrap();
+        let prog = disjunctive("person(X) -> hasFather(X, Y).");
+        let q = parse_query("?- not hasFather(alice, bob).").unwrap();
+        let dom = build_domain(&db, &prog, Some(&q), NullBudget::None);
+        assert!(dom.contains(&cst("bob")));
+    }
+
+    #[test]
+    fn auto_budget_follows_the_restricted_chase() {
+        let db = parse_database("person(alice). person(carol).").unwrap();
+        let prog = disjunctive("person(X) -> hasFather(X, Y).");
+        let dom = build_domain(&db, &prog, None, NullBudget::Auto);
+        // The chase invents one father per person.
+        assert_eq!(dom.null_count(), 2);
+        assert!(dom.contains(&Term::Null(0)));
+        assert!(dom.contains(&Term::Null(1)));
+        // With an existing father no null is needed for that person.
+        let db2 = parse_database("person(alice). hasFather(alice, bob).").unwrap();
+        let dom2 = build_domain(&db2, &prog, None, NullBudget::Auto);
+        assert_eq!(dom2.null_count(), 0);
+    }
+
+    #[test]
+    fn exact_budget_is_respected() {
+        let db = parse_database("p(a).").unwrap();
+        let prog = disjunctive("p(X) -> q(X).");
+        let dom = build_domain(&db, &prog, None, NullBudget::Exact(3));
+        assert_eq!(dom.null_count(), 3);
+        assert_eq!(dom.len(), 4);
+    }
+
+    #[test]
+    fn from_terms_deduplicates() {
+        let dom = Domain::from_terms(vec![cst("a"), cst("a"), Term::Null(0)]);
+        assert_eq!(dom.len(), 2);
+        assert_eq!(dom.null_count(), 1);
+        assert!(!dom.is_empty());
+    }
+}

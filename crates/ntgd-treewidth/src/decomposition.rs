@@ -1,0 +1,350 @@
+//! Tree decompositions of Gaifman graphs, following the definition recalled
+//! in the paper's Section 3.4.
+//!
+//! A tree decomposition of an interpretation `I` is a labelled tree
+//! `T = (V, E, λ)` with `λ : V → 2^{dom(I)}` such that
+//!
+//! 1. for every (positive) literal `p(t₁, …, tₙ) ∈ I` there is a node whose
+//!    bag contains `{t₁, …, tₙ}` — on the Gaifman graph this becomes: every
+//!    edge is covered by some bag, and
+//! 2. for every term `t`, the nodes whose bags contain `t` induce a connected
+//!    subtree.
+//!
+//! The width of a decomposition is `max |bag| − 1`; the treewidth of the
+//! interpretation is the minimum width over all decompositions.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use ntgd_core::{Interpretation, Term};
+
+use crate::graph::GaifmanGraph;
+
+/// A bag of a tree decomposition: a set of terms.
+pub type Bag = BTreeSet<Term>;
+
+/// Why a candidate tree decomposition is not valid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecompositionError {
+    /// The edge set does not form a tree over the declared nodes (wrong edge
+    /// count, a cycle, or a disconnected node).
+    NotATree,
+    /// An edge endpoint refers to a node that does not exist.
+    UnknownNode(usize),
+    /// Some atom's terms (equivalently some Gaifman edge) are covered by no
+    /// bag.
+    UncoveredAtom(Vec<Term>),
+    /// The nodes containing the term do not induce a connected subtree.
+    DisconnectedTerm(Term),
+}
+
+impl fmt::Display for DecompositionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecompositionError::NotATree => write!(f, "the node/edge set is not a tree"),
+            DecompositionError::UnknownNode(n) => write!(f, "edge endpoint {n} is not a node"),
+            DecompositionError::UncoveredAtom(terms) => {
+                write!(f, "no bag covers the terms {terms:?}")
+            }
+            DecompositionError::DisconnectedTerm(t) => {
+                write!(f, "the bags containing {t} are not connected")
+            }
+        }
+    }
+}
+
+/// A tree decomposition: bags indexed by node, plus tree edges.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TreeDecomposition {
+    bags: Vec<Bag>,
+    edges: Vec<(usize, usize)>,
+}
+
+impl TreeDecomposition {
+    /// Creates an empty decomposition (valid only for the empty graph).
+    pub fn new() -> TreeDecomposition {
+        TreeDecomposition::default()
+    }
+
+    /// The trivial decomposition: a single bag holding every vertex of the
+    /// graph.  Always valid; width `|V| − 1`.
+    pub fn trivial(graph: &GaifmanGraph) -> TreeDecomposition {
+        let mut decomposition = TreeDecomposition::new();
+        decomposition.add_bag(graph.vertices().iter().copied().collect());
+        decomposition
+    }
+
+    /// Adds a bag and returns its node index.
+    pub fn add_bag(&mut self, bag: Bag) -> usize {
+        self.bags.push(bag);
+        self.bags.len() - 1
+    }
+
+    /// Adds a tree edge between two nodes.
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        self.edges.push((a, b));
+    }
+
+    /// The bags of the decomposition.
+    pub fn bags(&self) -> &[Bag] {
+        &self.bags
+    }
+
+    /// The tree edges of the decomposition.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.bags.len()
+    }
+
+    /// The width: `max |bag| − 1` (0 for decompositions of the empty graph).
+    pub fn width(&self) -> usize {
+        self.bags
+            .iter()
+            .map(BTreeSet::len)
+            .max()
+            .unwrap_or(1)
+            .saturating_sub(1)
+    }
+
+    /// Checks the tree-ness of the node/edge set.
+    fn validate_tree(&self) -> Result<(), DecompositionError> {
+        let n = self.node_count();
+        if n == 0 {
+            return if self.edges.is_empty() {
+                Ok(())
+            } else {
+                Err(DecompositionError::NotATree)
+            };
+        }
+        for (a, b) in &self.edges {
+            if *a >= n {
+                return Err(DecompositionError::UnknownNode(*a));
+            }
+            if *b >= n {
+                return Err(DecompositionError::UnknownNode(*b));
+            }
+        }
+        if self.edges.len() != n - 1 {
+            return Err(DecompositionError::NotATree);
+        }
+        // Connectivity (with n-1 edges, connected ⇒ acyclic ⇒ tree).
+        let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (a, b) in &self.edges {
+            adjacency[*a].push(*b);
+            adjacency[*b].push(*a);
+        }
+        let mut seen = vec![false; n];
+        let mut frontier = vec![0usize];
+        seen[0] = true;
+        let mut reached = 1usize;
+        while let Some(v) = frontier.pop() {
+            for &w in &adjacency[v] {
+                if !seen[w] {
+                    seen[w] = true;
+                    reached += 1;
+                    frontier.push(w);
+                }
+            }
+        }
+        if reached != n {
+            return Err(DecompositionError::NotATree);
+        }
+        Ok(())
+    }
+
+    /// Validates the decomposition against a Gaifman graph: every edge of the
+    /// graph (and every isolated vertex) must be covered by a bag, and every
+    /// vertex must induce a connected subtree.
+    pub fn validate(&self, graph: &GaifmanGraph) -> Result<(), DecompositionError> {
+        self.validate_tree()?;
+
+        // Condition 1: every vertex and every edge is covered by some bag.
+        for index in 0..graph.vertex_count() {
+            let term = graph.term_of(index);
+            if !self.bags.iter().any(|bag| bag.contains(&term)) {
+                return Err(DecompositionError::UncoveredAtom(vec![term]));
+            }
+            for &neighbour in graph.neighbours(index) {
+                if neighbour < index {
+                    continue;
+                }
+                let other = graph.term_of(neighbour);
+                if !self
+                    .bags
+                    .iter()
+                    .any(|bag| bag.contains(&term) && bag.contains(&other))
+                {
+                    return Err(DecompositionError::UncoveredAtom(vec![term, other]));
+                }
+            }
+        }
+
+        // Condition 2: connectedness of every term's occurrence set.
+        let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); self.node_count()];
+        for (a, b) in &self.edges {
+            adjacency[*a].push(*b);
+            adjacency[*b].push(*a);
+        }
+        let mut occurrences: BTreeMap<Term, Vec<usize>> = BTreeMap::new();
+        for (node, bag) in self.bags.iter().enumerate() {
+            for term in bag {
+                occurrences.entry(*term).or_default().push(node);
+            }
+        }
+        for (term, nodes) in occurrences {
+            if nodes.len() <= 1 {
+                continue;
+            }
+            let node_set: BTreeSet<usize> = nodes.iter().copied().collect();
+            let mut seen: BTreeSet<usize> = BTreeSet::from([nodes[0]]);
+            let mut frontier = vec![nodes[0]];
+            while let Some(v) = frontier.pop() {
+                for &w in &adjacency[v] {
+                    if node_set.contains(&w) && seen.insert(w) {
+                        frontier.push(w);
+                    }
+                }
+            }
+            if seen.len() != node_set.len() {
+                return Err(DecompositionError::DisconnectedTerm(term));
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates the decomposition directly against an interpretation: every
+    /// positive atom's terms must fit in a single bag (the paper's condition
+    /// (i)), plus the connectedness condition (ii).
+    pub fn validate_for_interpretation(
+        &self,
+        interpretation: &Interpretation,
+    ) -> Result<(), DecompositionError> {
+        self.validate_tree()?;
+        for atom in interpretation.atoms() {
+            let terms: BTreeSet<Term> = atom.terms().copied().collect();
+            if !self.bags.iter().any(|bag| terms.is_subset(bag)) {
+                return Err(DecompositionError::UncoveredAtom(
+                    terms.into_iter().collect(),
+                ));
+            }
+        }
+        // The connectedness condition only depends on the bags and edges.
+        self.validate(&GaifmanGraph::of_interpretation(interpretation))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntgd_core::cst;
+    use ntgd_parser::parse_database;
+
+    fn bag(terms: &[&str]) -> Bag {
+        terms.iter().map(|t| cst(t)).collect()
+    }
+
+    #[test]
+    fn the_trivial_decomposition_is_always_valid() {
+        let db = parse_database("edge(a, b). edge(b, c). p(d).").unwrap();
+        let interpretation = db.to_interpretation();
+        let graph = GaifmanGraph::of_interpretation(&interpretation);
+        let decomposition = TreeDecomposition::trivial(&graph);
+        assert_eq!(decomposition.validate(&graph), Ok(()));
+        assert_eq!(
+            decomposition.validate_for_interpretation(&interpretation),
+            Ok(())
+        );
+        assert_eq!(decomposition.width(), 3);
+    }
+
+    #[test]
+    fn a_path_decomposition_of_width_one_validates() {
+        let db = parse_database("edge(a, b). edge(b, c).").unwrap();
+        let graph = GaifmanGraph::of_database(&db);
+        let mut decomposition = TreeDecomposition::new();
+        let n0 = decomposition.add_bag(bag(&["a", "b"]));
+        let n1 = decomposition.add_bag(bag(&["b", "c"]));
+        decomposition.add_edge(n0, n1);
+        assert_eq!(decomposition.validate(&graph), Ok(()));
+        assert_eq!(decomposition.width(), 1);
+    }
+
+    #[test]
+    fn missing_edge_coverage_is_detected() {
+        let db = parse_database("edge(a, b). edge(b, c). edge(a, c).").unwrap();
+        let graph = GaifmanGraph::of_database(&db);
+        let mut decomposition = TreeDecomposition::new();
+        let n0 = decomposition.add_bag(bag(&["a", "b"]));
+        let n1 = decomposition.add_bag(bag(&["b", "c"]));
+        decomposition.add_edge(n0, n1);
+        assert!(matches!(
+            decomposition.validate(&graph),
+            Err(DecompositionError::UncoveredAtom(_))
+        ));
+    }
+
+    #[test]
+    fn disconnected_occurrences_are_detected() {
+        let db = parse_database("edge(a, b). edge(b, c). edge(c, d).").unwrap();
+        let graph = GaifmanGraph::of_database(&db);
+        let mut decomposition = TreeDecomposition::new();
+        let n0 = decomposition.add_bag(bag(&["a", "b"]));
+        let n1 = decomposition.add_bag(bag(&["b", "c"]));
+        let n2 = decomposition.add_bag(bag(&["c", "d", "a"]));
+        decomposition.add_edge(n0, n1);
+        decomposition.add_edge(n1, n2);
+        // `a` occurs in the first and third bag but not in the middle one.
+        assert_eq!(
+            decomposition.validate(&graph),
+            Err(DecompositionError::DisconnectedTerm(cst("a")))
+        );
+    }
+
+    #[test]
+    fn non_tree_edge_sets_are_rejected() {
+        let db = parse_database("edge(a, b).").unwrap();
+        let graph = GaifmanGraph::of_database(&db);
+        let mut decomposition = TreeDecomposition::new();
+        let n0 = decomposition.add_bag(bag(&["a", "b"]));
+        let n1 = decomposition.add_bag(bag(&["a", "b"]));
+        decomposition.add_edge(n0, n1);
+        decomposition.add_edge(n1, n0);
+        assert_eq!(
+            decomposition.validate(&graph),
+            Err(DecompositionError::NotATree)
+        );
+    }
+
+    #[test]
+    fn interpretation_validation_requires_whole_atoms_in_one_bag() {
+        // The Gaifman graph of r(a, b, c) is a triangle; covering each edge in
+        // a different bag is fine for the graph but the atom-level condition
+        // wants all three terms together.
+        let db = parse_database("r(a, b, c).").unwrap();
+        let interpretation = db.to_interpretation();
+        let mut decomposition = TreeDecomposition::new();
+        let n0 = decomposition.add_bag(bag(&["a", "b", "c"]));
+        let _ = n0;
+        assert_eq!(
+            decomposition.validate_for_interpretation(&interpretation),
+            Ok(())
+        );
+        assert_eq!(decomposition.width(), 2);
+    }
+
+    #[test]
+    fn unknown_edge_endpoints_are_reported() {
+        let mut decomposition = TreeDecomposition::new();
+        decomposition.add_bag(bag(&["a"]));
+        decomposition.add_edge(0, 7);
+        let graph = GaifmanGraph::of_database(&parse_database("p(a).").unwrap());
+        assert_eq!(
+            decomposition.validate(&graph),
+            Err(DecompositionError::UnknownNode(7))
+        );
+    }
+}

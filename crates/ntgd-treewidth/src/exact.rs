@@ -1,0 +1,187 @@
+//! Exact treewidth of small graphs.
+//!
+//! The treewidth of a graph equals the minimum, over all elimination orders,
+//! of the maximum neighbourhood size encountered while eliminating.  The
+//! classical Bodlaender–Koster dynamic programme computes this minimum over
+//! *sets* of eliminated vertices rather than orders: for a set `S` of
+//! already-eliminated vertices, the best achievable width only depends on
+//! `S`, giving an `O(2ⁿ · n²)` algorithm.  That is ample for the structures
+//! this workspace cares about (stable models and chase instances of the
+//! paper's examples, grid gadgets of a handful of nodes); larger graphs
+//! should use the heuristics of [`crate::heuristics`].
+
+use std::collections::BTreeSet;
+
+use crate::graph::GaifmanGraph;
+
+/// The largest graph the exact algorithm accepts (2^25 states would already
+/// be hundreds of megabytes).
+pub const MAX_EXACT_VERTICES: usize = 24;
+
+/// Size of the filled-in neighbourhood of `v` once the vertices in
+/// `eliminated` have been eliminated: the number of vertices outside
+/// `eliminated ∪ {v}` reachable from `v` through paths whose interior lies in
+/// `eliminated`.
+fn eliminated_degree(graph: &GaifmanGraph, eliminated: u32, v: usize) -> usize {
+    let n = graph.vertex_count();
+    let mut reachable: BTreeSet<usize> = BTreeSet::new();
+    let mut seen = vec![false; n];
+    let mut frontier = vec![v];
+    seen[v] = true;
+    while let Some(u) = frontier.pop() {
+        for &w in graph.neighbours(u) {
+            if seen[w] {
+                continue;
+            }
+            seen[w] = true;
+            if eliminated & (1 << w) != 0 {
+                frontier.push(w);
+            } else if w != v {
+                reachable.insert(w);
+            }
+        }
+    }
+    reachable.len()
+}
+
+/// Computes the exact treewidth of the graph.
+///
+/// # Panics
+///
+/// Panics if the graph has more than [`MAX_EXACT_VERTICES`] vertices; callers
+/// should fall back to [`crate::heuristics::min_fill_decomposition`] in that
+/// case (see [`crate::interpretation_treewidth`]).
+pub fn exact_treewidth(graph: &GaifmanGraph) -> usize {
+    let n = graph.vertex_count();
+    assert!(
+        n <= MAX_EXACT_VERTICES,
+        "exact treewidth limited to {MAX_EXACT_VERTICES} vertices, got {n}"
+    );
+    if n == 0 {
+        return 0;
+    }
+    // best[s] = minimum over orders eliminating exactly the vertex set `s`
+    // of the maximum eliminated-degree encountered.
+    let states = 1usize << n;
+    let mut best = vec![usize::MAX; states];
+    best[0] = 0;
+    for s in 0..states {
+        if best[s] == usize::MAX {
+            continue;
+        }
+        for v in 0..n {
+            if s & (1 << v) != 0 {
+                continue;
+            }
+            let degree = eliminated_degree(graph, s as u32, v);
+            let candidate = best[s].max(degree);
+            let next = s | (1 << v);
+            if candidate < best[next] {
+                best[next] = candidate;
+            }
+        }
+    }
+    best[states - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::{min_degree_decomposition, min_fill_decomposition};
+    use ntgd_core::{atom, cst, Interpretation};
+    use ntgd_parser::parse_database;
+    use proptest::prelude::*;
+
+    fn graph_of(text: &str) -> GaifmanGraph {
+        GaifmanGraph::of_database(&parse_database(text).unwrap())
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs_have_treewidth_zero() {
+        assert_eq!(exact_treewidth(&GaifmanGraph::new()), 0);
+        assert_eq!(exact_treewidth(&graph_of("p(a). p(b). p(c).")), 0);
+    }
+
+    #[test]
+    fn trees_have_treewidth_one() {
+        assert_eq!(
+            exact_treewidth(&graph_of("edge(a, b). edge(a, c). edge(c, d). edge(c, e).")),
+            1
+        );
+    }
+
+    #[test]
+    fn cycles_have_treewidth_two() {
+        assert_eq!(
+            exact_treewidth(&graph_of(
+                "edge(a, b). edge(b, c). edge(c, d). edge(d, e). edge(e, a)."
+            )),
+            2
+        );
+    }
+
+    #[test]
+    fn cliques_have_treewidth_n_minus_one() {
+        assert_eq!(exact_treewidth(&graph_of("r(a, b, c, d, e).")), 4);
+    }
+
+    #[test]
+    fn the_three_by_three_grid_has_treewidth_three() {
+        // Known value: the treewidth of the k×k grid is k.
+        let mut interpretation = Interpretation::new();
+        let name = |r: usize, c: usize| format!("v{r}{c}");
+        for r in 0..3 {
+            for c in 0..3 {
+                if c + 1 < 3 {
+                    interpretation.insert(atom(
+                        "edge",
+                        vec![cst(&name(r, c)), cst(&name(r, c + 1))],
+                    ));
+                }
+                if r + 1 < 3 {
+                    interpretation.insert(atom(
+                        "edge",
+                        vec![cst(&name(r, c)), cst(&name(r + 1, c))],
+                    ));
+                }
+            }
+        }
+        let graph = GaifmanGraph::of_interpretation(&interpretation);
+        assert_eq!(graph.vertex_count(), 9);
+        assert_eq!(exact_treewidth(&graph), 3);
+    }
+
+    #[test]
+    fn heuristics_never_beat_the_exact_value() {
+        for text in [
+            "edge(a, b). edge(b, c). edge(c, a). edge(c, d). edge(d, e). edge(e, c).",
+            "r(a, b, c). r(c, d, e). edge(e, a).",
+            "edge(a, b). edge(b, c). edge(c, d). edge(d, a). edge(a, c).",
+        ] {
+            let graph = graph_of(text);
+            let exact = exact_treewidth(&graph);
+            assert!(min_fill_decomposition(&graph).width() >= exact);
+            assert!(min_degree_decomposition(&graph).width() >= exact);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn heuristic_decompositions_are_valid_and_at_least_exact_width(
+            edges in proptest::collection::vec((0usize..8, 0usize..8), 0..14)
+        ) {
+            let mut graph = GaifmanGraph::new();
+            for (a, b) in edges {
+                if a != b {
+                    graph.add_edge(cst(&format!("n{a}")), cst(&format!("n{b}")));
+                }
+            }
+            let exact = exact_treewidth(&graph);
+            for decomposition in [min_fill_decomposition(&graph), min_degree_decomposition(&graph)] {
+                prop_assert_eq!(decomposition.validate(&graph), Ok(()));
+                prop_assert!(decomposition.width() >= exact);
+            }
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! The Gaifman graph of an interpretation (or database).
+//!
+//! The vertices are the terms occurring in the (positive) atoms; two terms are
+//! adjacent whenever they occur together in some atom.  The treewidth of an
+//! interpretation, as used in the paper's Section 3.4, is exactly the
+//! treewidth of this graph (a bag covering an atom's terms corresponds to the
+//! clique its terms form in the Gaifman graph).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ntgd_core::{Atom, Database, Interpretation, Term};
+
+/// An undirected graph over the ground terms of an interpretation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GaifmanGraph {
+    vertices: Vec<Term>,
+    index_of: BTreeMap<Term, usize>,
+    adjacency: Vec<BTreeSet<usize>>,
+}
+
+impl GaifmanGraph {
+    /// Creates an empty graph.
+    pub fn new() -> GaifmanGraph {
+        GaifmanGraph::default()
+    }
+
+    /// Builds the Gaifman graph of an interpretation (its positive atoms).
+    pub fn of_interpretation(interpretation: &Interpretation) -> GaifmanGraph {
+        let mut graph = GaifmanGraph::new();
+        for atom in interpretation.atoms() {
+            graph.add_atom(atom);
+        }
+        graph
+    }
+
+    /// Builds the Gaifman graph of a database.
+    pub fn of_database(database: &Database) -> GaifmanGraph {
+        let mut graph = GaifmanGraph::new();
+        for atom in database.facts() {
+            graph.add_atom(atom);
+        }
+        graph
+    }
+
+    /// Adds a vertex (no-op if it already exists) and returns its index.
+    pub fn add_vertex(&mut self, term: Term) -> usize {
+        if let Some(index) = self.index_of.get(&term) {
+            return *index;
+        }
+        let index = self.vertices.len();
+        self.vertices.push(term);
+        self.index_of.insert(term, index);
+        self.adjacency.push(BTreeSet::new());
+        index
+    }
+
+    /// Adds an undirected edge between two terms (vertices are created on
+    /// demand; self-loops are ignored).
+    pub fn add_edge(&mut self, a: Term, b: Term) {
+        let ia = self.add_vertex(a);
+        let ib = self.add_vertex(b);
+        if ia == ib {
+            return;
+        }
+        self.adjacency[ia].insert(ib);
+        self.adjacency[ib].insert(ia);
+    }
+
+    /// Adds the clique induced by an atom's terms.
+    pub fn add_atom(&mut self, atom: &Atom) {
+        let terms: Vec<Term> = atom.terms().copied().collect();
+        for term in &terms {
+            self.add_vertex(*term);
+        }
+        for (i, a) in terms.iter().enumerate() {
+            for b in terms.iter().skip(i + 1) {
+                self.add_edge(*a, *b);
+            }
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(BTreeSet::len).sum::<usize>() / 2
+    }
+
+    /// The vertices, in insertion order.
+    pub fn vertices(&self) -> &[Term] {
+        &self.vertices
+    }
+
+    /// The term of a vertex index.
+    pub fn term_of(&self, index: usize) -> Term {
+        self.vertices[index]
+    }
+
+    /// The index of a term, if it is a vertex.
+    pub fn index_of(&self, term: &Term) -> Option<usize> {
+        self.index_of.get(term).copied()
+    }
+
+    /// Returns `true` if the two terms are adjacent.
+    pub fn adjacent(&self, a: &Term, b: &Term) -> bool {
+        match (self.index_of(a), self.index_of(b)) {
+            (Some(ia), Some(ib)) => self.adjacency[ia].contains(&ib),
+            _ => false,
+        }
+    }
+
+    /// The neighbour indices of a vertex index.
+    pub fn neighbours(&self, index: usize) -> &BTreeSet<usize> {
+        &self.adjacency[index]
+    }
+
+    /// The degree of a vertex index.
+    pub fn degree(&self, index: usize) -> usize {
+        self.adjacency[index].len()
+    }
+
+    /// The maximum degree of the graph (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adjacency.iter().map(BTreeSet::len).max().unwrap_or(0)
+    }
+
+    /// Returns the connected components as sets of vertex indices.
+    pub fn connected_components(&self) -> Vec<BTreeSet<usize>> {
+        let mut seen = vec![false; self.vertex_count()];
+        let mut components = Vec::new();
+        for start in 0..self.vertex_count() {
+            if seen[start] {
+                continue;
+            }
+            let mut component = BTreeSet::new();
+            let mut frontier = vec![start];
+            seen[start] = true;
+            while let Some(v) = frontier.pop() {
+                component.insert(v);
+                for &w in &self.adjacency[v] {
+                    if !seen[w] {
+                        seen[w] = true;
+                        frontier.push(w);
+                    }
+                }
+            }
+            components.push(component);
+        }
+        components
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntgd_core::cst;
+    use ntgd_parser::parse_database;
+
+    #[test]
+    fn atoms_induce_cliques() {
+        let db = parse_database("r(a, b, c).").unwrap();
+        let g = GaifmanGraph::of_database(&db);
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.adjacent(&cst("a"), &cst("b")));
+        assert!(g.adjacent(&cst("b"), &cst("c")));
+        assert!(g.adjacent(&cst("a"), &cst("c")));
+    }
+
+    #[test]
+    fn shared_terms_connect_atoms() {
+        let db = parse_database("edge(a, b). edge(b, c).").unwrap();
+        let g = GaifmanGraph::of_database(&db);
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert!(!g.adjacent(&cst("a"), &cst("c")));
+    }
+
+    #[test]
+    fn repeated_terms_do_not_create_self_loops() {
+        let db = parse_database("sameAs(a, a).").unwrap();
+        let g = GaifmanGraph::of_database(&db);
+        assert_eq!(g.vertex_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn unary_atoms_contribute_isolated_vertices() {
+        let db = parse_database("p(a). p(b). edge(b, c).").unwrap();
+        let g = GaifmanGraph::of_database(&db);
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(g.index_of(&cst("a")).unwrap()), 0);
+    }
+
+    #[test]
+    fn connected_components_split_disjoint_facts() {
+        let db = parse_database("edge(a, b). edge(c, d). p(e).").unwrap();
+        let g = GaifmanGraph::of_database(&db);
+        let components = g.connected_components();
+        assert_eq!(components.len(), 3);
+        let sizes: Vec<usize> = {
+            let mut s: Vec<usize> = components.iter().map(BTreeSet::len).collect();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(sizes, vec![1, 2, 2]);
+    }
+
+    #[test]
+    fn interpretation_and_database_graphs_agree() {
+        let db = parse_database("edge(a, b). edge(b, c). p(a).").unwrap();
+        let from_db = GaifmanGraph::of_database(&db);
+        let from_interpretation = GaifmanGraph::of_interpretation(&db.to_interpretation());
+        assert_eq!(from_db.vertex_count(), from_interpretation.vertex_count());
+        assert_eq!(from_db.edge_count(), from_interpretation.edge_count());
+    }
+}

@@ -1,0 +1,81 @@
+//! Where does a rule set sit in the decidability landscape?
+//!
+//! The paper studies three paradigms — weak-acyclicity, stickiness and
+//! guardedness — and shows that only the first survives the move to the new
+//! stable model semantics (Theorems 3-5).  This example classifies a handful
+//! of rule sets against the full landscape implemented in `ntgd-classes`
+//! (joint acyclicity, MFA, aGRD, the guardedness fragments, stratification)
+//! and, for the terminating ones, reports the size and treewidth of their
+//! chase.
+//!
+//! Run with `cargo run --example acyclicity_landscape`.
+
+use stable_tgd::chase::{restricted_chase, ChaseConfig};
+use stable_tgd::classes;
+use stable_tgd::parser::{parse_database, parse_program};
+use stable_tgd::treewidth::interpretation_treewidth;
+
+fn main() {
+    let cases = [
+        (
+            "example1 (paper, Ex. 1)",
+            "person(X) -> hasFather(X, Y).\
+             hasFather(X, Y) -> sameAs(Y, Y).\
+             hasFather(X, Y), hasFather(X, Z), not sameAs(Y, Z) -> abnormal(X).",
+            "person(alice). person(bo).",
+        ),
+        (
+            "infinite chain",
+            "person(X) -> parent(X, Y), person(Y).",
+            "person(alice).",
+        ),
+        (
+            "employee/department",
+            "emp(X) -> worksIn(X, D). worksIn(X, D) -> unit(D). unit(D), not closed(D) -> open(D).",
+            "emp(ann). emp(bo).",
+        ),
+        (
+            "jointly acyclic, not weakly acyclic",
+            "p(X) -> q(X, Y). q(X, Y), s(X) -> q(Z, X).",
+            "p(a). s(a).",
+        ),
+    ];
+
+    for (name, rules, facts) in cases {
+        let program = parse_program(rules).expect("program parses");
+        let database = parse_database(facts).expect("database parses");
+        let report = classes::classify(&program);
+        println!("## {name}");
+        println!("   classes: {report}");
+        if let Some(violated) = report.violated_containment() {
+            println!("   !! containment violated: {violated}");
+        }
+
+        let chase = restricted_chase(&database, &program, &ChaseConfig::with_max_steps(200));
+        if chase.terminated() {
+            let (width, exact) = interpretation_treewidth(&chase.instance, 16);
+            println!(
+                "   chase: terminated after {} steps, {} atoms, treewidth {} ({})",
+                chase.steps,
+                chase.instance.len(),
+                width,
+                if exact { "exact" } else { "min-fill bound" }
+            );
+        } else {
+            println!(
+                "   chase: cut off after {} steps ({} atoms so far) — the program is not chase-terminating on this database",
+                chase.steps,
+                chase.instance.len()
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "Weakly-acyclic rule sets keep query answering decidable under the new\n\
+         semantics (Theorem 3); the wider acyclicity notions (JA, MFA, aGRD) are\n\
+         the standard generalisations from the chase-termination literature and\n\
+         still guarantee a finite chase, while guardedness and stickiness alone\n\
+         do not help (Theorems 4 and 5)."
+    );
+}

@@ -1,0 +1,63 @@
+//! An ontology with default negation: existential knowledge plus exceptions.
+//!
+//! Every employee works in some department; departments have a manager;
+//! employees who are not known to be managers are (by default) staff; staff
+//! with no recorded badge are flagged.  The example shows certain answers,
+//! brave answers, and the syntactic class of the program.
+//!
+//! Run with `cargo run --example ontology_defaults`.
+
+use stable_tgd::classes;
+use stable_tgd::parser::{parse_database, parse_program, parse_query};
+use stable_tgd::sms::SmsEngine;
+
+fn main() {
+    let program = parse_program(
+        "employee(X) -> worksIn(X, D), dept(D).\
+         dept(D) -> manages(M, D).\
+         employee(X), not isManager(X) -> staff(X).\
+         manages(M, D) -> isManager(M).\
+         staff(X), not hasBadge(X) -> flagged(X).",
+    )
+    .expect("ontology parses");
+    let database = parse_database(
+        "employee(ada). employee(grace). hasBadge(ada). manages(grace, research). dept(research).",
+    )
+    .expect("database parses");
+
+    println!("Ontology:\n{program}");
+    println!(
+        "weakly acyclic: {}   sticky: {}   guarded: {}",
+        classes::is_weakly_acyclic(&program),
+        classes::is_sticky(&program),
+        classes::is_guarded(&program)
+    );
+
+    let engine = SmsEngine::new(program.clone());
+    let models = engine.stable_models(&database).expect("models enumerate");
+    println!("\nNumber of stable models: {}", models.len());
+
+    let queries = [
+        ("ada works somewhere", "?- worksIn(ada, D)."),
+        ("grace is a manager", "?- isManager(grace)."),
+        ("ada is flagged", "?- flagged(ada)."),
+        ("someone is flagged", "?- flagged(X)."),
+    ];
+    for (label, text) in queries {
+        let q = parse_query(text).expect("query parses");
+        let cautious = engine.entails_cautious(&database, &q).expect("answers");
+        let brave = engine.entails_brave(&database, &q).expect("answers");
+        println!("{label:<26} cautious: {cautious:?}   brave: {brave}");
+    }
+
+    let who_is_staff = parse_query("?(X) :- staff(X).").expect("query parses");
+    let certain = engine
+        .certain_answers(&database, &who_is_staff)
+        .expect("answers")
+        .unwrap_or_default();
+    let rendered: Vec<String> = certain
+        .iter()
+        .map(|t| t.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(","))
+        .collect();
+    println!("certain staff members: [{}]", rendered.join(" "));
+}

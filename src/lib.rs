@@ -1,0 +1,11 @@
+//! Facade crate re-exporting the whole `stable-tgd` workspace.
+pub use ntgd_chase as chase;
+pub use ntgd_classes as classes;
+pub use ntgd_core as core;
+pub use ntgd_disjunction as disjunction;
+pub use ntgd_encodings as encodings;
+pub use ntgd_lp as lp;
+pub use ntgd_parser as parser;
+pub use ntgd_sat as sat;
+pub use ntgd_sms as sms;
+pub use ntgd_treewidth as treewidth;

@@ -1,0 +1,222 @@
+//! Property-based tests over randomly generated programs, databases and
+//! formulas.
+
+use proptest::prelude::*;
+
+use stable_tgd::core::{Interpretation, Atom};
+use stable_tgd::lp::{LpEngine, LpLimits};
+use stable_tgd::parser::{parse_database, parse_program, parse_rule};
+use stable_tgd::sms::{NullBudget, SmsEngine};
+
+/// Strategy: a small existential-free normal program plus a database over
+/// unary predicates, rendered as text.
+fn program_and_database() -> impl Strategy<Value = (String, String)> {
+    let predicates = prop::sample::select(vec!["p", "q", "r", "s"]);
+    let fact = (prop::sample::select(vec!["p", "q"]), 0..3u8)
+        .prop_map(|(p, c)| format!("{p}(c{c}). "));
+    let rule = (predicates.clone(), predicates.clone(), predicates, any::<bool>()).prop_map(
+        |(body, neg, head, use_neg)| {
+            if use_neg && body != neg {
+                format!("{body}(X), not {neg}(X) -> {head}(X). ")
+            } else {
+                format!("{body}(X) -> {head}(X). ")
+            }
+        },
+    );
+    (
+        prop::collection::vec(rule, 1..5).prop_map(|v| v.concat()),
+        prop::collection::vec(fact, 1..4).prop_map(|v| v.concat()),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Theorem 1: on existential-free programs the LP approach and the new
+    /// SMS semantics have identical stable model sets.
+    #[test]
+    fn lp_and_sms_coincide_on_existential_free_programs(
+        (rules_text, db_text) in program_and_database()
+    ) {
+        let program = parse_program(&rules_text).unwrap();
+        let database = parse_database(&db_text).unwrap();
+        let lp = LpEngine::new(&database, &program, &LpLimits::default()).unwrap();
+        let mut lp_models: Vec<Vec<Atom>> =
+            lp.models().iter().map(Interpretation::sorted_atoms).collect();
+        lp_models.sort();
+        let sms = SmsEngine::new(program).with_null_budget(NullBudget::None);
+        let mut sms_models: Vec<Vec<Atom>> = sms
+            .stable_models(&database)
+            .unwrap()
+            .iter()
+            .map(Interpretation::sorted_atoms)
+            .collect();
+        sms_models.sort();
+        prop_assert_eq!(lp_models, sms_models);
+    }
+
+    /// Every enumerated stable model passes the direct Definition-1 check and
+    /// the Lemma-7 support check.
+    #[test]
+    fn enumerated_models_are_stable_and_supported(
+        (rules_text, db_text) in program_and_database()
+    ) {
+        let program = parse_program(&rules_text).unwrap();
+        let database = parse_database(&db_text).unwrap();
+        let sms = SmsEngine::new(program.clone()).with_null_budget(NullBudget::None);
+        for model in sms.stable_models(&database).unwrap() {
+            prop_assert!(stable_tgd::sms::is_stable_model(&database, &program, &model));
+            prop_assert!(stable_tgd::sms::is_supported_by_operator(&database, &program, &model));
+            prop_assert!(database.facts().all(|f| model.contains(f)));
+        }
+    }
+
+    /// Printing a rule and re-parsing it is the identity.
+    #[test]
+    fn rule_display_round_trips(
+        (rules_text, _) in program_and_database()
+    ) {
+        let program = parse_program(&rules_text).unwrap();
+        for rule in program.rules() {
+            let reparsed = parse_rule(&rule.to_string()).unwrap();
+            prop_assert_eq!(rule, &reparsed);
+        }
+    }
+
+    /// The classifiers never panic and weak-acyclicity of an existential-free
+    /// program always holds.
+    #[test]
+    fn existential_free_programs_are_weakly_acyclic(
+        (rules_text, _) in program_and_database()
+    ) {
+        let program = parse_program(&rules_text).unwrap();
+        prop_assert!(stable_tgd::classes::is_weakly_acyclic(&program));
+        let _ = stable_tgd::classes::is_sticky(&program);
+        let _ = stable_tgd::classes::is_guarded(&program);
+    }
+}
+
+/// Strategy: a small rule set *with* existentially quantified variables over
+/// binary predicates, rendered as text, plus a matching database.
+fn existential_program_and_database() -> impl Strategy<Value = (String, String)> {
+    let predicates = prop::sample::select(vec!["p", "q", "r"]);
+    let fact = (prop::sample::select(vec!["p", "q"]), 0..3u8, 0..3u8)
+        .prop_map(|(pred, a, b)| format!("{pred}(c{a}, c{b}). "));
+    let rule = (
+        predicates.clone(),
+        predicates.clone(),
+        predicates,
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(body, extra, head, existential, join)| {
+            match (existential, join) {
+                // body(X, Y) -> head(Y, Z)
+                (true, _) => format!("{body}(X, Y) -> {head}(Y, Z). "),
+                // body(X, Y), extra(Y, W) -> head(X, W)
+                (false, true) => format!("{body}(X, Y), {extra}(Y, W) -> {head}(X, W). "),
+                // body(X, Y) -> head(Y, X)
+                (false, false) => format!("{body}(X, Y) -> {head}(Y, X). "),
+            }
+        });
+    (
+        prop::collection::vec(rule, 1..4).prop_map(|v| v.concat()),
+        prop::collection::vec(fact, 1..4).prop_map(|v| v.concat()),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The known containments between the implemented classes (WA ⊆ JA ⊆ MFA,
+    /// linear ⊆ guarded ⊆ weakly-guarded, …) hold on random rule sets.
+    #[test]
+    fn class_containments_hold_on_random_programs(
+        (rules_text, _) in existential_program_and_database()
+    ) {
+        let program = parse_program(&rules_text).unwrap();
+        let report = stable_tgd::classes::classify(&program);
+        prop_assert_eq!(report.violated_containment(), None);
+    }
+
+    /// On chase-terminating programs the restricted, Skolem and oblivious
+    /// chases are ordered by size and have cores of equal size (they are
+    /// homomorphically equivalent universal models).
+    #[test]
+    fn chase_variants_are_ordered_and_homomorphically_equivalent(
+        (rules_text, db_text) in existential_program_and_database()
+    ) {
+        let program = parse_program(&rules_text).unwrap();
+        let database = parse_database(&db_text).unwrap();
+        let config = stable_tgd::chase::ChaseConfig::with_max_steps(300);
+        let restricted = stable_tgd::chase::restricted_chase(&database, &program, &config);
+        let skolem = stable_tgd::chase::skolem_chase(&database, &program, &config);
+        let oblivious = stable_tgd::chase::oblivious_chase(&database, &program, &config);
+        // Only compare fully terminated runs (the random program may be
+        // non-terminating, in which case the step bound kicks in).
+        if restricted.terminated() && skolem.terminated() && oblivious.terminated() {
+            prop_assert!(restricted.instance.len() <= skolem.instance.len());
+            prop_assert!(skolem.instance.len() <= oblivious.instance.len());
+            if skolem.instance.len() <= 60 {
+                let restricted_core = stable_tgd::chase::core_of(&restricted.instance);
+                let skolem_core = stable_tgd::chase::core_of(&skolem.instance);
+                prop_assert_eq!(restricted_core.len(), skolem_core.len());
+            }
+        }
+    }
+
+    /// Min-fill and min-degree decompositions of the chase instance are valid
+    /// tree decompositions, and they never beat the exact treewidth.
+    #[test]
+    fn heuristic_decompositions_of_chase_instances_are_valid(
+        (rules_text, db_text) in existential_program_and_database()
+    ) {
+        let program = parse_program(&rules_text).unwrap();
+        let database = parse_database(&db_text).unwrap();
+        let config = stable_tgd::chase::ChaseConfig::with_max_steps(60);
+        let chase = stable_tgd::chase::restricted_chase(&database, &program, &config);
+        let graph = stable_tgd::treewidth::GaifmanGraph::of_interpretation(&chase.instance);
+        let min_fill = stable_tgd::treewidth::min_fill_decomposition(&graph);
+        let min_degree = stable_tgd::treewidth::min_degree_decomposition(&graph);
+        prop_assert_eq!(min_fill.validate(&graph), Ok(()));
+        prop_assert_eq!(min_degree.validate(&graph), Ok(()));
+        prop_assert_eq!(
+            min_fill.validate_for_interpretation(&chase.instance).is_ok(),
+            true
+        );
+        if graph.vertex_count() <= 14 {
+            let exact = stable_tgd::treewidth::exact_treewidth(&graph);
+            prop_assert!(min_fill.width() >= exact);
+            prop_assert!(min_degree.width() >= exact);
+        }
+    }
+
+    /// The EFWFS of an existential-free, negation-free program entails every
+    /// atom of its unique (least) model that the LP engine entails.
+    #[test]
+    fn efwfs_and_lp_agree_on_positive_existential_free_programs(
+        (rules_text, db_text) in program_and_database()
+    ) {
+        let program = parse_program(&rules_text).unwrap();
+        // Keep only the negation-free rules: on these the least model is the
+        // unique stable model and also the unique (two-valued) WFS model.
+        let positive = stable_tgd::core::Program::from_rules(
+            program.rules().iter().filter(|r| r.is_positive()).cloned()
+        ).unwrap();
+        let database = parse_database(&db_text).unwrap();
+        let config = stable_tgd::lp::EfwfsConfig {
+            fresh_constants: 0,
+            unify_database_constants: false,
+            ..stable_tgd::lp::EfwfsConfig::default()
+        };
+        let lp = LpEngine::new(&database, &positive, &LpLimits::default()).unwrap();
+        prop_assume!(lp.models().len() == 1);
+        for atom in lp.models()[0].atoms() {
+            let q = stable_tgd::core::Query::boolean(
+                vec![stable_tgd::core::Literal::positive(atom.clone())]
+            ).unwrap();
+            let outcome = stable_tgd::lp::efwfs_entails_cautious(&database, &positive, &q, &config);
+            prop_assert!(outcome.entailed, "EFWFS does not entail {atom}");
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Cross-crate integration tests for the extended landscape around the
+//! paper's core results: the equality-friendly WFS baseline, the chase
+//! variants and their cores, the acyclicity/fragment analyzers, and the
+//! treewidth machinery behind the stable tree model property.
+
+use stable_tgd::chase::{
+    core_of, is_core, oblivious_chase, restricted_chase, skolem_chase, ChaseConfig,
+};
+use stable_tgd::classes;
+use stable_tgd::lp::{efwfs_entails_cautious, EfwfsConfig};
+use stable_tgd::parser::{parse_database, parse_program, parse_query};
+use stable_tgd::sms::{SmsAnswer, SmsEngine};
+use stable_tgd::treewidth::{interpretation_treewidth, min_fill_decomposition, GaifmanGraph};
+
+const EXAMPLE1: &str = "person(X) -> hasFather(X, Y).\
+     hasFather(X, Y) -> sameAs(Y, Y).\
+     hasFather(X, Y), hasFather(X, Z), not sameAs(Y, Z) -> abnormal(X).";
+
+#[test]
+fn all_four_semantics_are_separated_exactly_as_the_paper_describes() {
+    let database = parse_database("person(alice).").unwrap();
+    let program = parse_program(EXAMPLE1).unwrap();
+    let config = EfwfsConfig::default();
+    let sms = SmsEngine::new(program.clone());
+
+    // Example 2: ¬hasFather(alice, bob) — the EFWFS and the new semantics
+    // both (correctly) refuse to entail it.
+    let father_query = parse_query("?- not hasFather(alice, bob).").unwrap();
+    assert!(!efwfs_entails_cautious(&database, &program, &father_query, &config).entailed);
+    assert_eq!(
+        sms.entails_cautious(&database, &father_query).unwrap(),
+        SmsAnswer::NotEntailed
+    );
+
+    // Example 3: ¬abnormal(alice) — the EFWFS fails to entail it, the new
+    // semantics entails it.
+    let normal_query = parse_query("?- not abnormal(alice).").unwrap();
+    assert!(!efwfs_entails_cautious(&database, &program, &normal_query, &config).entailed);
+    assert_eq!(
+        sms.entails_cautious(&database, &normal_query).unwrap(),
+        SmsAnswer::Entailed
+    );
+}
+
+#[test]
+fn chase_variants_of_example1_are_ordered_and_share_their_core() {
+    let database = parse_database("person(alice). hasFather(alice, bob).").unwrap();
+    let program = parse_program(EXAMPLE1).unwrap();
+    let config = ChaseConfig::default();
+
+    let restricted = restricted_chase(&database, &program, &config);
+    let skolem = skolem_chase(&database, &program, &config);
+    let oblivious = oblivious_chase(&database, &program, &config);
+    assert!(restricted.terminated());
+    assert!(skolem.terminated());
+    assert!(oblivious.terminated());
+    assert!(restricted.instance.len() <= skolem.instance.len());
+    assert!(skolem.instance.len() <= oblivious.instance.len());
+
+    let restricted_core = core_of(&restricted.instance);
+    let skolem_core = core_of(&skolem.instance);
+    assert_eq!(restricted_core.len(), skolem_core.len());
+    assert!(is_core(&restricted_core));
+    assert!(is_core(&skolem_core));
+}
+
+#[test]
+fn stable_models_of_a_weakly_acyclic_program_have_small_treewidth() {
+    let database = parse_database("person(alice). person(bo).").unwrap();
+    let program = parse_program(EXAMPLE1).unwrap();
+    assert!(classes::is_weakly_acyclic(&program));
+
+    let engine = SmsEngine::new(program);
+    let models = engine.stable_models(&database).unwrap();
+    assert!(!models.is_empty());
+    for model in &models {
+        let (width, _) = interpretation_treewidth(model, 14);
+        // The Gaifman graph of every stable model here is a disjoint union of
+        // person-father stars (plus reflexive sameAs loops): treewidth ≤ 2.
+        assert!(width <= 2, "unexpectedly wide stable model: {width}");
+        let graph = GaifmanGraph::of_interpretation(model);
+        let decomposition = min_fill_decomposition(&graph);
+        assert_eq!(decomposition.validate(&graph), Ok(()));
+    }
+}
+
+#[test]
+fn the_class_landscape_places_example1_consistently() {
+    let program = parse_program(EXAMPLE1).unwrap();
+    let report = classes::classify(&program);
+    assert!(report.weakly_acyclic);
+    assert!(report.jointly_acyclic);
+    assert!(report.model_faithful_acyclic);
+    assert!(report.agrd);
+    assert!(!report.sticky);
+    assert!(!report.guarded);
+    assert!(report.frontier_guarded);
+    assert!(report.stratified);
+    assert_eq!(report.violated_containment(), None);
+}
+
+#[test]
+fn the_grid_gadget_behind_the_undecidability_proofs_has_growing_treewidth() {
+    // The undecidability arguments for sticky/guarded NTGDs (Theorems 4/5)
+    // rest on building grids of unbounded size; measure that the grid shape
+    // indeed has treewidth growing with its side, in contrast to the flat
+    // stable models above.
+    use stable_tgd::core::{atom, cst, Interpretation};
+    let mut widths = Vec::new();
+    for n in [2usize, 3, 4] {
+        let mut atoms = Vec::new();
+        let name = |r: usize, c: usize| cst(&format!("g{r}_{c}"));
+        for r in 0..n {
+            for c in 0..n {
+                if c + 1 < n {
+                    atoms.push(atom("edge", vec![name(r, c), name(r, c + 1)]));
+                }
+                if r + 1 < n {
+                    atoms.push(atom("edge", vec![name(r, c), name(r + 1, c)]));
+                }
+            }
+        }
+        let interpretation = Interpretation::from_atoms(atoms);
+        widths.push(interpretation_treewidth(&interpretation, 16).0);
+    }
+    assert_eq!(widths, vec![2, 3, 4]);
+}
+
+#[test]
+fn efwfs_agrees_with_the_unique_well_founded_model_on_stratified_programs() {
+    let database = parse_database("course(db). course(ai). hard(ai).").unwrap();
+    let program =
+        parse_program("course(X), not hard(X) -> easy(X). easy(X) -> passable(X).").unwrap();
+    let config = EfwfsConfig {
+        unify_database_constants: false,
+        fresh_constants: 0,
+        ..EfwfsConfig::default()
+    };
+    let passable = parse_query("?- passable(db).").unwrap();
+    let not_passable_ai = parse_query("?- not passable(ai).").unwrap();
+    assert!(efwfs_entails_cautious(&database, &program, &passable, &config).entailed);
+    assert!(efwfs_entails_cautious(&database, &program, &not_passable_ai, &config).entailed);
+
+    let sms = SmsEngine::new(program);
+    assert_eq!(
+        sms.entails_cautious(&database, &passable).unwrap(),
+        SmsAnswer::Entailed
+    );
+    assert_eq!(
+        sms.entails_cautious(&database, &not_passable_ai).unwrap(),
+        SmsAnswer::Entailed
+    );
+}
