@@ -10,9 +10,11 @@ fn bench(c: &mut Criterion) {
     for &rules in &[5usize, 20, 50] {
         let mut rng = StdRng::seed_from_u64(3);
         let program = ntgd_bench::random_weakly_acyclic_program(&mut rng, rules);
-        group.bench_with_input(BenchmarkId::new("weak_acyclicity", rules), &program, |b, p| {
-            b.iter(|| std::hint::black_box(ntgd_classes::is_weakly_acyclic(p)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("weak_acyclicity", rules),
+            &program,
+            |b, p| b.iter(|| std::hint::black_box(ntgd_classes::is_weakly_acyclic(p))),
+        );
         group.bench_with_input(BenchmarkId::new("stickiness", rules), &program, |b, p| {
             b.iter(|| std::hint::black_box(ntgd_classes::is_sticky(p)))
         });

@@ -1,0 +1,212 @@
+//! Criterion benchmark for the matcher hot path: the indexed join engine of
+//! `ntgd_core::matcher` versus the retained naive reference matcher
+//! (`ntgd_core::matcher::reference`) on chain joins, star joins and
+//! negation-heavy conjunctions.
+//!
+//! Besides the criterion-style report, the benchmark records the measured
+//! medians and speedups in `BENCH_matcher.json` at the repository root, so
+//! the before/after numbers of the indexed-join-engine PR stay reproducible
+//! with `cargo bench --bench matcher`.
+
+use std::time::{Duration, Instant};
+
+use criterion::Criterion;
+use ntgd_core::matcher::{self, reference};
+use ntgd_core::{atom, cst, var, Interpretation, Literal, Substitution};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Workload {
+    name: &'static str,
+    interpretation: Interpretation,
+    conjunction: Vec<Literal>,
+}
+
+/// A sparse random edge relation.
+fn random_edges(rng: &mut StdRng, nodes: usize, edges: usize) -> Interpretation {
+    let mut interpretation = Interpretation::new();
+    while interpretation.len() < edges {
+        let a = rng.gen_range(0..nodes);
+        let b = rng.gen_range(0..nodes);
+        interpretation.insert(atom(
+            "e",
+            vec![cst(&format!("n{a}")), cst(&format!("n{b}"))],
+        ));
+    }
+    interpretation
+}
+
+fn workloads() -> Vec<Workload> {
+    let mut rng = StdRng::seed_from_u64(0x6a01);
+    let mut out = Vec::new();
+
+    // Chain join: e(X,Y), e(Y,Z), e(Z,W) over a sparse random graph.  The
+    // indexed engine probes (e, 0, y) for the bound joint variables; the
+    // reference matcher rescans all edges at every level.
+    let chain = random_edges(&mut rng, 150, 450);
+    out.push(Workload {
+        name: "chain_join",
+        interpretation: chain,
+        conjunction: vec![
+            Literal::positive(atom("e", vec![var("X"), var("Y")])),
+            Literal::positive(atom("e", vec![var("Y"), var("Z")])),
+            Literal::positive(atom("e", vec![var("Z"), var("W")])),
+        ],
+    });
+
+    // Star join: a large spoke relation joined with a tiny selective one.
+    // The planner must reorder to start from the selective predicate.
+    let mut star = Interpretation::new();
+    for spoke in 0..2_000 {
+        star.insert(atom(
+            "likes",
+            vec![cst(&format!("u{}", spoke % 50)), cst(&format!("i{spoke}"))],
+        ));
+    }
+    for marked in 0..5 {
+        star.insert(atom("mark", vec![cst(&format!("i{}", marked * 311))]));
+    }
+    out.push(Workload {
+        name: "star_join",
+        interpretation: star,
+        conjunction: vec![
+            Literal::positive(atom("likes", vec![var("X"), var("Y")])),
+            Literal::positive(atom("mark", vec![var("Y")])),
+        ],
+    });
+
+    // Negation: a join filtered by two negative literals (safe: all
+    // variables are bound positively).
+    let mut negation = random_edges(&mut rng, 120, 360);
+    for k in 0..60 {
+        negation.insert(atom("blocked", vec![cst(&format!("n{}", k * 2))]));
+    }
+    out.push(Workload {
+        name: "negation",
+        interpretation: negation,
+        conjunction: vec![
+            Literal::positive(atom("e", vec![var("X"), var("Y")])),
+            Literal::positive(atom("e", vec![var("Y"), var("Z")])),
+            Literal::negative(atom("blocked", vec![var("X")])),
+            Literal::negative(atom("e", vec![var("Z"), var("X")])),
+        ],
+    });
+
+    out
+}
+
+fn count_indexed(workload: &Workload) -> usize {
+    matcher::all_homomorphisms(
+        &workload.conjunction,
+        &workload.interpretation,
+        &Substitution::new(),
+    )
+    .len()
+}
+
+fn count_reference(workload: &Workload) -> usize {
+    reference::all_homomorphisms(
+        &workload.conjunction,
+        &workload.interpretation,
+        &Substitution::new(),
+    )
+    .len()
+}
+
+/// Median wall-clock duration of `samples` runs of `routine`.
+fn median_duration<F: FnMut() -> usize>(samples: usize, mut routine: F) -> Duration {
+    std::hint::black_box(routine());
+    let mut times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            start.elapsed()
+        })
+        .collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+/// One delta-matching round: how long it takes to find the homomorphisms
+/// introduced by the newest atom versus a full rematch.
+fn bench_delta(criterion: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0x6a02);
+    let mut interpretation = random_edges(&mut rng, 150, 450);
+    let watermark = interpretation.len();
+    interpretation.insert(atom("e", vec![cst("n3"), cst("n7")]));
+    let body = vec![
+        atom("e", vec![var("X"), var("Y")]),
+        atom("e", vec![var("Y"), var("Z")]),
+    ];
+    criterion.bench_function("matcher/delta_round/delta", |b| {
+        b.iter(|| {
+            matcher::all_atom_homomorphisms_delta(
+                &body,
+                &interpretation,
+                &Substitution::new(),
+                watermark,
+            )
+            .len()
+        })
+    });
+    criterion.bench_function("matcher/delta_round/full_rematch", |b| {
+        b.iter(|| {
+            matcher::all_atom_homomorphisms(&body, &interpretation, &Substitution::new()).len()
+        })
+    });
+}
+
+fn main() {
+    let mut criterion = Criterion::default().sample_size(20);
+    let mut rows: Vec<(String, u128, u128, f64, usize)> = Vec::new();
+
+    for workload in workloads() {
+        let indexed_count = count_indexed(&workload);
+        let reference_count = count_reference(&workload);
+        assert_eq!(
+            indexed_count, reference_count,
+            "engines disagree on {}",
+            workload.name
+        );
+
+        criterion.bench_function(&format!("matcher/{}/indexed", workload.name), |b| {
+            b.iter(|| count_indexed(&workload))
+        });
+        criterion.bench_function(&format!("matcher/{}/reference", workload.name), |b| {
+            b.iter(|| count_reference(&workload))
+        });
+
+        let indexed = median_duration(20, || count_indexed(&workload));
+        let naive = median_duration(20, || count_reference(&workload));
+        let speedup = naive.as_secs_f64() / indexed.as_secs_f64().max(f64::MIN_POSITIVE);
+        println!(
+            "matcher/{}: indexed {indexed:?}, reference {naive:?}, speedup {speedup:.1}x, {indexed_count} homomorphisms",
+            workload.name
+        );
+        rows.push((
+            workload.name.to_owned(),
+            indexed.as_nanos(),
+            naive.as_nanos(),
+            speedup,
+            indexed_count,
+        ));
+    }
+
+    bench_delta(&mut criterion);
+
+    let mut json = String::from(
+        "{\n  \"benchmark\": \"matcher hot path: indexed join engine vs naive reference matcher\",\n  \"command\": \"cargo bench --bench matcher\",\n  \"workloads\": [\n",
+    );
+    for (i, (name, indexed_ns, reference_ns, speedup, homomorphisms)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"indexed_median_ns\": {indexed_ns}, \"reference_median_ns\": {reference_ns}, \"speedup\": {speedup:.1}, \"homomorphisms\": {homomorphisms}}}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_matcher.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(error) => eprintln!("could not write {path}: {error}"),
+    }
+}

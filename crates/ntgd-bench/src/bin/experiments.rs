@@ -20,7 +20,10 @@ fn main() {
 
     if wants(&args, "--e1") {
         println!("== E1: semantic comparison on Example 1 (person/hasFather) ==");
-        println!("{:<40} {:<15} {:<15} {:<15}", "query", "LP", "chase [3]", "new SMS");
+        println!(
+            "{:<40} {:<15} {:<15} {:<15}",
+            "query", "LP", "chase [3]", "new SMS"
+        );
         for row in ntgd_bench::e1_semantics() {
             println!(
                 "{:<40} {:<15} {:<15} {:<15}",
@@ -69,7 +72,8 @@ fn main() {
             let db = ntgd_bench::e4_database(n);
             let program = ntgd_bench::e4_program();
             let start = Instant::now();
-            let _ = ntgd_chase::restricted_chase(&db, &program, &ntgd_chase::ChaseConfig::default());
+            let _ =
+                ntgd_chase::restricted_chase(&db, &program, &ntgd_chase::ChaseConfig::default());
             let chase_time = start.elapsed();
             println!(
                 "{:<10} {:<18} {:<18} {:<14}",
@@ -114,7 +118,12 @@ fn main() {
         println!("{:<10} {:<18} {:<18}", "|D|", "max |M+|", "chase bound");
         for n in [1usize, 2, 3] {
             let (max_model, bound) = ntgd_bench::e8_bounds(n);
-            println!("{:<10} {:<18} {:<18}", ntgd_bench::e4_database(n).len(), max_model, bound);
+            println!(
+                "{:<10} {:<18} {:<18}",
+                ntgd_bench::e4_database(n).len(),
+                max_model,
+                bound
+            );
         }
         println!();
     }
@@ -133,7 +142,12 @@ fn main() {
         for n in [2usize, 4, 6, 8] {
             let start = Instant::now();
             let size = ntgd_bench::e10_stability(n);
-            println!("{:<10} {:<12} {:<14}", n, size, format!("{:?}", start.elapsed()));
+            println!(
+                "{:<10} {:<12} {:<14}",
+                n,
+                size,
+                format!("{:?}", start.elapsed())
+            );
         }
         println!();
     }
@@ -148,7 +162,9 @@ fn main() {
     }
 
     if wants(&args, "--e12") {
-        println!("== E12: decidability landscape (acyclicity notions and guardedness fragments) ==");
+        println!(
+            "== E12: decidability landscape (acyclicity notions and guardedness fragments) =="
+        );
         println!(
             "{:<22} {:<6} {:<6} {:<6} {:<6} {:<8} {:<9} {:<9} {:<8}",
             "rule set", "WA", "JA", "MFA", "aGRD", "sticky", "guarded", "w-guard", "fr-guard"

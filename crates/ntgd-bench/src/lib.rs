@@ -101,7 +101,11 @@ pub fn e1_semantics() -> Vec<E1Row> {
 
 /// A random existential-free normal program over unary predicates, together
 /// with a random database (used for E2).
-pub fn random_normal_program(rng: &mut StdRng, rules: usize, constants: usize) -> (Database, Program) {
+pub fn random_normal_program(
+    rng: &mut StdRng,
+    rules: usize,
+    constants: usize,
+) -> (Database, Program) {
     let predicates = ["p", "q", "r", "s", "t"];
     let mut db_text = String::new();
     for c in 0..constants {
@@ -114,7 +118,10 @@ pub fn random_normal_program(rng: &mut StdRng, rules: usize, constants: usize) -
         let neg_pred = predicates[rng.gen_range(0..predicates.len())];
         let head_pred = predicates[rng.gen_range(2..predicates.len())];
         if rng.gen_bool(0.5) {
-            let _ = write!(rules_text, "{body_pred}(X), not {neg_pred}(X) -> {head_pred}(X). ");
+            let _ = write!(
+                rules_text,
+                "{body_pred}(X), not {neg_pred}(X) -> {head_pred}(X). "
+            );
         } else {
             let _ = write!(rules_text, "{body_pred}(X) -> {head_pred}(X). ");
         }
@@ -140,8 +147,8 @@ pub fn e2_theorem1(samples: usize, seed: u64) -> (usize, usize) {
             .map(Interpretation::sorted_atoms)
             .collect();
         lp_models.sort();
-        let sms = ntgd_sms::SmsEngine::new(program.clone())
-            .with_null_budget(ntgd_sms::NullBudget::None);
+        let sms =
+            ntgd_sms::SmsEngine::new(program.clone()).with_null_budget(ntgd_sms::NullBudget::None);
         let mut sms_models: Vec<Vec<Atom>> = sms
             .stable_models(&db)
             .expect("SMS enumerates")
@@ -342,7 +349,9 @@ pub fn e9_applications() -> (bool, bool) {
         uncertain_edges: vec![(2, 0)],
         colours: 2,
     };
-    let robust_agrees = robust.robustly_colourable_via_sms().expect("robust colouring")
+    let robust_agrees = robust
+        .robustly_colourable_via_sms()
+        .expect("robust colouring")
         == robust.robustly_colourable_brute_force();
     (cqa_agrees, robust_agrees)
 }
@@ -506,12 +515,7 @@ pub fn e14_chase_variants(n: usize) -> (usize, usize, usize, usize) {
     let skolem = ntgd_chase::skolem_chase(&db, &program, &config).instance;
     let oblivious = ntgd_chase::oblivious_chase(&db, &program, &config).instance;
     let core = ntgd_chase::core_of(&skolem);
-    (
-        restricted.len(),
-        skolem.len(),
-        oblivious.len(),
-        core.len(),
-    )
+    (restricted.len(), skolem.len(), oblivious.len(), core.len())
 }
 
 #[cfg(test)]
@@ -547,7 +551,10 @@ mod tests {
         let rows = e3_classes();
         let sticky = rows.iter().find(|r| r.name == "figure1a-sticky").unwrap();
         assert!(sticky.sticky);
-        let nonsticky = rows.iter().find(|r| r.name == "figure1a-nonsticky").unwrap();
+        let nonsticky = rows
+            .iter()
+            .find(|r| r.name == "figure1a-nonsticky")
+            .unwrap();
         assert!(!nonsticky.sticky);
         let chain = rows.iter().find(|r| r.name == "infinite-chain").unwrap();
         assert!(!chain.weakly_acyclic);
@@ -613,7 +620,10 @@ mod tests {
         let ja = rows.iter().find(|r| r.name == "ja-not-wa").unwrap();
         assert!(!ja.report.weakly_acyclic);
         assert!(ja.report.jointly_acyclic);
-        let mfa = rows.iter().find(|r| r.name == "terminating-not-wa").unwrap();
+        let mfa = rows
+            .iter()
+            .find(|r| r.name == "terminating-not-wa")
+            .unwrap();
         assert!(!mfa.report.weakly_acyclic);
         assert!(mfa.report.model_faithful_acyclic);
     }

@@ -56,9 +56,9 @@ fn frozen_literals(instance: &Interpretation) -> Vec<Literal> {
                 .args()
                 .iter()
                 .map(|term| match term {
-                    Term::Null(id) => Term::Var(ntgd_core::Symbol::intern(&format!(
-                        "__core_null_{id}"
-                    ))),
+                    Term::Null(id) => {
+                        Term::Var(ntgd_core::Symbol::intern(&format!("__core_null_{id}")))
+                    }
                     other => *other,
                 })
                 .collect();
@@ -182,10 +182,8 @@ mod tests {
     #[test]
     fn chase_variants_have_homomorphically_equivalent_results_with_equal_core_sizes() {
         let db = parse_database("person(alice).").unwrap();
-        let p = parse_program(
-            "person(X) -> hasFather(X, Y). hasFather(X, Y) -> sameAs(Y, Y).",
-        )
-        .unwrap();
+        let p = parse_program("person(X) -> hasFather(X, Y). hasFather(X, Y) -> sameAs(Y, Y).")
+            .unwrap();
         let config = ChaseConfig::default();
         let restricted = restricted_chase(&db, &p, &config).instance;
         let skolem = skolem_chase(&db, &p, &config).instance;

@@ -25,8 +25,8 @@
 //! described above.
 
 pub mod core_instance;
-pub mod operational;
 pub mod oblivious;
+pub mod operational;
 pub mod restricted;
 pub mod skolem;
 pub mod trigger;

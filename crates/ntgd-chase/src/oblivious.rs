@@ -5,17 +5,20 @@
 //! (its result is a superset up to homomorphic equivalence) and provides a
 //! simple worst-case bound used in tests and benchmarks.
 
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 
 use ntgd_core::{Database, NullFactory, Program, Term};
 
 use crate::restricted::{ChaseConfig, ChaseOutcome, ChaseResult};
-use crate::trigger::{all_triggers, apply_trigger};
+use crate::trigger::{all_triggers, apply_trigger, triggers_from};
 
 /// Runs the oblivious chase of `database` with the positive part of `program`.
 ///
 /// Each trigger — identified by its rule and the image of the rule's
-/// universal variables — is applied at most once.
+/// universal variables — is applied at most once.  Like the restricted
+/// chase, the worklist is extended semi-naively: after an application only
+/// the triggers whose body uses a newly derived atom are discovered
+/// ([`triggers_from`]).
 pub fn oblivious_chase(
     database: &Database,
     program: &Program,
@@ -26,8 +29,20 @@ pub fn oblivious_chase(
     let mut nulls = NullFactory::new();
     let mut steps = 0usize;
     let mut applied: HashSet<(usize, Vec<(Term, Term)>)> = HashSet::new();
+    let mut pending: VecDeque<_> = all_triggers(&positive, &instance).into();
 
     loop {
+        let Some(trigger) = pending.pop_front() else {
+            return ChaseResult {
+                instance,
+                steps,
+                nulls_created: nulls.issued(),
+                outcome: ChaseOutcome::Terminated,
+            };
+        };
+        if !applied.insert(trigger.key(&positive.rules()[trigger.rule_index])) {
+            continue;
+        }
         if steps >= config.max_steps {
             return ChaseResult {
                 instance,
@@ -36,21 +51,10 @@ pub fn oblivious_chase(
                 outcome: ChaseOutcome::StepLimitReached,
             };
         }
-        let next = all_triggers(&positive, &instance).into_iter().find(|t| {
-            let key = t.key(&positive.rules()[t.rule_index]);
-            !applied.contains(&key)
-        });
-        let Some(trigger) = next else {
-            return ChaseResult {
-                instance,
-                steps,
-                nulls_created: nulls.issued(),
-                outcome: ChaseOutcome::Terminated,
-            };
-        };
-        applied.insert(trigger.key(&positive.rules()[trigger.rule_index]));
+        let watermark = instance.len();
         apply_trigger(&trigger, &positive, &mut instance, &mut nulls);
         steps += 1;
+        pending.extend(triggers_from(&positive, &instance, watermark));
     }
 }
 

@@ -193,7 +193,6 @@ mod tests {
             assert!(!m.contains(&atom("hasFather", vec![cst("alice"), cst("bob")])));
             let father_is_null = m
                 .atoms_with_predicate(ntgd_core::Symbol::intern("hasFather"))
-                .iter()
                 .all(|a| a.args()[1].is_null());
             assert!(father_is_null);
             // And alice is never abnormal.

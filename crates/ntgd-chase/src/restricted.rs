@@ -1,8 +1,10 @@
 //! The restricted (standard) chase.
 
+use std::collections::VecDeque;
+
 use ntgd_core::{Database, Interpretation, NullFactory, Program};
 
-use crate::trigger::{active_triggers, apply_trigger};
+use crate::trigger::{all_triggers, apply_trigger, is_active, triggers_from};
 
 /// Configuration for a chase run.
 #[derive(Clone, Debug)]
@@ -59,8 +61,13 @@ impl ChaseResult {
 /// `program` (negative literals are dropped, i.e. this is the chase of
 /// `(D, Σ⁺)` used by Lemma 8 of the paper).
 ///
-/// Triggers are selected in a deterministic round-robin fashion (first rule,
-/// first homomorphism), which is a fair strategy.
+/// The chase is evaluated semi-naively: a FIFO worklist is seeded with the
+/// triggers on the database and extended, after every application, with only
+/// the triggers whose body uses a newly derived atom
+/// ([`triggers_from`]), instead of rematching every rule against the whole
+/// instance per step.  Applying triggers in discovery order is a fair
+/// strategy; activity (the head not being satisfied yet) is re-checked when a
+/// trigger is popped.
 pub fn restricted_chase(
     database: &Database,
     program: &Program,
@@ -70,8 +77,20 @@ pub fn restricted_chase(
     let mut instance = database.to_interpretation();
     let mut nulls = NullFactory::new();
     let mut steps = 0usize;
+    let mut pending: VecDeque<_> = all_triggers(&positive, &instance).into();
 
     loop {
+        let Some(trigger) = pending.pop_front() else {
+            return ChaseResult {
+                instance,
+                steps,
+                nulls_created: nulls.issued(),
+                outcome: ChaseOutcome::Terminated,
+            };
+        };
+        if !is_active(&trigger, &positive, &instance) {
+            continue;
+        }
         if steps >= config.max_steps {
             return ChaseResult {
                 instance,
@@ -80,17 +99,10 @@ pub fn restricted_chase(
                 outcome: ChaseOutcome::StepLimitReached,
             };
         }
-        let active = active_triggers(&positive, &instance);
-        let Some(trigger) = active.into_iter().next() else {
-            return ChaseResult {
-                instance,
-                steps,
-                nulls_created: nulls.issued(),
-                outcome: ChaseOutcome::Terminated,
-            };
-        };
+        let watermark = instance.len();
         apply_trigger(&trigger, &positive, &mut instance, &mut nulls);
         steps += 1;
+        pending.extend(triggers_from(&positive, &instance, watermark));
     }
 }
 
@@ -103,10 +115,8 @@ mod tests {
     #[test]
     fn chase_of_terminating_program_reaches_fixpoint() {
         let db = parse_database("person(alice).").unwrap();
-        let p = parse_program(
-            "person(X) -> hasFather(X, Y). hasFather(X, Y) -> sameAs(Y, Y).",
-        )
-        .unwrap();
+        let p = parse_program("person(X) -> hasFather(X, Y). hasFather(X, Y) -> sameAs(Y, Y).")
+            .unwrap();
         let r = restricted_chase(&db, &p, &ChaseConfig::default());
         assert!(r.terminated());
         assert_eq!(r.steps, 2);

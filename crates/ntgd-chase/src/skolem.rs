@@ -18,15 +18,22 @@
 //! the tests of this module double as a sanity check of `ntgd-lp`'s
 //! Skolemizer.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use ntgd_core::{Database, NullFactory, Program, Term};
 
 use crate::restricted::{ChaseConfig, ChaseOutcome, ChaseResult};
-use crate::trigger::all_triggers;
+use crate::trigger::{all_triggers, triggers_from};
+
+/// Memo key of a Skolem witness: rule index plus frontier binding.
+type WitnessKey = (usize, Vec<(Term, Term)>);
 
 /// Runs the Skolem (semi-oblivious) chase of `database` with the positive
 /// part of `program`.
+///
+/// Like the restricted and oblivious variants, the worklist is extended
+/// semi-naively: after an application only the triggers whose body uses a
+/// newly derived atom are discovered ([`triggers_from`]).
 pub fn skolem_chase(database: &Database, program: &Program, config: &ChaseConfig) -> ChaseResult {
     let positive = program.positive_part();
     let mut instance = database.to_interpretation();
@@ -34,62 +41,56 @@ pub fn skolem_chase(database: &Database, program: &Program, config: &ChaseConfig
     let mut steps = 0usize;
     // (rule, frontier binding) → the memoised witnesses for the rule's
     // existential variables, in `existential_variables()` order.
-    let mut witnesses: HashMap<(usize, Vec<(Term, Term)>), Vec<Term>> = HashMap::new();
+    let mut witnesses: HashMap<WitnessKey, Vec<Term>> = HashMap::new();
+    let mut pending: VecDeque<_> = all_triggers(&positive, &instance).into();
 
     loop {
-        if steps >= config.max_steps {
-            return ChaseResult {
-                instance,
-                steps,
-                nulls_created: nulls.issued(),
-                outcome: ChaseOutcome::StepLimitReached,
-            };
-        }
-
-        let mut added_something = false;
-        for trigger in all_triggers(&positive, &instance) {
-            if steps >= config.max_steps {
-                break;
-            }
-            let rule = &positive.rules()[trigger.rule_index];
-            let frontier_key: Vec<(Term, Term)> = rule
-                .frontier_variables()
-                .into_iter()
-                .map(|v| {
-                    let t = Term::Var(v);
-                    (t, trigger.homomorphism.apply_term(&t))
-                })
-                .collect();
-            let key = (trigger.rule_index, frontier_key);
-            let existentials: Vec<_> = rule.existential_variables().into_iter().collect();
-            let witness_terms = witnesses
-                .entry(key)
-                .or_insert_with(|| existentials.iter().map(|_| nulls.fresh()).collect())
-                .clone();
-
-            let mut homomorphism = trigger.homomorphism.clone();
-            for (variable, witness) in existentials.iter().zip(witness_terms) {
-                homomorphism.bind(Term::Var(*variable), witness);
-            }
-            let mut new_atom = false;
-            for atom in rule.head() {
-                if instance.insert(homomorphism.apply_atom(atom)) {
-                    new_atom = true;
-                }
-            }
-            if new_atom {
-                steps += 1;
-                added_something = true;
-            }
-        }
-
-        if !added_something {
+        let Some(trigger) = pending.pop_front() else {
             return ChaseResult {
                 instance,
                 steps,
                 nulls_created: nulls.issued(),
                 outcome: ChaseOutcome::Terminated,
             };
+        };
+        let rule = &positive.rules()[trigger.rule_index];
+        let frontier_key: Vec<(Term, Term)> = rule
+            .frontier_variables()
+            .into_iter()
+            .map(|v| {
+                let t = Term::Var(v);
+                (t, trigger.homomorphism.apply_term(&t))
+            })
+            .collect();
+        let key = (trigger.rule_index, frontier_key);
+        let existentials: Vec<_> = rule.existential_variables().into_iter().collect();
+        let witness_terms = witnesses
+            .entry(key)
+            .or_insert_with(|| existentials.iter().map(|_| nulls.fresh()).collect())
+            .clone();
+
+        let mut homomorphism = trigger.homomorphism.clone();
+        for (variable, witness) in existentials.iter().zip(witness_terms) {
+            homomorphism.bind(Term::Var(*variable), witness);
+        }
+        let watermark = instance.len();
+        let mut new_atom = false;
+        for atom in rule.head() {
+            if instance.insert(homomorphism.apply_atom(atom)) {
+                new_atom = true;
+            }
+        }
+        if new_atom {
+            steps += 1;
+            if steps >= config.max_steps {
+                return ChaseResult {
+                    instance,
+                    steps,
+                    nulls_created: nulls.issued(),
+                    outcome: ChaseOutcome::StepLimitReached,
+                };
+            }
+            pending.extend(triggers_from(&positive, &instance, watermark));
         }
     }
 }
@@ -129,10 +130,8 @@ mod tests {
     #[test]
     fn skolem_chase_sits_between_restricted_and_oblivious() {
         let db = parse_database("person(alice). hasFather(alice, bob).").unwrap();
-        let p = parse_program(
-            "person(X) -> hasFather(X, Y). hasFather(X, Y) -> sameAs(Y, Y).",
-        )
-        .unwrap();
+        let p = parse_program("person(X) -> hasFather(X, Y). hasFather(X, Y) -> sameAs(Y, Y).")
+            .unwrap();
         let config = ChaseConfig::default();
         let restricted = restricted_chase(&db, &p, &config);
         let skolem = skolem_chase(&db, &p, &config);

@@ -1,8 +1,6 @@
 //! Triggers: a rule together with a homomorphism from its (positive) body.
 
-use ntgd_core::{
-    matcher, Atom, Interpretation, Ntgd, NullFactory, Program, Substitution, Term,
-};
+use ntgd_core::{matcher, Atom, Interpretation, Ntgd, NullFactory, Program, Substitution, Term};
 
 /// A trigger `(σ, h)`: rule index and a homomorphism from the positive body of
 /// `σ` into the current instance.
@@ -45,10 +43,31 @@ impl Trigger {
 /// positive body of each rule into the instance (negative literals are
 /// ignored — this is the chase of `Σ⁺`).
 pub fn all_triggers(program: &Program, instance: &Interpretation) -> Vec<Trigger> {
+    triggers_from(program, instance, 0)
+}
+
+/// The triggers whose body image uses at least one atom inserted at or after
+/// `watermark` (an earlier value of [`Interpretation::len`]).
+///
+/// `triggers_from(p, i, 0)` is [`all_triggers`]; chase loops call this after
+/// every trigger application with the pre-application length, so each round
+/// only matches against the newly derived atoms (semi-naive evaluation).
+/// Every trigger is discovered exactly once across rounds: in the round that
+/// inserted the newest atom of its body image.
+pub fn triggers_from(
+    program: &Program,
+    instance: &Interpretation,
+    watermark: usize,
+) -> Vec<Trigger> {
     let mut out = Vec::new();
     for (idx, rule) in program.iter() {
         let body_atoms: Vec<Atom> = rule.body_positive().into_iter().cloned().collect();
-        for h in matcher::all_atom_homomorphisms(&body_atoms, instance, &Substitution::new()) {
+        for h in matcher::all_atom_homomorphisms_delta(
+            &body_atoms,
+            instance,
+            &Substitution::new(),
+            watermark,
+        ) {
             out.push(Trigger {
                 rule_index: idx,
                 homomorphism: h,
@@ -120,10 +139,7 @@ mod tests {
         let ts = all_triggers(&p, &i);
         assert_eq!(ts.len(), 1);
         assert_eq!(ts[0].rule_index, 0);
-        assert_eq!(
-            ts[0].homomorphism.apply_term(&var("X")),
-            cst("alice")
-        );
+        assert_eq!(ts[0].homomorphism.apply_term(&var("X")), cst("alice"));
     }
 
     #[test]
@@ -155,10 +171,8 @@ mod tests {
 
     #[test]
     fn negative_images_ground_the_negated_atoms() {
-        let p = parse_program(
-            "hasFather(X,Y), hasFather(X,Z), not sameAs(Y,Z) -> abnormal(X).",
-        )
-        .unwrap();
+        let p = parse_program("hasFather(X,Y), hasFather(X,Z), not sameAs(Y,Z) -> abnormal(X).")
+            .unwrap();
         let i = Interpretation::from_atoms(vec![
             atom("hasFather", vec![cst("a"), cst("b")]),
             atom("hasFather", vec![cst("a"), cst("c")]),
@@ -171,6 +185,27 @@ mod tests {
             assert!(negs[0].is_ground());
             assert_eq!(negs[0].predicate().as_str(), "sameAs");
         }
+    }
+
+    #[test]
+    fn delta_triggers_cover_exactly_the_new_homomorphisms() {
+        let p = parse_program("e(X,Y), e(Y,Z) -> path(X,Z).").unwrap();
+        let mut i = Interpretation::from_atoms(vec![
+            atom("e", vec![cst("a"), cst("b")]),
+            atom("e", vec![cst("b"), cst("c")]),
+        ]);
+        let before = all_triggers(&p, &i);
+        assert_eq!(before.len(), 1);
+        let watermark = i.len();
+        i.insert(atom("e", vec![cst("c"), cst("d")]));
+        let delta = triggers_from(&p, &i, watermark);
+        // Only the homomorphism through the new edge b->c->d.
+        assert_eq!(delta.len(), 1);
+        assert_eq!(delta[0].homomorphism.apply_term(&var("X")), cst("b"));
+        // Old + delta = full rematch.
+        assert_eq!(all_triggers(&p, &i).len(), before.len() + delta.len());
+        // A watermark at the current size yields nothing.
+        assert!(triggers_from(&p, &i, i.len()).is_empty());
     }
 
     #[test]

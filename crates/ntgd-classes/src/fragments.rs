@@ -118,8 +118,7 @@ pub fn is_weakly_guarded(program: &Program) -> bool {
 pub fn is_weakly_frontier_guarded_rule(rule: &Ntgd, affected: &AffectedPositions) -> bool {
     let harmful = affected.harmful_variables(rule);
     let frontier = rule.frontier_variables();
-    let harmful_frontier: BTreeSet<Symbol> =
-        harmful.intersection(&frontier).copied().collect();
+    let harmful_frontier: BTreeSet<Symbol> = harmful.intersection(&frontier).copied().collect();
     some_atom_covers(rule, &harmful_frontier)
 }
 
@@ -208,8 +207,8 @@ mod tests {
 
     #[test]
     fn guarded_programs_are_frontier_guarded_and_weakly_guarded() {
-        let p = parse_program("person(X) -> hasFather(X, Y). hasFather(X, Y) -> person(Y).")
-            .unwrap();
+        let p =
+            parse_program("person(X) -> hasFather(X, Y). hasFather(X, Y) -> person(Y).").unwrap();
         assert!(is_guarded(&p));
         assert!(is_frontier_guarded(&p));
         assert!(is_weakly_guarded(&p));
@@ -231,10 +230,8 @@ mod tests {
     fn weak_guardedness_still_requires_covering_harmful_joins() {
         // The swap rule makes both q-positions affected, so in the join rule
         // X, Y and Z are all harmful and no single atom covers them.
-        let p = parse_program(
-            "p(X) -> q(X, Y). q(X, Y) -> q(Y, X). q(X, Y), q(Y, Z) -> t(X, Z).",
-        )
-        .unwrap();
+        let p = parse_program("p(X) -> q(X, Y). q(X, Y) -> q(Y, X). q(X, Y), q(Y, Z) -> t(X, Z).")
+            .unwrap();
         assert!(!is_weakly_guarded(&p));
         // Adding a wide guard atom restores weak guardedness.
         let p = parse_program(

@@ -164,9 +164,7 @@ impl JointAcyclicityAnalysis {
     }
 
     /// The edges of the existential dependency graph.
-    pub fn edges(
-        &self,
-    ) -> impl Iterator<Item = &(ExistentialVariable, ExistentialVariable)> + '_ {
+    pub fn edges(&self) -> impl Iterator<Item = &(ExistentialVariable, ExistentialVariable)> + '_ {
         self.edges.iter()
     }
 
@@ -174,11 +172,8 @@ impl JointAcyclicityAnalysis {
     pub fn is_acyclic(&self) -> bool {
         // Depth-first search for a back edge.
         let vertices: Vec<ExistentialVariable> = self.movement.keys().copied().collect();
-        let index_of: BTreeMap<ExistentialVariable, usize> = vertices
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (*v, i))
-            .collect();
+        let index_of: BTreeMap<ExistentialVariable, usize> =
+            vertices.iter().enumerate().map(|(i, v)| (*v, i)).collect();
         let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); vertices.len()];
         for (from, to) in &self.edges {
             adjacency[index_of[from]].push(index_of[to]);

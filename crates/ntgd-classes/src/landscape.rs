@@ -93,14 +93,22 @@ impl ClassReport {
     /// tests and as a sanity check in the experiments binary.
     pub fn violated_containment(&self) -> Option<&'static str> {
         let containments: [(&'static str, bool, bool); 7] = [
-            ("weakly-acyclic ⊆ jointly-acyclic", self.weakly_acyclic, self.jointly_acyclic),
+            (
+                "weakly-acyclic ⊆ jointly-acyclic",
+                self.weakly_acyclic,
+                self.jointly_acyclic,
+            ),
             (
                 "jointly-acyclic ⊆ mfa",
                 self.jointly_acyclic,
                 self.model_faithful_acyclic,
             ),
             ("linear ⊆ guarded", self.linear, self.guarded),
-            ("guarded ⊆ weakly-guarded", self.guarded, self.weakly_guarded),
+            (
+                "guarded ⊆ weakly-guarded",
+                self.guarded,
+                self.weakly_guarded,
+            ),
             (
                 "guarded ⊆ frontier-guarded",
                 self.guarded,

@@ -128,11 +128,8 @@ impl PositionGraph {
     pub fn strongly_connected_components(&self) -> BTreeMap<Position, usize> {
         // Iterative Tarjan to avoid recursion limits on large schemas.
         let vertices: Vec<Position> = self.vertices.iter().copied().collect();
-        let index_of: BTreeMap<Position, usize> = vertices
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (*p, i))
-            .collect();
+        let index_of: BTreeMap<Position, usize> =
+            vertices.iter().enumerate().map(|(i, p)| (*p, i)).collect();
         let mut adj: Vec<Vec<usize>> = vec![Vec::new(); vertices.len()];
         for (f, t, _) in &self.edges {
             if let (Some(&fi), Some(&ti)) = (index_of.get(f), index_of.get(t)) {
@@ -224,8 +221,16 @@ mod tests {
         //   special  person[1] -> hasFather[2]
         let p = parse_program("person(X) -> hasFather(X, Y).").unwrap();
         let g = PositionGraph::build(&p);
-        assert!(g.has_edge(pos_of("person", 1), pos_of("hasFather", 1), EdgeKind::Regular));
-        assert!(g.has_edge(pos_of("person", 1), pos_of("hasFather", 2), EdgeKind::Special));
+        assert!(g.has_edge(
+            pos_of("person", 1),
+            pos_of("hasFather", 1),
+            EdgeKind::Regular
+        ));
+        assert!(g.has_edge(
+            pos_of("person", 1),
+            pos_of("hasFather", 2),
+            EdgeKind::Special
+        ));
         assert_eq!(g.edge_count(), 2);
         assert_eq!(g.special_edge_count(), 1);
     }

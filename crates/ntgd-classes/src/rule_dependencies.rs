@@ -107,9 +107,7 @@ fn body_term(t: &Term) -> UnifTerm {
 /// `body_atom` (a positive body atom of the candidate dependent rule) under
 /// the null-awareness constraints described in the module documentation.
 fn head_body_unify(head_atom: &Atom, producer: &Ntgd, body_atom: &Atom) -> bool {
-    if head_atom.predicate() != body_atom.predicate()
-        || head_atom.arity() != body_atom.arity()
-    {
+    if head_atom.predicate() != body_atom.predicate() || head_atom.arity() != body_atom.arity() {
         return false;
     }
     let existential = producer.existential_variables();
@@ -185,9 +183,7 @@ impl RuleDependencyGraph {
         for (_, to) in &self.edges {
             indegree[*to] += 1;
         }
-        let mut queue: Vec<usize> = (0..self.rule_count)
-            .filter(|v| indegree[*v] == 0)
-            .collect();
+        let mut queue: Vec<usize> = (0..self.rule_count).filter(|v| indegree[*v] == 0).collect();
         let mut removed = 0usize;
         while let Some(v) = queue.pop() {
             removed += 1;
@@ -309,8 +305,7 @@ mod tests {
 
     #[test]
     fn reachability_follows_dependency_chains() {
-        let p =
-            parse_program("a(X) -> b(X). b(X) -> c(X). c(X) -> d(X). e(X) -> f(X).").unwrap();
+        let p = parse_program("a(X) -> b(X). b(X) -> c(X). c(X) -> d(X). e(X) -> f(X).").unwrap();
         let g = RuleDependencyGraph::build(&p);
         assert_eq!(g.reachable_from(0), BTreeSet::from([0, 1, 2]));
         assert_eq!(g.reachable_from(3), BTreeSet::from([3]));

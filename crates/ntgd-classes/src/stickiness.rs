@@ -67,10 +67,7 @@ pub fn marked_variables(program: &Program) -> BTreeSet<MarkedVariable> {
     // Base step.
     for (idx, rule) in rules.iter().enumerate() {
         for v in rule.universal_variables() {
-            let in_every_head_atom = rule
-                .head()
-                .iter()
-                .all(|a| a.args().contains(&Term::Var(v)));
+            let in_every_head_atom = rule.head().iter().all(|a| a.args().contains(&Term::Var(v)));
             if !in_every_head_atom {
                 marked.insert(MarkedVariable {
                     rule_index: idx,

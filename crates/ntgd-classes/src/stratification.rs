@@ -127,9 +127,9 @@ impl DependencyGraph {
     /// Returns `true` if no cycle of the graph contains a negative edge.
     pub fn is_stratified(&self) -> bool {
         let components = self.components();
-        self.edges.iter().all(|(f, t, kind)| {
-            *kind == DependencyKind::Positive || components[f] != components[t]
-        })
+        self.edges
+            .iter()
+            .all(|(f, t, kind)| *kind == DependencyKind::Positive || components[f] != components[t])
     }
 
     /// A stratification: a map from predicates to stratum numbers such that
@@ -220,7 +220,11 @@ mod tests {
         let g = DependencyGraph::build(&p);
         let edges: Vec<_> = g.edges().collect();
         assert_eq!(edges.len(), 2);
-        assert!(edges.iter().any(|(f, _, k)| f.as_str() == "q" && *k == DependencyKind::Negative));
-        assert!(edges.iter().any(|(f, _, k)| f.as_str() == "p" && *k == DependencyKind::Positive));
+        assert!(edges
+            .iter()
+            .any(|(f, _, k)| f.as_str() == "q" && *k == DependencyKind::Negative));
+        assert!(edges
+            .iter()
+            .any(|(f, _, k)| f.as_str() == "p" && *k == DependencyKind::Positive));
     }
 }

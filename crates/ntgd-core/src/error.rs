@@ -99,7 +99,9 @@ mod tests {
             found: 3,
         };
         assert!(e.to_string().contains("arity 3"));
-        let e = CoreError::NonGroundFact { atom: "p(X)".into() };
+        let e = CoreError::NonGroundFact {
+            atom: "p(X)".into(),
+        };
         assert!(e.to_string().contains("p(X)"));
         let e = CoreError::Invalid("boom".into());
         assert_eq!(e.to_string(), "boom");

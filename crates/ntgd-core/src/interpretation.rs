@@ -10,19 +10,74 @@
 //! The domain is by default the set of terms occurring in `I⁺`; additional
 //! domain elements can be registered explicitly (used by engines that fix a
 //! candidate domain before choosing which atoms are true).
+//!
+//! # Storage layout
+//!
+//! Atoms live in an append-only **arena** addressed by dense [`AtomId`]s, in
+//! insertion order.  On top of the arena the interpretation maintains, fully
+//! incrementally on [`Interpretation::insert`]:
+//!
+//! * a hash table from atom hashes to ids (duplicate detection with a single
+//!   hash computation and no atom clone),
+//! * a per-predicate index (`predicate → [AtomId]`), and
+//! * a per-argument-position index (`(predicate, position, term) → [AtomId]`)
+//!   that the [`crate::matcher`] join engine probes instead of scanning all
+//!   atoms of a predicate.
+//!
+//! All id lists are in insertion order (ascending), so a suffix of the arena
+//! — "every atom inserted since watermark `w`" — can be selected by binary
+//! search.  The matcher's semi-naive *delta* entry points use this to match
+//! only against newly derived atoms.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 use crate::atom::{Atom, Literal};
 use crate::symbol::Symbol;
 use crate::term::Term;
 
+/// Dense identifier of an atom within one [`Interpretation`]'s arena.
+///
+/// Ids are assigned in insertion order starting from zero and are never
+/// reused; they are meaningful only relative to the interpretation that
+/// issued them.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct AtomId(pub u32);
+
+impl AtomId {
+    /// The id as a usize arena offset.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Hash of an atom given as `(predicate, args)` parts.  Used for both stored
+/// atoms and probe lookups so that the two always agree.
+fn parts_hash(predicate: Symbol, args: &[Term]) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    predicate.hash(&mut hasher);
+    args.hash(&mut hasher);
+    hasher.finish()
+}
+
+fn atom_hash(atom: &Atom) -> u64 {
+    parts_hash(atom.predicate(), atom.args())
+}
+
 /// A total interpretation represented by its positive part plus its domain.
 #[derive(Clone, Default, Debug)]
 pub struct Interpretation {
-    atoms: HashSet<Atom>,
-    by_predicate: HashMap<Symbol, Vec<Atom>>,
+    /// The arena: atom storage in insertion order, addressed by [`AtomId`].
+    arena: Vec<Atom>,
+    /// Atom-hash → ids with that hash (almost always a single id).
+    by_hash: HashMap<u64, Vec<AtomId>>,
+    /// Predicate → ids, ascending.
+    by_predicate: HashMap<Symbol, Vec<AtomId>>,
+    /// (predicate, argument position, ground term) → ids, ascending.
+    by_position: HashMap<(Symbol, u32, Term), Vec<AtomId>>,
     domain: BTreeSet<Term>,
     extra_domain: BTreeSet<Term>,
 }
@@ -52,6 +107,10 @@ impl Interpretation {
     /// Inserts a ground atom into the positive part.  Returns `true` if it was
     /// new.
     ///
+    /// The insert performs one hash computation and, for new atoms, one
+    /// `AtomId` push per index entry; the atom itself is moved into the arena
+    /// without cloning.
+    ///
     /// # Panics
     ///
     /// Panics if the atom contains a variable.
@@ -60,17 +119,25 @@ impl Interpretation {
             atom.is_ground(),
             "interpretations contain only ground atoms, got {atom}"
         );
-        if self.atoms.contains(&atom) {
+        let hash = atom_hash(&atom);
+        let bucket = self.by_hash.entry(hash).or_default();
+        if bucket.iter().any(|id| self.arena[id.index()] == atom) {
             return false;
         }
-        for t in atom.terms() {
+        let id = AtomId(u32::try_from(self.arena.len()).expect("arena overflow"));
+        bucket.push(id);
+        for (position, t) in atom.args().iter().enumerate() {
             self.domain.insert(*t);
+            self.by_position
+                .entry((atom.predicate(), position as u32, *t))
+                .or_default()
+                .push(id);
         }
         self.by_predicate
             .entry(atom.predicate())
             .or_default()
-            .push(atom.clone());
-        self.atoms.insert(atom);
+            .push(id);
+        self.arena.push(atom);
         true
     }
 
@@ -82,7 +149,44 @@ impl Interpretation {
 
     /// Returns `true` if the positive part contains the atom.
     pub fn contains(&self, atom: &Atom) -> bool {
-        self.atoms.contains(atom)
+        self.id_of(atom).is_some()
+    }
+
+    /// Returns the arena id of the atom, if present.
+    pub fn id_of(&self, atom: &Atom) -> Option<AtomId> {
+        self.id_of_parts(atom.predicate(), atom.args())
+    }
+
+    /// [`Interpretation::id_of`] for an atom given as `(predicate, args)`
+    /// parts, without building an [`Atom`].
+    pub fn id_of_parts(&self, predicate: Symbol, args: &[Term]) -> Option<AtomId> {
+        self.by_hash
+            .get(&parts_hash(predicate, args))?
+            .iter()
+            .copied()
+            .find(|id| {
+                let stored = &self.arena[id.index()];
+                stored.predicate() == predicate && stored.args() == args
+            })
+    }
+
+    /// [`Interpretation::contains`] for an atom given as parts.
+    pub fn contains_parts(&self, predicate: Symbol, args: &[Term]) -> bool {
+        self.id_of_parts(predicate, args).is_some()
+    }
+
+    /// [`Interpretation::satisfies_negation_of`] for an atom given as parts.
+    pub fn satisfies_negation_of_parts(&self, predicate: Symbol, args: &[Term]) -> bool {
+        args.iter().all(|t| self.in_domain(t)) && !self.contains_parts(predicate, args)
+    }
+
+    /// The atom stored under the given arena id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this interpretation.
+    pub fn atom(&self, id: AtomId) -> &Atom {
+        &self.arena[id.index()]
     }
 
     /// Returns `true` if `t` belongs to `dom(I)`.
@@ -106,33 +210,69 @@ impl Interpretation {
     }
 
     /// Number of atoms in the positive part `|I⁺|`.
+    ///
+    /// Also the *watermark* for delta matching: atoms inserted after `len()`
+    /// was observed receive ids `>= len()`.
     pub fn len(&self) -> usize {
-        self.atoms.len()
+        self.arena.len()
     }
 
     /// Returns `true` if the positive part is empty.
     pub fn is_empty(&self) -> bool {
-        self.atoms.is_empty()
+        self.arena.is_empty()
     }
 
-    /// Iterates over the positive part (unordered).
+    /// Iterates over the positive part in insertion order.
     pub fn atoms(&self) -> impl Iterator<Item = &Atom> + '_ {
-        self.atoms.iter()
+        self.arena.iter()
+    }
+
+    /// Iterates over the atoms inserted at or after the watermark (the value
+    /// of [`Interpretation::len`] at some earlier point).
+    pub fn atoms_from(&self, watermark: usize) -> impl Iterator<Item = &Atom> + '_ {
+        self.arena[watermark.min(self.arena.len())..].iter()
     }
 
     /// Returns the positive part as a sorted vector (deterministic order).
     pub fn sorted_atoms(&self) -> Vec<Atom> {
-        let mut v: Vec<Atom> = self.atoms.iter().cloned().collect();
+        let mut v: Vec<Atom> = self.arena.clone();
         v.sort();
         v
     }
 
     /// The atoms of the positive part with the given predicate.
-    pub fn atoms_with_predicate(&self, predicate: Symbol) -> &[Atom] {
+    pub fn atoms_with_predicate(&self, predicate: Symbol) -> impl Iterator<Item = &Atom> + '_ {
+        self.ids_with_predicate(predicate)
+            .iter()
+            .map(|id| &self.arena[id.index()])
+    }
+
+    /// The ids (ascending) of the atoms with the given predicate.
+    pub fn ids_with_predicate(&self, predicate: Symbol) -> &[AtomId] {
         self.by_predicate
             .get(&predicate)
             .map(Vec::as_slice)
             .unwrap_or(&[])
+    }
+
+    /// Number of atoms with the given predicate.
+    pub fn predicate_count(&self, predicate: Symbol) -> usize {
+        self.ids_with_predicate(predicate).len()
+    }
+
+    /// Index probe: the ids (ascending) of the atoms whose predicate is
+    /// `predicate` and whose argument at `position` is the ground term
+    /// `term`.  This is the core lookup of the indexed join engine.
+    pub fn probe(&self, predicate: Symbol, position: u32, term: Term) -> &[AtomId] {
+        self.by_position
+            .get(&(predicate, position, term))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Cardinality of an index probe without materialising it.
+    pub fn probe_count(&self, predicate: Symbol, position: u32, term: Term) -> usize {
+        self.probe(predicate, position, term).len()
     }
 
     /// The domain `dom(I)` (terms of `I⁺` plus explicitly registered ones).
@@ -142,9 +282,17 @@ impl Interpretation {
         d
     }
 
+    /// Iterates over `dom(I)` without materialising a set (each term once,
+    /// in `Term` order within each of the two underlying sets).
+    pub fn domain_iter(&self) -> impl Iterator<Item = &Term> + '_ {
+        self.domain
+            .iter()
+            .chain(self.extra_domain.difference(&self.domain))
+    }
+
     /// Returns `true` if `self⁺ ⊆ other⁺`.
     pub fn is_subset_of(&self, other: &Interpretation) -> bool {
-        self.atoms.iter().all(|a| other.contains(a))
+        self.arena.iter().all(|a| other.contains(a))
     }
 
     /// Returns `true` if the positive parts coincide.
@@ -155,7 +303,7 @@ impl Interpretation {
     /// Set-difference of positive parts: atoms of `self` not in `other`.
     pub fn difference(&self, other: &Interpretation) -> Vec<Atom> {
         let mut v: Vec<Atom> = self
-            .atoms
+            .arena
             .iter()
             .filter(|a| !other.contains(a))
             .cloned()
@@ -261,6 +409,8 @@ mod tests {
         assert!(!i.satisfies_negation_of(&atom("p", vec![cst("bob")])));
         i.add_domain_element(cst("bob"));
         assert!(i.satisfies_negation_of(&atom("p", vec![cst("bob")])));
+        assert!(i.domain_iter().count() == 3);
+        assert!(i.domain_iter().any(|t| *t == cst("bob")));
     }
 
     #[test]
@@ -294,5 +444,50 @@ mod tests {
     fn display_is_sorted_and_braced() {
         let i = Interpretation::from_atoms(vec![atom("b", vec![]), atom("a", vec![])]);
         assert_eq!(i.to_string(), "{a, b}");
+    }
+
+    #[test]
+    fn arena_ids_are_dense_and_in_insertion_order() {
+        let mut i = Interpretation::new();
+        let a = atom("p", vec![cst("a")]);
+        let b = atom("p", vec![cst("b")]);
+        i.insert(a.clone());
+        i.insert(b.clone());
+        assert_eq!(i.id_of(&a), Some(AtomId(0)));
+        assert_eq!(i.id_of(&b), Some(AtomId(1)));
+        assert_eq!(i.atom(AtomId(1)), &b);
+        assert_eq!(i.id_of(&atom("p", vec![cst("z")])), None);
+        let collected: Vec<&Atom> = i.atoms().collect();
+        assert_eq!(collected, vec![&a, &b]);
+    }
+
+    #[test]
+    fn position_index_probes_by_bound_argument() {
+        let i = Interpretation::from_atoms(vec![
+            atom("edge", vec![cst("a"), cst("b")]),
+            atom("edge", vec![cst("a"), cst("c")]),
+            atom("edge", vec![cst("b"), cst("c")]),
+        ]);
+        let pred = Symbol::intern("edge");
+        assert_eq!(i.probe(pred, 0, cst("a")).len(), 2);
+        assert_eq!(i.probe(pred, 1, cst("c")).len(), 2);
+        assert_eq!(i.probe(pred, 0, cst("z")).len(), 0);
+        assert_eq!(i.probe_count(pred, 1, cst("b")), 1);
+        assert_eq!(i.predicate_count(pred), 3);
+        assert_eq!(i.predicate_count(Symbol::intern("missing")), 0);
+        // Probes return ascending ids.
+        let ids = i.probe(pred, 1, cst("c"));
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn watermark_suffixes_select_newly_inserted_atoms() {
+        let mut i = Interpretation::from_atoms(vec![atom("p", vec![cst("a")])]);
+        let watermark = i.len();
+        i.insert(atom("p", vec![cst("b")]));
+        i.insert(atom("q", vec![cst("c")]));
+        let delta: Vec<String> = i.atoms_from(watermark).map(Atom::to_string).collect();
+        assert_eq!(delta, vec!["p(b)", "q(c)"]);
+        assert_eq!(i.atoms_from(100).count(), 0);
     }
 }

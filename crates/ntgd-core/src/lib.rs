@@ -34,8 +34,11 @@ pub mod term;
 pub use atom::{Atom, Literal};
 pub use database::Database;
 pub use error::{CoreError, CoreResult};
-pub use interpretation::Interpretation;
-pub use matcher::{all_homomorphisms, exists_homomorphism};
+pub use interpretation::{AtomId, Interpretation};
+pub use matcher::{
+    all_atom_homomorphisms_delta, all_homomorphisms, exists_homomorphism,
+    for_each_homomorphism_delta,
+};
 pub use program::{DisjunctiveProgram, Program};
 pub use query::Query;
 pub use rule::{Ndtgd, Ntgd};

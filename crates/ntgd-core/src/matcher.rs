@@ -8,18 +8,48 @@
 //! * `¬h(a) ∈ I` for every negative literal `¬a`, i.e. every term of `h(a)`
 //!   belongs to `dom(I)` and `h(a) ∉ I⁺`.
 //!
-//! The matcher performs a backtracking join over the positive literals using
-//! the per-predicate index of [`Interpretation`], then verifies the negative
-//! literals.  Variables that occur *only* in negative literals (unsafe
-//! conjunctions) are enumerated over `dom(I)`; safe rules and queries never
-//! hit that path.
+//! # The indexed join engine
+//!
+//! Matching is performed by a compiled backtracking join:
+//!
+//! 1. **Compilation** — each conjunction is compiled once per call: every
+//!    variable (after resolution against the initial substitution) becomes a
+//!    dense *slot* id, every ground term a *fixed* argument.
+//! 2. **Planning** — positive atoms are reordered greedily by estimated
+//!    selectivity: atoms whose fixed arguments have small
+//!    `(predicate, position, term)` index cardinalities, and atoms with many
+//!    already-bound positions, are matched first.
+//! 3. **Matching** — candidates come from the most selective index probe of
+//!    [`Interpretation`] (never from a full scan of a predicate's atoms when
+//!    a bound position is available).  Bindings go through a trail/undo log,
+//!    so backtracking costs O(bindings undone) instead of a substitution
+//!    clone per candidate.
+//! 4. **Negative literals** are verified at the leaves.  Variables that occur
+//!    *only* in negative literals (unsafe conjunctions) are enumerated over
+//!    `dom(I)`, which is materialised once per call; safe rules and queries
+//!    never hit that path.
+//!
+//! # Delta (semi-naive) matching
+//!
+//! [`for_each_homomorphism_delta`] enumerates exactly the homomorphisms that
+//! use at least one atom inserted at or after a *watermark* (an earlier value
+//! of [`Interpretation::len`]).  Fixpoint loops — the chase, the
+//! possibly-true closure of the grounder, the immediate-consequence operator
+//! — use it to match each round only against newly derived atoms instead of
+//! rematching the whole instance.
+//!
+//! The naive scan-and-clone matcher this engine replaced is retained in
+//! [`reference`] as an executable specification: property tests assert that
+//! both return identical homomorphism sets, and the matcher benchmark
+//! measures the speedup against it.
 
 use std::collections::BTreeSet;
 use std::ops::ControlFlow;
 
 use crate::atom::{Atom, Literal};
-use crate::interpretation::Interpretation;
+use crate::interpretation::{AtomId, Interpretation};
 use crate::substitution::Substitution;
+use crate::symbol::Symbol;
 use crate::term::Term;
 
 /// Enumerates every homomorphism from `literals` into `target` extending
@@ -35,12 +65,35 @@ pub fn for_each_homomorphism<F>(
 where
     F: FnMut(&Substitution) -> ControlFlow<()>,
 {
-    let (positives, negatives): (Vec<&Literal>, Vec<&Literal>) =
-        literals.iter().partition(|l| l.is_positive());
-    let pos_atoms: Vec<&Atom> = positives.iter().map(|l| l.atom()).collect();
-    let neg_atoms: Vec<&Atom> = negatives.iter().map(|l| l.atom()).collect();
-    let mut subst = initial.clone();
-    match_positives(&pos_atoms, 0, target, &mut subst, &neg_atoms, visit).is_break()
+    let (positives, negatives) = split_literals(literals);
+    Engine::new(&positives, &negatives, target, initial)
+        .run_full(visit)
+        .is_break()
+}
+
+/// Enumerates every homomorphism from `literals` into `target` extending
+/// `initial` that maps **at least one positive literal to an atom inserted at
+/// or after `watermark`** (semi-naive delta matching).
+///
+/// With `watermark == 0` this is exactly [`for_each_homomorphism`].  With a
+/// positive watermark a conjunction without positive literals has no delta
+/// homomorphisms (it consumes no instance atoms).
+///
+/// Returns `true` if the enumeration was stopped early by the visitor.
+pub fn for_each_homomorphism_delta<F>(
+    literals: &[Literal],
+    target: &Interpretation,
+    initial: &Substitution,
+    watermark: usize,
+    visit: &mut F,
+) -> bool
+where
+    F: FnMut(&Substitution) -> ControlFlow<()>,
+{
+    let (positives, negatives) = split_literals(literals);
+    Engine::new(&positives, &negatives, target, initial)
+        .run_delta(watermark, visit)
+        .is_break()
 }
 
 /// All homomorphisms from `literals` into `target` extending `initial`.
@@ -67,6 +120,43 @@ pub fn exists_homomorphism(
     for_each_homomorphism(literals, target, initial, &mut |_| ControlFlow::Break(()))
 }
 
+/// Enumerates the homomorphisms from a conjunction of *atoms* (all positive)
+/// into the positive part of `target`, extending `initial`.
+///
+/// Returns `true` if the enumeration was stopped early by the visitor.
+pub fn for_each_atom_homomorphism<F>(
+    atoms: &[Atom],
+    target: &Interpretation,
+    initial: &Substitution,
+    visit: &mut F,
+) -> bool
+where
+    F: FnMut(&Substitution) -> ControlFlow<()>,
+{
+    let positives: Vec<&Atom> = atoms.iter().collect();
+    Engine::new(&positives, &[], target, initial)
+        .run_full(visit)
+        .is_break()
+}
+
+/// [`for_each_atom_homomorphism`] restricted to homomorphisms that use at
+/// least one atom inserted at or after `watermark`.
+pub fn for_each_atom_homomorphism_delta<F>(
+    atoms: &[Atom],
+    target: &Interpretation,
+    initial: &Substitution,
+    watermark: usize,
+    visit: &mut F,
+) -> bool
+where
+    F: FnMut(&Substitution) -> ControlFlow<()>,
+{
+    let positives: Vec<&Atom> = atoms.iter().collect();
+    Engine::new(&positives, &[], target, initial)
+        .run_delta(watermark, visit)
+        .is_break()
+}
+
 /// All homomorphisms from a conjunction of *atoms* (all positive) into the
 /// positive part of `target`, extending `initial`.  Used for checking head
 /// satisfaction and for chase trigger matching.
@@ -75,8 +165,28 @@ pub fn all_atom_homomorphisms(
     target: &Interpretation,
     initial: &Substitution,
 ) -> Vec<Substitution> {
-    let literals: Vec<Literal> = atoms.iter().cloned().map(Literal::positive).collect();
-    all_homomorphisms(&literals, target, initial)
+    let mut out = Vec::new();
+    for_each_atom_homomorphism(atoms, target, initial, &mut |s| {
+        out.push(s.clone());
+        ControlFlow::Continue(())
+    });
+    out
+}
+
+/// All delta homomorphisms (at least one positive atom maps into the
+/// watermark suffix) from a conjunction of atoms.
+pub fn all_atom_homomorphisms_delta(
+    atoms: &[Atom],
+    target: &Interpretation,
+    initial: &Substitution,
+    watermark: usize,
+) -> Vec<Substitution> {
+    let mut out = Vec::new();
+    for_each_atom_homomorphism_delta(atoms, target, initial, watermark, &mut |s| {
+        out.push(s.clone());
+        ControlFlow::Continue(())
+    });
+    out
 }
 
 /// Returns `true` if the conjunction of atoms maps into `target⁺` by some
@@ -86,134 +196,651 @@ pub fn exists_atom_homomorphism(
     target: &Interpretation,
     initial: &Substitution,
 ) -> bool {
-    let literals: Vec<Literal> = atoms.iter().cloned().map(Literal::positive).collect();
-    exists_homomorphism(&literals, target, initial)
+    let positives: Vec<&Atom> = atoms.iter().collect();
+    Engine::new(&positives, &[], target, initial)
+        .run_full(&mut |_| ControlFlow::Break(()))
+        .is_break()
 }
 
-fn match_positives<F>(
-    atoms: &[&Atom],
-    idx: usize,
-    target: &Interpretation,
-    subst: &mut Substitution,
-    negatives: &[&Atom],
-    visit: &mut F,
-) -> ControlFlow<()>
-where
-    F: FnMut(&Substitution) -> ControlFlow<()>,
-{
-    if idx == atoms.len() {
-        return check_negatives(negatives, 0, target, subst, visit);
-    }
-    let pattern = atoms[idx];
-    let candidates = target.atoms_with_predicate(pattern.predicate());
-    for candidate in candidates {
-        if candidate.arity() != pattern.arity() {
-            continue;
+fn split_literals(literals: &[Literal]) -> (Vec<&Atom>, Vec<&Atom>) {
+    let mut positives = Vec::new();
+    let mut negatives = Vec::new();
+    for literal in literals {
+        if literal.is_positive() {
+            positives.push(literal.atom());
+        } else {
+            negatives.push(literal.atom());
         }
-        let saved = subst.clone();
-        let mut ok = true;
-        for (pat, val) in pattern.args().iter().zip(candidate.args()) {
-            let current = subst.apply_term(pat);
-            let bindable = match current {
-                Term::Var(_) => subst.try_bind(current, *val),
-                ground => ground == *val,
+    }
+    (positives, negatives)
+}
+
+/// One compiled argument position: either a fixed term or a slot reference.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ArgSpec {
+    /// A term that is fixed for the whole call: a constant, a null, or the
+    /// (already resolved) image of a variable under the initial substitution.
+    Fixed(Term),
+    /// A variable, resolved to a dense slot id shared across the conjunction.
+    Slot(usize),
+}
+
+/// A compiled atom pattern.
+#[derive(Clone, Debug)]
+struct Pattern {
+    predicate: Symbol,
+    args: Vec<ArgSpec>,
+}
+
+/// Which part of the arena a positive pattern may match (delta matching).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum DeltaClass {
+    /// The whole arena.
+    All,
+    /// Only atoms with id `< watermark`.
+    Old,
+    /// Only atoms with id `>= watermark`.
+    Delta,
+}
+
+/// The compiled conjunction plus all per-call matching state.
+struct Engine<'a> {
+    target: &'a Interpretation,
+    initial: &'a Substitution,
+    positives: Vec<Pattern>,
+    negatives: Vec<Pattern>,
+    /// Join order: `order[step]` is an index into `positives`.
+    order: Vec<usize>,
+    /// Delta restriction per positive pattern (parallel to `positives`).
+    classes: Vec<DeltaClass>,
+    watermark: usize,
+    /// Slot id → key term (the resolved variable the slot stands for).
+    slot_keys: Vec<Term>,
+    /// Slot id → current binding.
+    slots: Vec<Option<Term>>,
+    /// Slot id → `true` if the binding comes from the initial substitution
+    /// (never undone, not re-emitted into the result substitutions).
+    preset: Vec<bool>,
+    /// Undo log of slot ids bound since the enclosing choice point.
+    trail: Vec<usize>,
+    /// `dom(I)` materialised once per call, used only for unsafe variables.
+    domain: Vec<Term>,
+    /// Scratch buffer for grounding negative literals.
+    scratch: Vec<Term>,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        positives: &[&Atom],
+        negatives: &[&Atom],
+        target: &'a Interpretation,
+        initial: &'a Substitution,
+    ) -> Engine<'a> {
+        let mut slot_keys: Vec<Term> = Vec::new();
+        let mut slots: Vec<Option<Term>> = Vec::new();
+        let mut preset: Vec<bool> = Vec::new();
+        let mut compile = |atom: &Atom| -> Pattern {
+            let args = atom
+                .args()
+                .iter()
+                .map(|t| {
+                    // Resolve against the initial substitution once.  Ground
+                    // results (and nulls, which the matcher never binds) are
+                    // fixed; variables become slots.
+                    let resolved = initial.apply_term(t);
+                    if !resolved.is_variable() {
+                        return ArgSpec::Fixed(resolved);
+                    }
+                    let slot = match slot_keys.iter().position(|k| *k == resolved) {
+                        Some(slot) => slot,
+                        None => {
+                            slot_keys.push(resolved);
+                            let value = initial.apply_term(&resolved);
+                            preset.push(value != resolved);
+                            slots.push(if value != resolved { Some(value) } else { None });
+                            slot_keys.len() - 1
+                        }
+                    };
+                    ArgSpec::Slot(slot)
+                })
+                .collect();
+            Pattern {
+                predicate: atom.predicate(),
+                args,
+            }
+        };
+        let positives: Vec<Pattern> = positives.iter().map(|a| compile(a)).collect();
+        let negatives: Vec<Pattern> = negatives.iter().map(|a| compile(a)).collect();
+
+        // Unsafe variables (slots occurring only in negative literals) need
+        // dom(I); materialise it once, not per negative-literal candidate.
+        let positive_slots: BTreeSet<usize> = positives
+            .iter()
+            .flat_map(|p| p.args.iter())
+            .filter_map(|a| match a {
+                ArgSpec::Slot(s) => Some(*s),
+                ArgSpec::Fixed(_) => None,
+            })
+            .collect();
+        let needs_domain = negatives
+            .iter()
+            .flat_map(|p| p.args.iter())
+            .any(|a| match a {
+                ArgSpec::Slot(s) => !positive_slots.contains(s) && !preset[*s],
+                ArgSpec::Fixed(_) => false,
+            });
+        let domain: Vec<Term> = if needs_domain {
+            target.domain_iter().copied().collect()
+        } else {
+            Vec::new()
+        };
+
+        let classes = vec![DeltaClass::All; positives.len()];
+        let order = plan(&positives, &preset, target);
+        Engine {
+            target,
+            initial,
+            positives,
+            negatives,
+            order,
+            classes,
+            watermark: 0,
+            slot_keys,
+            slots,
+            preset,
+            trail: Vec::new(),
+            domain,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Runs the unrestricted enumeration.
+    fn run_full<F>(&mut self, visit: &mut F) -> ControlFlow<()>
+    where
+        F: FnMut(&Substitution) -> ControlFlow<()>,
+    {
+        self.match_positives(0, visit)
+    }
+
+    /// Runs the delta-restricted enumeration: each homomorphism must map at
+    /// least one positive atom into the watermark suffix of the arena.
+    ///
+    /// Homomorphisms are partitioned by the *first* positive literal (in
+    /// order of appearance) mapped to a delta atom: for pivot `k`, literals
+    /// before `k` are restricted to old atoms, literal `k` to delta atoms,
+    /// and later literals are unrestricted.  Each delta homomorphism is
+    /// therefore enumerated exactly once.
+    ///
+    /// To keep each pivot's cost proportional to the delta, the join is
+    /// re-planned per pivot with the delta-restricted literal first: its
+    /// candidate list is the (typically tiny) watermark suffix, and the
+    /// bindings it makes turn the remaining literals into index probes.
+    /// Pivots whose predicate gained no atoms since the watermark are
+    /// skipped outright.
+    fn run_delta<F>(&mut self, watermark: usize, visit: &mut F) -> ControlFlow<()>
+    where
+        F: FnMut(&Substitution) -> ControlFlow<()>,
+    {
+        if watermark == 0 {
+            return self.run_full(visit);
+        }
+        if watermark >= self.target.len() {
+            return ControlFlow::Continue(());
+        }
+        self.watermark = watermark;
+        for pivot in 0..self.positives.len() {
+            let pivot_predicate = self.positives[pivot].predicate;
+            let delta_ids = self.restrict(
+                self.target.ids_with_predicate(pivot_predicate),
+                DeltaClass::Delta,
+            );
+            if delta_ids.is_empty() {
+                continue;
+            }
+            for i in 0..self.positives.len() {
+                self.classes[i] = match i.cmp(&pivot) {
+                    std::cmp::Ordering::Less => DeltaClass::Old,
+                    std::cmp::Ordering::Equal => DeltaClass::Delta,
+                    std::cmp::Ordering::Greater => DeltaClass::All,
+                };
+            }
+            self.order = plan_first(&self.positives, &self.preset, self.target, pivot);
+            self.match_positives(0, visit)?;
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// The candidate id list for one positive pattern under the current
+    /// bindings: the smallest index probe over its bound positions, or the
+    /// predicate's id list when no position is bound.  Returns `None` when
+    /// the pattern cannot match at all (a fixed argument is non-ground).
+    fn candidates(&self, pattern: &Pattern) -> Option<&'a [AtomId]> {
+        let mut best: Option<&[AtomId]> = None;
+        for (position, spec) in pattern.args.iter().enumerate() {
+            let bound = match spec {
+                ArgSpec::Fixed(t) => Some(*t),
+                ArgSpec::Slot(s) => self.slots[*s],
             };
-            if !bindable {
-                ok = false;
-                break;
+            let Some(term) = bound else { continue };
+            if !term.is_ground() {
+                // A variable chained to another variable by the initial
+                // substitution: no ground atom can ever match it.
+                return None;
+            }
+            let probed = self.target.probe(pattern.predicate, position as u32, term);
+            if best.is_none_or(|b| probed.len() < b.len()) {
+                best = Some(probed);
             }
         }
-        if ok {
-            if match_positives(atoms, idx + 1, target, subst, negatives, visit).is_break() {
+        Some(best.unwrap_or_else(|| self.target.ids_with_predicate(pattern.predicate)))
+    }
+
+    /// Restricts an ascending id list to the pattern's delta class.
+    fn restrict<'b>(&self, ids: &'b [AtomId], class: DeltaClass) -> &'b [AtomId] {
+        match class {
+            DeltaClass::All => ids,
+            DeltaClass::Old => {
+                let cut = ids.partition_point(|id| id.index() < self.watermark);
+                &ids[..cut]
+            }
+            DeltaClass::Delta => {
+                let cut = ids.partition_point(|id| id.index() < self.watermark);
+                &ids[cut..]
+            }
+        }
+    }
+
+    fn match_positives<F>(&mut self, step: usize, visit: &mut F) -> ControlFlow<()>
+    where
+        F: FnMut(&Substitution) -> ControlFlow<()>,
+    {
+        if step == self.order.len() {
+            return self.check_negatives(0, visit);
+        }
+        let pattern_index = self.order[step];
+        let Some(ids) = self.candidates(&self.positives[pattern_index]) else {
+            return ControlFlow::Continue(());
+        };
+        let ids = self.restrict(ids, self.classes[pattern_index]);
+        let arity = self.positives[pattern_index].args.len();
+        for &id in ids {
+            let candidate = self.target.atom(id);
+            if candidate.arity() != arity {
+                continue;
+            }
+            let mark = self.trail.len();
+            let mut ok = true;
+            for (position, value) in candidate.args().iter().enumerate() {
+                // `candidate` borrows from the arena, never from `self`'s
+                // mutable state, so reading args while binding slots is fine.
+                let matched = match self.positives[pattern_index].args[position] {
+                    ArgSpec::Fixed(t) => t == *value,
+                    ArgSpec::Slot(s) => match self.slots[s] {
+                        Some(existing) => existing == *value,
+                        None => {
+                            self.slots[s] = Some(*value);
+                            self.trail.push(s);
+                            true
+                        }
+                    },
+                };
+                if !matched {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                self.match_positives(step + 1, visit)?;
+            }
+            self.undo_to(mark);
+        }
+        ControlFlow::Continue(())
+    }
+
+    fn undo_to(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let slot = self.trail.pop().expect("trail underflow");
+            self.slots[slot] = None;
+        }
+    }
+
+    /// Grounds the negative pattern at `index` into the scratch buffer;
+    /// returns the list of still-unbound slots (distinct, in argument order).
+    fn ground_negative(&mut self, index: usize) -> Vec<usize> {
+        let pattern = &self.negatives[index];
+        self.scratch.clear();
+        let mut unbound = Vec::new();
+        for spec in &pattern.args {
+            match spec {
+                ArgSpec::Fixed(t) => self.scratch.push(*t),
+                ArgSpec::Slot(s) => match self.slots[*s] {
+                    Some(v) => self.scratch.push(v),
+                    None => {
+                        if !unbound.contains(s) {
+                            unbound.push(*s);
+                        }
+                        self.scratch.push(self.slot_keys[*s]);
+                    }
+                },
+            }
+        }
+        unbound
+    }
+
+    fn check_negatives<F>(&mut self, index: usize, visit: &mut F) -> ControlFlow<()>
+    where
+        F: FnMut(&Substitution) -> ControlFlow<()>,
+    {
+        if index == self.negatives.len() {
+            return visit(&self.result_substitution());
+        }
+        let unbound = self.ground_negative(index);
+        if unbound.is_empty() {
+            let predicate = self.negatives[index].predicate;
+            if self
+                .target
+                .satisfies_negation_of_parts(predicate, &self.scratch)
+            {
+                return self.check_negatives(index + 1, visit);
+            }
+            return ControlFlow::Continue(());
+        }
+        // Unsafe conjunction: enumerate the unbound slots over dom(I).
+        self.enumerate_unbound(&unbound, 0, index, visit)
+    }
+
+    fn enumerate_unbound<F>(
+        &mut self,
+        vars: &[usize],
+        vidx: usize,
+        index: usize,
+        visit: &mut F,
+    ) -> ControlFlow<()>
+    where
+        F: FnMut(&Substitution) -> ControlFlow<()>,
+    {
+        if vidx == vars.len() {
+            self.ground_negative(index);
+            let predicate = self.negatives[index].predicate;
+            if self
+                .target
+                .satisfies_negation_of_parts(predicate, &self.scratch)
+            {
+                return self.check_negatives(index + 1, visit);
+            }
+            return ControlFlow::Continue(());
+        }
+        for value_index in 0..self.domain.len() {
+            let value = self.domain[value_index];
+            let slot = vars[vidx];
+            self.slots[slot] = Some(value);
+            self.trail.push(slot);
+            let mark = self.trail.len() - 1;
+            self.enumerate_unbound(vars, vidx + 1, index, visit)?;
+            self.undo_to(mark);
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// The substitution handed to the visitor: the initial substitution
+    /// extended with every non-preset slot binding.
+    fn result_substitution(&self) -> Substitution {
+        let mut out = self.initial.clone();
+        for (slot, value) in self.slots.iter().enumerate() {
+            if self.preset[slot] {
+                continue;
+            }
+            if let Some(value) = value {
+                out.bind(self.slot_keys[slot], *value);
+            }
+        }
+        out
+    }
+}
+
+/// Greedy join planner: repeatedly picks the remaining positive pattern with
+/// the smallest estimated candidate count, preferring patterns whose
+/// positions are already bound (fixed terms or slots bound by earlier
+/// patterns).  The estimate combines index probe cardinalities for fixed
+/// ground arguments with the predicate cardinality discounted by the number
+/// of bound positions.
+fn plan(positives: &[Pattern], preset: &[bool], target: &Interpretation) -> Vec<usize> {
+    plan_impl(positives, preset, target, None)
+}
+
+/// [`plan`] with `first` forced to the front of the join order.  Used by
+/// delta matching: the pivot literal's candidate list is the watermark
+/// suffix, so matching it first keeps the whole pivot enumeration
+/// proportional to the delta instead of the full instance.
+fn plan_first(
+    positives: &[Pattern],
+    preset: &[bool],
+    target: &Interpretation,
+    first: usize,
+) -> Vec<usize> {
+    plan_impl(positives, preset, target, Some(first))
+}
+
+fn plan_impl(
+    positives: &[Pattern],
+    preset: &[bool],
+    target: &Interpretation,
+    first: Option<usize>,
+) -> Vec<usize> {
+    let mut bound: BTreeSet<usize> = BTreeSet::new();
+    for (slot, &is_preset) in preset.iter().enumerate() {
+        if is_preset {
+            bound.insert(slot);
+        }
+    }
+    let mut remaining: Vec<usize> = (0..positives.len())
+        .filter(|index| Some(*index) != first)
+        .collect();
+    let mut order = Vec::with_capacity(positives.len());
+    if let Some(first) = first {
+        for spec in &positives[first].args {
+            if let ArgSpec::Slot(s) = spec {
+                bound.insert(*s);
+            }
+        }
+        order.push(first);
+    }
+    while !remaining.is_empty() {
+        let mut best_at = 0;
+        let mut best_score = usize::MAX;
+        for (at, &index) in remaining.iter().enumerate() {
+            let pattern = &positives[index];
+            let mut estimate = target.predicate_count(pattern.predicate);
+            let mut bound_positions = 0usize;
+            for (position, spec) in pattern.args.iter().enumerate() {
+                match spec {
+                    ArgSpec::Fixed(t) => {
+                        bound_positions += 1;
+                        if t.is_ground() {
+                            let count = target.probe_count(pattern.predicate, position as u32, *t);
+                            estimate = estimate.min(count);
+                        } else {
+                            estimate = 0;
+                        }
+                    }
+                    ArgSpec::Slot(s) => {
+                        if bound.contains(s) {
+                            bound_positions += 1;
+                        }
+                    }
+                }
+            }
+            let score = estimate / (1 + bound_positions);
+            if score < best_score {
+                best_score = score;
+                best_at = at;
+            }
+        }
+        let chosen = remaining.remove(best_at);
+        for spec in &positives[chosen].args {
+            if let ArgSpec::Slot(s) = spec {
+                bound.insert(*s);
+            }
+        }
+        order.push(chosen);
+    }
+    order
+}
+
+pub mod reference {
+    //! The naive scan-and-clone matcher, retained as an executable
+    //! specification of the homomorphism semantics.
+    //!
+    //! This is the implementation the indexed join engine replaced: it scans
+    //! every atom of a literal's predicate and clones the substitution at
+    //! every choice point.  It is kept for the equivalence property tests
+    //! (`tests/property_based.rs`) and as the baseline of the matcher
+    //! benchmark; production code must never call it.
+
+    use super::*;
+
+    /// Naive counterpart of [`super::for_each_homomorphism`].
+    pub fn for_each_homomorphism<F>(
+        literals: &[Literal],
+        target: &Interpretation,
+        initial: &Substitution,
+        visit: &mut F,
+    ) -> bool
+    where
+        F: FnMut(&Substitution) -> ControlFlow<()>,
+    {
+        let (positives, negatives) = split_literals(literals);
+        let mut subst = initial.clone();
+        match_positives(&positives, 0, target, &mut subst, &negatives, visit).is_break()
+    }
+
+    /// Naive counterpart of [`super::all_homomorphisms`].
+    pub fn all_homomorphisms(
+        literals: &[Literal],
+        target: &Interpretation,
+        initial: &Substitution,
+    ) -> Vec<Substitution> {
+        let mut out = Vec::new();
+        for_each_homomorphism(literals, target, initial, &mut |s| {
+            out.push(s.clone());
+            ControlFlow::Continue(())
+        });
+        out
+    }
+
+    fn match_positives<F>(
+        atoms: &[&Atom],
+        idx: usize,
+        target: &Interpretation,
+        subst: &mut Substitution,
+        negatives: &[&Atom],
+        visit: &mut F,
+    ) -> ControlFlow<()>
+    where
+        F: FnMut(&Substitution) -> ControlFlow<()>,
+    {
+        if idx == atoms.len() {
+            return check_negatives(negatives, 0, target, subst, visit);
+        }
+        let pattern = atoms[idx];
+        for candidate in target.atoms_with_predicate(pattern.predicate()) {
+            if candidate.arity() != pattern.arity() {
+                continue;
+            }
+            let saved = subst.clone();
+            let mut ok = true;
+            for (pat, val) in pattern.args().iter().zip(candidate.args()) {
+                let current = subst.apply_term(pat);
+                let bindable = match current {
+                    Term::Var(_) => subst.try_bind(current, *val),
+                    ground => ground == *val,
+                };
+                if !bindable {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok && match_positives(atoms, idx + 1, target, subst, negatives, visit).is_break() {
                 return ControlFlow::Break(());
             }
+            *subst = saved;
         }
-        *subst = saved;
+        ControlFlow::Continue(())
     }
-    ControlFlow::Continue(())
-}
 
-fn check_negatives<F>(
-    negatives: &[&Atom],
-    idx: usize,
-    target: &Interpretation,
-    subst: &mut Substitution,
-    visit: &mut F,
-) -> ControlFlow<()>
-where
-    F: FnMut(&Substitution) -> ControlFlow<()>,
-{
-    if idx == negatives.len() {
-        return visit(subst);
-    }
-    let grounded = subst.apply_atom(negatives[idx]);
-    let unbound: BTreeSet<Term> = grounded
-        .args()
-        .iter()
-        .filter(|t| t.is_variable())
-        .copied()
-        .collect();
-    if unbound.is_empty() {
-        if target.satisfies_negation_of(&grounded) {
-            return check_negatives(negatives, idx + 1, target, subst, visit);
+    fn check_negatives<F>(
+        negatives: &[&Atom],
+        idx: usize,
+        target: &Interpretation,
+        subst: &mut Substitution,
+        visit: &mut F,
+    ) -> ControlFlow<()>
+    where
+        F: FnMut(&Substitution) -> ControlFlow<()>,
+    {
+        if idx == negatives.len() {
+            return visit(subst);
         }
-        return ControlFlow::Continue(());
-    }
-    // Unsafe conjunction: enumerate the unbound variables over dom(I).
-    let domain: Vec<Term> = target.domain().into_iter().collect();
-    enumerate_unbound(
-        &unbound.into_iter().collect::<Vec<_>>(),
-        0,
-        &domain,
-        negatives,
-        idx,
-        target,
-        subst,
-        visit,
-    )
-}
-
-#[allow(clippy::too_many_arguments)]
-fn enumerate_unbound<F>(
-    vars: &[Term],
-    vidx: usize,
-    domain: &[Term],
-    negatives: &[&Atom],
-    idx: usize,
-    target: &Interpretation,
-    subst: &mut Substitution,
-    visit: &mut F,
-) -> ControlFlow<()>
-where
-    F: FnMut(&Substitution) -> ControlFlow<()>,
-{
-    if vidx == vars.len() {
         let grounded = subst.apply_atom(negatives[idx]);
-        if target.satisfies_negation_of(&grounded) {
-            return check_negatives(negatives, idx + 1, target, subst, visit);
+        let unbound: BTreeSet<Term> = grounded
+            .args()
+            .iter()
+            .filter(|t| t.is_variable())
+            .copied()
+            .collect();
+        if unbound.is_empty() {
+            if target.satisfies_negation_of(&grounded) {
+                return check_negatives(negatives, idx + 1, target, subst, visit);
+            }
+            return ControlFlow::Continue(());
         }
-        return ControlFlow::Continue(());
+        // Unsafe conjunction: enumerate the unbound variables over dom(I).
+        let domain: Vec<Term> = target.domain().into_iter().collect();
+        enumerate_unbound(
+            &unbound.into_iter().collect::<Vec<_>>(),
+            0,
+            &domain,
+            negatives,
+            idx,
+            target,
+            subst,
+            visit,
+        )
     }
-    for value in domain {
-        let saved = subst.clone();
-        if subst.try_bind(vars[vidx], *value)
-            && enumerate_unbound(
-                vars,
-                vidx + 1,
-                domain,
-                negatives,
-                idx,
-                target,
-                subst,
-                visit,
-            )
-            .is_break()
-        {
-            return ControlFlow::Break(());
+
+    #[allow(clippy::too_many_arguments)]
+    fn enumerate_unbound<F>(
+        vars: &[Term],
+        vidx: usize,
+        domain: &[Term],
+        negatives: &[&Atom],
+        idx: usize,
+        target: &Interpretation,
+        subst: &mut Substitution,
+        visit: &mut F,
+    ) -> ControlFlow<()>
+    where
+        F: FnMut(&Substitution) -> ControlFlow<()>,
+    {
+        if vidx == vars.len() {
+            let grounded = subst.apply_atom(negatives[idx]);
+            if target.satisfies_negation_of(&grounded) {
+                return check_negatives(negatives, idx + 1, target, subst, visit);
+            }
+            return ControlFlow::Continue(());
         }
-        *subst = saved;
+        for value in domain {
+            let saved = subst.clone();
+            if subst.try_bind(vars[vidx], *value)
+                && enumerate_unbound(vars, vidx + 1, domain, negatives, idx, target, subst, visit)
+                    .is_break()
+            {
+                return ControlFlow::Break(());
+            }
+            *subst = saved;
+        }
+        ControlFlow::Continue(())
     }
-    ControlFlow::Continue(())
 }
 
 #[cfg(test)]
@@ -232,7 +859,11 @@ mod tests {
 
     #[test]
     fn single_atom_matching() {
-        let hs = all_homomorphisms(&[pos("edge", vec![var("X"), var("Y")])], &interp(), &Substitution::new());
+        let hs = all_homomorphisms(
+            &[pos("edge", vec![var("X"), var("Y")])],
+            &interp(),
+            &Substitution::new(),
+        );
         assert_eq!(hs.len(), 3);
     }
 
@@ -286,13 +917,10 @@ mod tests {
     fn initial_substitution_is_respected() {
         let mut init = Substitution::new();
         init.bind(var("X"), cst("b"));
-        let hs = all_homomorphisms(
-            &[pos("edge", vec![var("X"), var("Y")])],
-            &interp(),
-            &init,
-        );
+        let hs = all_homomorphisms(&[pos("edge", vec![var("X"), var("Y")])], &interp(), &init);
         assert_eq!(hs.len(), 1);
         assert_eq!(hs[0].apply_term(&var("Y")), cst("c"));
+        assert_eq!(hs[0].apply_term(&var("X")), cst("b"));
     }
 
     #[test]
@@ -332,7 +960,11 @@ mod tests {
             all_atom_homomorphisms(&atoms, &interp(), &Substitution::new()).len(),
             3
         );
-        assert!(exists_atom_homomorphism(&atoms, &interp(), &Substitution::new()));
+        assert!(exists_atom_homomorphism(
+            &atoms,
+            &interp(),
+            &Substitution::new()
+        ));
     }
 
     #[test]
@@ -355,5 +987,152 @@ mod tests {
             &empty,
             &Substitution::new()
         ));
+    }
+
+    #[test]
+    fn repeated_variables_within_one_atom_constrain_matches() {
+        let i = Interpretation::from_atoms(vec![
+            atom("p", vec![cst("a"), cst("a"), cst("b")]),
+            atom("p", vec![cst("a"), cst("b"), cst("b")]),
+        ]);
+        let hs = all_homomorphisms(
+            &[pos("p", vec![var("X"), var("X"), var("Y")])],
+            &i,
+            &Substitution::new(),
+        );
+        assert_eq!(hs.len(), 1);
+        assert_eq!(hs[0].apply_term(&var("X")), cst("a"));
+    }
+
+    #[test]
+    fn mixed_arities_under_one_predicate_do_not_confuse_the_index() {
+        let i = Interpretation::from_atoms(vec![
+            atom("p", vec![cst("a")]),
+            atom("p", vec![cst("a"), cst("b")]),
+        ]);
+        let unary = all_homomorphisms(&[pos("p", vec![var("X")])], &i, &Substitution::new());
+        assert_eq!(unary.len(), 1);
+        let binary = all_homomorphisms(
+            &[pos("p", vec![var("X"), var("Y")])],
+            &i,
+            &Substitution::new(),
+        );
+        assert_eq!(binary.len(), 1);
+    }
+
+    #[test]
+    fn delta_matching_partitions_homomorphisms_by_watermark() {
+        let mut i = Interpretation::from_atoms(vec![
+            atom("edge", vec![cst("a"), cst("b")]),
+            atom("edge", vec![cst("b"), cst("c")]),
+        ]);
+        let body = vec![
+            pos("edge", vec![var("X"), var("Y")]),
+            pos("edge", vec![var("Y"), var("Z")]),
+        ];
+        let before = all_homomorphisms(&body, &i, &Substitution::new());
+        assert_eq!(before.len(), 1); // a->b->c
+        let watermark = i.len();
+        i.insert(atom("edge", vec![cst("c"), cst("a")]));
+        let mut delta = Vec::new();
+        for_each_homomorphism_delta(&body, &i, &Substitution::new(), watermark, &mut |s| {
+            delta.push(s.clone());
+            ControlFlow::Continue(())
+        });
+        // New homomorphisms: b->c->a and c->a->b, but not the old a->b->c.
+        assert_eq!(delta.len(), 2);
+        let full = all_homomorphisms(&body, &i, &Substitution::new());
+        assert_eq!(full.len(), before.len() + delta.len());
+        for s in &delta {
+            assert!(full.contains(s));
+            assert!(!before.contains(s));
+        }
+    }
+
+    #[test]
+    fn delta_with_zero_watermark_is_full_matching() {
+        let i = interp();
+        let body = vec![pos("edge", vec![var("X"), var("Y")])];
+        let mut out = Vec::new();
+        for_each_homomorphism_delta(&body, &i, &Substitution::new(), 0, &mut |s| {
+            out.push(s.clone());
+            ControlFlow::Continue(())
+        });
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn delta_with_current_watermark_yields_nothing() {
+        let i = interp();
+        let body = vec![pos("edge", vec![var("X"), var("Y")])];
+        assert!(!for_each_homomorphism_delta(
+            &body,
+            &i,
+            &Substitution::new(),
+            i.len(),
+            &mut |_| ControlFlow::Break(())
+        ));
+        // And a conjunction without positive literals has no delta
+        // homomorphisms either once the watermark is positive.
+        assert!(!for_each_homomorphism_delta(
+            &[neg("red", vec![var("X")])],
+            &i,
+            &Substitution::new(),
+            1,
+            &mut |_| ControlFlow::Break(())
+        ));
+    }
+
+    #[test]
+    fn reference_matcher_agrees_on_mixed_conjunctions() {
+        let i = interp();
+        let cases: Vec<Vec<Literal>> = vec![
+            vec![pos("edge", vec![var("X"), var("Y")])],
+            vec![
+                pos("edge", vec![var("X"), var("Y")]),
+                pos("edge", vec![var("Y"), var("Z")]),
+            ],
+            vec![
+                pos("edge", vec![var("X"), var("Y")]),
+                neg("red", vec![var("X")]),
+            ],
+            vec![neg("red", vec![var("X")])],
+            vec![
+                pos("red", vec![var("X")]),
+                neg("edge", vec![var("X"), var("Z")]),
+            ],
+        ];
+        for body in cases {
+            let mut fast: Vec<String> = all_homomorphisms(&body, &i, &Substitution::new())
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            let mut naive: Vec<String> =
+                reference::all_homomorphisms(&body, &i, &Substitution::new())
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect();
+            fast.sort();
+            naive.sort();
+            assert_eq!(fast, naive, "mismatch on {body:?}");
+        }
+    }
+
+    #[test]
+    fn planner_prefers_selective_constants() {
+        // A large star relation plus a tiny selective one: the planner must
+        // start from the selective pattern regardless of written order.
+        let mut i = Interpretation::new();
+        for k in 0..50 {
+            i.insert(atom("edge", vec![cst("hub"), cst(&format!("v{k}"))]));
+        }
+        i.insert(atom("mark", vec![cst("v7")]));
+        let body = vec![
+            pos("edge", vec![var("X"), var("Y")]),
+            pos("mark", vec![var("Y")]),
+        ];
+        let hs = all_homomorphisms(&body, &i, &Substitution::new());
+        assert_eq!(hs.len(), 1);
+        assert_eq!(hs[0].apply_term(&var("Y")), cst("v7"));
     }
 }

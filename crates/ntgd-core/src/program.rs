@@ -215,7 +215,11 @@ impl DisjunctiveProgram {
 
     /// Maximum number of disjuncts over all rules (the `k` of Lemma 13).
     pub fn max_disjuncts(&self) -> usize {
-        self.rules.iter().map(Ndtgd::disjunct_count).max().unwrap_or(0)
+        self.rules
+            .iter()
+            .map(Ndtgd::disjunct_count)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Returns `Some(program)` if every rule is non-disjunctive.
@@ -327,7 +331,11 @@ mod tests {
     #[test]
     fn arity_conflicts_detected_at_construction() {
         let result = Program::from_rules(vec![
-            Ntgd::new(vec![pos("p", vec![var("X")])], vec![atom("q", vec![var("X")])]).unwrap(),
+            Ntgd::new(
+                vec![pos("p", vec![var("X")])],
+                vec![atom("q", vec![var("X")])],
+            )
+            .unwrap(),
             Ntgd::new(
                 vec![pos("p", vec![var("X"), var("Y")])],
                 vec![atom("q", vec![var("X")])],

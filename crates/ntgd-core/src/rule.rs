@@ -203,7 +203,12 @@ fn render_atoms(atoms: &[Atom]) -> String {
 
 impl fmt::Display for Ntgd {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} -> {}.", render_body(&self.body), render_atoms(&self.head))
+        write!(
+            f,
+            "{} -> {}.",
+            render_body(&self.body),
+            render_atoms(&self.head)
+        )
     }
 }
 
@@ -370,8 +375,14 @@ mod tests {
     #[test]
     fn variable_classification() {
         let r = father_rule();
-        assert_eq!(r.universal_variables(), BTreeSet::from([Symbol::intern("X")]));
-        assert_eq!(r.frontier_variables(), BTreeSet::from([Symbol::intern("X")]));
+        assert_eq!(
+            r.universal_variables(),
+            BTreeSet::from([Symbol::intern("X")])
+        );
+        assert_eq!(
+            r.frontier_variables(),
+            BTreeSet::from([Symbol::intern("X")])
+        );
         assert_eq!(
             r.existential_variables(),
             BTreeSet::from([Symbol::intern("Y")])
@@ -395,7 +406,11 @@ mod tests {
         .unwrap_err();
         assert!(matches!(err, CoreError::UnsafeRule { .. }));
         // A negated 0-ary atom is safe even with an otherwise empty body.
-        assert!(Ntgd::new(vec![neg("saturate", vec![])], vec![atom("saturate", vec![])]).is_ok());
+        assert!(Ntgd::new(
+            vec![neg("saturate", vec![])],
+            vec![atom("saturate", vec![])]
+        )
+        .is_ok());
     }
 
     #[test]
@@ -420,10 +435,7 @@ mod tests {
 
     #[test]
     fn display_round_trips_visually() {
-        assert_eq!(
-            father_rule().to_string(),
-            "person(X) -> hasFather(X,Y)."
-        );
+        assert_eq!(father_rule().to_string(), "person(X) -> hasFather(X,Y).");
         assert_eq!(
             abnormal_rule().to_string(),
             "hasFather(X,Y), hasFather(X,Z), not sameAs(Y,Z) -> abnormal(X)."
@@ -460,10 +472,7 @@ mod tests {
         assert!(d.existential_variables_of(0).is_empty());
         let pc = d.positive_conjunctive_part();
         assert_eq!(pc.head().len(), 2);
-        assert_eq!(
-            d.to_string(),
-            "r(X) -> p(X) | s(X,Y)."
-        );
+        assert_eq!(d.to_string(), "r(X) -> p(X) | s(X,Y).");
     }
 
     #[test]

@@ -135,9 +135,7 @@ impl Substitution {
     /// `self` (i.e. `other` is an extension of `self`, written `other ⊇ self`
     /// in the paper).
     pub fn is_extended_by(&self, other: &Substitution) -> bool {
-        self.map
-            .iter()
-            .all(|(k, v)| other.apply_term(k) == *v)
+        self.map.iter().all(|(k, v)| other.apply_term(k) == *v)
     }
 
     /// Iterates over the explicit bindings in a deterministic order.

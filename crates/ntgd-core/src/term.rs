@@ -172,10 +172,7 @@ mod tests {
 
     #[test]
     fn symbol_accessors() {
-        assert_eq!(
-            Term::constant("a").as_constant(),
-            Some(Symbol::intern("a"))
-        );
+        assert_eq!(Term::constant("a").as_constant(), Some(Symbol::intern("a")));
         assert_eq!(Term::variable("X").as_variable(), Some(Symbol::intern("X")));
         assert_eq!(Term::null(1).symbol(), None);
         assert_eq!(Term::constant("a").as_variable(), None);

@@ -20,8 +20,7 @@
 //! this is exactly the argument closing Theorem 15 in the paper.
 
 use ntgd_core::{
-    atom, Atom, CoreError, CoreResult, DisjunctiveProgram, Literal, Ntgd, Program,
-    Symbol, Term,
+    atom, Atom, CoreError, CoreResult, DisjunctiveProgram, Literal, Ntgd, Program, Symbol, Term,
 };
 
 /// A disjunctive Datalog query `(Σ, q)`.

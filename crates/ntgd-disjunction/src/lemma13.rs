@@ -17,8 +17,7 @@
 //! the auxiliary rule `false ∧ ¬aux → aux`.
 
 use ntgd_core::{
-    atom, cst, Atom, CoreResult, Database, DisjunctiveProgram, Literal, Ntgd, Program,
-    Symbol, Term,
+    atom, cst, Atom, CoreResult, Database, DisjunctiveProgram, Literal, Ntgd, Program, Symbol, Term,
 };
 
 /// The output of the Lemma 13 translation.
@@ -110,7 +109,7 @@ pub fn eliminate_disjunction(program: &DisjunctiveProgram) -> CoreResult<Disjunc
                 Literal::positive(t_head.clone()),
                 Literal::positive(Atom::new(idx_predicate(i), vec![index_var])),
             ];
-            rules.push(Ntgd::new(body, vec![disjunct.clone()].concat())?);
+            rules.push(Ntgd::new(body, [disjunct.clone()].concat())?);
         }
 
         // Stability: ϕ(X,Y) ∧ ψᵢ(X,Zᵢ) ∧ idxᵢ(I) ∧ nil(N)
@@ -168,8 +167,8 @@ pub fn eliminate_disjunction(program: &DisjunctiveProgram) -> CoreResult<Disjunc
 mod tests {
     use super::*;
     use ntgd_core::Query;
-    use ntgd_sms::{SmsAnswer, SmsEngine};
     use ntgd_parser::{parse_database, parse_query, parse_unit};
+    use ntgd_sms::{SmsAnswer, SmsEngine};
 
     fn disjunctive(text: &str) -> DisjunctiveProgram {
         parse_unit(text).unwrap().disjunctive_program().unwrap()
@@ -212,11 +211,7 @@ mod tests {
     fn translated_program_preserves_cautious_answers_for_colouring() {
         let prog = disjunctive("node(X) -> red(X) | green(X). edge(X,Y), red(X), red(Y) -> clash. edge(X,Y), green(X), green(Y) -> clash.");
         let db = parse_database("node(a). node(b). edge(a,b).").unwrap();
-        let queries = [
-            "?- clash.",
-            "?- red(a), green(b).",
-            "?- not clash.",
-        ];
+        let queries = ["?- clash.", "?- red(a), green(b).", "?- not clash."];
         for q_text in queries {
             let q = parse_query(q_text).unwrap();
             assert_eq!(
@@ -231,7 +226,8 @@ mod tests {
     #[ignore = "expensive: full counter-model exhaustion; exercised by the experiments binary instead"]
     fn translated_program_preserves_answers_with_existentials_in_disjuncts() {
         // r(X) → p(X) ∨ ∃Y s(X,Y)   (the shape of Example 5).
-        let prog = disjunctive("r(X) -> p(X) | s(X, Y). p(X) -> covered(X). s(X, Y) -> covered(X).");
+        let prog =
+            disjunctive("r(X) -> p(X) | s(X, Y). p(X) -> covered(X). s(X, Y) -> covered(X).");
         let db = parse_database("r(a).").unwrap();
         let q = parse_query("?- covered(a).").unwrap();
         assert_eq!(cautious_direct(&db, &prog, &q), SmsAnswer::Entailed);

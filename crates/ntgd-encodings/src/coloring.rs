@@ -71,7 +71,10 @@ impl ColoringInstance {
     pub fn database(&self) -> Database {
         let mut facts: Vec<Atom> = (0..self.vertices).map(|i| self.vertex(i)).collect();
         for &(u, v) in &self.edges {
-            facts.push(atom("edge", vec![cst(&format!("v{u}")), cst(&format!("v{v}"))]));
+            facts.push(atom(
+                "edge",
+                vec![cst(&format!("v{u}")), cst(&format!("v{v}"))],
+            ));
         }
         Database::from_facts(facts).expect("colouring facts are ground")
     }

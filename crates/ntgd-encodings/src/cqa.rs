@@ -124,10 +124,7 @@ impl CqaInstance {
             )
             .expect("maximality rule"),
             Ntgd::new(
-                vec![
-                    ntgd_core::pos("bad", vec![]),
-                    ntgd_core::neg("aux", vec![]),
-                ],
+                vec![ntgd_core::pos("bad", vec![]), ntgd_core::neg("aux", vec![])],
                 vec![atom("aux", vec![])],
             )
             .expect("constraint rule"),
@@ -242,7 +239,8 @@ impl CqaInstance {
     pub fn certain_via_sms(&self, query: &Query) -> Result<bool, SmsError> {
         let q = self.rewrite_query(query);
         Ok(matches!(
-            self.engine().entails_cautious(&self.reified_database(), &q)?,
+            self.engine()
+                .entails_cautious(&self.reified_database(), &q)?,
             SmsAnswer::Entailed
         ))
     }

@@ -250,11 +250,25 @@ mod tests {
         assert!(db.contains(&atom("nil", vec![cst("star")])));
         assert!(db.contains(&atom(
             "cl",
-            vec![cst("x0"), cst("y0"), cst("y0"), cst("star"), cst("star"), cst("star")]
+            vec![
+                cst("x0"),
+                cst("y0"),
+                cst("y0"),
+                cst("star"),
+                cst("star"),
+                cst("star")
+            ]
         )));
         assert!(db.contains(&atom(
             "cl",
-            vec![cst("x0"), cst("star"), cst("star"), cst("star"), cst("y0"), cst("y0")]
+            vec![
+                cst("x0"),
+                cst("star"),
+                cst("star"),
+                cst("star"),
+                cst("y0"),
+                cst("y0")
+            ]
         )));
     }
 

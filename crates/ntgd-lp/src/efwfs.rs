@@ -174,16 +174,18 @@ fn instance_rules(rule: &ntgd_core::Ntgd, assignment: &Substitution) -> Vec<Grou
         .collect();
     rule.head()
         .iter()
-        .map(|head| GroundRule::new(assignment.apply_atom(head), body_pos.clone(), body_neg.clone()))
+        .map(|head| {
+            GroundRule::new(
+                assignment.apply_atom(head),
+                body_pos.clone(),
+                body_neg.clone(),
+            )
+        })
         .collect()
 }
 
 /// All assignments of `variables` to the constant pool.
-fn assignments(
-    variables: &[Symbol],
-    pool: &[Term],
-    base: &Substitution,
-) -> Vec<Substitution> {
+fn assignments(variables: &[Symbol], pool: &[Term], base: &Substitution) -> Vec<Substitution> {
     let mut out = vec![base.clone()];
     for variable in variables {
         let mut next = Vec::with_capacity(out.len() * pool.len());
@@ -280,10 +282,8 @@ pub fn efwfs_models(
                 }
                 let witness_assignments =
                     assignments(&existential_variables, &pool, &body_assignment);
-                let subsets = bounded_subsets(
-                    witness_assignments.len(),
-                    config.max_witnesses_per_trigger,
-                );
+                let subsets =
+                    bounded_subsets(witness_assignments.len(), config.max_witnesses_per_trigger);
                 let choices: Vec<Vec<GroundRule>> = subsets
                     .into_iter()
                     .map(|subset| {
@@ -366,8 +366,11 @@ pub fn holds_in_wfs(query: &Query, model: &WellFoundedModel) -> bool {
         .iter()
         .filter(|l| l.is_negative())
         .collect();
-    let homomorphisms =
-        all_atom_homomorphisms(&positive_atoms, &positive_interpretation, &Substitution::new());
+    let homomorphisms = all_atom_homomorphisms(
+        &positive_atoms,
+        &positive_interpretation,
+        &Substitution::new(),
+    );
     homomorphisms.into_iter().any(|h| {
         negative_atoms
             .iter()

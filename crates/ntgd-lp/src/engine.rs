@@ -70,7 +70,11 @@ pub struct LpEngine {
 impl LpEngine {
     /// Builds the engine for a database and a program, computing all stable
     /// models eagerly.
-    pub fn new(database: &Database, program: &Program, limits: &LpLimits) -> Result<LpEngine, LpError> {
+    pub fn new(
+        database: &Database,
+        program: &Program,
+        limits: &LpLimits,
+    ) -> Result<LpEngine, LpError> {
         let skolem = skolemize(program);
         let (ground, outcome) = ground_program(database, &skolem, &limits.grounding);
         if outcome == GroundingOutcome::LimitReached {

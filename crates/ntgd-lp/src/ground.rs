@@ -56,15 +56,16 @@ pub fn ground_program(
     limits: &GroundingLimits,
 ) -> (GroundProgram, GroundingOutcome) {
     let mut possibly_true = database.to_interpretation();
-    let mut rules: Vec<GroundRule> = database
-        .facts()
-        .cloned()
-        .map(GroundRule::fact)
-        .collect();
+    let mut rules: Vec<GroundRule> = database.facts().cloned().map(GroundRule::fact).collect();
     let mut seen_rules: BTreeSet<GroundRule> = rules.iter().cloned().collect();
     let mut outcome = GroundingOutcome::Complete;
+    // Semi-naive rounds: after the first (full) round, bodies are only
+    // matched against homomorphisms that use an atom derived in the previous
+    // round, so each relevant instantiation is produced exactly once.
+    let mut watermark = 0usize;
 
     loop {
+        let next_watermark = possibly_true.len();
         let mut new_atoms: Vec<Atom> = Vec::new();
         let mut new_rules: Vec<GroundRule> = Vec::new();
         for rule in &program.rules {
@@ -74,8 +75,17 @@ pub fn ground_program(
                 .filter(|l| l.is_positive())
                 .cloned()
                 .collect();
-            let homs =
-                ntgd_core::all_homomorphisms(&positive, &possibly_true, &Substitution::new());
+            let mut homs: Vec<Substitution> = Vec::new();
+            ntgd_core::for_each_homomorphism_delta(
+                &positive,
+                &possibly_true,
+                &Substitution::new(),
+                watermark,
+                &mut |h| {
+                    homs.push(h.clone());
+                    std::ops::ControlFlow::Continue(())
+                },
+            );
             for h in homs {
                 let head = instantiate_head(&rule.head, &h);
                 let body_pos: Vec<Atom> = rule
@@ -110,6 +120,7 @@ pub fn ground_program(
             possibly_true.insert(a);
         }
         rules.extend(new_rules);
+        watermark = next_watermark;
         if possibly_true.len() > limits.max_atoms || rules.len() > limits.max_rules {
             outcome = GroundingOutcome::LimitReached;
             break;

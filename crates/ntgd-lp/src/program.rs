@@ -164,7 +164,7 @@ mod tests {
 
     #[test]
     fn least_model_computes_closure() {
-        let rules = vec![
+        let rules = [
             GroundRule::fact(a("p")),
             GroundRule::new(a("q"), vec![a("p")], vec![]),
             GroundRule::new(a("r"), vec![a("q"), a("p")], vec![]),
@@ -177,11 +177,7 @@ mod tests {
 
     #[test]
     fn ground_program_collects_herbrand_base() {
-        let gp = GroundProgram::new(vec![GroundRule::new(
-            a("q"),
-            vec![a("p")],
-            vec![a("r")],
-        )]);
+        let gp = GroundProgram::new(vec![GroundRule::new(a("q"), vec![a("p")], vec![a("r")])]);
         assert_eq!(gp.herbrand.len(), 3);
         assert_eq!(gp.negated_atoms(), BTreeSet::from([a("r")]));
         assert_eq!(gp.herbrand_terms(), BTreeSet::from([cst("c")]));

@@ -117,12 +117,9 @@ impl SkolemProgram {
     /// Returns `true` if no rule uses a Skolem function (i.e. the original
     /// program had no existential variables).
     pub fn is_function_free(&self) -> bool {
-        self.rules.iter().all(|r| {
-            r.head
-                .args
-                .iter()
-                .all(|a| matches!(a, HeadArg::Plain(_)))
-        })
+        self.rules
+            .iter()
+            .all(|r| r.head.args.iter().all(|a| matches!(a, HeadArg::Plain(_))))
     }
 
     /// The set of predicates appearing in the program.
@@ -202,10 +199,7 @@ pub fn skolem_constant(rule_index: usize, variable: Symbol, arguments: &[Term]) 
 /// Instantiates a Skolemized head atom under a substitution of the rule's
 /// universal variables by ground terms, producing an ordinary ground atom
 /// whose Skolem terms are rendered as constants via [`skolem_constant`].
-pub fn instantiate_head(
-    head: &SkolemHeadAtom,
-    substitution: &ntgd_core::Substitution,
-) -> Atom {
+pub fn instantiate_head(head: &SkolemHeadAtom, substitution: &ntgd_core::Substitution) -> Atom {
     let args: Vec<Term> = head
         .args
         .iter()

@@ -141,10 +141,12 @@ mod tests {
     fn even_negative_loop_has_two_stable_models() {
         let ms = models("seed(x).", "seed(X), not b -> a. seed(X), not a -> b.");
         assert_eq!(ms.len(), 2);
-        assert!(ms.iter().any(|m| m.contains(&atom("a", vec![]))
-            && !m.contains(&atom("b", vec![]))));
-        assert!(ms.iter().any(|m| m.contains(&atom("b", vec![]))
-            && !m.contains(&atom("a", vec![]))));
+        assert!(ms
+            .iter()
+            .any(|m| m.contains(&atom("a", vec![])) && !m.contains(&atom("b", vec![]))));
+        assert!(ms
+            .iter()
+            .any(|m| m.contains(&atom("b", vec![])) && !m.contains(&atom("a", vec![]))));
     }
 
     #[test]
@@ -193,7 +195,9 @@ mod tests {
         let mut facts = String::new();
         for i in 0..30 {
             facts.push_str(&format!("s{i}(x). "));
-            rules.push_str(&format!("s{i}(X), not b{i} -> a{i}. s{i}(X), not a{i} -> b{i}. "));
+            rules.push_str(&format!(
+                "s{i}(X), not b{i} -> a{i}. s{i}(X), not a{i} -> b{i}. "
+            ));
         }
         let gp = ground(&facts, &rules);
         let err = stable_models(&gp, &StableEnumerationLimits::default()).unwrap_err();
@@ -202,10 +206,7 @@ mod tests {
 
     #[test]
     fn model_limit_truncates_enumeration() {
-        let gp = ground(
-            "seed(x).",
-            "seed(X), not b -> a. seed(X), not a -> b.",
-        );
+        let gp = ground("seed(x).", "seed(X), not b -> a. seed(X), not a -> b.");
         let limits = StableEnumerationLimits {
             max_models: 1,
             ..Default::default()

@@ -388,9 +388,7 @@ mod tests {
     fn parses_example1() {
         let unit = parse_unit(EXAMPLE1).unwrap();
         assert_eq!(unit.database.len(), 1);
-        assert!(unit
-            .database
-            .contains(&atom("person", vec![cst("alice")])));
+        assert!(unit.database.contains(&atom("person", vec![cst("alice")])));
         assert_eq!(unit.rules.len(), 3);
         assert_eq!(unit.queries.len(), 1);
         let program = unit.program().unwrap();

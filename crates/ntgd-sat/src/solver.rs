@@ -258,7 +258,7 @@ impl Solver {
                 // No new watch: clause is unit or conflicting.
                 if self.value(w0) == 0 {
                     // Conflict: restore the remaining watches and return.
-                    self.watches[false_lit.index()].extend(watch_list.drain(..));
+                    self.watches[false_lit.index()].append(&mut watch_list);
                     self.qhead = self.trail.len();
                     return Some(cref);
                 }
@@ -534,10 +534,10 @@ mod tests {
         for row in &p {
             s.add_clause(&[row[0].positive(), row[1].positive()]);
         }
-        for j in 0..2 {
-            for i1 in 0..3 {
-                for i2 in (i1 + 1)..3 {
-                    s.add_clause(&[p[i1][j].negative(), p[i2][j].negative()]);
+        for (first, row1) in p.iter().enumerate() {
+            for row2 in &p[first + 1..] {
+                for (a, b) in row1.iter().zip(row2) {
+                    s.add_clause(&[a.negative(), b.negative()]);
                 }
             }
         }

@@ -15,16 +15,31 @@ use std::collections::BTreeSet;
 
 use ntgd_core::{matcher, Atom, Database, Interpretation, Program, Substitution};
 
-/// One application of `T_{Σ,I}` to `S` (returns `T_{Σ,I}(S) ∪ S`).
-pub fn immediate_consequence_step(
+/// Derives every immediate consequence of the rules whose positive body maps
+/// into `current` by a homomorphism using at least one atom at or after
+/// `watermark` (`watermark == 0` means all homomorphisms), invoking `emit`
+/// for each derived atom.
+///
+/// This is the shared rule-evaluation core of
+/// [`immediate_consequence_step`] and [`immediate_consequence_closure`]:
+/// negative literals are evaluated against the oracle `I`, and every head
+/// atom instance belonging to `I⁺` (under some extension of the body
+/// homomorphism over `dom(I)`) is an immediate consequence.
+fn derive_consequences<F: FnMut(Atom)>(
     program: &Program,
     oracle: &Interpretation,
     current: &Interpretation,
-) -> BTreeSet<Atom> {
-    let mut derived: BTreeSet<Atom> = current.sorted_atoms().into_iter().collect();
+    watermark: usize,
+    emit: &mut F,
+) {
     for rule in program.rules() {
         let body_pos: Vec<Atom> = rule.body_positive().into_iter().cloned().collect();
-        let homs = matcher::all_atom_homomorphisms(&body_pos, current, &Substitution::new());
+        let homs = matcher::all_atom_homomorphisms_delta(
+            &body_pos,
+            current,
+            &Substitution::new(),
+            watermark,
+        );
         for h in homs {
             // Negative literals are evaluated against the oracle I.
             let negatives_ok = rule
@@ -37,32 +52,56 @@ pub fn immediate_consequence_step(
             // Every head atom instance that belongs to I⁺ (under some
             // extension of h over dom(I)) is an immediate consequence.
             for head_atom in rule.head() {
-                for ext in matcher::all_atom_homomorphisms(
-                    std::slice::from_ref(head_atom),
-                    oracle,
-                    &h,
-                ) {
-                    derived.insert(ext.apply_atom(head_atom));
+                for ext in
+                    matcher::all_atom_homomorphisms(std::slice::from_ref(head_atom), oracle, &h)
+                {
+                    emit(ext.apply_atom(head_atom));
                 }
             }
         }
     }
+}
+
+/// One application of `T_{Σ,I}` to `S` (returns `T_{Σ,I}(S) ∪ S`).
+pub fn immediate_consequence_step(
+    program: &Program,
+    oracle: &Interpretation,
+    current: &Interpretation,
+) -> BTreeSet<Atom> {
+    let mut derived: BTreeSet<Atom> = current.sorted_atoms().into_iter().collect();
+    derive_consequences(program, oracle, current, 0, &mut |atom| {
+        derived.insert(atom);
+    });
     derived
 }
 
 /// The least fixpoint `T^∞_{Σ,I}(D)`.
+///
+/// Computed semi-naively: after the first round, rule bodies are only
+/// matched against homomorphisms using an atom derived in the previous round
+/// (the negative literals and the head extension are evaluated against the
+/// fixed oracle, so every homomorphism contributes in exactly one round).
 pub fn immediate_consequence_closure(
     database: &Database,
     program: &Program,
     oracle: &Interpretation,
 ) -> Interpretation {
     let mut current = database.to_interpretation();
+    let mut watermark = 0usize;
     loop {
-        let next = immediate_consequence_step(program, oracle, &current);
-        if next.len() == current.len() {
+        let next_watermark = current.len();
+        let mut derived: Vec<Atom> = Vec::new();
+        derive_consequences(program, oracle, &current, watermark, &mut |atom| {
+            derived.push(atom);
+        });
+        let mut changed = false;
+        for atom in derived {
+            changed |= current.insert(atom);
+        }
+        if !changed {
             return current;
         }
-        current = Interpretation::from_atoms(next);
+        watermark = next_watermark;
     }
 }
 
@@ -89,10 +128,8 @@ mod tests {
     #[test]
     fn closure_reconstructs_the_positive_chase_with_an_oracle() {
         let db = parse_database("person(alice).").unwrap();
-        let p = parse_program(
-            "person(X) -> hasFather(X, Y). hasFather(X, Y) -> sameAs(Y, Y).",
-        )
-        .unwrap();
+        let p = parse_program("person(X) -> hasFather(X, Y). hasFather(X, Y) -> sameAs(Y, Y).")
+            .unwrap();
         let m = Interpretation::from_atoms(vec![
             atom("person", vec![cst("alice")]),
             atom("hasFather", vec![cst("alice"), cst("bob")]),
@@ -118,17 +155,13 @@ mod tests {
         let db = parse_database("p(a).").unwrap();
         let p = parse_program("p(X), not q(X) -> r(X).").unwrap();
         // Oracle where q(a) holds: r(a) is NOT derivable.
-        let with_q = Interpretation::from_atoms(vec![
-            atom("p", vec![cst("a")]),
-            atom("q", vec![cst("a")]),
-        ]);
+        let with_q =
+            Interpretation::from_atoms(vec![atom("p", vec![cst("a")]), atom("q", vec![cst("a")])]);
         let closure = immediate_consequence_closure(&db, &p, &with_q);
         assert!(!closure.contains(&atom("r", vec![cst("a")])));
         // Oracle without q(a): r(a) is derivable.
-        let without_q = Interpretation::from_atoms(vec![
-            atom("p", vec![cst("a")]),
-            atom("r", vec![cst("a")]),
-        ]);
+        let without_q =
+            Interpretation::from_atoms(vec![atom("p", vec![cst("a")]), atom("r", vec![cst("a")])]);
         let closure = immediate_consequence_closure(&db, &p, &without_q);
         assert!(closure.contains(&atom("r", vec![cst("a")])));
         assert!(is_supported_by_operator(&db, &p, &without_q));
@@ -154,7 +187,8 @@ mod tests {
         // Proposition 9: |M⁺| is bounded by the (restricted-chase derived)
         // bound f(D,Σ).
         let db = parse_database("person(alice). person(bob).").unwrap();
-        let p = parse_program("person(X) -> hasFather(X, Y). hasFather(X, Y) -> sameAs(Y, Y).").unwrap();
+        let p = parse_program("person(X) -> hasFather(X, Y). hasFather(X, Y) -> sameAs(Y, Y).")
+            .unwrap();
         let m = Interpretation::from_atoms(vec![
             atom("person", vec![cst("alice")]),
             atom("person", vec![cst("bob")]),

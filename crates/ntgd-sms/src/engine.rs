@@ -5,8 +5,7 @@
 use std::collections::{BTreeSet, HashMap, HashSet};
 
 use ntgd_core::{
-    matcher, Atom, Database, DisjunctiveProgram, Interpretation, Program, Query, Substitution,
-    Term,
+    matcher, Atom, Database, DisjunctiveProgram, Interpretation, Program, Query, Substitution, Term,
 };
 use ntgd_sat::{CnfBuilder, Lit};
 
@@ -157,7 +156,11 @@ impl SmsEngine {
         &self.options
     }
 
-    fn ground(&self, database: &Database, query: Option<&Query>) -> Result<GroundSmsProgram, SmsError> {
+    fn ground(
+        &self,
+        database: &Database,
+        query: Option<&Query>,
+    ) -> Result<GroundSmsProgram, SmsError> {
         let domain = build_domain(database, &self.program, query, self.options.null_budget);
         Ok(ground_sms(
             database,
@@ -307,11 +310,10 @@ impl SmsEngine {
             }
             let mut impossible = false;
             for &id in &rule.body_neg {
-                match var_of.get(&id) {
-                    Some(&lit) => antecedent.push(!lit),
-                    // A negated atom outside the possibly-true closure is
-                    // always false: the literal is satisfied, nothing to add.
-                    None => {}
+                // A negated atom outside the possibly-true closure is always
+                // false: the literal is satisfied, nothing to add.
+                if let Some(&lit) = var_of.get(&id) {
+                    antecedent.push(!lit);
                 }
             }
             for t in &rule.neg_domain_terms {
@@ -327,7 +329,7 @@ impl SmsEngine {
             let disjuncts: Vec<Vec<Lit>> = rule
                 .disjuncts
                 .iter()
-                .map(|conj| conj.iter().map(|id| var_of[&id]).collect())
+                .map(|conj| conj.iter().map(|id| var_of[id]).collect())
                 .collect();
             if disjuncts.is_empty() {
                 let clause: Vec<Lit> = antecedent.iter().map(|&l| !l).collect();
@@ -602,7 +604,10 @@ mod tests {
         let db = parse_database("person(alice).").unwrap();
         let e = engine(EXAMPLE1_RULES);
         let q_normal = parse_query("?- person(X), not abnormal(X).").unwrap();
-        assert_eq!(e.entails_cautious(&db, &q_normal).unwrap(), SmsAnswer::Entailed);
+        assert_eq!(
+            e.entails_cautious(&db, &q_normal).unwrap(),
+            SmsAnswer::Entailed
+        );
         let q_abnormal = parse_query("?- person(X), abnormal(X).").unwrap();
         assert_eq!(
             e.entails_cautious(&db, &q_abnormal).unwrap(),
@@ -651,9 +656,7 @@ mod tests {
         assert_eq!(models.len(), 2);
         for m in &models {
             assert!(m.contains(&ntgd_core::atom("person", vec![cst("alice")])));
-            assert!(!m
-                .atoms()
-                .any(|a| a.predicate().as_str() == "abnormal"));
+            assert!(!m.atoms().any(|a| a.predicate().as_str() == "abnormal"));
         }
     }
 
@@ -663,7 +666,10 @@ mod tests {
         let e = engine("p(X), not t(X) -> r(X). r(X) -> t(X).");
         assert!(!e.has_stable_model(&db).unwrap());
         let q = parse_query("?- r(0).").unwrap();
-        assert_eq!(e.entails_cautious(&db, &q).unwrap(), SmsAnswer::Inconsistent);
+        assert_eq!(
+            e.entails_cautious(&db, &q).unwrap(),
+            SmsAnswer::Inconsistent
+        );
     }
 
     #[test]
@@ -673,7 +679,10 @@ mod tests {
         let models = e.stable_models(&db).unwrap();
         assert_eq!(models.len(), 2);
         let qa = parse_query("?- a.").unwrap();
-        assert_eq!(e.entails_cautious(&db, &qa).unwrap(), SmsAnswer::NotEntailed);
+        assert_eq!(
+            e.entails_cautious(&db, &qa).unwrap(),
+            SmsAnswer::NotEntailed
+        );
         assert!(e.entails_brave(&db, &qa).unwrap());
     }
 
@@ -731,7 +740,10 @@ mod tests {
             ("seed(x).", "seed(X), not b -> a. seed(X), not a -> b."),
             ("p(a). p(b). q(a).", "p(X), not q(X) -> r(X)."),
             ("p(0).", "p(X), not t(X) -> r(X). r(X) -> t(X)."),
-            ("e(a,b). e(b,c).", "e(X,Y), e(Y,Z) -> e(X,Z). e(X,Y), not e(Y,X) -> oneway(X,Y)."),
+            (
+                "e(a,b). e(b,c).",
+                "e(X,Y), e(Y,Z) -> e(X,Z). e(X,Y), not e(Y,X) -> oneway(X,Y).",
+            ),
         ];
         for (db_text, rules) in cases {
             let db = parse_database(db_text).unwrap();

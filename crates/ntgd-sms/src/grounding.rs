@@ -16,9 +16,7 @@
 
 use std::collections::{BTreeSet, HashMap};
 
-use ntgd_core::{
-    matcher, Atom, Database, DisjunctiveProgram, Interpretation, Substitution, Term,
-};
+use ntgd_core::{matcher, Atom, Database, DisjunctiveProgram, Interpretation, Substitution, Term};
 
 use crate::universe::Domain;
 
@@ -210,12 +208,21 @@ fn possibly_true_closure(
     for t in domain.terms() {
         closure.add_domain_element(*t);
     }
+    // Semi-naive rounds: after the first (full) round, rule bodies are only
+    // matched against homomorphisms that use an atom derived in the previous
+    // round (`watermark` is the closure size before that round's insertions).
+    let mut watermark = 0usize;
     loop {
+        let next_watermark = closure.len();
         let mut additions: BTreeSet<Atom> = BTreeSet::new();
         for rule in program.rules() {
             let body_atoms: Vec<Atom> = rule.body_positive().into_iter().cloned().collect();
-            let homs =
-                matcher::all_atom_homomorphisms(&body_atoms, &closure, &Substitution::new());
+            let homs = matcher::all_atom_homomorphisms_delta(
+                &body_atoms,
+                &closure,
+                &Substitution::new(),
+                watermark,
+            );
             for h in homs {
                 for (d, disjunct) in rule.disjuncts().iter().enumerate() {
                     let exist: Vec<ntgd_core::Symbol> =
@@ -237,6 +244,7 @@ fn possibly_true_closure(
         for a in additions {
             closure.insert(a);
         }
+        watermark = next_watermark;
         if closure.len() > limits.max_atoms {
             return Err(GroundingError::TooLarge {
                 atoms: closure.len(),
@@ -286,7 +294,10 @@ pub fn ground_sms(
             let mut neg_domain_terms: BTreeSet<Term> = BTreeSet::new();
             for a in &neg_atoms {
                 let ground = h.apply_atom(a);
-                debug_assert!(ground.is_ground(), "safety guarantees ground negative bodies");
+                debug_assert!(
+                    ground.is_ground(),
+                    "safety guarantees ground negative bodies"
+                );
                 for t in ground.terms() {
                     if !pos_terms.contains(t) {
                         neg_domain_terms.insert(*t);
@@ -366,7 +377,11 @@ mod tests {
 
     #[test]
     fn existentials_expand_into_one_disjunct_per_domain_element() {
-        let g = setup("person(alice).", "person(X) -> hasFather(X, Y).", NullBudget::Auto);
+        let g = setup(
+            "person(alice).",
+            "person(X) -> hasFather(X, Y).",
+            NullBudget::Auto,
+        );
         // Domain = {alice, _n0}; one rule instance with two disjuncts.
         assert_eq!(g.domain.len(), 2);
         assert_eq!(g.rules.len(), 1);
@@ -392,13 +407,21 @@ mod tests {
 
     #[test]
     fn constants_only_in_negative_literals_need_domain_guards() {
-        let g = setup("p(a).", "p(X), not q(X, special) -> r(X).", NullBudget::None);
+        let g = setup(
+            "p(a).",
+            "p(X), not q(X, special) -> r(X).",
+            NullBudget::None,
+        );
         assert_eq!(g.rules[0].neg_domain_terms, vec![cst("special")]);
     }
 
     #[test]
     fn disjunctive_heads_produce_multiple_disjunct_groups() {
-        let g = setup("node(v).", "node(X) -> red(X) | green(X).", NullBudget::None);
+        let g = setup(
+            "node(v).",
+            "node(X) -> red(X) | green(X).",
+            NullBudget::None,
+        );
         assert_eq!(g.rules.len(), 1);
         assert_eq!(g.rules[0].disjuncts.len(), 2);
         // Both colourings are possibly true.

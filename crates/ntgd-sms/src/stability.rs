@@ -34,9 +34,10 @@ pub fn is_classical_model(
         let body: Vec<ntgd_core::Literal> = rule.body().to_vec();
         let homs = matcher::all_homomorphisms(&body, interpretation, &Substitution::new());
         for h in homs {
-            let satisfied = rule.disjuncts().iter().any(|disjunct| {
-                matcher::exists_atom_homomorphism(disjunct, interpretation, &h)
-            });
+            let satisfied = rule
+                .disjuncts()
+                .iter()
+                .any(|disjunct| matcher::exists_atom_homomorphism(disjunct, interpretation, &h));
             if !satisfied {
                 return false;
             }
@@ -104,7 +105,11 @@ pub fn find_instability_witness(
             continue;
         }
         // Constants occurring only negatively must lie in dom(M).
-        if !rule.neg_domain_terms.iter().all(|t| domain_of_m.contains(t)) {
+        if !rule
+            .neg_domain_terms
+            .iter()
+            .all(|t| domain_of_m.contains(t))
+        {
             continue;
         }
         let body: Vec<Lit> = rule.body_pos.iter().map(|id| var_of[id]).collect();
@@ -265,7 +270,8 @@ mod tests {
         // satisfies the transformed rules.
         let db = parse_database("p(0).").unwrap();
         let p = parse_program("p(X), not t(X) -> r(X). r(X) -> t(X).").unwrap();
-        let j = Interpretation::from_atoms(vec![atom("p", vec![cst("0")]), atom("t", vec![cst("0")])]);
+        let j =
+            Interpretation::from_atoms(vec![atom("p", vec![cst("0")]), atom("t", vec![cst("0")])]);
         assert!(is_classical_model(&j, &db, &p.to_disjunctive()));
         assert!(!is_stable_model(&db, &p, &j));
         // And indeed (D, Σ) has no stable model at all containing only these

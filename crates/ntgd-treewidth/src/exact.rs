@@ -90,7 +90,6 @@ mod tests {
     use crate::heuristics::{min_degree_decomposition, min_fill_decomposition};
     use ntgd_core::{atom, cst, Interpretation};
     use ntgd_parser::parse_database;
-    use proptest::prelude::*;
 
     fn graph_of(text: &str) -> GaifmanGraph {
         GaifmanGraph::of_database(&parse_database(text).unwrap())
@@ -133,16 +132,12 @@ mod tests {
         for r in 0..3 {
             for c in 0..3 {
                 if c + 1 < 3 {
-                    interpretation.insert(atom(
-                        "edge",
-                        vec![cst(&name(r, c)), cst(&name(r, c + 1))],
-                    ));
+                    interpretation
+                        .insert(atom("edge", vec![cst(&name(r, c)), cst(&name(r, c + 1))]));
                 }
                 if r + 1 < 3 {
-                    interpretation.insert(atom(
-                        "edge",
-                        vec![cst(&name(r, c)), cst(&name(r + 1, c))],
-                    ));
+                    interpretation
+                        .insert(atom("edge", vec![cst(&name(r, c)), cst(&name(r + 1, c))]));
                 }
             }
         }
@@ -165,22 +160,34 @@ mod tests {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
-        #[test]
-        fn heuristic_decompositions_are_valid_and_at_least_exact_width(
-            edges in proptest::collection::vec((0usize..8, 0usize..8), 0..14)
-        ) {
+    #[test]
+    fn heuristic_decompositions_are_valid_and_at_least_exact_width() {
+        // Property test over deterministic pseudo-random graphs (xorshift64,
+        // replacing the former proptest strategy: up to 14 edges on 8 nodes).
+        let mut state = 0x9e37_79b9_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for case in 0..32 {
             let mut graph = GaifmanGraph::new();
-            for (a, b) in edges {
+            let edge_count = next() as usize % 14;
+            for _ in 0..edge_count {
+                let a = next() as usize % 8;
+                let b = next() as usize % 8;
                 if a != b {
                     graph.add_edge(cst(&format!("n{a}")), cst(&format!("n{b}")));
                 }
             }
             let exact = exact_treewidth(&graph);
-            for decomposition in [min_fill_decomposition(&graph), min_degree_decomposition(&graph)] {
-                prop_assert_eq!(decomposition.validate(&graph), Ok(()));
-                prop_assert!(decomposition.width() >= exact);
+            for decomposition in [
+                min_fill_decomposition(&graph),
+                min_degree_decomposition(&graph),
+            ] {
+                assert_eq!(decomposition.validate(&graph), Ok(()), "case {case}");
+                assert!(decomposition.width() >= exact, "case {case}");
             }
         }
     }

@@ -48,9 +48,8 @@ impl EliminationOrder {
         if n == 0 {
             return decomposition;
         }
-        let mut adjacency: Vec<BTreeSet<usize>> = (0..n)
-            .map(|v| graph.neighbours(v).clone())
-            .collect();
+        let mut adjacency: Vec<BTreeSet<usize>> =
+            (0..n).map(|v| graph.neighbours(v).clone()).collect();
         let mut eliminated = vec![false; n];
         let mut position = vec![usize::MAX; n];
         for (p, &v) in self.order.iter().enumerate() {
@@ -86,9 +85,8 @@ impl EliminationOrder {
         // earliest-eliminated neighbour that comes later in the order).  If a
         // vertex has no later neighbour, connect it to the last bag to keep
         // the tree connected.
-        let mut adjacency_filled: Vec<BTreeSet<usize>> = (0..n)
-            .map(|v| graph.neighbours(v).clone())
-            .collect();
+        let mut adjacency_filled: Vec<BTreeSet<usize>> =
+            (0..n).map(|v| graph.neighbours(v).clone()).collect();
         let mut eliminated2 = vec![false; n];
         for &v in &self.order {
             let later: Vec<usize> = adjacency_filled[v]
@@ -120,9 +118,8 @@ impl EliminationOrder {
     /// the decomposition).
     pub fn width(&self, graph: &GaifmanGraph) -> usize {
         let n = graph.vertex_count();
-        let mut adjacency: Vec<BTreeSet<usize>> = (0..n)
-            .map(|v| graph.neighbours(v).clone())
-            .collect();
+        let mut adjacency: Vec<BTreeSet<usize>> =
+            (0..n).map(|v| graph.neighbours(v).clone()).collect();
         let mut eliminated = vec![false; n];
         let mut width = 0usize;
         for &v in &self.order {
@@ -152,9 +149,7 @@ where
     F: FnMut(&[BTreeSet<usize>], &[bool], usize) -> usize,
 {
     let n = graph.vertex_count();
-    let mut adjacency: Vec<BTreeSet<usize>> = (0..n)
-        .map(|v| graph.neighbours(v).clone())
-        .collect();
+    let mut adjacency: Vec<BTreeSet<usize>> = (0..n).map(|v| graph.neighbours(v).clone()).collect();
     let mut eliminated = vec![false; n];
     let mut order = Vec::with_capacity(n);
     for _ in 0..n {

@@ -35,9 +35,7 @@ pub mod heuristics;
 pub use decomposition::{Bag, DecompositionError, TreeDecomposition};
 pub use exact::exact_treewidth;
 pub use graph::GaifmanGraph;
-pub use heuristics::{
-    min_degree_decomposition, min_fill_decomposition, EliminationOrder,
-};
+pub use heuristics::{min_degree_decomposition, min_fill_decomposition, EliminationOrder};
 
 use ntgd_core::Interpretation;
 

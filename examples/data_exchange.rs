@@ -59,19 +59,27 @@ fn main() {
 
     // The paper's semantics takes the negation seriously.
     let engine = SmsEngine::new(mapping.clone());
-    let models = engine.stable_models(&source).expect("stable models enumerate");
+    let models = engine
+        .stable_models(&source)
+        .expect("stable models enumerate");
     println!("\nStable models under SM[D,Σ]: {}", models.len());
 
     let queries = [
         ("ann appears in the directory", "?- directory(ann, R)."),
         ("bo appears in the directory", "?- directory(bo, R)."),
         ("bo works from home", "?- homeWorker(bo)."),
-        ("some engineer has an office", "?- emp(X, engineering), office(X, R)."),
+        (
+            "some engineer has an office",
+            "?- emp(X, engineering), office(X, R).",
+        ),
     ];
     println!();
     for (label, text) in queries {
         let query = parse_query(text).expect("query parses");
-        let answer = match engine.entails_cautious(&source, &query).expect("SMS answers") {
+        let answer = match engine
+            .entails_cautious(&source, &query)
+            .expect("SMS answers")
+        {
             SmsAnswer::Entailed => "certain",
             SmsAnswer::NotEntailed => "not certain",
             SmsAnswer::Inconsistent => "inconsistent",

@@ -57,7 +57,12 @@ fn main() {
         .unwrap_or_default();
     let rendered: Vec<String> = certain
         .iter()
-        .map(|t| t.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(","))
+        .map(|t| {
+            t.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        })
         .collect();
     println!("certain staff members: [{}]", rendered.join(" "));
 }

@@ -32,7 +32,10 @@ fn main() {
         ),
     ];
 
-    println!("The fixed NTGD program of the reduction:\n{}", TwoQbf::program());
+    println!(
+        "The fixed NTGD program of the reduction:\n{}",
+        TwoQbf::program()
+    );
     for (name, formula) in formulas {
         let db = formula.database();
         println!("Encoded database for {name}:\n{db}");

@@ -41,7 +41,10 @@ fn main() {
     let queries = [
         ("every person is normal", "?- person(X), not abnormal(X)."),
         ("some person is abnormal", "?- person(X), abnormal(X)."),
-        ("bob is certainly not alice's father", "?- not hasFather(alice, bob)."),
+        (
+            "bob is certainly not alice's father",
+            "?- not hasFather(alice, bob).",
+        ),
     ];
     println!();
     for (label, text) in queries {

@@ -1,7 +1,9 @@
 //! Cross-crate integration tests: parse → classify → chase → answer under the
 //! three semantics, reproducing the paper's running examples end to end.
 
-use stable_tgd::chase::{operational_stable_models, restricted_chase, ChaseConfig, OperationalConfig};
+use stable_tgd::chase::{
+    operational_stable_models, restricted_chase, ChaseConfig, OperationalConfig,
+};
 use stable_tgd::classes;
 use stable_tgd::lp::{LpAnswer, LpEngine, LpLimits};
 use stable_tgd::parser::{parse_database, parse_program, parse_query};
@@ -96,7 +98,9 @@ fn is_stable_model_agrees_with_enumeration() {
     let program = parse_program(EXAMPLE1).unwrap();
     let sms = SmsEngine::new(program.clone());
     for model in sms.stable_models(&database).unwrap() {
-        assert!(stable_tgd::sms::is_stable_model(&database, &program, &model));
+        assert!(stable_tgd::sms::is_stable_model(
+            &database, &program, &model
+        ));
         assert!(stable_tgd::sms::is_supported_by_operator(
             &database, &program, &model
         ));

@@ -1,48 +1,315 @@
-//! Property-based tests over randomly generated programs, databases and
-//! formulas.
+//! Property-based tests over randomly generated programs, databases,
+//! interpretations and conjunctions.
+//!
+//! The generators are driven by a small deterministic xorshift PRNG (the
+//! build environment has no crates.io access, so `proptest` is not
+//! available); every case is reproducible from its printed seed.
+//!
+//! The first group of properties is the correctness contract of the indexed
+//! join engine: on randomized conjunctions and interpretations — including
+//! negative literals, unsafe variables and initial substitutions — the
+//! engine must return exactly the same homomorphism set as the retained
+//! naive reference matcher (`stable_tgd::core::matcher::reference`), and
+//! delta matching must partition the homomorphism space by watermark.
 
-use proptest::prelude::*;
+use std::ops::ControlFlow;
 
-use stable_tgd::core::{Interpretation, Atom};
+use stable_tgd::core::matcher::{self, reference};
+use stable_tgd::core::{atom, Atom, Interpretation, Literal, Program, Query, Substitution, Term};
 use stable_tgd::lp::{LpEngine, LpLimits};
 use stable_tgd::parser::{parse_database, parse_program, parse_rule};
 use stable_tgd::sms::{NullBudget, SmsEngine};
 
-/// Strategy: a small existential-free normal program plus a database over
-/// unary predicates, rendered as text.
-fn program_and_database() -> impl Strategy<Value = (String, String)> {
-    let predicates = prop::sample::select(vec!["p", "q", "r", "s"]);
-    let fact = (prop::sample::select(vec!["p", "q"]), 0..3u8)
-        .prop_map(|(p, c)| format!("{p}(c{c}). "));
-    let rule = (predicates.clone(), predicates.clone(), predicates, any::<bool>()).prop_map(
-        |(body, neg, head, use_neg)| {
-            if use_neg && body != neg {
-                format!("{body}(X), not {neg}(X) -> {head}(X). ")
-            } else {
-                format!("{body}(X) -> {head}(X). ")
-            }
-        },
-    );
-    (
-        prop::collection::vec(rule, 1..5).prop_map(|v| v.concat()),
-        prop::collection::vec(fact, 1..4).prop_map(|v| v.concat()),
-    )
+/// Deterministic xorshift64* generator for the property tests.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0);
+        (self.next() % n as u64) as usize
+    }
+
+    fn chance(&mut self, percent: u64) -> bool {
+        self.next() % 100 < percent
+    }
+
+    fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len())]
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+// ---------------------------------------------------------------------------
+// Matcher equivalence: indexed join engine vs naive reference matcher.
+// ---------------------------------------------------------------------------
 
-    /// Theorem 1: on existential-free programs the LP approach and the new
-    /// SMS semantics have identical stable model sets.
-    #[test]
-    fn lp_and_sms_coincide_on_existential_free_programs(
-        (rules_text, db_text) in program_and_database()
-    ) {
+const PREDICATES: &[(&str, usize)] = &[("p", 2), ("q", 1), ("r", 3), ("e", 2)];
+const VARIABLES: &[&str] = &["X", "Y", "Z", "W"];
+
+fn random_ground_term(rng: &mut Rng) -> Term {
+    if rng.chance(80) {
+        stable_tgd::core::cst(&format!("c{}", rng.below(6)))
+    } else {
+        Term::null(rng.below(3) as u64)
+    }
+}
+
+fn random_pattern_term(rng: &mut Rng) -> Term {
+    if rng.chance(55) {
+        stable_tgd::core::var(VARIABLES[rng.below(VARIABLES.len())])
+    } else {
+        random_ground_term(rng)
+    }
+}
+
+fn random_interpretation(rng: &mut Rng, max_atoms: usize) -> Interpretation {
+    let count = rng.below(max_atoms + 1);
+    let mut interpretation = Interpretation::new();
+    for _ in 0..count {
+        let &(pred, arity) = rng.pick(PREDICATES);
+        let args = (0..arity).map(|_| random_ground_term(rng)).collect();
+        interpretation.insert(atom(pred, args));
+    }
+    interpretation
+}
+
+fn random_pattern_atom(rng: &mut Rng) -> Atom {
+    let &(pred, arity) = rng.pick(PREDICATES);
+    let args = (0..arity).map(|_| random_pattern_term(rng)).collect();
+    atom(pred, args)
+}
+
+fn random_conjunction(rng: &mut Rng) -> Vec<Literal> {
+    let positives = rng.below(4); // 0..=3 positive literals
+    let negatives = rng.below(3); // 0..=2 negative literals
+    let mut literals = Vec::new();
+    for _ in 0..positives {
+        literals.push(Literal::positive(random_pattern_atom(rng)));
+    }
+    for _ in 0..negatives {
+        literals.push(Literal::negative(random_pattern_atom(rng)));
+    }
+    literals
+}
+
+fn random_initial(rng: &mut Rng) -> Substitution {
+    let mut initial = Substitution::new();
+    if rng.chance(30) {
+        let variable = stable_tgd::core::var(VARIABLES[rng.below(VARIABLES.len())]);
+        initial.bind(variable, random_ground_term(rng));
+    }
+    initial
+}
+
+fn rendered(homomorphisms: &[Substitution]) -> Vec<String> {
+    let mut out: Vec<String> = homomorphisms.iter().map(Substitution::to_string).collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn indexed_matcher_equals_reference_on_random_conjunctions() {
+    for seed in 0..300u64 {
+        let mut rng = Rng::new(seed);
+        let interpretation = random_interpretation(&mut rng, 14);
+        let conjunction = random_conjunction(&mut rng);
+        let initial = random_initial(&mut rng);
+        let fast = matcher::all_homomorphisms(&conjunction, &interpretation, &initial);
+        let naive = reference::all_homomorphisms(&conjunction, &interpretation, &initial);
+        assert_eq!(
+            rendered(&fast),
+            rendered(&naive),
+            "seed {seed}: mismatch on {conjunction:?} over {interpretation}"
+        );
+    }
+}
+
+#[test]
+fn indexed_matcher_equals_reference_on_unsafe_conjunctions() {
+    // Force the unsafe path: negative-only conjunctions plus mixed ones whose
+    // negative literals use variables that no positive literal binds.
+    for seed in 0..150u64 {
+        let mut rng = Rng::new(0xabcd ^ seed);
+        let interpretation = random_interpretation(&mut rng, 8);
+        let mut conjunction = Vec::new();
+        if rng.chance(50) {
+            conjunction.push(Literal::positive(random_pattern_atom(&mut rng)));
+        }
+        for _ in 0..=rng.below(2) {
+            conjunction.push(Literal::negative(random_pattern_atom(&mut rng)));
+        }
+        let initial = random_initial(&mut rng);
+        let fast = matcher::all_homomorphisms(&conjunction, &interpretation, &initial);
+        let naive = reference::all_homomorphisms(&conjunction, &interpretation, &initial);
+        assert_eq!(
+            rendered(&fast),
+            rendered(&naive),
+            "seed {seed}: mismatch on {conjunction:?} over {interpretation}"
+        );
+    }
+}
+
+#[test]
+fn exists_agrees_with_nonemptiness_of_the_reference_set() {
+    for seed in 0..150u64 {
+        let mut rng = Rng::new(0x5151 ^ seed);
+        let interpretation = random_interpretation(&mut rng, 10);
+        let conjunction = random_conjunction(&mut rng);
+        let naive =
+            reference::all_homomorphisms(&conjunction, &interpretation, &Substitution::new());
+        let exists =
+            matcher::exists_homomorphism(&conjunction, &interpretation, &Substitution::new());
+        assert_eq!(exists, !naive.is_empty(), "seed {seed}");
+    }
+}
+
+#[test]
+fn delta_matching_partitions_the_homomorphism_space() {
+    // For positive conjunctions: homomorphisms into the grown interpretation
+    // are exactly the old homomorphisms plus the delta homomorphisms, with no
+    // overlap and no duplicates.
+    for seed in 0..200u64 {
+        let mut rng = Rng::new(0xd17a ^ seed);
+        let atoms: Vec<Atom> = {
+            let i = random_interpretation(&mut rng, 14);
+            i.atoms().cloned().collect()
+        };
+        let split = if atoms.is_empty() {
+            0
+        } else {
+            rng.below(atoms.len() + 1)
+        };
+        let old = Interpretation::from_atoms(atoms[..split].iter().cloned());
+        let full = Interpretation::from_atoms(atoms.iter().cloned());
+        let watermark = old.len();
+
+        let positives: Vec<Atom> = (0..rng.below(3) + 1)
+            .map(|_| random_pattern_atom(&mut rng))
+            .collect();
+        let on_old = matcher::all_atom_homomorphisms(&positives, &old, &Substitution::new());
+        let on_full = matcher::all_atom_homomorphisms(&positives, &full, &Substitution::new());
+        let delta = matcher::all_atom_homomorphisms_delta(
+            &positives,
+            &full,
+            &Substitution::new(),
+            watermark,
+        );
+
+        let mut combined = rendered(&on_old);
+        combined.extend(rendered(&delta));
+        combined.sort();
+        assert_eq!(
+            combined,
+            rendered(&on_full),
+            "seed {seed}: delta decomposition failed for {positives:?}"
+        );
+        // Disjointness: nothing in the delta already matched the old part.
+        for h in rendered(&delta) {
+            assert!(
+                !rendered(&on_old).contains(&h),
+                "seed {seed}: duplicate homomorphism {h}"
+            );
+        }
+    }
+}
+
+#[test]
+fn delta_visitors_can_stop_early() {
+    let mut rng = Rng::new(99);
+    let interpretation = random_interpretation(&mut rng, 12);
+    let positives = vec![random_pattern_atom(&mut rng)];
+    let mut seen = 0usize;
+    matcher::for_each_atom_homomorphism_delta(
+        &positives,
+        &interpretation,
+        &Substitution::new(),
+        0,
+        &mut |_| {
+            seen += 1;
+            ControlFlow::Break(())
+        },
+    );
+    assert!(seen <= 1);
+}
+
+// ---------------------------------------------------------------------------
+// Random existential-free normal programs (text generators as in the old
+// proptest strategies).
+// ---------------------------------------------------------------------------
+
+/// A small existential-free normal program plus a database over unary
+/// predicates, rendered as text.
+fn program_and_database(rng: &mut Rng) -> (String, String) {
+    let predicates = ["p", "q", "r", "s"];
+    let mut rules = String::new();
+    for _ in 0..rng.below(4) + 1 {
+        let body = *rng.pick(&predicates);
+        let negated = *rng.pick(&predicates);
+        let head = *rng.pick(&predicates);
+        if rng.chance(50) && body != negated {
+            rules.push_str(&format!("{body}(X), not {negated}(X) -> {head}(X). "));
+        } else {
+            rules.push_str(&format!("{body}(X) -> {head}(X). "));
+        }
+    }
+    let mut facts = String::new();
+    for _ in 0..rng.below(3) + 1 {
+        let pred = *rng.pick(&["p", "q"]);
+        facts.push_str(&format!("{pred}(c{}). ", rng.below(3)));
+    }
+    (rules, facts)
+}
+
+/// A small rule set *with* existentially quantified variables over binary
+/// predicates, rendered as text, plus a matching database.
+fn existential_program_and_database(rng: &mut Rng) -> (String, String) {
+    let predicates = ["p", "q", "r"];
+    let mut rules = String::new();
+    for _ in 0..rng.below(3) + 1 {
+        let body = *rng.pick(&predicates);
+        let extra = *rng.pick(&predicates);
+        let head = *rng.pick(&predicates);
+        match (rng.chance(50), rng.chance(50)) {
+            (true, _) => rules.push_str(&format!("{body}(X, Y) -> {head}(Y, Z). ")),
+            (false, true) => {
+                rules.push_str(&format!("{body}(X, Y), {extra}(Y, W) -> {head}(X, W). "));
+            }
+            (false, false) => rules.push_str(&format!("{body}(X, Y) -> {head}(Y, X). ")),
+        }
+    }
+    let mut facts = String::new();
+    for _ in 0..rng.below(3) + 1 {
+        let pred = *rng.pick(&["p", "q"]);
+        facts.push_str(&format!("{pred}(c{}, c{}). ", rng.below(3), rng.below(3)));
+    }
+    (rules, facts)
+}
+
+/// Theorem 1: on existential-free programs the LP approach and the new SMS
+/// semantics have identical stable model sets.
+#[test]
+fn lp_and_sms_coincide_on_existential_free_programs() {
+    for seed in 0..16u64 {
+        let mut rng = Rng::new(0x7ea1 ^ seed);
+        let (rules_text, db_text) = program_and_database(&mut rng);
         let program = parse_program(&rules_text).unwrap();
         let database = parse_database(&db_text).unwrap();
         let lp = LpEngine::new(&database, &program, &LpLimits::default()).unwrap();
-        let mut lp_models: Vec<Vec<Atom>> =
-            lp.models().iter().map(Interpretation::sorted_atoms).collect();
+        let mut lp_models: Vec<Vec<Atom>> = lp
+            .models()
+            .iter()
+            .map(Interpretation::sorted_atoms)
+            .collect();
         lp_models.sort();
         let sms = SmsEngine::new(program).with_null_budget(NullBudget::None);
         let mut sms_models: Vec<Vec<Atom>> = sms
@@ -52,100 +319,88 @@ proptest! {
             .map(Interpretation::sorted_atoms)
             .collect();
         sms_models.sort();
-        prop_assert_eq!(lp_models, sms_models);
+        assert_eq!(
+            lp_models, sms_models,
+            "seed {seed}: {rules_text} / {db_text}"
+        );
     }
+}
 
-    /// Every enumerated stable model passes the direct Definition-1 check and
-    /// the Lemma-7 support check.
-    #[test]
-    fn enumerated_models_are_stable_and_supported(
-        (rules_text, db_text) in program_and_database()
-    ) {
+/// Every enumerated stable model passes the direct Definition-1 check and the
+/// Lemma-7 support check.
+#[test]
+fn enumerated_models_are_stable_and_supported() {
+    for seed in 0..16u64 {
+        let mut rng = Rng::new(0x57ab ^ seed);
+        let (rules_text, db_text) = program_and_database(&mut rng);
         let program = parse_program(&rules_text).unwrap();
         let database = parse_database(&db_text).unwrap();
         let sms = SmsEngine::new(program.clone()).with_null_budget(NullBudget::None);
         for model in sms.stable_models(&database).unwrap() {
-            prop_assert!(stable_tgd::sms::is_stable_model(&database, &program, &model));
-            prop_assert!(stable_tgd::sms::is_supported_by_operator(&database, &program, &model));
-            prop_assert!(database.facts().all(|f| model.contains(f)));
+            assert!(stable_tgd::sms::is_stable_model(
+                &database, &program, &model
+            ));
+            assert!(stable_tgd::sms::is_supported_by_operator(
+                &database, &program, &model
+            ));
+            assert!(database.facts().all(|f| model.contains(f)));
         }
     }
+}
 
-    /// Printing a rule and re-parsing it is the identity.
-    #[test]
-    fn rule_display_round_trips(
-        (rules_text, _) in program_and_database()
-    ) {
+/// Printing a rule and re-parsing it is the identity.
+#[test]
+fn rule_display_round_trips() {
+    for seed in 0..16u64 {
+        let mut rng = Rng::new(0xd15b ^ seed);
+        let (rules_text, _) = program_and_database(&mut rng);
         let program = parse_program(&rules_text).unwrap();
         for rule in program.rules() {
             let reparsed = parse_rule(&rule.to_string()).unwrap();
-            prop_assert_eq!(rule, &reparsed);
+            assert_eq!(rule, &reparsed);
         }
     }
+}
 
-    /// The classifiers never panic and weak-acyclicity of an existential-free
-    /// program always holds.
-    #[test]
-    fn existential_free_programs_are_weakly_acyclic(
-        (rules_text, _) in program_and_database()
-    ) {
+/// The classifiers never panic and weak-acyclicity of an existential-free
+/// program always holds.
+#[test]
+fn existential_free_programs_are_weakly_acyclic() {
+    for seed in 0..16u64 {
+        let mut rng = Rng::new(0xacc1 ^ seed);
+        let (rules_text, _) = program_and_database(&mut rng);
         let program = parse_program(&rules_text).unwrap();
-        prop_assert!(stable_tgd::classes::is_weakly_acyclic(&program));
+        assert!(stable_tgd::classes::is_weakly_acyclic(&program));
         let _ = stable_tgd::classes::is_sticky(&program);
         let _ = stable_tgd::classes::is_guarded(&program);
     }
 }
 
-/// Strategy: a small rule set *with* existentially quantified variables over
-/// binary predicates, rendered as text, plus a matching database.
-fn existential_program_and_database() -> impl Strategy<Value = (String, String)> {
-    let predicates = prop::sample::select(vec!["p", "q", "r"]);
-    let fact = (prop::sample::select(vec!["p", "q"]), 0..3u8, 0..3u8)
-        .prop_map(|(pred, a, b)| format!("{pred}(c{a}, c{b}). "));
-    let rule = (
-        predicates.clone(),
-        predicates.clone(),
-        predicates,
-        any::<bool>(),
-        any::<bool>(),
-    )
-        .prop_map(|(body, extra, head, existential, join)| {
-            match (existential, join) {
-                // body(X, Y) -> head(Y, Z)
-                (true, _) => format!("{body}(X, Y) -> {head}(Y, Z). "),
-                // body(X, Y), extra(Y, W) -> head(X, W)
-                (false, true) => format!("{body}(X, Y), {extra}(Y, W) -> {head}(X, W). "),
-                // body(X, Y) -> head(Y, X)
-                (false, false) => format!("{body}(X, Y) -> {head}(Y, X). "),
-            }
-        });
-    (
-        prop::collection::vec(rule, 1..4).prop_map(|v| v.concat()),
-        prop::collection::vec(fact, 1..4).prop_map(|v| v.concat()),
-    )
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// The known containments between the implemented classes (WA ⊆ JA ⊆ MFA,
-    /// linear ⊆ guarded ⊆ weakly-guarded, …) hold on random rule sets.
-    #[test]
-    fn class_containments_hold_on_random_programs(
-        (rules_text, _) in existential_program_and_database()
-    ) {
+/// The known containments between the implemented classes (WA ⊆ JA ⊆ MFA,
+/// linear ⊆ guarded ⊆ weakly-guarded, …) hold on random rule sets.
+#[test]
+fn class_containments_hold_on_random_programs() {
+    for seed in 0..16u64 {
+        let mut rng = Rng::new(0xc095 ^ seed);
+        let (rules_text, _) = existential_program_and_database(&mut rng);
         let program = parse_program(&rules_text).unwrap();
         let report = stable_tgd::classes::classify(&program);
-        prop_assert_eq!(report.violated_containment(), None);
+        assert_eq!(
+            report.violated_containment(),
+            None,
+            "seed {seed}: {rules_text}"
+        );
     }
+}
 
-    /// On chase-terminating programs the restricted, Skolem and oblivious
-    /// chases are ordered by size and have cores of equal size (they are
-    /// homomorphically equivalent universal models).
-    #[test]
-    fn chase_variants_are_ordered_and_homomorphically_equivalent(
-        (rules_text, db_text) in existential_program_and_database()
-    ) {
+/// On chase-terminating programs the restricted, Skolem and oblivious chases
+/// are ordered by size and have cores of equal size (they are
+/// homomorphically equivalent universal models).
+#[test]
+fn chase_variants_are_ordered_and_homomorphically_equivalent() {
+    for seed in 0..16u64 {
+        let mut rng = Rng::new(0xc4a5 ^ seed);
+        let (rules_text, db_text) = existential_program_and_database(&mut rng);
         let program = parse_program(&rules_text).unwrap();
         let database = parse_database(&db_text).unwrap();
         let config = stable_tgd::chase::ChaseConfig::with_max_steps(300);
@@ -155,22 +410,24 @@ proptest! {
         // Only compare fully terminated runs (the random program may be
         // non-terminating, in which case the step bound kicks in).
         if restricted.terminated() && skolem.terminated() && oblivious.terminated() {
-            prop_assert!(restricted.instance.len() <= skolem.instance.len());
-            prop_assert!(skolem.instance.len() <= oblivious.instance.len());
+            assert!(restricted.instance.len() <= skolem.instance.len());
+            assert!(skolem.instance.len() <= oblivious.instance.len());
             if skolem.instance.len() <= 60 {
                 let restricted_core = stable_tgd::chase::core_of(&restricted.instance);
                 let skolem_core = stable_tgd::chase::core_of(&skolem.instance);
-                prop_assert_eq!(restricted_core.len(), skolem_core.len());
+                assert_eq!(restricted_core.len(), skolem_core.len(), "seed {seed}");
             }
         }
     }
+}
 
-    /// Min-fill and min-degree decompositions of the chase instance are valid
-    /// tree decompositions, and they never beat the exact treewidth.
-    #[test]
-    fn heuristic_decompositions_of_chase_instances_are_valid(
-        (rules_text, db_text) in existential_program_and_database()
-    ) {
+/// Min-fill and min-degree decompositions of the chase instance are valid
+/// tree decompositions, and they never beat the exact treewidth.
+#[test]
+fn heuristic_decompositions_of_chase_instances_are_valid() {
+    for seed in 0..16u64 {
+        let mut rng = Rng::new(0xdec0 ^ seed);
+        let (rules_text, db_text) = existential_program_and_database(&mut rng);
         let program = parse_program(&rules_text).unwrap();
         let database = parse_database(&db_text).unwrap();
         let config = stable_tgd::chase::ChaseConfig::with_max_steps(60);
@@ -178,31 +435,32 @@ proptest! {
         let graph = stable_tgd::treewidth::GaifmanGraph::of_interpretation(&chase.instance);
         let min_fill = stable_tgd::treewidth::min_fill_decomposition(&graph);
         let min_degree = stable_tgd::treewidth::min_degree_decomposition(&graph);
-        prop_assert_eq!(min_fill.validate(&graph), Ok(()));
-        prop_assert_eq!(min_degree.validate(&graph), Ok(()));
-        prop_assert_eq!(
-            min_fill.validate_for_interpretation(&chase.instance).is_ok(),
-            true
-        );
+        assert_eq!(min_fill.validate(&graph), Ok(()));
+        assert_eq!(min_degree.validate(&graph), Ok(()));
+        assert!(min_fill
+            .validate_for_interpretation(&chase.instance)
+            .is_ok());
         if graph.vertex_count() <= 14 {
             let exact = stable_tgd::treewidth::exact_treewidth(&graph);
-            prop_assert!(min_fill.width() >= exact);
-            prop_assert!(min_degree.width() >= exact);
+            assert!(min_fill.width() >= exact);
+            assert!(min_degree.width() >= exact);
         }
     }
+}
 
-    /// The EFWFS of an existential-free, negation-free program entails every
-    /// atom of its unique (least) model that the LP engine entails.
-    #[test]
-    fn efwfs_and_lp_agree_on_positive_existential_free_programs(
-        (rules_text, db_text) in program_and_database()
-    ) {
+/// The EFWFS of an existential-free, negation-free program entails every
+/// atom of its unique (least) model that the LP engine entails.
+#[test]
+fn efwfs_and_lp_agree_on_positive_existential_free_programs() {
+    for seed in 0..8u64 {
+        let mut rng = Rng::new(0xefef ^ seed);
+        let (rules_text, db_text) = program_and_database(&mut rng);
         let program = parse_program(&rules_text).unwrap();
         // Keep only the negation-free rules: on these the least model is the
         // unique stable model and also the unique (two-valued) WFS model.
-        let positive = stable_tgd::core::Program::from_rules(
-            program.rules().iter().filter(|r| r.is_positive()).cloned()
-        ).unwrap();
+        let positive =
+            Program::from_rules(program.rules().iter().filter(|r| r.is_positive()).cloned())
+                .unwrap();
         let database = parse_database(&db_text).unwrap();
         let config = stable_tgd::lp::EfwfsConfig {
             fresh_constants: 0,
@@ -210,13 +468,16 @@ proptest! {
             ..stable_tgd::lp::EfwfsConfig::default()
         };
         let lp = LpEngine::new(&database, &positive, &LpLimits::default()).unwrap();
-        prop_assume!(lp.models().len() == 1);
+        if lp.models().len() != 1 {
+            continue;
+        }
         for atom in lp.models()[0].atoms() {
-            let q = stable_tgd::core::Query::boolean(
-                vec![stable_tgd::core::Literal::positive(atom.clone())]
-            ).unwrap();
+            let q = Query::boolean(vec![Literal::positive(atom.clone())]).unwrap();
             let outcome = stable_tgd::lp::efwfs_entails_cautious(&database, &positive, &q, &config);
-            prop_assert!(outcome.entailed, "EFWFS does not entail {atom}");
+            assert!(
+                outcome.entailed,
+                "seed {seed}: EFWFS does not entail {atom}"
+            );
         }
     }
 }

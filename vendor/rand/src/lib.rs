@@ -1,0 +1,158 @@
+//! Offline, in-tree stand-in for the `rand` crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! this vendored crate implements exactly the subset of the `rand` 0.8 API
+//! that the workspace uses:
+//!
+//! * the [`Rng`] trait with `gen_range` (half-open `Range`), `gen_bool` and
+//!   `next_u64`;
+//! * the [`SeedableRng`] trait with `seed_from_u64`;
+//! * [`rngs::StdRng`], here a small xoshiro256**-style generator.
+//!
+//! The generator is deterministic for a given seed (which is all the
+//! workspace relies on: reproducible workload generation), but it is **not**
+//! stream-compatible with the real `StdRng` and must never be used for
+//! cryptography.
+
+use std::ops::Range;
+
+/// Types that can be sampled uniformly from a half-open range by [`Rng`].
+pub trait SampleUniform: Copy {
+    /// Uniformly samples from `range` using `draw` as the entropy source.
+    fn sample_range(range: Range<Self>, draw: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(range: Range<Self>, draw: &mut dyn FnMut() -> u64) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                // Multiply-shift bounded sampling; the tiny modulo bias of the
+                // plain `% span` alternative does not matter here, but this is
+                // just as cheap and unbiased enough for workload generation.
+                let value = (u128::from(draw()) * span) >> 64;
+                (range.start as i128 + value as i128) as Self
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Subset of `rand::Rng`: uniform ranges, Bernoulli draws and raw words.
+pub trait Rng {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples uniformly from the half-open `range`.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        let mut draw = || self.next_u64();
+        T::sample_range(range, &mut draw)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        // 53 random bits give a uniform float in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+/// Subset of `rand::SeedableRng`: seeding from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators (only [`StdRng`]).
+
+    use super::{Rng, SeedableRng};
+
+    /// A deterministic xoshiro256**-style generator standing in for
+    /// `rand::rngs::StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                state: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.state;
+            let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s1 << 17;
+            let mut n2 = s2 ^ s0;
+            let n3 = s3 ^ s1;
+            let n1 = s1 ^ n2;
+            let n0 = s0 ^ n3;
+            n2 ^= t;
+            self.state = [n0, n1, n2, n3.rotate_left(45)];
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_hits_everything() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = rng.gen_range(0usize..5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..100 {
+            let v = rng.gen_range(-3i32..4);
+            assert!((-3..4).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!((0..50).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..50).all(|_| rng.gen_bool(1.0)));
+        let heads = (0..2000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((800..1200).contains(&heads), "suspicious bias: {heads}");
+    }
+}
