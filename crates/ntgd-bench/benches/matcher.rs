@@ -1,18 +1,22 @@
 //! Criterion benchmark for the matcher hot path: the indexed join engine of
 //! `ntgd_core::matcher` versus the retained naive reference matcher
 //! (`ntgd_core::matcher::reference`) on chain joins, star joins and
-//! negation-heavy conjunctions.
+//! negation-heavy conjunctions, plus the compiled-plan workloads of the plan
+//! cache PR: compile-once-vs-compile-per-call on a multi-round chain-join
+//! delta workload, and slot-view-vs-cloned-substitution enumeration.
 //!
 //! Besides the criterion-style report, the benchmark records the measured
 //! medians and speedups in `BENCH_matcher.json` at the repository root, so
-//! the before/after numbers of the indexed-join-engine PR stay reproducible
-//! with `cargo bench --bench matcher`.
+//! the before/after numbers of the matcher PRs stay reproducible with
+//! `cargo bench --bench matcher` (the CI gate compares them against the
+//! committed baseline with `cargo run -p ntgd-bench --bin bench_gate`).
 
+use std::ops::ControlFlow;
 use std::time::{Duration, Instant};
 
 use criterion::Criterion;
 use ntgd_core::matcher::{self, reference};
-use ntgd_core::{atom, cst, var, Interpretation, Literal, Substitution};
+use ntgd_core::{atom, cst, var, Atom, CompiledConjunction, Interpretation, Literal, Substitution};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -127,6 +131,63 @@ fn median_duration<F: FnMut() -> usize>(samples: usize, mut routine: F) -> Durat
     times[times.len() / 2]
 }
 
+/// The multi-round chain-join delta workload of the plan-cache comparison: a
+/// base graph, the atoms inserted one per round, and the chain body.
+fn compile_cache_workload() -> (Interpretation, Vec<Atom>, Vec<Atom>) {
+    let mut rng = StdRng::seed_from_u64(0x6a03);
+    // Sparse: a chase round typically derives a handful of atoms, so the
+    // delta neighbourhood (and thus the matching work per round) is tiny and
+    // per-round compilation is the dominant avoidable cost.
+    let base = random_edges(&mut rng, 2_000, 400);
+    let extra: Vec<Atom> = (0..600)
+        .map(|_| {
+            let a = rng.gen_range(0..2_000);
+            let b = rng.gen_range(0..2_000);
+            atom("e", vec![cst(&format!("n{a}")), cst(&format!("n{b}"))])
+        })
+        .collect();
+    let body = vec![
+        atom("e", vec![var("X"), var("Y")]),
+        atom("e", vec![var("Y"), var("Z")]),
+        atom("e", vec![var("Z"), var("W")]),
+        atom("e", vec![var("W"), var("V")]),
+        atom("e", vec![var("V"), var("U")]),
+    ];
+    (base, extra, body)
+}
+
+/// Runs the multi-round workload: every round inserts one atom and
+/// delta-matches the chain body against it.  With `cached` the plan is
+/// compiled once before the rounds; otherwise every round compiles a
+/// one-shot plan (the pre-cache behaviour of chase/grounding loops).
+fn run_delta_rounds(cached: bool, base: &Interpretation, extra: &[Atom], body: &[Atom]) -> usize {
+    let empty = Substitution::new();
+    let mut interpretation = base.clone();
+    let plan = CompiledConjunction::compile_atoms(body, &interpretation);
+    let mut count = 0usize;
+    for edge in extra {
+        let watermark = interpretation.len();
+        if !interpretation.insert(edge.clone()) {
+            continue;
+        }
+        if cached {
+            plan.for_each_delta(&interpretation, &empty, watermark, &mut |_| {
+                count += 1;
+                ControlFlow::Continue(())
+            });
+        } else {
+            // Compile-per-call: what every fixpoint round paid before the
+            // plan cache (identical execution path, fresh compilation).
+            let one_shot = CompiledConjunction::compile_atoms(body, &interpretation);
+            one_shot.for_each_delta(&interpretation, &empty, watermark, &mut |_| {
+                count += 1;
+                ControlFlow::Continue(())
+            });
+        }
+    }
+    count
+}
+
 /// One delta-matching round: how long it takes to find the homomorphisms
 /// introduced by the newest atom versus a full rematch.
 fn bench_delta(criterion: &mut Criterion) {
@@ -192,10 +253,91 @@ fn main() {
         ));
     }
 
+    // Compile-once vs compile-per-call on the multi-round chain-join delta
+    // workload (the chase/grounding round pattern).
+    {
+        let (base, extra, body) = compile_cache_workload();
+        let cached_count = run_delta_rounds(true, &base, &extra, &body);
+        let per_call_count = run_delta_rounds(false, &base, &extra, &body);
+        assert_eq!(cached_count, per_call_count, "plan cache changed results");
+        criterion.bench_function("matcher/compile_cache/cached", |b| {
+            b.iter(|| run_delta_rounds(true, &base, &extra, &body))
+        });
+        criterion.bench_function("matcher/compile_cache/per_call", |b| {
+            b.iter(|| run_delta_rounds(false, &base, &extra, &body))
+        });
+        let cached = median_duration(20, || run_delta_rounds(true, &base, &extra, &body));
+        let per_call = median_duration(20, || run_delta_rounds(false, &base, &extra, &body));
+        let speedup = per_call.as_secs_f64() / cached.as_secs_f64().max(f64::MIN_POSITIVE);
+        println!(
+            "matcher/compile_cache: cached {cached:?}, per-call {per_call:?}, speedup {speedup:.1}x, {cached_count} homomorphisms"
+        );
+        rows.push((
+            "compile_cache".to_owned(),
+            cached.as_nanos(),
+            per_call.as_nanos(),
+            speedup,
+            cached_count,
+        ));
+    }
+
+    // Slot-view enumeration vs materialising a substitution per result, over
+    // one cached plan (isolates the per-result clone the view removes).
+    {
+        let mut rng = StdRng::seed_from_u64(0x6a04);
+        let interpretation = random_edges(&mut rng, 150, 450);
+        let body = vec![
+            atom("e", vec![var("X"), var("Y")]),
+            atom("e", vec![var("Y"), var("Z")]),
+            atom("e", vec![var("Z"), var("W")]),
+        ];
+        let empty = Substitution::new();
+        let plan = CompiledConjunction::compile_atoms(&body, &interpretation);
+        let x = var("X");
+        let view_count = || {
+            let mut count = 0usize;
+            plan.for_each(&interpretation, &empty, &mut |binding| {
+                if binding.value_of(&x).is_some() {
+                    count += 1;
+                }
+                ControlFlow::Continue(())
+            });
+            count
+        };
+        let clone_count = || {
+            let mut count = 0usize;
+            plan.for_each(&interpretation, &empty, &mut |binding| {
+                let substitution = binding.to_substitution();
+                if !substitution.is_empty() {
+                    count += 1;
+                }
+                ControlFlow::Continue(())
+            });
+            count
+        };
+        let homomorphisms = view_count();
+        assert_eq!(homomorphisms, clone_count(), "slot view changed results");
+        criterion.bench_function("matcher/slot_view/view", |b| b.iter(view_count));
+        criterion.bench_function("matcher/slot_view/clone", |b| b.iter(clone_count));
+        let view = median_duration(20, view_count);
+        let cloned = median_duration(20, clone_count);
+        let speedup = cloned.as_secs_f64() / view.as_secs_f64().max(f64::MIN_POSITIVE);
+        println!(
+            "matcher/slot_view: view {view:?}, clone {cloned:?}, speedup {speedup:.1}x, {homomorphisms} homomorphisms"
+        );
+        rows.push((
+            "slot_view".to_owned(),
+            view.as_nanos(),
+            cloned.as_nanos(),
+            speedup,
+            homomorphisms,
+        ));
+    }
+
     bench_delta(&mut criterion);
 
     let mut json = String::from(
-        "{\n  \"benchmark\": \"matcher hot path: indexed join engine vs naive reference matcher\",\n  \"command\": \"cargo bench --bench matcher\",\n  \"workloads\": [\n",
+        "{\n  \"benchmark\": \"matcher hot path: indexed join engine, plan cache and slot views vs per-call compilation and the naive reference matcher\",\n  \"command\": \"cargo bench --bench matcher\",\n  \"workloads\": [\n",
     );
     for (i, (name, indexed_ns, reference_ns, speedup, homomorphisms)) in rows.iter().enumerate() {
         json.push_str(&format!(

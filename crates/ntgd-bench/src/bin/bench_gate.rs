@@ -1,0 +1,190 @@
+//! Benchmark regression gate for `BENCH_matcher.json`.
+//!
+//! Compares the speedups of a freshly produced benchmark record against the
+//! committed baseline and fails (exit code 1) when any workload present in
+//! both regressed by more than 20%.  Workloads only present in the fresh
+//! record are allowed (new benchmarks); workloads that disappeared fail the
+//! gate (a silently dropped benchmark is indistinguishable from a
+//! regression).
+//!
+//! Usage (CI runs this after `cargo bench -p ntgd-bench --bench matcher`
+//! rewrites `BENCH_matcher.json`; locally, copy the committed file aside
+//! first):
+//!
+//! ```text
+//! cp BENCH_matcher.json /tmp/bench_baseline.json
+//! cargo bench -p ntgd-bench --bench matcher
+//! cargo run -p ntgd-bench --bin bench_gate -- /tmp/bench_baseline.json BENCH_matcher.json
+//! ```
+//!
+//! The parser is deliberately minimal: it reads the `"name"`/`"speedup"`
+//! pairs of the one-workload-per-line format the matcher benchmark emits
+//! (the workspace is offline, so no JSON crate is available).
+
+use std::process::ExitCode;
+
+/// Maximum tolerated relative loss of a recorded speedup (20%).
+const TOLERATED_REGRESSION: f64 = 0.20;
+
+/// Extracts `(name, speedup)` pairs from a benchmark record.
+fn parse_speedups(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(name) = field_str(line, "name") else {
+            continue;
+        };
+        let Some(speedup) = field_num(line, "speedup") else {
+            continue;
+        };
+        out.push((name, speedup));
+    }
+    out
+}
+
+/// The string value of `"key": "..."` on a line, if present.
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":");
+    let rest = &line[line.find(&marker)? + marker.len()..];
+    let open = rest.find('"')?;
+    let rest = &rest[open + 1..];
+    let close = rest.find('"')?;
+    Some(rest[..close].to_owned())
+}
+
+/// The numeric value of `"key": <number>` on a line, if present.
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let marker = format!("\"{key}\":");
+    let rest = line[line.find(&marker)? + marker.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The regressions (name, baseline, fresh) beyond the tolerated loss, plus
+/// the workloads missing from the fresh record.
+fn regressions(
+    baseline: &[(String, f64)],
+    fresh: &[(String, f64)],
+) -> (Vec<(String, f64, f64)>, Vec<String>) {
+    let mut regressed = Vec::new();
+    let mut missing = Vec::new();
+    for (name, base) in baseline {
+        match fresh.iter().find(|(n, _)| n == name) {
+            None => missing.push(name.clone()),
+            Some((_, new)) => {
+                if *new < base * (1.0 - TOLERATED_REGRESSION) {
+                    regressed.push((name.clone(), *base, *new));
+                }
+            }
+        }
+    }
+    (regressed, missing)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, fresh_path] = args.as_slice() else {
+        eprintln!("usage: bench_gate <baseline.json> <fresh.json>");
+        return ExitCode::from(2);
+    };
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(text) => Some(text),
+        Err(error) => {
+            eprintln!("bench_gate: cannot read {path}: {error}");
+            None
+        }
+    };
+    let (Some(baseline_text), Some(fresh_text)) = (read(baseline_path), read(fresh_path)) else {
+        return ExitCode::from(2);
+    };
+    let baseline = parse_speedups(&baseline_text);
+    let fresh = parse_speedups(&fresh_text);
+    if baseline.is_empty() {
+        eprintln!("bench_gate: no workloads found in baseline {baseline_path}");
+        return ExitCode::from(2);
+    }
+
+    println!("workload             baseline   fresh");
+    for (name, base) in &baseline {
+        let new = fresh
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| format!("{s:.1}x"))
+            .unwrap_or_else(|| "MISSING".to_owned());
+        println!("{name:<20} {base:>7.1}x {new:>7}");
+    }
+    for (name, new) in &fresh {
+        if !baseline.iter().any(|(n, _)| n == name) {
+            println!("{name:<20} {:>8} {new:>6.1}x (new)", "-");
+        }
+    }
+
+    let (regressed, missing) = regressions(&baseline, &fresh);
+    let mut failed = false;
+    for (name, base, new) in &regressed {
+        eprintln!(
+            "bench_gate: FAIL {name}: speedup {new:.1}x regressed more than \
+             {:.0}% below the baseline {base:.1}x",
+            TOLERATED_REGRESSION * 100.0
+        );
+        failed = true;
+    }
+    for name in &missing {
+        eprintln!("bench_gate: FAIL {name}: workload missing from the fresh record");
+        failed = true;
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "bench_gate: OK ({} workloads within {:.0}% of the baseline)",
+            baseline.len(),
+            TOLERATED_REGRESSION * 100.0
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RECORD: &str = r#"{
+  "benchmark": "matcher",
+  "workloads": [
+    {"name": "chain_join", "indexed_median_ns": 1, "reference_median_ns": 2, "speedup": 25.7, "homomorphisms": 4237},
+    {"name": "slot_view", "indexed_median_ns": 1, "reference_median_ns": 2, "speedup": 3.2, "homomorphisms": 4329}
+  ]
+}"#;
+
+    #[test]
+    fn parses_names_and_speedups() {
+        let parsed = parse_speedups(RECORD);
+        assert_eq!(
+            parsed,
+            vec![
+                ("chain_join".to_owned(), 25.7),
+                ("slot_view".to_owned(), 3.2)
+            ]
+        );
+    }
+
+    #[test]
+    fn tolerates_small_losses_and_new_workloads() {
+        let baseline = vec![("a".to_owned(), 10.0)];
+        let fresh = vec![("a".to_owned(), 8.5), ("b".to_owned(), 1.0)];
+        let (regressed, missing) = regressions(&baseline, &fresh);
+        assert!(regressed.is_empty());
+        assert!(missing.is_empty());
+    }
+
+    #[test]
+    fn flags_large_regressions_and_missing_workloads() {
+        let baseline = vec![("a".to_owned(), 10.0), ("gone".to_owned(), 2.0)];
+        let fresh = vec![("a".to_owned(), 7.9)];
+        let (regressed, missing) = regressions(&baseline, &fresh);
+        assert_eq!(regressed, vec![("a".to_owned(), 10.0, 7.9)]);
+        assert_eq!(missing, vec!["gone".to_owned()]);
+    }
+}

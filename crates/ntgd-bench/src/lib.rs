@@ -37,7 +37,7 @@ pub struct E1Row {
     pub query: String,
     /// Answer under the LP (Skolemization) approach.
     pub lp: String,
-    /// Answer under the chase-based operational semantics of [3].
+    /// Answer under the chase-based operational semantics of \[3\].
     pub operational: String,
     /// Answer under the paper's new SMS semantics.
     pub sms: String,
@@ -381,7 +381,7 @@ pub fn e10_stability(n: usize) -> usize {
 pub struct E11Row {
     /// The query text.
     pub query: String,
-    /// Cautious answer under the (bounded) equality-friendly WFS of [21].
+    /// Cautious answer under the (bounded) equality-friendly WFS of \[21\].
     pub efwfs: String,
     /// Cautious answer under the paper's new SMS semantics.
     pub sms: String,

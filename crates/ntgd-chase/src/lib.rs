@@ -1,7 +1,7 @@
 //! # ntgd-chase
 //!
 //! Chase procedures for (positive parts of) TGD programs, plus the
-//! *blocked-trigger* operational semantics of Baget et al. [3] that the paper
+//! *blocked-trigger* operational semantics of Baget et al. \[3\] that the paper
 //! discusses (and criticises) in its introduction.
 //!
 //! * [`restricted_chase`] — the standard (a.k.a. restricted) chase: a trigger
@@ -15,7 +15,7 @@
 //!   the head is already satisfied (used for worst-case bounds and testing).
 //! * [`core_instance`] — cores of chase instances (minimal retracts), the
 //!   canonical representatives under homomorphic equivalence.
-//! * [`operational`] — the chase-based stable models of [3]: chase `Σ⁺` while
+//! * [`operational`] — the chase-based stable models of \[3\]: chase `Σ⁺` while
 //!   guessing, for every trigger whose rule has negative literals, whether the
 //!   trigger is *blocked* (some negated atom ends up in the final result) or
 //!   *sound* (none does), and keep exactly the fair, sound, complete runs.

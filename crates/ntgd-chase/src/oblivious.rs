@@ -7,10 +7,10 @@
 
 use std::collections::{HashSet, VecDeque};
 
-use ntgd_core::{Database, NullFactory, Program, Term};
+use ntgd_core::{CompiledRuleSet, Database, NullFactory, Program, Term};
 
 use crate::restricted::{ChaseConfig, ChaseOutcome, ChaseResult};
-use crate::trigger::{all_triggers, apply_trigger, triggers_from};
+use crate::trigger::{apply_trigger, triggers_from_compiled};
 
 /// Runs the oblivious chase of `database` with the positive part of `program`.
 ///
@@ -18,7 +18,7 @@ use crate::trigger::{all_triggers, apply_trigger, triggers_from};
 /// universal variables — is applied at most once.  Like the restricted
 /// chase, the worklist is extended semi-naively: after an application only
 /// the triggers whose body uses a newly derived atom are discovered
-/// ([`triggers_from`]).
+/// ([`triggers_from_compiled`], over rule plans compiled once per run).
 pub fn oblivious_chase(
     database: &Database,
     program: &Program,
@@ -26,10 +26,11 @@ pub fn oblivious_chase(
 ) -> ChaseResult {
     let positive = program.positive_part();
     let mut instance = database.to_interpretation();
+    let plans = CompiledRuleSet::from_program(&positive, &instance);
     let mut nulls = NullFactory::new();
     let mut steps = 0usize;
     let mut applied: HashSet<(usize, Vec<(Term, Term)>)> = HashSet::new();
-    let mut pending: VecDeque<_> = all_triggers(&positive, &instance).into();
+    let mut pending: VecDeque<_> = triggers_from_compiled(&plans, &instance, 0).into();
 
     loop {
         let Some(trigger) = pending.pop_front() else {
@@ -54,7 +55,7 @@ pub fn oblivious_chase(
         let watermark = instance.len();
         apply_trigger(&trigger, &positive, &mut instance, &mut nulls);
         steps += 1;
-        pending.extend(triggers_from(&positive, &instance, watermark));
+        pending.extend(triggers_from_compiled(&plans, &instance, watermark));
     }
 }
 

@@ -1,4 +1,4 @@
-//! The chase-based ("operational") stable model semantics of Baget et al. [3],
+//! The chase-based ("operational") stable model semantics of Baget et al. \[3\],
 //! reproduced as a comparison baseline.
 //!
 //! A (possibly infinite) set of atoms `M` is an operational stable model of
@@ -141,7 +141,7 @@ impl<'a> Search<'a> {
 }
 
 /// Enumerates the operational (chase-based) stable models of `(database,
-/// program)` following [3], up to the configured limits.
+/// program)` following \[3\], up to the configured limits.
 pub fn operational_stable_models(
     database: &Database,
     program: &Program,

@@ -2,9 +2,9 @@
 
 use std::collections::VecDeque;
 
-use ntgd_core::{Database, Interpretation, NullFactory, Program};
+use ntgd_core::{CompiledRuleSet, Database, Interpretation, NullFactory, Program};
 
-use crate::trigger::{all_triggers, apply_trigger, is_active, triggers_from};
+use crate::trigger::{apply_trigger, is_active_compiled, triggers_from_compiled};
 
 /// Configuration for a chase run.
 #[derive(Clone, Debug)]
@@ -64,10 +64,13 @@ impl ChaseResult {
 /// The chase is evaluated semi-naively: a FIFO worklist is seeded with the
 /// triggers on the database and extended, after every application, with only
 /// the triggers whose body uses a newly derived atom
-/// ([`triggers_from`]), instead of rematching every rule against the whole
-/// instance per step.  Applying triggers in discovery order is a fair
+/// ([`triggers_from_compiled`]), instead of rematching every rule against the
+/// whole instance per step.  Applying triggers in discovery order is a fair
 /// strategy; activity (the head not being satisfied yet) is re-checked when a
 /// trigger is popped.
+///
+/// Rule bodies and heads are compiled into a [`CompiledRuleSet`] once per
+/// run; every round and every activity check executes cached plans.
 pub fn restricted_chase(
     database: &Database,
     program: &Program,
@@ -75,9 +78,10 @@ pub fn restricted_chase(
 ) -> ChaseResult {
     let positive = program.positive_part();
     let mut instance = database.to_interpretation();
+    let plans = CompiledRuleSet::from_program(&positive, &instance);
     let mut nulls = NullFactory::new();
     let mut steps = 0usize;
-    let mut pending: VecDeque<_> = all_triggers(&positive, &instance).into();
+    let mut pending: VecDeque<_> = triggers_from_compiled(&plans, &instance, 0).into();
 
     loop {
         let Some(trigger) = pending.pop_front() else {
@@ -88,7 +92,7 @@ pub fn restricted_chase(
                 outcome: ChaseOutcome::Terminated,
             };
         };
-        if !is_active(&trigger, &positive, &instance) {
+        if !is_active_compiled(&trigger, &plans, &instance) {
             continue;
         }
         if steps >= config.max_steps {
@@ -102,7 +106,7 @@ pub fn restricted_chase(
         let watermark = instance.len();
         apply_trigger(&trigger, &positive, &mut instance, &mut nulls);
         steps += 1;
-        pending.extend(triggers_from(&positive, &instance, watermark));
+        pending.extend(triggers_from_compiled(&plans, &instance, watermark));
     }
 }
 
@@ -174,6 +178,30 @@ mod tests {
         )
         .unwrap();
         assert_eq!(q.answers(&r.instance).len(), 4);
+    }
+
+    #[test]
+    fn chase_compiles_each_rule_plan_exactly_once() {
+        use ntgd_core::matcher::plan_compile_count;
+        let db = parse_database("e(a, b). e(b, c). e(c, d).").unwrap();
+        let p = parse_program("e(X, Y) -> n(X), n(Y). n(X) -> l(X, Z).").unwrap();
+        // How many plan compilations one rule-set build costs.
+        let positive = p.positive_part();
+        let before_build = plan_compile_count();
+        let _plans = CompiledRuleSet::from_program(&positive, &ntgd_core::Interpretation::new());
+        let per_build = plan_compile_count() - before_build;
+        assert!(per_build > 0);
+        // A full multi-round chase (7 steps here) compiles exactly one
+        // rule-set worth of plans: every round executes cached plans.
+        let before_run = plan_compile_count();
+        let r = restricted_chase(&db, &p, &ChaseConfig::default());
+        assert!(r.terminated());
+        assert!(r.steps > 1, "needs several rounds to be meaningful");
+        assert_eq!(
+            plan_compile_count() - before_run,
+            per_build,
+            "chase rounds must never recompile rule plans"
+        );
     }
 
     #[test]

@@ -20,10 +20,10 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use ntgd_core::{Database, NullFactory, Program, Term};
+use ntgd_core::{CompiledRuleSet, Database, NullFactory, Program, Term};
 
 use crate::restricted::{ChaseConfig, ChaseOutcome, ChaseResult};
-use crate::trigger::{all_triggers, triggers_from};
+use crate::trigger::triggers_from_compiled;
 
 /// Memo key of a Skolem witness: rule index plus frontier binding.
 type WitnessKey = (usize, Vec<(Term, Term)>);
@@ -33,16 +33,18 @@ type WitnessKey = (usize, Vec<(Term, Term)>);
 ///
 /// Like the restricted and oblivious variants, the worklist is extended
 /// semi-naively: after an application only the triggers whose body uses a
-/// newly derived atom are discovered ([`triggers_from`]).
+/// newly derived atom are discovered ([`triggers_from_compiled`], over rule
+/// plans compiled once per run).
 pub fn skolem_chase(database: &Database, program: &Program, config: &ChaseConfig) -> ChaseResult {
     let positive = program.positive_part();
     let mut instance = database.to_interpretation();
+    let plans = CompiledRuleSet::from_program(&positive, &instance);
     let mut nulls = NullFactory::new();
     let mut steps = 0usize;
     // (rule, frontier binding) → the memoised witnesses for the rule's
     // existential variables, in `existential_variables()` order.
     let mut witnesses: HashMap<WitnessKey, Vec<Term>> = HashMap::new();
-    let mut pending: VecDeque<_> = all_triggers(&positive, &instance).into();
+    let mut pending: VecDeque<_> = triggers_from_compiled(&plans, &instance, 0).into();
 
     loop {
         let Some(trigger) = pending.pop_front() else {
@@ -90,7 +92,7 @@ pub fn skolem_chase(database: &Database, program: &Program, config: &ChaseConfig
                     outcome: ChaseOutcome::StepLimitReached,
                 };
             }
-            pending.extend(triggers_from(&positive, &instance, watermark));
+            pending.extend(triggers_from_compiled(&plans, &instance, watermark));
         }
     }
 }

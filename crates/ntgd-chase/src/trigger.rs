@@ -1,6 +1,14 @@
 //! Triggers: a rule together with a homomorphism from its (positive) body.
+//!
+//! Chase worklists use the `*_compiled` variants together with a
+//! [`CompiledRuleSet`] built once per run, so rule bodies and heads are
+//! compiled and planned exactly once; the plain variants compile one-shot
+//! plans per call and are kept for tests and callers outside fixpoint loops.
 
-use ntgd_core::{matcher, Atom, Interpretation, Ntgd, NullFactory, Program, Substitution, Term};
+use ntgd_core::{
+    matcher, Atom, CompiledRuleSet, Interpretation, Ntgd, NullFactory, Program, Substitution, Term,
+};
+use std::ops::ControlFlow;
 
 /// A trigger `(σ, h)`: rule index and a homomorphism from the positive body of
 /// `σ` into the current instance.
@@ -16,7 +24,7 @@ pub struct Trigger {
 impl Trigger {
     /// The image of the rule's negative body atoms under the trigger's
     /// homomorphism (ground atoms that must *not* appear in the final model
-    /// for the trigger to be sound, in the sense of [3]).
+    /// for the trigger to be sound, in the sense of \[3\]).
     pub fn negative_images(&self, rule: &Ntgd) -> Vec<Atom> {
         rule.body_negative()
             .iter()
@@ -77,12 +85,52 @@ pub fn triggers_from(
     out
 }
 
+/// [`triggers_from`] over cached rule plans: the positive-body plan of each
+/// rule is executed (never recompiled), and each resulting slot binding is
+/// materialised into the stored trigger homomorphism.
+///
+/// `plans` must be built from the same program whose rule indices the
+/// triggers refer to.
+pub fn triggers_from_compiled(
+    plans: &CompiledRuleSet,
+    instance: &Interpretation,
+    watermark: usize,
+) -> Vec<Trigger> {
+    let empty = Substitution::new();
+    let mut out = Vec::new();
+    for (idx, rule) in plans.iter() {
+        rule.body_positive()
+            .for_each_delta(instance, &empty, watermark, &mut |binding| {
+                out.push(Trigger {
+                    rule_index: idx,
+                    homomorphism: binding.to_substitution(),
+                });
+                ControlFlow::Continue(())
+            });
+    }
+    out
+}
+
 /// Returns `true` if the trigger is *active* in the restricted-chase sense:
 /// there is no extension of its homomorphism mapping the head into the
 /// instance.
 pub fn is_active(trigger: &Trigger, program: &Program, instance: &Interpretation) -> bool {
     let rule = &program.rules()[trigger.rule_index];
     !matcher::exists_atom_homomorphism(rule.head(), instance, &trigger.homomorphism)
+}
+
+/// [`is_active`] over cached rule plans: the head plan is executed with the
+/// trigger's (ground-valued) homomorphism applied as slot presets, with no
+/// per-check compilation.
+pub fn is_active_compiled(
+    trigger: &Trigger,
+    plans: &CompiledRuleSet,
+    instance: &Interpretation,
+) -> bool {
+    !plans
+        .rule(trigger.rule_index)
+        .head()
+        .exists(instance, &trigger.homomorphism)
 }
 
 /// The active triggers of the program on the instance (restricted chase).

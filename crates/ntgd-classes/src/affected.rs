@@ -1,4 +1,4 @@
-//! Affected positions (Calì, Gottlob, Kifer [7]).
+//! Affected positions (Calì, Gottlob, Kifer \[7\]).
 //!
 //! A position `p[i]` is *affected* w.r.t. a set of TGDs `Σ` if a labelled null
 //! may reach it during the chase.  The set `aff(Σ)` is the smallest set of

@@ -1,4 +1,4 @@
-//! Joint acyclicity (Krötzsch & Rudolph; surveyed by Baget et al. [2]).
+//! Joint acyclicity (Krötzsch & Rudolph; surveyed by Baget et al. \[2\]).
 //!
 //! Joint acyclicity refines weak-acyclicity by tracking, *per existentially
 //! quantified variable*, the set of positions its invented nulls may reach,

@@ -1,5 +1,5 @@
 //! Model-faithful acyclicity (MFA), the semantic acyclicity notion surveyed
-//! by Baget et al. [2].
+//! by Baget et al. \[2\].
 //!
 //! MFA goes beyond the purely syntactic notions (weak and joint acyclicity,
 //! aGRD) by actually *running* the Skolem chase on the **critical instance**

@@ -13,7 +13,7 @@
 //!
 //! A program is *sticky* if no rule has a marked variable occurring more than
 //! once in its body.  For NTGDs, negated atoms are first turned into positive
-//! atoms (Section 4.2, following [1]).
+//! atoms (Section 4.2, following \[1\]).
 
 use std::collections::BTreeSet;
 

@@ -26,6 +26,7 @@ pub mod matcher;
 pub mod program;
 pub mod query;
 pub mod rule;
+pub mod ruleset;
 pub mod schema;
 pub mod substitution;
 pub mod symbol;
@@ -37,11 +38,14 @@ pub use error::{CoreError, CoreResult};
 pub use interpretation::{AtomId, Interpretation};
 pub use matcher::{
     all_atom_homomorphisms_delta, all_homomorphisms, exists_homomorphism,
-    for_each_homomorphism_delta,
+    for_each_homomorphism_delta, CompiledConjunction, SlotBinding,
 };
 pub use program::{DisjunctiveProgram, Program};
 pub use query::Query;
 pub use rule::{Ndtgd, Ntgd};
+pub use ruleset::{
+    CompiledDisjunctiveRule, CompiledDisjunctiveRuleSet, CompiledRule, CompiledRuleSet,
+};
 pub use schema::{Position, Schema};
 pub use substitution::Substitution;
 pub use symbol::Symbol;

@@ -8,41 +8,82 @@
 //! * `¬h(a) ∈ I` for every negative literal `¬a`, i.e. every term of `h(a)`
 //!   belongs to `dom(I)` and `h(a) ∉ I⁺`.
 //!
-//! # The indexed join engine
+//! # The compile / cache / execute lifecycle
 //!
-//! Matching is performed by a compiled backtracking join:
+//! Matching is split into a **compile-once** phase and a **per-call execute**
+//! phase, so fixpoint loops (the chase, grounding, consequence operators) pay
+//! the compilation and planning cost once per rule instead of once per round:
 //!
-//! 1. **Compilation** — each conjunction is compiled once per call: every
-//!    variable (after resolution against the initial substitution) becomes a
-//!    dense *slot* id, every ground term a *fixed* argument.
-//! 2. **Planning** — positive atoms are reordered greedily by estimated
-//!    selectivity: atoms whose fixed arguments have small
-//!    `(predicate, position, term)` index cardinalities, and atoms with many
-//!    already-bound positions, are matched first.
-//! 3. **Matching** — candidates come from the most selective index probe of
-//!    [`Interpretation`] (never from a full scan of a predicate's atoms when
-//!    a bound position is available).  Bindings go through a trail/undo log,
-//!    so backtracking costs O(bindings undone) instead of a substitution
-//!    clone per candidate.
+//! 1. **Compilation** ([`CompiledConjunction::compile`],
+//!    [`CompiledConjunction::compile_atoms`]) — every variable of the
+//!    conjunction becomes a dense *slot* id, every ground term a *fixed*
+//!    argument.  Compilation also runs the greedy selectivity planner to fix
+//!    a join order for full enumeration **and one pre-planned order per delta
+//!    pivot**, so delta rounds do zero planning.  Statistics come from the
+//!    `stats` interpretation passed at compile time (typically the instance
+//!    the plan will first run against); executing against a grown instance
+//!    stays correct because candidate selection per step still probes the
+//!    live indexes.
+//! 2. **Caching** — [`CompiledRuleSet`](crate::ruleset::CompiledRuleSet) /
+//!    [`CompiledDisjunctiveRuleSet`](crate::ruleset::CompiledDisjunctiveRuleSet)
+//!    hold the compiled form of every rule of a program, keyed by rule index:
+//!    body, positive body, head, and per-head-atom (or per-disjunct)
+//!    conjunctions.  Consumers build the set once per run and reuse it every
+//!    round; [`plan_compile_count`] exposes a thread-local counter so tests
+//!    can assert that hot loops never recompile.
+//! 3. **Execution** ([`CompiledConjunction::for_each`],
+//!    [`CompiledConjunction::for_each_delta`] and the `all*`/`exists`
+//!    convenience wrappers) — candidates come from the most selective index
+//!    probe of [`Interpretation`] (never from a full scan of a predicate's
+//!    atoms when a bound position is available).  Bindings go through a
+//!    trail/undo log, so backtracking costs O(bindings undone) instead of a
+//!    substitution clone per candidate.
 //! 4. **Negative literals** are verified at the leaves.  Variables that occur
 //!    *only* in negative literals (unsafe conjunctions) are enumerated over
-//!    `dom(I)`, which is materialised once per call; safe rules and queries
-//!    never hit that path.
+//!    `dom(I)`, which is materialised once per execution; safe rules and
+//!    queries never hit that path.
+//!
+//! A cached plan is compiled against the *empty* substitution; at execution
+//! time an arbitrary `initial` substitution is applied by pre-binding the
+//! slots whose variable it maps to a ground term.  This is how one compiled
+//! head plan serves every trigger-activity check: the trigger homomorphism
+//! (always ground-valued) becomes a set of slot presets.  In the rare case
+//! where `initial` maps a conjunction variable to a *non-ground* term (a
+//! variable-to-variable chain), execution transparently falls back to a
+//! one-shot recompile that bakes the substitution in, preserving the exact
+//! semantics of the pre-cache engine.
+//!
+//! # `SlotBinding` borrowing rules
+//!
+//! Visitors receive a [`SlotBinding`] — a borrowed view of the matcher's
+//! slot vector — instead of an owned [`Substitution`].  The view is valid
+//! **only for the duration of the visit callback**: the engine reuses and
+//! unwinds the underlying slots as soon as the callback returns, which is
+//! exactly why enumeration costs no allocation per result.  Consumers may
+//! look up variables ([`SlotBinding::value_of`]), apply the binding to terms
+//! and atoms ([`SlotBinding::apply_term`], [`SlotBinding::apply_atom`]), and
+//! must call [`SlotBinding::to_substitution`] to materialise an owned
+//! substitution when the result is stored beyond the callback (chase
+//! triggers, existential head instantiation, answer tuples).
 //!
 //! # Delta (semi-naive) matching
 //!
-//! [`for_each_homomorphism_delta`] enumerates exactly the homomorphisms that
-//! use at least one atom inserted at or after a *watermark* (an earlier value
-//! of [`Interpretation::len`]).  Fixpoint loops — the chase, the
-//! possibly-true closure of the grounder, the immediate-consequence operator
-//! — use it to match each round only against newly derived atoms instead of
-//! rematching the whole instance.
+//! [`for_each_homomorphism_delta`] and [`CompiledConjunction::for_each_delta`]
+//! enumerate exactly the homomorphisms that use at least one atom inserted at
+//! or after a *watermark* (an earlier value of [`Interpretation::len`]).
+//! Fixpoint loops — the chase, the possibly-true closure of the grounder, the
+//! immediate-consequence operator — use it to match each round only against
+//! newly derived atoms instead of rematching the whole instance.
 //!
-//! The naive scan-and-clone matcher this engine replaced is retained in
-//! [`reference`] as an executable specification: property tests assert that
-//! both return identical homomorphism sets, and the matcher benchmark
-//! measures the speedup against it.
+//! The free functions ([`for_each_homomorphism`], [`all_homomorphisms`], …)
+//! are retained as thin wrappers that compile a one-shot plan per call; hot
+//! paths should compile once and reuse.  The naive scan-and-clone matcher the
+//! engine replaced is retained in [`mod@reference`] as an executable
+//! specification: property tests assert that both return identical
+//! homomorphism sets, and the matcher benchmark measures the speedup against
+//! it.
 
+use std::cell::Cell;
 use std::collections::BTreeSet;
 use std::ops::ControlFlow;
 
@@ -52,8 +93,28 @@ use crate::substitution::Substitution;
 use crate::symbol::Symbol;
 use crate::term::Term;
 
+thread_local! {
+    /// Number of conjunction compilations performed on this thread; see
+    /// [`plan_compile_count`].
+    static PLAN_COMPILES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The number of conjunction compilations (plan constructions) performed on
+/// the current thread since it started.
+///
+/// Tests use the difference between two readings to assert that a chase or
+/// grounding run compiles each rule's plan exactly once: after building the
+/// rule set, the counter must not move while the fixpoint loop runs.  The
+/// counter is thread-local so concurrently running tests do not interfere.
+pub fn plan_compile_count() -> u64 {
+    PLAN_COMPILES.with(Cell::get)
+}
+
 /// Enumerates every homomorphism from `literals` into `target` extending
 /// `initial`, invoking `visit` for each; stops early if `visit` breaks.
+///
+/// Compiles a one-shot plan per call; hot loops should compile a
+/// [`CompiledConjunction`] once and call [`CompiledConjunction::for_each`].
 ///
 /// Returns `true` if the enumeration was stopped early by the visitor.
 pub fn for_each_homomorphism<F>(
@@ -66,9 +127,9 @@ where
     F: FnMut(&Substitution) -> ControlFlow<()>,
 {
     let (positives, negatives) = split_literals(literals);
-    Engine::new(&positives, &negatives, target, initial)
-        .run_full(visit)
-        .is_break()
+    let plan =
+        CompiledConjunction::compile_with_initial(&positives, &negatives, initial, target, false);
+    plan.for_each(target, initial, &mut |b| visit(&b.to_substitution()))
 }
 
 /// Enumerates every homomorphism from `literals` into `target` extending
@@ -91,9 +152,11 @@ where
     F: FnMut(&Substitution) -> ControlFlow<()>,
 {
     let (positives, negatives) = split_literals(literals);
-    Engine::new(&positives, &negatives, target, initial)
-        .run_delta(watermark, visit)
-        .is_break()
+    let plan =
+        CompiledConjunction::compile_with_initial(&positives, &negatives, initial, target, true);
+    plan.for_each_delta(target, initial, watermark, &mut |b| {
+        visit(&b.to_substitution())
+    })
 }
 
 /// All homomorphisms from `literals` into `target` extending `initial`.
@@ -117,7 +180,10 @@ pub fn exists_homomorphism(
     target: &Interpretation,
     initial: &Substitution,
 ) -> bool {
-    for_each_homomorphism(literals, target, initial, &mut |_| ControlFlow::Break(()))
+    let (positives, negatives) = split_literals(literals);
+    let plan =
+        CompiledConjunction::compile_with_initial(&positives, &negatives, initial, target, false);
+    plan.for_each(target, initial, &mut |_| ControlFlow::Break(()))
 }
 
 /// Enumerates the homomorphisms from a conjunction of *atoms* (all positive)
@@ -134,9 +200,8 @@ where
     F: FnMut(&Substitution) -> ControlFlow<()>,
 {
     let positives: Vec<&Atom> = atoms.iter().collect();
-    Engine::new(&positives, &[], target, initial)
-        .run_full(visit)
-        .is_break()
+    let plan = CompiledConjunction::compile_with_initial(&positives, &[], initial, target, false);
+    plan.for_each(target, initial, &mut |b| visit(&b.to_substitution()))
 }
 
 /// [`for_each_atom_homomorphism`] restricted to homomorphisms that use at
@@ -152,9 +217,10 @@ where
     F: FnMut(&Substitution) -> ControlFlow<()>,
 {
     let positives: Vec<&Atom> = atoms.iter().collect();
-    Engine::new(&positives, &[], target, initial)
-        .run_delta(watermark, visit)
-        .is_break()
+    let plan = CompiledConjunction::compile_with_initial(&positives, &[], initial, target, true);
+    plan.for_each_delta(target, initial, watermark, &mut |b| {
+        visit(&b.to_substitution())
+    })
 }
 
 /// All homomorphisms from a conjunction of *atoms* (all positive) into the
@@ -197,9 +263,8 @@ pub fn exists_atom_homomorphism(
     initial: &Substitution,
 ) -> bool {
     let positives: Vec<&Atom> = atoms.iter().collect();
-    Engine::new(&positives, &[], target, initial)
-        .run_full(&mut |_| ControlFlow::Break(()))
-        .is_break()
+    let plan = CompiledConjunction::compile_with_initial(&positives, &[], initial, target, false);
+    plan.for_each(target, initial, &mut |_| ControlFlow::Break(()))
 }
 
 fn split_literals(literals: &[Literal]) -> (Vec<&Atom>, Vec<&Atom>) {
@@ -243,50 +308,159 @@ enum DeltaClass {
     Delta,
 }
 
-/// The compiled conjunction plus all per-call matching state.
-struct Engine<'a> {
-    target: &'a Interpretation,
-    initial: &'a Substitution,
-    positives: Vec<Pattern>,
-    negatives: Vec<Pattern>,
-    /// Join order: `order[step]` is an index into `positives`.
-    order: Vec<usize>,
-    /// Delta restriction per positive pattern (parallel to `positives`).
-    classes: Vec<DeltaClass>,
-    watermark: usize,
-    /// Slot id → key term (the resolved variable the slot stands for).
-    slot_keys: Vec<Term>,
-    /// Slot id → current binding.
-    slots: Vec<Option<Term>>,
-    /// Slot id → `true` if the binding comes from the initial substitution
-    /// (never undone, not re-emitted into the result substitutions).
-    preset: Vec<bool>,
-    /// Undo log of slot ids bound since the enclosing choice point.
-    trail: Vec<usize>,
-    /// `dom(I)` materialised once per call, used only for unsafe variables.
-    domain: Vec<Term>,
-    /// Scratch buffer for grounding negative literals.
-    scratch: Vec<Term>,
+/// A borrowed view of the matcher's slot vector, handed to visitors instead
+/// of an owned [`Substitution`].
+///
+/// The view is only valid inside the visit callback (the engine rewinds the
+/// slots as soon as the callback returns); call [`SlotBinding::to_substitution`]
+/// to keep a result.  See the module docs for the full borrowing rules.
+pub struct SlotBinding<'e> {
+    keys: &'e [Term],
+    slots: &'e [Option<Term>],
+    preset: &'e [bool],
+    initial: &'e Substitution,
 }
 
-impl<'a> Engine<'a> {
-    fn new(
+impl SlotBinding<'_> {
+    /// The value bound to a conjunction variable, if any.
+    pub fn value_of(&self, variable: &Term) -> Option<Term> {
+        let slot = self.keys.iter().position(|k| k == variable)?;
+        self.slots[slot]
+    }
+
+    /// Applies the binding (slot values first, then the initial
+    /// substitution) to a term.
+    pub fn apply_term(&self, t: &Term) -> Term {
+        if t.is_constant() {
+            return *t;
+        }
+        if let Some(slot) = self.keys.iter().position(|k| k == t) {
+            if let Some(value) = self.slots[slot] {
+                return value;
+            }
+        }
+        self.initial.apply_term(t)
+    }
+
+    /// Applies the binding to an atom.
+    pub fn apply_atom(&self, atom: &Atom) -> Atom {
+        Atom::new(
+            atom.predicate(),
+            atom.args().iter().map(|t| self.apply_term(t)).collect(),
+        )
+    }
+
+    /// Materialises an owned substitution: the initial substitution extended
+    /// with every non-preset slot binding.  Call only when the result is
+    /// stored beyond the visit callback.
+    pub fn to_substitution(&self) -> Substitution {
+        let mut out = self.initial.clone();
+        for (slot, value) in self.slots.iter().enumerate() {
+            if self.preset[slot] {
+                continue;
+            }
+            if let Some(value) = value {
+                out.bind(self.keys[slot], *value);
+            }
+        }
+        out
+    }
+}
+
+/// A conjunction compiled once into its slot/plan form, reusable across any
+/// number of executions (and target instances).
+///
+/// Holds the compiled patterns, the dense slot table, the full-enumeration
+/// join order and one pre-planned order per delta pivot, so neither full nor
+/// delta executions ever plan again.  See the module docs for the
+/// compile/cache/execute lifecycle.
+#[derive(Clone, Debug)]
+pub struct CompiledConjunction {
+    positives: Vec<Pattern>,
+    negatives: Vec<Pattern>,
+    /// Slot id → key term (the resolved variable the slot stands for).
+    slot_keys: Vec<Term>,
+    /// Slot id → value baked in by a compile-time initial substitution
+    /// (one-shot plans only; cached plans have no baked presets).
+    compile_preset: Vec<Option<Term>>,
+    /// `true` if the plan was compiled against a specific initial
+    /// substitution (one-shot wrappers); execution then skips runtime slot
+    /// presetting and trusts `compile_preset`.
+    bakes_initial: bool,
+    /// Join order for full enumeration: `full_order[step]` indexes `positives`.
+    full_order: Vec<usize>,
+    /// Pre-planned join order per delta pivot (pivot literal first).
+    delta_orders: Vec<Vec<usize>>,
+    /// Whether some slot occurs only in negative literals (unsafe
+    /// conjunction), requiring `dom(I)` at execution time.
+    needs_domain: bool,
+}
+
+impl CompiledConjunction {
+    /// Compiles a conjunction of literals (no initial substitution baked in;
+    /// execution accepts any ground-valued initial substitution).
+    ///
+    /// `stats` provides the cardinalities used by the join planner —
+    /// typically the instance the plan will first run against.
+    pub fn compile(literals: &[Literal], stats: &Interpretation) -> CompiledConjunction {
+        let (positives, negatives) = split_literals(literals);
+        Self::compile_impl(
+            &positives,
+            &negatives,
+            &Substitution::default(),
+            stats,
+            false,
+            true,
+        )
+    }
+
+    /// Compiles a conjunction of atoms (all positive).
+    pub fn compile_atoms(atoms: &[Atom], stats: &Interpretation) -> CompiledConjunction {
+        let positives: Vec<&Atom> = atoms.iter().collect();
+        Self::compile_impl(
+            &positives,
+            &[],
+            &Substitution::default(),
+            stats,
+            false,
+            true,
+        )
+    }
+
+    /// One-shot compilation with `initial` baked into the patterns (the
+    /// pre-cache engine's semantics, kept for the free-function wrappers and
+    /// for the non-ground-initial fallback).  `with_delta` controls whether
+    /// per-pivot delta orders are planned: full-only one-shot calls skip
+    /// them, so they pay for exactly one planner run like the old engine.
+    fn compile_with_initial(
         positives: &[&Atom],
         negatives: &[&Atom],
-        target: &'a Interpretation,
-        initial: &'a Substitution,
-    ) -> Engine<'a> {
+        initial: &Substitution,
+        stats: &Interpretation,
+        with_delta: bool,
+    ) -> CompiledConjunction {
+        Self::compile_impl(positives, negatives, initial, stats, true, with_delta)
+    }
+
+    fn compile_impl(
+        positives: &[&Atom],
+        negatives: &[&Atom],
+        initial: &Substitution,
+        stats: &Interpretation,
+        bakes_initial: bool,
+        with_delta: bool,
+    ) -> CompiledConjunction {
+        PLAN_COMPILES.with(|c| c.set(c.get() + 1));
         let mut slot_keys: Vec<Term> = Vec::new();
-        let mut slots: Vec<Option<Term>> = Vec::new();
-        let mut preset: Vec<bool> = Vec::new();
+        let mut compile_preset: Vec<Option<Term>> = Vec::new();
         let mut compile = |atom: &Atom| -> Pattern {
             let args = atom
                 .args()
                 .iter()
                 .map(|t| {
-                    // Resolve against the initial substitution once.  Ground
-                    // results (and nulls, which the matcher never binds) are
-                    // fixed; variables become slots.
+                    // Resolve against the compile-time initial substitution
+                    // once.  Ground results (and nulls, which the matcher
+                    // never binds) are fixed; variables become slots.
                     let resolved = initial.apply_term(t);
                     if !resolved.is_variable() {
                         return ArgSpec::Fixed(resolved);
@@ -296,8 +470,7 @@ impl<'a> Engine<'a> {
                         None => {
                             slot_keys.push(resolved);
                             let value = initial.apply_term(&resolved);
-                            preset.push(value != resolved);
-                            slots.push(if value != resolved { Some(value) } else { None });
+                            compile_preset.push(if value != resolved { Some(value) } else { None });
                             slot_keys.len() - 1
                         }
                     };
@@ -313,7 +486,7 @@ impl<'a> Engine<'a> {
         let negatives: Vec<Pattern> = negatives.iter().map(|a| compile(a)).collect();
 
         // Unsafe variables (slots occurring only in negative literals) need
-        // dom(I); materialise it once, not per negative-literal candidate.
+        // dom(I) at execution time.
         let positive_slots: BTreeSet<usize> = positives
             .iter()
             .flat_map(|p| p.args.iter())
@@ -326,39 +499,260 @@ impl<'a> Engine<'a> {
             .iter()
             .flat_map(|p| p.args.iter())
             .any(|a| match a {
-                ArgSpec::Slot(s) => !positive_slots.contains(s) && !preset[*s],
+                ArgSpec::Slot(s) => !positive_slots.contains(s) && compile_preset[*s].is_none(),
                 ArgSpec::Fixed(_) => false,
             });
-        let domain: Vec<Term> = if needs_domain {
+
+        let preset: Vec<bool> = compile_preset.iter().map(Option::is_some).collect();
+        let full_order = plan_impl(&positives, &preset, stats, None);
+        let delta_orders: Vec<Vec<usize>> = if with_delta {
+            (0..positives.len())
+                .map(|pivot| plan_impl(&positives, &preset, stats, Some(pivot)))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        CompiledConjunction {
+            positives,
+            negatives,
+            slot_keys,
+            compile_preset,
+            bakes_initial,
+            full_order,
+            delta_orders,
+            needs_domain,
+        }
+    }
+
+    /// Number of positive patterns (delta pivots).
+    pub fn positive_count(&self) -> usize {
+        self.positives.len()
+    }
+
+    /// Enumerates every homomorphism extending `initial`, invoking `visit`
+    /// with a borrowed [`SlotBinding`] per result; stops early if `visit`
+    /// breaks.  Returns `true` if stopped early.
+    pub fn for_each<F>(
+        &self,
+        target: &Interpretation,
+        initial: &Substitution,
+        visit: &mut F,
+    ) -> bool
+    where
+        F: FnMut(&SlotBinding<'_>) -> ControlFlow<()>,
+    {
+        self.run(target, initial, None, visit).is_break()
+    }
+
+    /// Delta variant of [`CompiledConjunction::for_each`]: only
+    /// homomorphisms mapping at least one positive literal to an atom
+    /// inserted at or after `watermark`.
+    pub fn for_each_delta<F>(
+        &self,
+        target: &Interpretation,
+        initial: &Substitution,
+        watermark: usize,
+        visit: &mut F,
+    ) -> bool
+    where
+        F: FnMut(&SlotBinding<'_>) -> ControlFlow<()>,
+    {
+        self.run(target, initial, Some(watermark), visit).is_break()
+    }
+
+    /// All homomorphisms, materialised.
+    pub fn all(&self, target: &Interpretation, initial: &Substitution) -> Vec<Substitution> {
+        let mut out = Vec::new();
+        self.for_each(target, initial, &mut |b| {
+            out.push(b.to_substitution());
+            ControlFlow::Continue(())
+        });
+        out
+    }
+
+    /// All delta homomorphisms, materialised.
+    pub fn all_delta(
+        &self,
+        target: &Interpretation,
+        initial: &Substitution,
+        watermark: usize,
+    ) -> Vec<Substitution> {
+        let mut out = Vec::new();
+        self.for_each_delta(target, initial, watermark, &mut |b| {
+            out.push(b.to_substitution());
+            ControlFlow::Continue(())
+        });
+        out
+    }
+
+    /// Returns `true` if at least one homomorphism extending `initial`
+    /// exists.
+    pub fn exists(&self, target: &Interpretation, initial: &Substitution) -> bool {
+        self.for_each(target, initial, &mut |_| ControlFlow::Break(()))
+    }
+
+    fn run<F>(
+        &self,
+        target: &Interpretation,
+        initial: &Substitution,
+        watermark: Option<usize>,
+        visit: &mut F,
+    ) -> ControlFlow<()>
+    where
+        F: FnMut(&SlotBinding<'_>) -> ControlFlow<()>,
+    {
+        match Exec::new(self, target, initial) {
+            Some(mut exec) => match watermark {
+                None => exec.run_full(visit),
+                Some(w) => exec.run_delta(w, visit),
+            },
+            None => {
+                // `initial` maps some conjunction variable to a non-ground
+                // term (a variable-to-variable chain): rebuild a one-shot
+                // plan with the substitution baked in, which reproduces the
+                // pre-cache engine's semantics exactly.  Cached plans are
+                // compiled without an initial substitution, so their
+                // patterns are a lossless rendering of the source atoms.
+                let positive_atoms = reconstruct_atoms(&self.positives, &self.slot_keys);
+                let negative_atoms = reconstruct_atoms(&self.negatives, &self.slot_keys);
+                let positives: Vec<&Atom> = positive_atoms.iter().collect();
+                let negatives: Vec<&Atom> = negative_atoms.iter().collect();
+                let plan = CompiledConjunction::compile_with_initial(
+                    &positives,
+                    &negatives,
+                    initial,
+                    target,
+                    watermark.is_some(),
+                );
+                let mut exec = Exec::new(&plan, target, initial)
+                    .expect("plans with a baked initial substitution always execute");
+                match watermark {
+                    None => exec.run_full(visit),
+                    Some(w) => exec.run_delta(w, visit),
+                }
+            }
+        }
+    }
+}
+
+/// Renders compiled patterns back into atoms (slot keys restore the
+/// variables).  Lossless for plans compiled without an initial substitution.
+fn reconstruct_atoms(patterns: &[Pattern], slot_keys: &[Term]) -> Vec<Atom> {
+    patterns
+        .iter()
+        .map(|p| {
+            Atom::new(
+                p.predicate,
+                p.args
+                    .iter()
+                    .map(|a| match a {
+                        ArgSpec::Fixed(t) => *t,
+                        ArgSpec::Slot(s) => slot_keys[*s],
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Restricts an ascending id list to a delta class at `watermark`.
+fn restrict(ids: &[AtomId], class: DeltaClass, watermark: usize) -> &[AtomId] {
+    match class {
+        DeltaClass::All => ids,
+        DeltaClass::Old => {
+            let cut = ids.partition_point(|id| id.index() < watermark);
+            &ids[..cut]
+        }
+        DeltaClass::Delta => {
+            let cut = ids.partition_point(|id| id.index() < watermark);
+            &ids[cut..]
+        }
+    }
+}
+
+/// Per-execution state over a cached plan: slot values, trail, and the
+/// (borrowed) join order currently in effect.
+struct Exec<'c, 'i> {
+    plan: &'c CompiledConjunction,
+    target: &'i Interpretation,
+    initial: &'i Substitution,
+    /// Join order in effect: `order[step]` indexes `plan.positives`.
+    order: &'c [usize],
+    /// Delta pivot in effect (`None` for full enumeration).
+    pivot: Option<usize>,
+    watermark: usize,
+    /// Slot id → current binding.
+    slots: Vec<Option<Term>>,
+    /// Slot id → `true` if the binding comes from the initial substitution
+    /// (never undone, not re-emitted into materialised substitutions).
+    preset: Vec<bool>,
+    /// Undo log of slot ids bound since the enclosing choice point.
+    trail: Vec<usize>,
+    /// `dom(I)` materialised once per execution, only for unsafe variables.
+    domain: Vec<Term>,
+    /// Scratch buffer for grounding negative literals.
+    scratch: Vec<Term>,
+}
+
+impl<'c, 'i> Exec<'c, 'i> {
+    /// Sets up an execution, pre-binding slots from `initial`.  Returns
+    /// `None` when `initial` maps a slot variable to a non-ground term and
+    /// the plan has no baked initial (the caller then falls back to a
+    /// one-shot recompile).
+    fn new(
+        plan: &'c CompiledConjunction,
+        target: &'i Interpretation,
+        initial: &'i Substitution,
+    ) -> Option<Exec<'c, 'i>> {
+        let slot_count = plan.slot_keys.len();
+        let mut slots: Vec<Option<Term>> = vec![None; slot_count];
+        let mut preset: Vec<bool> = vec![false; slot_count];
+        if plan.bakes_initial {
+            for (slot, value) in plan.compile_preset.iter().enumerate() {
+                if let Some(value) = value {
+                    slots[slot] = Some(*value);
+                    preset[slot] = true;
+                }
+            }
+        } else if !initial.is_empty() {
+            for (slot, key) in plan.slot_keys.iter().enumerate() {
+                let value = initial.apply_term(key);
+                if value != *key {
+                    if !value.is_ground() {
+                        return None;
+                    }
+                    slots[slot] = Some(value);
+                    preset[slot] = true;
+                }
+            }
+        }
+        let domain: Vec<Term> = if plan.needs_domain {
             target.domain_iter().copied().collect()
         } else {
             Vec::new()
         };
-
-        let classes = vec![DeltaClass::All; positives.len()];
-        let order = plan(&positives, &preset, target);
-        Engine {
+        Some(Exec {
+            plan,
             target,
             initial,
-            positives,
-            negatives,
-            order,
-            classes,
+            order: &[],
+            pivot: None,
             watermark: 0,
-            slot_keys,
             slots,
             preset,
             trail: Vec::new(),
             domain,
             scratch: Vec::new(),
-        }
+        })
     }
 
-    /// Runs the unrestricted enumeration.
+    /// Runs the unrestricted enumeration over the precomputed full order.
     fn run_full<F>(&mut self, visit: &mut F) -> ControlFlow<()>
     where
-        F: FnMut(&Substitution) -> ControlFlow<()>,
+        F: FnMut(&SlotBinding<'_>) -> ControlFlow<()>,
     {
+        self.order = &self.plan.full_order;
+        self.pivot = None;
         self.match_positives(0, visit)
     }
 
@@ -371,15 +765,14 @@ impl<'a> Engine<'a> {
     /// and later literals are unrestricted.  Each delta homomorphism is
     /// therefore enumerated exactly once.
     ///
-    /// To keep each pivot's cost proportional to the delta, the join is
-    /// re-planned per pivot with the delta-restricted literal first: its
-    /// candidate list is the (typically tiny) watermark suffix, and the
-    /// bindings it makes turn the remaining literals into index probes.
+    /// Each pivot runs over its precomputed plan (pivot literal first): the
+    /// pivot's candidate list is the (typically tiny) watermark suffix, and
+    /// the bindings it makes turn the remaining literals into index probes.
     /// Pivots whose predicate gained no atoms since the watermark are
-    /// skipped outright.
+    /// skipped outright — delta rounds perform zero planning.
     fn run_delta<F>(&mut self, watermark: usize, visit: &mut F) -> ControlFlow<()>
     where
-        F: FnMut(&Substitution) -> ControlFlow<()>,
+        F: FnMut(&SlotBinding<'_>) -> ControlFlow<()>,
     {
         if watermark == 0 {
             return self.run_full(visit);
@@ -388,33 +781,47 @@ impl<'a> Engine<'a> {
             return ControlFlow::Continue(());
         }
         self.watermark = watermark;
-        for pivot in 0..self.positives.len() {
-            let pivot_predicate = self.positives[pivot].predicate;
-            let delta_ids = self.restrict(
+        for pivot in 0..self.plan.positives.len() {
+            let pivot_predicate = self.plan.positives[pivot].predicate;
+            let delta_ids = restrict(
                 self.target.ids_with_predicate(pivot_predicate),
                 DeltaClass::Delta,
+                watermark,
             );
             if delta_ids.is_empty() {
                 continue;
             }
-            for i in 0..self.positives.len() {
-                self.classes[i] = match i.cmp(&pivot) {
-                    std::cmp::Ordering::Less => DeltaClass::Old,
-                    std::cmp::Ordering::Equal => DeltaClass::Delta,
-                    std::cmp::Ordering::Greater => DeltaClass::All,
-                };
-            }
-            self.order = plan_first(&self.positives, &self.preset, self.target, pivot);
+            self.pivot = Some(pivot);
+            // Plans compiled without delta orders (full-only one-shot
+            // wrappers) fall back to the full order; the per-pattern delta
+            // classes keep the enumeration correct either way.
+            self.order = self
+                .plan
+                .delta_orders
+                .get(pivot)
+                .unwrap_or(&self.plan.full_order);
             self.match_positives(0, visit)?;
         }
         ControlFlow::Continue(())
+    }
+
+    /// The delta class of one positive pattern under the current pivot.
+    fn class_of(&self, pattern_index: usize) -> DeltaClass {
+        match self.pivot {
+            None => DeltaClass::All,
+            Some(pivot) => match pattern_index.cmp(&pivot) {
+                std::cmp::Ordering::Less => DeltaClass::Old,
+                std::cmp::Ordering::Equal => DeltaClass::Delta,
+                std::cmp::Ordering::Greater => DeltaClass::All,
+            },
+        }
     }
 
     /// The candidate id list for one positive pattern under the current
     /// bindings: the smallest index probe over its bound positions, or the
     /// predicate's id list when no position is bound.  Returns `None` when
     /// the pattern cannot match at all (a fixed argument is non-ground).
-    fn candidates(&self, pattern: &Pattern) -> Option<&'a [AtomId]> {
+    fn candidates(&self, pattern: &Pattern) -> Option<&'i [AtomId]> {
         let mut best: Option<&[AtomId]> = None;
         for (position, spec) in pattern.args.iter().enumerate() {
             let bound = match spec {
@@ -435,34 +842,19 @@ impl<'a> Engine<'a> {
         Some(best.unwrap_or_else(|| self.target.ids_with_predicate(pattern.predicate)))
     }
 
-    /// Restricts an ascending id list to the pattern's delta class.
-    fn restrict<'b>(&self, ids: &'b [AtomId], class: DeltaClass) -> &'b [AtomId] {
-        match class {
-            DeltaClass::All => ids,
-            DeltaClass::Old => {
-                let cut = ids.partition_point(|id| id.index() < self.watermark);
-                &ids[..cut]
-            }
-            DeltaClass::Delta => {
-                let cut = ids.partition_point(|id| id.index() < self.watermark);
-                &ids[cut..]
-            }
-        }
-    }
-
     fn match_positives<F>(&mut self, step: usize, visit: &mut F) -> ControlFlow<()>
     where
-        F: FnMut(&Substitution) -> ControlFlow<()>,
+        F: FnMut(&SlotBinding<'_>) -> ControlFlow<()>,
     {
         if step == self.order.len() {
             return self.check_negatives(0, visit);
         }
         let pattern_index = self.order[step];
-        let Some(ids) = self.candidates(&self.positives[pattern_index]) else {
+        let Some(ids) = self.candidates(&self.plan.positives[pattern_index]) else {
             return ControlFlow::Continue(());
         };
-        let ids = self.restrict(ids, self.classes[pattern_index]);
-        let arity = self.positives[pattern_index].args.len();
+        let ids = restrict(ids, self.class_of(pattern_index), self.watermark);
+        let arity = self.plan.positives[pattern_index].args.len();
         for &id in ids {
             let candidate = self.target.atom(id);
             if candidate.arity() != arity {
@@ -473,7 +865,7 @@ impl<'a> Engine<'a> {
             for (position, value) in candidate.args().iter().enumerate() {
                 // `candidate` borrows from the arena, never from `self`'s
                 // mutable state, so reading args while binding slots is fine.
-                let matched = match self.positives[pattern_index].args[position] {
+                let matched = match self.plan.positives[pattern_index].args[position] {
                     ArgSpec::Fixed(t) => t == *value,
                     ArgSpec::Slot(s) => match self.slots[s] {
                         Some(existing) => existing == *value,
@@ -507,7 +899,7 @@ impl<'a> Engine<'a> {
     /// Grounds the negative pattern at `index` into the scratch buffer;
     /// returns the list of still-unbound slots (distinct, in argument order).
     fn ground_negative(&mut self, index: usize) -> Vec<usize> {
-        let pattern = &self.negatives[index];
+        let pattern = &self.plan.negatives[index];
         self.scratch.clear();
         let mut unbound = Vec::new();
         for spec in &pattern.args {
@@ -519,7 +911,7 @@ impl<'a> Engine<'a> {
                         if !unbound.contains(s) {
                             unbound.push(*s);
                         }
-                        self.scratch.push(self.slot_keys[*s]);
+                        self.scratch.push(self.plan.slot_keys[*s]);
                     }
                 },
             }
@@ -529,14 +921,20 @@ impl<'a> Engine<'a> {
 
     fn check_negatives<F>(&mut self, index: usize, visit: &mut F) -> ControlFlow<()>
     where
-        F: FnMut(&Substitution) -> ControlFlow<()>,
+        F: FnMut(&SlotBinding<'_>) -> ControlFlow<()>,
     {
-        if index == self.negatives.len() {
-            return visit(&self.result_substitution());
+        if index == self.plan.negatives.len() {
+            let binding = SlotBinding {
+                keys: &self.plan.slot_keys,
+                slots: &self.slots,
+                preset: &self.preset,
+                initial: self.initial,
+            };
+            return visit(&binding);
         }
         let unbound = self.ground_negative(index);
         if unbound.is_empty() {
-            let predicate = self.negatives[index].predicate;
+            let predicate = self.plan.negatives[index].predicate;
             if self
                 .target
                 .satisfies_negation_of_parts(predicate, &self.scratch)
@@ -557,11 +955,11 @@ impl<'a> Engine<'a> {
         visit: &mut F,
     ) -> ControlFlow<()>
     where
-        F: FnMut(&Substitution) -> ControlFlow<()>,
+        F: FnMut(&SlotBinding<'_>) -> ControlFlow<()>,
     {
         if vidx == vars.len() {
             self.ground_negative(index);
-            let predicate = self.negatives[index].predicate;
+            let predicate = self.plan.negatives[index].predicate;
             if self
                 .target
                 .satisfies_negation_of_parts(predicate, &self.scratch)
@@ -581,44 +979,6 @@ impl<'a> Engine<'a> {
         }
         ControlFlow::Continue(())
     }
-
-    /// The substitution handed to the visitor: the initial substitution
-    /// extended with every non-preset slot binding.
-    fn result_substitution(&self) -> Substitution {
-        let mut out = self.initial.clone();
-        for (slot, value) in self.slots.iter().enumerate() {
-            if self.preset[slot] {
-                continue;
-            }
-            if let Some(value) = value {
-                out.bind(self.slot_keys[slot], *value);
-            }
-        }
-        out
-    }
-}
-
-/// Greedy join planner: repeatedly picks the remaining positive pattern with
-/// the smallest estimated candidate count, preferring patterns whose
-/// positions are already bound (fixed terms or slots bound by earlier
-/// patterns).  The estimate combines index probe cardinalities for fixed
-/// ground arguments with the predicate cardinality discounted by the number
-/// of bound positions.
-fn plan(positives: &[Pattern], preset: &[bool], target: &Interpretation) -> Vec<usize> {
-    plan_impl(positives, preset, target, None)
-}
-
-/// [`plan`] with `first` forced to the front of the join order.  Used by
-/// delta matching: the pivot literal's candidate list is the watermark
-/// suffix, so matching it first keeps the whole pivot enumeration
-/// proportional to the delta instead of the full instance.
-fn plan_first(
-    positives: &[Pattern],
-    preset: &[bool],
-    target: &Interpretation,
-    first: usize,
-) -> Vec<usize> {
-    plan_impl(positives, preset, target, Some(first))
 }
 
 fn plan_impl(
@@ -650,7 +1010,13 @@ fn plan_impl(
         let mut best_score = usize::MAX;
         for (at, &index) in remaining.iter().enumerate() {
             let pattern = &positives[index];
-            let mut estimate = target.predicate_count(pattern.predicate);
+            // A zero cardinality is clamped to 1: when planning against a
+            // statistics snapshot that predates the instance (cached plans
+            // compiled before the chase/closure derives anything), zero means
+            // "unknown", and clamping lets the bound-position discount drive
+            // the order (a structural, connectivity-first heuristic) instead
+            // of degenerating every score to 0 and keeping the written order.
+            let mut estimate = target.predicate_count(pattern.predicate).max(1);
             let mut bound_positions = 0usize;
             for (position, spec) in pattern.args.iter().enumerate() {
                 match spec {
@@ -670,7 +1036,9 @@ fn plan_impl(
                     }
                 }
             }
-            let score = estimate / (1 + bound_positions);
+            // Scaled before the integer division so small estimates still
+            // discriminate by how many positions are bound.
+            let score = estimate.saturating_mul(16) / (1 + bound_positions);
             if score < best_score {
                 best_score = score;
                 best_at = at;
@@ -1116,6 +1484,117 @@ mod tests {
             naive.sort();
             assert_eq!(fast, naive, "mismatch on {body:?}");
         }
+    }
+
+    #[test]
+    fn cached_plans_execute_with_ground_initial_substitutions() {
+        // One compiled plan, many initial substitutions applied as slot
+        // presets — the trigger-activity pattern.
+        let i = interp();
+        let plan = CompiledConjunction::compile(&[pos("edge", vec![var("X"), var("Y")])], &i);
+        let before = plan_compile_count();
+        for (from, to) in [("a", "b"), ("b", "c"), ("c", "a")] {
+            let mut init = Substitution::new();
+            init.bind(var("X"), cst(from));
+            let hs = plan.all(&i, &init);
+            assert_eq!(hs.len(), 1);
+            assert_eq!(hs[0].apply_term(&var("Y")), cst(to));
+            assert_eq!(hs[0].apply_term(&var("X")), cst(from));
+            assert!(plan.exists(&i, &init));
+        }
+        let mut unmatched = Substitution::new();
+        unmatched.bind(var("X"), cst("zzz"));
+        assert!(!plan.exists(&i, &unmatched));
+        assert_eq!(plan_compile_count(), before, "executions must not compile");
+    }
+
+    #[test]
+    fn cached_plans_fall_back_on_variable_chained_initials() {
+        // An initial substitution mapping a conjunction variable to another
+        // variable cannot be applied as slot presets; the cached plan must
+        // transparently recompile and agree with the one-shot wrapper and
+        // the reference matcher.
+        let i = interp();
+        let body = vec![pos("edge", vec![var("X"), var("Z")])];
+        let mut init = Substitution::new();
+        init.bind(var("X"), var("Y"));
+        let plan = CompiledConjunction::compile(&body, &i);
+        let mut cached: Vec<String> = plan.all(&i, &init).iter().map(|s| s.to_string()).collect();
+        let mut one_shot: Vec<String> = all_homomorphisms(&body, &i, &init)
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut naive: Vec<String> = reference::all_homomorphisms(&body, &i, &init)
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        cached.sort();
+        one_shot.sort();
+        naive.sort();
+        assert_eq!(cached, one_shot);
+        assert_eq!(cached, naive);
+    }
+
+    #[test]
+    fn slot_bindings_expose_lookup_application_and_materialisation() {
+        let i = interp();
+        let body = vec![
+            pos("edge", vec![var("X"), var("Y")]),
+            neg("red", vec![var("X")]),
+        ];
+        let plan = CompiledConjunction::compile(&body, &i);
+        let mut seen = 0usize;
+        plan.for_each(&i, &Substitution::new(), &mut |binding| {
+            seen += 1;
+            let x = binding.value_of(&var("X")).expect("X is bound");
+            assert_eq!(binding.apply_term(&var("X")), x);
+            assert_eq!(binding.value_of(&var("W")), None);
+            assert_eq!(binding.apply_term(&var("W")), var("W"));
+            assert_eq!(binding.apply_term(&cst("a")), cst("a"));
+            let grounded = binding.apply_atom(&atom("edge", vec![var("X"), var("Y")]));
+            assert!(grounded.is_ground());
+            let materialised = binding.to_substitution();
+            assert_eq!(materialised.apply_term(&var("X")), x);
+            assert_eq!(
+                materialised.apply_term(&var("Y")),
+                binding.apply_term(&var("Y"))
+            );
+            ControlFlow::Continue(())
+        });
+        assert_eq!(seen, 2);
+    }
+
+    #[test]
+    fn cached_plans_stay_correct_on_grown_instances() {
+        // Compiled against an empty instance (cold statistics), executed
+        // against a grown one: results must match a freshly compiled plan.
+        let cold = CompiledConjunction::compile(
+            &[
+                pos("edge", vec![var("X"), var("Y")]),
+                pos("edge", vec![var("Y"), var("Z")]),
+            ],
+            &Interpretation::new(),
+        );
+        let i = interp();
+        let mut from_cold: Vec<String> = cold
+            .all(&i, &Substitution::new())
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut from_warm: Vec<String> = all_homomorphisms(
+            &[
+                pos("edge", vec![var("X"), var("Y")]),
+                pos("edge", vec![var("Y"), var("Z")]),
+            ],
+            &i,
+            &Substitution::new(),
+        )
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        from_cold.sort();
+        from_warm.sort();
+        assert_eq!(from_cold, from_warm);
     }
 
     #[test]

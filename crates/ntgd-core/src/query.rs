@@ -16,8 +16,8 @@ use std::fmt;
 use crate::atom::Literal;
 use crate::error::{CoreError, CoreResult};
 use crate::interpretation::Interpretation;
-use crate::matcher::all_homomorphisms;
 use crate::matcher::exists_homomorphism;
+use crate::matcher::CompiledConjunction;
 use crate::schema::Schema;
 use crate::substitution::Substitution;
 use crate::symbol::Symbol;
@@ -109,19 +109,23 @@ impl Query {
 
     /// Evaluates the query over an interpretation: the set of constant answer
     /// tuples (paper: `q(I) ⊆ Cⁿ`).
+    ///
+    /// Answer tuples are read straight off the matcher's borrowed slot
+    /// binding; no substitution is materialised per homomorphism.
     pub fn answers(&self, interpretation: &Interpretation) -> BTreeSet<Vec<Term>> {
-        let hs = all_homomorphisms(&self.literals, interpretation, &Substitution::new());
+        let plan = CompiledConjunction::compile(&self.literals, interpretation);
         let mut out = BTreeSet::new();
-        for h in hs {
+        plan.for_each(interpretation, &Substitution::new(), &mut |binding| {
             let tuple: Vec<Term> = self
                 .answer_variables
                 .iter()
-                .map(|v| h.apply_term(&Term::Var(*v)))
+                .map(|v| binding.apply_term(&Term::Var(*v)))
                 .collect();
             if tuple.iter().all(Term::is_constant) {
                 out.insert(tuple);
             }
-        }
+            std::ops::ControlFlow::Continue(())
+        });
         out
     }
 

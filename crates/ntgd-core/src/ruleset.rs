@@ -1,0 +1,309 @@
+//! Per-rule plan caches: every conjunction a rule can be matched on,
+//! compiled exactly once and keyed by rule index.
+//!
+//! A [`CompiledRuleSet`] (for [`Program`]s) or [`CompiledDisjunctiveRuleSet`]
+//! (for [`DisjunctiveProgram`]s) is built **once per run** — chase, grounding
+//! or closure — and reused every round, so rule compilation and join planning
+//! are a once-per-program cost instead of a once-per-call cost (see the
+//! lifecycle notes in [`crate::matcher`]).  For each rule the set caches:
+//!
+//! * the full **body** (positive and negative literals) — classical-model
+//!   checks;
+//! * the **positive body** — trigger discovery, possibly-true closures,
+//!   relevance grounding;
+//! * the **head** as one conjunction — restricted-chase trigger activity
+//!   (`∃` extension of the trigger homomorphism into the instance);
+//! * each **head atom** (or each **disjunct** for disjunctive rules)
+//!   individually — immediate-consequence head extension and disjunct
+//!   satisfaction.
+//!
+//! Head plans are compiled without a baked substitution, so a single cached
+//! plan serves every trigger: the (ground-valued) trigger homomorphism is
+//! applied at execution time as slot presets.  Tests can assert the
+//! compile-once property through [`crate::matcher::plan_compile_count`].
+
+use crate::atom::Atom;
+use crate::interpretation::Interpretation;
+use crate::matcher::CompiledConjunction;
+use crate::program::{DisjunctiveProgram, Program};
+use crate::rule::{Ndtgd, Ntgd};
+
+/// The cached plans of one [`Ntgd`].
+#[derive(Clone, Debug)]
+pub struct CompiledRule {
+    body: CompiledConjunction,
+    body_positive: CompiledConjunction,
+    head: CompiledConjunction,
+    head_atoms: Vec<CompiledConjunction>,
+}
+
+impl CompiledRule {
+    fn new(rule: &Ntgd, stats: &Interpretation) -> CompiledRule {
+        let positive: Vec<Atom> = rule.body_positive().into_iter().cloned().collect();
+        CompiledRule {
+            body: CompiledConjunction::compile(rule.body(), stats),
+            body_positive: CompiledConjunction::compile_atoms(&positive, stats),
+            head: CompiledConjunction::compile_atoms(rule.head(), stats),
+            head_atoms: rule
+                .head()
+                .iter()
+                .map(|a| CompiledConjunction::compile_atoms(std::slice::from_ref(a), stats))
+                .collect(),
+        }
+    }
+
+    /// The full body (positive and negative literals).
+    pub fn body(&self) -> &CompiledConjunction {
+        &self.body
+    }
+
+    /// The positive body literals only.
+    pub fn body_positive(&self) -> &CompiledConjunction {
+        &self.body_positive
+    }
+
+    /// The head as a single positive conjunction.
+    pub fn head(&self) -> &CompiledConjunction {
+        &self.head
+    }
+
+    /// One single-atom conjunction per head atom, in head order.
+    pub fn head_atoms(&self) -> &[CompiledConjunction] {
+        &self.head_atoms
+    }
+}
+
+/// The cached plans of every rule of a [`Program`], keyed by rule index.
+#[derive(Clone, Debug)]
+pub struct CompiledRuleSet {
+    rules: Vec<CompiledRule>,
+}
+
+impl CompiledRuleSet {
+    /// Compiles every rule of `program` exactly once.  `stats` provides the
+    /// planner's cardinalities (typically the instance the plans first run
+    /// against; plans stay correct on grown instances).
+    pub fn from_program(program: &Program, stats: &Interpretation) -> CompiledRuleSet {
+        CompiledRuleSet {
+            rules: program
+                .rules()
+                .iter()
+                .map(|r| CompiledRule::new(r, stats))
+                .collect(),
+        }
+    }
+
+    /// The cached plans of the rule at `index` (panics when out of range).
+    pub fn rule(&self, index: usize) -> &CompiledRule {
+        &self.rules[index]
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Returns `true` if the set holds no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Iterates over `(rule index, cached plans)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &CompiledRule)> + '_ {
+        self.rules.iter().enumerate()
+    }
+}
+
+/// The cached plans of one [`Ndtgd`].
+#[derive(Clone, Debug)]
+pub struct CompiledDisjunctiveRule {
+    body: CompiledConjunction,
+    body_positive: CompiledConjunction,
+    disjuncts: Vec<CompiledConjunction>,
+}
+
+impl CompiledDisjunctiveRule {
+    fn new(rule: &Ndtgd, stats: &Interpretation) -> CompiledDisjunctiveRule {
+        let positive: Vec<Atom> = rule.body_positive().into_iter().cloned().collect();
+        CompiledDisjunctiveRule {
+            body: CompiledConjunction::compile(rule.body(), stats),
+            body_positive: CompiledConjunction::compile_atoms(&positive, stats),
+            disjuncts: rule
+                .disjuncts()
+                .iter()
+                .map(|d| CompiledConjunction::compile_atoms(d, stats))
+                .collect(),
+        }
+    }
+
+    /// The full body (positive and negative literals).
+    pub fn body(&self) -> &CompiledConjunction {
+        &self.body
+    }
+
+    /// The positive body literals only.
+    pub fn body_positive(&self) -> &CompiledConjunction {
+        &self.body_positive
+    }
+
+    /// One conjunction per head disjunct, in disjunct order.
+    pub fn disjuncts(&self) -> &[CompiledConjunction] {
+        &self.disjuncts
+    }
+}
+
+/// The cached plans of every rule of a [`DisjunctiveProgram`], keyed by rule
+/// index.
+#[derive(Clone, Debug)]
+pub struct CompiledDisjunctiveRuleSet {
+    rules: Vec<CompiledDisjunctiveRule>,
+}
+
+impl CompiledDisjunctiveRuleSet {
+    /// Compiles every rule of `program` exactly once.
+    pub fn from_disjunctive(
+        program: &DisjunctiveProgram,
+        stats: &Interpretation,
+    ) -> CompiledDisjunctiveRuleSet {
+        CompiledDisjunctiveRuleSet {
+            rules: program
+                .rules()
+                .iter()
+                .map(|r| CompiledDisjunctiveRule::new(r, stats))
+                .collect(),
+        }
+    }
+
+    /// The cached plans of the rule at `index` (panics when out of range).
+    pub fn rule(&self, index: usize) -> &CompiledDisjunctiveRule {
+        &self.rules[index]
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Returns `true` if the set holds no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Iterates over `(rule index, cached plans)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &CompiledDisjunctiveRule)> + '_ {
+        self.rules.iter().enumerate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::plan_compile_count;
+    use crate::substitution::Substitution;
+    use crate::{atom, cst, neg, pos, var};
+
+    fn example_program() -> Program {
+        Program::from_rules(vec![
+            Ntgd::new(
+                vec![pos("person", vec![var("X")])],
+                vec![atom("hasFather", vec![var("X"), var("Y")])],
+            )
+            .unwrap(),
+            Ntgd::new(
+                vec![
+                    pos("hasFather", vec![var("X"), var("Y")]),
+                    pos("hasFather", vec![var("X"), var("Z")]),
+                    neg("sameAs", vec![var("Y"), var("Z")]),
+                ],
+                vec![atom("abnormal", vec![var("X")])],
+            )
+            .unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rule_sets_compile_once_and_execute_many_times() {
+        let program = example_program();
+        let instance = Interpretation::from_atoms(vec![
+            atom("person", vec![cst("alice")]),
+            atom("hasFather", vec![cst("alice"), cst("bob")]),
+        ]);
+        let before = plan_compile_count();
+        let plans = CompiledRuleSet::from_program(&program, &instance);
+        let compiled = plan_compile_count() - before;
+        assert!(compiled > 0);
+        // Executions (full, delta, with and without presets) never recompile.
+        let before_runs = plan_compile_count();
+        for _ in 0..10 {
+            for (_, rule) in plans.iter() {
+                let homs = rule.body_positive().all(&instance, &Substitution::new());
+                for h in &homs {
+                    let _ = rule.head().exists(&instance, h);
+                }
+                let _ = rule
+                    .body_positive()
+                    .all_delta(&instance, &Substitution::new(), 1);
+            }
+        }
+        assert_eq!(plan_compile_count(), before_runs);
+    }
+
+    #[test]
+    fn cached_body_plans_agree_with_one_shot_matching() {
+        let program = example_program();
+        let instance = Interpretation::from_atoms(vec![
+            atom("person", vec![cst("alice")]),
+            atom("hasFather", vec![cst("alice"), cst("bob")]),
+            atom("hasFather", vec![cst("alice"), cst("carl")]),
+        ]);
+        let plans = CompiledRuleSet::from_program(&program, &Interpretation::new());
+        for (index, rule) in program.rules().iter().enumerate() {
+            let cached: Vec<String> = plans
+                .rule(index)
+                .body()
+                .all(&instance, &Substitution::new())
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            let one_shot: Vec<String> =
+                crate::matcher::all_homomorphisms(rule.body(), &instance, &Substitution::new())
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect();
+            let mut cached = cached;
+            let mut one_shot = one_shot;
+            cached.sort();
+            one_shot.sort();
+            assert_eq!(cached, one_shot, "rule {index}");
+        }
+    }
+
+    #[test]
+    fn disjunctive_rule_sets_cover_every_disjunct() {
+        let rule = Ndtgd::new(
+            vec![pos("node", vec![var("X")])],
+            vec![
+                vec![atom("red", vec![var("X")])],
+                vec![atom("green", vec![var("X")])],
+            ],
+        )
+        .unwrap();
+        let program = DisjunctiveProgram::from_rules(vec![rule]).unwrap();
+        let instance = Interpretation::from_atoms(vec![
+            atom("node", vec![cst("v")]),
+            atom("green", vec![cst("v")]),
+        ]);
+        let plans = CompiledDisjunctiveRuleSet::from_disjunctive(&program, &instance);
+        assert_eq!(plans.len(), 1);
+        assert!(!plans.is_empty());
+        let rule_plans = plans.rule(0);
+        assert_eq!(rule_plans.disjuncts().len(), 2);
+        let homs = rule_plans
+            .body_positive()
+            .all(&instance, &Substitution::new());
+        assert_eq!(homs.len(), 1);
+        assert!(!rule_plans.disjuncts()[0].exists(&instance, &homs[0]));
+        assert!(rule_plans.disjuncts()[1].exists(&instance, &homs[0]));
+    }
+}

@@ -1,7 +1,7 @@
 //! Consistent query answering (CQA) over subset repairs.
 //!
 //! Section 7.1 lists consistent query answering relative to set-based repairs
-//! [30] as a flagship application of the new query languages.  We reproduce
+//! \[30\] as a flagship application of the new query languages.  We reproduce
 //! the classical setting where the constraints are *conflicts* between facts
 //! (as produced, e.g., by key or denial constraints): a **repair** is a
 //! ⊆-maximal subset of the database containing no conflicting pair, and a

@@ -1,5 +1,5 @@
 //! The equality-friendly well-founded semantics (EFWFS) of Gottlob et al.
-//! [21], reproduced far enough to run the paper's Examples 2 and 3.
+//! \[21\], reproduced far enough to run the paper's Examples 2 and 3.
 //!
 //! The idea (paper, Section 1): the meaning of `(D, Σ)` is captured by the
 //! set `I(D, Σ)` of all normal programs obtained by

@@ -13,8 +13,9 @@
 //! from every ordinary constant.
 
 use std::collections::BTreeSet;
+use std::ops::ControlFlow;
 
-use ntgd_core::{Atom, Database, Substitution};
+use ntgd_core::{Atom, CompiledConjunction, Database, Substitution};
 
 use crate::program::{GroundProgram, GroundRule};
 use crate::skolem::{instantiate_head, SkolemProgram};
@@ -59,6 +60,22 @@ pub fn ground_program(
     let mut rules: Vec<GroundRule> = database.facts().cloned().map(GroundRule::fact).collect();
     let mut seen_rules: BTreeSet<GroundRule> = rules.iter().cloned().collect();
     let mut outcome = GroundingOutcome::Complete;
+    // Each rule's positive body is compiled once for the whole grounding;
+    // every semi-naive round executes the cached plans.
+    let empty = Substitution::new();
+    let body_plans: Vec<CompiledConjunction> = program
+        .rules
+        .iter()
+        .map(|rule| {
+            let positive: Vec<ntgd_core::Literal> = rule
+                .body
+                .iter()
+                .filter(|l| l.is_positive())
+                .cloned()
+                .collect();
+            CompiledConjunction::compile(&positive, &possibly_true)
+        })
+        .collect();
     // Semi-naive rounds: after the first (full) round, bodies are only
     // matched against homomorphisms that use an atom derived in the previous
     // round, so each relevant instantiation is produced exactly once.
@@ -68,37 +85,24 @@ pub fn ground_program(
         let next_watermark = possibly_true.len();
         let mut new_atoms: Vec<Atom> = Vec::new();
         let mut new_rules: Vec<GroundRule> = Vec::new();
-        for rule in &program.rules {
-            let positive: Vec<ntgd_core::Literal> = rule
-                .body
-                .iter()
-                .filter(|l| l.is_positive())
-                .cloned()
-                .collect();
-            let mut homs: Vec<Substitution> = Vec::new();
-            ntgd_core::for_each_homomorphism_delta(
-                &positive,
-                &possibly_true,
-                &Substitution::new(),
-                watermark,
-                &mut |h| {
-                    homs.push(h.clone());
-                    std::ops::ControlFlow::Continue(())
-                },
-            );
-            for h in homs {
+        for (rule, plan) in program.rules.iter().zip(&body_plans) {
+            plan.for_each_delta(&possibly_true, &empty, watermark, &mut |binding| {
+                // The Skolem-term head instantiation is the only place the
+                // binding must be materialised; body instances are read off
+                // the borrowed slot view.
+                let h = binding.to_substitution();
                 let head = instantiate_head(&rule.head, &h);
                 let body_pos: Vec<Atom> = rule
                     .body
                     .iter()
                     .filter(|l| l.is_positive())
-                    .map(|l| h.apply_atom(l.atom()))
+                    .map(|l| binding.apply_atom(l.atom()))
                     .collect();
                 let body_neg: Vec<Atom> = rule
                     .body
                     .iter()
                     .filter(|l| l.is_negative())
-                    .map(|l| h.apply_atom(l.atom()))
+                    .map(|l| binding.apply_atom(l.atom()))
                     .collect();
                 debug_assert!(
                     body_neg.iter().all(Atom::is_ground),
@@ -111,7 +115,8 @@ pub fn ground_program(
                 if !possibly_true.contains(&head) {
                     new_atoms.push(head);
                 }
-            }
+                ControlFlow::Continue(())
+            });
         }
         if new_rules.is_empty() && new_atoms.is_empty() {
             break;

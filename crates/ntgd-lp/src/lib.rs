@@ -22,7 +22,7 @@
 //! `bob`.
 //!
 //! The crate also contains a bounded implementation of the
-//! **equality-friendly well-founded semantics** of [21] ([`efwfs`]), the
+//! **equality-friendly well-founded semantics** of \[21\] ([`efwfs`]), the
 //! other Skolemization-free approach the paper discusses (and whose
 //! shortcoming — Example 3 — motivates the new semantics).
 

@@ -3,7 +3,7 @@
 //! The well-founded model of a ground normal program partitions the relevant
 //! Herbrand base into *true*, *false* and *undefined* atoms.  It is used
 //! both as a semantics in its own right (the paper discusses the
-//! equality-friendly WFS of [21]) and as a sound simplification before stable
+//! equality-friendly WFS of \[21\]) and as a sound simplification before stable
 //! model enumeration: well-founded-true atoms belong to every stable model,
 //! well-founded-false atoms to none.
 

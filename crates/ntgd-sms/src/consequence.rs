@@ -12,8 +12,9 @@
 //! tests of this crate and by experiment E8.
 
 use std::collections::BTreeSet;
+use std::ops::ControlFlow;
 
-use ntgd_core::{matcher, Atom, Database, Interpretation, Program, Substitution};
+use ntgd_core::{Atom, CompiledRuleSet, Database, Interpretation, Program, Substitution};
 
 /// Derives every immediate consequence of the rules whose positive body maps
 /// into `current` by a homomorphism using at least one atom at or after
@@ -24,41 +25,43 @@ use ntgd_core::{matcher, Atom, Database, Interpretation, Program, Substitution};
 /// [`immediate_consequence_step`] and [`immediate_consequence_closure`]:
 /// negative literals are evaluated against the oracle `I`, and every head
 /// atom instance belonging to `I⁺` (under some extension of the body
-/// homomorphism over `dom(I)`) is an immediate consequence.
+/// homomorphism over `dom(I)`) is an immediate consequence.  `plans` holds
+/// the cached positive-body and per-head-atom plans of `program` (compiled
+/// once per closure, executed every round); body homomorphisms stay borrowed
+/// slot bindings and are only materialised for the head-extension probe.
 fn derive_consequences<F: FnMut(Atom)>(
     program: &Program,
+    plans: &CompiledRuleSet,
     oracle: &Interpretation,
     current: &Interpretation,
     watermark: usize,
     emit: &mut F,
 ) {
-    for rule in program.rules() {
-        let body_pos: Vec<Atom> = rule.body_positive().into_iter().cloned().collect();
-        let homs = matcher::all_atom_homomorphisms_delta(
-            &body_pos,
-            current,
-            &Substitution::new(),
-            watermark,
-        );
-        for h in homs {
-            // Negative literals are evaluated against the oracle I.
-            let negatives_ok = rule
-                .body_negative()
-                .iter()
-                .all(|a| oracle.satisfies_negation_of(&h.apply_atom(a)));
-            if !negatives_ok {
-                continue;
-            }
-            // Every head atom instance that belongs to I⁺ (under some
-            // extension of h over dom(I)) is an immediate consequence.
-            for head_atom in rule.head() {
-                for ext in
-                    matcher::all_atom_homomorphisms(std::slice::from_ref(head_atom), oracle, &h)
-                {
-                    emit(ext.apply_atom(head_atom));
+    let empty = Substitution::new();
+    for (index, rule) in program.iter() {
+        let rule_plans = plans.rule(index);
+        rule_plans
+            .body_positive()
+            .for_each_delta(current, &empty, watermark, &mut |binding| {
+                // Negative literals are evaluated against the oracle I.
+                let negatives_ok = rule
+                    .body_negative()
+                    .iter()
+                    .all(|a| oracle.satisfies_negation_of(&binding.apply_atom(a)));
+                if !negatives_ok {
+                    return ControlFlow::Continue(());
                 }
-            }
-        }
+                // Every head atom instance that belongs to I⁺ (under some
+                // extension of h over dom(I)) is an immediate consequence.
+                let h = binding.to_substitution();
+                for (position, head_atom) in rule.head().iter().enumerate() {
+                    rule_plans.head_atoms()[position].for_each(oracle, &h, &mut |ext| {
+                        emit(ext.apply_atom(head_atom));
+                        ControlFlow::Continue(())
+                    });
+                }
+                ControlFlow::Continue(())
+            });
     }
 }
 
@@ -68,8 +71,9 @@ pub fn immediate_consequence_step(
     oracle: &Interpretation,
     current: &Interpretation,
 ) -> BTreeSet<Atom> {
+    let plans = CompiledRuleSet::from_program(program, current);
     let mut derived: BTreeSet<Atom> = current.sorted_atoms().into_iter().collect();
-    derive_consequences(program, oracle, current, 0, &mut |atom| {
+    derive_consequences(program, &plans, oracle, current, 0, &mut |atom| {
         derived.insert(atom);
     });
     derived
@@ -81,17 +85,19 @@ pub fn immediate_consequence_step(
 /// matched against homomorphisms using an atom derived in the previous round
 /// (the negative literals and the head extension are evaluated against the
 /// fixed oracle, so every homomorphism contributes in exactly one round).
+/// Rule plans are compiled once for the whole fixpoint.
 pub fn immediate_consequence_closure(
     database: &Database,
     program: &Program,
     oracle: &Interpretation,
 ) -> Interpretation {
     let mut current = database.to_interpretation();
+    let plans = CompiledRuleSet::from_program(program, &current);
     let mut watermark = 0usize;
     loop {
         let next_watermark = current.len();
         let mut derived: Vec<Atom> = Vec::new();
-        derive_consequences(program, oracle, &current, watermark, &mut |atom| {
+        derive_consequences(program, &plans, oracle, &current, watermark, &mut |atom| {
             derived.push(atom);
         });
         let mut changed = false;

@@ -3,9 +3,11 @@
 //! back-end).
 
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::ops::ControlFlow;
 
 use ntgd_core::{
-    matcher, Atom, Database, DisjunctiveProgram, Interpretation, Program, Query, Substitution, Term,
+    Atom, CompiledConjunction, Database, DisjunctiveProgram, Interpretation, Program, Query,
+    Substitution, Term,
 };
 use ntgd_sat::{CnfBuilder, Lit};
 
@@ -538,15 +540,16 @@ fn query_instances(query: &Query, ground: &GroundSmsProgram) -> Vec<QueryInstanc
         .filter(|l| l.is_negative())
         .map(|l| l.atom().clone())
         .collect();
-    let homs =
-        matcher::all_atom_homomorphisms(&positive_atoms, &ground.closure, &Substitution::new());
+    // One compiled plan per query evaluation; instantiations are read off
+    // the borrowed slot binding without materialising substitutions.
+    let plan = CompiledConjunction::compile_atoms(&positive_atoms, &ground.closure);
     let mut out = Vec::new();
-    for h in homs {
+    plan.for_each(&ground.closure, &Substitution::new(), &mut |binding| {
         let mut pos_ids = Vec::new();
         let mut pos_terms: BTreeSet<Term> = BTreeSet::new();
         let mut valid = true;
         for a in &positive_atoms {
-            let g = h.apply_atom(a);
+            let g = binding.apply_atom(a);
             pos_terms.extend(g.terms().copied());
             match ground.atoms.id_of(&g) {
                 Some(id) => pos_ids.push(id),
@@ -557,12 +560,12 @@ fn query_instances(query: &Query, ground: &GroundSmsProgram) -> Vec<QueryInstanc
             }
         }
         if !valid {
-            continue;
+            return ControlFlow::Continue(());
         }
         let mut neg_ids = Vec::new();
         let mut domain_terms: BTreeSet<Term> = BTreeSet::new();
         for a in &negative_atoms {
-            let g = h.apply_atom(a);
+            let g = binding.apply_atom(a);
             debug_assert!(g.is_ground(), "queries are safe");
             for t in g.terms() {
                 if !pos_terms.contains(t) {
@@ -581,7 +584,8 @@ fn query_instances(query: &Query, ground: &GroundSmsProgram) -> Vec<QueryInstanc
             negative: neg_ids,
             domain_terms: domain_terms.into_iter().collect(),
         });
-    }
+        ControlFlow::Continue(())
+    });
     out
 }
 

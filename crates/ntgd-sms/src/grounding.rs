@@ -15,8 +15,12 @@
 //! generator and by the stability check.
 
 use std::collections::{BTreeSet, HashMap};
+use std::ops::ControlFlow;
 
-use ntgd_core::{matcher, Atom, Database, DisjunctiveProgram, Interpretation, Substitution, Term};
+use ntgd_core::{
+    Atom, CompiledDisjunctiveRuleSet, Database, DisjunctiveProgram, Interpretation, Substitution,
+    Term,
+};
 
 use crate::universe::Domain;
 
@@ -193,12 +197,24 @@ fn for_each_assignment<F>(
     recurse(variables, 0, domain, &mut current, visit);
 }
 
+/// The existential variables of every disjunct of a rule, hoisted out of the
+/// per-homomorphism loops.
+fn existentials_per_disjunct(rule: &ntgd_core::rule::Ndtgd) -> Vec<Vec<ntgd_core::Symbol>> {
+    (0..rule.disjuncts().len())
+        .map(|d| rule.existential_variables_of(d).into_iter().collect())
+        .collect()
+}
+
 /// Computes the possibly-true closure: the least set of atoms over the domain
 /// containing the database and closed under firing every rule (ignoring
 /// negative literals) with every instantiation of its existential variables.
+///
+/// `plans` holds the cached rule plans shared with the instantiation phase of
+/// [`ground_sms`]; every round executes them without recompiling.
 fn possibly_true_closure(
     database: &Database,
     program: &DisjunctiveProgram,
+    plans: &CompiledDisjunctiveRuleSet,
     domain: &Domain,
     limits: &GroundingLimits,
 ) -> Result<Interpretation, GroundingError> {
@@ -208,6 +224,12 @@ fn possibly_true_closure(
     for t in domain.terms() {
         closure.add_domain_element(*t);
     }
+    let empty = Substitution::new();
+    let existentials_by_rule: Vec<Vec<Vec<ntgd_core::Symbol>>> = program
+        .rules()
+        .iter()
+        .map(existentials_per_disjunct)
+        .collect();
     // Semi-naive rounds: after the first (full) round, rule bodies are only
     // matched against homomorphisms that use an atom derived in the previous
     // round (`watermark` is the closure size before that round's insertions).
@@ -215,28 +237,40 @@ fn possibly_true_closure(
     loop {
         let next_watermark = closure.len();
         let mut additions: BTreeSet<Atom> = BTreeSet::new();
-        for rule in program.rules() {
-            let body_atoms: Vec<Atom> = rule.body_positive().into_iter().cloned().collect();
-            let homs = matcher::all_atom_homomorphisms_delta(
-                &body_atoms,
+        for (index, rule) in program.rules().iter().enumerate() {
+            let existentials = &existentials_by_rule[index];
+            plans.rule(index).body_positive().for_each_delta(
                 &closure,
-                &Substitution::new(),
+                &empty,
                 watermark,
-            );
-            for h in homs {
-                for (d, disjunct) in rule.disjuncts().iter().enumerate() {
-                    let exist: Vec<ntgd_core::Symbol> =
-                        rule.existential_variables_of(d).into_iter().collect();
-                    for_each_assignment(&exist, domain, &h, &mut |assignment| {
-                        for atom in disjunct {
-                            let ground = assignment.apply_atom(atom);
-                            if ground.is_ground() && !closure.contains(&ground) {
-                                additions.insert(ground);
+                &mut |binding| {
+                    // Materialised lazily: disjuncts without existential
+                    // variables instantiate straight off the slot binding.
+                    let mut h: Option<Substitution> = None;
+                    for (d, disjunct) in rule.disjuncts().iter().enumerate() {
+                        let exist = &existentials[d];
+                        if exist.is_empty() {
+                            for atom in disjunct {
+                                let ground = binding.apply_atom(atom);
+                                if ground.is_ground() && !closure.contains(&ground) {
+                                    additions.insert(ground);
+                                }
                             }
+                            continue;
                         }
-                    });
-                }
-            }
+                        let h = h.get_or_insert_with(|| binding.to_substitution());
+                        for_each_assignment(exist, domain, h, &mut |assignment| {
+                            for atom in disjunct {
+                                let ground = assignment.apply_atom(atom);
+                                if ground.is_ground() && !closure.contains(&ground) {
+                                    additions.insert(ground);
+                                }
+                            }
+                        });
+                    }
+                    ControlFlow::Continue(())
+                },
+            );
         }
         if additions.is_empty() {
             return Ok(closure);
@@ -254,14 +288,18 @@ fn possibly_true_closure(
     }
 }
 
-/// Grounds `SM[D,Σ]` over the given domain.
+/// Grounds `SM[D,Σ]` over the given domain.  Every rule is compiled into its
+/// plan form exactly once per call; the closure rounds and the instantiation
+/// phase execute the cached plans.
 pub fn ground_sms(
     database: &Database,
     program: &DisjunctiveProgram,
     domain: &Domain,
     limits: &GroundingLimits,
 ) -> Result<GroundSmsProgram, GroundingError> {
-    let closure = possibly_true_closure(database, program, domain, limits)?;
+    let plans =
+        CompiledDisjunctiveRuleSet::from_disjunctive(program, &database.to_interpretation());
+    let closure = possibly_true_closure(database, program, &plans, domain, limits)?;
     let mut atoms = AtomTable::new();
     // Intern the closure first so that possibly-true atoms occupy a prefix of
     // the table; `possibly_true` is then extended as negative-body atoms are
@@ -273,73 +311,96 @@ pub fn ground_sms(
 
     let mut rules: Vec<GroundSmsRule> = Vec::new();
     let mut seen: BTreeSet<GroundSmsRule> = BTreeSet::new();
+    let empty = Substitution::new();
+    let mut overflow = false;
     for (ridx, rule) in program.rules().iter().enumerate() {
         let body_atoms: Vec<Atom> = rule.body_positive().into_iter().cloned().collect();
         let neg_atoms: Vec<Atom> = rule.body_negative().into_iter().cloned().collect();
-        let homs = matcher::all_atom_homomorphisms(&body_atoms, &closure, &Substitution::new());
-        for h in homs {
-            let body_pos: Vec<usize> = body_atoms
-                .iter()
-                .map(|a| {
-                    atoms
-                        .id_of(&h.apply_atom(a))
-                        .expect("positive body instances are in the closure")
-                })
-                .collect();
-            let pos_terms: BTreeSet<Term> = body_atoms
-                .iter()
-                .flat_map(|a| h.apply_atom(a).terms().copied().collect::<Vec<_>>())
-                .collect();
-            let mut body_neg = Vec::new();
-            let mut neg_domain_terms: BTreeSet<Term> = BTreeSet::new();
-            for a in &neg_atoms {
-                let ground = h.apply_atom(a);
-                debug_assert!(
-                    ground.is_ground(),
-                    "safety guarantees ground negative bodies"
-                );
-                for t in ground.terms() {
-                    if !pos_terms.contains(t) {
-                        neg_domain_terms.insert(*t);
+        let existentials = existentials_per_disjunct(rule);
+        plans
+            .rule(ridx)
+            .body_positive()
+            .for_each(&closure, &empty, &mut |binding| {
+                let body_pos: Vec<usize> = body_atoms
+                    .iter()
+                    .map(|a| {
+                        atoms
+                            .id_of(&binding.apply_atom(a))
+                            .expect("positive body instances are in the closure")
+                    })
+                    .collect();
+                let pos_terms: BTreeSet<Term> = body_atoms
+                    .iter()
+                    .flat_map(|a| binding.apply_atom(a).terms().copied().collect::<Vec<_>>())
+                    .collect();
+                let mut body_neg = Vec::new();
+                let mut neg_domain_terms: BTreeSet<Term> = BTreeSet::new();
+                for a in &neg_atoms {
+                    let ground = binding.apply_atom(a);
+                    debug_assert!(
+                        ground.is_ground(),
+                        "safety guarantees ground negative bodies"
+                    );
+                    for t in ground.terms() {
+                        if !pos_terms.contains(t) {
+                            neg_domain_terms.insert(*t);
+                        }
                     }
+                    body_neg.push(atoms.intern(ground));
                 }
-                body_neg.push(atoms.intern(ground));
-            }
-            let mut disjuncts: Vec<Vec<usize>> = Vec::new();
-            for (d, disjunct) in rule.disjuncts().iter().enumerate() {
-                let exist: Vec<ntgd_core::Symbol> =
-                    rule.existential_variables_of(d).into_iter().collect();
-                for_each_assignment(&exist, domain, &h, &mut |assignment| {
-                    let conj: Vec<usize> = disjunct
-                        .iter()
-                        .map(|atom| {
-                            let ground = assignment.apply_atom(atom);
-                            atoms
-                                .id_of(&ground)
-                                .expect("head instantiations are in the closure")
-                        })
-                        .collect();
-                    disjuncts.push(conj);
-                });
-            }
-            disjuncts.sort();
-            disjuncts.dedup();
-            let ground_rule = GroundSmsRule {
-                body_pos,
-                body_neg,
-                neg_domain_terms: neg_domain_terms.into_iter().collect(),
-                disjuncts,
-                source_rule: ridx,
-            };
-            if seen.insert(ground_rule.clone()) {
-                rules.push(ground_rule);
-            }
-            if rules.len() > limits.max_rules {
-                return Err(GroundingError::TooLarge {
-                    atoms: atoms.len(),
-                    rules: rules.len(),
-                });
-            }
+                let mut disjuncts: Vec<Vec<usize>> = Vec::new();
+                let mut h: Option<Substitution> = None;
+                for (d, disjunct) in rule.disjuncts().iter().enumerate() {
+                    let exist = &existentials[d];
+                    if exist.is_empty() {
+                        let conj: Vec<usize> = disjunct
+                            .iter()
+                            .map(|atom| {
+                                atoms
+                                    .id_of(&binding.apply_atom(atom))
+                                    .expect("head instantiations are in the closure")
+                            })
+                            .collect();
+                        disjuncts.push(conj);
+                        continue;
+                    }
+                    let h = h.get_or_insert_with(|| binding.to_substitution());
+                    for_each_assignment(exist, domain, h, &mut |assignment| {
+                        let conj: Vec<usize> = disjunct
+                            .iter()
+                            .map(|atom| {
+                                let ground = assignment.apply_atom(atom);
+                                atoms
+                                    .id_of(&ground)
+                                    .expect("head instantiations are in the closure")
+                            })
+                            .collect();
+                        disjuncts.push(conj);
+                    });
+                }
+                disjuncts.sort();
+                disjuncts.dedup();
+                let ground_rule = GroundSmsRule {
+                    body_pos,
+                    body_neg,
+                    neg_domain_terms: neg_domain_terms.into_iter().collect(),
+                    disjuncts,
+                    source_rule: ridx,
+                };
+                if seen.insert(ground_rule.clone()) {
+                    rules.push(ground_rule);
+                }
+                if rules.len() > limits.max_rules {
+                    overflow = true;
+                    return ControlFlow::Break(());
+                }
+                ControlFlow::Continue(())
+            });
+        if overflow {
+            return Err(GroundingError::TooLarge {
+                atoms: atoms.len(),
+                rules: rules.len(),
+            });
         }
     }
 

@@ -10,9 +10,11 @@
 //! complementary search for such a `J` to the CDCL SAT solver.
 
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::ops::ControlFlow;
 
 use ntgd_core::{
-    matcher, Database, DisjunctiveProgram, Interpretation, Program, Substitution, Term,
+    CompiledDisjunctiveRuleSet, Database, DisjunctiveProgram, Interpretation, Program,
+    Substitution, Term,
 };
 use ntgd_sat::{CnfBuilder, Lit};
 
@@ -22,6 +24,10 @@ use crate::universe::Domain;
 /// Returns `true` if the interpretation is a classical model of the database
 /// and the (disjunctive) program, in the homomorphism-based sense of the
 /// paper.
+///
+/// Each rule's body and disjuncts are compiled once per call; every body
+/// homomorphism then checks disjunct satisfaction through the cached plans
+/// (the homomorphism is applied as slot presets, not recompiled).
 pub fn is_classical_model(
     interpretation: &Interpretation,
     database: &Database,
@@ -30,17 +36,27 @@ pub fn is_classical_model(
     if !database.facts().all(|f| interpretation.contains(f)) {
         return false;
     }
-    for rule in program.rules() {
-        let body: Vec<ntgd_core::Literal> = rule.body().to_vec();
-        let homs = matcher::all_homomorphisms(&body, interpretation, &Substitution::new());
-        for h in homs {
-            let satisfied = rule
-                .disjuncts()
-                .iter()
-                .any(|disjunct| matcher::exists_atom_homomorphism(disjunct, interpretation, &h));
-            if !satisfied {
-                return false;
-            }
+    let plans = CompiledDisjunctiveRuleSet::from_disjunctive(program, interpretation);
+    let empty = Substitution::new();
+    for (_index, rule_plans) in plans.iter() {
+        let mut violated = false;
+        rule_plans
+            .body()
+            .for_each(interpretation, &empty, &mut |binding| {
+                let h = binding.to_substitution();
+                let satisfied = rule_plans
+                    .disjuncts()
+                    .iter()
+                    .any(|disjunct| disjunct.exists(interpretation, &h));
+                if satisfied {
+                    ControlFlow::Continue(())
+                } else {
+                    violated = true;
+                    ControlFlow::Break(())
+                }
+            });
+        if violated {
+            return false;
         }
     }
     true

@@ -224,6 +224,105 @@ fn delta_matching_partitions_the_homomorphism_space() {
 }
 
 #[test]
+fn cached_plan_enumeration_equals_reference() {
+    // A plan compiled once (against unrelated, cold statistics) and executed
+    // with per-call initial substitutions must enumerate exactly the
+    // reference matcher's homomorphism set.
+    for seed in 0..200u64 {
+        let mut rng = Rng::new(0xcac4e ^ seed);
+        let interpretation = random_interpretation(&mut rng, 14);
+        let conjunction = random_conjunction(&mut rng);
+        let initial = random_initial(&mut rng);
+        let plan =
+            stable_tgd::core::CompiledConjunction::compile(&conjunction, &Interpretation::new());
+        let cached = plan.all(&interpretation, &initial);
+        let naive = reference::all_homomorphisms(&conjunction, &interpretation, &initial);
+        assert_eq!(
+            rendered(&cached),
+            rendered(&naive),
+            "seed {seed}: cached plan mismatch on {conjunction:?} over {interpretation}"
+        );
+    }
+}
+
+#[test]
+fn cached_plan_delta_enumeration_partitions_like_the_reference() {
+    // One plan compiled against the old part of the instance serves both the
+    // full and the delta enumeration on the grown instance; old + delta must
+    // equal the reference matcher's full set, without duplicates.
+    for seed in 0..200u64 {
+        let mut rng = Rng::new(0xde17a ^ seed);
+        let atoms: Vec<Atom> = {
+            let i = random_interpretation(&mut rng, 14);
+            i.atoms().cloned().collect()
+        };
+        let split = if atoms.is_empty() {
+            0
+        } else {
+            rng.below(atoms.len() + 1)
+        };
+        let old = Interpretation::from_atoms(atoms[..split].iter().cloned());
+        let full = Interpretation::from_atoms(atoms.iter().cloned());
+        let watermark = old.len();
+
+        let positives: Vec<Atom> = (0..rng.below(3) + 1)
+            .map(|_| random_pattern_atom(&mut rng))
+            .collect();
+        let plan = stable_tgd::core::CompiledConjunction::compile_atoms(&positives, &old);
+        let on_old = plan.all(&old, &Substitution::new());
+        let delta = plan.all_delta(&full, &Substitution::new(), watermark);
+        let literals: Vec<Literal> = positives.iter().cloned().map(Literal::positive).collect();
+        let on_full_reference =
+            reference::all_homomorphisms(&literals, &full, &Substitution::new());
+
+        let mut combined = rendered(&on_old);
+        combined.extend(rendered(&delta));
+        combined.sort();
+        assert_eq!(
+            combined,
+            rendered(&on_full_reference),
+            "seed {seed}: cached delta decomposition failed for {positives:?}"
+        );
+        for h in rendered(&delta) {
+            assert!(
+                !rendered(&on_old).contains(&h),
+                "seed {seed}: duplicate homomorphism {h}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fixpoint_runs_compile_each_rule_plan_exactly_once() {
+    // The compile-once contract on random existential programs: a chase run
+    // compiles exactly one rule-set worth of plans, however many rounds it
+    // takes (the counter is thread-local, so parallel tests do not skew it).
+    use stable_tgd::core::matcher::plan_compile_count;
+    use stable_tgd::core::CompiledRuleSet;
+    for seed in 0..16u64 {
+        let mut rng = Rng::new(0xc0417 ^ seed);
+        let (rules_text, db_text) = existential_program_and_database(&mut rng);
+        let program = parse_program(&rules_text).unwrap();
+        let database = parse_database(&db_text).unwrap();
+        let positive = program.positive_part();
+        let before_build = plan_compile_count();
+        let _plans = CompiledRuleSet::from_program(&positive, &Interpretation::new());
+        let per_build = plan_compile_count() - before_build;
+        let before_run = plan_compile_count();
+        let _ = stable_tgd::chase::restricted_chase(
+            &database,
+            &program,
+            &stable_tgd::chase::ChaseConfig::with_max_steps(200),
+        );
+        assert_eq!(
+            plan_compile_count() - before_run,
+            per_build,
+            "seed {seed}: chase recompiled rule plans ({rules_text})"
+        );
+    }
+}
+
+#[test]
 fn delta_visitors_can_stop_early() {
     let mut rng = Rng::new(99);
     let interpretation = random_interpretation(&mut rng, 12);
