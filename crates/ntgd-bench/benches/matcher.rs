@@ -15,8 +15,12 @@ use std::ops::ControlFlow;
 use std::time::{Duration, Instant};
 
 use criterion::Criterion;
+use ntgd_chase::triggers_from_compiled;
 use ntgd_core::matcher::{self, reference};
-use ntgd_core::{atom, cst, var, Atom, CompiledConjunction, Interpretation, Literal, Substitution};
+use ntgd_core::{
+    atom, cst, parallel, var, Atom, CompiledConjunction, CompiledRuleSet, Interpretation, Literal,
+    Substitution,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -188,6 +192,30 @@ fn run_delta_rounds(cached: bool, base: &Interpretation, extra: &[Atom], body: &
     count
 }
 
+/// The parallel-scaling workload: a multi-rule join program over a sparse
+/// random graph, plus a watermark selecting a sizable delta suffix — the
+/// shape of one semi-naive chase round whose `(rule, pivot)` work items the
+/// scoped worker pool distributes.
+fn parallel_scaling_workload() -> (ntgd_core::Program, Interpretation, usize) {
+    let program = ntgd_parser::parse_program(
+        "e(X, Y), e(Y, Z) -> chain2(X, Z).\
+         e(X, Y), e(Y, Z), e(Z, W) -> chain3(X, W).\
+         e(X, Y), e(X, Z) -> fanout(Y, Z).\
+         e(X, Y), e(Z, Y) -> fanin(X, Z).\
+         e(X, Y), e(Y, X) -> mutual(X).\
+         e(X, Y), e(Y, Z), e(Z, X) -> triangle(X).\
+         e(X, Y), e(Y, Z), e(X, Z) -> shortcut(X, Z).\
+         e(X, Y) -> labelled(Y, L).",
+    )
+    .expect("parallel workload program parses");
+    let mut rng = StdRng::seed_from_u64(0x6a05);
+    let instance = random_edges(&mut rng, 220, 700);
+    // The delta suffix: the last ~25% of the arena, as if one chase round
+    // had just derived it.
+    let delta_watermark = instance.len() - instance.len() / 4;
+    (program, instance, delta_watermark)
+}
+
 /// One delta-matching round: how long it takes to find the homomorphisms
 /// introduced by the newest atom versus a full rematch.
 fn bench_delta(criterion: &mut Criterion) {
@@ -331,6 +359,59 @@ fn main() {
             cloned.as_nanos(),
             speedup,
             homomorphisms,
+        ));
+    }
+
+    // Parallel scaling: chase-round trigger discovery — the (rule, pivot)
+    // work items of a semi-naive round — on one worker versus the machine's
+    // full parallelism.  The sequential and parallel runs must produce the
+    // identical trigger sequence (the deterministic-merge contract); on a
+    // single-core machine the two paths coincide and the speedup is ~1.0x,
+    // on an n-core machine the discovery round scales with n.
+    {
+        let (program, instance, delta_watermark) = parallel_scaling_workload();
+        let positive = program.positive_part();
+        let plans = CompiledRuleSet::from_program(&positive, &instance);
+        let discover = |threads: Option<usize>| -> usize {
+            parallel::set_thread_override(threads);
+            let seeded = triggers_from_compiled(&plans, &instance, 0).len();
+            let delta = triggers_from_compiled(&plans, &instance, delta_watermark).len();
+            parallel::set_thread_override(None);
+            seeded + delta
+        };
+        let sequential_triggers = {
+            parallel::set_thread_override(Some(1));
+            let t = triggers_from_compiled(&plans, &instance, 0);
+            parallel::set_thread_override(None);
+            t
+        };
+        let parallel_triggers = triggers_from_compiled(&plans, &instance, 0);
+        assert_eq!(
+            sequential_triggers, parallel_triggers,
+            "parallel trigger discovery changed results"
+        );
+        let trigger_count = discover(Some(1));
+        assert_eq!(trigger_count, discover(None), "parallel count diverged");
+        criterion.bench_function("matcher/parallel_scaling/parallel", |b| {
+            b.iter(|| discover(None))
+        });
+        criterion.bench_function("matcher/parallel_scaling/sequential", |b| {
+            b.iter(|| discover(Some(1)))
+        });
+        let parallel_time = median_duration(20, || discover(None));
+        let sequential_time = median_duration(20, || discover(Some(1)));
+        let speedup =
+            sequential_time.as_secs_f64() / parallel_time.as_secs_f64().max(f64::MIN_POSITIVE);
+        println!(
+            "matcher/parallel_scaling: parallel {parallel_time:?}, sequential {sequential_time:?}, speedup {speedup:.1}x, {trigger_count} triggers ({} workers)",
+            parallel::num_threads()
+        );
+        rows.push((
+            "parallel_scaling".to_owned(),
+            parallel_time.as_nanos(),
+            sequential_time.as_nanos(),
+            speedup,
+            trigger_count,
         ));
     }
 

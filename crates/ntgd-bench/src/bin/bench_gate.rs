@@ -52,13 +52,46 @@ fn field_str(line: &str, key: &str) -> Option<String> {
 }
 
 /// The numeric value of `"key": <number>` on a line, if present.
+///
+/// Accepts alphabetic number tokens (`NaN`, `inf`, `-inf`) as well: a
+/// corrupted record must be *seen* (and rejected by [`invalid_speedups`]),
+/// not silently skipped as an unparseable line.
 fn field_num(line: &str, key: &str) -> Option<f64> {
     let marker = format!("\"{key}\":");
     let rest = line[line.find(&marker)? + marker.len()..].trim_start();
     let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '.' || c == '-' || c == '+'))
         .unwrap_or(rest.len());
     rest[..end].parse().ok()
+}
+
+/// The workloads whose recorded speedup cannot gate anything: NaN compares
+/// false against every threshold (`new < base * 0.8` is false for NaN, so a
+/// corrupted record would silently greenlight CI), infinities are
+/// measurement failures, and a non-positive speedup is not a speedup.
+fn invalid_speedups(records: &[(String, f64)]) -> Vec<(String, f64)> {
+    records
+        .iter()
+        .filter(|(_, speedup)| !speedup.is_finite() || *speedup <= 0.0)
+        .cloned()
+        .collect()
+}
+
+/// Named workloads carrying a `"speedup":` field whose value does not parse
+/// as a number at all (e.g. `2x4.8`).  [`parse_speedups`] necessarily skips
+/// them, which would otherwise let the workload vanish from a baseline and
+/// escape the gate entirely (fresh-only workloads are allowed).
+fn malformed_speedups(text: &str) -> Vec<String> {
+    text.lines()
+        .filter_map(|line| {
+            let name = field_str(line, "name")?;
+            if line.contains("\"speedup\":") && field_num(line, "speedup").is_none() {
+                Some(name)
+            } else {
+                None
+            }
+        })
+        .collect()
 }
 
 /// The regressions (name, baseline, fresh) beyond the tolerated loss, plus
@@ -102,6 +135,29 @@ fn main() -> ExitCode {
     let fresh = parse_speedups(&fresh_text);
     if baseline.is_empty() {
         eprintln!("bench_gate: no workloads found in baseline {baseline_path}");
+        return ExitCode::from(2);
+    }
+    // Corrupted records cannot gate anything: reject them outright instead
+    // of letting NaN/inf/zero speedups slip through the regression compare
+    // (or unparseable ones vanish from the baseline and escape it).
+    let mut corrupted = false;
+    for (label, records, text) in [
+        ("baseline", &baseline, &baseline_text),
+        ("fresh", &fresh, &fresh_text),
+    ] {
+        for (name, speedup) in invalid_speedups(records) {
+            eprintln!(
+                "bench_gate: INVALID {label} record {name}: speedup {speedup} \
+                 is not a finite positive number"
+            );
+            corrupted = true;
+        }
+        for name in malformed_speedups(text) {
+            eprintln!("bench_gate: INVALID {label} record {name}: unparseable speedup value");
+            corrupted = true;
+        }
+    }
+    if corrupted {
         return ExitCode::from(2);
     }
 
@@ -186,5 +242,66 @@ mod tests {
         let (regressed, missing) = regressions(&baseline, &fresh);
         assert_eq!(regressed, vec![("a".to_owned(), 10.0, 7.9)]);
         assert_eq!(missing, vec!["gone".to_owned()]);
+    }
+
+    #[test]
+    fn nan_speedups_are_parsed_and_rejected() {
+        // Regression test: NaN compares false against every threshold, so
+        // `new < base * 0.8` silently passed a corrupted record.  The token
+        // must parse (not vanish as an unreadable line) and be rejected.
+        let record = r#"{"name": "broken", "speedup": NaN, "homomorphisms": 1}"#;
+        let parsed = parse_speedups(record);
+        assert_eq!(parsed.len(), 1);
+        assert!(parsed[0].1.is_nan());
+        let invalid = invalid_speedups(&parsed);
+        assert_eq!(invalid.len(), 1);
+        assert_eq!(invalid[0].0, "broken");
+        // And the NaN record never reaches the (vacuously true) compare.
+        let baseline = vec![("broken".to_owned(), 10.0)];
+        let (regressed, missing) = regressions(&baseline, &parsed);
+        assert!(regressed.is_empty() && missing.is_empty());
+    }
+
+    #[test]
+    fn infinite_speedups_are_rejected() {
+        let record = r#"{"name": "inf_up", "speedup": inf}
+{"name": "inf_down", "speedup": -inf}"#;
+        let parsed = parse_speedups(record);
+        assert_eq!(parsed.len(), 2);
+        let invalid = invalid_speedups(&parsed);
+        assert_eq!(
+            invalid.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+            vec!["inf_up", "inf_down"]
+        );
+    }
+
+    #[test]
+    fn zero_and_negative_speedups_are_rejected() {
+        let records = vec![
+            ("zero".to_owned(), 0.0),
+            ("negative".to_owned(), -3.5),
+            ("fine".to_owned(), 1.2),
+        ];
+        let invalid = invalid_speedups(&records);
+        assert_eq!(
+            invalid.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+            vec!["zero", "negative"]
+        );
+    }
+
+    #[test]
+    fn well_formed_records_have_no_invalid_speedups() {
+        assert!(invalid_speedups(&parse_speedups(RECORD)).is_empty());
+        assert!(malformed_speedups(RECORD).is_empty());
+    }
+
+    #[test]
+    fn unparseable_speedup_values_are_detected_not_skipped() {
+        // A speedup that fails to parse must be surfaced as corruption, not
+        // silently dropped from the record (a dropped baseline workload
+        // would otherwise count as fresh-only and escape the gate).
+        let record = r#"{"name": "garbled", "speedup": 2x4.8, "homomorphisms": 1}"#;
+        assert!(parse_speedups(record).is_empty());
+        assert_eq!(malformed_speedups(record), vec!["garbled".to_owned()]);
     }
 }

@@ -36,4 +36,4 @@ pub use oblivious::oblivious_chase;
 pub use operational::{operational_stable_models, OperationalConfig};
 pub use restricted::{restricted_chase, ChaseConfig, ChaseOutcome, ChaseResult};
 pub use skolem::skolem_chase;
-pub use trigger::{active_triggers, all_triggers, apply_trigger, Trigger};
+pub use trigger::{active_triggers, all_triggers, apply_trigger, triggers_from_compiled, Trigger};

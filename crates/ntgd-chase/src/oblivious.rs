@@ -18,7 +18,9 @@ use crate::trigger::{apply_trigger, triggers_from_compiled};
 /// universal variables — is applied at most once.  Like the restricted
 /// chase, the worklist is extended semi-naively: after an application only
 /// the triggers whose body uses a newly derived atom are discovered
-/// ([`triggers_from_compiled`], over rule plans compiled once per run).
+/// ([`triggers_from_compiled`], over rule plans compiled once per run;
+/// large rounds fan out over the scoped worker pool with a deterministic
+/// merge, so the applied-trigger sequence is thread-count independent).
 pub fn oblivious_chase(
     database: &Database,
     program: &Program,

@@ -71,6 +71,12 @@ impl ChaseResult {
 ///
 /// Rule bodies and heads are compiled into a [`CompiledRuleSet`] once per
 /// run; every round and every activity check executes cached plans.
+///
+/// Large rounds are matched in parallel on the scoped worker pool (see
+/// [`triggers_from_compiled`] and `ntgd_core::parallel`); the deterministic
+/// merge order guarantees the chase result — including the arena insertion
+/// order and the names of invented nulls — is identical at every thread
+/// count.
 pub fn restricted_chase(
     database: &Database,
     program: &Program,
@@ -185,23 +191,30 @@ mod tests {
         use ntgd_core::matcher::plan_compile_count;
         let db = parse_database("e(a, b). e(b, c). e(c, d).").unwrap();
         let p = parse_program("e(X, Y) -> n(X), n(Y). n(X) -> l(X, Z).").unwrap();
-        // How many plan compilations one rule-set build costs.
         let positive = p.positive_part();
-        let before_build = plan_compile_count();
-        let _plans = CompiledRuleSet::from_program(&positive, &ntgd_core::Interpretation::new());
-        let per_build = plan_compile_count() - before_build;
-        assert!(per_build > 0);
         // A full multi-round chase (7 steps here) compiles exactly one
-        // rule-set worth of plans: every round executes cached plans.
-        let before_run = plan_compile_count();
-        let r = restricted_chase(&db, &p, &ChaseConfig::default());
-        assert!(r.terminated());
-        assert!(r.steps > 1, "needs several rounds to be meaningful");
-        assert_eq!(
-            plan_compile_count() - before_run,
-            per_build,
-            "chase rounds must never recompile rule plans"
-        );
+        // rule-set worth of plans: every round executes cached plans.  The
+        // counter is process-wide (pool-worker compiles are counted too), so
+        // concurrently running tests can compile inside the measured window;
+        // retry until an interference-free window is observed — a chase that
+        // genuinely recompiles per round fails every attempt.
+        let mut clean_window = false;
+        for _ in 0..50 {
+            // How many plan compilations one rule-set build costs.
+            let before_build = plan_compile_count();
+            let _plans =
+                CompiledRuleSet::from_program(&positive, &ntgd_core::Interpretation::new());
+            let per_build = plan_compile_count() - before_build;
+            let before_run = plan_compile_count();
+            let r = restricted_chase(&db, &p, &ChaseConfig::default());
+            assert!(r.terminated());
+            assert!(r.steps > 1, "needs several rounds to be meaningful");
+            if per_build > 0 && plan_compile_count() - before_run == per_build {
+                clean_window = true;
+                break;
+            }
+        }
+        assert!(clean_window, "chase rounds must never recompile rule plans");
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! plans per call and are kept for tests and callers outside fixpoint loops.
 
 use ntgd_core::{
-    matcher, Atom, CompiledRuleSet, Interpretation, Ntgd, NullFactory, Program, Substitution, Term,
+    matcher, parallel, Atom, CompiledRuleSet, Interpretation, Ntgd, NullFactory, Program,
+    Substitution, Term,
 };
 use std::ops::ControlFlow;
 
@@ -89,6 +90,15 @@ pub fn triggers_from(
 /// rule is executed (never recompiled), and each resulting slot binding is
 /// materialised into the stored trigger homomorphism.
 ///
+/// When the round is large enough ([`parallel::MIN_PARALLEL_WORK`] instance
+/// or delta atoms) the enumeration is fanned out over the scoped worker pool
+/// as independent `(rule, delta-pivot)` work items, each matching against
+/// the read-only `instance` snapshot and emitting into a per-item buffer;
+/// the buffers are merged by rule index, then pivot, so the returned trigger
+/// sequence is **identical at every thread count** (and identical to the
+/// sequential enumeration) — chase worklists, and therefore null invention,
+/// stay deterministic.
+///
 /// `plans` must be built from the same program whose rule indices the
 /// triggers refer to.
 pub fn triggers_from_compiled(
@@ -96,19 +106,46 @@ pub fn triggers_from_compiled(
     instance: &Interpretation,
     watermark: usize,
 ) -> Vec<Trigger> {
-    let empty = Substitution::new();
-    let mut out = Vec::new();
+    // (rule, pivot) work items, ordered by rule index then pivot.  With a
+    // zero watermark the whole enumeration of a rule is attributed to pivot
+    // 0 (see `CompiledConjunction::for_each_delta_pivot`), so one item per
+    // rule suffices.
+    let mut items: Vec<(usize, usize)> = Vec::new();
     for (idx, rule) in plans.iter() {
-        rule.body_positive()
-            .for_each_delta(instance, &empty, watermark, &mut |binding| {
+        let pivots = if watermark == 0 {
+            1
+        } else {
+            rule.body_positive().positive_count()
+        };
+        for pivot in 0..pivots {
+            items.push((idx, pivot));
+        }
+    }
+    let work = if watermark == 0 {
+        instance.len().max(1)
+    } else {
+        instance.len().saturating_sub(watermark)
+    };
+    let threads = parallel::threads_for(work);
+    let empty = Substitution::new();
+    let buckets = parallel::par_map_with(&items, threads, |_, &(idx, pivot)| {
+        let mut out: Vec<Trigger> = Vec::new();
+        plans.rule(idx).body_positive().for_each_delta_pivot(
+            instance,
+            &empty,
+            watermark,
+            pivot,
+            &mut |binding| {
                 out.push(Trigger {
                     rule_index: idx,
                     homomorphism: binding.to_substitution(),
                 });
                 ControlFlow::Continue(())
-            });
-    }
-    out
+            },
+        );
+        out
+    });
+    buckets.into_iter().flatten().collect()
 }
 
 /// Returns `true` if the trigger is *active* in the restricted-chase sense:

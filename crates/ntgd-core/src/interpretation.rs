@@ -28,6 +28,16 @@
 //! — "every atom inserted since watermark `w`" — can be selected by binary
 //! search.  The matcher's semi-naive *delta* entry points use this to match
 //! only against newly derived atoms.
+//!
+//! # Snapshot reads under parallelism
+//!
+//! The interpretation is the shared read-only snapshot of every parallel
+//! round (see [`crate::parallel`]): workers probe the indexes and arena
+//! through `&Interpretation` while all mutation ([`Interpretation::insert`])
+//! happens between rounds on a single thread.  Because [`AtomId`]s are dense,
+//! assigned in insertion order and never reused, a watermark taken before a
+//! round selects the same delta suffix for every worker, which is what makes
+//! the per-`(rule, pivot)` partition of a delta round exact.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeSet, HashMap, HashSet};
@@ -81,6 +91,14 @@ pub struct Interpretation {
     domain: BTreeSet<Term>,
     extra_domain: BTreeSet<Term>,
 }
+
+// `Send + Sync` audit: all storage is owned (`Vec`, `HashMap`, `BTreeSet` of
+// `Copy` terms), so a frozen interpretation can be shared by reference with
+// every pool worker of a round.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Interpretation>();
+};
 
 impl Interpretation {
     /// Creates an empty interpretation (empty positive part, empty domain).

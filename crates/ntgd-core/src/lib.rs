@@ -13,7 +13,9 @@
 //! * [`Substitution`]s / homomorphisms and a backtracking [`matcher`] that
 //!   enumerates homomorphisms from conjunctions of literals into interpretations;
 //! * [`Ntgd`] / [`Ndtgd`] rules, [`Program`]s and their safety validation;
-//! * normal (Boolean) conjunctive queries ([`Query`]).
+//! * normal (Boolean) conjunctive queries ([`Query`]);
+//! * a deterministic scoped-thread [`parallel`] layer used by the chase,
+//!   grounding and stability fixpoints downstream.
 //!
 //! Everything downstream — the chase, the LP approach, the new stable model
 //! semantics — is built on these types.
@@ -23,6 +25,7 @@ pub mod database;
 pub mod error;
 pub mod interpretation;
 pub mod matcher;
+pub mod parallel;
 pub mod program;
 pub mod query;
 pub mod rule;

@@ -29,8 +29,9 @@
 //!    hold the compiled form of every rule of a program, keyed by rule index:
 //!    body, positive body, head, and per-head-atom (or per-disjunct)
 //!    conjunctions.  Consumers build the set once per run and reuse it every
-//!    round; [`plan_compile_count`] exposes a thread-local counter so tests
-//!    can assert that hot loops never recompile.
+//!    round; [`plan_compile_count`] exposes a process-wide counter so tests
+//!    can assert that hot loops never recompile, even when executions run on
+//!    [`crate::parallel`] pool workers.
 //! 3. **Execution** ([`CompiledConjunction::for_each`],
 //!    [`CompiledConjunction::for_each_delta`] and the `all*`/`exists`
 //!    convenience wrappers) — candidates come from the most selective index
@@ -83,9 +84,9 @@
 //! homomorphism sets, and the matcher benchmark measures the speedup against
 //! it.
 
-use std::cell::Cell;
 use std::collections::BTreeSet;
 use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::atom::{Atom, Literal};
 use crate::interpretation::{AtomId, Interpretation};
@@ -93,21 +94,25 @@ use crate::substitution::Substitution;
 use crate::symbol::Symbol;
 use crate::term::Term;
 
-thread_local! {
-    /// Number of conjunction compilations performed on this thread; see
-    /// [`plan_compile_count`].
-    static PLAN_COMPILES: Cell<u64> = const { Cell::new(0) };
-}
+/// Number of conjunction compilations performed by the whole process; see
+/// [`plan_compile_count`].
+static PLAN_COMPILES: AtomicU64 = AtomicU64::new(0);
 
-/// The number of conjunction compilations (plan constructions) performed on
-/// the current thread since it started.
+/// The number of conjunction compilations (plan constructions) performed by
+/// the process so far.
 ///
 /// Tests use the difference between two readings to assert that a chase or
 /// grounding run compiles each rule's plan exactly once: after building the
 /// rule set, the counter must not move while the fixpoint loop runs.  The
-/// counter is thread-local so concurrently running tests do not interfere.
+/// counter is process-wide (an atomic, not a thread-local) so compilations
+/// performed on [`crate::parallel`] pool workers are visible to the thread
+/// that owns the fixpoint — a thread-local counter would silently miss them
+/// and vacuously pass the compile-exactly-once tests at thread counts above
+/// one.  Tests sharing the process (cargo runs them concurrently) therefore
+/// retry their measured window until no unrelated compilation interleaves;
+/// a genuine recompile in the measured code fails every attempt.
 pub fn plan_compile_count() -> u64 {
-    PLAN_COMPILES.with(Cell::get)
+    PLAN_COMPILES.load(Ordering::Relaxed)
 }
 
 /// Enumerates every homomorphism from `literals` into `target` extending
@@ -396,6 +401,17 @@ pub struct CompiledConjunction {
     needs_domain: bool,
 }
 
+// `Send + Sync` audit: a compiled plan is fully owned data (patterns, slot
+// table, join orders) and all per-execution state lives in `Exec` on the
+// executing thread's stack, so one cached plan may be executed concurrently
+// by any number of `crate::parallel` pool workers.  The assertion turns that
+// audit into a compile-time fact.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CompiledConjunction>();
+    assert_send_sync::<SlotBinding<'_>>();
+};
+
 impl CompiledConjunction {
     /// Compiles a conjunction of literals (no initial substitution baked in;
     /// execution accepts any ground-valued initial substitution).
@@ -450,7 +466,7 @@ impl CompiledConjunction {
         bakes_initial: bool,
         with_delta: bool,
     ) -> CompiledConjunction {
-        PLAN_COMPILES.with(|c| c.set(c.get() + 1));
+        PLAN_COMPILES.fetch_add(1, Ordering::Relaxed);
         let mut slot_keys: Vec<Term> = Vec::new();
         let mut compile_preset: Vec<Option<Term>> = Vec::new();
         let mut compile = |atom: &Atom| -> Pattern {
@@ -557,7 +573,34 @@ impl CompiledConjunction {
     where
         F: FnMut(&SlotBinding<'_>) -> ControlFlow<()>,
     {
-        self.run(target, initial, Some(watermark), visit).is_break()
+        self.run(target, initial, Some((watermark, None)), visit)
+            .is_break()
+    }
+
+    /// The slice of [`CompiledConjunction::for_each_delta`] attributed to a
+    /// single delta `pivot`: homomorphisms whose **first** positive literal
+    /// mapped into the watermark suffix is literal `pivot`.
+    ///
+    /// Summed over `0..positive_count()` pivots this enumerates exactly the
+    /// delta homomorphisms, each once; the [`crate::parallel`] layer uses it
+    /// to split one rule's delta round into independent `(rule, pivot)` work
+    /// items.  With `watermark == 0` the full enumeration is attributed to
+    /// pivot `0` (other pivots yield nothing), keeping the sum property.
+    ///
+    /// Returns `true` if the enumeration was stopped early by the visitor.
+    pub fn for_each_delta_pivot<F>(
+        &self,
+        target: &Interpretation,
+        initial: &Substitution,
+        watermark: usize,
+        pivot: usize,
+        visit: &mut F,
+    ) -> bool
+    where
+        F: FnMut(&SlotBinding<'_>) -> ControlFlow<()>,
+    {
+        self.run(target, initial, Some((watermark, Some(pivot))), visit)
+            .is_break()
     }
 
     /// All homomorphisms, materialised.
@@ -595,7 +638,7 @@ impl CompiledConjunction {
         &self,
         target: &Interpretation,
         initial: &Substitution,
-        watermark: Option<usize>,
+        watermark: Option<(usize, Option<usize>)>,
         visit: &mut F,
     ) -> ControlFlow<()>
     where
@@ -604,7 +647,8 @@ impl CompiledConjunction {
         match Exec::new(self, target, initial) {
             Some(mut exec) => match watermark {
                 None => exec.run_full(visit),
-                Some(w) => exec.run_delta(w, visit),
+                Some((w, None)) => exec.run_delta(w, visit),
+                Some((w, Some(pivot))) => exec.run_delta_pivot(w, pivot, visit),
             },
             None => {
                 // `initial` maps some conjunction variable to a non-ground
@@ -628,7 +672,8 @@ impl CompiledConjunction {
                     .expect("plans with a baked initial substitution always execute");
                 match watermark {
                     None => exec.run_full(visit),
-                    Some(w) => exec.run_delta(w, visit),
+                    Some((w, None)) => exec.run_delta(w, visit),
+                    Some((w, Some(pivot))) => exec.run_delta_pivot(w, pivot, visit),
                 }
             }
         }
@@ -782,27 +827,65 @@ impl<'c, 'i> Exec<'c, 'i> {
         }
         self.watermark = watermark;
         for pivot in 0..self.plan.positives.len() {
-            let pivot_predicate = self.plan.positives[pivot].predicate;
-            let delta_ids = restrict(
-                self.target.ids_with_predicate(pivot_predicate),
-                DeltaClass::Delta,
-                watermark,
-            );
-            if delta_ids.is_empty() {
-                continue;
-            }
-            self.pivot = Some(pivot);
-            // Plans compiled without delta orders (full-only one-shot
-            // wrappers) fall back to the full order; the per-pattern delta
-            // classes keep the enumeration correct either way.
-            self.order = self
-                .plan
-                .delta_orders
-                .get(pivot)
-                .unwrap_or(&self.plan.full_order);
-            self.match_positives(0, visit)?;
+            self.run_pivot(pivot, visit)?;
         }
         ControlFlow::Continue(())
+    }
+
+    /// Runs a single pivot of the delta enumeration (the
+    /// [`CompiledConjunction::for_each_delta_pivot`] entry point): the
+    /// partition of the delta homomorphism space whose first
+    /// suffix-mapped positive literal is `pivot`.
+    fn run_delta_pivot<F>(
+        &mut self,
+        watermark: usize,
+        pivot: usize,
+        visit: &mut F,
+    ) -> ControlFlow<()>
+    where
+        F: FnMut(&SlotBinding<'_>) -> ControlFlow<()>,
+    {
+        if watermark == 0 {
+            // The whole (unpartitioned) enumeration is attributed to pivot
+            // 0 so that the union over pivots equals `run_delta`.
+            return if pivot == 0 {
+                self.run_full(visit)
+            } else {
+                ControlFlow::Continue(())
+            };
+        }
+        if watermark >= self.target.len() || pivot >= self.plan.positives.len() {
+            return ControlFlow::Continue(());
+        }
+        self.watermark = watermark;
+        self.run_pivot(pivot, visit)
+    }
+
+    /// Shared pivot body of [`Exec::run_delta`] / [`Exec::run_delta_pivot`];
+    /// assumes `self.watermark` is set and in range.
+    fn run_pivot<F>(&mut self, pivot: usize, visit: &mut F) -> ControlFlow<()>
+    where
+        F: FnMut(&SlotBinding<'_>) -> ControlFlow<()>,
+    {
+        let pivot_predicate = self.plan.positives[pivot].predicate;
+        let delta_ids = restrict(
+            self.target.ids_with_predicate(pivot_predicate),
+            DeltaClass::Delta,
+            self.watermark,
+        );
+        if delta_ids.is_empty() {
+            return ControlFlow::Continue(());
+        }
+        self.pivot = Some(pivot);
+        // Plans compiled without delta orders (full-only one-shot
+        // wrappers) fall back to the full order; the per-pattern delta
+        // classes keep the enumeration correct either way.
+        self.order = self
+            .plan
+            .delta_orders
+            .get(pivot)
+            .unwrap_or(&self.plan.full_order);
+        self.match_positives(0, visit)
     }
 
     /// The delta class of one positive pattern under the current pivot.
@@ -1418,6 +1501,48 @@ mod tests {
     }
 
     #[test]
+    fn delta_pivots_partition_the_delta_enumeration() {
+        // The union of the per-pivot slices, in pivot order, must equal the
+        // one-call delta enumeration exactly (same homomorphisms, same
+        // order) — this is what lets the parallel layer split one rule's
+        // delta round into independent (rule, pivot) work items.
+        let mut i = Interpretation::from_atoms(vec![
+            atom("edge", vec![cst("a"), cst("b")]),
+            atom("edge", vec![cst("b"), cst("c")]),
+        ]);
+        let body = vec![
+            pos("edge", vec![var("X"), var("Y")]),
+            pos("edge", vec![var("Y"), var("Z")]),
+        ];
+        let plan = CompiledConjunction::compile(&body, &i);
+        let watermark = i.len();
+        i.insert(atom("edge", vec![cst("c"), cst("a")]));
+        i.insert(atom("edge", vec![cst("c"), cst("d")]));
+        let empty = Substitution::new();
+        for mark in [0, watermark] {
+            let mut whole: Vec<String> = Vec::new();
+            plan.for_each_delta(&i, &empty, mark, &mut |b| {
+                whole.push(b.to_substitution().to_string());
+                ControlFlow::Continue(())
+            });
+            let mut pieced: Vec<String> = Vec::new();
+            for pivot in 0..plan.positive_count() {
+                plan.for_each_delta_pivot(&i, &empty, mark, pivot, &mut |b| {
+                    pieced.push(b.to_substitution().to_string());
+                    ControlFlow::Continue(())
+                });
+            }
+            assert_eq!(pieced, whole, "watermark {mark}");
+        }
+        // Early exit is propagated from a single pivot slice.
+        assert!(
+            plan.for_each_delta_pivot(&i, &empty, watermark, 0, &mut |_| {
+                ControlFlow::Break(())
+            })
+        );
+    }
+
+    #[test]
     fn delta_with_zero_watermark_is_full_matching() {
         let i = interp();
         let body = vec![pos("edge", vec![var("X"), var("Y")])];
@@ -1492,20 +1617,31 @@ mod tests {
         // presets — the trigger-activity pattern.
         let i = interp();
         let plan = CompiledConjunction::compile(&[pos("edge", vec![var("X"), var("Y")])], &i);
-        let before = plan_compile_count();
-        for (from, to) in [("a", "b"), ("b", "c"), ("c", "a")] {
-            let mut init = Substitution::new();
-            init.bind(var("X"), cst(from));
-            let hs = plan.all(&i, &init);
-            assert_eq!(hs.len(), 1);
-            assert_eq!(hs[0].apply_term(&var("Y")), cst(to));
-            assert_eq!(hs[0].apply_term(&var("X")), cst(from));
-            assert!(plan.exists(&i, &init));
+        // The compile counter is process-wide, so concurrently running tests
+        // may compile plans of their own inside the measured window; retry
+        // until an interference-free window is observed.  A regression —
+        // these executions themselves compiling — fails every attempt.
+        let mut clean_window = false;
+        for _ in 0..50 {
+            let before = plan_compile_count();
+            for (from, to) in [("a", "b"), ("b", "c"), ("c", "a")] {
+                let mut init = Substitution::new();
+                init.bind(var("X"), cst(from));
+                let hs = plan.all(&i, &init);
+                assert_eq!(hs.len(), 1);
+                assert_eq!(hs[0].apply_term(&var("Y")), cst(to));
+                assert_eq!(hs[0].apply_term(&var("X")), cst(from));
+                assert!(plan.exists(&i, &init));
+            }
+            let mut unmatched = Substitution::new();
+            unmatched.bind(var("X"), cst("zzz"));
+            assert!(!plan.exists(&i, &unmatched));
+            if plan_compile_count() == before {
+                clean_window = true;
+                break;
+            }
         }
-        let mut unmatched = Substitution::new();
-        unmatched.bind(var("X"), cst("zzz"));
-        assert!(!plan.exists(&i, &unmatched));
-        assert_eq!(plan_compile_count(), before, "executions must not compile");
+        assert!(clean_window, "executions must not compile");
     }
 
     #[test]

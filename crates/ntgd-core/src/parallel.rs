@@ -1,0 +1,215 @@
+//! Deterministic scoped-thread parallelism for chase, grounding and
+//! stability workloads.
+//!
+//! The whole engine is built around fixpoint rounds whose work items —
+//! `(rule, delta-pivot)` matching tasks, per-rule grounding tasks, stability
+//! checks of independent candidates — are embarrassingly parallel *within*
+//! one round: every item only **reads** a snapshot of the shared state and
+//! emits into a private buffer.  This module provides the one primitive all
+//! of them share, [`par_map`]: apply a function to every item of a slice on
+//! a scoped worker pool ([`std::thread::scope`]; the workspace is offline,
+//! so no external thread-pool crate is used) and return the results **in
+//! item order**, independently of how the items were scheduled.
+//!
+//! # Sharding and determinism invariants
+//!
+//! Parallel consumers rely on (and must preserve) the following invariants;
+//! together they guarantee that every thread count — including 1 — produces
+//! bit-identical results:
+//!
+//! * **Snapshot reads.**  During a parallel round the shared
+//!   [`Interpretation`](crate::interpretation::Interpretation) (arena,
+//!   per-predicate and per-position indexes) is only accessed through `&`
+//!   references: insertions happen strictly *between* rounds, on one thread.
+//!   A compiled plan ([`CompiledConjunction`](crate::matcher::CompiledConjunction),
+//!   [`CompiledRuleSet`](crate::ruleset::CompiledRuleSet)) is immutable after
+//!   construction and is executed concurrently by any number of workers; all
+//!   per-execution state (slot vector, trail) lives on the worker's stack.
+//! * **`AtomId` stability.**  Arena ids are assigned in insertion order and
+//!   never reused, so the (predicate, position) index slices a worker probes
+//!   are identical to what a sequential run would probe — a watermark
+//!   observed before the round selects the same delta suffix on every
+//!   thread.
+//! * **Deterministic merge order.**  Workers never publish results directly:
+//!   each work item's output goes into a buffer tagged with the item's
+//!   index, and [`par_map`] reassembles the buffers in item order (work
+//!   items are ordered by rule index, then delta pivot, then the matcher's
+//!   enumeration order within one item).  The merged stream is therefore
+//!   exactly the sequential stream, so downstream consumers (trigger
+//!   worklists, closure insertion, null invention) behave identically at
+//!   every thread count.
+//!
+//! # Thread-count selection
+//!
+//! [`num_threads`] resolves, in order: the process-wide override installed
+//! with [`set_thread_override`] (used by benchmarks and determinism tests),
+//! the `NTGD_THREADS` environment variable (CI runs the test matrix at
+//! `NTGD_THREADS=1` and at default parallelism), and finally
+//! [`std::thread::available_parallelism`].  Callers gate small rounds with
+//! [`MIN_PARALLEL_WORK`] so that a chase step whose delta is a handful of
+//! atoms never pays a thread-spawn.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Minimum number of "work units" (delta atoms, closure atoms, …) a round
+/// should involve before consumers fan it out to the pool; below this the
+/// thread-spawn overhead dominates any matching work.
+pub const MIN_PARALLEL_WORK: usize = 64;
+
+/// Process-wide thread-count override; `0` means "no override".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Installs (or with `None` removes) a process-wide thread-count override
+/// taking precedence over `NTGD_THREADS` and the detected parallelism.
+///
+/// Intended for benchmarks and determinism tests that compare runs at fixed
+/// thread counts; because every consumer is deterministic, concurrent tests
+/// observing each other's override can at most change how fast they run.
+pub fn set_thread_override(threads: Option<usize>) {
+    THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The worker count a round with `work` work units should fan out to: `1`
+/// (run inline) below [`MIN_PARALLEL_WORK`], [`num_threads`] otherwise.
+///
+/// This is the shared gating policy of every parallel consumer — chase
+/// trigger discovery, the grounding closures, stability checks — so the
+/// heuristic lives in exactly one place.
+pub fn threads_for(work: usize) -> usize {
+    if work >= MIN_PARALLEL_WORK {
+        num_threads()
+    } else {
+        1
+    }
+}
+
+/// The number of worker threads parallel rounds use: the
+/// [`set_thread_override`] value if set, else `NTGD_THREADS` (values `>= 1`;
+/// anything else is ignored), else [`std::thread::available_parallelism`].
+pub fn num_threads() -> usize {
+    let overridden = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if overridden >= 1 {
+        return overridden;
+    }
+    if let Ok(text) = std::env::var("NTGD_THREADS") {
+        if let Ok(n) = text.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item of `items` using up to [`num_threads`] scoped
+/// workers and returns the results in item order.
+///
+/// Work is distributed dynamically (an atomic cursor), so heterogeneous
+/// items balance across workers; each worker tags its results with the item
+/// index and the tagged buffers are merged by index, which makes the output
+/// independent of the schedule.  With one worker (or fewer than two items)
+/// the items are processed inline with no thread spawned.
+///
+/// Panics in `f` are propagated to the caller after the scope unwinds.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_with(items, num_threads(), f)
+}
+
+/// [`par_map`] with an explicit worker count (callers pass `1` to force the
+/// inline path when a round is too small to be worth fanning out).
+pub fn par_map_with<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.min(items.len());
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let buffers: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(index) else {
+                            return out;
+                        };
+                        out.push((index, f(index, item)));
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+    let mut tagged: Vec<(usize, R)> = buffers.into_iter().flatten().collect();
+    tagged.sort_by_key(|(index, _)| *index);
+    tagged.into_iter().map(|(_, result)| result).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_item_order_at_any_thread_count() {
+        let items: Vec<usize> = (0..200).collect();
+        let expected: Vec<usize> = items.iter().map(|i| i * 3).collect();
+        for threads in [1, 2, 3, 8] {
+            let got = par_map_with(&items, threads, |index, item| {
+                assert_eq!(index, *item);
+                item * 3
+            });
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs_run_inline() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map_with(&empty, 8, |_, x| *x).is_empty());
+        assert_eq!(par_map_with(&[7u32], 8, |_, x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn override_wins_over_environment_and_detection() {
+        set_thread_override(Some(3));
+        assert_eq!(num_threads(), 3);
+        set_thread_override(None);
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn dynamic_scheduling_handles_skewed_items() {
+        // One expensive item among many cheap ones must not break ordering.
+        let items: Vec<usize> = (0..64).collect();
+        let got = par_map_with(&items, 4, |_, &item| {
+            if item == 0 {
+                // Simulate a heavy item.
+                let mut acc = 0u64;
+                for k in 0..50_000u64 {
+                    acc = acc.wrapping_add(k ^ acc.rotate_left(7));
+                }
+                std::hint::black_box(acc);
+            }
+            item * 2
+        });
+        let expected: Vec<usize> = items.iter().map(|i| i * 2).collect();
+        assert_eq!(got, expected);
+    }
+}

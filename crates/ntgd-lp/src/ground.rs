@@ -15,7 +15,7 @@
 use std::collections::BTreeSet;
 use std::ops::ControlFlow;
 
-use ntgd_core::{Atom, CompiledConjunction, Database, Substitution};
+use ntgd_core::{parallel, Atom, CompiledConjunction, Database, Substitution};
 
 use crate::program::{GroundProgram, GroundRule};
 use crate::skolem::{instantiate_head, SkolemProgram};
@@ -81,42 +81,64 @@ pub fn ground_program(
     // round, so each relevant instantiation is produced exactly once.
     let mut watermark = 0usize;
 
+    let rule_indices: Vec<usize> = (0..program.rules.len()).collect();
     loop {
         let next_watermark = possibly_true.len();
+        // One work item per rule: workers read the frozen `possibly_true`
+        // snapshot and collect candidate (rule instance, head) pairs into
+        // private buffers, merged in rule order — the merged stream is
+        // exactly the sequential enumeration, so the ground program is
+        // identical at every thread count.  Deduplication against
+        // `seen_rules` stays sequential, after the merge.
+        let work = if watermark == 0 {
+            possibly_true.len().max(1)
+        } else {
+            possibly_true.len().saturating_sub(watermark)
+        };
+        let threads = parallel::threads_for(work);
+        let snapshot = &possibly_true;
+        let buckets: Vec<Vec<(GroundRule, Atom)>> =
+            parallel::par_map_with(&rule_indices, threads, |_, &index| {
+                let rule = &program.rules[index];
+                let plan = &body_plans[index];
+                let mut local: Vec<(GroundRule, Atom)> = Vec::new();
+                plan.for_each_delta(snapshot, &empty, watermark, &mut |binding| {
+                    // The Skolem-term head instantiation is the only place
+                    // the binding must be materialised; body instances are
+                    // read off the borrowed slot view.
+                    let h = binding.to_substitution();
+                    let head = instantiate_head(&rule.head, &h);
+                    let body_pos: Vec<Atom> = rule
+                        .body
+                        .iter()
+                        .filter(|l| l.is_positive())
+                        .map(|l| binding.apply_atom(l.atom()))
+                        .collect();
+                    let body_neg: Vec<Atom> = rule
+                        .body
+                        .iter()
+                        .filter(|l| l.is_negative())
+                        .map(|l| binding.apply_atom(l.atom()))
+                        .collect();
+                    debug_assert!(
+                        body_neg.iter().all(Atom::is_ground),
+                        "safety guarantees ground negative bodies"
+                    );
+                    let ground = GroundRule::new(head.clone(), body_pos, body_neg);
+                    local.push((ground, head));
+                    ControlFlow::Continue(())
+                });
+                local
+            });
         let mut new_atoms: Vec<Atom> = Vec::new();
         let mut new_rules: Vec<GroundRule> = Vec::new();
-        for (rule, plan) in program.rules.iter().zip(&body_plans) {
-            plan.for_each_delta(&possibly_true, &empty, watermark, &mut |binding| {
-                // The Skolem-term head instantiation is the only place the
-                // binding must be materialised; body instances are read off
-                // the borrowed slot view.
-                let h = binding.to_substitution();
-                let head = instantiate_head(&rule.head, &h);
-                let body_pos: Vec<Atom> = rule
-                    .body
-                    .iter()
-                    .filter(|l| l.is_positive())
-                    .map(|l| binding.apply_atom(l.atom()))
-                    .collect();
-                let body_neg: Vec<Atom> = rule
-                    .body
-                    .iter()
-                    .filter(|l| l.is_negative())
-                    .map(|l| binding.apply_atom(l.atom()))
-                    .collect();
-                debug_assert!(
-                    body_neg.iter().all(Atom::is_ground),
-                    "safety guarantees ground negative bodies"
-                );
-                let ground = GroundRule::new(head.clone(), body_pos, body_neg);
-                if seen_rules.insert(ground.clone()) {
-                    new_rules.push(ground);
-                }
-                if !possibly_true.contains(&head) {
-                    new_atoms.push(head);
-                }
-                ControlFlow::Continue(())
-            });
+        for (ground, head) in buckets.into_iter().flatten() {
+            if seen_rules.insert(ground.clone()) {
+                new_rules.push(ground);
+            }
+            if !possibly_true.contains(&head) {
+                new_atoms.push(head);
+            }
         }
         if new_rules.is_empty() && new_atoms.is_empty() {
             break;

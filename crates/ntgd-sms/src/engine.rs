@@ -6,8 +6,8 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 use std::ops::ControlFlow;
 
 use ntgd_core::{
-    Atom, CompiledConjunction, Database, DisjunctiveProgram, Interpretation, Program, Query,
-    Substitution, Term,
+    parallel, Atom, CompiledConjunction, Database, DisjunctiveProgram, Interpretation, Program,
+    Query, Substitution, Term,
 };
 use ntgd_sat::{CnfBuilder, Lit};
 
@@ -405,116 +405,168 @@ impl SmsEngine {
         // CEGAR: enumerate classical models; keep the stable ones; refute the
         // unstable ones with a witness-based refinement (every model that the
         // same witness would refute is excluded in one step).
+        //
+        // Candidates are collected in small batches and their (independent,
+        // read-only) stability checks run concurrently on the scoped worker
+        // pool; the batch size is a constant — NOT the thread count — and
+        // results are consumed in collection order, so the candidate
+        // sequence, every refinement, and the returned model list are
+        // bit-identical at every thread count.
         let mut models: Vec<Interpretation> = Vec::new();
-        loop {
-            if stats.candidates >= self.options.max_candidates {
-                return Err(SmsError::CandidateLimit);
-            }
-            let result = builder.solve_unconstrained();
-            let Some(assignment) = result.model().map(<[bool]>::to_vec) else {
-                break;
-            };
-            stats.candidates += 1;
-            let candidate: HashSet<usize> = pt_ids
-                .iter()
-                .copied()
-                .filter(|id| assignment[var_of[id].var().index()])
-                .collect();
-            match find_instability_witness(&ground, &candidate) {
-                None => {
-                    stats.stable += 1;
-                    let interpretation = Interpretation::from_atoms(
-                        candidate.iter().map(|&id| ground.atoms.atom(id).clone()),
-                    );
-                    models.push(interpretation);
-                    if models.len() >= max_models {
-                        break;
-                    }
-                    // Block exactly this stable model so the next one is found.
-                    let blocking: Vec<Lit> = pt_ids
-                        .iter()
-                        .map(|id| {
-                            let lit = var_of[id];
-                            if assignment[lit.var().index()] {
-                                !lit
-                            } else {
-                                lit
-                            }
-                        })
-                        .collect();
-                    builder.clause(&blocking);
+        let mut exhausted = false;
+        'search: while !exhausted {
+            // Collect up to CANDIDATE_BATCH distinct classical models.  The
+            // per-candidate blocking clause (the sequential loop's "safety
+            // net") is added at collection time, which both guarantees
+            // progress and makes the batch candidates distinct; witness
+            // refinements are deferred to the processing pass below.
+            let remaining = max_models - models.len();
+            let batch_target = CANDIDATE_BATCH.min(remaining.max(1));
+            let mut batch: Vec<(Vec<bool>, HashSet<usize>)> = Vec::new();
+            while batch.len() < batch_target {
+                if stats.candidates >= self.options.max_candidates {
+                    return Err(SmsError::CandidateLimit);
                 }
-                Some(witness) => {
-                    // Refinement: any candidate M′ with witness ⊊ M′ in which
-                    // every rule instance that the witness fails to satisfy is
-                    // blocked (some negated atom true, or a negated-only term
-                    // outside the domain) is refuted by the same witness, so it
-                    // can be excluded wholesale.
-                    let mut refinement: Vec<Lit> = Vec::new();
-                    for &id in &witness {
-                        refinement.push(var_of[&id]);
-                    }
-                    let outside: Vec<Lit> = pt_ids
-                        .iter()
-                        .filter(|id| !witness.contains(id))
-                        .map(|id| var_of[id])
-                        .collect();
-                    let proper = builder.or_lit(&outside);
-                    refinement.push(proper);
-                    let mut refinement_applicable = true;
-                    for rule in &ground.rules {
-                        if !rule.body_pos.iter().all(|id| witness.contains(id)) {
-                            continue;
+                let result = builder.solve_unconstrained();
+                let Some(assignment) = result.model().map(<[bool]>::to_vec) else {
+                    exhausted = true;
+                    break;
+                };
+                stats.candidates += 1;
+                let candidate: HashSet<usize> = pt_ids
+                    .iter()
+                    .copied()
+                    .filter(|id| assignment[var_of[id].var().index()])
+                    .collect();
+                let blocking: Vec<Lit> = pt_ids
+                    .iter()
+                    .map(|id| {
+                        let lit = var_of[id];
+                        if assignment[lit.var().index()] {
+                            !lit
+                        } else {
+                            lit
                         }
-                        let satisfied = rule
-                            .disjuncts
+                    })
+                    .collect();
+                builder.clause(&blocking);
+                batch.push((assignment, candidate));
+            }
+            if batch.is_empty() {
+                break;
+            }
+            // The coNP stability checks of the batch, in parallel: each is a
+            // self-contained SAT search over the shared read-only grounding.
+            // The worker count is gated by the grounding size (tiny programs
+            // check inline); the batch *composition* above is not, so the
+            // candidate sequence never depends on the gate.
+            let check_threads = parallel::threads_for(stats.ground_atoms);
+            let witnesses = parallel::par_map_with(&batch, check_threads, |_, (_, candidate)| {
+                find_instability_witness(&ground, candidate)
+            });
+            for ((_, candidate), witness) in batch.iter().zip(witnesses) {
+                match witness {
+                    None => {
+                        stats.stable += 1;
+                        let mut interpretation = Interpretation::from_atoms(
+                            candidate.iter().map(|&id| ground.atoms.atom(id).clone()),
+                        );
+                        // Candidates are interpretations over the *candidate
+                        // universe*, not merely over the terms of their true
+                        // atoms: re-register the universe so negative
+                        // literals over domain elements that happen to carry
+                        // no atom in this model evaluate correctly on the
+                        // returned interpretation.
+                        for t in ground.domain.terms() {
+                            interpretation.add_domain_element(*t);
+                        }
+                        models.push(interpretation);
+                        if models.len() >= max_models {
+                            // The collection blocking clause already excludes
+                            // this model from future batches.
+                            break 'search;
+                        }
+                    }
+                    Some(witness) => {
+                        // Refinement: any candidate M′ with witness ⊊ M′ in
+                        // which every rule instance that the witness fails to
+                        // satisfy is blocked (some negated atom true, or a
+                        // negated-only term outside the domain) is refuted by
+                        // the same witness, so it can be excluded wholesale.
+                        let mut refinement: Vec<Lit> = Vec::new();
+                        let ordered_witness: Vec<usize> = {
+                            let mut ids: Vec<usize> = witness.iter().copied().collect();
+                            ids.sort_unstable();
+                            ids
+                        };
+                        for &id in &ordered_witness {
+                            refinement.push(var_of[&id]);
+                        }
+                        let outside: Vec<Lit> = pt_ids
                             .iter()
-                            .any(|conj| conj.iter().all(|id| witness.contains(id)));
-                        if satisfied {
-                            continue;
-                        }
-                        // The instance must be blocked in M′ for the witness
-                        // to refute it.
-                        let mut blockers: Vec<Lit> = Vec::new();
-                        for id in &rule.body_neg {
-                            if let Some(&lit) = var_of.get(id) {
-                                blockers.push(lit);
+                            .filter(|id| !witness.contains(id))
+                            .map(|id| var_of[id])
+                            .collect();
+                        let proper = builder.or_lit(&outside);
+                        refinement.push(proper);
+                        let mut refinement_applicable = true;
+                        for rule in &ground.rules {
+                            if !rule.body_pos.iter().all(|id| witness.contains(id)) {
+                                continue;
                             }
-                        }
-                        for t in &rule.neg_domain_terms {
-                            let lit = in_dom(&mut builder, t);
-                            blockers.push(!lit);
-                        }
-                        if blockers.is_empty() {
-                            refinement_applicable = false;
-                            break;
-                        }
-                        let blocked = builder.or_lit(&blockers);
-                        refinement.push(blocked);
-                    }
-                    if refinement_applicable {
-                        let refuted = builder.and_lit(&refinement);
-                        builder.force(!refuted);
-                    }
-                    // Safety net guaranteeing progress even in corner cases.
-                    let blocking: Vec<Lit> = pt_ids
-                        .iter()
-                        .map(|id| {
-                            let lit = var_of[id];
-                            if assignment[lit.var().index()] {
-                                !lit
-                            } else {
-                                lit
+                            let satisfied = rule
+                                .disjuncts
+                                .iter()
+                                .any(|conj| conj.iter().all(|id| witness.contains(id)));
+                            if satisfied {
+                                continue;
                             }
-                        })
-                        .collect();
-                    builder.clause(&blocking);
+                            // The instance must be blocked in M′ for the
+                            // witness to refute it.
+                            let mut blockers: Vec<Lit> = Vec::new();
+                            for id in &rule.body_neg {
+                                if let Some(&lit) = var_of.get(id) {
+                                    blockers.push(lit);
+                                }
+                            }
+                            for t in &rule.neg_domain_terms {
+                                let lit = in_dom(&mut builder, t);
+                                blockers.push(!lit);
+                            }
+                            if blockers.is_empty() {
+                                refinement_applicable = false;
+                                break;
+                            }
+                            let blocked = builder.or_lit(&blockers);
+                            refinement.push(blocked);
+                        }
+                        if refinement_applicable {
+                            let refuted = builder.and_lit(&refinement);
+                            builder.force(!refuted);
+                        }
+                        // The per-candidate blocking clause added at
+                        // collection time already guarantees progress.
+                    }
                 }
             }
         }
         Ok((models, stats))
     }
 }
+
+/// Number of classical-model candidates one CEGAR iteration collects before
+/// running their stability checks concurrently.  Deliberately a constant
+/// rather than the worker count: the candidate sequence (and with it every
+/// refinement and the returned model order) must not depend on how many
+/// threads happen to be available.
+///
+/// The batch is speculative: witness refinements land only after the whole
+/// batch is collected, so up to `CANDIDATE_BATCH - 1` candidates that a
+/// refinement would have pruned may still be collected (counted against
+/// `max_candidates`) and checked.  That bounded redundancy buys the
+/// concurrency of the coNP checks; the per-candidate blocking clauses keep
+/// progress and termination identical to the sequential loop.
+const CANDIDATE_BATCH: usize = 8;
 
 /// A ground instantiation of a query: atom ids of its positive and negative
 /// literals, plus the terms that occur only negatively (and therefore need an
@@ -698,6 +750,36 @@ mod tests {
         let certain = e.certain_answers(&db, &q).unwrap().unwrap();
         assert_eq!(certain, BTreeSet::from([vec![cst("alice")]]));
         assert_eq!(e.possible_answers(&db, &q).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn returned_models_preserve_the_candidate_universe() {
+        // Regression test: the CEGAR loop used to rebuild stable models with
+        // `Interpretation::from_atoms`, which dropped the candidate
+        // universe's extra domain elements — a negative literal over a
+        // domain element carrying no atom in the model was then wrongly
+        // rejected by `satisfies_negation_of`.
+        use ntgd_core::atom;
+        let db = parse_database("p(a).").unwrap();
+        let e = engine("p(X) -> r(X, Y).").with_null_budget(NullBudget::Exact(1));
+        let models = e.stable_models(&db).unwrap();
+        // The witness Y ranges over the universe {a, _n0}: two models.
+        assert_eq!(models.len(), 2);
+        let constant_witness = models
+            .iter()
+            .find(|m| m.contains(&atom("r", vec![cst("a"), cst("a")])))
+            .expect("the model reusing the database constant exists");
+        // Its domain strictly exceeds the terms of its atoms: the budget
+        // null carries no atom here but belongs to the candidate universe…
+        assert!(constant_witness.in_domain(&Term::Null(0)));
+        // …so the negative literal ¬r(a, _n0) belongs to the model.
+        assert!(
+            constant_witness.satisfies_negation_of(&atom("r", vec![cst("a"), Term::Null(0)])),
+            "negative literals over atom-free universe elements must hold"
+        );
+        // Preserving the universe keeps the model a stable model under the
+        // direct Definition-1 check (which grounds over dom(I)).
+        assert!(e.is_stable_model(&db, constant_witness));
     }
 
     #[test]

@@ -18,8 +18,8 @@ use std::collections::{BTreeSet, HashMap};
 use std::ops::ControlFlow;
 
 use ntgd_core::{
-    Atom, CompiledDisjunctiveRuleSet, Database, DisjunctiveProgram, Interpretation, Substitution,
-    Term,
+    parallel, Atom, CompiledDisjunctiveRuleSet, Database, DisjunctiveProgram, Interpretation,
+    Substitution, Term,
 };
 
 use crate::universe::Domain;
@@ -211,6 +211,12 @@ fn existentials_per_disjunct(rule: &ntgd_core::rule::Ndtgd) -> Vec<Vec<ntgd_core
 ///
 /// `plans` holds the cached rule plans shared with the instantiation phase of
 /// [`ground_sms`]; every round executes them without recompiling.
+///
+/// Large rounds evaluate the rules in parallel on the scoped worker pool:
+/// every worker matches against the frozen closure snapshot and emits
+/// candidate atoms into a private buffer, and the buffers are merged into
+/// one sorted addition set before insertion — the closure (arena order
+/// included) is therefore identical at every thread count.
 fn possibly_true_closure(
     database: &Database,
     program: &DisjunctiveProgram,
@@ -234,44 +240,59 @@ fn possibly_true_closure(
     // matched against homomorphisms that use an atom derived in the previous
     // round (`watermark` is the closure size before that round's insertions).
     let mut watermark = 0usize;
+    let rule_indices: Vec<usize> = (0..program.rules().len()).collect();
     loop {
         let next_watermark = closure.len();
-        let mut additions: BTreeSet<Atom> = BTreeSet::new();
-        for (index, rule) in program.rules().iter().enumerate() {
-            let existentials = &existentials_by_rule[index];
-            plans.rule(index).body_positive().for_each_delta(
-                &closure,
-                &empty,
-                watermark,
-                &mut |binding| {
-                    // Materialised lazily: disjuncts without existential
-                    // variables instantiate straight off the slot binding.
-                    let mut h: Option<Substitution> = None;
-                    for (d, disjunct) in rule.disjuncts().iter().enumerate() {
-                        let exist = &existentials[d];
-                        if exist.is_empty() {
-                            for atom in disjunct {
-                                let ground = binding.apply_atom(atom);
-                                if ground.is_ground() && !closure.contains(&ground) {
-                                    additions.insert(ground);
+        // One work item per rule; each worker reads the frozen closure and
+        // collects its candidate additions locally.  Duplicates across
+        // workers are fine — the merge below is a set union.
+        let work = if watermark == 0 {
+            closure.len().max(1)
+        } else {
+            closure.len().saturating_sub(watermark)
+        };
+        let threads = parallel::threads_for(work);
+        let closure_ref = &closure;
+        let buckets: Vec<Vec<Atom>> =
+            parallel::par_map_with(&rule_indices, threads, |_, &index| {
+                let rule = &program.rules()[index];
+                let existentials = &existentials_by_rule[index];
+                let mut local: Vec<Atom> = Vec::new();
+                plans.rule(index).body_positive().for_each_delta(
+                    closure_ref,
+                    &empty,
+                    watermark,
+                    &mut |binding| {
+                        // Materialised lazily: disjuncts without existential
+                        // variables instantiate straight off the slot binding.
+                        let mut h: Option<Substitution> = None;
+                        for (d, disjunct) in rule.disjuncts().iter().enumerate() {
+                            let exist = &existentials[d];
+                            if exist.is_empty() {
+                                for atom in disjunct {
+                                    let ground = binding.apply_atom(atom);
+                                    if ground.is_ground() && !closure_ref.contains(&ground) {
+                                        local.push(ground);
+                                    }
                                 }
+                                continue;
                             }
-                            continue;
+                            let h = h.get_or_insert_with(|| binding.to_substitution());
+                            for_each_assignment(exist, domain, h, &mut |assignment| {
+                                for atom in disjunct {
+                                    let ground = assignment.apply_atom(atom);
+                                    if ground.is_ground() && !closure_ref.contains(&ground) {
+                                        local.push(ground);
+                                    }
+                                }
+                            });
                         }
-                        let h = h.get_or_insert_with(|| binding.to_substitution());
-                        for_each_assignment(exist, domain, h, &mut |assignment| {
-                            for atom in disjunct {
-                                let ground = assignment.apply_atom(atom);
-                                if ground.is_ground() && !closure.contains(&ground) {
-                                    additions.insert(ground);
-                                }
-                            }
-                        });
-                    }
-                    ControlFlow::Continue(())
-                },
-            );
-        }
+                        ControlFlow::Continue(())
+                    },
+                );
+                local
+            });
+        let additions: BTreeSet<Atom> = buckets.into_iter().flatten().collect();
         if additions.is_empty() {
             return Ok(closure);
         }

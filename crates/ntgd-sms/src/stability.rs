@@ -13,7 +13,7 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 use std::ops::ControlFlow;
 
 use ntgd_core::{
-    CompiledDisjunctiveRuleSet, Database, DisjunctiveProgram, Interpretation, Program,
+    parallel, CompiledDisjunctiveRuleSet, Database, DisjunctiveProgram, Interpretation, Program,
     Substitution, Term,
 };
 use ntgd_sat::{CnfBuilder, Lit};
@@ -27,7 +27,9 @@ use crate::universe::Domain;
 ///
 /// Each rule's body and disjuncts are compiled once per call; every body
 /// homomorphism then checks disjunct satisfaction through the cached plans
-/// (the homomorphism is applied as slot presets, not recompiled).
+/// (the homomorphism is applied as slot presets, not recompiled).  On large
+/// interpretations the per-rule checks — independent reads of the frozen
+/// interpretation — run in parallel on the scoped worker pool.
 pub fn is_classical_model(
     interpretation: &Interpretation,
     database: &Database,
@@ -38,7 +40,8 @@ pub fn is_classical_model(
     }
     let plans = CompiledDisjunctiveRuleSet::from_disjunctive(program, interpretation);
     let empty = Substitution::new();
-    for (_index, rule_plans) in plans.iter() {
+    let rule_violated = |index: usize| -> bool {
+        let rule_plans = plans.rule(index);
         let mut violated = false;
         rule_plans
             .body()
@@ -55,11 +58,18 @@ pub fn is_classical_model(
                     ControlFlow::Break(())
                 }
             });
-        if violated {
-            return false;
-        }
+        violated
+    };
+    let threads = parallel::threads_for(interpretation.len());
+    if threads <= 1 {
+        // Inline path keeps the cross-rule early exit: stop at the first
+        // violated rule instead of enumerating the remaining bodies.
+        return !(0..plans.len()).any(rule_violated);
     }
-    true
+    let rule_indices: Vec<usize> = (0..plans.len()).collect();
+    let violations =
+        parallel::par_map_with(&rule_indices, threads, |_, &index| rule_violated(index));
+    !violations.into_iter().any(|violated| violated)
 }
 
 /// Checks stability of a candidate given an already-grounded program.
@@ -79,15 +89,24 @@ pub fn find_instability_witness(
     candidate: &HashSet<usize>,
 ) -> Option<HashSet<usize>> {
     let facts: HashSet<usize> = ground.facts.iter().copied().collect();
+    // Candidate atoms in ascending id order: SAT variables are assigned (and
+    // clauses emitted) in a deterministic order, so concurrently running
+    // stability checks — and reruns at different thread counts — construct
+    // identical CNFs and find identical witnesses.
+    let ordered: Vec<usize> = {
+        let mut ids: Vec<usize> = candidate.iter().copied().collect();
+        ids.sort_unstable();
+        ids
+    };
     // dom(M): every term occurring in a candidate atom.
     let mut domain_of_m: BTreeSet<Term> = BTreeSet::new();
-    for &id in candidate {
+    for &id in &ordered {
         domain_of_m.extend(ground.atoms.atom(id).terms().copied());
     }
 
     let mut builder = CnfBuilder::new();
     let mut var_of: HashMap<usize, Lit> = HashMap::new();
-    for &id in candidate {
+    for &id in &ordered {
         var_of.insert(id, builder.new_var().positive());
     }
     // τ(D): the database is contained in J.
@@ -97,7 +116,7 @@ pub fn find_instability_witness(
         }
     }
     // (s < p): at least one non-database atom of M is missing from J.
-    let strict: Vec<Lit> = candidate
+    let strict: Vec<Lit> = ordered
         .iter()
         .filter(|id| !facts.contains(id))
         .map(|id| !var_of[id])
@@ -149,7 +168,7 @@ pub fn find_instability_witness(
     // M is stable iff no such J exists.
     match builder.solve_unconstrained() {
         ntgd_sat::SolveResult::Sat(model) => {
-            let witness: HashSet<usize> = candidate
+            let witness: HashSet<usize> = ordered
                 .iter()
                 .copied()
                 .filter(|id| model[var_of[id].var().index()])
