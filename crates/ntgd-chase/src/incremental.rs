@@ -1,0 +1,525 @@
+//! A **resumable, incremental** chase for long-lived reasoning sessions.
+//!
+//! The batch chases of this crate ([`restricted_chase`], [`skolem_chase`],
+//! [`oblivious_chase`]) build an instance, run to fixpoint and return it;
+//! asserting one more fact means re-chasing from scratch.  A reasoning
+//! *session* instead keeps the chase state alive between assertions:
+//!
+//! * [`IncrementalChase::assert_facts`] inserts a batch of new facts and
+//!   **re-chases incrementally**: the new facts seed the semi-naive delta
+//!   worklist ([`triggers_from_compiled`] with the pre-assert arena length
+//!   as watermark), so only the delta neighbourhood is matched — never the
+//!   whole instance, and never from scratch.  Because the pre-assert state
+//!   is a fixpoint, delta triggers are exactly the new triggers.
+//! * [`IncrementalChase::mark`] captures an [`EpochMark`] (arena watermark
+//!   plus witness-memo length); [`IncrementalChase::retract_to`] rolls the
+//!   session back to a mark in `O(atoms retracted)` by truncating the arena
+//!   ([`Interpretation::truncate`]) and un-memoising the witnesses invented
+//!   since — ids, indexes and memos of surviving epochs are untouched.
+//!
+//! # Which chase, and why the result is batching-invariant
+//!
+//! The incremental chase uses **Skolem (semi-oblivious) semantics** with
+//! witnesses memoised per `(rule, frontier binding)`, like [`skolem_chase`].
+//! This is a deliberate choice: the *restricted* chase is order-dependent —
+//! whether a trigger is applied depends on which witnesses happen to exist
+//! already, so chasing `D₁` to fixpoint before seeing `D₂` can produce a
+//! different (non-isomorphic!) instance than chasing `D₁ ∪ D₂` outright,
+//! which would make a session's answers depend on how its history was
+//! batched.  The Skolem chase result is the least fixpoint of the
+//! Skolemised positive program and therefore a function of the accumulated
+//! fact **set** alone.
+//!
+//! On top of that, witnesses are named **canonically**: the null invented
+//! for existential variable `i` of rule `r` under frontier binding `t̄` is
+//! `_n<h>` where `h` is a 64-bit FNV-1a hash of `(r, i, t̄)` (nulls inside
+//! `t̄` hash by their own canonical identifier, so naming is well-founded).
+//! Unlike a sequential [`NullFactory`](ntgd_core::NullFactory), the name
+//! does not depend on *when* the witness was first needed.  Together:
+//!
+//! > any split of a database into a sequence of `assert_facts` batches
+//! > yields the **same set of atoms, null names included**, and hence
+//! > identical query answers, as a from-scratch run that asserts everything
+//! > in one batch
+//!
+//! — the equivalence property the `ntgd-server` session tests assert.  (The
+//! arena *order* necessarily reflects the batching — an arena is append-only
+//! — but for a fixed batch sequence it is bit-identical at every thread
+//! count, per the `ntgd_core::parallel` determinism contract.)  Hash
+//! collisions between distinct witness keys are detected and resolved by
+//! deterministic re-salting; a collision would have to defeat a 64-bit hash
+//! to perturb naming, which no realistic session size approaches.
+//!
+//! [`restricted_chase`]: crate::restricted::restricted_chase
+//! [`skolem_chase`]: crate::skolem::skolem_chase
+//! [`oblivious_chase`]: crate::oblivious::oblivious_chase
+
+use std::collections::{HashMap, VecDeque};
+
+use ntgd_core::{Atom, CompiledRuleSet, Interpretation, NullId, Program, Symbol, Term};
+
+use crate::restricted::ChaseConfig;
+use crate::trigger::triggers_from_compiled;
+
+/// Memo key of a Skolem witness: rule index plus the values of the rule's
+/// frontier variables (in `frontier_variables()` order).
+type WitnessKey = (usize, Vec<Term>);
+
+/// A rollback point of an [`IncrementalChase`]: everything needed to undo
+/// the assertions made after it was taken.
+///
+/// Marks are plain data and only meaningful for the chase that issued them;
+/// rolling back to a mark invalidates every mark taken later.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EpochMark {
+    /// Arena watermark: `instance.len()` when the mark was taken.
+    arena_len: usize,
+    /// Witness-memo watermark: number of memoised witness keys.
+    witnesses: usize,
+    /// Trigger applications performed so far.
+    steps: usize,
+}
+
+impl EpochMark {
+    /// The arena length captured by this mark.
+    pub fn arena_len(&self) -> usize {
+        self.arena_len
+    }
+}
+
+/// Summary of one successful [`IncrementalChase::assert_facts`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AssertSummary {
+    /// Facts from the batch that were actually new.
+    pub added_facts: usize,
+    /// Atoms derived by the incremental re-chase.
+    pub derived: usize,
+    /// Trigger applications performed by the re-chase.
+    pub steps: usize,
+}
+
+/// The error of an [`IncrementalChase::assert_facts`] call whose re-chase
+/// exceeded the configured step budget.  The assertion is rolled back
+/// entirely (asserts are transactional), so the session stays at its last
+/// fixpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StepLimitExceeded {
+    /// The per-assert step budget that was exhausted.
+    pub max_steps: usize,
+}
+
+impl std::fmt::Display for StepLimitExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "incremental re-chase exceeded {} steps; assertion rolled back",
+            self.max_steps
+        )
+    }
+}
+
+impl std::error::Error for StepLimitExceeded {}
+
+/// A resumable Skolem chase whose worklists, witness memo and compiled rule
+/// plans stay alive between fact assertions.  See the module documentation
+/// for the semantics.
+#[derive(Debug)]
+pub struct IncrementalChase {
+    /// The positive part of the loaded program (the chase of `Σ⁺`).
+    positive: Program,
+    /// Rule plans, compiled once when the program is loaded.
+    plans: CompiledRuleSet,
+    /// The chased instance: asserted facts plus everything derived.
+    instance: Interpretation,
+    /// `(rule, frontier)` → memoised witness terms, in
+    /// `existential_variables()` order.
+    witnesses: HashMap<WitnessKey, Vec<Term>>,
+    /// Witness keys in creation order (the rollback log).
+    witness_log: Vec<WitnessKey>,
+    /// Canonical null id → owning `(key, existential index)`, for collision
+    /// detection.
+    null_owner: HashMap<NullId, (WitnessKey, usize)>,
+    /// Trigger applications performed over the session's lifetime.
+    steps: usize,
+    /// Per-assert chase configuration (step budget).
+    config: ChaseConfig,
+}
+
+impl IncrementalChase {
+    /// Creates a session chase for the positive part of `program` and runs
+    /// the initial chase of the **empty** database (rules with empty bodies
+    /// fire here), so the state is a fixpoint before the first assert.
+    pub fn new(
+        program: &Program,
+        config: ChaseConfig,
+    ) -> Result<IncrementalChase, StepLimitExceeded> {
+        let positive = program.positive_part();
+        let instance = Interpretation::new();
+        let plans = CompiledRuleSet::from_program(&positive, &instance);
+        let mut chase = IncrementalChase {
+            positive,
+            plans,
+            instance,
+            witnesses: HashMap::new(),
+            witness_log: Vec::new(),
+            null_owner: HashMap::new(),
+            steps: 0,
+            config,
+        };
+        let seed = triggers_from_compiled(&chase.plans, &chase.instance, 0);
+        chase.drain(seed.into())?;
+        Ok(chase)
+    }
+
+    /// The chased instance (facts plus derived atoms), always at a fixpoint.
+    pub fn instance(&self) -> &Interpretation {
+        &self.instance
+    }
+
+    /// The positive program driving the chase.
+    pub fn program(&self) -> &Program {
+        &self.positive
+    }
+
+    /// Trigger applications performed over the session's lifetime (rolled
+    /// back by [`IncrementalChase::retract_to`]).
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Number of live memoised witnesses (canonical nulls invented and not
+    /// retracted).
+    pub fn nulls_created(&self) -> u64 {
+        self.witnesses
+            .values()
+            .map(|terms| terms.len() as u64)
+            .sum()
+    }
+
+    /// Captures a rollback point for [`IncrementalChase::retract_to`].
+    pub fn mark(&self) -> EpochMark {
+        EpochMark {
+            arena_len: self.instance.len(),
+            witnesses: self.witness_log.len(),
+            steps: self.steps,
+        }
+    }
+
+    /// Rolls the session back to a previously captured mark: the arena is
+    /// truncated to the mark's watermark and the witnesses memoised since
+    /// are forgotten, in time proportional to what is being retracted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mark is from the future (e.g. from a later state that
+    /// was itself rolled back and re-grown differently).
+    pub fn retract_to(&mut self, mark: &EpochMark) {
+        assert!(
+            mark.arena_len <= self.instance.len() && mark.witnesses <= self.witness_log.len(),
+            "epoch mark does not precede the current state"
+        );
+        self.instance.truncate(mark.arena_len);
+        for key in self.witness_log.drain(mark.witnesses..) {
+            if let Some(terms) = self.witnesses.remove(&key) {
+                for term in terms {
+                    if let Term::Null(id) = term {
+                        self.null_owner.remove(&id);
+                    }
+                }
+            }
+        }
+        self.steps = mark.steps;
+    }
+
+    /// Asserts a batch of ground facts and re-chases incrementally: the new
+    /// facts seed the semi-naive delta worklist, so matching cost is
+    /// proportional to the delta neighbourhood, not the instance.
+    ///
+    /// The call is **transactional**: if the re-chase exceeds the configured
+    /// per-assert step budget, the whole batch (facts and derivations) is
+    /// rolled back and the session stays at its previous fixpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fact contains a variable.
+    pub fn assert_facts<I>(&mut self, facts: I) -> Result<AssertSummary, StepLimitExceeded>
+    where
+        I: IntoIterator<Item = Atom>,
+    {
+        let mark = self.mark();
+        let watermark = self.instance.len();
+        let mut added_facts = 0usize;
+        for fact in facts {
+            if self.instance.insert(fact) {
+                added_facts += 1;
+            }
+        }
+        let pending: VecDeque<_> =
+            triggers_from_compiled(&self.plans, &self.instance, watermark).into();
+        if let Err(limit) = self.drain(pending) {
+            self.retract_to(&mark);
+            return Err(limit);
+        }
+        Ok(AssertSummary {
+            added_facts,
+            derived: self.instance.len() - watermark - added_facts,
+            steps: self.steps - mark.steps,
+        })
+    }
+
+    /// Runs the Skolem-chase worklist to fixpoint, bounded by the per-call
+    /// step budget.  On `Err` the caller is responsible for rolling back.
+    fn drain(
+        &mut self,
+        mut pending: VecDeque<crate::trigger::Trigger>,
+    ) -> Result<(), StepLimitExceeded> {
+        let start = self.steps;
+        while let Some(trigger) = pending.pop_front() {
+            let rule = &self.positive.rules()[trigger.rule_index];
+            let frontier: Vec<Term> = rule
+                .frontier_variables()
+                .into_iter()
+                .map(|v| trigger.homomorphism.apply_term(&Term::Var(v)))
+                .collect();
+            let key: WitnessKey = (trigger.rule_index, frontier);
+            let existentials: Vec<Symbol> = rule.existential_variables().into_iter().collect();
+            let witness_terms = match self.witnesses.get(&key) {
+                Some(terms) => terms.clone(),
+                None => {
+                    let terms: Vec<Term> = (0..existentials.len())
+                        .map(|index| Term::Null(claim_null_id(&mut self.null_owner, &key, index)))
+                        .collect();
+                    self.witness_log.push(key.clone());
+                    self.witnesses.insert(key, terms.clone());
+                    terms
+                }
+            };
+            let mut homomorphism = trigger.homomorphism.clone();
+            for (variable, witness) in existentials.iter().zip(witness_terms) {
+                homomorphism.bind(Term::Var(*variable), witness);
+            }
+            let head_watermark = self.instance.len();
+            let mut new_atom = false;
+            for atom in rule.head() {
+                if self.instance.insert(homomorphism.apply_atom(atom)) {
+                    new_atom = true;
+                }
+            }
+            if new_atom {
+                self.steps += 1;
+                if self.steps - start >= self.config.max_steps {
+                    return Err(StepLimitExceeded {
+                        max_steps: self.config.max_steps,
+                    });
+                }
+                pending.extend(triggers_from_compiled(
+                    &self.plans,
+                    &self.instance,
+                    head_watermark,
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The canonical null id of `(key, existential index)`: a 64-bit FNV-1a
+/// hash of the key's content, re-salted deterministically on (cosmically
+/// unlikely) collision with a different live witness.
+fn claim_null_id(
+    owners: &mut HashMap<NullId, (WitnessKey, usize)>,
+    key: &WitnessKey,
+    index: usize,
+) -> NullId {
+    let mut salt = 0u64;
+    loop {
+        let id = canonical_null_id(key, index, salt);
+        match owners.get(&id) {
+            Some((owner_key, owner_index)) if owner_key == key && *owner_index == index => {
+                return id;
+            }
+            Some(_) => salt += 1,
+            None => {
+                owners.insert(id, (key.clone(), index));
+                return id;
+            }
+        }
+    }
+}
+
+/// FNV-1a over the stable content of a witness key: rule index, existential
+/// index, salt and the frontier terms (constants by name, nulls by their own
+/// canonical id).
+fn canonical_null_id(key: &WitnessKey, index: usize, salt: u64) -> NullId {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    let mut eat = |byte: u8| {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(PRIME);
+    };
+    for byte in (key.0 as u64)
+        .to_le_bytes()
+        .into_iter()
+        .chain((index as u64).to_le_bytes())
+        .chain(salt.to_le_bytes())
+    {
+        eat(byte);
+    }
+    for term in &key.1 {
+        match term {
+            Term::Const(symbol) => {
+                eat(0x01);
+                for byte in symbol.as_str().bytes() {
+                    eat(byte);
+                }
+                eat(0x00);
+            }
+            Term::Null(id) => {
+                eat(0x02);
+                for byte in id.to_le_bytes() {
+                    eat(byte);
+                }
+            }
+            Term::Var(_) => unreachable!("frontier bindings are ground"),
+        }
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skolem::skolem_chase;
+    use ntgd_core::{atom, cst};
+    use ntgd_parser::{parse_database, parse_program, parse_query};
+
+    fn facts(text: &str) -> Vec<Atom> {
+        parse_database(text).unwrap().facts().cloned().collect()
+    }
+
+    #[test]
+    fn incremental_chase_reaches_the_skolem_fixpoint() {
+        let program =
+            parse_program("person(X) -> hasFather(X, Y). hasFather(X, Y) -> sameAs(Y, Y).")
+                .unwrap();
+        let mut chase = IncrementalChase::new(&program, ChaseConfig::with_max_steps(50)).unwrap();
+        let summary = chase.assert_facts(facts("person(alice).")).unwrap();
+        assert_eq!(summary.added_facts, 1);
+        assert_eq!(summary.derived, 2, "hasFather + sameAs");
+        let query = parse_query("?- hasFather(alice, Y), sameAs(Y, Y).").unwrap();
+        assert!(query.holds(chase.instance()));
+    }
+
+    #[test]
+    fn diverging_asserts_are_rolled_back_transactionally() {
+        let program = parse_program("person(X) -> parent(X, Y), person(Y).").unwrap();
+        let mut chase = IncrementalChase::new(&program, ChaseConfig::with_max_steps(25)).unwrap();
+        let before = chase.mark();
+        let err = chase.assert_facts(facts("person(adam).")).unwrap_err();
+        assert_eq!(err.max_steps, 25);
+        // The failed assert left no trace: facts, derivations and witnesses
+        // are all rolled back.
+        assert_eq!(chase.mark(), before);
+        assert!(chase.instance().is_empty());
+        assert_eq!(chase.nulls_created(), 0);
+    }
+
+    #[test]
+    fn split_asserts_equal_the_single_batch_fixpoint() {
+        let program = parse_program(
+            "e(X, Y) -> n(X). e(X, Y) -> n(Y). n(X) -> l(X, Z). e(X, Y), e(Y, Z) -> e(X, Z).",
+        )
+        .unwrap();
+        let config = ChaseConfig::default();
+        let all = "e(a, b). e(b, c). e(c, d).";
+        let mut single = IncrementalChase::new(&program, config.clone()).unwrap();
+        single.assert_facts(facts(all)).unwrap();
+        let mut split = IncrementalChase::new(&program, config.clone()).unwrap();
+        split.assert_facts(facts("e(c, d).")).unwrap();
+        split.assert_facts(facts("e(a, b).")).unwrap();
+        split.assert_facts(facts("e(b, c).")).unwrap();
+        // Same atom set — canonical null names included.
+        assert_eq!(
+            single.instance().sorted_atoms(),
+            split.instance().sorted_atoms()
+        );
+        assert_eq!(single.nulls_created(), split.nulls_created());
+    }
+
+    #[test]
+    fn incremental_chase_agrees_with_the_batch_skolem_chase() {
+        let database = parse_database("emp(ann). emp(bo). dept(hr).").unwrap();
+        let program = parse_program("emp(X) -> worksIn(X, D). worksIn(X, D) -> unit(D).").unwrap();
+        let batch = skolem_chase(&database, &program, &ChaseConfig::default());
+        let mut incremental = IncrementalChase::new(&program, ChaseConfig::default()).unwrap();
+        incremental.assert_facts(database.facts().cloned()).unwrap();
+        // Same instance up to null renaming: sizes, witness counts and
+        // null-free query answers coincide with the existing batch engine.
+        assert_eq!(incremental.instance().len(), batch.instance.len());
+        assert_eq!(incremental.nulls_created(), batch.nulls_created);
+        let query = parse_query("?- worksIn(ann, D), unit(D).").unwrap();
+        assert!(query.holds(incremental.instance()));
+    }
+
+    #[test]
+    fn retract_to_restores_an_earlier_epoch_exactly() {
+        let program = parse_program("p(X) -> q(X, Y). q(X, Y) -> r(Y).").unwrap();
+        let mut chase = IncrementalChase::new(&program, ChaseConfig::default()).unwrap();
+        chase.assert_facts(facts("p(a).")).unwrap();
+        let mark = chase.mark();
+        let frozen: Vec<Atom> = chase.instance().atoms().cloned().collect();
+        chase.assert_facts(facts("p(b). p(c).")).unwrap();
+        assert!(chase.instance().len() > frozen.len());
+        chase.retract_to(&mark);
+        assert_eq!(
+            chase.instance().atoms().cloned().collect::<Vec<_>>(),
+            frozen
+        );
+        assert_eq!(chase.mark(), mark);
+        // Re-growing after a retract reaches the same state as never having
+        // retracted a sibling batch: canonical naming is history-free.
+        let mut fresh = IncrementalChase::new(&program, ChaseConfig::default()).unwrap();
+        fresh.assert_facts(facts("p(a).")).unwrap();
+        fresh.assert_facts(facts("p(d).")).unwrap();
+        chase.assert_facts(facts("p(d).")).unwrap();
+        assert_eq!(
+            chase.instance().sorted_atoms(),
+            fresh.instance().sorted_atoms()
+        );
+    }
+
+    #[test]
+    fn duplicate_facts_and_derived_facts_are_no_ops() {
+        let program = parse_program("p(X) -> q(X).").unwrap();
+        let mut chase = IncrementalChase::new(&program, ChaseConfig::default()).unwrap();
+        chase.assert_facts(facts("p(a).")).unwrap();
+        let len = chase.instance().len();
+        let summary = chase
+            .assert_facts(vec![atom("p", vec![cst("a")]), atom("q", vec![cst("a")])])
+            .unwrap();
+        assert_eq!(summary.added_facts, 0);
+        assert_eq!(summary.derived, 0);
+        assert_eq!(chase.instance().len(), len);
+    }
+
+    #[test]
+    fn empty_body_rules_fire_in_the_initial_chase() {
+        let program = parse_program("-> axiom(c).").unwrap();
+        let chase = IncrementalChase::new(&program, ChaseConfig::default()).unwrap();
+        assert!(chase.instance().contains(&atom("axiom", vec![cst("c")])));
+    }
+
+    #[test]
+    fn canonical_null_ids_are_content_addressed() {
+        let key: WitnessKey = (3, vec![cst("a"), Term::Null(7)]);
+        assert_eq!(canonical_null_id(&key, 0, 0), canonical_null_id(&key, 0, 0));
+        assert_ne!(canonical_null_id(&key, 0, 0), canonical_null_id(&key, 1, 0));
+        assert_ne!(canonical_null_id(&key, 0, 0), canonical_null_id(&key, 0, 1));
+        let other: WitnessKey = (3, vec![cst("a"), Term::Null(8)]);
+        assert_ne!(
+            canonical_null_id(&key, 0, 0),
+            canonical_null_id(&other, 0, 0)
+        );
+    }
+}

@@ -13,6 +13,11 @@
 //!   operational counterpart of the LP approach of Section 3.1).
 //! * [`oblivious_chase`] — applies every trigger once, regardless of whether
 //!   the head is already satisfied (used for worst-case bounds and testing).
+//! * [`IncrementalChase`] — a resumable Skolem chase for long-lived
+//!   reasoning sessions: asserted fact batches seed the semi-naive delta
+//!   worklists (never a from-scratch re-chase), witnesses are named
+//!   canonically so any batching of the same facts reaches the same
+//!   instance, and epoch marks allow O(retracted) rollback.
 //! * [`core_instance`] — cores of chase instances (minimal retracts), the
 //!   canonical representatives under homomorphic equivalence.
 //! * [`operational`] — the chase-based stable models of \[3\]: chase `Σ⁺` while
@@ -25,6 +30,7 @@
 //! described above.
 
 pub mod core_instance;
+pub mod incremental;
 pub mod oblivious;
 pub mod operational;
 pub mod restricted;
@@ -32,8 +38,12 @@ pub mod skolem;
 pub mod trigger;
 
 pub use core_instance::{core_of, core_of_with, is_core, CoreConfig, CoreResult};
+pub use incremental::{AssertSummary, EpochMark, IncrementalChase, StepLimitExceeded};
 pub use oblivious::oblivious_chase;
 pub use operational::{operational_stable_models, OperationalConfig};
 pub use restricted::{restricted_chase, ChaseConfig, ChaseOutcome, ChaseResult};
 pub use skolem::skolem_chase;
-pub use trigger::{active_triggers, all_triggers, apply_trigger, triggers_from_compiled, Trigger};
+pub use trigger::{
+    active_triggers, active_triggers_from_compiled, activity_check_count, all_triggers,
+    apply_trigger, triggers_from_compiled, Trigger,
+};

@@ -1,10 +1,10 @@
 //! The restricted (standard) chase.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
-use ntgd_core::{CompiledRuleSet, Database, Interpretation, NullFactory, Program};
+use ntgd_core::{CompiledRuleSet, Database, Interpretation, NullFactory, Program, Symbol};
 
-use crate::trigger::{apply_trigger, is_active_compiled, triggers_from_compiled};
+use crate::trigger::{active_triggers_from_compiled, apply_trigger, is_active_compiled, Trigger};
 
 /// Configuration for a chase run.
 #[derive(Clone, Debug)]
@@ -64,7 +64,7 @@ impl ChaseResult {
 /// The chase is evaluated semi-naively: a FIFO worklist is seeded with the
 /// triggers on the database and extended, after every application, with only
 /// the triggers whose body uses a newly derived atom
-/// ([`triggers_from_compiled`]), instead of rematching every rule against the
+/// ([`active_triggers_from_compiled`]), instead of rematching every rule against the
 /// whole instance per step.  Applying triggers in discovery order is a fair
 /// strategy; activity (the head not being satisfied yet) is re-checked when a
 /// trigger is popped.
@@ -72,11 +72,26 @@ impl ChaseResult {
 /// Rule bodies and heads are compiled into a [`CompiledRuleSet`] once per
 /// run; every round and every activity check executes cached plans.
 ///
-/// Large rounds are matched in parallel on the scoped worker pool (see
-/// [`triggers_from_compiled`] and `ntgd_core::parallel`); the deterministic
-/// merge order guarantees the chase result — including the arena insertion
-/// order and the names of invented nulls — is identical at every thread
-/// count.
+/// Large rounds are matched in parallel on the persistent worker pool (see
+/// [`active_triggers_from_compiled`] and `ntgd_core::parallel`); the
+/// deterministic merge order guarantees the chase result — including the
+/// arena insertion order and the names of invented nulls — is identical at
+/// every thread count.
+///
+/// # Incremental trigger deactivation
+///
+/// Since instances only grow, head satisfaction is monotone: once a
+/// trigger's head is satisfied it stays satisfied.  The chase exploits this
+/// with a *deactivation index*: triggers are verified active when they are
+/// discovered ([`active_triggers_from_compiled`]; inactive ones are dropped
+/// for good), and every queued trigger remembers the arena length at which
+/// its activity was last verified.  A per-rule epoch records the arena
+/// length after the most recent insertion of an atom whose predicate occurs
+/// in that rule's head; on pop, the (indexed-join) activity re-check runs
+/// **only when the rule's head epoch has advanced past the trigger's
+/// verification point** — i.e. only when an atom that could possibly satisfy
+/// the head has actually arrived since.  Rules with pairwise-disjoint head
+/// predicates never re-check each other's triggers.
 pub fn restricted_chase(
     database: &Database,
     program: &Program,
@@ -87,10 +102,41 @@ pub fn restricted_chase(
     let plans = CompiledRuleSet::from_program(&positive, &instance);
     let mut nulls = NullFactory::new();
     let mut steps = 0usize;
-    let mut pending: VecDeque<_> = triggers_from_compiled(&plans, &instance, 0).into();
+
+    // Deactivation index: predicate → rules with that predicate in the head,
+    // and per-rule epochs (arena length after the last head-relevant insert).
+    let mut rules_by_head_predicate: HashMap<Symbol, Vec<usize>> = HashMap::new();
+    for (idx, rule) in positive.iter() {
+        for atom in rule.head() {
+            let rules = rules_by_head_predicate.entry(atom.predicate()).or_default();
+            if rules.last() != Some(&idx) {
+                rules.push(idx);
+            }
+        }
+    }
+    let mut head_epoch: Vec<usize> = vec![0; positive.len()];
+
+    /// A queued trigger plus the arena length at which it was last verified
+    /// active.
+    struct Pending {
+        trigger: Trigger,
+        verified_at: usize,
+    }
+    let verified_at = instance.len();
+    let mut pending: VecDeque<Pending> = active_triggers_from_compiled(&plans, &instance, 0)
+        .into_iter()
+        .map(|trigger| Pending {
+            trigger,
+            verified_at,
+        })
+        .collect();
 
     loop {
-        let Some(trigger) = pending.pop_front() else {
+        let Some(Pending {
+            trigger,
+            verified_at,
+        }) = pending.pop_front()
+        else {
             return ChaseResult {
                 instance,
                 steps,
@@ -98,7 +144,11 @@ pub fn restricted_chase(
                 outcome: ChaseOutcome::Terminated,
             };
         };
-        if !is_active_compiled(&trigger, &plans, &instance) {
+        // Re-check activity only if a head-relevant atom arrived since the
+        // trigger was verified; otherwise the verified answer still stands.
+        if head_epoch[trigger.rule_index] > verified_at
+            && !is_active_compiled(&trigger, &plans, &instance)
+        {
             continue;
         }
         if steps >= config.max_steps {
@@ -110,9 +160,24 @@ pub fn restricted_chase(
             };
         }
         let watermark = instance.len();
-        apply_trigger(&trigger, &positive, &mut instance, &mut nulls);
+        let added = apply_trigger(&trigger, &positive, &mut instance, &mut nulls);
         steps += 1;
-        pending.extend(triggers_from_compiled(&plans, &instance, watermark));
+        for atom in &added {
+            if let Some(rules) = rules_by_head_predicate.get(&atom.predicate()) {
+                for &rule in rules {
+                    head_epoch[rule] = instance.len();
+                }
+            }
+        }
+        let verified_at = instance.len();
+        pending.extend(
+            active_triggers_from_compiled(&plans, &instance, watermark)
+                .into_iter()
+                .map(|trigger| Pending {
+                    trigger,
+                    verified_at,
+                }),
+        );
     }
 }
 
@@ -215,6 +280,40 @@ mod tests {
             }
         }
         assert!(clean_window, "chase rounds must never recompile rule plans");
+    }
+
+    #[test]
+    fn deactivation_index_skips_unrelated_recheck_on_pop() {
+        use crate::trigger::activity_check_count;
+        // Two rules with disjoint head predicates.  Discovery verifies all
+        // four triggers (4 checks); applying an `a`-rule trigger only bumps
+        // rule 0's head epoch, so the queued `b`-rule triggers are applied
+        // without a pop re-check.  Re-checks happen exactly when a pending
+        // trigger's own rule applied first: once for p(c2), once for r(d2) —
+        // 6 checks in total.  Without the index every pop would re-check
+        // (8 checks).  The counter is process-wide, so the measurement
+        // retries until a window without concurrent-test interference is
+        // observed; a chase that genuinely re-checks every pop fails every
+        // attempt.
+        let db = parse_database("p(c1). p(c2). r(d1). r(d2).").unwrap();
+        let p = parse_program("p(X) -> q(X, Y). r(X) -> s(X, Y).").unwrap();
+        let mut clean_window = false;
+        for _ in 0..50 {
+            let before = activity_check_count();
+            let result = restricted_chase(&db, &p, &ChaseConfig::default());
+            assert!(result.terminated());
+            assert_eq!(result.steps, 4);
+            let checks = activity_check_count() - before;
+            assert!(checks >= 6, "discovery checks cannot be skipped");
+            if checks == 6 {
+                clean_window = true;
+                break;
+            }
+        }
+        assert!(
+            clean_window,
+            "pop re-checks must be limited to head-epoch advances"
+        );
     }
 
     #[test]

@@ -10,6 +10,19 @@ use ntgd_core::{
     Substitution, Term,
 };
 use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of restricted-chase activity checks (head-satisfaction
+/// probes), for tests asserting that the head-predicate deactivation index
+/// actually skips re-checks.  The counter is global (like
+/// `matcher::plan_compile_count`) so checks performed on pool workers stay
+/// visible.
+static ACTIVITY_CHECKS: AtomicU64 = AtomicU64::new(0);
+
+/// The number of activity checks performed so far, process-wide.
+pub fn activity_check_count() -> u64 {
+    ACTIVITY_CHECKS.load(Ordering::Relaxed)
+}
 
 /// A trigger `(σ, h)`: rule index and a homomorphism from the positive body of
 /// `σ` into the current instance.
@@ -106,10 +119,27 @@ pub fn triggers_from_compiled(
     instance: &Interpretation,
     watermark: usize,
 ) -> Vec<Trigger> {
-    // (rule, pivot) work items, ordered by rule index then pivot.  With a
-    // zero watermark the whole enumeration of a rule is attributed to pivot
-    // 0 (see `CompiledConjunction::for_each_delta_pivot`), so one item per
-    // rule suffices.
+    fan_out_triggers(plans, instance, watermark, |_, _| true)
+}
+
+/// The shared `(rule, delta-pivot)` fan-out behind the two trigger
+/// discovery variants: enumerates every positive-body binding of every rule
+/// against the delta suffix, materialises it, and keeps the triggers for
+/// which `keep(rule index, homomorphism)` holds.
+///
+/// Work items are ordered by rule index then pivot.  With a zero watermark
+/// the whole enumeration of a rule is attributed to pivot 0 (see
+/// `CompiledConjunction::for_each_delta_pivot`), so one item per rule
+/// suffices.
+fn fan_out_triggers<F>(
+    plans: &CompiledRuleSet,
+    instance: &Interpretation,
+    watermark: usize,
+    keep: F,
+) -> Vec<Trigger>
+where
+    F: Fn(usize, &Substitution) -> bool + Sync,
+{
     let mut items: Vec<(usize, usize)> = Vec::new();
     for (idx, rule) in plans.iter() {
         let pivots = if watermark == 0 {
@@ -136,16 +166,41 @@ pub fn triggers_from_compiled(
             watermark,
             pivot,
             &mut |binding| {
-                out.push(Trigger {
-                    rule_index: idx,
-                    homomorphism: binding.to_substitution(),
-                });
+                let homomorphism = binding.to_substitution();
+                if keep(idx, &homomorphism) {
+                    out.push(Trigger {
+                        rule_index: idx,
+                        homomorphism,
+                    });
+                }
                 ControlFlow::Continue(())
             },
         );
         out
     });
     buckets.into_iter().flatten().collect()
+}
+
+/// [`triggers_from_compiled`] restricted to **active** triggers: each
+/// discovered trigger's head-satisfaction check runs inside the same
+/// (possibly pool-parallel) work item that produced it, so the restricted
+/// chase can queue triggers pre-verified against the frozen snapshot and
+/// skip the pop-time re-check whenever no head-relevant atom has arrived
+/// since (see the deactivation index in
+/// [`restricted_chase`](crate::restricted::restricted_chase)).
+///
+/// Because instances only grow during a chase run, head satisfaction is
+/// monotone: a trigger found *inactive* here can never become active again
+/// and is dropped for good.
+pub fn active_triggers_from_compiled(
+    plans: &CompiledRuleSet,
+    instance: &Interpretation,
+    watermark: usize,
+) -> Vec<Trigger> {
+    fan_out_triggers(plans, instance, watermark, |idx, homomorphism| {
+        ACTIVITY_CHECKS.fetch_add(1, Ordering::Relaxed);
+        !plans.rule(idx).head().exists(instance, homomorphism)
+    })
 }
 
 /// Returns `true` if the trigger is *active* in the restricted-chase sense:
@@ -164,6 +219,7 @@ pub fn is_active_compiled(
     plans: &CompiledRuleSet,
     instance: &Interpretation,
 ) -> bool {
+    ACTIVITY_CHECKS.fetch_add(1, Ordering::Relaxed);
     !plans
         .rule(trigger.rule_index)
         .head()

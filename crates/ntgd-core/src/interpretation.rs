@@ -89,6 +89,11 @@ pub struct Interpretation {
     /// (predicate, argument position, ground term) → ids, ascending.
     by_position: HashMap<(Symbol, u32, Term), Vec<AtomId>>,
     domain: BTreeSet<Term>,
+    /// Occurrences of each domain term in the arena (`domain` holds exactly
+    /// the terms with a positive count).  Maintained so that
+    /// [`Interpretation::truncate`] can drop terms whose last occurrence is
+    /// rolled back.
+    domain_occurrences: HashMap<Term, usize>,
     extra_domain: BTreeSet<Term>,
 }
 
@@ -146,6 +151,7 @@ impl Interpretation {
         bucket.push(id);
         for (position, t) in atom.args().iter().enumerate() {
             self.domain.insert(*t);
+            *self.domain_occurrences.entry(*t).or_insert(0) += 1;
             self.by_position
                 .entry((atom.predicate(), position as u32, *t))
                 .or_default()
@@ -157,6 +163,66 @@ impl Interpretation {
             .push(id);
         self.arena.push(atom);
         true
+    }
+
+    /// Rolls the arena back to its first `len` atoms: every atom inserted at
+    /// or after the watermark `len` (an earlier value of
+    /// [`Interpretation::len`]) is removed, together with its index entries
+    /// and its contribution to `dom(I)`.
+    ///
+    /// This is the *epoch rollback* primitive of incremental reasoning
+    /// sessions: because [`AtomId`]s are dense and assigned in insertion
+    /// order, the atoms of an epoch occupy exactly an arena suffix, every id
+    /// list of every index ends with the ids being removed (lists are
+    /// ascending), and truncation is `O(atoms removed)` — surviving atoms,
+    /// ids and index entries are untouched.  Explicitly registered domain
+    /// elements ([`Interpretation::add_domain_element`]) are never removed.
+    ///
+    /// A no-op if `len >= self.len()`.
+    pub fn truncate(&mut self, len: usize) {
+        while self.arena.len() > len {
+            let id = AtomId((self.arena.len() - 1) as u32);
+            let atom = self.arena.pop().expect("arena is non-empty");
+            let hash = atom_hash(&atom);
+            let bucket = self
+                .by_hash
+                .get_mut(&hash)
+                .expect("stored atoms have a hash bucket");
+            bucket.retain(|candidate| *candidate != id);
+            if bucket.is_empty() {
+                self.by_hash.remove(&hash);
+            }
+            for (position, t) in atom.args().iter().enumerate() {
+                let occurrences = self
+                    .domain_occurrences
+                    .get_mut(t)
+                    .expect("domain terms are counted");
+                *occurrences -= 1;
+                if *occurrences == 0 {
+                    self.domain_occurrences.remove(t);
+                    self.domain.remove(t);
+                }
+                let key = (atom.predicate(), position as u32, *t);
+                let ids = self
+                    .by_position
+                    .get_mut(&key)
+                    .expect("stored atoms are position-indexed");
+                debug_assert_eq!(ids.last(), Some(&id), "id lists are ascending");
+                ids.pop();
+                if ids.is_empty() {
+                    self.by_position.remove(&key);
+                }
+            }
+            let ids = self
+                .by_predicate
+                .get_mut(&atom.predicate())
+                .expect("stored atoms are predicate-indexed");
+            debug_assert_eq!(ids.last(), Some(&id), "id lists are ascending");
+            ids.pop();
+            if ids.is_empty() {
+                self.by_predicate.remove(&atom.predicate());
+            }
+        }
     }
 
     /// Registers an additional domain element that need not occur in `I⁺`.
@@ -496,6 +562,53 @@ mod tests {
         // Probes return ascending ids.
         let ids = i.probe(pred, 1, cst("c"));
         assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn truncate_rolls_back_an_arena_suffix_exactly() {
+        let mut i = Interpretation::from_atoms(vec![
+            atom("p", vec![cst("a")]),
+            atom("q", vec![cst("a"), cst("b")]),
+        ]);
+        let before = i.clone();
+        let watermark = i.len();
+        i.insert(atom("p", vec![cst("b")]));
+        i.insert(atom("q", vec![cst("b"), cst("c")]));
+        i.insert(atom("r", vec![Term::null(4)]));
+        i.truncate(watermark);
+        // Structural equality: arena, ids, indexes, domain all match the
+        // pre-epoch state.
+        assert_eq!(i, before);
+        assert_eq!(i.len(), 2);
+        assert_eq!(
+            i.atoms().cloned().collect::<Vec<_>>(),
+            before.atoms().cloned().collect::<Vec<_>>()
+        );
+        assert_eq!(i.id_of(&atom("p", vec![cst("a")])), Some(AtomId(0)));
+        assert_eq!(i.id_of(&atom("p", vec![cst("b")])), None);
+        assert_eq!(i.predicate_count(Symbol::intern("r")), 0);
+        assert_eq!(i.probe(Symbol::intern("q"), 0, cst("b")).len(), 0);
+        assert!(!i.in_domain(&cst("c")));
+        assert!(!i.in_domain(&Term::null(4)));
+        // The term `b` occurred both before and inside the epoch: it must
+        // survive the rollback.
+        assert!(i.in_domain(&cst("b")));
+        // Re-inserting after a truncate reuses the freed dense ids.
+        assert!(i.insert(atom("p", vec![cst("b")])));
+        assert_eq!(i.id_of(&atom("p", vec![cst("b")])), Some(AtomId(2)));
+    }
+
+    #[test]
+    fn truncate_beyond_the_arena_is_a_no_op_and_keeps_extra_domain() {
+        let mut i = sample();
+        i.add_domain_element(cst("bob"));
+        let before = i.clone();
+        i.truncate(100);
+        assert_eq!(i, before);
+        i.truncate(0);
+        assert!(i.is_empty());
+        assert_eq!(i.domain().len(), 1, "extra domain elements survive");
+        assert!(i.in_domain(&cst("bob")));
     }
 
     #[test]

@@ -128,6 +128,25 @@ impl NullFactory {
     pub fn issued(&self) -> NullId {
         self.next
     }
+
+    /// Rolls the factory back so that the next fresh null is `_n<issued>`
+    /// again: the epoch-rollback counterpart of
+    /// [`Interpretation::truncate`](crate::interpretation::Interpretation::truncate).
+    /// Callers must have removed every atom mentioning the rolled-back nulls
+    /// first, otherwise re-issued identifiers would alias live nulls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `issued` exceeds the number already issued (a rollback can
+    /// only move backwards).
+    pub fn rollback_to(&mut self, issued: NullId) {
+        assert!(
+            issued <= self.next,
+            "cannot roll a null factory forward (issued {issued} > next {})",
+            self.next
+        );
+        self.next = issued;
+    }
 }
 
 #[cfg(test)]
@@ -168,6 +187,24 @@ mod tests {
         assert_eq!(f.issued(), 2);
         let mut g = NullFactory::starting_at(100);
         assert_eq!(g.fresh(), Term::Null(100));
+    }
+
+    #[test]
+    fn null_factory_rolls_back_to_an_earlier_epoch() {
+        let mut f = NullFactory::new();
+        f.fresh();
+        let mark = f.issued();
+        let second = f.fresh();
+        f.rollback_to(mark);
+        assert_eq!(f.issued(), mark);
+        assert_eq!(f.fresh(), second, "re-issues the rolled-back identifier");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot roll a null factory forward")]
+    fn null_factory_rejects_forward_rollback() {
+        let mut f = NullFactory::new();
+        f.rollback_to(5);
     }
 
     #[test]

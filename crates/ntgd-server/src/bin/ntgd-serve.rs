@@ -1,0 +1,81 @@
+//! `ntgd-serve`: the persistent reasoning service.
+//!
+//! ```text
+//! ntgd-serve [--repl]                          # one session on stdin/stdout
+//! ntgd-serve --listen 127.0.0.1:7171           # one session per TCP connection
+//!            [--max-steps N] [--max-models N]  # session limits
+//! ```
+//!
+//! In TCP mode the bound address is announced on stdout as
+//! `LISTENING <addr>` (bind to port 0 to let the OS pick), then the process
+//! serves forever.  See the `ntgd_server` crate documentation for the
+//! protocol.
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+use ntgd_server::{serve_repl, serve_tcp, SessionConfig};
+
+fn usage() -> &'static str {
+    "usage: ntgd-serve [--repl | --listen <addr>] [--max-steps N] [--max-models N]"
+}
+
+fn main() -> ExitCode {
+    let mut listen: Option<String> = None;
+    let mut config = SessionConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--repl" => listen = None,
+            "--listen" => match args.next() {
+                Some(addr) => listen = Some(addr),
+                None => {
+                    eprintln!("{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--max-steps" | "--max-models" => {
+                let Some(value) = args.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("{arg} needs a number\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                if arg == "--max-steps" {
+                    config.max_steps = value;
+                } else {
+                    config.max_models = value;
+                }
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let outcome = match listen {
+        None => serve_repl(config),
+        Some(addr) => match TcpListener::bind(&addr) {
+            Ok(listener) => {
+                match listener.local_addr() {
+                    Ok(local) => println!("LISTENING {local}"),
+                    Err(_) => println!("LISTENING {addr}"),
+                }
+                serve_tcp(listener, config)
+            }
+            Err(error) => {
+                eprintln!("cannot listen on {addr}: {error}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(error) => {
+            eprintln!("ntgd-serve: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! # ntgd-server
+//!
+//! A **persistent reasoning service** over the `stable-tgd` engine: instead
+//! of the batch pipeline (build a database, chase to fixpoint, answer, throw
+//! everything away), a *session* keeps a loaded program — with its compiled
+//! rule plans — and a chased arena instance alive, and lets clients grow,
+//! query and roll back that state incrementally over a line protocol.  All
+//! sessions of a process share the persistent worker pool of
+//! `ntgd_core::parallel`, so even the small per-assert delta rounds of a
+//! busy server fan out to already-running workers.
+//!
+//! The `ntgd-serve` binary exposes sessions in two std-only transports:
+//!
+//! * **TCP** (`ntgd-serve --listen 127.0.0.1:7171`): one session per
+//!   connection, one thread per connection ([`serve_tcp`]).
+//! * **REPL** (`ntgd-serve` or `--repl`): a single session on
+//!   stdin/stdout ([`serve_repl`]) — also what the CI smoke test scripts.
+//!
+//! # Protocol grammar
+//!
+//! The protocol is line-based and textual; programs, facts and queries use
+//! the [`ntgd_parser`] syntax.  Each request is one line; the response is
+//! zero or more data lines followed by **exactly one** terminator line
+//! starting with `OK` or `ERR` (clients read until they see one).  On
+//! session start the server sends a single `READY …` banner line.
+//!
+//! ```text
+//! request   = load | assert | query | models | retract | stats | ping | help | quit
+//! load      = "LOAD" rules-and-facts        ; (re)initialises the session
+//! assert    = "ASSERT" facts                ; incremental re-chase, returns a mark
+//! query     = "QUERY" query-text            ; "?- lits." or "?(X) :- lits."
+//! models    = "MODELS" ["sms" | "lp"] ["max=" n]
+//! retract   = "RETRACT-TO" mark             ; roll back to an earlier mark
+//! stats     = "STATS"
+//! ping      = "PING"
+//! help      = "HELP"
+//! quit      = "QUIT"                        ; closes the session
+//! ```
+//!
+//! Blank lines and lines starting with `%` or `#` are ignored (no response),
+//! so REPL scripts can be commented.  Response shapes:
+//!
+//! ```text
+//! LOAD …        →  OK rules=<r> facts=<f> atoms=<n> mark=0
+//! ASSERT …      →  OK mark=<k> added=<a> derived=<d> atoms=<n>
+//! QUERY …       →  ANSWER <t1>, <t2>, …   (one line per certain answer)
+//!                  OK answers=<n> dropped=<d>      ; d = null-bound tuples
+//! MODELS …      →  MODEL <interpretation>  (one line per model, sorted)
+//!                  OK models=<m> mode=<sms|lp>
+//! RETRACT-TO k  →  OK mark=<k> atoms=<n>
+//! STATS         →  STAT <key>=<value> …  then  OK
+//! anything else →  ERR <one-line message>
+//! ```
+//!
+//! # Session lifecycle
+//!
+//! A session is created empty.  `LOAD` parses a program (rules, optionally
+//! initial facts), compiles its rule plans once, runs the initial chase and
+//! establishes **mark 0**; re-`LOAD`ing discards the previous state.  Every
+//! successful `ASSERT` performs an *incremental re-chase* — the new facts
+//! seed the existing semi-naive delta worklists
+//! ([`ntgd_chase::IncrementalChase`]), so a session never re-chases from
+//! scratch — and returns a fresh epoch mark `k`.  `RETRACT-TO k` rolls the
+//! arena back to mark `k` by truncation (O(atoms retracted)), invalidating
+//! the later marks.  `QUERY` answers over the chased instance (a universal
+//! model of the positive program): per the paper's certain-answer semantics
+//! only constant tuples are answers — a tuple binding an answer variable to
+//! a labelled null is never reported.
+//! `MODELS` enumerates stable models of the *accumulated fact set* under the
+//! paper's SMS semantics (`sms`, default, any program) or the LP
+//! approach (`lp`, normal programs); results are cached per session state.
+//! The chase uses Skolem semantics with canonically named witnesses, so the
+//! session state — null names included — depends only on the set of facts
+//! asserted and live, never on how assertions were batched (see
+//! [`ntgd_chase::incremental`]).
+//!
+//! A session whose program is disjunctive, or contains negative literals,
+//! still supports `ASSERT`/`MODELS`/`RETRACT-TO`: the chase (and hence
+//! `QUERY`) is available for normal programs and chases the positive part,
+//! exactly like the batch pipeline.
+
+pub mod protocol;
+pub mod server;
+pub mod session;
+
+pub use protocol::{parse_command, Command, ModelsMode, Response};
+pub use server::{handle_session, serve_repl, serve_tcp};
+pub use session::{Session, SessionConfig};

@@ -1,0 +1,107 @@
+//! Transports: one-session-per-connection TCP serving and a stdin REPL.
+//!
+//! Both are thin line pumps around [`Session::execute`]; the protocol logic
+//! lives entirely in [`crate::session`] so tests and embedders can drive a
+//! session without any I/O.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpListener;
+
+use crate::session::{Session, SessionConfig};
+
+/// The banner sent when a session opens (protocol version 1).
+pub const BANNER: &str = "READY ntgd-serve protocol=1";
+
+/// Pumps protocol lines from `reader` through one session, writing framed
+/// responses (and the opening [`BANNER`]) to `writer`, until end-of-input or
+/// `QUIT`.
+pub fn handle_session<R, W>(mut session: Session, reader: R, writer: &mut W) -> io::Result<()>
+where
+    R: BufRead,
+    W: Write,
+{
+    writeln!(writer, "{BANNER}")?;
+    writer.flush()?;
+    for line in reader.lines() {
+        let response = session.execute(&line?);
+        for out in &response.lines {
+            writeln!(writer, "{out}")?;
+        }
+        if !response.lines.is_empty() {
+            writer.flush()?;
+        }
+        if response.close {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Serves sessions over TCP: accepts connections forever, one thread and one
+/// independent [`Session`] per connection.  All sessions share the
+/// process-wide persistent worker pool of `ntgd_core::parallel`.
+pub fn serve_tcp(listener: TcpListener, config: SessionConfig) -> io::Result<()> {
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(stream) => stream,
+            // Transient accept errors (e.g. a connection reset while queued)
+            // must not take the server down.
+            Err(_) => continue,
+        };
+        let config = config.clone();
+        // A failed spawn (thread exhaustion under load) drops this one
+        // connection, like a failed accept — it must never take down the
+        // sessions already being served.
+        let _ = std::thread::Builder::new()
+            .name("ntgd-session".to_owned())
+            .spawn(move || {
+                let session = Session::new(config);
+                let reader = BufReader::new(match stream.try_clone() {
+                    Ok(read_half) => read_half,
+                    Err(_) => return,
+                });
+                let mut writer = stream;
+                // A dropped client mid-response is that session's problem
+                // only.
+                let _ = handle_session(session, reader, &mut writer);
+            });
+    }
+    Ok(())
+}
+
+/// Serves a single session on stdin/stdout (the `--repl` mode of
+/// `ntgd-serve`, and what the CI smoke test scripts).
+pub fn serve_repl(config: SessionConfig) -> io::Result<()> {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let mut writer = stdout.lock();
+    handle_session(Session::new(config), stdin.lock(), &mut writer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_session_frames_banner_responses_and_quit() {
+        let script = "PING\n% a comment produces nothing\nQUERY ?- p(a).\nQUIT\nPING\n";
+        let mut out: Vec<u8> = Vec::new();
+        handle_session(
+            Session::new(SessionConfig::default()),
+            script.as_bytes(),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                BANNER,
+                "OK pong",
+                "ERR no program loaded",
+                "OK bye" // the trailing PING is never read: QUIT closed the session
+            ]
+        );
+    }
+}

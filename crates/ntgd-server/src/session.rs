@@ -1,0 +1,544 @@
+//! One reasoning session: a loaded program, its incrementally chased arena
+//! instance, the epoch-mark history, and session-scoped model enumeration.
+
+use std::collections::HashSet;
+
+use ntgd_chase::{ChaseConfig, EpochMark, IncrementalChase};
+use ntgd_core::{parallel, Atom, Database, DisjunctiveProgram, Program, Query, Term};
+use ntgd_lp::{LpEngine, LpLimits};
+use ntgd_parser::{parse_database, parse_query, parse_unit};
+use ntgd_sms::{SmsEngine, SmsOptions};
+
+use crate::protocol::{parse_command, Command, ModelsMode, Response};
+
+/// Per-session limits.
+#[derive(Clone, Debug)]
+pub struct SessionConfig {
+    /// Step budget of one incremental re-chase (one `ASSERT`); exceeding it
+    /// rolls the assertion back.
+    pub max_steps: usize,
+    /// Default cap on the number of models returned by `MODELS`.
+    pub max_models: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            max_steps: 100_000,
+            max_models: 64,
+        }
+    }
+}
+
+/// The state reachable from one epoch mark: how to roll the chase and the
+/// fact log back to it.
+#[derive(Clone, Copy, Debug)]
+struct SessionMark {
+    chase: Option<EpochMark>,
+    facts: usize,
+}
+
+/// The program-dependent part of a session, replaced wholesale by `LOAD`.
+struct Loaded {
+    /// The rules, as parsed (possibly disjunctive).
+    disjunctive: DisjunctiveProgram,
+    /// The rules as a normal program, when no rule uses `|`.
+    normal: Option<Program>,
+    /// The resumable chase (normal programs; chases the positive part).
+    chase: Option<IncrementalChase>,
+    /// Asserted facts in assertion order, deduplicated.
+    facts: Vec<Atom>,
+    /// Dedup mirror of `facts` (rebuilt on retract).
+    fact_set: HashSet<Atom>,
+    /// `marks[k]` = state after assert `k` (`marks[0]` = post-`LOAD`).
+    marks: Vec<SessionMark>,
+    /// Bumped on every mutation; keys the model cache.
+    generation: u64,
+    /// Session-scoped `MODELS` cache for the current generation.
+    models_cache: Option<(u64, ModelsMode, usize, Vec<String>)>,
+}
+
+/// A reasoning session.  [`Session::execute`] drives it with protocol lines;
+/// the typed methods ([`Session::load`], [`Session::assert_facts`], …) serve
+/// in-process embedders (benchmarks, the example, tests).
+pub struct Session {
+    config: SessionConfig,
+    loaded: Option<Loaded>,
+}
+
+impl Session {
+    /// Creates an empty session.
+    pub fn new(config: SessionConfig) -> Session {
+        Session {
+            config,
+            loaded: None,
+        }
+    }
+
+    /// Parses and executes one protocol line.
+    pub fn execute(&mut self, line: &str) -> Response {
+        match parse_command(line) {
+            Err(message) => Response::err(message),
+            Ok(Command::Nop) => Response::none(),
+            Ok(Command::Ping) => Response::ok("pong"),
+            Ok(Command::Help) => Response::ok_with(
+                [
+                    "LOAD <rules-and-facts>      (re)initialise the session",
+                    "ASSERT <facts>              insert facts, incremental re-chase",
+                    "QUERY <?- lits. | ?(X) :- lits.>  certain answers",
+                    "MODELS [sms|lp] [max=<n>]   enumerate stable models",
+                    "RETRACT-TO <mark>           roll back to an epoch mark",
+                    "STATS | PING | HELP | QUIT",
+                ]
+                .iter()
+                .map(|s| format!("INFO {s}"))
+                .collect(),
+                "help",
+            ),
+            Ok(Command::Quit) => Response {
+                lines: vec!["OK bye".to_owned()],
+                close: true,
+            },
+            Ok(Command::Load(text)) => self.load(&text),
+            Ok(Command::Assert(text)) => self.assert_text(&text),
+            Ok(Command::Query(text)) => self.query_text(&text),
+            Ok(Command::Models { mode, max }) => self.models(mode, max),
+            Ok(Command::RetractTo(mark)) => self.retract_to(mark),
+            Ok(Command::Stats) => self.stats(),
+        }
+    }
+
+    /// `LOAD`: parse rules (and optional initial facts), compile the rule
+    /// plans, run the initial chase and establish mark 0.  Replaces any
+    /// previously loaded state; on error the previous state is kept.
+    pub fn load(&mut self, text: &str) -> Response {
+        let unit = match parse_unit(text) {
+            Ok(unit) => unit,
+            Err(error) => return Response::err(error),
+        };
+        if !unit.queries.is_empty() {
+            return Response::err("LOAD text may not contain queries; use QUERY");
+        }
+        let disjunctive = match unit.disjunctive_program() {
+            Ok(program) => program,
+            Err(error) => return Response::err(error),
+        };
+        let normal = unit.program();
+        let chase = match &normal {
+            Some(program) => {
+                match IncrementalChase::new(
+                    program,
+                    ChaseConfig::with_max_steps(self.config.max_steps),
+                ) {
+                    Ok(chase) => Some(chase),
+                    Err(limit) => return Response::err(limit),
+                }
+            }
+            None => None,
+        };
+        let mut loaded = Loaded {
+            disjunctive,
+            normal,
+            chase,
+            facts: Vec::new(),
+            fact_set: HashSet::new(),
+            marks: Vec::new(),
+            generation: 0,
+            models_cache: None,
+        };
+        let initial_facts: Vec<Atom> = unit.database.facts().cloned().collect();
+        if let Some(chase) = loaded.chase.as_mut() {
+            if let Err(limit) = chase.assert_facts(initial_facts.iter().cloned()) {
+                return Response::err(limit);
+            }
+        }
+        for fact in initial_facts {
+            if loaded.fact_set.insert(fact.clone()) {
+                loaded.facts.push(fact);
+            }
+        }
+        loaded.marks.push(SessionMark {
+            chase: loaded.chase.as_ref().map(IncrementalChase::mark),
+            facts: loaded.facts.len(),
+        });
+        let rules = loaded.disjunctive.len();
+        let facts = loaded.facts.len();
+        let atoms = loaded.atoms();
+        self.loaded = Some(loaded);
+        Response::ok(format!("rules={rules} facts={facts} atoms={atoms} mark=0"))
+    }
+
+    /// `ASSERT`, with the facts already parsed.  Transactional: a step-limit
+    /// overrun rolls the whole batch back.
+    pub fn assert_facts(&mut self, facts: Vec<Atom>) -> Response {
+        let Some(loaded) = self.loaded.as_mut() else {
+            return Response::err("no program loaded");
+        };
+        let before_atoms = loaded.atoms();
+        let mut derived = 0usize;
+        if let Some(chase) = loaded.chase.as_mut() {
+            match chase.assert_facts(facts.iter().cloned()) {
+                Ok(summary) => derived = summary.derived,
+                Err(limit) => return Response::err(limit),
+            }
+        }
+        let mut added = 0usize;
+        for fact in facts {
+            if loaded.fact_set.insert(fact.clone()) {
+                loaded.facts.push(fact);
+                added += 1;
+            }
+        }
+        loaded.marks.push(SessionMark {
+            chase: loaded.chase.as_ref().map(IncrementalChase::mark),
+            facts: loaded.facts.len(),
+        });
+        loaded.generation += 1;
+        let mark = loaded.marks.len() - 1;
+        let atoms = loaded.atoms();
+        debug_assert!(atoms >= before_atoms);
+        Response::ok(format!(
+            "mark={mark} added={added} derived={derived} atoms={atoms}"
+        ))
+    }
+
+    fn assert_text(&mut self, text: &str) -> Response {
+        match parse_database(text) {
+            Ok(database) => self.assert_facts(database.facts().cloned().collect()),
+            Err(error) => Response::err(error),
+        }
+    }
+
+    /// `QUERY`: certain answers over the chased instance.  `Query::answers`
+    /// implements the paper's certain-answer semantics (`q(I) ⊆ Cⁿ`), so
+    /// tuples that would bind an answer variable to a labelled null are
+    /// never reported.
+    pub fn query(&mut self, query: &Query) -> Response {
+        let Some(loaded) = self.loaded.as_ref() else {
+            return Response::err("no program loaded");
+        };
+        let Some(chase) = loaded.chase.as_ref() else {
+            return Response::err("QUERY needs a normal (non-disjunctive) program");
+        };
+        let instance = chase.instance();
+        if query.is_boolean() {
+            let verdict = query.holds(instance);
+            return Response::ok_with(vec![format!("ANSWER {verdict}")], "answers=1");
+        }
+        let answers = query.answers(instance);
+        let mut lines: Vec<String> = answers
+            .iter()
+            .map(|tuple| {
+                let rendered: Vec<String> = tuple.iter().map(Term::to_string).collect();
+                format!("ANSWER {}", rendered.join(", "))
+            })
+            .collect();
+        // Term order follows symbol interning (session history); sort the
+        // rendered lines so transcripts are stable across histories.
+        lines.sort();
+        let kept = lines.len();
+        Response::ok_with(lines, format!("answers={kept}"))
+    }
+
+    fn query_text(&mut self, text: &str) -> Response {
+        match parse_query(text) {
+            Ok(query) => self.query(&query),
+            Err(error) => Response::err(error),
+        }
+    }
+
+    /// `MODELS`: stable models of the accumulated fact set, rendered sorted;
+    /// cached per (generation, mode, cap) so repeated calls on an unchanged
+    /// session are free.
+    pub fn models(&mut self, mode: ModelsMode, max: Option<usize>) -> Response {
+        let max_models = max.unwrap_or(self.config.max_models);
+        let Some(loaded) = self.loaded.as_mut() else {
+            return Response::err("no program loaded");
+        };
+        if let Some((generation, cached_mode, cached_max, lines)) = &loaded.models_cache {
+            if *generation == loaded.generation && *cached_mode == mode && *cached_max == max_models
+            {
+                let count = lines.len();
+                return Response::ok_with(
+                    lines.clone(),
+                    format!("models={count} mode={mode} cached=true"),
+                );
+            }
+        }
+        let database = match Database::from_facts(loaded.facts.iter().cloned()) {
+            Ok(database) => database,
+            Err(error) => return Response::err(error),
+        };
+        let rendered = match mode {
+            ModelsMode::Sms => {
+                let options = SmsOptions {
+                    max_models,
+                    ..SmsOptions::default()
+                };
+                let engine =
+                    SmsEngine::new_disjunctive(loaded.disjunctive.clone()).with_options(options);
+                match engine.stable_models(&database) {
+                    Ok(models) => render_models(models.iter().map(ToString::to_string)),
+                    Err(error) => return Response::err(error),
+                }
+            }
+            ModelsMode::Lp => {
+                let Some(normal) = loaded.normal.as_ref() else {
+                    return Response::err("MODELS lp needs a normal program; use MODELS sms");
+                };
+                match LpEngine::new(&database, normal, &LpLimits::default()) {
+                    Ok(engine) => render_models(
+                        engine
+                            .models()
+                            .iter()
+                            .take(max_models)
+                            .map(ToString::to_string),
+                    ),
+                    Err(error) => return Response::err(error),
+                }
+            }
+        };
+        let count = rendered.len();
+        loaded.models_cache = Some((loaded.generation, mode, max_models, rendered.clone()));
+        Response::ok_with(rendered, format!("models={count} mode={mode}"))
+    }
+
+    /// `RETRACT-TO`: roll back to mark `mark`, truncating the arena and the
+    /// fact log; marks taken later are discarded.
+    pub fn retract_to(&mut self, mark: usize) -> Response {
+        let Some(loaded) = self.loaded.as_mut() else {
+            return Response::err("no program loaded");
+        };
+        if mark >= loaded.marks.len() {
+            return Response::err(format!(
+                "unknown mark {mark} (have 0..={})",
+                loaded.marks.len() - 1
+            ));
+        }
+        let target = loaded.marks[mark];
+        if let (Some(chase), Some(epoch)) = (loaded.chase.as_mut(), target.chase.as_ref()) {
+            chase.retract_to(epoch);
+        }
+        // `facts` is deduplicated, so dropping exactly the truncated slice
+        // from the mirror keeps rollback O(retracted), matching the arena.
+        for fact in &loaded.facts[target.facts..] {
+            loaded.fact_set.remove(fact);
+        }
+        loaded.facts.truncate(target.facts);
+        loaded.marks.truncate(mark + 1);
+        loaded.generation += 1;
+        let atoms = loaded.atoms();
+        Response::ok(format!("mark={mark} atoms={atoms}"))
+    }
+
+    /// `STATS`: session and engine counters.
+    pub fn stats(&self) -> Response {
+        let pool = parallel::pool_stats();
+        let mut lines = Vec::new();
+        match self.loaded.as_ref() {
+            None => lines.push("STAT loaded=false".to_owned()),
+            Some(loaded) => {
+                lines.push("STAT loaded=true".to_owned());
+                lines.push(format!("STAT rules={}", loaded.disjunctive.len()));
+                lines.push(format!("STAT facts={}", loaded.facts.len()));
+                lines.push(format!("STAT atoms={}", loaded.atoms()));
+                lines.push(format!("STAT marks={}", loaded.marks.len()));
+                if let Some(chase) = loaded.chase.as_ref() {
+                    lines.push(format!("STAT chase_steps={}", chase.steps()));
+                    lines.push(format!("STAT nulls={}", chase.nulls_created()));
+                }
+            }
+        }
+        lines.push(format!("STAT threads={}", parallel::num_threads()));
+        lines.push(format!("STAT pool_enabled={}", parallel::pool_enabled()));
+        lines.push(format!("STAT pool_workers={}", pool.workers));
+        lines.push(format!("STAT pool_jobs={}", pool.jobs));
+        lines.push(format!("STAT pool_items={}", pool.items));
+        Response::ok_with(lines, "stats")
+    }
+
+    /// The chased instance of a loaded normal program (for embedders and
+    /// tests; protocol clients use `QUERY`).
+    pub fn instance(&self) -> Option<&ntgd_core::Interpretation> {
+        self.loaded
+            .as_ref()
+            .and_then(|loaded| loaded.chase.as_ref())
+            .map(IncrementalChase::instance)
+    }
+
+    /// The accumulated (live) fact log, in assertion order.
+    pub fn facts(&self) -> &[Atom] {
+        self.loaded
+            .as_ref()
+            .map(|loaded| loaded.facts.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The current number of epoch marks (`RETRACT-TO` accepts `0..marks`).
+    pub fn marks(&self) -> usize {
+        self.loaded
+            .as_ref()
+            .map(|loaded| loaded.marks.len())
+            .unwrap_or(0)
+    }
+}
+
+impl Loaded {
+    /// Arena size of the chased instance, or the fact count when the
+    /// program is disjunctive (no chase).
+    fn atoms(&self) -> usize {
+        self.chase
+            .as_ref()
+            .map(|chase| chase.instance().len())
+            .unwrap_or(self.facts.len())
+    }
+}
+
+/// Renders models sorted, one protocol line each (stable across engines and
+/// thread counts: interpretations display their atoms sorted).
+fn render_models<I: Iterator<Item = String>>(models: I) -> Vec<String> {
+    let mut rendered: Vec<String> = models.map(|m| format!("MODEL {m}")).collect();
+    rendered.sort();
+    rendered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok_line(response: &Response) -> &str {
+        assert!(response.is_ok(), "expected OK, got {:?}", response.lines);
+        response.terminator().unwrap()
+    }
+
+    #[test]
+    fn load_assert_query_retract_round_trip() {
+        let mut session = Session::new(SessionConfig::default());
+        let loaded = session.execute("LOAD person(X) -> hasFather(X, Y). person(eve).");
+        assert_eq!(ok_line(&loaded), "OK rules=1 facts=1 atoms=2 mark=0");
+        let asserted = session.execute("ASSERT person(alice). person(bo).");
+        assert!(ok_line(&asserted).starts_with("OK mark=1 added=2 derived=2"));
+        let answers = session.execute("QUERY ?(X) :- person(X).");
+        assert_eq!(
+            answers.lines,
+            vec![
+                "ANSWER alice".to_owned(),
+                "ANSWER bo".to_owned(),
+                "ANSWER eve".to_owned(),
+                "OK answers=3".to_owned()
+            ]
+        );
+        // Nulls are not certain answers: the invented father is not
+        // reported (certain-answer semantics of `Query::answers`).
+        let fathers = session.execute("QUERY ?(Y) :- hasFather(alice, Y).");
+        assert_eq!(fathers.terminator(), Some("OK answers=0"));
+        assert!(session.execute("QUERY ?- hasFather(alice, Y).").lines[0] == "ANSWER true");
+        let retracted = session.execute("RETRACT-TO 0");
+        assert_eq!(ok_line(&retracted), "OK mark=0 atoms=2");
+        let again = session.execute("QUERY ?(X) :- person(X).");
+        assert_eq!(
+            again.lines,
+            vec!["ANSWER eve".to_owned(), "OK answers=1".to_owned()]
+        );
+    }
+
+    #[test]
+    fn boolean_queries_answer_true_or_false() {
+        let mut session = Session::new(SessionConfig::default());
+        session.execute("LOAD p(X) -> q(X).");
+        session.execute("ASSERT p(a).");
+        assert_eq!(
+            session.execute("QUERY ?- q(a).").lines,
+            vec!["ANSWER true".to_owned(), "OK answers=1".to_owned()]
+        );
+        assert_eq!(
+            session.execute("QUERY ?- q(b).").lines[0],
+            "ANSWER false".to_owned()
+        );
+    }
+
+    #[test]
+    fn models_are_enumerated_sorted_and_cached() {
+        let mut session = Session::new(SessionConfig::default());
+        session.execute("LOAD node(X) -> red(X) | green(X). node(v).");
+        let first = session.execute("MODELS");
+        assert_eq!(first.terminator(), Some("OK models=2 mode=sms"));
+        assert!(first.lines[0] < first.lines[1], "sorted output");
+        let second = session.execute("MODELS");
+        assert_eq!(
+            second.terminator(),
+            Some("OK models=2 mode=sms cached=true")
+        );
+        assert_eq!(first.lines[..2], second.lines[..2]);
+        // Mutation invalidates the cache.
+        session.execute("ASSERT node(w).");
+        let third = session.execute("MODELS");
+        assert_eq!(third.terminator(), Some("OK models=4 mode=sms"));
+    }
+
+    #[test]
+    fn lp_models_agree_with_sms_on_normal_programs() {
+        let mut session = Session::new(SessionConfig::default());
+        session.execute("LOAD p(X), not q(X) -> r(X). p(a).");
+        let sms = session.execute("MODELS sms");
+        let lp = session.execute("MODELS lp");
+        assert_eq!(
+            sms.lines[..sms.lines.len() - 1],
+            lp.lines[..lp.lines.len() - 1]
+        );
+        assert_eq!(lp.terminator(), Some("OK models=1 mode=lp"));
+    }
+
+    #[test]
+    fn disjunctive_sessions_reject_query_but_enumerate_models() {
+        let mut session = Session::new(SessionConfig::default());
+        session.execute("LOAD node(X) -> red(X) | green(X).");
+        session.execute("ASSERT node(v).");
+        assert!(!session.execute("QUERY ?- red(v).").is_ok());
+        assert!(!session.execute("MODELS lp").is_ok());
+        assert!(session.execute("MODELS").is_ok());
+    }
+
+    #[test]
+    fn errors_keep_the_session_usable() {
+        let mut session = Session::new(SessionConfig::default());
+        assert!(!session.execute("ASSERT p(a).").is_ok());
+        assert!(!session.execute("QUERY ?- p(a).").is_ok());
+        assert!(!session.execute("RETRACT-TO 0").is_ok());
+        assert!(!session.execute("LOAD p(X) ->").is_ok());
+        assert!(!session.execute("BOGUS").is_ok());
+        assert!(session.execute("LOAD p(X) -> q(X).").is_ok());
+        assert!(!session.execute("RETRACT-TO 7").is_ok());
+        assert!(session.execute("ASSERT p(a).").is_ok());
+        assert!(session.execute("QUERY ?- q(a).").is_ok());
+    }
+
+    #[test]
+    fn diverging_asserts_roll_back_and_report() {
+        let mut session = Session::new(SessionConfig {
+            max_steps: 20,
+            max_models: 8,
+        });
+        session.execute("LOAD person(X) -> parent(X, Y), person(Y).");
+        let overrun = session.execute("ASSERT person(adam).");
+        assert!(!overrun.is_ok());
+        assert!(overrun.lines[0].contains("rolled back"));
+        assert_eq!(session.facts().len(), 0);
+        assert_eq!(session.instance().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn stats_report_session_and_pool_state() {
+        let mut session = Session::new(SessionConfig::default());
+        session.execute("LOAD p(X) -> q(X). p(a).");
+        let stats = session.execute("STATS");
+        assert!(stats.is_ok());
+        assert!(stats.lines.iter().any(|l| l == "STAT loaded=true"));
+        assert!(stats.lines.iter().any(|l| l.starts_with("STAT atoms=2")));
+        assert!(stats.lines.iter().any(|l| l.starts_with("STAT threads=")));
+        assert!(stats
+            .lines
+            .iter()
+            .any(|l| l.starts_with("STAT pool_workers=")));
+    }
+}

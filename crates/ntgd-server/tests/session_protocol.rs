@@ -1,0 +1,189 @@
+//! End-to-end protocol tests against a live `ntgd-serve` TCP server: a real
+//! listener, real connections, scripted LOAD/ASSERT/QUERY/RETRACT-TO
+//! sessions.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+
+use ntgd_server::{serve_tcp, SessionConfig};
+
+/// Boots a server on an OS-assigned port and returns its address.  The
+/// server thread serves until the test process exits.
+fn boot() -> std::net::SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+    let addr = listener.local_addr().expect("bound address");
+    std::thread::spawn(move || {
+        let _ = serve_tcp(listener, SessionConfig::default());
+    });
+    addr
+}
+
+/// A tiny protocol client: sends one request line, reads data lines until
+/// the `OK`/`ERR` terminator, returns all lines.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to ntgd-serve");
+        let reader = BufReader::new(stream.try_clone().expect("clone the stream"));
+        let mut client = Client {
+            reader,
+            writer: stream,
+        };
+        let banner = client.read_line();
+        assert_eq!(banner, "READY ntgd-serve protocol=1");
+        client
+    }
+
+    fn read_line(&mut self) -> String {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read from server");
+        line.trim_end().to_owned()
+    }
+
+    fn request(&mut self, line: &str) -> Vec<String> {
+        writeln!(self.writer, "{line}").expect("write to server");
+        self.writer.flush().expect("flush to server");
+        let mut lines = Vec::new();
+        loop {
+            let line = self.read_line();
+            let done = line.starts_with("OK") || line.starts_with("ERR");
+            lines.push(line);
+            if done {
+                return lines;
+            }
+        }
+    }
+}
+
+#[test]
+fn scripted_session_over_a_real_socket() {
+    let addr = boot();
+    let mut client = Client::connect(addr);
+
+    assert_eq!(client.request("PING"), vec!["OK pong"]);
+    assert_eq!(
+        client.request("LOAD e(X, Y) -> n(X). e(X, Y) -> n(Y). n(X) -> labelled(X, L)."),
+        vec!["OK rules=3 facts=0 atoms=0 mark=0"]
+    );
+    assert_eq!(
+        client.request("ASSERT e(a, b)."),
+        vec!["OK mark=1 added=1 derived=4 atoms=5"]
+    );
+    assert_eq!(
+        client.request("QUERY ?(X) :- n(X)."),
+        vec!["ANSWER a", "ANSWER b", "OK answers=2"]
+    );
+    assert_eq!(
+        client.request("ASSERT e(b, c). e(c, a)."),
+        vec!["OK mark=2 added=2 derived=2 atoms=9"]
+    );
+    assert_eq!(
+        client.request("QUERY ?(X) :- n(X)."),
+        vec!["ANSWER a", "ANSWER b", "ANSWER c", "OK answers=3"]
+    );
+    // Roll the second assert back and verify the first epoch is intact.
+    assert_eq!(client.request("RETRACT-TO 1"), vec!["OK mark=1 atoms=5"]);
+    assert_eq!(
+        client.request("QUERY ?(X) :- n(X)."),
+        vec!["ANSWER a", "ANSWER b", "OK answers=2"]
+    );
+    // Growing again after the rollback continues from the surviving epoch.
+    assert_eq!(
+        client.request("ASSERT e(b, c)."),
+        vec!["OK mark=2 added=1 derived=2 atoms=8"]
+    );
+    let stats = client.request("STATS");
+    assert!(stats.iter().any(|l| l == "STAT loaded=true"));
+    assert!(stats.last().unwrap().starts_with("OK"));
+    assert_eq!(client.request("QUIT"), vec!["OK bye"]);
+}
+
+#[test]
+fn concurrent_connections_get_independent_sessions() {
+    let addr = boot();
+    let mut first = Client::connect(addr);
+    let mut second = Client::connect(addr);
+
+    first.request("LOAD p(X) -> q(X).");
+    second.request("LOAD r(X) -> s(X).");
+    first.request("ASSERT p(a).");
+    second.request("ASSERT r(b).");
+
+    // Each session only sees its own program and facts.
+    assert_eq!(
+        first.request("QUERY ?- q(a)."),
+        vec!["ANSWER true", "OK answers=1"]
+    );
+    assert_eq!(
+        first.request("QUERY ?- s(b)."),
+        vec!["ANSWER false", "OK answers=1"]
+    );
+    assert_eq!(
+        second.request("QUERY ?- s(b)."),
+        vec!["ANSWER true", "OK answers=1"]
+    );
+
+    // Sessions under load in parallel: interleaved asserts stay isolated.
+    let handle = {
+        std::thread::spawn(move || {
+            let mut third = Client::connect(addr);
+            third.request("LOAD e(X, Y), e(Y, Z) -> e(X, Z).");
+            for k in 0..20 {
+                let response = third.request(&format!("ASSERT e(c{k}, c{}).", k + 1));
+                assert!(response.last().unwrap().starts_with("OK"), "{response:?}");
+            }
+            third.request("QUERY ?- e(c0, c20).")
+        })
+    };
+    for k in 0..10 {
+        first.request(&format!("ASSERT p(x{k})."));
+    }
+    assert_eq!(
+        handle.join().expect("third session"),
+        vec!["ANSWER true", "OK answers=1"]
+    );
+    assert_eq!(
+        first.request("QUERY ?- q(x9)."),
+        vec!["ANSWER true", "OK answers=1"]
+    );
+}
+
+#[test]
+fn protocol_errors_do_not_poison_the_connection() {
+    let addr = boot();
+    let mut client = Client::connect(addr);
+    assert!(client.request("NONSENSE")[0].starts_with("ERR"));
+    assert!(client.request("ASSERT p(a).")[0].starts_with("ERR no program loaded"));
+    assert!(client.request("LOAD p(X) -> ")[0].starts_with("ERR"));
+    assert_eq!(
+        client.request("LOAD p(X) -> q(X)."),
+        vec!["OK rules=1 facts=0 atoms=0 mark=0"]
+    );
+    assert!(client.request("RETRACT-TO 99")[0].starts_with("ERR unknown mark"));
+    assert_eq!(
+        client.request("ASSERT p(a)."),
+        vec!["OK mark=1 added=1 derived=1 atoms=2"]
+    );
+}
+
+#[test]
+fn models_and_disjunction_over_the_wire() {
+    let addr = boot();
+    let mut client = Client::connect(addr);
+    client.request(
+        "LOAD node(X) -> red(X) | green(X). edge(X, Y), red(X), red(Y) -> conflict(X, Y).",
+    );
+    client.request("ASSERT node(u). node(v). edge(u, v).");
+    let models = client.request("MODELS max=16");
+    assert_eq!(models.last().unwrap(), "OK models=4 mode=sms");
+    assert_eq!(models.len(), 5);
+    assert!(models[..4].iter().all(|l| l.starts_with("MODEL {")));
+    // A second call is served from the session cache.
+    let cached = client.request("MODELS max=16");
+    assert_eq!(cached.last().unwrap(), "OK models=4 mode=sms cached=true");
+    assert_eq!(models[..4], cached[..4]);
+}

@@ -309,9 +309,35 @@ fn possibly_true_closure(
     }
 }
 
+/// One rule instance collected by the parallel instantiation pass, before
+/// the sequential intern: positive-body and head atoms are already resolved
+/// to closure ids (the closure is interned up front and read-only), while
+/// negated-body atoms — the only atoms that may be new to the table — stay
+/// as atoms until the single-threaded intern pass assigns their ids.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct PendingGroundRule {
+    body_pos: Vec<usize>,
+    body_neg: Vec<Atom>,
+    neg_domain_terms: Vec<Term>,
+    disjuncts: Vec<Vec<usize>>,
+    source_rule: usize,
+}
+
 /// Grounds `SM[D,Σ]` over the given domain.  Every rule is compiled into its
 /// plan form exactly once per call; the closure rounds and the instantiation
 /// phase execute the cached plans.
+///
+/// The instantiation phase mirrors the closure's buffer-merge pattern: a
+/// **parallel collect** (one work item per rule on the persistent pool, each
+/// enumerating its rule's bindings over the frozen closure and resolving
+/// closure ids read-only) followed by a **sequential intern** that walks the
+/// per-rule buffers in rule order, assigns table ids to negated-body atoms
+/// and applies the dedup/limit checks — the one remaining sequential
+/// bottleneck, now reduced to hash-map insertions.  Because duplicate rule
+/// instances can only arise within one rule (`source_rule` is part of rule
+/// identity), per-rule deduplication inside the workers is exact, and the
+/// merged stream — and hence every table id — is identical to the
+/// single-threaded enumeration at every thread count.
 pub fn ground_sms(
     database: &Database,
     program: &DisjunctiveProgram,
@@ -330,98 +356,143 @@ pub fn ground_sms(
     }
     let closure_size = atoms.len();
 
+    // Pass 1 (parallel): per-rule instantiation buffers over the frozen
+    // closure and the read-only prefix of the atom table.
+    let empty = Substitution::new();
+    let rule_indices: Vec<usize> = (0..program.rules().len()).collect();
+    let threads = parallel::threads_for(closure.len());
+    let atoms_ref = &atoms;
+    let closure_ref = &closure;
+    // Cross-worker tally of *deduplicated* instances collected so far.
+    // Duplicates can only arise within one rule (`source_rule` is part of
+    // rule identity), so this sum equals the global deduplicated count; once
+    // it exceeds the cap the grounding is guaranteed to fail, and every
+    // worker stops collecting — the limit bounds memory globally again, not
+    // merely per rule.  Success-path results are untouched (workers only
+    // stop when failure is certain), so determinism is preserved.
+    let collected = std::sync::atomic::AtomicUsize::new(0);
+    let collected_ref = &collected;
+    let buckets: Vec<Vec<PendingGroundRule>> =
+        parallel::par_map_with(&rule_indices, threads, |_, &ridx| {
+            let rule = &program.rules()[ridx];
+            let body_atoms: Vec<Atom> = rule.body_positive().into_iter().cloned().collect();
+            let neg_atoms: Vec<Atom> = rule.body_negative().into_iter().cloned().collect();
+            let existentials = existentials_per_disjunct(rule);
+            let mut local: Vec<PendingGroundRule> = Vec::new();
+            let mut local_seen: BTreeSet<PendingGroundRule> = BTreeSet::new();
+            plans
+                .rule(ridx)
+                .body_positive()
+                .for_each(closure_ref, &empty, &mut |binding| {
+                    let body_pos: Vec<usize> = body_atoms
+                        .iter()
+                        .map(|a| {
+                            atoms_ref
+                                .id_of(&binding.apply_atom(a))
+                                .expect("positive body instances are in the closure")
+                        })
+                        .collect();
+                    let pos_terms: BTreeSet<Term> = body_atoms
+                        .iter()
+                        .flat_map(|a| binding.apply_atom(a).terms().copied().collect::<Vec<_>>())
+                        .collect();
+                    let mut body_neg = Vec::new();
+                    let mut neg_domain_terms: BTreeSet<Term> = BTreeSet::new();
+                    for a in &neg_atoms {
+                        let ground = binding.apply_atom(a);
+                        debug_assert!(
+                            ground.is_ground(),
+                            "safety guarantees ground negative bodies"
+                        );
+                        for t in ground.terms() {
+                            if !pos_terms.contains(t) {
+                                neg_domain_terms.insert(*t);
+                            }
+                        }
+                        body_neg.push(ground);
+                    }
+                    let mut disjuncts: Vec<Vec<usize>> = Vec::new();
+                    let mut h: Option<Substitution> = None;
+                    for (d, disjunct) in rule.disjuncts().iter().enumerate() {
+                        let exist = &existentials[d];
+                        if exist.is_empty() {
+                            let conj: Vec<usize> = disjunct
+                                .iter()
+                                .map(|atom| {
+                                    atoms_ref
+                                        .id_of(&binding.apply_atom(atom))
+                                        .expect("head instantiations are in the closure")
+                                })
+                                .collect();
+                            disjuncts.push(conj);
+                            continue;
+                        }
+                        let h = h.get_or_insert_with(|| binding.to_substitution());
+                        for_each_assignment(exist, domain, h, &mut |assignment| {
+                            let conj: Vec<usize> = disjunct
+                                .iter()
+                                .map(|atom| {
+                                    let ground = assignment.apply_atom(atom);
+                                    atoms_ref
+                                        .id_of(&ground)
+                                        .expect("head instantiations are in the closure")
+                                })
+                                .collect();
+                            disjuncts.push(conj);
+                        });
+                    }
+                    disjuncts.sort();
+                    disjuncts.dedup();
+                    let pending = PendingGroundRule {
+                        body_pos,
+                        body_neg,
+                        neg_domain_terms: neg_domain_terms.into_iter().collect(),
+                        disjuncts,
+                        source_rule: ridx,
+                    };
+                    if local_seen.insert(pending.clone()) {
+                        local.push(pending);
+                        collected_ref.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                    if collected_ref.load(std::sync::atomic::Ordering::Relaxed) > limits.max_rules {
+                        // Over the global limit: the sequential pass below
+                        // is certain to report `TooLarge`, so stop paying
+                        // for instances that can never be used.
+                        return ControlFlow::Break(());
+                    }
+                    ControlFlow::Continue(())
+                });
+            local
+        });
+
+    // Pass 2 (sequential): intern negated-body atoms and finalise, walking
+    // the buffers in rule order — the same order, and therefore the same
+    // table ids, as the previous single-threaded enumeration.
     let mut rules: Vec<GroundSmsRule> = Vec::new();
     let mut seen: BTreeSet<GroundSmsRule> = BTreeSet::new();
-    let empty = Substitution::new();
-    let mut overflow = false;
-    for (ridx, rule) in program.rules().iter().enumerate() {
-        let body_atoms: Vec<Atom> = rule.body_positive().into_iter().cloned().collect();
-        let neg_atoms: Vec<Atom> = rule.body_negative().into_iter().cloned().collect();
-        let existentials = existentials_per_disjunct(rule);
-        plans
-            .rule(ridx)
-            .body_positive()
-            .for_each(&closure, &empty, &mut |binding| {
-                let body_pos: Vec<usize> = body_atoms
-                    .iter()
-                    .map(|a| {
-                        atoms
-                            .id_of(&binding.apply_atom(a))
-                            .expect("positive body instances are in the closure")
-                    })
-                    .collect();
-                let pos_terms: BTreeSet<Term> = body_atoms
-                    .iter()
-                    .flat_map(|a| binding.apply_atom(a).terms().copied().collect::<Vec<_>>())
-                    .collect();
-                let mut body_neg = Vec::new();
-                let mut neg_domain_terms: BTreeSet<Term> = BTreeSet::new();
-                for a in &neg_atoms {
-                    let ground = binding.apply_atom(a);
-                    debug_assert!(
-                        ground.is_ground(),
-                        "safety guarantees ground negative bodies"
-                    );
-                    for t in ground.terms() {
-                        if !pos_terms.contains(t) {
-                            neg_domain_terms.insert(*t);
-                        }
-                    }
-                    body_neg.push(atoms.intern(ground));
-                }
-                let mut disjuncts: Vec<Vec<usize>> = Vec::new();
-                let mut h: Option<Substitution> = None;
-                for (d, disjunct) in rule.disjuncts().iter().enumerate() {
-                    let exist = &existentials[d];
-                    if exist.is_empty() {
-                        let conj: Vec<usize> = disjunct
-                            .iter()
-                            .map(|atom| {
-                                atoms
-                                    .id_of(&binding.apply_atom(atom))
-                                    .expect("head instantiations are in the closure")
-                            })
-                            .collect();
-                        disjuncts.push(conj);
-                        continue;
-                    }
-                    let h = h.get_or_insert_with(|| binding.to_substitution());
-                    for_each_assignment(exist, domain, h, &mut |assignment| {
-                        let conj: Vec<usize> = disjunct
-                            .iter()
-                            .map(|atom| {
-                                let ground = assignment.apply_atom(atom);
-                                atoms
-                                    .id_of(&ground)
-                                    .expect("head instantiations are in the closure")
-                            })
-                            .collect();
-                        disjuncts.push(conj);
-                    });
-                }
-                disjuncts.sort();
-                disjuncts.dedup();
-                let ground_rule = GroundSmsRule {
-                    body_pos,
-                    body_neg,
-                    neg_domain_terms: neg_domain_terms.into_iter().collect(),
-                    disjuncts,
-                    source_rule: ridx,
-                };
-                if seen.insert(ground_rule.clone()) {
-                    rules.push(ground_rule);
-                }
-                if rules.len() > limits.max_rules {
-                    overflow = true;
-                    return ControlFlow::Break(());
-                }
-                ControlFlow::Continue(())
-            });
-        if overflow {
-            return Err(GroundingError::TooLarge {
-                atoms: atoms.len(),
-                rules: rules.len(),
-            });
+    for bucket in buckets {
+        for pending in bucket {
+            let body_neg: Vec<usize> = pending
+                .body_neg
+                .into_iter()
+                .map(|ground| atoms.intern(ground))
+                .collect();
+            let ground_rule = GroundSmsRule {
+                body_pos: pending.body_pos,
+                body_neg,
+                neg_domain_terms: pending.neg_domain_terms,
+                disjuncts: pending.disjuncts,
+                source_rule: pending.source_rule,
+            };
+            if seen.insert(ground_rule.clone()) {
+                rules.push(ground_rule);
+            }
+            if rules.len() > limits.max_rules {
+                return Err(GroundingError::TooLarge {
+                    atoms: atoms.len(),
+                    rules: rules.len(),
+                });
+            }
         }
     }
 

@@ -1,0 +1,62 @@
+//! Walkthrough of an `ntgd-server` reasoning session: the persistent
+//! service that keeps a program loaded and its chased instance alive while
+//! facts arrive, queries are answered and epochs are rolled back — all
+//! without ever re-chasing from scratch.
+//!
+//! This drives a [`stable_tgd::server::Session`] in-process, which is
+//! exactly what one `ntgd-serve` TCP connection (or the stdin REPL) wraps;
+//! every `>>` line below is a protocol request as a client would send it.
+//!
+//! Run with `cargo run --example server_session`.
+
+use stable_tgd::server::{Session, SessionConfig};
+
+fn drive(session: &mut Session, request: &str) {
+    println!(">> {request}");
+    for line in &session.execute(request).lines {
+        println!("<< {line}");
+    }
+}
+
+fn main() {
+    let mut session = Session::new(SessionConfig::default());
+
+    // LOAD compiles the rule plans once and establishes epoch mark 0.  A
+    // social-network ontology: memberships imply profiles (with an invented
+    // account id), and mutual follows imply friendship.
+    drive(
+        &mut session,
+        "LOAD member(X) -> profile(X, A). \
+              follows(X, Y), follows(Y, X) -> friends(X, Y). \
+              friends(X, Y) -> friends(Y, X).",
+    );
+
+    // Each ASSERT incrementally re-chases: only the delta neighbourhood of
+    // the new facts is matched, and a fresh epoch mark is returned.
+    drive(&mut session, "ASSERT member(ada). member(grace).");
+    drive(
+        &mut session,
+        "ASSERT follows(ada, grace). follows(grace, ada).",
+    );
+    drive(&mut session, "QUERY ?(X, Y) :- friends(X, Y).");
+
+    // Certain answers only: every member has *some* profile (a labelled
+    // null), but no constant account id is certain.
+    drive(&mut session, "QUERY ?- profile(ada, A).");
+    drive(&mut session, "QUERY ?(A) :- profile(ada, A).");
+
+    // Speculate: a third member follows ada...
+    drive(&mut session, "ASSERT member(linus). follows(linus, ada).");
+    drive(&mut session, "QUERY ?(X, Y) :- friends(X, Y).");
+
+    // ...then roll the speculation back by truncating to the earlier epoch:
+    // O(atoms retracted), the surviving epochs are untouched.
+    drive(&mut session, "RETRACT-TO 2");
+    drive(&mut session, "QUERY ?(X) :- member(X).");
+
+    // Stable-model enumeration over the accumulated facts (cached per
+    // session state until the next ASSERT/RETRACT).
+    drive(&mut session, "MODELS max=4");
+    drive(&mut session, "STATS");
+    drive(&mut session, "QUIT");
+}

@@ -7,5 +7,6 @@ pub use ntgd_encodings as encodings;
 pub use ntgd_lp as lp;
 pub use ntgd_parser as parser;
 pub use ntgd_sat as sat;
+pub use ntgd_server as server;
 pub use ntgd_sms as sms;
 pub use ntgd_treewidth as treewidth;

@@ -420,6 +420,54 @@ fn parallel_grounding_and_model_enumeration_are_deterministic() {
     }
 }
 
+/// The small-delta path: with the persistent pool, rounds far below the old
+/// `MIN_PARALLEL_WORK` spawn-amortisation gate dispatch to already-running
+/// workers instead of falling back to sequential — and must still be
+/// bit-identical (arena order, null names, steps) to the one-thread run,
+/// with the pool on and with the scoped fallback.  Tiny databases keep every
+/// chase round's delta to a handful of atoms.
+#[test]
+fn parallel_small_delta_rounds_are_deterministic_and_pooled() {
+    use stable_tgd::core::parallel;
+    // With the pool, even 2-work-unit rounds fan out (far below the scoped
+    // fallback's spawn-amortisation threshold).
+    const _: () = assert!(parallel::MIN_POOLED_WORK < parallel::MIN_PARALLEL_WORK);
+    for seed in 0..8u64 {
+        let mut rng = Rng::new(0x5de17a ^ seed);
+        let (rules_text, _) = existential_program_and_database(&mut rng);
+        // 1-2 facts: every semi-naive round is a small delta.
+        let db_text = format!("p(c0, c1). q(c{}, c0).", rng.below(3));
+        let program = parse_program(&rules_text).unwrap();
+        let database = parse_database(&db_text).unwrap();
+        let config = stable_tgd::chase::ChaseConfig::with_max_steps(120);
+        let run = || {
+            let restricted = stable_tgd::chase::restricted_chase(&database, &program, &config);
+            let skolem = stable_tgd::chase::skolem_chase(&database, &program, &config);
+            (
+                restricted.instance.atoms().cloned().collect::<Vec<Atom>>(),
+                restricted.steps,
+                skolem.instance.atoms().cloned().collect::<Vec<Atom>>(),
+                skolem.nulls_created,
+            )
+        };
+        let sequential = at_thread_count(1, run);
+        for threads in [2usize, 8] {
+            let pooled = at_thread_count(threads, run);
+            assert_eq!(
+                pooled, sequential,
+                "seed {seed}, {threads} threads (pool): small-delta chase diverged ({rules_text})"
+            );
+            parallel::set_pool_enabled(Some(false));
+            let scoped = at_thread_count(threads, run);
+            parallel::set_pool_enabled(None);
+            assert_eq!(
+                scoped, sequential,
+                "seed {seed}, {threads} threads (scoped): small-delta chase diverged ({rules_text})"
+            );
+        }
+    }
+}
+
 /// The parallel trigger-discovery partition over `(rule, pivot)` work items
 /// returns exactly the sequential trigger sequence on random programs, for
 /// both seeded (watermark 0) and delta rounds.
