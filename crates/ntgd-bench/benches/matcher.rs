@@ -474,6 +474,84 @@ fn main() {
         ));
     }
 
+    // Incremental MODELS: a repeated ASSERT+MODELS stream through a session
+    // — the workload `ntgd_sms::IncrementalSmsState` exists for.  Every
+    // constant is declared up front (`dom` facts), so the candidate domain
+    // never changes and each MODELS after the first advances the cached
+    // possibly-true closure and grounding from the assert delta; the
+    // from-scratch baseline (incremental_models = false, the differential
+    // oracle path) rebuilds domain, closure and grounding per request.  The
+    // two modes must produce bit-identical MODEL transcripts.
+    {
+        let mut load = String::from(
+            "e(X, Y), e(Y, Z) -> path(X, Z).\
+             path(X, Y), e(Y, Z) -> path3(X, Z).\
+             e(X, Y), not hub(X) -> spoke(Y).\
+             hub(v0).",
+        );
+        for c in 0..20 {
+            load.push_str(&format!(" dom(v{c})."));
+        }
+        let mut rng = StdRng::seed_from_u64(0x6a07);
+        let batches: Vec<String> = (0..30)
+            .map(|_| {
+                let a = rng.gen_range(0..20);
+                let b = rng.gen_range(0..20);
+                format!("ASSERT e(v{a}, v{b}).")
+            })
+            .collect();
+        let run_stream = |incremental: bool| -> Vec<String> {
+            let mut session = ntgd_server::Session::new(ntgd_server::SessionConfig {
+                incremental_models: incremental,
+                ..ntgd_server::SessionConfig::default()
+            });
+            assert!(session.execute(&format!("LOAD {load}")).is_ok());
+            let mut transcript = Vec::new();
+            for batch in &batches {
+                assert!(session.execute(batch).is_ok());
+                let models = session.execute("MODELS sms");
+                assert!(models.is_ok());
+                transcript.extend(models.lines);
+            }
+            transcript
+        };
+        let incremental_lines = run_stream(true);
+        let scratch_lines = run_stream(false);
+        // The terminators coincide too: the incremental state is consulted
+        // below the per-generation render cache, so `cached=true` can only
+        // appear for repeated identical requests, of which the stream has
+        // none.
+        assert_eq!(
+            incremental_lines, scratch_lines,
+            "incremental MODELS changed the transcript"
+        );
+        let model_lines = incremental_lines
+            .iter()
+            .filter(|l| l.starts_with("MODEL "))
+            .count();
+        criterion.bench_function("matcher/incremental_models/incremental", |b| {
+            b.iter(|| run_stream(true))
+        });
+        criterion.bench_function("matcher/incremental_models/scratch", |b| {
+            b.iter(|| run_stream(false))
+        });
+        let incremental_time = median_duration(10, || run_stream(true).len());
+        let scratch_time = median_duration(10, || run_stream(false).len());
+        let speedup =
+            scratch_time.as_secs_f64() / incremental_time.as_secs_f64().max(f64::MIN_POSITIVE);
+        println!(
+            "matcher/incremental_models: incremental {incremental_time:?}, from-scratch {scratch_time:?}, speedup {speedup:.1}x, {model_lines} model lines over {} asserts",
+            batches.len()
+        );
+        rows.push((
+            "incremental_models".to_owned(),
+            incremental_time.as_nanos(),
+            scratch_time.as_nanos(),
+            speedup,
+            model_lines,
+        ));
+    }
+
     bench_delta(&mut criterion);
 
     let mut json = String::from(

@@ -60,7 +60,7 @@ pub fn e1_semantics() -> Vec<E1Row> {
         &program,
         &ntgd_chase::OperationalConfig::default(),
     );
-    let sms = ntgd_sms::SmsEngine::new(program.clone());
+    let sms = ntgd_sms::SmsEngine::new(&program);
     let mut rows = Vec::new();
     for q_text in queries {
         let q = parse_query(q_text).expect("query parses");
@@ -147,8 +147,7 @@ pub fn e2_theorem1(samples: usize, seed: u64) -> (usize, usize) {
             .map(Interpretation::sorted_atoms)
             .collect();
         lp_models.sort();
-        let sms =
-            ntgd_sms::SmsEngine::new(program.clone()).with_null_budget(ntgd_sms::NullBudget::None);
+        let sms = ntgd_sms::SmsEngine::new(&program).with_null_budget(ntgd_sms::NullBudget::None);
         let mut sms_models: Vec<Vec<Atom>> = sms
             .stable_models(&db)
             .expect("SMS enumerates")
@@ -242,7 +241,7 @@ pub fn e4_data_complexity(n: usize) -> (usize, bool, usize) {
     let db = e4_database(n);
     let program = e4_program();
     let q = parse_query("?- modest(X).").expect("query parses");
-    let sms = ntgd_sms::SmsEngine::new(program.clone());
+    let sms = ntgd_sms::SmsEngine::new(&program);
     let answer = matches!(
         sms.entails_cautious(&db, &q).expect("SMS answers"),
         ntgd_sms::SmsAnswer::Entailed
@@ -283,7 +282,7 @@ pub fn e6_disjunction() -> (bool, bool) {
         .entails_brave(&db, &q)
         .expect("direct answering");
     let translated = ntgd_disjunction::eliminate_disjunction(&prog).expect("translation");
-    let translated_answer = ntgd_sms::SmsEngine::new(translated.program.clone())
+    let translated_answer = ntgd_sms::SmsEngine::new(&translated.program)
         .entails_brave(&translated.extend_database(&db), &q)
         .expect("translated answering");
     (direct, translated_answer)
@@ -309,7 +308,7 @@ pub fn e7_datalog() -> (bool, bool, bool) {
     let direct = ntgd_sms::SmsEngine::new_disjunctive(dq.program.clone())
         .entails_brave(&db, &parse_query("?- q.").expect("query"))
         .expect("direct answering");
-    let translated_answer = ntgd_sms::SmsEngine::new(translated.program.clone())
+    let translated_answer = ntgd_sms::SmsEngine::new(&translated.program)
         .entails_brave(&db, &parse_query("?- q_prime.").expect("query"))
         .expect("translated answering");
     (weakly_acyclic, direct, translated_answer)
@@ -320,7 +319,7 @@ pub fn e7_datalog() -> (bool, bool, bool) {
 pub fn e8_bounds(n: usize) -> (usize, usize) {
     let db = e4_database(n);
     let program = e4_program();
-    let engine = ntgd_sms::SmsEngine::new(program.clone());
+    let engine = ntgd_sms::SmsEngine::new(&program);
     let models = engine.stable_models(&db).expect("models enumerate");
     let max_size = models.iter().map(Interpretation::len).max().unwrap_or(0);
     let chase = ntgd_chase::restricted_chase(&db, &program, &ntgd_chase::ChaseConfig::default());
@@ -392,7 +391,7 @@ pub struct E11Row {
 pub fn e11_efwfs() -> Vec<E11Row> {
     let db = example1_database();
     let program = example1_program();
-    let sms = ntgd_sms::SmsEngine::new(program.clone());
+    let sms = ntgd_sms::SmsEngine::new(&program);
     let config = ntgd_lp::EfwfsConfig::default();
     let queries = [
         "?- not hasFather(alice, bob).",
@@ -471,7 +470,7 @@ pub fn e12_landscape() -> Vec<E12Row> {
 pub fn e13_treewidth(persons: usize, grid: usize) -> (usize, usize) {
     let db = e4_database(persons);
     let program = e4_program();
-    let engine = ntgd_sms::SmsEngine::new(program);
+    let engine = ntgd_sms::SmsEngine::new(&program);
     let models = engine.stable_models(&db).expect("models enumerate");
     let max_model_width = models
         .iter()

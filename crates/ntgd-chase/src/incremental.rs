@@ -85,6 +85,16 @@ impl EpochMark {
     pub fn arena_len(&self) -> usize {
         self.arena_len
     }
+
+    /// The number of memoised witness keys captured by this mark.
+    pub fn witnesses(&self) -> usize {
+        self.witnesses
+    }
+
+    /// The trigger applications performed when this mark was taken.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
 }
 
 /// Summary of one successful [`IncrementalChase::assert_facts`] call.
@@ -174,6 +184,16 @@ impl IncrementalChase {
     /// The chased instance (facts plus derived atoms), always at a fixpoint.
     pub fn instance(&self) -> &Interpretation {
         &self.instance
+    }
+
+    /// The atoms asserted or derived since a mark was taken (the arena
+    /// suffix above the mark's watermark), in insertion order.  This is the
+    /// session's chase *delta*: embedders that maintain derived state of
+    /// their own (caches, materialised views, the incremental `MODELS`
+    /// grounding of `ntgd-sms`) seed their semi-naive worklists from it
+    /// instead of rescanning the instance.
+    pub fn atoms_since<'a>(&'a self, mark: &EpochMark) -> impl Iterator<Item = &'a Atom> + 'a {
+        self.instance.atoms_from(mark.arena_len)
     }
 
     /// The positive program driving the chase.
@@ -487,6 +507,27 @@ mod tests {
             chase.instance().sorted_atoms(),
             fresh.instance().sorted_atoms()
         );
+    }
+
+    #[test]
+    fn marks_expose_their_watermarks_and_deltas() {
+        let program = parse_program("p(X) -> q(X, Y). q(X, Y) -> r(Y).").unwrap();
+        let mut chase = IncrementalChase::new(&program, ChaseConfig::default()).unwrap();
+        chase.assert_facts(facts("p(a).")).unwrap();
+        let mark = chase.mark();
+        assert_eq!(mark.arena_len(), chase.instance().len());
+        // One (rule, frontier) entry per applied trigger — including the
+        // existential-free rule, whose memoised witness list is empty.
+        assert_eq!(mark.witnesses(), 2);
+        assert_eq!(mark.steps(), chase.steps());
+        assert_eq!(chase.atoms_since(&mark).count(), 0);
+        chase.assert_facts(facts("p(b).")).unwrap();
+        let delta: Vec<Atom> = chase.atoms_since(&mark).cloned().collect();
+        assert_eq!(delta.len(), chase.instance().len() - mark.arena_len());
+        assert!(delta.contains(&atom("p", vec![cst("b")])));
+        // The delta is exactly the suffix the next epoch would retract.
+        chase.retract_to(&mark);
+        assert_eq!(chase.atoms_since(&mark).count(), 0);
     }
 
     #[test]

@@ -612,6 +612,71 @@ mod tests {
     }
 
     #[test]
+    fn truncate_to_zero_empties_every_index() {
+        let mut i = Interpretation::from_atoms(vec![
+            atom("p", vec![cst("a")]),
+            atom("q", vec![cst("a"), cst("b")]),
+            atom("p", vec![Term::null(1)]),
+        ]);
+        i.truncate(0);
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+        assert_eq!(i.atoms().count(), 0);
+        assert_eq!(i.domain().len(), 0);
+        assert_eq!(i.predicates().len(), 0);
+        assert_eq!(i.predicate_count(Symbol::intern("p")), 0);
+        assert_eq!(i.probe(Symbol::intern("q"), 0, cst("a")).len(), 0);
+        assert_eq!(i.id_of(&atom("p", vec![cst("a")])), None);
+        // The emptied interpretation behaves like a fresh one: inserts
+        // restart at id 0 and rebuild the indexes.
+        assert!(i.insert(atom("q", vec![cst("a"), cst("b")])));
+        assert_eq!(
+            i.id_of(&atom("q", vec![cst("a"), cst("b")])),
+            Some(AtomId(0))
+        );
+        assert_eq!(i.probe(Symbol::intern("q"), 1, cst("b")).len(), 1);
+    }
+
+    #[test]
+    fn truncate_after_a_no_op_insert_changes_nothing() {
+        let mut i = sample();
+        let watermark = i.len();
+        // Duplicate insert: no arena growth, no index growth.
+        assert!(!i.insert(atom("p", vec![cst("a")])));
+        let before = i.clone();
+        i.truncate(watermark);
+        assert_eq!(i, before);
+        assert_eq!(i.len(), watermark);
+        assert_eq!(i.id_of(&atom("p", vec![cst("a")])), Some(AtomId(0)));
+        assert!(i.in_domain(&cst("a")));
+    }
+
+    #[test]
+    fn double_truncate_to_the_same_mark_is_idempotent() {
+        let mut i = sample();
+        let watermark = i.len();
+        i.insert(atom("p", vec![cst("b")]));
+        i.insert(atom("r", vec![cst("b"), Term::null(7)]));
+        i.truncate(watermark);
+        let after_first = i.clone();
+        // The second truncate sees `len == watermark` and must be a no-op —
+        // in particular it must not decrement domain occurrence counts or
+        // pop index tails again.
+        i.truncate(watermark);
+        assert_eq!(i, after_first);
+        assert_eq!(i.len(), watermark);
+        assert!(i.in_domain(&cst("a")));
+        assert!(!i.in_domain(&cst("b")));
+        assert!(!i.in_domain(&Term::null(7)));
+        // Still a working arena afterwards.
+        assert!(i.insert(atom("p", vec![cst("b")])));
+        assert_eq!(
+            i.id_of(&atom("p", vec![cst("b")])),
+            Some(AtomId(watermark as u32))
+        );
+    }
+
+    #[test]
     fn watermark_suffixes_select_newly_inserted_atoms() {
         let mut i = Interpretation::from_atoms(vec![atom("p", vec![cst("a")])]);
         let watermark = i.len();

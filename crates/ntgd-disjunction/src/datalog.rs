@@ -287,7 +287,7 @@ mod tests {
         let q_direct = Query::boolean(vec![ntgd_core::pos("q", vec![])]).unwrap();
         let q_translated = Query::boolean(vec![ntgd_core::pos("q_prime", vec![])]).unwrap();
         let direct = SmsEngine::new_disjunctive(dq.program.clone());
-        let translated = SmsEngine::new(t.program.clone()).with_options(SmsOptions {
+        let translated = SmsEngine::new(&t.program).with_options(SmsOptions {
             null_budget: NullBudget::Auto,
             ..Default::default()
         });

@@ -183,7 +183,7 @@ mod tests {
     fn cautious_translated(db: &Database, prog: &DisjunctiveProgram, q: &Query) -> SmsAnswer {
         let translated = eliminate_disjunction(prog).unwrap();
         let db2 = translated.extend_database(db);
-        SmsEngine::new(translated.program.clone())
+        SmsEngine::new(&translated.program)
             .entails_cautious(&db2, q)
             .unwrap()
     }

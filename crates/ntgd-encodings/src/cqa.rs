@@ -159,7 +159,7 @@ impl CqaInstance {
     }
 
     fn engine(&self) -> SmsEngine {
-        SmsEngine::new(self.repair_program()).with_options(SmsOptions {
+        SmsEngine::new(&self.repair_program()).with_options(SmsOptions {
             null_budget: NullBudget::None,
             ..Default::default()
         })

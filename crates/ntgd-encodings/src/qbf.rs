@@ -166,7 +166,7 @@ impl TwoQbf {
     /// would add one null per variable, but two fresh values (for `zero` and
     /// `one`) suffice and keep the grounding small.
     pub fn engine() -> SmsEngine {
-        SmsEngine::new(Self::program()).with_options(SmsOptions {
+        SmsEngine::new(&Self::program()).with_options(SmsOptions {
             null_budget: NullBudget::Exact(2),
             ..Default::default()
         })
@@ -195,7 +195,7 @@ impl TwoQbf {
             )
             .expect("¬error → ans is safe"),
         );
-        let engine = SmsEngine::new(program).with_options(SmsOptions {
+        let engine = SmsEngine::new(&program).with_options(SmsOptions {
             null_budget: NullBudget::Exact(2),
             ..Default::default()
         });

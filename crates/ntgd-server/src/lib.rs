@@ -31,7 +31,8 @@
 //! query     = "QUERY" query-text            ; "?- lits." or "?(X) :- lits."
 //! models    = "MODELS" ["sms" | "lp"] ["max=" n]
 //! retract   = "RETRACT-TO" mark             ; roll back to an earlier mark
-//! stats     = "STATS"
+//! stats     = "STATS" ["sms"]               ; "sms": only the deterministic
+//!                                           ;   incremental-MODELS counters
 //! ping      = "PING"
 //! help      = "HELP"
 //! quit      = "QUIT"                        ; closes the session
@@ -78,6 +79,49 @@
 //! still supports `ASSERT`/`MODELS`/`RETRACT-TO`: the chase (and hence
 //! `QUERY`) is available for normal programs and chases the positive part,
 //! exactly like the batch pipeline.
+//!
+//! # MODELS caching contract
+//!
+//! `MODELS sms` does **not** re-ground from scratch: each session holds an
+//! [`ntgd_sms::IncrementalSmsState`] whose possibly-true closure and
+//! grounding survive across `ASSERT`/`RETRACT-TO` and are advanced
+//! semi-naively from the fact delta.  The cached state is *exact*: whenever
+//! the `max` cap does not truncate the enumeration, the rendered answer is
+//! bit-identical to a from-scratch [`ntgd_sms::SmsEngine`] on the same live
+//! fact set (`tests/differential_oracle.rs` at the workspace root asserts
+//! this over randomised command streams, thread counts and pool modes).
+//! When the cap *does* truncate, both paths return `max` true stable models
+//! but may pick different ones — enumeration order follows the SAT search
+//! over the grounding, and the cached grounding orders its atoms by arrival
+//! (delta atoms appended) rather than by the fresh build's sorted intern —
+//! so capped listings are samples, not a canonical prefix, on either path.
+//! What invalidates what:
+//!
+//! * **`ASSERT` of facts over already-known constants** — the closure
+//!   advances from the delta and the grounding appends only rule instances
+//!   whose bodies touch closure-new atoms (a *reuse*);
+//! * **`ASSERT` that changes the candidate domain** — a new constant, or a
+//!   moved `Auto` null budget (any program with existential rules) — forces
+//!   a full rebuild: a grown domain retroactively adds existential
+//!   instantiations to old rule instances (a *rebuild*);
+//! * **`RETRACT-TO`** — the cached state truncates to its newest snapshot
+//!   at or below the target mark in `O(retracted)` (a *rollback*);
+//!   retracting below the oldest snapshot drops the state (an
+//!   *invalidation*);
+//! * **repeated `MODELS` on an unchanged session** — served from the cache
+//!   (a *hit*; the rendered-line cache may answer even earlier).
+//!
+//! `STATS` reports these counters as `sms_rebuilds`, `sms_reuses`,
+//! `sms_hits`, `sms_rollbacks` and `sms_invalidations`, plus the current
+//! `sms_closure_atoms`/`sms_ground_rules` sizes; `STATS sms` prints *only*
+//! those lines, which are a pure function of the request history — never of
+//! thread count, pool mode or machine — so scripted transcripts (CI's
+//! `server-smoke`) can assert them verbatim.
+//!
+//! To disable the cache for debugging set `NTGD_SMS_INCREMENTAL=0` (or
+//! construct the session with [`SessionConfig::incremental_models`] off):
+//! every `MODELS sms` then grounds from scratch — the oracle path of the
+//! differential tests — and `STATS` reports `sms_incremental=false`.
 
 pub mod protocol;
 pub mod server;

@@ -43,8 +43,15 @@ pub enum Command {
     },
     /// `RETRACT-TO <mark>`: roll back to an earlier epoch mark.
     RetractTo(usize),
-    /// `STATS`: session and engine statistics.
-    Stats,
+    /// `STATS [sms]`: session and engine statistics.  The `sms` scope
+    /// prints only the incremental-`MODELS` reuse counters, which are a
+    /// pure function of the request history — never of thread count, pool
+    /// mode or machine — so transcripts can assert them verbatim.
+    Stats {
+        /// Restrict the output to the deterministic incremental-`MODELS`
+        /// counters.
+        sms_only: bool,
+    },
     /// `PING`: liveness check.
     Ping,
     /// `HELP`: list the commands.
@@ -113,7 +120,11 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
             .parse::<usize>()
             .map(Command::RetractTo)
             .map_err(|_| format!("bad mark: {rest:?}")),
-        "STATS" => Ok(Command::Stats),
+        "STATS" => match rest.to_ascii_lowercase().as_str() {
+            "" => Ok(Command::Stats { sms_only: false }),
+            "sms" => Ok(Command::Stats { sms_only: true }),
+            other => Err(format!("unknown STATS scope: {other}")),
+        },
         "PING" => Ok(Command::Ping),
         "HELP" => Ok(Command::Help),
         "QUIT" | "EXIT" => Ok(Command::Quit),
@@ -195,7 +206,15 @@ mod tests {
             Ok(Command::Query("?- p(X).".to_owned()))
         );
         assert_eq!(parse_command("RETRACT-TO 3"), Ok(Command::RetractTo(3)));
-        assert_eq!(parse_command("stats"), Ok(Command::Stats));
+        assert_eq!(
+            parse_command("stats"),
+            Ok(Command::Stats { sms_only: false })
+        );
+        assert_eq!(
+            parse_command("STATS sms"),
+            Ok(Command::Stats { sms_only: true })
+        );
+        assert!(parse_command("STATS quantum").is_err());
         assert_eq!(parse_command("QUIT"), Ok(Command::Quit));
         assert_eq!(parse_command("exit"), Ok(Command::Quit));
     }

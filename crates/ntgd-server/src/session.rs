@@ -2,12 +2,13 @@
 //! instance, the epoch-mark history, and session-scoped model enumeration.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use ntgd_chase::{ChaseConfig, EpochMark, IncrementalChase};
 use ntgd_core::{parallel, Atom, Database, DisjunctiveProgram, Program, Query, Term};
 use ntgd_lp::{LpEngine, LpLimits};
 use ntgd_parser::{parse_database, parse_query, parse_unit};
-use ntgd_sms::{SmsEngine, SmsOptions};
+use ntgd_sms::{GroundingLimits, IncrementalSmsState, NullBudget, SmsEngine, SmsError, SmsOptions};
 
 use crate::protocol::{parse_command, Command, ModelsMode, Response};
 
@@ -19,6 +20,11 @@ pub struct SessionConfig {
     pub max_steps: usize,
     /// Default cap on the number of models returned by `MODELS`.
     pub max_models: usize,
+    /// Whether `MODELS sms` reuses the session's incremental grounding state
+    /// ([`ntgd_sms::IncrementalSmsState`]).  Disabled, every request grounds
+    /// from scratch — the oracle path the differential tests compare
+    /// against, and a debugging escape hatch (`NTGD_SMS_INCREMENTAL=0`).
+    pub incremental_models: bool,
 }
 
 impl Default for SessionConfig {
@@ -26,6 +32,8 @@ impl Default for SessionConfig {
         SessionConfig {
             max_steps: 100_000,
             max_models: 64,
+            incremental_models: std::env::var("NTGD_SMS_INCREMENTAL")
+                .map_or(true, |value| value != "0"),
         }
     }
 }
@@ -40,12 +48,16 @@ struct SessionMark {
 
 /// The program-dependent part of a session, replaced wholesale by `LOAD`.
 struct Loaded {
-    /// The rules, as parsed (possibly disjunctive).
-    disjunctive: DisjunctiveProgram,
+    /// The rules, as parsed (possibly disjunctive), shared with the SMS
+    /// engines minted per `MODELS` request.
+    disjunctive: Arc<DisjunctiveProgram>,
     /// The rules as a normal program, when no rule uses `|`.
     normal: Option<Program>,
     /// The resumable chase (normal programs; chases the positive part).
     chase: Option<IncrementalChase>,
+    /// The reusable `MODELS sms` grounding state (closure + grounding kept
+    /// across asserts/retracts); `None` when the session runs from scratch.
+    sms: Option<IncrementalSmsState>,
     /// Asserted facts in assertion order, deduplicated.
     facts: Vec<Atom>,
     /// Dedup mirror of `facts` (rebuilt on retract).
@@ -88,7 +100,7 @@ impl Session {
                     "QUERY <?- lits. | ?(X) :- lits.>  certain answers",
                     "MODELS [sms|lp] [max=<n>]   enumerate stable models",
                     "RETRACT-TO <mark>           roll back to an epoch mark",
-                    "STATS | PING | HELP | QUIT",
+                    "STATS [sms] | PING | HELP | QUIT",
                 ]
                 .iter()
                 .map(|s| format!("INFO {s}"))
@@ -104,7 +116,7 @@ impl Session {
             Ok(Command::Query(text)) => self.query_text(&text),
             Ok(Command::Models { mode, max }) => self.models(mode, max),
             Ok(Command::RetractTo(mark)) => self.retract_to(mark),
-            Ok(Command::Stats) => self.stats(),
+            Ok(Command::Stats { sms_only }) => self.stats(sms_only),
         }
     }
 
@@ -136,10 +148,19 @@ impl Session {
             }
             None => None,
         };
+        let disjunctive = Arc::new(disjunctive);
+        let sms = self.config.incremental_models.then(|| {
+            IncrementalSmsState::new(
+                Arc::clone(&disjunctive),
+                NullBudget::Auto,
+                GroundingLimits::default(),
+            )
+        });
         let mut loaded = Loaded {
             disjunctive,
             normal,
             chase,
+            sms,
             facts: Vec::new(),
             fact_set: HashSet::new(),
             marks: Vec::new(),
@@ -174,6 +195,13 @@ impl Session {
         let Some(loaded) = self.loaded.as_mut() else {
             return Response::err("no program loaded");
         };
+        // The protocol path can only produce constant facts (the parser
+        // rejects anything else), but this typed entry point is public:
+        // validate up front so a variable or labelled null is a protocol
+        // error, never a downstream panic in the chase or the MODELS cache.
+        if let Some(fact) = facts.iter().find(|fact| !fact.is_constant_only()) {
+            return Response::err(format!("facts must be ground and null-free, got {fact}"));
+        }
         let before_atoms = loaded.atoms();
         let mut derived = 0usize;
         if let Some(chase) = loaded.chase.as_mut() {
@@ -250,6 +278,15 @@ impl Session {
     /// `MODELS`: stable models of the accumulated fact set, rendered sorted;
     /// cached per (generation, mode, cap) so repeated calls on an unchanged
     /// session are free.
+    ///
+    /// In `sms` mode the session consults its [`IncrementalSmsState`] (when
+    /// [`SessionConfig::incremental_models`] is on): the possibly-true
+    /// closure and grounding are advanced from the fact delta instead of
+    /// being rebuilt, and only the CEGAR model search runs per request.  The
+    /// cached state is exact — whenever `max` does not truncate the
+    /// enumeration, answers are bit-identical to the from-scratch path;
+    /// capped listings are samples of the stable-model set on either path
+    /// (see the crate documentation's *MODELS caching contract*).
     pub fn models(&mut self, mode: ModelsMode, max: Option<usize>) -> Response {
         let max_models = max.unwrap_or(self.config.max_models);
         let Some(loaded) = self.loaded.as_mut() else {
@@ -265,19 +302,35 @@ impl Session {
                 );
             }
         }
-        let database = match Database::from_facts(loaded.facts.iter().cloned()) {
-            Ok(database) => database,
-            Err(error) => return Response::err(error),
-        };
         let rendered = match mode {
             ModelsMode::Sms => {
-                let options = SmsOptions {
-                    max_models,
-                    ..SmsOptions::default()
+                let Loaded {
+                    disjunctive,
+                    facts,
+                    sms,
+                    ..
+                } = loaded;
+                let result = match sms.as_mut() {
+                    Some(state) => match state.ensure_current(facts) {
+                        Ok(ground) => SmsEngine::new_shared(Arc::clone(disjunctive))
+                            .stable_models_over(ground, max_models),
+                        Err(error) => Err(SmsError::from(error)),
+                    },
+                    None => {
+                        let database = match Database::from_facts(facts.iter().cloned()) {
+                            Ok(database) => database,
+                            Err(error) => return Response::err(error),
+                        };
+                        let options = SmsOptions {
+                            max_models,
+                            ..SmsOptions::default()
+                        };
+                        SmsEngine::new_shared(Arc::clone(disjunctive))
+                            .with_options(options)
+                            .stable_models(&database)
+                    }
                 };
-                let engine =
-                    SmsEngine::new_disjunctive(loaded.disjunctive.clone()).with_options(options);
-                match engine.stable_models(&database) {
+                match result {
                     Ok(models) => render_models(models.iter().map(ToString::to_string)),
                     Err(error) => return Response::err(error),
                 }
@@ -285,6 +338,10 @@ impl Session {
             ModelsMode::Lp => {
                 let Some(normal) = loaded.normal.as_ref() else {
                     return Response::err("MODELS lp needs a normal program; use MODELS sms");
+                };
+                let database = match Database::from_facts(loaded.facts.iter().cloned()) {
+                    Ok(database) => database,
+                    Err(error) => return Response::err(error),
                 };
                 match LpEngine::new(&database, normal, &LpLimits::default()) {
                     Ok(engine) => render_models(
@@ -319,6 +376,12 @@ impl Session {
         if let (Some(chase), Some(epoch)) = (loaded.chase.as_mut(), target.chase.as_ref()) {
             chase.retract_to(epoch);
         }
+        // The cached MODELS grounding truncates to its newest snapshot at or
+        // below the target — O(retracted), like the arena; a later MODELS
+        // then advances from that snapshot instead of re-grounding.
+        if let Some(state) = loaded.sms.as_mut() {
+            state.retract_to_facts(target.facts);
+        }
         // `facts` is deduplicated, so dropping exactly the truncated slice
         // from the mirror keeps rollback O(retracted), matching the arena.
         for fact in &loaded.facts[target.facts..] {
@@ -331,29 +394,37 @@ impl Session {
         Response::ok(format!("mark={mark} atoms={atoms}"))
     }
 
-    /// `STATS`: session and engine counters.
-    pub fn stats(&self) -> Response {
-        let pool = parallel::pool_stats();
+    /// `STATS`: session and engine counters.  With `sms_only`, prints only
+    /// the incremental-`MODELS` reuse counters — every one a pure function
+    /// of the request history, so transcripts can assert them verbatim at
+    /// any thread count or pool mode.
+    pub fn stats(&self, sms_only: bool) -> Response {
         let mut lines = Vec::new();
         match self.loaded.as_ref() {
             None => lines.push("STAT loaded=false".to_owned()),
             Some(loaded) => {
-                lines.push("STAT loaded=true".to_owned());
-                lines.push(format!("STAT rules={}", loaded.disjunctive.len()));
-                lines.push(format!("STAT facts={}", loaded.facts.len()));
-                lines.push(format!("STAT atoms={}", loaded.atoms()));
-                lines.push(format!("STAT marks={}", loaded.marks.len()));
-                if let Some(chase) = loaded.chase.as_ref() {
-                    lines.push(format!("STAT chase_steps={}", chase.steps()));
-                    lines.push(format!("STAT nulls={}", chase.nulls_created()));
+                if !sms_only {
+                    lines.push("STAT loaded=true".to_owned());
+                    lines.push(format!("STAT rules={}", loaded.disjunctive.len()));
+                    lines.push(format!("STAT facts={}", loaded.facts.len()));
+                    lines.push(format!("STAT atoms={}", loaded.atoms()));
+                    lines.push(format!("STAT marks={}", loaded.marks.len()));
+                    if let Some(chase) = loaded.chase.as_ref() {
+                        lines.push(format!("STAT chase_steps={}", chase.steps()));
+                        lines.push(format!("STAT nulls={}", chase.nulls_created()));
+                    }
                 }
+                lines.extend(sms_stat_lines(loaded));
             }
         }
-        lines.push(format!("STAT threads={}", parallel::num_threads()));
-        lines.push(format!("STAT pool_enabled={}", parallel::pool_enabled()));
-        lines.push(format!("STAT pool_workers={}", pool.workers));
-        lines.push(format!("STAT pool_jobs={}", pool.jobs));
-        lines.push(format!("STAT pool_items={}", pool.items));
+        if !sms_only {
+            let pool = parallel::pool_stats();
+            lines.push(format!("STAT threads={}", parallel::num_threads()));
+            lines.push(format!("STAT pool_enabled={}", parallel::pool_enabled()));
+            lines.push(format!("STAT pool_workers={}", pool.workers));
+            lines.push(format!("STAT pool_jobs={}", pool.jobs));
+            lines.push(format!("STAT pool_items={}", pool.items));
+        }
         Response::ok_with(lines, "stats")
     }
 
@@ -391,6 +462,27 @@ impl Loaded {
             .as_ref()
             .map(|chase| chase.instance().len())
             .unwrap_or(self.facts.len())
+    }
+}
+
+/// The incremental-`MODELS` counter lines of `STATS` (deterministic across
+/// thread counts and pool modes; see the crate docs).
+fn sms_stat_lines(loaded: &Loaded) -> Vec<String> {
+    match loaded.sms.as_ref() {
+        None => vec!["STAT sms_incremental=false".to_owned()],
+        Some(state) => {
+            let stats = state.stats();
+            vec![
+                "STAT sms_incremental=true".to_owned(),
+                format!("STAT sms_rebuilds={}", stats.rebuilds),
+                format!("STAT sms_reuses={}", stats.reuses),
+                format!("STAT sms_hits={}", stats.hits),
+                format!("STAT sms_rollbacks={}", stats.rollbacks),
+                format!("STAT sms_invalidations={}", stats.invalidations),
+                format!("STAT sms_closure_atoms={}", state.closure_atoms()),
+                format!("STAT sms_ground_rules={}", state.ground_rules()),
+            ]
+        }
     }
 }
 
@@ -518,6 +610,7 @@ mod tests {
         let mut session = Session::new(SessionConfig {
             max_steps: 20,
             max_models: 8,
+            ..SessionConfig::default()
         });
         session.execute("LOAD person(X) -> parent(X, Y), person(Y).");
         let overrun = session.execute("ASSERT person(adam).");
@@ -525,6 +618,30 @@ mod tests {
         assert!(overrun.lines[0].contains("rolled back"));
         assert_eq!(session.facts().len(), 0);
         assert_eq!(session.instance().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn non_constant_facts_are_rejected_not_panicked() {
+        use ntgd_core::{atom, cst, var, Term};
+        // The typed API must behave like the protocol: reject non-ground or
+        // null-carrying facts with ERR and keep the session usable — in
+        // particular the incremental MODELS state must never see them.
+        let mut session = Session::new(SessionConfig {
+            incremental_models: true,
+            ..SessionConfig::default()
+        });
+        session.execute("LOAD node(X) -> red(X) | green(X).");
+        let with_var = session.assert_facts(vec![atom("node", vec![var("X")])]);
+        assert!(!with_var.is_ok());
+        let with_null = session.assert_facts(vec![atom("node", vec![Term::Null(0)])]);
+        assert!(!with_null.is_ok());
+        assert_eq!(session.facts().len(), 0);
+        let good = session.assert_facts(vec![atom("node", vec![cst("v")])]);
+        assert!(good.is_ok());
+        assert_eq!(
+            session.execute("MODELS").terminator(),
+            Some("OK models=2 mode=sms")
+        );
     }
 
     #[test]

@@ -4,6 +4,7 @@
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::ops::ControlFlow;
+use std::sync::Arc;
 
 use ntgd_core::{
     parallel, Atom, CompiledConjunction, Database, DisjunctiveProgram, Interpretation, Program,
@@ -113,23 +114,36 @@ impl<'a> QueryMode<'a> {
 }
 
 /// The stable-model-semantics engine for a fixed (disjunctive) program.
+///
+/// The program is held behind an [`Arc`], so cloning the engine — or
+/// constructing one per query from a shared program, as the `ntgd-server`
+/// session does — never deep-copies the rules.
 #[derive(Clone, Debug)]
 pub struct SmsEngine {
-    program: DisjunctiveProgram,
+    program: Arc<DisjunctiveProgram>,
     options: SmsOptions,
 }
 
 impl SmsEngine {
-    /// Creates an engine for a non-disjunctive program.
-    pub fn new(program: Program) -> SmsEngine {
+    /// Creates an engine for a non-disjunctive program.  The engine only
+    /// reads the program, so a borrow suffices; the disjunctive form it
+    /// answers over is built here.
+    pub fn new(program: &Program) -> SmsEngine {
         SmsEngine {
-            program: program.to_disjunctive(),
+            program: Arc::new(program.to_disjunctive()),
             options: SmsOptions::default(),
         }
     }
 
     /// Creates an engine for a disjunctive program.
     pub fn new_disjunctive(program: DisjunctiveProgram) -> SmsEngine {
+        SmsEngine::new_shared(Arc::new(program))
+    }
+
+    /// Creates an engine over an already-shared disjunctive program without
+    /// cloning it (long-lived callers keep the `Arc` and mint engines per
+    /// request).
+    pub fn new_shared(program: Arc<DisjunctiveProgram>) -> SmsEngine {
         SmsEngine {
             program,
             options: SmsOptions::default(),
@@ -260,8 +274,33 @@ impl SmsEngine {
         crate::stability::is_stable_model_disjunctive(database, &self.program, interpretation)
     }
 
-    /// The core CEGAR search: enumerate classical models of the grounding
-    /// (restricted by the query mode), keep the stable ones.
+    /// Enumerates stable models over an **externally built** grounding
+    /// (e.g. the cached, incrementally advanced grounding of
+    /// [`crate::incremental::IncrementalSmsState`]), up to `max_models`.
+    ///
+    /// The caller is responsible for the grounding matching this engine's
+    /// program; the CEGAR search only reads it.
+    pub fn stable_models_over(
+        &self,
+        ground: &GroundSmsProgram,
+        max_models: usize,
+    ) -> Result<Vec<Interpretation>, SmsError> {
+        self.search_ground(ground, QueryMode::Unconstrained, max_models)
+            .map(|(models, _)| models)
+    }
+
+    /// Like [`SmsEngine::stable_models_over`] but also returns search
+    /// statistics.
+    pub fn stable_models_over_with_statistics(
+        &self,
+        ground: &GroundSmsProgram,
+        max_models: usize,
+    ) -> Result<(Vec<Interpretation>, SmsStatistics), SmsError> {
+        self.search_ground(ground, QueryMode::Unconstrained, max_models)
+    }
+
+    /// The core CEGAR search: ground, then enumerate classical models of the
+    /// grounding (restricted by the query mode), keeping the stable ones.
     fn search(
         &self,
         database: &Database,
@@ -269,6 +308,16 @@ impl SmsEngine {
         max_models: usize,
     ) -> Result<(Vec<Interpretation>, SmsStatistics), SmsError> {
         let ground = self.ground(database, mode.query())?;
+        self.search_ground(&ground, mode, max_models)
+    }
+
+    /// The CEGAR search proper, over a prebuilt grounding.
+    fn search_ground(
+        &self,
+        ground: &GroundSmsProgram,
+        mode: QueryMode<'_>,
+        max_models: usize,
+    ) -> Result<(Vec<Interpretation>, SmsStatistics), SmsError> {
         let mut stats = SmsStatistics {
             ground_atoms: ground.possibly_true_count(),
             ground_rules: ground.rules.len(),
@@ -344,7 +393,7 @@ impl SmsEngine {
         match &mode {
             QueryMode::Unconstrained => {}
             QueryMode::MustRefute(q) => {
-                for instance in query_instances(q, &ground) {
+                for instance in query_instances(q, ground) {
                     // Forbid this satisfying instantiation: some positive atom
                     // false, some negated atom true, or some negated-only term
                     // outside the domain.
@@ -371,7 +420,7 @@ impl SmsEngine {
             }
             QueryMode::MustSatisfy(q) => {
                 let mut witnesses: Vec<Lit> = Vec::new();
-                for instance in query_instances(q, &ground) {
+                for instance in query_instances(q, ground) {
                     let mut conj: Vec<Lit> = Vec::new();
                     let mut impossible = false;
                     for id in &instance.positive {
@@ -462,7 +511,7 @@ impl SmsEngine {
             // candidate sequence never depends on the gate.
             let check_threads = parallel::threads_for(stats.ground_atoms);
             let witnesses = parallel::par_map_with(&batch, check_threads, |_, (_, candidate)| {
-                find_instability_witness(&ground, candidate)
+                find_instability_witness(ground, candidate)
             });
             for ((_, candidate), witness) in batch.iter().zip(witnesses) {
                 match witness {
@@ -652,7 +701,7 @@ mod tests {
          hasFather(X, Y), hasFather(X, Z), not sameAs(Y, Z) -> abnormal(X).";
 
     fn engine(rules: &str) -> SmsEngine {
-        SmsEngine::new(parse_program(rules).unwrap())
+        SmsEngine::new(&parse_program(rules).unwrap())
     }
 
     #[test]
@@ -834,7 +883,7 @@ mod tests {
         for (db_text, rules) in cases {
             let db = parse_database(db_text).unwrap();
             let program = parse_program(rules).unwrap();
-            let sms = SmsEngine::new(program.clone()).with_null_budget(NullBudget::None);
+            let sms = SmsEngine::new(&program).with_null_budget(NullBudget::None);
             let mut sms_models: Vec<Vec<Atom>> = sms
                 .stable_models(&db)
                 .unwrap()

@@ -72,6 +72,20 @@ impl AtomTable {
     pub fn iter(&self) -> impl Iterator<Item = (usize, &Atom)> + '_ {
         self.atoms.iter().enumerate()
     }
+
+    /// Rolls the table back to its first `len` atoms, dropping the interned
+    /// atoms (and their identifiers) with `id >= len`.
+    ///
+    /// Identifiers are dense and assigned in interning order, so — exactly
+    /// like [`Interpretation::truncate`] — the atoms of an epoch occupy a
+    /// suffix of the table and rollback costs `O(atoms removed)`.  Surviving
+    /// identifiers are untouched.  A no-op if `len >= self.len()`.
+    pub fn truncate(&mut self, len: usize) {
+        while self.atoms.len() > len {
+            let atom = self.atoms.pop().expect("table is non-empty");
+            self.index.remove(&atom);
+        }
+    }
 }
 
 /// A ground SMS rule: implication with a disjunction-of-conjunctions head.
@@ -205,6 +219,18 @@ fn existentials_per_disjunct(rule: &ntgd_core::rule::Ndtgd) -> Vec<Vec<ntgd_core
         .collect()
 }
 
+/// The per-disjunct existential variables of every rule of a program (the
+/// shape consumed by the closure and instantiation passes).
+pub(crate) fn existentials_for_program(
+    program: &DisjunctiveProgram,
+) -> Vec<Vec<Vec<ntgd_core::Symbol>>> {
+    program
+        .rules()
+        .iter()
+        .map(existentials_per_disjunct)
+        .collect()
+}
+
 /// Computes the possibly-true closure: the least set of atoms over the domain
 /// containing the database and closed under firing every rule (ignoring
 /// negative literals) with every instantiation of its existential variables.
@@ -221,6 +247,7 @@ fn possibly_true_closure(
     database: &Database,
     program: &DisjunctiveProgram,
     plans: &CompiledDisjunctiveRuleSet,
+    existentials_by_rule: &[Vec<Vec<ntgd_core::Symbol>>],
     domain: &Domain,
     limits: &GroundingLimits,
 ) -> Result<Interpretation, GroundingError> {
@@ -230,16 +257,42 @@ fn possibly_true_closure(
     for t in domain.terms() {
         closure.add_domain_element(*t);
     }
+    advance_possibly_true_closure(
+        &mut closure,
+        program,
+        plans,
+        existentials_by_rule,
+        domain,
+        limits,
+        0,
+    )?;
+    Ok(closure)
+}
+
+/// Runs the closure rounds of [`possibly_true_closure`] to fixpoint, starting
+/// from the given arena watermark: with `watermark == 0` the first round is a
+/// full match (the from-scratch build), with a positive watermark only
+/// homomorphisms touching an atom inserted at or after it are matched — the
+/// semi-naive *advance* used by [`crate::incremental::IncrementalSmsState`]
+/// to push an already-closed state forward after new facts were inserted.
+///
+/// Sound for incremental callers because the pre-watermark state is a
+/// fixpoint of the closure operator over the same domain: every homomorphism
+/// not touching the suffix was already fired.
+pub(crate) fn advance_possibly_true_closure(
+    closure: &mut Interpretation,
+    program: &DisjunctiveProgram,
+    plans: &CompiledDisjunctiveRuleSet,
+    existentials_by_rule: &[Vec<Vec<ntgd_core::Symbol>>],
+    domain: &Domain,
+    limits: &GroundingLimits,
+    initial_watermark: usize,
+) -> Result<(), GroundingError> {
     let empty = Substitution::new();
-    let existentials_by_rule: Vec<Vec<Vec<ntgd_core::Symbol>>> = program
-        .rules()
-        .iter()
-        .map(existentials_per_disjunct)
-        .collect();
-    // Semi-naive rounds: after the first (full) round, rule bodies are only
-    // matched against homomorphisms that use an atom derived in the previous
-    // round (`watermark` is the closure size before that round's insertions).
-    let mut watermark = 0usize;
+    // Semi-naive rounds: after the first round, rule bodies are only matched
+    // against homomorphisms that use an atom derived in the previous round
+    // (`watermark` is the closure size before that round's insertions).
+    let mut watermark = initial_watermark;
     let rule_indices: Vec<usize> = (0..program.rules().len()).collect();
     loop {
         let next_watermark = closure.len();
@@ -252,7 +305,7 @@ fn possibly_true_closure(
             closure.len().saturating_sub(watermark)
         };
         let threads = parallel::threads_for(work);
-        let closure_ref = &closure;
+        let closure_ref = &*closure;
         let buckets: Vec<Vec<Atom>> =
             parallel::par_map_with(&rule_indices, threads, |_, &index| {
                 let rule = &program.rules()[index];
@@ -294,7 +347,7 @@ fn possibly_true_closure(
             });
         let additions: BTreeSet<Atom> = buckets.into_iter().flatten().collect();
         if additions.is_empty() {
-            return Ok(closure);
+            return Ok(());
         }
         for a in additions {
             closure.insert(a);
@@ -315,12 +368,190 @@ fn possibly_true_closure(
 /// negated-body atoms — the only atoms that may be new to the table — stay
 /// as atoms until the single-threaded intern pass assigns their ids.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
-struct PendingGroundRule {
+pub(crate) struct PendingGroundRule {
     body_pos: Vec<usize>,
     body_neg: Vec<Atom>,
     neg_domain_terms: Vec<Term>,
     disjuncts: Vec<Vec<usize>>,
     source_rule: usize,
+}
+
+/// Pass 1 of the instantiation (parallel): per-rule buffers of ground rule
+/// instances whose positive-body homomorphism touches a closure atom at or
+/// after `watermark` (with `watermark == 0`: every homomorphism — the
+/// from-scratch build).  Positive-body and head atoms are resolved against
+/// the read-only `atoms` table, which must already contain the full closure.
+///
+/// `already_collected` seeds the cross-worker tally against `limits` (the
+/// number of deduplicated instances a previous pass already produced), so an
+/// incremental append stops collecting as soon as the *global* cap is
+/// certain to be exceeded.
+#[allow(clippy::too_many_arguments)] // crate-internal plumbing shared by the batch and incremental grounders
+pub(crate) fn collect_pending(
+    program: &DisjunctiveProgram,
+    plans: &CompiledDisjunctiveRuleSet,
+    existentials_by_rule: &[Vec<Vec<ntgd_core::Symbol>>],
+    domain: &Domain,
+    closure: &Interpretation,
+    watermark: usize,
+    atoms: &AtomTable,
+    limits: &GroundingLimits,
+    already_collected: usize,
+) -> Vec<Vec<PendingGroundRule>> {
+    let empty = Substitution::new();
+    let rule_indices: Vec<usize> = (0..program.rules().len()).collect();
+    let threads = parallel::threads_for(closure.len().saturating_sub(watermark).max(1));
+    // Cross-worker tally of *deduplicated* instances collected so far.
+    // Duplicates can only arise within one rule (`source_rule` is part of
+    // rule identity), so this sum equals the global deduplicated count; once
+    // it exceeds the cap the grounding is guaranteed to fail, and every
+    // worker stops collecting — the limit bounds memory globally again, not
+    // merely per rule.  Success-path results are untouched (workers only
+    // stop when failure is certain), so determinism is preserved.
+    let collected = std::sync::atomic::AtomicUsize::new(already_collected);
+    let collected_ref = &collected;
+    parallel::par_map_with(&rule_indices, threads, |_, &ridx| {
+        let rule = &program.rules()[ridx];
+        let body_atoms: Vec<Atom> = rule.body_positive().into_iter().cloned().collect();
+        let neg_atoms: Vec<Atom> = rule.body_negative().into_iter().cloned().collect();
+        let existentials = &existentials_by_rule[ridx];
+        let mut local: Vec<PendingGroundRule> = Vec::new();
+        let mut local_seen: BTreeSet<PendingGroundRule> = BTreeSet::new();
+        plans.rule(ridx).body_positive().for_each_delta(
+            closure,
+            &empty,
+            watermark,
+            &mut |binding| {
+                let body_pos: Vec<usize> = body_atoms
+                    .iter()
+                    .map(|a| {
+                        atoms
+                            .id_of(&binding.apply_atom(a))
+                            .expect("positive body instances are in the closure")
+                    })
+                    .collect();
+                let pos_terms: BTreeSet<Term> = body_atoms
+                    .iter()
+                    .flat_map(|a| binding.apply_atom(a).terms().copied().collect::<Vec<_>>())
+                    .collect();
+                let mut body_neg = Vec::new();
+                let mut neg_domain_terms: BTreeSet<Term> = BTreeSet::new();
+                for a in &neg_atoms {
+                    let ground = binding.apply_atom(a);
+                    debug_assert!(
+                        ground.is_ground(),
+                        "safety guarantees ground negative bodies"
+                    );
+                    for t in ground.terms() {
+                        if !pos_terms.contains(t) {
+                            neg_domain_terms.insert(*t);
+                        }
+                    }
+                    body_neg.push(ground);
+                }
+                let mut disjuncts: Vec<Vec<usize>> = Vec::new();
+                let mut h: Option<Substitution> = None;
+                for (d, disjunct) in rule.disjuncts().iter().enumerate() {
+                    let exist = &existentials[d];
+                    if exist.is_empty() {
+                        let conj: Vec<usize> = disjunct
+                            .iter()
+                            .map(|atom| {
+                                atoms
+                                    .id_of(&binding.apply_atom(atom))
+                                    .expect("head instantiations are in the closure")
+                            })
+                            .collect();
+                        disjuncts.push(conj);
+                        continue;
+                    }
+                    let h = h.get_or_insert_with(|| binding.to_substitution());
+                    for_each_assignment(exist, domain, h, &mut |assignment| {
+                        let conj: Vec<usize> = disjunct
+                            .iter()
+                            .map(|atom| {
+                                let ground = assignment.apply_atom(atom);
+                                atoms
+                                    .id_of(&ground)
+                                    .expect("head instantiations are in the closure")
+                            })
+                            .collect();
+                        disjuncts.push(conj);
+                    });
+                }
+                disjuncts.sort();
+                disjuncts.dedup();
+                let pending = PendingGroundRule {
+                    body_pos,
+                    body_neg,
+                    neg_domain_terms: neg_domain_terms.into_iter().collect(),
+                    disjuncts,
+                    source_rule: ridx,
+                };
+                if local_seen.insert(pending.clone()) {
+                    local.push(pending);
+                    collected_ref.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+                if collected_ref.load(std::sync::atomic::Ordering::Relaxed) > limits.max_rules {
+                    // Over the global limit: the sequential pass below is
+                    // certain to report `TooLarge`, so stop paying for
+                    // instances that can never be used.
+                    return ControlFlow::Break(());
+                }
+                ControlFlow::Continue(())
+            },
+        );
+        local
+    })
+}
+
+/// Pass 2 of the instantiation (sequential): interns negated-body atoms —
+/// the only atoms that may be new to the table — walking the per-rule
+/// buffers in rule order, deduplicates against `seen` (which persists across
+/// incremental appends) and pushes the finalised rules.  Atoms newly added
+/// to the table are flagged `false` in `possibly_true` (negated-body atoms
+/// outside the closure are never possibly true).
+pub(crate) fn intern_pending(
+    buckets: Vec<Vec<PendingGroundRule>>,
+    atoms: &mut AtomTable,
+    possibly_true: &mut Vec<bool>,
+    rules: &mut Vec<GroundSmsRule>,
+    seen: &mut BTreeSet<GroundSmsRule>,
+    limits: &GroundingLimits,
+) -> Result<(), GroundingError> {
+    debug_assert_eq!(atoms.len(), possibly_true.len());
+    for bucket in buckets {
+        for pending in bucket {
+            let body_neg: Vec<usize> = pending
+                .body_neg
+                .into_iter()
+                .map(|ground| {
+                    let id = atoms.intern(ground);
+                    if id == possibly_true.len() {
+                        possibly_true.push(false);
+                    }
+                    id
+                })
+                .collect();
+            let ground_rule = GroundSmsRule {
+                body_pos: pending.body_pos,
+                body_neg,
+                neg_domain_terms: pending.neg_domain_terms,
+                disjuncts: pending.disjuncts,
+                source_rule: pending.source_rule,
+            };
+            if seen.insert(ground_rule.clone()) {
+                rules.push(ground_rule);
+            }
+            if rules.len() > limits.max_rules {
+                return Err(GroundingError::TooLarge {
+                    atoms: atoms.len(),
+                    rules: rules.len(),
+                });
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Grounds `SM[D,Σ]` over the given domain.  Every rule is compiled into its
@@ -346,7 +577,29 @@ pub fn ground_sms(
 ) -> Result<GroundSmsProgram, GroundingError> {
     let plans =
         CompiledDisjunctiveRuleSet::from_disjunctive(program, &database.to_interpretation());
-    let closure = possibly_true_closure(database, program, &plans, domain, limits)?;
+    ground_sms_with_plans(database, program, &plans, domain, limits).map(|(ground, _)| ground)
+}
+
+/// [`ground_sms`] against an externally compiled (and therefore reusable)
+/// rule-plan set; additionally returns the instance-dedup set so that
+/// incremental callers can keep extending the grounding without
+/// re-deduplicating from scratch.
+pub(crate) fn ground_sms_with_plans(
+    database: &Database,
+    program: &DisjunctiveProgram,
+    plans: &CompiledDisjunctiveRuleSet,
+    domain: &Domain,
+    limits: &GroundingLimits,
+) -> Result<(GroundSmsProgram, BTreeSet<GroundSmsRule>), GroundingError> {
+    let existentials_by_rule = existentials_for_program(program);
+    let closure = possibly_true_closure(
+        database,
+        program,
+        plans,
+        &existentials_by_rule,
+        domain,
+        limits,
+    )?;
     let mut atoms = AtomTable::new();
     // Intern the closure first so that possibly-true atoms occupy a prefix of
     // the table; `possibly_true` is then extended as negative-body atoms are
@@ -354,164 +607,51 @@ pub fn ground_sms(
     for a in closure.sorted_atoms() {
         atoms.intern(a);
     }
-    let closure_size = atoms.len();
+    let mut possibly_true = vec![true; atoms.len()];
 
     // Pass 1 (parallel): per-rule instantiation buffers over the frozen
     // closure and the read-only prefix of the atom table.
-    let empty = Substitution::new();
-    let rule_indices: Vec<usize> = (0..program.rules().len()).collect();
-    let threads = parallel::threads_for(closure.len());
-    let atoms_ref = &atoms;
-    let closure_ref = &closure;
-    // Cross-worker tally of *deduplicated* instances collected so far.
-    // Duplicates can only arise within one rule (`source_rule` is part of
-    // rule identity), so this sum equals the global deduplicated count; once
-    // it exceeds the cap the grounding is guaranteed to fail, and every
-    // worker stops collecting — the limit bounds memory globally again, not
-    // merely per rule.  Success-path results are untouched (workers only
-    // stop when failure is certain), so determinism is preserved.
-    let collected = std::sync::atomic::AtomicUsize::new(0);
-    let collected_ref = &collected;
-    let buckets: Vec<Vec<PendingGroundRule>> =
-        parallel::par_map_with(&rule_indices, threads, |_, &ridx| {
-            let rule = &program.rules()[ridx];
-            let body_atoms: Vec<Atom> = rule.body_positive().into_iter().cloned().collect();
-            let neg_atoms: Vec<Atom> = rule.body_negative().into_iter().cloned().collect();
-            let existentials = existentials_per_disjunct(rule);
-            let mut local: Vec<PendingGroundRule> = Vec::new();
-            let mut local_seen: BTreeSet<PendingGroundRule> = BTreeSet::new();
-            plans
-                .rule(ridx)
-                .body_positive()
-                .for_each(closure_ref, &empty, &mut |binding| {
-                    let body_pos: Vec<usize> = body_atoms
-                        .iter()
-                        .map(|a| {
-                            atoms_ref
-                                .id_of(&binding.apply_atom(a))
-                                .expect("positive body instances are in the closure")
-                        })
-                        .collect();
-                    let pos_terms: BTreeSet<Term> = body_atoms
-                        .iter()
-                        .flat_map(|a| binding.apply_atom(a).terms().copied().collect::<Vec<_>>())
-                        .collect();
-                    let mut body_neg = Vec::new();
-                    let mut neg_domain_terms: BTreeSet<Term> = BTreeSet::new();
-                    for a in &neg_atoms {
-                        let ground = binding.apply_atom(a);
-                        debug_assert!(
-                            ground.is_ground(),
-                            "safety guarantees ground negative bodies"
-                        );
-                        for t in ground.terms() {
-                            if !pos_terms.contains(t) {
-                                neg_domain_terms.insert(*t);
-                            }
-                        }
-                        body_neg.push(ground);
-                    }
-                    let mut disjuncts: Vec<Vec<usize>> = Vec::new();
-                    let mut h: Option<Substitution> = None;
-                    for (d, disjunct) in rule.disjuncts().iter().enumerate() {
-                        let exist = &existentials[d];
-                        if exist.is_empty() {
-                            let conj: Vec<usize> = disjunct
-                                .iter()
-                                .map(|atom| {
-                                    atoms_ref
-                                        .id_of(&binding.apply_atom(atom))
-                                        .expect("head instantiations are in the closure")
-                                })
-                                .collect();
-                            disjuncts.push(conj);
-                            continue;
-                        }
-                        let h = h.get_or_insert_with(|| binding.to_substitution());
-                        for_each_assignment(exist, domain, h, &mut |assignment| {
-                            let conj: Vec<usize> = disjunct
-                                .iter()
-                                .map(|atom| {
-                                    let ground = assignment.apply_atom(atom);
-                                    atoms_ref
-                                        .id_of(&ground)
-                                        .expect("head instantiations are in the closure")
-                                })
-                                .collect();
-                            disjuncts.push(conj);
-                        });
-                    }
-                    disjuncts.sort();
-                    disjuncts.dedup();
-                    let pending = PendingGroundRule {
-                        body_pos,
-                        body_neg,
-                        neg_domain_terms: neg_domain_terms.into_iter().collect(),
-                        disjuncts,
-                        source_rule: ridx,
-                    };
-                    if local_seen.insert(pending.clone()) {
-                        local.push(pending);
-                        collected_ref.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    }
-                    if collected_ref.load(std::sync::atomic::Ordering::Relaxed) > limits.max_rules {
-                        // Over the global limit: the sequential pass below
-                        // is certain to report `TooLarge`, so stop paying
-                        // for instances that can never be used.
-                        return ControlFlow::Break(());
-                    }
-                    ControlFlow::Continue(())
-                });
-            local
-        });
+    let buckets = collect_pending(
+        program,
+        plans,
+        &existentials_by_rule,
+        domain,
+        &closure,
+        0,
+        &atoms,
+        limits,
+        0,
+    );
 
     // Pass 2 (sequential): intern negated-body atoms and finalise, walking
     // the buffers in rule order — the same order, and therefore the same
     // table ids, as the previous single-threaded enumeration.
     let mut rules: Vec<GroundSmsRule> = Vec::new();
     let mut seen: BTreeSet<GroundSmsRule> = BTreeSet::new();
-    for bucket in buckets {
-        for pending in bucket {
-            let body_neg: Vec<usize> = pending
-                .body_neg
-                .into_iter()
-                .map(|ground| atoms.intern(ground))
-                .collect();
-            let ground_rule = GroundSmsRule {
-                body_pos: pending.body_pos,
-                body_neg,
-                neg_domain_terms: pending.neg_domain_terms,
-                disjuncts: pending.disjuncts,
-                source_rule: pending.source_rule,
-            };
-            if seen.insert(ground_rule.clone()) {
-                rules.push(ground_rule);
-            }
-            if rules.len() > limits.max_rules {
-                return Err(GroundingError::TooLarge {
-                    atoms: atoms.len(),
-                    rules: rules.len(),
-                });
-            }
-        }
-    }
+    intern_pending(
+        buckets,
+        &mut atoms,
+        &mut possibly_true,
+        &mut rules,
+        &mut seen,
+        limits,
+    )?;
 
-    let mut possibly_true = vec![false; atoms.len()];
-    for flag in possibly_true.iter_mut().take(closure_size) {
-        *flag = true;
-    }
     let facts: Vec<usize> = database
         .facts()
         .map(|f| atoms.id_of(f).expect("database atoms are in the closure"))
         .collect();
-    Ok(GroundSmsProgram {
-        atoms,
-        possibly_true,
-        facts,
-        rules,
-        domain: domain.clone(),
-        closure,
-    })
+    Ok((
+        GroundSmsProgram {
+            atoms,
+            possibly_true,
+            facts,
+            rules,
+            domain: domain.clone(),
+            closure,
+        },
+        seen,
+    ))
 }
 
 #[cfg(test)]
@@ -616,6 +756,53 @@ mod tests {
         assert_eq!(t.atom(id), &a);
         assert_eq!(t.len(), 1);
         assert_eq!(t.iter().count(), 1);
+    }
+
+    #[test]
+    fn atom_table_truncate_drops_a_suffix_and_reuses_ids() {
+        let mut t = AtomTable::new();
+        let a = atom("p", vec![cst("a")]);
+        let b = atom("p", vec![cst("b")]);
+        let c = atom("q", vec![cst("c")]);
+        assert_eq!(t.intern(a.clone()), 0);
+        let watermark = t.len();
+        assert_eq!(t.intern(b.clone()), 1);
+        assert_eq!(t.intern(c.clone()), 2);
+        t.truncate(watermark);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.id_of(&a), Some(0));
+        assert_eq!(t.id_of(&b), None);
+        assert_eq!(t.id_of(&c), None);
+        // Re-interning after a truncate reuses the freed dense ids.
+        assert_eq!(t.intern(c.clone()), 1);
+        assert_eq!(t.atom(1), &c);
+    }
+
+    #[test]
+    fn atom_table_truncate_edge_cases_mirror_the_arena() {
+        let mut t = AtomTable::new();
+        let a = atom("p", vec![cst("a")]);
+        t.intern(a.clone());
+        // Truncate past the end: a no-op.
+        t.truncate(100);
+        assert_eq!(t.len(), 1);
+        // A no-op intern (already present) does not grow the table, so a
+        // truncate to the same watermark keeps everything.
+        let watermark = t.len();
+        t.intern(a.clone());
+        t.truncate(watermark);
+        assert_eq!(t.id_of(&a), Some(0));
+        // Double-truncate to the same mark is idempotent.
+        t.intern(atom("q", vec![cst("b")]));
+        t.truncate(watermark);
+        t.truncate(watermark);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.id_of(&a), Some(0));
+        // Truncate to zero empties the table and restarts ids at 0.
+        t.truncate(0);
+        assert!(t.is_empty());
+        assert_eq!(t.id_of(&a), None);
+        assert_eq!(t.intern(atom("r", vec![cst("z")])), 0);
     }
 
     #[test]

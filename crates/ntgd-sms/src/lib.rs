@@ -37,11 +37,15 @@
 pub mod consequence;
 pub mod engine;
 pub mod grounding;
+pub mod incremental;
 pub mod stability;
 pub mod universe;
 
 pub use consequence::{immediate_consequence_closure, is_supported_by_operator};
 pub use engine::{SmsAnswer, SmsEngine, SmsError, SmsOptions, SmsStatistics};
-pub use grounding::{ground_sms, AtomTable, GroundSmsProgram, GroundSmsRule};
+pub use grounding::{
+    ground_sms, AtomTable, GroundSmsProgram, GroundSmsRule, GroundingError, GroundingLimits,
+};
+pub use incremental::{IncrementalSmsState, SmsReuseStats};
 pub use stability::is_stable_model;
 pub use universe::{build_domain, Domain, NullBudget};

@@ -58,7 +58,7 @@ fn main() {
     );
 
     // The paper's semantics takes the negation seriously.
-    let engine = SmsEngine::new(mapping.clone());
+    let engine = SmsEngine::new(&mapping);
     let models = engine
         .stable_models(&source)
         .expect("stable models enumerate");

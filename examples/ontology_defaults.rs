@@ -33,7 +33,7 @@ fn main() {
         classes::is_guarded(&program)
     );
 
-    let engine = SmsEngine::new(program.clone());
+    let engine = SmsEngine::new(&program);
     let models = engine.stable_models(&database).expect("models enumerate");
     println!("\nNumber of stable models: {}", models.len());
 

@@ -30,7 +30,7 @@ fn main() {
     }
 
     // The paper's new semantics.
-    let sms = SmsEngine::new(program.clone());
+    let sms = SmsEngine::new(&program);
     let models = sms.stable_models(&database).expect("SMS enumerates");
     println!("\nNew (SM[D,Σ]) stable models ({}):", models.len());
     for m in &models {

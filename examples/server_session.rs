@@ -54,9 +54,17 @@ fn main() {
     drive(&mut session, "RETRACT-TO 2");
     drive(&mut session, "QUERY ?(X) :- member(X).");
 
-    // Stable-model enumeration over the accumulated facts (cached per
-    // session state until the next ASSERT/RETRACT).
+    // Stable-model enumeration over the accumulated facts.  The first
+    // request builds the session's incremental grounding state; later
+    // requests advance it from the fact delta instead of re-grounding (see
+    // the crate docs' "MODELS caching contract").
     drive(&mut session, "MODELS max=4");
+    drive(&mut session, "ASSERT follows(grace, grace).");
+    drive(&mut session, "MODELS max=4");
+    // The reuse counters are deterministic (thread- and pool-independent):
+    // one rebuild for the first MODELS, one semi-naive advance for the
+    // second (follows(grace, grace) adds no new constant).
+    drive(&mut session, "STATS sms");
     drive(&mut session, "STATS");
     drive(&mut session, "QUIT");
 }

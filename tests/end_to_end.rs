@@ -45,7 +45,7 @@ fn the_three_semantics_disagree_exactly_where_the_paper_says() {
 
     // The paper's new semantics: NOT entailed (Example 4's interpretation is
     // a stable model).
-    let sms = SmsEngine::new(program);
+    let sms = SmsEngine::new(&program);
     assert_eq!(
         sms.entails_cautious(&database, &negative_query).unwrap(),
         SmsAnswer::NotEntailed
@@ -62,7 +62,7 @@ fn positive_programs_agree_with_the_chase_on_positive_queries() {
     assert!(chase.terminated());
     assert!(query.holds(&chase.instance));
 
-    let sms = SmsEngine::new(program);
+    let sms = SmsEngine::new(&program);
     assert_eq!(
         sms.entails_cautious(&database, &query).unwrap(),
         SmsAnswer::Entailed
@@ -75,7 +75,7 @@ fn theorem1_holds_end_to_end_on_an_existential_free_program() {
     let program =
         parse_program("course(X), not hard(X) -> easy(X). easy(X) -> passable(X).").unwrap();
     let lp = LpEngine::new(&database, &program, &LpLimits::default()).unwrap();
-    let sms = SmsEngine::new(program).with_null_budget(stable_tgd::sms::NullBudget::None);
+    let sms = SmsEngine::new(&program).with_null_budget(stable_tgd::sms::NullBudget::None);
     let mut lp_models: Vec<Vec<stable_tgd::core::Atom>> = lp
         .models()
         .iter()
@@ -96,7 +96,7 @@ fn theorem1_holds_end_to_end_on_an_existential_free_program() {
 fn is_stable_model_agrees_with_enumeration() {
     let database = parse_database("person(alice).").unwrap();
     let program = parse_program(EXAMPLE1).unwrap();
-    let sms = SmsEngine::new(program.clone());
+    let sms = SmsEngine::new(&program);
     for model in sms.stable_models(&database).unwrap() {
         assert!(stable_tgd::sms::is_stable_model(
             &database, &program, &model

@@ -394,7 +394,7 @@ fn parallel_grounding_and_model_enumeration_are_deterministic() {
         let program = parse_program(&rules_text).unwrap();
         let database = parse_database(&db_text).unwrap();
         let run = || {
-            let sms = SmsEngine::new(program.clone()).with_null_budget(NullBudget::None);
+            let sms = SmsEngine::new(&program).with_null_budget(NullBudget::None);
             let sms_models: Vec<Vec<Atom>> = sms
                 .stable_models(&database)
                 .unwrap()
@@ -593,7 +593,7 @@ fn lp_and_sms_coincide_on_existential_free_programs() {
             .map(Interpretation::sorted_atoms)
             .collect();
         lp_models.sort();
-        let sms = SmsEngine::new(program).with_null_budget(NullBudget::None);
+        let sms = SmsEngine::new(&program).with_null_budget(NullBudget::None);
         let mut sms_models: Vec<Vec<Atom>> = sms
             .stable_models(&database)
             .unwrap()
@@ -617,7 +617,7 @@ fn enumerated_models_are_stable_and_supported() {
         let (rules_text, db_text) = program_and_database(&mut rng);
         let program = parse_program(&rules_text).unwrap();
         let database = parse_database(&db_text).unwrap();
-        let sms = SmsEngine::new(program.clone()).with_null_budget(NullBudget::None);
+        let sms = SmsEngine::new(&program).with_null_budget(NullBudget::None);
         for model in sms.stable_models(&database).unwrap() {
             assert!(stable_tgd::sms::is_stable_model(
                 &database, &program, &model

@@ -21,7 +21,7 @@ fn all_four_semantics_are_separated_exactly_as_the_paper_describes() {
     let database = parse_database("person(alice).").unwrap();
     let program = parse_program(EXAMPLE1).unwrap();
     let config = EfwfsConfig::default();
-    let sms = SmsEngine::new(program.clone());
+    let sms = SmsEngine::new(&program);
 
     // Example 2: ¬hasFather(alice, bob) — the EFWFS and the new semantics
     // both (correctly) refuse to entail it.
@@ -70,7 +70,7 @@ fn stable_models_of_a_weakly_acyclic_program_have_small_treewidth() {
     let program = parse_program(EXAMPLE1).unwrap();
     assert!(classes::is_weakly_acyclic(&program));
 
-    let engine = SmsEngine::new(program);
+    let engine = SmsEngine::new(&program);
     let models = engine.stable_models(&database).unwrap();
     assert!(!models.is_empty());
     for model in &models {
@@ -141,7 +141,7 @@ fn efwfs_agrees_with_the_unique_well_founded_model_on_stratified_programs() {
     assert!(efwfs_entails_cautious(&database, &program, &passable, &config).entailed);
     assert!(efwfs_entails_cautious(&database, &program, &not_passable_ai, &config).entailed);
 
-    let sms = SmsEngine::new(program);
+    let sms = SmsEngine::new(&program);
     assert_eq!(
         sms.entails_cautious(&database, &passable).unwrap(),
         SmsAnswer::Entailed
