@@ -12,6 +12,7 @@
 //! committed baseline with `cargo run -p ntgd-bench --bin bench_gate`).
 
 use std::ops::ControlFlow;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use criterion::Criterion;
@@ -549,6 +550,82 @@ fn main() {
             scratch_time.as_nanos(),
             speedup,
             model_lines,
+        ));
+    }
+
+    // Shared-base forking: N sessions load the same ontology.  With a
+    // shared-base registry the first LOAD chases and freezes the base once
+    // and every later LOAD forks it copy-on-write, chasing only its private
+    // ASSERT delta on an overlay; privately, every session re-parses,
+    // re-compiles and re-chases the whole ontology.  The two fleets must
+    // produce bit-identical transcripts (the shared-base determinism
+    // contract — STATS is not part of the stream, so the full line-for-line
+    // transcript is compared).
+    {
+        const SESSIONS: usize = 8;
+        let mut rng = StdRng::seed_from_u64(0x6a08);
+        let mut load = String::from(
+            "LOAD e(X, Y) -> n(X). e(X, Y) -> n(Y).\
+             n(X) -> labelled(X, L).\
+             e(X, Y), e(Y, Z) -> p2(X, Z).\
+             p2(X, Y), e(Y, Z) -> p3(X, Z).\
+             p3(X, Y), e(Y, Z) -> p4(X, Z).",
+        );
+        for _ in 0..300 {
+            let a = rng.gen_range(0..80);
+            let b = rng.gen_range(0..80);
+            load.push_str(&format!(" e(v{a}, v{b})."));
+        }
+        let deltas: Vec<String> = (0..SESSIONS)
+            .map(|s| format!("ASSERT e(w{s}, v{}).", s % 80))
+            .collect();
+        // incremental_models off on both sides: the fleets never call
+        // MODELS, so neither should pay for (or skip) grounding state — the
+        // comparison isolates chase sharing.
+        let run_fleet = |forked: bool| -> (Vec<String>, usize) {
+            let registry = forked.then(ntgd_server::BaseRegistry::new).map(Arc::new);
+            let mut transcript = Vec::new();
+            let mut atoms = 0usize;
+            for delta in &deltas {
+                let mut session = ntgd_server::Session::new(ntgd_server::SessionConfig {
+                    incremental_models: false,
+                    base_registry: registry.clone(),
+                    ..ntgd_server::SessionConfig::default()
+                });
+                for command in [load.as_str(), delta.as_str(), "QUERY ?(X) :- n(X)."] {
+                    let response = session.execute(command);
+                    assert!(response.is_ok(), "fleet command failed: {:?}", response.lines);
+                    transcript.extend(response.lines);
+                }
+                atoms = session.instance().expect("chased instance").len();
+            }
+            (transcript, atoms)
+        };
+        let (forked_transcript, forked_atoms) = run_fleet(true);
+        let (private_transcript, private_atoms) = run_fleet(false);
+        assert_eq!(
+            forked_transcript, private_transcript,
+            "shared-base forking changed session transcripts"
+        );
+        assert_eq!(forked_atoms, private_atoms);
+        criterion.bench_function("matcher/shared_base_fork/forked", |b| {
+            b.iter(|| run_fleet(true).1)
+        });
+        criterion.bench_function("matcher/shared_base_fork/private", |b| {
+            b.iter(|| run_fleet(false).1)
+        });
+        let forked_time = median_duration(10, || run_fleet(true).1);
+        let private_time = median_duration(10, || run_fleet(false).1);
+        let speedup = private_time.as_secs_f64() / forked_time.as_secs_f64().max(f64::MIN_POSITIVE);
+        println!(
+            "matcher/shared_base_fork: forked {forked_time:?}, private {private_time:?}, speedup {speedup:.1}x, {forked_atoms} atoms over {SESSIONS} sessions"
+        );
+        rows.push((
+            "shared_base_fork".to_owned(),
+            forked_time.as_nanos(),
+            private_time.as_nanos(),
+            speedup,
+            forked_atoms,
         ));
     }
 

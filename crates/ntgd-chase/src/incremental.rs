@@ -55,8 +55,11 @@
 //! [`oblivious_chase`]: crate::oblivious::oblivious_chase
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
-use ntgd_core::{Atom, CompiledRuleSet, Interpretation, NullId, Program, Symbol, Term};
+use ntgd_core::{
+    Atom, CompiledRuleSet, Interpretation, InterpretationBase, NullId, Program, Symbol, Term,
+};
 
 use crate::restricted::ChaseConfig;
 use crate::trigger::triggers_from_compiled;
@@ -130,26 +133,79 @@ impl std::fmt::Display for StepLimitExceeded {
 
 impl std::error::Error for StepLimitExceeded {}
 
+/// A frozen chase fixpoint, shareable between sessions through an [`Arc`]:
+/// the chased instance (as an [`InterpretationBase`]), the compiled rule
+/// plans, and the witness memo / null-owner maps accumulated up to the
+/// freeze.  Produced by [`IncrementalChase::freeze`], consumed by
+/// [`IncrementalChase::fork`], which layers a private overlay chase on top
+/// in O(1).
+#[derive(Debug)]
+pub struct ChaseBase {
+    /// The positive part of the loaded program.
+    positive: Arc<Program>,
+    /// Rule plans, compiled once when the base was first built.
+    plans: Arc<CompiledRuleSet>,
+    /// The frozen chased instance (a fixpoint).
+    instance: Arc<InterpretationBase>,
+    /// Witness memo at the freeze.
+    witnesses: HashMap<WitnessKey, Vec<Term>>,
+    /// Number of memoised witness keys at the freeze (the absolute witness
+    /// watermark forked overlays count from).
+    witness_count: usize,
+    /// Null-owner map at the freeze.
+    null_owner: HashMap<NullId, (WitnessKey, usize)>,
+    /// Trigger applications performed up to the freeze.
+    steps: usize,
+}
+
+impl ChaseBase {
+    /// The frozen chased instance.
+    pub fn instance(&self) -> &Arc<InterpretationBase> {
+        &self.instance
+    }
+
+    /// The compiled rule plans shared by every fork.
+    pub fn plans(&self) -> &Arc<CompiledRuleSet> {
+        &self.plans
+    }
+
+    /// The positive program driving the chase.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.positive
+    }
+
+    /// Trigger applications performed up to the freeze.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+}
+
 /// A resumable Skolem chase whose worklists, witness memo and compiled rule
 /// plans stay alive between fact assertions.  See the module documentation
 /// for the semantics.
 #[derive(Debug)]
 pub struct IncrementalChase {
     /// The positive part of the loaded program (the chase of `Σ⁺`).
-    positive: Program,
-    /// Rule plans, compiled once when the program is loaded.
-    plans: CompiledRuleSet,
-    /// The chased instance: asserted facts plus everything derived.
+    positive: Arc<Program>,
+    /// Rule plans, compiled once when the program is loaded (shared with
+    /// the base and its other forks when forked).
+    plans: Arc<CompiledRuleSet>,
+    /// The shared frozen prefix of the chase, if this session was forked.
+    base: Option<Arc<ChaseBase>>,
+    /// The chased instance: asserted facts plus everything derived.  Holds
+    /// the base's frozen arena as its base segment when forked.
     instance: Interpretation,
     /// `(rule, frontier)` → memoised witness terms, in
-    /// `existential_variables()` order.
+    /// `existential_variables()` order.  Overlay-local when forked; lookups
+    /// chain to the base memo.
     witnesses: HashMap<WitnessKey, Vec<Term>>,
-    /// Witness keys in creation order (the rollback log).
+    /// Witness keys in creation order (the rollback log; overlay-local).
     witness_log: Vec<WitnessKey>,
     /// Canonical null id → owning `(key, existential index)`, for collision
-    /// detection.
+    /// detection.  Overlay-local when forked.
     null_owner: HashMap<NullId, (WitnessKey, usize)>,
-    /// Trigger applications performed over the session's lifetime.
+    /// Trigger applications performed over the session's lifetime (absolute:
+    /// starts at the base's step count when forked).
     steps: usize,
     /// Per-assert chase configuration (step budget).
     config: ChaseConfig,
@@ -167,8 +223,9 @@ impl IncrementalChase {
         let instance = Interpretation::new();
         let plans = CompiledRuleSet::from_program(&positive, &instance);
         let mut chase = IncrementalChase {
-            positive,
-            plans,
+            positive: Arc::new(positive),
+            plans: Arc::new(plans),
+            base: None,
             instance,
             witnesses: HashMap::new(),
             witness_log: Vec::new(),
@@ -179,6 +236,73 @@ impl IncrementalChase {
         let seed = triggers_from_compiled(&chase.plans, &chase.instance, 0);
         chase.drain(seed.into())?;
         Ok(chase)
+    }
+
+    /// Freezes this chase into an immutable shareable [`ChaseBase`]: the
+    /// instance arena, compiled plans, witness memo and null-owner map all
+    /// move behind the `Arc` (no copy for an unforked chase).  The chase
+    /// must be at a fixpoint, which it always is outside `assert_facts`.
+    pub fn freeze(self) -> Arc<ChaseBase> {
+        let IncrementalChase {
+            positive,
+            plans,
+            base,
+            instance,
+            witnesses,
+            witness_log,
+            null_owner,
+            steps,
+            config: _,
+        } = self;
+        match base {
+            None => Arc::new(ChaseBase {
+                positive,
+                plans,
+                instance: instance.freeze(),
+                witness_count: witness_log.len(),
+                witnesses,
+                null_owner,
+                steps,
+            }),
+            Some(prior) => {
+                let mut all_witnesses = prior.witnesses.clone();
+                all_witnesses.extend(witnesses);
+                let mut all_owner = prior.null_owner.clone();
+                all_owner.extend(null_owner);
+                Arc::new(ChaseBase {
+                    positive,
+                    plans,
+                    instance: instance.freeze(),
+                    witness_count: prior.witness_count + witness_log.len(),
+                    witnesses: all_witnesses,
+                    null_owner: all_owner,
+                    steps,
+                })
+            }
+        }
+    }
+
+    /// Forks a frozen base in O(1): the new session shares the base's
+    /// instance arena, plans and witness memo, and chases only its private
+    /// fact delta on top.  Observationally identical to a from-scratch
+    /// session that asserted the base's facts first.
+    pub fn fork(base: &Arc<ChaseBase>, config: ChaseConfig) -> IncrementalChase {
+        IncrementalChase {
+            positive: Arc::clone(&base.positive),
+            plans: Arc::clone(&base.plans),
+            instance: Interpretation::fork(&base.instance),
+            base: Some(Arc::clone(base)),
+            witnesses: HashMap::new(),
+            witness_log: Vec::new(),
+            null_owner: HashMap::new(),
+            steps: base.steps,
+            config,
+        }
+    }
+
+    /// The shared base this chase was forked from, if any.
+    pub fn base(&self) -> Option<&Arc<ChaseBase>> {
+        self.base.as_ref()
     }
 
     /// The chased instance (facts plus derived atoms), always at a fixpoint.
@@ -208,19 +332,32 @@ impl IncrementalChase {
     }
 
     /// Number of live memoised witnesses (canonical nulls invented and not
-    /// retracted).
+    /// retracted), including those of the shared base when forked.
     pub fn nulls_created(&self) -> u64 {
-        self.witnesses
+        let overlay: u64 = self
+            .witnesses
             .values()
             .map(|terms| terms.len() as u64)
-            .sum()
+            .sum();
+        let base: u64 = self
+            .base
+            .as_ref()
+            .map(|b| b.witnesses.values().map(|terms| terms.len() as u64).sum())
+            .unwrap_or(0);
+        base + overlay
+    }
+
+    /// Number of memoised witness keys frozen into the shared base (0 when
+    /// not forked).
+    fn base_witness_count(&self) -> usize {
+        self.base.as_ref().map_or(0, |b| b.witness_count)
     }
 
     /// Captures a rollback point for [`IncrementalChase::retract_to`].
     pub fn mark(&self) -> EpochMark {
         EpochMark {
             arena_len: self.instance.len(),
-            witnesses: self.witness_log.len(),
+            witnesses: self.base_witness_count() + self.witness_log.len(),
             steps: self.steps,
         }
     }
@@ -232,14 +369,21 @@ impl IncrementalChase {
     /// # Panics
     ///
     /// Panics if the mark is from the future (e.g. from a later state that
-    /// was itself rolled back and re-grown differently).
+    /// was itself rolled back and re-grown differently), or if it lies below
+    /// the fork watermark of a forked session (the shared base is frozen).
     pub fn retract_to(&mut self, mark: &EpochMark) {
+        let base_witnesses = self.base_witness_count();
         assert!(
-            mark.arena_len <= self.instance.len() && mark.witnesses <= self.witness_log.len(),
+            mark.witnesses >= base_witnesses && mark.steps >= self.base.as_ref().map_or(0, |b| b.steps),
+            "epoch mark lies below the fork watermark of the shared base"
+        );
+        let overlay_witnesses = mark.witnesses - base_witnesses;
+        assert!(
+            mark.arena_len <= self.instance.len() && overlay_witnesses <= self.witness_log.len(),
             "epoch mark does not precede the current state"
         );
         self.instance.truncate(mark.arena_len);
-        for key in self.witness_log.drain(mark.witnesses..) {
+        for key in self.witness_log.drain(overlay_witnesses..) {
             if let Some(terms) = self.witnesses.remove(&key) {
                 for term in terms {
                     if let Term::Null(id) = term {
@@ -303,11 +447,23 @@ impl IncrementalChase {
                 .collect();
             let key: WitnessKey = (trigger.rule_index, frontier);
             let existentials: Vec<Symbol> = rule.existential_variables().into_iter().collect();
-            let witness_terms = match self.witnesses.get(&key) {
+            let memoised = self
+                .witnesses
+                .get(&key)
+                .or_else(|| self.base.as_ref().and_then(|b| b.witnesses.get(&key)));
+            let witness_terms = match memoised {
                 Some(terms) => terms.clone(),
                 None => {
+                    let base_owners = self.base.as_ref().map(|b| &b.null_owner);
                     let terms: Vec<Term> = (0..existentials.len())
-                        .map(|index| Term::Null(claim_null_id(&mut self.null_owner, &key, index)))
+                        .map(|index| {
+                            Term::Null(claim_null_id(
+                                base_owners,
+                                &mut self.null_owner,
+                                &key,
+                                index,
+                            ))
+                        })
                         .collect();
                     self.witness_log.push(key.clone());
                     self.witnesses.insert(key, terms.clone());
@@ -345,8 +501,11 @@ impl IncrementalChase {
 
 /// The canonical null id of `(key, existential index)`: a 64-bit FNV-1a
 /// hash of the key's content, re-salted deterministically on (cosmically
-/// unlikely) collision with a different live witness.
+/// unlikely) collision with a different live witness.  Ownership is checked
+/// against the frozen base's map first (forked sessions must not re-claim a
+/// base null for a different witness), then the overlay's.
 fn claim_null_id(
+    base_owners: Option<&HashMap<NullId, (WitnessKey, usize)>>,
     owners: &mut HashMap<NullId, (WitnessKey, usize)>,
     key: &WitnessKey,
     index: usize,
@@ -354,7 +513,10 @@ fn claim_null_id(
     let mut salt = 0u64;
     loop {
         let id = canonical_null_id(key, index, salt);
-        match owners.get(&id) {
+        let owner = owners
+            .get(&id)
+            .or_else(|| base_owners.and_then(|b| b.get(&id)));
+        match owner {
             Some((owner_key, owner_index)) if owner_key == key && *owner_index == index => {
                 return id;
             }
@@ -549,6 +711,123 @@ mod tests {
         let program = parse_program("-> axiom(c).").unwrap();
         let chase = IncrementalChase::new(&program, ChaseConfig::default()).unwrap();
         assert!(chase.instance().contains(&atom("axiom", vec![cst("c")])));
+    }
+
+    #[test]
+    fn forked_chase_equals_a_from_scratch_session() {
+        let program = parse_program(
+            "e(X, Y) -> n(X). e(X, Y) -> n(Y). n(X) -> l(X, Z). e(X, Y), e(Y, Z) -> e(X, Z).",
+        )
+        .unwrap();
+        let config = ChaseConfig::default();
+        let mut builder = IncrementalChase::new(&program, config.clone()).unwrap();
+        builder.assert_facts(facts("e(a, b). e(b, c).")).unwrap();
+        let base = builder.freeze();
+        // A fork that asserts a delta must match a private from-scratch
+        // session asserting base facts then the delta — same atom set,
+        // canonical null names included, and same counters.
+        let mut fork = IncrementalChase::fork(&base, config.clone());
+        fork.assert_facts(facts("e(c, d).")).unwrap();
+        let mut private = IncrementalChase::new(&program, config.clone()).unwrap();
+        private.assert_facts(facts("e(a, b). e(b, c).")).unwrap();
+        private.assert_facts(facts("e(c, d).")).unwrap();
+        assert_eq!(
+            fork.instance().sorted_atoms(),
+            private.instance().sorted_atoms()
+        );
+        assert_eq!(fork.nulls_created(), private.nulls_created());
+        assert_eq!(fork.steps(), private.steps());
+        assert_eq!(fork.instance().len(), private.instance().len());
+        // The arena order is also identical: both chase the delta from the
+        // same fixpoint with the same plans.
+        assert_eq!(
+            fork.instance().atoms().cloned().collect::<Vec<_>>(),
+            private.instance().atoms().cloned().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn forks_share_the_base_and_stay_independent() {
+        let program = parse_program("p(X) -> q(X, Y).").unwrap();
+        let config = ChaseConfig::default();
+        let mut builder = IncrementalChase::new(&program, config.clone()).unwrap();
+        builder.assert_facts(facts("p(a).")).unwrap();
+        let base = builder.freeze();
+        let mut f1 = IncrementalChase::fork(&base, config.clone());
+        let mut f2 = IncrementalChase::fork(&base, config.clone());
+        assert!(f1.base().is_some());
+        assert_eq!(f1.instance().base_len(), base.instance().len());
+        f1.assert_facts(facts("p(b).")).unwrap();
+        f2.assert_facts(facts("p(c).")).unwrap();
+        assert!(f1.instance().contains(&atom("p", vec![cst("b")])));
+        assert!(!f1.instance().contains(&atom("p", vec![cst("c")])));
+        assert!(f2.instance().contains(&atom("p", vec![cst("c")])));
+        // Both forks see the shared base atom and witness memo: asserting a
+        // base fact again is a no-op.
+        let summary = f1.assert_facts(facts("p(a).")).unwrap();
+        assert_eq!(summary.added_facts, 0);
+        assert_eq!(summary.derived, 0);
+    }
+
+    #[test]
+    fn forked_retract_rolls_back_to_the_fork_watermark() {
+        let program = parse_program("p(X) -> q(X, Y).").unwrap();
+        let config = ChaseConfig::default();
+        let mut builder = IncrementalChase::new(&program, config.clone()).unwrap();
+        builder.assert_facts(facts("p(a).")).unwrap();
+        let base = builder.freeze();
+        let mut fork = IncrementalChase::fork(&base, config.clone());
+        let fork_mark = fork.mark();
+        assert_eq!(fork_mark.arena_len(), base.instance().len());
+        fork.assert_facts(facts("p(b).")).unwrap();
+        fork.retract_to(&fork_mark);
+        assert_eq!(fork.mark(), fork_mark);
+        assert_eq!(fork.instance().len(), base.instance().len());
+        assert_eq!(fork.nulls_created(), 1, "base witnesses survive");
+        // Transactional rollback of a diverging assert works on forks too.
+        let diverging = parse_program("p(X) -> r(X, Y), p(Y).").unwrap();
+        let mut seed = IncrementalChase::new(&diverging, ChaseConfig::with_max_steps(25)).unwrap();
+        seed.assert_facts(facts("q(z).")).unwrap();
+        let dbase = seed.freeze();
+        let mut dfork = IncrementalChase::fork(&dbase, ChaseConfig::with_max_steps(25));
+        let before = dfork.mark();
+        dfork.assert_facts(facts("p(adam).")).unwrap_err();
+        assert_eq!(dfork.mark(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "below the fork watermark")]
+    fn forked_retract_below_the_base_panics() {
+        let program = parse_program("p(X) -> q(X, Y).").unwrap();
+        let config = ChaseConfig::default();
+        let mut builder = IncrementalChase::new(&program, config.clone()).unwrap();
+        let early = builder.mark();
+        builder.assert_facts(facts("p(a).")).unwrap();
+        let base = builder.freeze();
+        let mut fork = IncrementalChase::fork(&base, config);
+        fork.retract_to(&early);
+    }
+
+    #[test]
+    fn refreezing_a_fork_flattens_its_overlay() {
+        let program = parse_program("p(X) -> q(X, Y).").unwrap();
+        let config = ChaseConfig::default();
+        let mut builder = IncrementalChase::new(&program, config.clone()).unwrap();
+        builder.assert_facts(facts("p(a).")).unwrap();
+        let base = builder.freeze();
+        let mut fork = IncrementalChase::fork(&base, config.clone());
+        fork.assert_facts(facts("p(b).")).unwrap();
+        let refrozen = fork.freeze();
+        let refork = IncrementalChase::fork(&refrozen, config.clone());
+        let mut private = IncrementalChase::new(&program, config).unwrap();
+        private.assert_facts(facts("p(a).")).unwrap();
+        private.assert_facts(facts("p(b).")).unwrap();
+        assert_eq!(
+            refork.instance().sorted_atoms(),
+            private.instance().sorted_atoms()
+        );
+        assert_eq!(refork.nulls_created(), private.nulls_created());
+        assert_eq!(refork.steps(), private.steps());
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod skolem;
 pub mod trigger;
 
 pub use core_instance::{core_of, core_of_with, is_core, CoreConfig, CoreResult};
-pub use incremental::{AssertSummary, EpochMark, IncrementalChase, StepLimitExceeded};
+pub use incremental::{AssertSummary, ChaseBase, EpochMark, IncrementalChase, StepLimitExceeded};
 pub use oblivious::oblivious_chase;
 pub use operational::{operational_stable_models, OperationalConfig};
 pub use restricted::{restricted_chase, ChaseConfig, ChaseOutcome, ChaseResult};

@@ -29,6 +29,25 @@
 //! search.  The matcher's semi-naive *delta* entry points use this to match
 //! only against newly derived atoms.
 //!
+//! # Base + overlay (copy-on-write forking)
+//!
+//! An interpretation is physically a pair of [`Segment`]s: an optional
+//! **base** — an immutable, [`Arc`]-shared [`InterpretationBase`] produced by
+//! [`Interpretation::freeze`] — and a private mutable **overlay**.  Forking a
+//! frozen base ([`Interpretation::fork`]) is O(1): the fork holds an `Arc` to
+//! the base and starts with an empty overlay; all subsequent inserts land in
+//! the overlay.
+//!
+//! [`AtomId`]s stay dense across the boundary: base atoms occupy ids
+//! `0..base_len`, overlay atoms `base_len..len`, and overlay index lists
+//! store *absolute* ids.  A probe therefore returns an [`IdProbe`] — the
+//! concatenation of the base index tail and the overlay index tail, which is
+//! ascending as a whole — and everything built on ascending id lists
+//! (watermark deltas, compiled plans, [`Interpretation::truncate`]) works
+//! unchanged.  Truncation never crosses the boundary: rolling back below
+//! `base_len` is a contract violation and panics rather than corrupting the
+//! shared base.
+//!
 //! # Snapshot reads under parallelism
 //!
 //! The interpretation is the shared read-only snapshot of every parallel
@@ -43,6 +62,8 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::iter::Peekable;
+use std::sync::Arc;
 
 use crate::atom::{Atom, Literal};
 use crate::symbol::Symbol;
@@ -52,7 +73,10 @@ use crate::term::Term;
 ///
 /// Ids are assigned in insertion order starting from zero and are never
 /// reused; they are meaningful only relative to the interpretation that
-/// issued them.
+/// issued them.  In a forked interpretation, ids below
+/// [`Interpretation::base_len`] address the shared base segment and the rest
+/// address the private overlay — the numbering is continuous, so consumers
+/// never observe the boundary.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct AtomId(pub u32);
 
@@ -77,10 +101,21 @@ fn atom_hash(atom: &Atom) -> u64 {
     parts_hash(atom.predicate(), atom.args())
 }
 
-/// A total interpretation represented by its positive part plus its domain.
+/// Expected index tails per atom reserved up front by
+/// [`Interpretation::with_capacity`]; matches the by-hash bucket (one id per
+/// hash in the absence of collisions).
+const BUCKET_CAPACITY: usize = 1;
+
+/// One storage segment: an arena plus its indexes and domain bookkeeping.
+///
+/// The monolithic (unforked) interpretation is a single segment; a forked
+/// interpretation layers a mutable overlay segment over a frozen base
+/// segment.  Overlay id lists store ids offset by the base length, so the
+/// arena of an overlay segment holds the atom with id `base_len + i` at
+/// offset `i`.
 #[derive(Clone, Default, Debug)]
-pub struct Interpretation {
-    /// The arena: atom storage in insertion order, addressed by [`AtomId`].
+struct Segment {
+    /// Atom storage in insertion order.
     arena: Vec<Atom>,
     /// Atom-hash → ids with that hash (almost always a single id).
     by_hash: HashMap<u64, Vec<AtomId>>,
@@ -89,20 +124,163 @@ pub struct Interpretation {
     /// (predicate, argument position, ground term) → ids, ascending.
     by_position: HashMap<(Symbol, u32, Term), Vec<AtomId>>,
     domain: BTreeSet<Term>,
-    /// Occurrences of each domain term in the arena (`domain` holds exactly
-    /// the terms with a positive count).  Maintained so that
+    /// Occurrences of each domain term in this segment's arena (`domain`
+    /// holds exactly the terms with a positive count).  Maintained so that
     /// [`Interpretation::truncate`] can drop terms whose last occurrence is
     /// rolled back.
     domain_occurrences: HashMap<Term, usize>,
     extra_domain: BTreeSet<Term>,
 }
 
+/// A frozen, immutable interpretation segment, shared between forks through
+/// an [`Arc`].  Produced by [`Interpretation::freeze`], consumed by
+/// [`Interpretation::fork`].
+#[derive(Clone, Debug)]
+pub struct InterpretationBase {
+    segment: Segment,
+}
+
+impl InterpretationBase {
+    /// Number of atoms in the frozen base (the fork watermark: forked
+    /// overlay atoms receive ids `>= len()`).
+    pub fn len(&self) -> usize {
+        self.segment.arena.len()
+    }
+
+    /// Returns `true` if the base holds no atoms.
+    pub fn is_empty(&self) -> bool {
+        self.segment.arena.is_empty()
+    }
+
+    /// Iterates over the base atoms in insertion order.
+    pub fn atoms(&self) -> impl Iterator<Item = &Atom> + '_ {
+        self.segment.arena.iter()
+    }
+}
+
+/// The result of an index probe: the ascending concatenation of a base index
+/// tail and an overlay index tail.
+///
+/// Base ids are all `< base_len` and overlay ids all `>= base_len`, so the
+/// concatenation is ascending as a whole and supports the same
+/// binary-search-at-a-watermark operations as a single slice.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IdProbe<'a> {
+    base: &'a [AtomId],
+    overlay: &'a [AtomId],
+}
+
+impl<'a> IdProbe<'a> {
+    /// An empty probe result.
+    pub fn empty() -> IdProbe<'static> {
+        IdProbe {
+            base: &[],
+            overlay: &[],
+        }
+    }
+
+    /// Total number of ids.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.base.len() + self.overlay.len()
+    }
+
+    /// Returns `true` if the probe matched nothing.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty() && self.overlay.is_empty()
+    }
+
+    /// Iterates over the ids in ascending order.
+    #[inline]
+    pub fn iter(self) -> impl Iterator<Item = AtomId> + 'a {
+        self.base.iter().chain(self.overlay.iter()).copied()
+    }
+
+    /// The two underlying ascending slices, `(base, overlay)`.  Hot loops
+    /// iterate these back to back instead of through [`IdProbe::iter`]: two
+    /// tight slice loops avoid the chain iterator's per-element branch.
+    #[inline]
+    pub fn slices(self) -> (&'a [AtomId], &'a [AtomId]) {
+        (self.base, self.overlay)
+    }
+
+    /// The ids with `index < watermark` (ascending).  O(log n).
+    pub fn below(self, watermark: usize) -> IdProbe<'a> {
+        let base_cut = self.base.partition_point(|id| id.index() < watermark);
+        let overlay_cut = self.overlay.partition_point(|id| id.index() < watermark);
+        IdProbe {
+            base: &self.base[..base_cut],
+            overlay: &self.overlay[..overlay_cut],
+        }
+    }
+
+    /// The ids with `index >= watermark` (ascending).  O(log n).
+    pub fn since(self, watermark: usize) -> IdProbe<'a> {
+        let base_cut = self.base.partition_point(|id| id.index() < watermark);
+        let overlay_cut = self.overlay.partition_point(|id| id.index() < watermark);
+        IdProbe {
+            base: &self.base[base_cut..],
+            overlay: &self.overlay[overlay_cut..],
+        }
+    }
+}
+
+/// Lazy ascending merge of two sorted deduplicated `Term` sequences,
+/// emitting each term once.  Used to present the union of base and overlay
+/// domain sets in exactly the order a monolithic [`BTreeSet`] would.
+struct SortedTermMerge<'a> {
+    left: Peekable<std::collections::btree_set::Iter<'a, Term>>,
+    right: Peekable<std::collections::btree_set::Iter<'a, Term>>,
+}
+
+impl<'a> SortedTermMerge<'a> {
+    fn new(left: &'a BTreeSet<Term>, right: &'a BTreeSet<Term>) -> SortedTermMerge<'a> {
+        SortedTermMerge {
+            left: left.iter().peekable(),
+            right: right.iter().peekable(),
+        }
+    }
+}
+
+impl<'a> Iterator for SortedTermMerge<'a> {
+    type Item = &'a Term;
+
+    fn next(&mut self) -> Option<&'a Term> {
+        match (self.left.peek(), self.right.peek()) {
+            (Some(l), Some(r)) => match l.cmp(r) {
+                std::cmp::Ordering::Less => self.left.next(),
+                std::cmp::Ordering::Greater => self.right.next(),
+                std::cmp::Ordering::Equal => {
+                    self.right.next();
+                    self.left.next()
+                }
+            },
+            (Some(_), None) => self.left.next(),
+            (None, _) => self.right.next(),
+        }
+    }
+}
+
+static EMPTY_TERM_SET: BTreeSet<Term> = BTreeSet::new();
+
+/// A total interpretation represented by its positive part plus its domain.
+#[derive(Clone, Default, Debug)]
+pub struct Interpretation {
+    /// The shared frozen base segment, if this interpretation was forked.
+    base: Option<Arc<InterpretationBase>>,
+    /// The private mutable segment (the whole storage when `base` is
+    /// `None`).  Its id lists hold absolute ids (`>= base_len`).
+    overlay: Segment,
+}
+
 // `Send + Sync` audit: all storage is owned (`Vec`, `HashMap`, `BTreeSet` of
-// `Copy` terms), so a frozen interpretation can be shared by reference with
-// every pool worker of a round.
+// `Copy` terms) or shared read-only behind `Arc`, so a frozen interpretation
+// can be shared by reference with every pool worker of a round.
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<Interpretation>();
+    assert_send_sync::<InterpretationBase>();
 };
 
 impl Interpretation {
@@ -111,7 +289,28 @@ impl Interpretation {
         Interpretation::default()
     }
 
-    /// Creates an interpretation from ground atoms.
+    /// Creates an empty interpretation with storage reserved for `atoms`
+    /// inserts (arena, hash table, and position index), the base-freeze hot
+    /// path of bulk loads.
+    pub fn with_capacity(atoms: usize) -> Interpretation {
+        Interpretation {
+            base: None,
+            overlay: Segment {
+                arena: Vec::with_capacity(atoms),
+                by_hash: HashMap::with_capacity(atoms),
+                by_predicate: HashMap::new(),
+                // Heuristic: most workloads index ~2 ground positions per
+                // atom; a slight under-reservation only costs one rehash.
+                by_position: HashMap::with_capacity(atoms.saturating_mul(2)),
+                domain: BTreeSet::new(),
+                domain_occurrences: HashMap::new(),
+                extra_domain: BTreeSet::new(),
+            },
+        }
+    }
+
+    /// Creates an interpretation from ground atoms, reserving capacity up
+    /// front from the iterator's size hint.
     ///
     /// # Panics
     ///
@@ -120,11 +319,75 @@ impl Interpretation {
     where
         I: IntoIterator<Item = Atom>,
     {
-        let mut out = Interpretation::new();
-        for a in atoms {
+        let iter = atoms.into_iter();
+        let (lower, upper) = iter.size_hint();
+        let mut out = Interpretation::with_capacity(upper.unwrap_or(lower));
+        for a in iter {
             out.insert(a);
         }
         out
+    }
+
+    /// Forks a frozen base: O(1), sharing the base segment and starting an
+    /// empty private overlay.  Ids, indexes, domain, and watermark semantics
+    /// are identical to a monolithic interpretation holding the same atoms.
+    pub fn fork(base: &Arc<InterpretationBase>) -> Interpretation {
+        Interpretation {
+            base: Some(Arc::clone(base)),
+            overlay: Segment::default(),
+        }
+    }
+
+    /// Freezes this interpretation into an immutable shareable base.
+    ///
+    /// Moves the storage when possible: a monolithic interpretation is
+    /// wrapped without copying, and a fork whose overlay is empty returns
+    /// the existing base `Arc`.  A fork with a non-empty overlay is
+    /// flattened into a fresh monolithic segment first (O(len)).
+    pub fn freeze(self) -> Arc<InterpretationBase> {
+        match self.base {
+            None => Arc::new(InterpretationBase {
+                segment: self.overlay,
+            }),
+            Some(base) if self.overlay.arena.is_empty() && self.overlay.extra_domain.is_empty() => {
+                base
+            }
+            Some(base) => {
+                let mut flat =
+                    Interpretation::with_capacity(base.len() + self.overlay.arena.len());
+                for a in base.atoms() {
+                    flat.insert(a.clone());
+                }
+                for t in &base.segment.extra_domain {
+                    flat.add_domain_element(*t);
+                }
+                for a in self.overlay.arena {
+                    flat.insert(a);
+                }
+                for t in self.overlay.extra_domain {
+                    flat.add_domain_element(t);
+                }
+                Arc::new(InterpretationBase {
+                    segment: flat.overlay,
+                })
+            }
+        }
+    }
+
+    /// Number of atoms in the shared base segment (0 when not forked).
+    /// The floor of [`Interpretation::truncate`].
+    pub fn base_len(&self) -> usize {
+        self.base.as_ref().map_or(0, |b| b.len())
+    }
+
+    /// Number of atoms in the private overlay segment.
+    pub fn overlay_len(&self) -> usize {
+        self.overlay.arena.len()
+    }
+
+    /// The shared base segment, if this interpretation was forked.
+    pub fn base_handle(&self) -> Option<&Arc<InterpretationBase>> {
+        self.base.as_ref()
     }
 
     /// Inserts a ground atom into the positive part.  Returns `true` if it was
@@ -132,7 +395,9 @@ impl Interpretation {
     ///
     /// The insert performs one hash computation and, for new atoms, one
     /// `AtomId` push per index entry; the atom itself is moved into the arena
-    /// without cloning.
+    /// without cloning.  On a forked interpretation the atom lands in the
+    /// private overlay (duplicates of base atoms are detected through the
+    /// base's hash table first).
     ///
     /// # Panics
     ///
@@ -143,25 +408,45 @@ impl Interpretation {
             "interpretations contain only ground atoms, got {atom}"
         );
         let hash = atom_hash(&atom);
-        let bucket = self.by_hash.entry(hash).or_default();
-        if bucket.iter().any(|id| self.arena[id.index()] == atom) {
+        let base_len = self.base_len();
+        if let Some(base) = &self.base {
+            if let Some(bucket) = base.segment.by_hash.get(&hash) {
+                if bucket
+                    .iter()
+                    .any(|id| base.segment.arena[id.index()] == atom)
+                {
+                    return false;
+                }
+            }
+        }
+        let bucket = self
+            .overlay
+            .by_hash
+            .entry(hash)
+            .or_insert_with(|| Vec::with_capacity(BUCKET_CAPACITY));
+        if bucket
+            .iter()
+            .any(|id| self.overlay.arena[id.index() - base_len] == atom)
+        {
             return false;
         }
-        let id = AtomId(u32::try_from(self.arena.len()).expect("arena overflow"));
+        let id = AtomId(u32::try_from(base_len + self.overlay.arena.len()).expect("arena overflow"));
         bucket.push(id);
         for (position, t) in atom.args().iter().enumerate() {
-            self.domain.insert(*t);
-            *self.domain_occurrences.entry(*t).or_insert(0) += 1;
-            self.by_position
+            self.overlay.domain.insert(*t);
+            *self.overlay.domain_occurrences.entry(*t).or_insert(0) += 1;
+            self.overlay
+                .by_position
                 .entry((atom.predicate(), position as u32, *t))
-                .or_default()
+                .or_insert_with(|| Vec::with_capacity(BUCKET_CAPACITY))
                 .push(id);
         }
-        self.by_predicate
+        self.overlay
+            .by_predicate
             .entry(atom.predicate())
             .or_default()
             .push(id);
-        self.arena.push(atom);
+        self.overlay.arena.push(atom);
         true
     }
 
@@ -178,49 +463,69 @@ impl Interpretation {
     /// ids and index entries are untouched.  Explicitly registered domain
     /// elements ([`Interpretation::add_domain_element`]) are never removed.
     ///
-    /// A no-op if `len >= self.len()`.
+    /// A no-op if `len >= self.len()`.  Truncating exactly to the fork
+    /// watermark empties the overlay and leaves the shared base untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len < self.base_len()`: the base segment is frozen and
+    /// shared, so rolling back into it would corrupt every fork — callers
+    /// must retract to a mark at or above the fork watermark.
     pub fn truncate(&mut self, len: usize) {
-        while self.arena.len() > len {
-            let id = AtomId((self.arena.len() - 1) as u32);
-            let atom = self.arena.pop().expect("arena is non-empty");
+        if len >= self.len() {
+            return;
+        }
+        let base_len = self.base_len();
+        assert!(
+            len >= base_len,
+            "cannot truncate a forked interpretation below its base watermark \
+             (requested {len}, base holds {base_len} atoms)"
+        );
+        while base_len + self.overlay.arena.len() > len {
+            let id = AtomId((base_len + self.overlay.arena.len() - 1) as u32);
+            let atom = self.overlay.arena.pop().expect("arena is non-empty");
             let hash = atom_hash(&atom);
             let bucket = self
+                .overlay
                 .by_hash
                 .get_mut(&hash)
                 .expect("stored atoms have a hash bucket");
             bucket.retain(|candidate| *candidate != id);
             if bucket.is_empty() {
-                self.by_hash.remove(&hash);
+                self.overlay.by_hash.remove(&hash);
             }
             for (position, t) in atom.args().iter().enumerate() {
                 let occurrences = self
+                    .overlay
                     .domain_occurrences
                     .get_mut(t)
                     .expect("domain terms are counted");
                 *occurrences -= 1;
                 if *occurrences == 0 {
-                    self.domain_occurrences.remove(t);
-                    self.domain.remove(t);
+                    self.overlay.domain_occurrences.remove(t);
+                    self.overlay.domain.remove(t);
                 }
                 let key = (atom.predicate(), position as u32, *t);
                 let ids = self
+                    .overlay
                     .by_position
                     .get_mut(&key)
                     .expect("stored atoms are position-indexed");
                 debug_assert_eq!(ids.last(), Some(&id), "id lists are ascending");
                 ids.pop();
                 if ids.is_empty() {
-                    self.by_position.remove(&key);
+                    self.overlay.by_position.remove(&key);
                 }
             }
             let ids = self
+                .overlay
                 .by_predicate
                 .get_mut(&atom.predicate())
                 .expect("stored atoms are predicate-indexed");
             debug_assert_eq!(ids.last(), Some(&id), "id lists are ascending");
             ids.pop();
             if ids.is_empty() {
-                self.by_predicate.remove(&atom.predicate());
+                self.overlay.by_predicate.remove(&atom.predicate());
             }
         }
     }
@@ -228,7 +533,12 @@ impl Interpretation {
     /// Registers an additional domain element that need not occur in `I⁺`.
     pub fn add_domain_element(&mut self, term: Term) {
         assert!(term.is_ground(), "domain elements must be ground");
-        self.extra_domain.insert(term);
+        if let Some(base) = &self.base {
+            if base.segment.extra_domain.contains(&term) {
+                return;
+            }
+        }
+        self.overlay.extra_domain.insert(term);
     }
 
     /// Returns `true` if the positive part contains the atom.
@@ -244,14 +554,22 @@ impl Interpretation {
     /// [`Interpretation::id_of`] for an atom given as `(predicate, args)`
     /// parts, without building an [`Atom`].
     pub fn id_of_parts(&self, predicate: Symbol, args: &[Term]) -> Option<AtomId> {
-        self.by_hash
-            .get(&parts_hash(predicate, args))?
-            .iter()
-            .copied()
-            .find(|id| {
-                let stored = &self.arena[id.index()];
-                stored.predicate() == predicate && stored.args() == args
-            })
+        let hash = parts_hash(predicate, args);
+        if let Some(base) = &self.base {
+            if let Some(found) = base.segment.by_hash.get(&hash).and_then(|bucket| {
+                bucket.iter().copied().find(|id| {
+                    let stored = &base.segment.arena[id.index()];
+                    stored.predicate() == predicate && stored.args() == args
+                })
+            }) {
+                return Some(found);
+            }
+        }
+        let base_len = self.base_len();
+        self.overlay.by_hash.get(&hash)?.iter().copied().find(|id| {
+            let stored = &self.overlay.arena[id.index() - base_len];
+            stored.predicate() == predicate && stored.args() == args
+        })
     }
 
     /// [`Interpretation::contains`] for an atom given as parts.
@@ -270,12 +588,26 @@ impl Interpretation {
     ///
     /// Panics if the id does not belong to this interpretation.
     pub fn atom(&self, id: AtomId) -> &Atom {
-        &self.arena[id.index()]
+        let base_len = self.base_len();
+        if id.index() < base_len {
+            let base = self.base.as_ref().expect("ids below base_len imply a base");
+            &base.segment.arena[id.index()]
+        } else {
+            &self.overlay.arena[id.index() - base_len]
+        }
     }
 
     /// Returns `true` if `t` belongs to `dom(I)`.
     pub fn in_domain(&self, t: &Term) -> bool {
-        self.domain.contains(t) || self.extra_domain.contains(t)
+        if self.overlay.domain.contains(t) || self.overlay.extra_domain.contains(t) {
+            return true;
+        }
+        match &self.base {
+            Some(base) => {
+                base.segment.domain.contains(t) || base.segment.extra_domain.contains(t)
+            }
+            None => false,
+        }
     }
 
     /// Returns `true` if the *negative* literal `¬atom` belongs to `I`, i.e.
@@ -298,28 +630,41 @@ impl Interpretation {
     /// Also the *watermark* for delta matching: atoms inserted after `len()`
     /// was observed receive ids `>= len()`.
     pub fn len(&self) -> usize {
-        self.arena.len()
+        self.base_len() + self.overlay.arena.len()
     }
 
     /// Returns `true` if the positive part is empty.
     pub fn is_empty(&self) -> bool {
-        self.arena.is_empty()
+        self.len() == 0
     }
 
     /// Iterates over the positive part in insertion order.
     pub fn atoms(&self) -> impl Iterator<Item = &Atom> + '_ {
-        self.arena.iter()
+        let base = self
+            .base
+            .as_ref()
+            .map(|b| b.segment.arena.as_slice())
+            .unwrap_or(&[]);
+        base.iter().chain(self.overlay.arena.iter())
     }
 
     /// Iterates over the atoms inserted at or after the watermark (the value
     /// of [`Interpretation::len`] at some earlier point).
     pub fn atoms_from(&self, watermark: usize) -> impl Iterator<Item = &Atom> + '_ {
-        self.arena[watermark.min(self.arena.len())..].iter()
+        let base_len = self.base_len();
+        let base = match &self.base {
+            Some(b) if watermark < base_len => &b.segment.arena[watermark..],
+            _ => &[],
+        };
+        let overlay_start = watermark
+            .saturating_sub(base_len)
+            .min(self.overlay.arena.len());
+        base.iter().chain(self.overlay.arena[overlay_start..].iter())
     }
 
     /// Returns the positive part as a sorted vector (deterministic order).
     pub fn sorted_atoms(&self) -> Vec<Atom> {
-        let mut v: Vec<Atom> = self.arena.clone();
+        let mut v: Vec<Atom> = self.atoms().cloned().collect();
         v.sort();
         v
     }
@@ -328,15 +673,25 @@ impl Interpretation {
     pub fn atoms_with_predicate(&self, predicate: Symbol) -> impl Iterator<Item = &Atom> + '_ {
         self.ids_with_predicate(predicate)
             .iter()
-            .map(|id| &self.arena[id.index()])
+            .map(move |id| self.atom(id))
     }
 
     /// The ids (ascending) of the atoms with the given predicate.
-    pub fn ids_with_predicate(&self, predicate: Symbol) -> &[AtomId] {
-        self.by_predicate
-            .get(&predicate)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+    pub fn ids_with_predicate(&self, predicate: Symbol) -> IdProbe<'_> {
+        IdProbe {
+            base: self
+                .base
+                .as_ref()
+                .and_then(|b| b.segment.by_predicate.get(&predicate))
+                .map(Vec::as_slice)
+                .unwrap_or(&[]),
+            overlay: self
+                .overlay
+                .by_predicate
+                .get(&predicate)
+                .map(Vec::as_slice)
+                .unwrap_or(&[]),
+        }
     }
 
     /// Number of atoms with the given predicate.
@@ -347,11 +702,22 @@ impl Interpretation {
     /// Index probe: the ids (ascending) of the atoms whose predicate is
     /// `predicate` and whose argument at `position` is the ground term
     /// `term`.  This is the core lookup of the indexed join engine.
-    pub fn probe(&self, predicate: Symbol, position: u32, term: Term) -> &[AtomId] {
-        self.by_position
-            .get(&(predicate, position, term))
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+    pub fn probe(&self, predicate: Symbol, position: u32, term: Term) -> IdProbe<'_> {
+        let key = (predicate, position, term);
+        IdProbe {
+            base: self
+                .base
+                .as_ref()
+                .and_then(|b| b.segment.by_position.get(&key))
+                .map(Vec::as_slice)
+                .unwrap_or(&[]),
+            overlay: self
+                .overlay
+                .by_position
+                .get(&key)
+                .map(Vec::as_slice)
+                .unwrap_or(&[]),
+        }
     }
 
     /// Cardinality of an index probe without materialising it.
@@ -359,24 +725,41 @@ impl Interpretation {
         self.probe(predicate, position, term).len()
     }
 
+    fn base_domain_sets(&self) -> (&BTreeSet<Term>, &BTreeSet<Term>) {
+        match &self.base {
+            Some(b) => (&b.segment.domain, &b.segment.extra_domain),
+            None => (&EMPTY_TERM_SET, &EMPTY_TERM_SET),
+        }
+    }
+
     /// The domain `dom(I)` (terms of `I⁺` plus explicitly registered ones).
     pub fn domain(&self) -> BTreeSet<Term> {
-        let mut d = self.domain.clone();
-        d.extend(self.extra_domain.iter().copied());
+        let (base_domain, base_extra) = self.base_domain_sets();
+        let mut d = base_domain.clone();
+        d.extend(self.overlay.domain.iter().copied());
+        d.extend(base_extra.iter().copied());
+        d.extend(self.overlay.extra_domain.iter().copied());
         d
     }
 
-    /// Iterates over `dom(I)` without materialising a set (each term once,
-    /// in `Term` order within each of the two underlying sets).
+    /// Iterates over `dom(I)` without materialising a set: first the terms
+    /// of `I⁺` in `Term` order, then the extra domain elements not in `I⁺`,
+    /// also in `Term` order — exactly the sequence a monolithic
+    /// interpretation with the same contents produces, regardless of how
+    /// the atoms are split between base and overlay.
     pub fn domain_iter(&self) -> impl Iterator<Item = &Term> + '_ {
-        self.domain
-            .iter()
-            .chain(self.extra_domain.difference(&self.domain))
+        let (base_domain, base_extra) = self.base_domain_sets();
+        let in_true_domain =
+            move |t: &Term| base_domain.contains(t) || self.overlay.domain.contains(t);
+        SortedTermMerge::new(base_domain, &self.overlay.domain).chain(
+            SortedTermMerge::new(base_extra, &self.overlay.extra_domain)
+                .filter(move |t| !in_true_domain(t)),
+        )
     }
 
     /// Returns `true` if `self⁺ ⊆ other⁺`.
     pub fn is_subset_of(&self, other: &Interpretation) -> bool {
-        self.arena.iter().all(|a| other.contains(a))
+        self.atoms().all(|a| other.contains(a))
     }
 
     /// Returns `true` if the positive parts coincide.
@@ -387,8 +770,7 @@ impl Interpretation {
     /// Set-difference of positive parts: atoms of `self` not in `other`.
     pub fn difference(&self, other: &Interpretation) -> Vec<Atom> {
         let mut v: Vec<Atom> = self
-            .arena
-            .iter()
+            .atoms()
             .filter(|a| !other.contains(a))
             .cloned()
             .collect();
@@ -398,8 +780,13 @@ impl Interpretation {
 
     /// The set of predicates with at least one true atom.
     pub fn predicates(&self) -> HashSet<Symbol> {
-        self.by_predicate
-            .iter()
+        let base = self
+            .base
+            .as_ref()
+            .map(|b| &b.segment.by_predicate)
+            .into_iter()
+            .flatten();
+        base.chain(self.overlay.by_predicate.iter())
             .filter(|(_, v)| !v.is_empty())
             .map(|(&p, _)| p)
             .collect()
@@ -407,8 +794,8 @@ impl Interpretation {
 
     /// Returns the nulls occurring in the positive part.
     pub fn nulls(&self) -> BTreeSet<Term> {
-        self.domain
-            .iter()
+        let (base_domain, _) = self.base_domain_sets();
+        SortedTermMerge::new(base_domain, &self.overlay.domain)
             .filter(|t| t.is_null())
             .copied()
             .collect()
@@ -417,7 +804,8 @@ impl Interpretation {
 
 impl PartialEq for Interpretation {
     /// Two interpretations are equal when their positive parts and domains
-    /// coincide.
+    /// coincide (regardless of how atoms are split between base and
+    /// overlay).
     fn eq(&self, other: &Self) -> bool {
         self.same_atoms_as(other) && self.domain() == other.domain()
     }
@@ -560,7 +948,7 @@ mod tests {
         assert_eq!(i.predicate_count(pred), 3);
         assert_eq!(i.predicate_count(Symbol::intern("missing")), 0);
         // Probes return ascending ids.
-        let ids = i.probe(pred, 1, cst("c"));
+        let ids: Vec<AtomId> = i.probe(pred, 1, cst("c")).iter().collect();
         assert!(ids.windows(2).all(|w| w[0] < w[1]));
     }
 
@@ -685,5 +1073,175 @@ mod tests {
         let delta: Vec<String> = i.atoms_from(watermark).map(Atom::to_string).collect();
         assert_eq!(delta, vec!["p(b)", "q(c)"]);
         assert_eq!(i.atoms_from(100).count(), 0);
+    }
+
+    // ---- base + overlay (copy-on-write forking) ----
+
+    /// A monolithic interpretation and a base+overlay fork holding the same
+    /// atoms, split after the first two inserts.
+    fn monolithic_and_forked() -> (Interpretation, Interpretation) {
+        let first = vec![
+            atom("edge", vec![cst("a"), cst("b")]),
+            atom("edge", vec![cst("b"), cst("c")]),
+        ];
+        let second = vec![
+            atom("edge", vec![cst("a"), cst("c")]),
+            atom("node", vec![cst("d")]),
+        ];
+        let mut mono = Interpretation::from_atoms(first.clone());
+        let base = Interpretation::from_atoms(first).freeze();
+        let mut fork = Interpretation::fork(&base);
+        for a in second {
+            mono.insert(a.clone());
+            fork.insert(a);
+        }
+        (mono, fork)
+    }
+
+    #[test]
+    fn fork_is_observationally_identical_to_monolithic() {
+        let (mono, fork) = monolithic_and_forked();
+        assert_eq!(fork.base_len(), 2);
+        assert_eq!(fork.overlay_len(), 2);
+        assert_eq!(mono, fork);
+        assert_eq!(mono.len(), fork.len());
+        assert_eq!(
+            mono.atoms().collect::<Vec<_>>(),
+            fork.atoms().collect::<Vec<_>>()
+        );
+        assert_eq!(mono.sorted_atoms(), fork.sorted_atoms());
+        assert_eq!(mono.domain(), fork.domain());
+        assert_eq!(mono.predicates(), fork.predicates());
+        assert_eq!(mono.to_string(), fork.to_string());
+        // Ids are dense and agree across the boundary.
+        for id in 0..mono.len() {
+            assert_eq!(mono.atom(AtomId(id as u32)), fork.atom(AtomId(id as u32)));
+        }
+        let e = atom("edge", vec![cst("a"), cst("c")]);
+        assert_eq!(mono.id_of(&e), fork.id_of(&e));
+    }
+
+    #[test]
+    fn probes_chain_base_then_overlay_ascending() {
+        let (mono, fork) = monolithic_and_forked();
+        let pred = Symbol::intern("edge");
+        let mono_ids: Vec<AtomId> = mono.ids_with_predicate(pred).iter().collect();
+        let fork_ids: Vec<AtomId> = fork.ids_with_predicate(pred).iter().collect();
+        assert_eq!(mono_ids, fork_ids);
+        assert!(fork_ids.windows(2).all(|w| w[0] < w[1]));
+        // A probe spanning the boundary: edge(a, _) has one base and one
+        // overlay match.
+        let probe = fork.probe(pred, 0, cst("a"));
+        assert_eq!(probe.len(), 2);
+        let spanning: Vec<AtomId> = probe.iter().collect();
+        assert_eq!(spanning, vec![AtomId(0), AtomId(2)]);
+        // Watermark splits cut the concatenation, not the segments.
+        assert_eq!(probe.below(2).iter().collect::<Vec<_>>(), vec![AtomId(0)]);
+        assert_eq!(probe.since(2).iter().collect::<Vec<_>>(), vec![AtomId(2)]);
+        assert_eq!(fork.predicate_count(pred), mono.predicate_count(pred));
+        assert_eq!(
+            fork.probe_count(pred, 1, cst("c")),
+            mono.probe_count(pred, 1, cst("c"))
+        );
+    }
+
+    #[test]
+    fn forked_duplicate_of_a_base_atom_is_rejected() {
+        let (_, mut fork) = monolithic_and_forked();
+        assert!(!fork.insert(atom("edge", vec![cst("a"), cst("b")])));
+        assert!(!fork.insert(atom("edge", vec![cst("a"), cst("c")])));
+        assert_eq!(fork.len(), 4);
+    }
+
+    #[test]
+    fn domain_iter_order_matches_monolithic_across_the_boundary() {
+        let (mut mono, mut fork) = monolithic_and_forked();
+        mono.add_domain_element(cst("zed"));
+        fork.add_domain_element(cst("zed"));
+        // An extra element that is also an atom term stays deduplicated.
+        mono.add_domain_element(cst("a"));
+        fork.add_domain_element(cst("a"));
+        let mono_seq: Vec<Term> = mono.domain_iter().copied().collect();
+        let fork_seq: Vec<Term> = fork.domain_iter().copied().collect();
+        assert_eq!(mono_seq, fork_seq);
+        assert_eq!(mono.nulls(), fork.nulls());
+    }
+
+    #[test]
+    fn truncate_to_the_base_watermark_empties_the_overlay_only() {
+        let (_, mut fork) = monolithic_and_forked();
+        let base_len = fork.base_len();
+        fork.truncate(base_len);
+        assert_eq!(fork.len(), base_len);
+        assert_eq!(fork.overlay_len(), 0);
+        assert!(fork.contains(&atom("edge", vec![cst("a"), cst("b")])));
+        assert!(!fork.contains(&atom("node", vec![cst("d")])));
+        assert!(!fork.in_domain(&cst("d")));
+        // Truncating to the watermark again (overlay already empty) is a
+        // no-op on the base segment.
+        fork.truncate(base_len);
+        assert_eq!(fork.len(), base_len);
+        // The arena keeps working: overlay ids restart at the watermark.
+        assert!(fork.insert(atom("node", vec![cst("e")])));
+        assert_eq!(
+            fork.id_of(&atom("node", vec![cst("e")])),
+            Some(AtomId(base_len as u32))
+        );
+    }
+
+    #[test]
+    fn truncate_across_the_base_boundary_rolls_back_mixed_epochs() {
+        let (_, mut fork) = monolithic_and_forked();
+        let mark = fork.len();
+        fork.insert(atom("node", vec![cst("e")]));
+        fork.insert(atom("edge", vec![cst("c"), cst("a")]));
+        fork.truncate(mark);
+        assert_eq!(fork.len(), mark);
+        assert_eq!(fork.overlay_len(), mark - fork.base_len());
+        assert!(!fork.contains(&atom("node", vec![cst("e")])));
+        assert_eq!(fork.probe(Symbol::intern("edge"), 0, cst("c")).len(), 0);
+        assert!(fork.contains(&atom("edge", vec![cst("a"), cst("c")])));
+    }
+
+    #[test]
+    #[should_panic(expected = "below its base watermark")]
+    fn truncate_below_the_base_watermark_panics() {
+        let (_, mut fork) = monolithic_and_forked();
+        fork.truncate(fork.base_len() - 1);
+    }
+
+    #[test]
+    fn freeze_of_an_unforked_interpretation_is_zero_copy_and_refreezable() {
+        let (mono, fork) = monolithic_and_forked();
+        // Freezing a fork with an empty overlay returns the same base.
+        let base = Interpretation::from_atoms(vec![atom("p", vec![cst("a")])]).freeze();
+        let refrozen = Interpretation::fork(&base).freeze();
+        assert!(Arc::ptr_eq(&base, &refrozen));
+        // Freezing a fork with a non-empty overlay flattens it; the result
+        // behaves like the monolithic equivalent.
+        let flat = fork.freeze();
+        assert_eq!(flat.len(), mono.len());
+        let reforked = Interpretation::fork(&flat);
+        assert_eq!(reforked, mono);
+        assert_eq!(
+            reforked.atoms().collect::<Vec<_>>(),
+            mono.atoms().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn forks_are_independent_of_each_other() {
+        let base = Interpretation::from_atoms(vec![atom("p", vec![cst("a")])]).freeze();
+        let mut f1 = Interpretation::fork(&base);
+        let mut f2 = Interpretation::fork(&base);
+        f1.insert(atom("p", vec![cst("b")]));
+        f2.insert(atom("p", vec![cst("c")]));
+        assert!(f1.contains(&atom("p", vec![cst("b")])));
+        assert!(!f1.contains(&atom("p", vec![cst("c")])));
+        assert!(f2.contains(&atom("p", vec![cst("c")])));
+        assert!(!f2.contains(&atom("p", vec![cst("b")])));
+        // Both assign the same dense id to their first overlay atom.
+        assert_eq!(f1.id_of(&atom("p", vec![cst("b")])), Some(AtomId(1)));
+        assert_eq!(f2.id_of(&atom("p", vec![cst("c")])), Some(AtomId(1)));
     }
 }

@@ -38,7 +38,7 @@ pub mod term;
 pub use atom::{Atom, Literal};
 pub use database::Database;
 pub use error::{CoreError, CoreResult};
-pub use interpretation::{AtomId, Interpretation};
+pub use interpretation::{AtomId, IdProbe, Interpretation, InterpretationBase};
 pub use matcher::{
     all_atom_homomorphisms_delta, all_homomorphisms, exists_homomorphism,
     for_each_homomorphism_delta, CompiledConjunction, SlotBinding,

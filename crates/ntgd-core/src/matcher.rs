@@ -89,7 +89,7 @@ use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::atom::{Atom, Literal};
-use crate::interpretation::{AtomId, Interpretation};
+use crate::interpretation::{AtomId, IdProbe, Interpretation};
 use crate::substitution::Substitution;
 use crate::symbol::Symbol;
 use crate::term::Term;
@@ -700,18 +700,12 @@ fn reconstruct_atoms(patterns: &[Pattern], slot_keys: &[Term]) -> Vec<Atom> {
         .collect()
 }
 
-/// Restricts an ascending id list to a delta class at `watermark`.
-fn restrict(ids: &[AtomId], class: DeltaClass, watermark: usize) -> &[AtomId] {
+/// Restricts an ascending id probe to a delta class at `watermark`.
+fn restrict(ids: IdProbe<'_>, class: DeltaClass, watermark: usize) -> IdProbe<'_> {
     match class {
         DeltaClass::All => ids,
-        DeltaClass::Old => {
-            let cut = ids.partition_point(|id| id.index() < watermark);
-            &ids[..cut]
-        }
-        DeltaClass::Delta => {
-            let cut = ids.partition_point(|id| id.index() < watermark);
-            &ids[cut..]
-        }
+        DeltaClass::Old => ids.below(watermark),
+        DeltaClass::Delta => ids.since(watermark),
     }
 }
 
@@ -904,8 +898,8 @@ impl<'c, 'i> Exec<'c, 'i> {
     /// bindings: the smallest index probe over its bound positions, or the
     /// predicate's id list when no position is bound.  Returns `None` when
     /// the pattern cannot match at all (a fixed argument is non-ground).
-    fn candidates(&self, pattern: &Pattern) -> Option<&'i [AtomId]> {
-        let mut best: Option<&[AtomId]> = None;
+    fn candidates(&self, pattern: &Pattern) -> Option<IdProbe<'i>> {
+        let mut best: Option<IdProbe<'i>> = None;
         for (position, spec) in pattern.args.iter().enumerate() {
             let bound = match spec {
                 ArgSpec::Fixed(t) => Some(*t),
@@ -938,37 +932,64 @@ impl<'c, 'i> Exec<'c, 'i> {
         };
         let ids = restrict(ids, self.class_of(pattern_index), self.watermark);
         let arity = self.plan.positives[pattern_index].args.len();
-        for &id in ids {
-            let candidate = self.target.atom(id);
-            if candidate.arity() != arity {
-                continue;
-            }
-            let mark = self.trail.len();
-            let mut ok = true;
-            for (position, value) in candidate.args().iter().enumerate() {
-                // `candidate` borrows from the arena, never from `self`'s
-                // mutable state, so reading args while binding slots is fine.
-                let matched = match self.plan.positives[pattern_index].args[position] {
-                    ArgSpec::Fixed(t) => t == *value,
-                    ArgSpec::Slot(s) => match self.slots[s] {
-                        Some(existing) => existing == *value,
-                        None => {
-                            self.slots[s] = Some(*value);
-                            self.trail.push(s);
-                            true
-                        }
-                    },
-                };
-                if !matched {
-                    ok = false;
-                    break;
-                }
-            }
-            if ok {
-                self.match_positives(step + 1, visit)?;
-            }
-            self.undo_to(mark);
+        // Two back-to-back slice loops (base segment, then overlay) keep
+        // this innermost loop free of the chain iterator's per-element
+        // branch; the concatenation is ascending, so the enumeration order
+        // is identical to a single merged list.
+        let (base_ids, overlay_ids) = ids.slices();
+        for &id in base_ids {
+            self.match_candidate(step, pattern_index, arity, id, visit)?;
         }
+        for &id in overlay_ids {
+            self.match_candidate(step, pattern_index, arity, id, visit)?;
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// Tries one candidate atom against the pattern at `pattern_index`,
+    /// recursing into the next join level on a match.  The innermost body of
+    /// [`Exec::match_positives`].
+    #[inline]
+    fn match_candidate<F>(
+        &mut self,
+        step: usize,
+        pattern_index: usize,
+        arity: usize,
+        id: AtomId,
+        visit: &mut F,
+    ) -> ControlFlow<()>
+    where
+        F: FnMut(&SlotBinding<'_>) -> ControlFlow<()>,
+    {
+        let candidate = self.target.atom(id);
+        if candidate.arity() != arity {
+            return ControlFlow::Continue(());
+        }
+        let mark = self.trail.len();
+        let mut ok = true;
+        for (position, value) in candidate.args().iter().enumerate() {
+            // `candidate` borrows from the arena, never from `self`'s
+            // mutable state, so reading args while binding slots is fine.
+            let matched = match self.plan.positives[pattern_index].args[position] {
+                ArgSpec::Fixed(t) => t == *value,
+                ArgSpec::Slot(s) => match self.slots[s] {
+                    Some(existing) => existing == *value,
+                    None => {
+                        self.slots[s] = Some(*value);
+                        self.trail.push(s);
+                        true
+                    }
+                },
+            };
+            if !matched {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            self.match_positives(step + 1, visit)?;
+        }
+        self.undo_to(mark);
         ControlFlow::Continue(())
     }
 

@@ -14,7 +14,7 @@
 use std::net::TcpListener;
 use std::process::ExitCode;
 
-use ntgd_server::{serve_repl, serve_tcp, SessionConfig};
+use ntgd_server::{serve_repl, serve_tcp, BaseRegistry, SessionConfig};
 
 fn usage() -> &'static str {
     "usage: ntgd-serve [--repl | --listen <addr>] [--max-steps N] [--max-models N]"
@@ -55,6 +55,10 @@ fn main() -> ExitCode {
             }
         }
     }
+    // One shared-base registry per process: sessions that LOAD the same
+    // program fork one frozen chased base instead of each re-chasing it
+    // (disable with NTGD_SHARED_BASE=0; see the ntgd_server crate docs).
+    config.base_registry = BaseRegistry::from_env();
     let outcome = match listen {
         None => serve_repl(config),
         Some(addr) => match TcpListener::bind(&addr) {

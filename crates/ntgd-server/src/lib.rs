@@ -31,8 +31,10 @@
 //! query     = "QUERY" query-text            ; "?- lits." or "?(X) :- lits."
 //! models    = "MODELS" ["sms" | "lp"] ["max=" n]
 //! retract   = "RETRACT-TO" mark             ; roll back to an earlier mark
-//! stats     = "STATS" ["sms"]               ; "sms": only the deterministic
-//!                                           ;   incremental-MODELS counters
+//! stats     = "STATS" ["sms" | "base"]      ; "sms": only the deterministic
+//!                                           ;   incremental-MODELS counters;
+//!                                           ; "base": only the shared-base
+//!                                           ;   counters
 //! ping      = "PING"
 //! help      = "HELP"
 //! quit      = "QUIT"                        ; closes the session
@@ -122,11 +124,54 @@
 //! construct the session with [`SessionConfig::incremental_models`] off):
 //! every `MODELS sms` then grounds from scratch — the oracle path of the
 //! differential tests — and `STATS` reports `sms_incremental=false`.
+//!
+//! # Shared-base caching contract
+//!
+//! With a [`BaseRegistry`] attached ([`SessionConfig::base_registry`]; the
+//! `ntgd-serve` binary installs one per process unless `NTGD_SHARED_BASE=0`),
+//! sessions that `LOAD` the same program share one chased base instead of
+//! each re-chasing it:
+//!
+//! * **Identity.**  A base is keyed by the *canonical program text* — the
+//!   trimmed `LOAD` payload, initial facts included — plus the session's
+//!   `max_steps` budget.  Textually different spellings of one program miss
+//!   the cache (conservative: two distinct programs can never alias); a
+//!   changed step budget is a different key, since it could freeze a
+//!   different fixpoint attempt.
+//! * **First `LOAD` (miss).**  The session parses, compiles, chases the
+//!   initial facts to a fixpoint, eagerly grounds the `MODELS sms` closure
+//!   of those facts, then freezes everything — arena, compiled plans,
+//!   witness memo, grounding snapshot — behind `Arc`s and registers the
+//!   entry.  Registration is first-wins under races; losing builds are
+//!   discarded.
+//! * **Every `LOAD` of a registered key (hit — and the registering `LOAD`
+//!   itself).**  The session *forks* the entry in O(1): its arena is a
+//!   mutable overlay over the shared immutable base
+//!   (`ntgd_core::Interpretation`), `ASSERT` chases only the private fact
+//!   delta, `RETRACT-TO` can roll back to mark 0 (the fork watermark) but
+//!   never into the base, and `MODELS sms` answers over the unextended base
+//!   prefix zero-copy, adopting the snapshot on the first extension.
+//!   Forking is symmetric — the first session forks its own frozen base —
+//!   so a forked session's transcript is bit-identical to a private
+//!   from-scratch session at every thread count and pool mode
+//!   (`tests/differential_oracle.rs` asserts this over randomised streams).
+//! * **Invalidation.**  Entries are immutable and never invalidated:
+//!   sessions only ever layer private overlays on top, and `LOAD` always
+//!   replaces the whole session state, so a stale base cannot exist.  The
+//!   registry lives as long as the process; its memory is bounded by the
+//!   number of distinct programs loaded.
+//!
+//! `STATS base` reports the deterministic counters: `base_shared`, the
+//! `base_atoms`/`base_overlay_atoms` split of the session arena at the fork
+//! watermark, and the per-key registry counters `base_registry_hits`,
+//! `base_registry_misses`, `base_rebuilds` and `base_forks`.
 
 pub mod protocol;
+pub mod registry;
 pub mod server;
 pub mod session;
 
-pub use protocol::{parse_command, Command, ModelsMode, Response};
+pub use protocol::{parse_command, Command, ModelsMode, Response, StatsScope};
+pub use registry::{BaseEntry, BaseKey, BaseRegistry, BaseStats};
 pub use server::{handle_session, serve_repl, serve_tcp};
 pub use session::{Session, SessionConfig};

@@ -25,6 +25,20 @@ impl fmt::Display for ModelsMode {
     }
 }
 
+/// Which counters `STATS` prints.  The `sms` and `base` scopes print only
+/// lines that are a pure function of the request history — never of thread
+/// count, pool mode or machine — so transcripts can assert them verbatim.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StatsScope {
+    /// Everything, including the machine-dependent pool counters.
+    All,
+    /// Only the deterministic incremental-`MODELS` reuse counters.
+    Sms,
+    /// Only the deterministic shared-base counters (registry hits/misses,
+    /// base vs overlay atom counts, fork count).
+    Base,
+}
+
 /// One parsed request line.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Command {
@@ -43,14 +57,11 @@ pub enum Command {
     },
     /// `RETRACT-TO <mark>`: roll back to an earlier epoch mark.
     RetractTo(usize),
-    /// `STATS [sms]`: session and engine statistics.  The `sms` scope
-    /// prints only the incremental-`MODELS` reuse counters, which are a
-    /// pure function of the request history — never of thread count, pool
-    /// mode or machine — so transcripts can assert them verbatim.
+    /// `STATS [sms|base]`: session and engine statistics, optionally
+    /// restricted to one deterministic counter scope (see [`StatsScope`]).
     Stats {
-        /// Restrict the output to the deterministic incremental-`MODELS`
-        /// counters.
-        sms_only: bool,
+        /// Which counters to print.
+        scope: StatsScope,
     },
     /// `PING`: liveness check.
     Ping,
@@ -121,8 +132,15 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
             .map(Command::RetractTo)
             .map_err(|_| format!("bad mark: {rest:?}")),
         "STATS" => match rest.to_ascii_lowercase().as_str() {
-            "" => Ok(Command::Stats { sms_only: false }),
-            "sms" => Ok(Command::Stats { sms_only: true }),
+            "" => Ok(Command::Stats {
+                scope: StatsScope::All,
+            }),
+            "sms" => Ok(Command::Stats {
+                scope: StatsScope::Sms,
+            }),
+            "base" => Ok(Command::Stats {
+                scope: StatsScope::Base,
+            }),
             other => Err(format!("unknown STATS scope: {other}")),
         },
         "PING" => Ok(Command::Ping),
@@ -208,11 +226,21 @@ mod tests {
         assert_eq!(parse_command("RETRACT-TO 3"), Ok(Command::RetractTo(3)));
         assert_eq!(
             parse_command("stats"),
-            Ok(Command::Stats { sms_only: false })
+            Ok(Command::Stats {
+                scope: StatsScope::All
+            })
         );
         assert_eq!(
             parse_command("STATS sms"),
-            Ok(Command::Stats { sms_only: true })
+            Ok(Command::Stats {
+                scope: StatsScope::Sms
+            })
+        );
+        assert_eq!(
+            parse_command("STATS Base"),
+            Ok(Command::Stats {
+                scope: StatsScope::Base
+            })
         );
         assert!(parse_command("STATS quantum").is_err());
         assert_eq!(parse_command("QUIT"), Ok(Command::Quit));

@@ -1,0 +1,269 @@
+//! The process-wide shared-base registry: one chased, frozen base per
+//! distinct `LOAD` payload, forked copy-on-write into every session that
+//! loads the same program.
+//!
+//! The first `LOAD` of a program parses it, compiles the rule plans, chases
+//! the initial facts to a fixpoint and grounds the `MODELS sms` closure —
+//! then **freezes** all of that behind `Arc`s as a [`BaseEntry`] and
+//! registers it under the program's [`BaseKey`].  Every later `LOAD` of the
+//! same payload (the registering session included — forking is symmetric,
+//! so first and later sessions produce bit-identical transcripts) *forks*
+//! the entry in O(1): the session shares the chased arena, the compiled
+//! plans and the frozen grounding, and chases only its private fact delta
+//! on a mutable overlay (see `ntgd_core::Interpretation`,
+//! `ntgd_chase::ChaseBase` and `ntgd_sms::SmsBaseSnapshot`).
+//!
+//! Entries are keyed by the **canonical program text** (the trimmed `LOAD`
+//! payload, rules and initial facts alike) plus the chase step budget they
+//! were built under.  Textually different spellings of the same program
+//! miss the cache — a conservative identity that can never alias two
+//! distinct programs.  Registration is first-wins: when two sessions race
+//! to build the same base, the second registration is discarded and the
+//! loser forks the winner's entry, so every session of a process shares one
+//! arena per program.
+//!
+//! Per-entry counters (`hits`, `misses`, `rebuilds`, `forks`) are a pure
+//! function of the `LOAD` history for that key — never of thread count,
+//! pool mode or machine — so scripted transcripts can assert the `STATS
+//! base` lines verbatim.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ntgd_chase::ChaseBase;
+use ntgd_core::{Atom, DisjunctiveProgram, Program};
+use ntgd_sms::SmsBaseSnapshot;
+
+/// The canonical identity of a shared base: the exact (trimmed) `LOAD`
+/// payload plus the chase step budget it was chased under.  Two sessions
+/// share a base iff their keys are equal — the full text is the key, so
+/// distinct programs can never alias.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct BaseKey {
+    text: String,
+    max_steps: usize,
+}
+
+impl BaseKey {
+    /// Canonicalises a `LOAD` payload into a registry key.
+    pub fn new(text: &str, max_steps: usize) -> BaseKey {
+        BaseKey {
+            text: text.trim().to_owned(),
+            max_steps,
+        }
+    }
+}
+
+/// A point-in-time copy of one entry's counters (see [`BaseEntry::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BaseStats {
+    /// `LOAD`s answered by forking this entry without building anything.
+    pub hits: u64,
+    /// `LOAD`s that found no entry for the key and had to build one.
+    pub misses: u64,
+    /// Bases actually chased and frozen for the key (equals `misses`
+    /// except when concurrent sessions race and the losers' builds are
+    /// discarded first-wins).
+    pub rebuilds: u64,
+    /// Sessions forked from this entry (the registering session forks too,
+    /// so `forks = hits + 1` once the first `LOAD` completes).
+    pub forks: u64,
+}
+
+/// One frozen base: everything a session needs to answer the protocol over
+/// a program without re-parsing, re-compiling, re-chasing or re-grounding
+/// it.  Immutable after registration; shared via `Arc`.
+pub struct BaseEntry {
+    /// The parsed rules (possibly disjunctive), shared with every fork.
+    pub(crate) disjunctive: Arc<DisjunctiveProgram>,
+    /// The rules as a normal program, when no rule uses `|`.
+    pub(crate) normal: Option<Program>,
+    /// The frozen chase: arena at fixpoint, plans, witness memo (normal
+    /// programs only).
+    pub(crate) chase: Option<Arc<ChaseBase>>,
+    /// The frozen `MODELS sms` grounding of the initial facts, when the
+    /// grounding succeeded and incremental `MODELS` is enabled.
+    pub(crate) sms: Option<Arc<SmsBaseSnapshot>>,
+    /// The deduplicated initial facts, in assertion order.
+    pub(crate) facts: Vec<Atom>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    rebuilds: AtomicU64,
+    forks: AtomicU64,
+}
+
+impl BaseEntry {
+    /// Wraps a frozen base (see `Session::load` for how one is built).
+    pub(crate) fn new(
+        disjunctive: Arc<DisjunctiveProgram>,
+        normal: Option<Program>,
+        chase: Option<Arc<ChaseBase>>,
+        sms: Option<Arc<SmsBaseSnapshot>>,
+        facts: Vec<Atom>,
+    ) -> BaseEntry {
+        BaseEntry {
+            disjunctive,
+            normal,
+            chase,
+            sms,
+            facts,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            rebuilds: AtomicU64::new(0),
+            forks: AtomicU64::new(0),
+        }
+    }
+
+    /// Atoms in the frozen base (the chased arena, or the fact count when
+    /// the program is disjunctive and has no chase).
+    pub fn base_atoms(&self) -> usize {
+        self.chase
+            .as_ref()
+            .map(|chase| chase.instance().len())
+            .unwrap_or(self.facts.len())
+    }
+
+    /// This entry's counters, copied at the call.
+    pub fn stats(&self) -> BaseStats {
+        BaseStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            rebuilds: self.rebuilds.load(Ordering::Relaxed),
+            forks: self.forks.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn record_fork(&self) {
+        self.forks.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The registry itself: a mutex-guarded map from [`BaseKey`] to
+/// [`BaseEntry`].  Create one per process (the `ntgd-serve` binary does,
+/// unless `NTGD_SHARED_BASE=0`) and share it via
+/// [`crate::SessionConfig::base_registry`]; the `Arc` in the config is what
+/// makes every per-connection clone point at the same registry.
+#[derive(Default)]
+pub struct BaseRegistry {
+    entries: Mutex<HashMap<BaseKey, Arc<BaseEntry>>>,
+}
+
+impl BaseRegistry {
+    /// An empty registry.
+    pub fn new() -> BaseRegistry {
+        BaseRegistry::default()
+    }
+
+    /// The process default: a fresh shared registry, or `None` when the
+    /// `NTGD_SHARED_BASE=0` escape hatch disables base sharing (every
+    /// session then builds privately, the pre-registry behaviour).
+    pub fn from_env() -> Option<Arc<BaseRegistry>> {
+        std::env::var("NTGD_SHARED_BASE")
+            .map_or(true, |value| value != "0")
+            .then(|| Arc::new(BaseRegistry::new()))
+    }
+
+    /// Looks a key up, recording a hit when found.
+    pub fn lookup(&self, key: &BaseKey) -> Option<Arc<BaseEntry>> {
+        let entries = self.entries.lock().expect("base registry poisoned");
+        entries.get(key).map(|entry| {
+            entry.hits.fetch_add(1, Ordering::Relaxed);
+            Arc::clone(entry)
+        })
+    }
+
+    /// Registers a freshly built base, first-wins: when the key is already
+    /// present (a concurrent session built the same base), the new entry is
+    /// discarded and the existing one returned, so every session forks the
+    /// same arena.  Either way the surviving entry records the miss and the
+    /// build that led here.
+    pub fn register(&self, key: BaseKey, entry: Arc<BaseEntry>) -> Arc<BaseEntry> {
+        let mut entries = self.entries.lock().expect("base registry poisoned");
+        let winner = Arc::clone(entries.entry(key).or_insert(entry));
+        winner.misses.fetch_add(1, Ordering::Relaxed);
+        winner.rebuilds.fetch_add(1, Ordering::Relaxed);
+        winner
+    }
+
+    /// The counters of a key's entry, if registered.
+    pub fn stats(&self, key: &BaseKey) -> Option<BaseStats> {
+        let entries = self.entries.lock().expect("base registry poisoned");
+        entries.get(key).map(|entry| entry.stats())
+    }
+
+    /// Number of registered bases.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("base registry poisoned").len()
+    }
+
+    /// Whether no base has been registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Debug for BaseRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BaseRegistry")
+            .field("entries", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_entry() -> Arc<BaseEntry> {
+        Arc::new(BaseEntry::new(
+            Arc::new(DisjunctiveProgram::default()),
+            None,
+            None,
+            None,
+            Vec::new(),
+        ))
+    }
+
+    #[test]
+    fn keys_canonicalise_whitespace_but_not_content() {
+        assert_eq!(
+            BaseKey::new("  p(X) -> q(X).  ", 10),
+            BaseKey::new("p(X) -> q(X).", 10)
+        );
+        assert_ne!(
+            BaseKey::new("p(X) -> q(X).", 10),
+            BaseKey::new("p(X) -> q(X).", 11)
+        );
+        assert_ne!(
+            BaseKey::new("p(X) -> q(X).", 10),
+            BaseKey::new("p(X) -> r(X).", 10)
+        );
+    }
+
+    #[test]
+    fn register_is_first_wins_and_counts() {
+        let registry = BaseRegistry::new();
+        let key = BaseKey::new("p(a).", 10);
+        assert!(registry.lookup(&key).is_none());
+        let first = registry.register(key.clone(), empty_entry());
+        // A racing second build is discarded; its miss lands on the winner.
+        let second = registry.register(key.clone(), empty_entry());
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(registry.len(), 1);
+        let found = registry.lookup(&key).expect("registered");
+        assert!(Arc::ptr_eq(&first, &found));
+        found.record_fork();
+        let stats = registry.stats(&key).expect("registered");
+        assert_eq!(
+            stats,
+            BaseStats {
+                hits: 1,
+                misses: 2,
+                rebuilds: 2,
+                forks: 1
+            }
+        );
+    }
+}

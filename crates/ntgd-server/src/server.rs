@@ -39,7 +39,10 @@ where
 
 /// Serves sessions over TCP: accepts connections forever, one thread and one
 /// independent [`Session`] per connection.  All sessions share the
-/// process-wide persistent worker pool of `ntgd_core::parallel`.
+/// process-wide persistent worker pool of `ntgd_core::parallel` — and, when
+/// `config.base_registry` is set, one shared-base registry: the per-connection
+/// config clone clones only the `Arc`, so every session forks the same frozen
+/// bases (see the crate documentation's *shared-base caching contract*).
 pub fn serve_tcp(listener: TcpListener, config: SessionConfig) -> io::Result<()> {
     for stream in listener.incoming() {
         let stream = match stream {

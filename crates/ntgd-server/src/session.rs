@@ -10,7 +10,8 @@ use ntgd_lp::{LpEngine, LpLimits};
 use ntgd_parser::{parse_database, parse_query, parse_unit};
 use ntgd_sms::{GroundingLimits, IncrementalSmsState, NullBudget, SmsEngine, SmsError, SmsOptions};
 
-use crate::protocol::{parse_command, Command, ModelsMode, Response};
+use crate::protocol::{parse_command, Command, ModelsMode, Response, StatsScope};
+use crate::registry::{BaseEntry, BaseKey, BaseRegistry};
 
 /// Per-session limits.
 #[derive(Clone, Debug)]
@@ -25,6 +26,14 @@ pub struct SessionConfig {
     /// from scratch — the oracle path the differential tests compare
     /// against, and a debugging escape hatch (`NTGD_SMS_INCREMENTAL=0`).
     pub incremental_models: bool,
+    /// The process-wide shared-base registry, if base sharing is on: the
+    /// first `LOAD` of a program chases and freezes its base there, and
+    /// every later `LOAD` of the same payload forks it copy-on-write
+    /// instead of re-chasing (see the crate documentation's *shared-base
+    /// caching contract*).  `None` (the default) builds every session
+    /// privately; `ntgd-serve` installs one registry per process unless
+    /// `NTGD_SHARED_BASE=0`.
+    pub base_registry: Option<Arc<BaseRegistry>>,
 }
 
 impl Default for SessionConfig {
@@ -34,6 +43,7 @@ impl Default for SessionConfig {
             max_models: 64,
             incremental_models: std::env::var("NTGD_SMS_INCREMENTAL")
                 .map_or(true, |value| value != "0"),
+            base_registry: None,
         }
     }
 }
@@ -68,6 +78,11 @@ struct Loaded {
     generation: u64,
     /// Session-scoped `MODELS` cache for the current generation.
     models_cache: Option<(u64, ModelsMode, usize, Vec<String>)>,
+    /// The registry key this state was forked from, when it shares a base.
+    shared: Option<BaseKey>,
+    /// Facts covered by the shared base (0 when built privately); the
+    /// `STATS base` overlay count for chase-less (disjunctive) sessions.
+    base_facts: usize,
 }
 
 /// A reasoning session.  [`Session::execute`] drives it with protocol lines;
@@ -100,7 +115,7 @@ impl Session {
                     "QUERY <?- lits. | ?(X) :- lits.>  certain answers",
                     "MODELS [sms|lp] [max=<n>]   enumerate stable models",
                     "RETRACT-TO <mark>           roll back to an epoch mark",
-                    "STATS [sms] | PING | HELP | QUIT",
+                    "STATS [sms|base] | PING | HELP | QUIT",
                 ]
                 .iter()
                 .map(|s| format!("INFO {s}"))
@@ -116,24 +131,57 @@ impl Session {
             Ok(Command::Query(text)) => self.query_text(&text),
             Ok(Command::Models { mode, max }) => self.models(mode, max),
             Ok(Command::RetractTo(mark)) => self.retract_to(mark),
-            Ok(Command::Stats { sms_only }) => self.stats(sms_only),
+            Ok(Command::Stats { scope }) => self.stats(scope),
         }
     }
 
     /// `LOAD`: parse rules (and optional initial facts), compile the rule
     /// plans, run the initial chase and establish mark 0.  Replaces any
     /// previously loaded state; on error the previous state is kept.
+    ///
+    /// With a [`SessionConfig::base_registry`] attached, the chased base of
+    /// the first `LOAD` of a payload is frozen and registered, and every
+    /// `LOAD` of the same payload — this first one included, so transcripts
+    /// never depend on arrival order — *forks* that base copy-on-write
+    /// instead of re-parsing, re-compiling, re-chasing and re-grounding it.
     pub fn load(&mut self, text: &str) -> Response {
+        if let Some(registry) = self.config.base_registry.clone() {
+            let key = BaseKey::new(text, self.config.max_steps);
+            let entry = match registry.lookup(&key) {
+                Some(entry) => entry,
+                None => {
+                    let built = match self.build_loaded(text) {
+                        Ok(built) => built,
+                        Err(response) => return response,
+                    };
+                    registry.register(
+                        key.clone(),
+                        Arc::new(Self::freeze_loaded(built)),
+                    )
+                }
+            };
+            let forked = Self::fork_loaded(&entry, &self.config, key);
+            return self.install(forked);
+        }
+        match self.build_loaded(text) {
+            Ok(loaded) => self.install(loaded),
+            Err(response) => response,
+        }
+    }
+
+    /// Parses, compiles and chases one `LOAD` payload into a fresh private
+    /// [`Loaded`] (mark 0 established).  On error the session is untouched.
+    fn build_loaded(&self, text: &str) -> Result<Loaded, Response> {
         let unit = match parse_unit(text) {
             Ok(unit) => unit,
-            Err(error) => return Response::err(error),
+            Err(error) => return Err(Response::err(error)),
         };
         if !unit.queries.is_empty() {
-            return Response::err("LOAD text may not contain queries; use QUERY");
+            return Err(Response::err("LOAD text may not contain queries; use QUERY"));
         }
         let disjunctive = match unit.disjunctive_program() {
             Ok(program) => program,
-            Err(error) => return Response::err(error),
+            Err(error) => return Err(Response::err(error)),
         };
         let normal = unit.program();
         let chase = match &normal {
@@ -143,7 +191,7 @@ impl Session {
                     ChaseConfig::with_max_steps(self.config.max_steps),
                 ) {
                     Ok(chase) => Some(chase),
-                    Err(limit) => return Response::err(limit),
+                    Err(limit) => return Err(Response::err(limit)),
                 }
             }
             None => None,
@@ -166,11 +214,13 @@ impl Session {
             marks: Vec::new(),
             generation: 0,
             models_cache: None,
+            shared: None,
+            base_facts: 0,
         };
         let initial_facts: Vec<Atom> = unit.database.facts().cloned().collect();
         if let Some(chase) = loaded.chase.as_mut() {
             if let Err(limit) = chase.assert_facts(initial_facts.iter().cloned()) {
-                return Response::err(limit);
+                return Err(Response::err(limit));
             }
         }
         for fact in initial_facts {
@@ -182,11 +232,83 @@ impl Session {
             chase: loaded.chase.as_ref().map(IncrementalChase::mark),
             facts: loaded.facts.len(),
         });
+        Ok(loaded)
+    }
+
+    /// Installs a loaded state and emits the `LOAD` response.
+    fn install(&mut self, loaded: Loaded) -> Response {
         let rules = loaded.disjunctive.len();
         let facts = loaded.facts.len();
         let atoms = loaded.atoms();
         self.loaded = Some(loaded);
         Response::ok(format!("rules={rules} facts={facts} atoms={atoms} mark=0"))
+    }
+
+    /// Freezes a freshly built private state into a registrable
+    /// [`BaseEntry`]: the chase moves behind an `Arc` (no arena copy), and
+    /// the `MODELS sms` grounding of the initial facts is built eagerly so
+    /// every fork — whenever it arrives — sees the same snapshot and the
+    /// same deterministic counters.  A grounding failure (limits) leaves the
+    /// snapshot out; forks then ground privately and report the error on
+    /// their first `MODELS`, exactly like a private session.
+    fn freeze_loaded(loaded: Loaded) -> BaseEntry {
+        let Loaded {
+            disjunctive,
+            normal,
+            chase,
+            sms,
+            facts,
+            ..
+        } = loaded;
+        let chase = chase.map(IncrementalChase::freeze);
+        let sms = sms.and_then(|mut state| match state.ensure_current(&facts) {
+            Ok(_) => state.freeze(&facts),
+            Err(_) => None,
+        });
+        BaseEntry::new(disjunctive, normal, chase, sms, facts)
+    }
+
+    /// Forks a registered base into a fresh session state in O(1): the
+    /// chase shares the frozen arena and chases only this session's fact
+    /// delta on an overlay; `MODELS sms` answers over the base prefix
+    /// zero-copy and adopts the snapshot on the first extension.
+    fn fork_loaded(entry: &Arc<BaseEntry>, config: &SessionConfig, key: BaseKey) -> Loaded {
+        entry.record_fork();
+        let chase = entry
+            .chase
+            .as_ref()
+            .map(|base| IncrementalChase::fork(base, ChaseConfig::with_max_steps(config.max_steps)));
+        let sms = config.incremental_models.then(|| {
+            let state = IncrementalSmsState::new(
+                Arc::clone(&entry.disjunctive),
+                NullBudget::Auto,
+                GroundingLimits::default(),
+            );
+            match entry.sms.as_ref() {
+                Some(snapshot) => state.with_base(Arc::clone(snapshot)),
+                None => state,
+            }
+        });
+        let facts = entry.facts.clone();
+        let fact_set = facts.iter().cloned().collect();
+        let mut loaded = Loaded {
+            disjunctive: Arc::clone(&entry.disjunctive),
+            normal: entry.normal.clone(),
+            chase,
+            sms,
+            base_facts: facts.len(),
+            facts,
+            fact_set,
+            marks: Vec::new(),
+            generation: 0,
+            models_cache: None,
+            shared: Some(key),
+        };
+        loaded.marks.push(SessionMark {
+            chase: loaded.chase.as_ref().map(IncrementalChase::mark),
+            facts: loaded.facts.len(),
+        });
+        loaded
     }
 
     /// `ASSERT`, with the facts already parsed.  Transactional: a step-limit
@@ -394,11 +516,15 @@ impl Session {
         Response::ok(format!("mark={mark} atoms={atoms}"))
     }
 
-    /// `STATS`: session and engine counters.  With `sms_only`, prints only
-    /// the incremental-`MODELS` reuse counters — every one a pure function
-    /// of the request history, so transcripts can assert them verbatim at
-    /// any thread count or pool mode.
-    pub fn stats(&self, sms_only: bool) -> Response {
+    /// `STATS`: session and engine counters.  The `sms` and `base` scopes
+    /// print only counters that are a pure function of the request history,
+    /// so transcripts can assert them verbatim at any thread count or pool
+    /// mode.
+    pub fn stats(&self, scope: StatsScope) -> Response {
+        if scope == StatsScope::Base {
+            return self.base_stats();
+        }
+        let sms_only = scope == StatsScope::Sms;
         let mut lines = Vec::new();
         match self.loaded.as_ref() {
             None => lines.push("STAT loaded=false".to_owned()),
@@ -424,6 +550,43 @@ impl Session {
             lines.push(format!("STAT pool_workers={}", pool.workers));
             lines.push(format!("STAT pool_jobs={}", pool.jobs));
             lines.push(format!("STAT pool_items={}", pool.items));
+        }
+        Response::ok_with(lines, "stats")
+    }
+
+    /// `STATS base`: the shared-base counters.  `base_shared` says whether
+    /// the loaded state was forked from the registry; `base_atoms` /
+    /// `base_overlay_atoms` split the session's arena at the fork watermark
+    /// (fact counts for chase-less disjunctive sessions); the registry
+    /// counters are per program key, so they count only `LOAD`s of *this*
+    /// program.  Every line is a pure function of the `LOAD`/`ASSERT`
+    /// history — never of thread count, pool mode or machine.
+    fn base_stats(&self) -> Response {
+        let mut lines = Vec::new();
+        match self.loaded.as_ref() {
+            None => lines.push("STAT base_shared=false".to_owned()),
+            Some(loaded) => {
+                lines.push(format!("STAT base_shared={}", loaded.shared.is_some()));
+                let (base_atoms, overlay_atoms) = match loaded.chase.as_ref() {
+                    Some(chase) => {
+                        let instance = chase.instance();
+                        (instance.base_len(), instance.overlay_len())
+                    }
+                    None => (loaded.base_facts, loaded.facts.len() - loaded.base_facts),
+                };
+                lines.push(format!("STAT base_atoms={base_atoms}"));
+                lines.push(format!("STAT base_overlay_atoms={overlay_atoms}"));
+                if let (Some(key), Some(registry)) =
+                    (loaded.shared.as_ref(), self.config.base_registry.as_ref())
+                {
+                    if let Some(stats) = registry.stats(key) {
+                        lines.push(format!("STAT base_registry_hits={}", stats.hits));
+                        lines.push(format!("STAT base_registry_misses={}", stats.misses));
+                        lines.push(format!("STAT base_rebuilds={}", stats.rebuilds));
+                        lines.push(format!("STAT base_forks={}", stats.forks));
+                    }
+                }
+            }
         }
         Response::ok_with(lines, "stats")
     }
@@ -641,6 +804,136 @@ mod tests {
         assert_eq!(
             session.execute("MODELS").terminator(),
             Some("OK models=2 mode=sms")
+        );
+    }
+
+    /// Runs one scripted command stream through a session, returning every
+    /// response line in order.
+    fn transcript(session: &mut Session, script: &[&str]) -> Vec<String> {
+        script
+            .iter()
+            .flat_map(|line| session.execute(line).lines)
+            .collect()
+    }
+
+    #[test]
+    fn forked_sessions_transcribe_identically_to_private_ones() {
+        let registry = Arc::new(BaseRegistry::new());
+        let shared = SessionConfig {
+            base_registry: Some(Arc::clone(&registry)),
+            ..SessionConfig::default()
+        };
+        let script = [
+            "LOAD e(X, Y) -> n(X). n(X) -> labelled(X, L). e(a, b).",
+            "ASSERT e(b, c).",
+            "QUERY ?(X) :- n(X).",
+            "QUERY ?- labelled(b, L).",
+            "MODELS lp max=4",
+            "RETRACT-TO 0",
+            "QUERY ?(X) :- n(X).",
+            "STATS sms",
+        ];
+        let mut private = Session::new(SessionConfig::default());
+        let oracle = transcript(&mut private, &script);
+        // First shared LOAD registers and forks; second forks the hit.  The
+        // sms counters differ from a private session (the fork answers the
+        // base prefix zero-copy), so the script pins them via STATS sms to
+        // show both shared sessions agree — and everything *but* those
+        // lines must equal the private oracle.
+        let mut first = Session::new(shared.clone());
+        let mut second = Session::new(shared.clone());
+        let first_lines = transcript(&mut first, &script);
+        let second_lines = transcript(&mut second, &script);
+        assert_eq!(first_lines, second_lines, "fork order leaked");
+        let sans_stats = |lines: &[String]| -> Vec<String> {
+            lines
+                .iter()
+                .filter(|l| !l.starts_with("STAT "))
+                .cloned()
+                .collect()
+        };
+        assert_eq!(sans_stats(&first_lines), sans_stats(&oracle));
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn forked_sessions_share_one_base_and_count_it() {
+        let registry = Arc::new(BaseRegistry::new());
+        let config = SessionConfig {
+            base_registry: Some(Arc::clone(&registry)),
+            ..SessionConfig::default()
+        };
+        let program = "LOAD e(X, Y) -> n(X). e(a, b).";
+        let mut first = Session::new(config.clone());
+        let mut second = Session::new(config.clone());
+        assert!(first.execute(program).is_ok());
+        assert!(second.execute(program).is_ok());
+        assert!(second.execute("ASSERT e(c, d).").is_ok());
+        // Both sessions share the chased base; only the second grew an
+        // overlay (its private delta).
+        let base_atoms = first.instance().unwrap().base_len();
+        assert_eq!(base_atoms, 2);
+        assert_eq!(first.instance().unwrap().overlay_len(), 0);
+        assert_eq!(second.instance().unwrap().base_len(), base_atoms);
+        assert_eq!(second.instance().unwrap().overlay_len(), 2);
+        let stats = second.execute("STATS base");
+        assert_eq!(
+            stats.lines,
+            vec![
+                "STAT base_shared=true",
+                "STAT base_atoms=2",
+                "STAT base_overlay_atoms=2",
+                "STAT base_registry_hits=1",
+                "STAT base_registry_misses=1",
+                "STAT base_rebuilds=1",
+                "STAT base_forks=2",
+                "OK stats",
+            ]
+        );
+        // A different program is a different key.
+        assert!(first.execute("LOAD p(X) -> q(X). p(a).").is_ok());
+        assert_eq!(registry.len(), 2);
+        let fresh = first.execute("STATS base");
+        assert!(fresh
+            .lines
+            .contains(&"STAT base_registry_hits=0".to_owned()));
+    }
+
+    #[test]
+    fn private_sessions_report_an_unshared_base() {
+        let mut session = Session::new(SessionConfig::default());
+        let empty = session.execute("STATS base");
+        assert_eq!(empty.lines, vec!["STAT base_shared=false", "OK stats"]);
+        session.execute("LOAD p(X) -> q(X). p(a).");
+        let loaded = session.execute("STATS base");
+        assert_eq!(
+            loaded.lines,
+            vec![
+                "STAT base_shared=false",
+                "STAT base_atoms=0",
+                "STAT base_overlay_atoms=2",
+                "OK stats",
+            ]
+        );
+    }
+
+    #[test]
+    fn forked_retract_to_mark_zero_is_the_fork_watermark() {
+        let registry = Arc::new(BaseRegistry::new());
+        let config = SessionConfig {
+            base_registry: Some(registry),
+            ..SessionConfig::default()
+        };
+        let mut session = Session::new(config);
+        session.execute("LOAD e(X, Y) -> n(X). e(a, b).");
+        session.execute("ASSERT e(b, c). e(c, d).");
+        let rolled = session.execute("RETRACT-TO 0");
+        assert_eq!(rolled.terminator(), Some("OK mark=0 atoms=2"));
+        assert_eq!(session.instance().unwrap().overlay_len(), 0);
+        assert!(session.execute("ASSERT e(x, y).").is_ok());
+        assert_eq!(
+            session.execute("QUERY ?(X) :- n(X).").terminator(),
+            Some("OK answers=2")
         );
     }
 

@@ -26,7 +26,7 @@ use std::sync::Arc;
 
 use stable_tgd::core::{parallel, Database, DisjunctiveProgram};
 use stable_tgd::parser::parse_unit;
-use stable_tgd::server::{Session, SessionConfig};
+use stable_tgd::server::{BaseRegistry, Session, SessionConfig};
 use stable_tgd::sms::{SmsEngine, SmsOptions};
 
 /// Oracle/session model cap: streams are sized to stay far below it, so the
@@ -268,6 +268,158 @@ fn thread_and_pool_matrix_is_bit_identical_and_oracle_equal() {
                         "seed {seed:#x}: transcript differs at threads={threads} pooled={pooled}"
                     ),
                 }
+            }
+        }
+    }
+}
+
+/// Replays a pre-generated command stream through one session, checking
+/// every `MODELS` marker against the from-scratch oracle; returns the full
+/// transcript.
+fn replay(
+    commands: &[String],
+    config: &SessionConfig,
+    program: &Arc<DisjunctiveProgram>,
+    context: &str,
+) -> Vec<String> {
+    let mut session = Session::new(config.clone());
+    let mut transcript = Vec::new();
+    for command in commands {
+        if command == "MODELS" {
+            transcript.extend(check_models(&mut session, program, context));
+        } else {
+            let response = session.execute(command);
+            assert!(
+                response.is_ok(),
+                "{context}: `{command}` failed: {:?}",
+                response.lines
+            );
+            transcript.extend(response.lines);
+        }
+    }
+    transcript
+}
+
+#[test]
+fn forked_sessions_match_private_from_scratch_sessions() {
+    // The shared-base contract: a session forked from the registry (its
+    // `LOAD` reuses another session's frozen chased base copy-on-write)
+    // must transcribe **bit-identically** to a private session that built
+    // everything from scratch — and both must match the from-scratch SMS
+    // oracle after every `MODELS`.  Streams are pre-generated so forked and
+    // private sessions replay the identical requests.
+    for seed in [0xF06B_0001u64, 0xF06B_0002, 0xF06B_0003] {
+        let mut rng = Rng::new(seed);
+        let mut program_text = random_program(&mut rng);
+        for _ in 0..2 {
+            program_text.push(' ');
+            program_text.push_str(&random_fact(&mut rng));
+        }
+        let program = Arc::new(
+            parse_unit(&program_text)
+                .expect("generated programs parse")
+                .disjunctive_program()
+                .expect("generated programs are consistent"),
+        );
+        let registry = Arc::new(BaseRegistry::new());
+        let shared = SessionConfig {
+            incremental_models: true,
+            base_registry: Some(Arc::clone(&registry)),
+            ..SessionConfig::default()
+        };
+        let private = SessionConfig {
+            incremental_models: true,
+            base_registry: None,
+            ..SessionConfig::default()
+        };
+        // Several sessions load the same program: the first registers the
+        // base (and forks its own freeze), the rest fork the registry hit
+        // at random points in their streams.
+        for fork in 0..3 {
+            let context = format!("seed {seed:#x} fork {fork} program `{program_text}`");
+            let mut commands = vec![format!("LOAD {program_text}")];
+            let mut marks = 1usize;
+            for _ in 0..8 {
+                let roll = rng.below(10);
+                if roll < 5 {
+                    commands.push(format!("ASSERT {}", random_fact(&mut rng)));
+                    marks += 1;
+                } else if roll < 7 {
+                    let target = rng.below(marks);
+                    commands.push(format!("RETRACT-TO {target}"));
+                    marks = target + 1;
+                } else {
+                    commands.push("MODELS".to_owned());
+                }
+            }
+            commands.push("MODELS".to_owned());
+            let forked_transcript = replay(&commands, &shared, &program, &context);
+            let private_transcript = replay(&commands, &private, &program, &context);
+            assert_eq!(
+                forked_transcript, private_transcript,
+                "{context}: forked session diverged from the private from-scratch session"
+            );
+        }
+        assert_eq!(registry.len(), 1, "seed {seed:#x}: one program, one base");
+    }
+}
+
+#[test]
+fn forked_transcripts_are_bit_identical_across_threads_and_pool_modes() {
+    // The fork determinism contract of the shared-base registry, under the
+    // full parallelism matrix: a forked session's transcript must not
+    // depend on NTGD_THREADS or the pool mode — and must equal the private
+    // from-scratch transcript in every cell.
+    let seed = 0xF06B_0201u64;
+    let mut rng = Rng::new(seed);
+    let mut program_text = random_program(&mut rng);
+    program_text.push(' ');
+    program_text.push_str(&random_fact(&mut rng));
+    let program = Arc::new(
+        parse_unit(&program_text)
+            .expect("generated programs parse")
+            .disjunctive_program()
+            .expect("generated programs are consistent"),
+    );
+    let mut commands = vec![format!("LOAD {program_text}")];
+    for _ in 0..4 {
+        commands.push(format!("ASSERT {}", random_fact(&mut rng)));
+        commands.push("MODELS".to_owned());
+    }
+    commands.push("RETRACT-TO 0".to_owned());
+    commands.push("MODELS".to_owned());
+    let mut reference: Option<Vec<String>> = None;
+    for threads in [1usize, 2, 8] {
+        for pooled in [true, false] {
+            parallel::set_thread_override(Some(threads));
+            parallel::set_pool_enabled(Some(pooled));
+            let context =
+                format!("seed {seed:#x} threads {threads} pooled {pooled} `{program_text}`");
+            let registry = Arc::new(BaseRegistry::new());
+            let shared = SessionConfig {
+                incremental_models: true,
+                base_registry: Some(Arc::clone(&registry)),
+                ..SessionConfig::default()
+            };
+            let private = SessionConfig {
+                incremental_models: true,
+                base_registry: None,
+                ..SessionConfig::default()
+            };
+            // Two forks per cell: the registering session and a pure hit.
+            let registering = replay(&commands, &shared, &program, &context);
+            let hit = replay(&commands, &shared, &program, &context);
+            let scratch = replay(&commands, &private, &program, &context);
+            parallel::set_pool_enabled(None);
+            parallel::set_thread_override(None);
+            assert_eq!(registering, hit, "{context}: fork order leaked");
+            assert_eq!(hit, scratch, "{context}: fork diverged from scratch");
+            match &reference {
+                None => reference = Some(scratch),
+                Some(expected) => assert_eq!(
+                    expected, &scratch,
+                    "{context}: transcript depends on the parallelism cell"
+                ),
             }
         }
     }
