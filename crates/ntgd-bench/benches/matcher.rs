@@ -594,7 +594,11 @@ fn main() {
                 });
                 for command in [load.as_str(), delta.as_str(), "QUERY ?(X) :- n(X)."] {
                     let response = session.execute(command);
-                    assert!(response.is_ok(), "fleet command failed: {:?}", response.lines);
+                    assert!(
+                        response.is_ok(),
+                        "fleet command failed: {:?}",
+                        response.lines
+                    );
                     transcript.extend(response.lines);
                 }
                 atoms = session.instance().expect("chased instance").len();

@@ -374,7 +374,8 @@ impl IncrementalChase {
     pub fn retract_to(&mut self, mark: &EpochMark) {
         let base_witnesses = self.base_witness_count();
         assert!(
-            mark.witnesses >= base_witnesses && mark.steps >= self.base.as_ref().map_or(0, |b| b.steps),
+            mark.witnesses >= base_witnesses
+                && mark.steps >= self.base.as_ref().map_or(0, |b| b.steps),
             "epoch mark lies below the fork watermark of the shared base"
         );
         let overlay_witnesses = mark.witnesses - base_witnesses;

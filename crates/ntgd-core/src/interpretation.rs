@@ -31,7 +31,7 @@
 //!
 //! # Base + overlay (copy-on-write forking)
 //!
-//! An interpretation is physically a pair of [`Segment`]s: an optional
+//! An interpretation is physically a pair of `Segment`s: an optional
 //! **base** — an immutable, [`Arc`]-shared [`InterpretationBase`] produced by
 //! [`Interpretation::freeze`] — and a private mutable **overlay**.  Forking a
 //! frozen base ([`Interpretation::fork`]) is O(1): the fork holds an `Arc` to
@@ -353,8 +353,7 @@ impl Interpretation {
                 base
             }
             Some(base) => {
-                let mut flat =
-                    Interpretation::with_capacity(base.len() + self.overlay.arena.len());
+                let mut flat = Interpretation::with_capacity(base.len() + self.overlay.arena.len());
                 for a in base.atoms() {
                     flat.insert(a.clone());
                 }
@@ -430,7 +429,8 @@ impl Interpretation {
         {
             return false;
         }
-        let id = AtomId(u32::try_from(base_len + self.overlay.arena.len()).expect("arena overflow"));
+        let id =
+            AtomId(u32::try_from(base_len + self.overlay.arena.len()).expect("arena overflow"));
         bucket.push(id);
         for (position, t) in atom.args().iter().enumerate() {
             self.overlay.domain.insert(*t);
@@ -603,9 +603,7 @@ impl Interpretation {
             return true;
         }
         match &self.base {
-            Some(base) => {
-                base.segment.domain.contains(t) || base.segment.extra_domain.contains(t)
-            }
+            Some(base) => base.segment.domain.contains(t) || base.segment.extra_domain.contains(t),
             None => false,
         }
     }
@@ -659,7 +657,8 @@ impl Interpretation {
         let overlay_start = watermark
             .saturating_sub(base_len)
             .min(self.overlay.arena.len());
-        base.iter().chain(self.overlay.arena[overlay_start..].iter())
+        base.iter()
+            .chain(self.overlay.arena[overlay_start..].iter())
     }
 
     /// Returns the positive part as a sorted vector (deterministic order).

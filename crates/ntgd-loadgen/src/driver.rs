@@ -1,0 +1,235 @@
+//! The load driver: real TCP clients against a real `ntgd-serve`.
+//!
+//! [`run`] spawns one client thread per session, synchronises them on a
+//! barrier (connections and the `READY` banner are established *before* the
+//! clock starts), pumps each session's operation stream request-by-request,
+//! and records one latency sample per request into per-thread log-bucketed
+//! histograms ([`crate::histogram::Histogram`]) that are merged into the
+//! per-verb report afterwards — the measurement loop allocates nothing per
+//! request beyond the request line itself.
+//!
+//! The target is either an external server (`ntgd-load --addr host:port`) or
+//! an in-process one ([`spawn_server`]): the same `serve_tcp` loop the
+//! `ntgd-serve` binary runs, on an OS-assigned loopback port.  In-process
+//! targets are what `--bench` uses, since it must control the server's
+//! caching configuration ([`ServerMode`]).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use ntgd_server::{serve_tcp, BaseRegistry, SessionConfig};
+
+use crate::generator::{Verb, Workload};
+use crate::histogram::Histogram;
+use crate::report::{RunReport, VerbReport};
+
+/// Caching posture of an in-process target server.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServerMode {
+    /// Production configuration: shared-base registry on, incremental
+    /// `MODELS` on — what `ntgd-serve` runs by default.
+    Cached,
+    /// Every session rebuilds everything from scratch (`NTGD_SHARED_BASE=0`
+    /// + `NTGD_SMS_INCREMENTAL=0` equivalent): the `--bench` baseline.
+    FromScratch,
+}
+
+/// Starts an in-process `serve_tcp` on an OS-assigned loopback port and
+/// returns its address.  The acceptor thread serves until process exit
+/// (exactly like the binary; load runs are short-lived processes).
+pub fn spawn_server(mode: ServerMode) -> std::io::Result<String> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?.to_string();
+    let config = SessionConfig {
+        incremental_models: mode == ServerMode::Cached,
+        base_registry: (mode == ServerMode::Cached).then(|| Arc::new(BaseRegistry::new())),
+        ..SessionConfig::default()
+    };
+    std::thread::Builder::new()
+        .name("ntgd-load-server".to_owned())
+        .spawn(move || {
+            let _ = serve_tcp(listener, config);
+        })?;
+    Ok(addr)
+}
+
+/// One connected protocol client.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    line: String,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Result<Client, String> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        // Requests are single small lines; without nodelay the kernel's
+        // batching would dominate every latency sample.
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| format!("cannot clone stream: {e}"))?,
+        );
+        let mut client = Client {
+            reader,
+            writer: stream,
+            line: String::new(),
+        };
+        let banner = client.read_line()?;
+        if !banner.starts_with("READY") {
+            return Err(format!("expected READY banner, got {banner:?}"));
+        }
+        Ok(client)
+    }
+
+    fn read_line(&mut self) -> Result<&str, String> {
+        self.line.clear();
+        match self.reader.read_line(&mut self.line) {
+            Ok(0) => Err("server closed the connection".to_owned()),
+            Ok(_) => Ok(self.line.trim_end()),
+            Err(e) => Err(format!("read failed: {e}")),
+        }
+    }
+
+    /// Sends one request and reads to its `OK`/`ERR` terminator; returns the
+    /// terminator line.
+    fn request(&mut self, line: &str) -> Result<String, String> {
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|_| self.writer.write_all(b"\n"))
+            .map_err(|e| format!("write failed: {e}"))?;
+        loop {
+            let line = self.read_line()?;
+            if line.starts_with("OK") || line.starts_with("ERR") {
+                return Ok(line.to_owned());
+            }
+        }
+    }
+}
+
+/// Per-thread measurement state: one histogram per verb.
+struct ThreadStats {
+    hists: Vec<Histogram>,
+    requests: u64,
+    errors: Vec<String>,
+}
+
+fn verb_index(verb: Verb) -> usize {
+    Verb::ALL
+        .iter()
+        .position(|&v| v == verb)
+        .expect("known verb")
+}
+
+/// Drives a workload against a serving address and merges the per-session
+/// measurements into one report.  Any `ERR` response fails the run — the
+/// generator only emits valid streams, so an error means the server (or the
+/// spec's budgets) broke under this workload.
+pub fn run(workload: &Workload, addr: &str) -> Result<RunReport, String> {
+    let sessions = workload.sessions.len();
+    // Connect (and consume the banner) before the clock starts, so the
+    // measured window contains requests only.
+    let mut clients = Vec::with_capacity(sessions);
+    for _ in 0..sessions {
+        clients.push(Client::connect(addr)?);
+    }
+    let barrier = Arc::new(Barrier::new(sessions + 1));
+    let mut wall_ns = 0u64;
+    let stats: Vec<ThreadStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = clients
+            .into_iter()
+            .zip(&workload.sessions)
+            .map(|(mut client, ops)| {
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    let mut stats = ThreadStats {
+                        hists: (0..Verb::ALL.len()).map(|_| Histogram::new()).collect(),
+                        requests: 0,
+                        errors: Vec::new(),
+                    };
+                    barrier.wait();
+                    for op in ops {
+                        let started = Instant::now();
+                        match client.request(&op.line) {
+                            Ok(terminator) if terminator.starts_with("OK") => {
+                                let elapsed =
+                                    started.elapsed().as_nanos().min(u128::from(u64::MAX));
+                                stats.hists[verb_index(op.verb)].record(elapsed as u64);
+                                stats.requests += 1;
+                            }
+                            Ok(terminator) => {
+                                stats.errors.push(format!("{} -> {terminator}", op.line));
+                                break;
+                            }
+                            Err(error) => {
+                                stats.errors.push(format!("{} -> {error}", op.line));
+                                break;
+                            }
+                        }
+                    }
+                    let _ = client.request("QUIT");
+                    stats
+                })
+            })
+            .collect();
+        // All sessions are connected and parked on the barrier: releasing it
+        // starts the measured window, the last join ends it.
+        let started = Instant::now();
+        barrier.wait();
+        let stats: Vec<ThreadStats> = handles
+            .into_iter()
+            .map(|handle| handle.join().expect("session thread panicked"))
+            .collect();
+        wall_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        stats
+    });
+    let errors: Vec<String> = stats
+        .iter()
+        .flat_map(|s| s.errors.iter().cloned())
+        .collect();
+    if !errors.is_empty() {
+        return Err(format!(
+            "{} session(s) failed; first: {}",
+            errors.len(),
+            errors[0]
+        ));
+    }
+    let mut verbs = Vec::new();
+    for verb in Verb::ALL {
+        let mut hist = Histogram::new();
+        for thread in &stats {
+            hist.merge(&thread.hists[verb_index(verb)]);
+        }
+        if hist.count() > 0 {
+            verbs.push(VerbReport { verb, hist });
+        }
+    }
+    Ok(RunReport {
+        name: workload.name.clone(),
+        sessions,
+        wall_ns,
+        requests: stats.iter().map(|s| s.requests).sum(),
+        server_requests: fetch_server_requests(addr),
+        verbs,
+    })
+}
+
+/// Fetches the process-wide `STAT server_requests` counter from a server
+/// (opens a fresh session; the counter includes this very `STATS` request).
+pub fn fetch_server_requests(addr: &str) -> Option<u64> {
+    let mut client = Client::connect(addr).ok()?;
+    client.writer.write_all(b"STATS\n").ok()?;
+    loop {
+        let line = client.read_line().ok()?.to_owned();
+        if let Some(value) = line.strip_prefix("STAT server_requests=") {
+            return value.parse().ok();
+        }
+        if line.starts_with("OK") || line.starts_with("ERR") {
+            return None;
+        }
+    }
+}

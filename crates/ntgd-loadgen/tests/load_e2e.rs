@@ -1,0 +1,109 @@
+//! End-to-end: generated workloads driven over real TCP against an
+//! in-process `ntgd-server`, in both server modes the `--bench` comparison
+//! uses.  Asserts the driver's accounting (every generated operation becomes
+//! exactly one timed request, tallied under its verb), that no request ERRs
+//! — the generator's mark simulation and family templates must only emit
+//! valid protocol lines — and that the server-side `server_requests` counter
+//! is visible over `STATS`.
+
+use ntgd_loadgen::{
+    fetch_server_requests, generate, run, spawn_server, ServerMode, Verb, WorkloadSpec,
+};
+
+fn spec(text: &str) -> WorkloadSpec {
+    WorkloadSpec::parse(text).expect("inline spec parses")
+}
+
+fn small_chain() -> WorkloadSpec {
+    spec(
+        "name = e2e-chain\n\
+         family = chain\n\
+         depth = 3\n\
+         constants = 12\n\
+         initial_facts = 8\n\
+         sessions = 2\n\
+         ops = 12\n\
+         batch = 3\n\
+         retract_rate = 0.15\n\
+         query_rate = 0.25\n\
+         models_rate = 0.1\n\
+         models_max = 2\n\
+         seed = 7\n",
+    )
+}
+
+#[test]
+fn cached_server_runs_the_smoke_workload_cleanly() {
+    let workload = generate(&small_chain());
+    let addr = spawn_server(ServerMode::Cached).expect("spawn server");
+    let report = run(&workload, &addr).expect("load run succeeds");
+
+    assert_eq!(report.requests, workload.total_ops() as u64);
+    assert!(report.wall_ns > 0);
+    // Every session LOADs once; the rest of the mix is seed-dependent but
+    // the per-verb tallies must add up to the request total.
+    let load = report.verb(Verb::Load).expect("LOAD tallied");
+    assert_eq!(load.hist.count(), workload.sessions.len() as u64);
+    let tallied: u64 = report.verbs.iter().map(|v| v.hist.count()).sum();
+    assert_eq!(tallied, report.requests);
+    assert!(report.verb(Verb::Assert).is_some(), "mix includes ASSERT");
+    // The driver samples the process-wide request counter after the run; at
+    // least this run's requests (plus one QUIT per session and the STATS
+    // probe itself) must have been counted.
+    let seen = report
+        .server_requests
+        .expect("STATS exposes server_requests");
+    assert!(seen > report.requests, "counter includes untimed requests");
+}
+
+#[test]
+fn from_scratch_server_agrees_on_the_operation_mix() {
+    let workload = generate(&small_chain());
+    let cached = spawn_server(ServerMode::Cached).expect("spawn cached");
+    let scratch = spawn_server(ServerMode::FromScratch).expect("spawn scratch");
+    let a = run(&workload, &cached).expect("cached run");
+    let b = run(&workload, &scratch).expect("from-scratch run");
+    // Both modes execute the identical stream: same totals, same per-verb
+    // request counts — only the latencies may differ.  This is what makes
+    // the --bench speedup ratios well-defined.
+    assert_eq!(a.requests, b.requests);
+    for verb in Verb::ALL {
+        let na = a.verb(verb).map_or(0, |v| v.hist.count());
+        let nb = b.verb(verb).map_or(0, |v| v.hist.count());
+        assert_eq!(na, nb, "request count for {} diverged", verb.label());
+    }
+}
+
+#[test]
+fn disjunctive_workloads_enumerate_models_over_the_wire() {
+    let workload = generate(&spec(
+        "name = e2e-disj\n\
+         family = disjunctive\n\
+         depth = 2\n\
+         constants = 6\n\
+         initial_facts = 4\n\
+         sessions = 1\n\
+         ops = 8\n\
+         batch = 2\n\
+         retract_rate = 0.1\n\
+         query_rate = 0.2\n\
+         models_max = 2\n\
+         seed = 11\n",
+    ));
+    let addr = spawn_server(ServerMode::Cached).expect("spawn server");
+    let report = run(&workload, &addr).expect("disjunctive run succeeds");
+    assert!(
+        report.verb(Verb::Models).is_some(),
+        "disjunctive mix routes its query share to MODELS"
+    );
+    assert!(report.verb(Verb::Query).is_none(), "no chase, no QUERY");
+}
+
+#[test]
+fn server_requests_counter_is_monotone_over_stats_probes() {
+    let addr = spawn_server(ServerMode::FromScratch).expect("spawn server");
+    let first = fetch_server_requests(&addr).expect("first probe");
+    let second = fetch_server_requests(&addr).expect("second probe");
+    // Each probe issues STATS (+ QUIT) itself, so the counter strictly grows.
+    assert!(second > first);
+}

@@ -18,6 +18,11 @@
 //!
 //! # Protocol grammar
 //!
+//! (The complete user-facing reference — every verb's argument grammar,
+//! response shape, and the meaning of every `STATS` counter — lives in
+//! `docs/PROTOCOL.md` at the repository root; `tests/help_sync.rs` keeps it
+//! and the served `HELP` output in lockstep via [`protocol::HELP_LINES`].)
+//!
 //! The protocol is line-based and textual; programs, facts and queries use
 //! the [`ntgd_parser`] syntax.  Each request is one line; the response is
 //! zero or more data lines followed by **exactly one** terminator line
@@ -171,7 +176,7 @@ pub mod registry;
 pub mod server;
 pub mod session;
 
-pub use protocol::{parse_command, Command, ModelsMode, Response, StatsScope};
+pub use protocol::{parse_command, Command, ModelsMode, Response, StatsScope, HELP_LINES};
 pub use registry::{BaseEntry, BaseKey, BaseRegistry, BaseStats};
 pub use server::{handle_session, serve_repl, serve_tcp};
-pub use session::{Session, SessionConfig};
+pub use session::{server_requests, Session, SessionConfig};

@@ -39,6 +39,20 @@ pub enum StatsScope {
     Base,
 }
 
+/// The `HELP` response body, one entry per line (the session prefixes each
+/// with `INFO `).  This is the **single source of truth** for the command
+/// summary: `docs/PROTOCOL.md` embeds the same lines between its
+/// `HELP-BEGIN`/`HELP-END` markers, and `tests/help_sync.rs` diffs the two —
+/// so the served grammar and the documented grammar cannot drift apart.
+pub const HELP_LINES: [&str; 6] = [
+    "LOAD <rules-and-facts>      (re)initialise the session",
+    "ASSERT <facts>              insert facts, incremental re-chase",
+    "QUERY <?- lits. | ?(X) :- lits.>  certain answers",
+    "MODELS [sms|lp] [max=<n>]   enumerate stable models",
+    "RETRACT-TO <mark>           roll back to an epoch mark",
+    "STATS [sms|base] | PING | HELP | QUIT",
+];
+
 /// One parsed request line.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Command {

@@ -52,6 +52,12 @@ pub fn serve_tcp(listener: TcpListener, config: SessionConfig) -> io::Result<()>
             Err(_) => continue,
         };
         let config = config.clone();
+        // Responses are many small writes; without nodelay, Nagle holding
+        // them back for the peer's delayed ACK costs ~40ms per request on
+        // otherwise-idle connections.  The flush-per-response batching in
+        // handle_session (via the BufWriter below) keeps the packet count
+        // low regardless.
+        let _ = stream.set_nodelay(true);
         // A failed spawn (thread exhaustion under load) drops this one
         // connection, like a failed accept — it must never take down the
         // sessions already being served.
@@ -63,7 +69,7 @@ pub fn serve_tcp(listener: TcpListener, config: SessionConfig) -> io::Result<()>
                     Ok(read_half) => read_half,
                     Err(_) => return,
                 });
-                let mut writer = stream;
+                let mut writer = io::BufWriter::new(stream);
                 // A dropped client mid-response is that session's problem
                 // only.
                 let _ = handle_session(session, reader, &mut writer);

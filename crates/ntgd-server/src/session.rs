@@ -2,6 +2,7 @@
 //! instance, the epoch-mark history, and session-scoped model enumeration.
 
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ntgd_chase::{ChaseConfig, EpochMark, IncrementalChase};
@@ -12,6 +13,18 @@ use ntgd_sms::{GroundingLimits, IncrementalSmsState, NullBudget, SmsEngine, SmsE
 
 use crate::protocol::{parse_command, Command, ModelsMode, Response, StatsScope};
 use crate::registry::{BaseEntry, BaseKey, BaseRegistry};
+
+/// Process-wide count of protocol requests executed across every session
+/// (blank/comment lines excluded; malformed requests included — they
+/// produced an `ERR` response).  `STATS` reports it as `server_requests`,
+/// which is what the `ntgd-load` harness reads back after a run to confirm
+/// the server saw every request the clients sent.
+static SERVER_REQUESTS: AtomicU64 = AtomicU64::new(0);
+
+/// The current process-wide request count (see `SERVER_REQUESTS` above).
+pub fn server_requests() -> u64 {
+    SERVER_REQUESTS.load(Ordering::Relaxed)
+}
 
 /// Per-session limits.
 #[derive(Clone, Debug)]
@@ -104,22 +117,19 @@ impl Session {
 
     /// Parses and executes one protocol line.
     pub fn execute(&mut self, line: &str) -> Response {
-        match parse_command(line) {
+        let parsed = parse_command(line);
+        if !matches!(parsed, Ok(Command::Nop)) {
+            SERVER_REQUESTS.fetch_add(1, Ordering::Relaxed);
+        }
+        match parsed {
             Err(message) => Response::err(message),
             Ok(Command::Nop) => Response::none(),
             Ok(Command::Ping) => Response::ok("pong"),
             Ok(Command::Help) => Response::ok_with(
-                [
-                    "LOAD <rules-and-facts>      (re)initialise the session",
-                    "ASSERT <facts>              insert facts, incremental re-chase",
-                    "QUERY <?- lits. | ?(X) :- lits.>  certain answers",
-                    "MODELS [sms|lp] [max=<n>]   enumerate stable models",
-                    "RETRACT-TO <mark>           roll back to an epoch mark",
-                    "STATS [sms|base] | PING | HELP | QUIT",
-                ]
-                .iter()
-                .map(|s| format!("INFO {s}"))
-                .collect(),
+                crate::protocol::HELP_LINES
+                    .iter()
+                    .map(|s| format!("INFO {s}"))
+                    .collect(),
                 "help",
             ),
             Ok(Command::Quit) => Response {
@@ -154,10 +164,7 @@ impl Session {
                         Ok(built) => built,
                         Err(response) => return response,
                     };
-                    registry.register(
-                        key.clone(),
-                        Arc::new(Self::freeze_loaded(built)),
-                    )
+                    registry.register(key.clone(), Arc::new(Self::freeze_loaded(built)))
                 }
             };
             let forked = Self::fork_loaded(&entry, &self.config, key);
@@ -177,7 +184,9 @@ impl Session {
             Err(error) => return Err(Response::err(error)),
         };
         if !unit.queries.is_empty() {
-            return Err(Response::err("LOAD text may not contain queries; use QUERY"));
+            return Err(Response::err(
+                "LOAD text may not contain queries; use QUERY",
+            ));
         }
         let disjunctive = match unit.disjunctive_program() {
             Ok(program) => program,
@@ -274,10 +283,9 @@ impl Session {
     /// zero-copy and adopts the snapshot on the first extension.
     fn fork_loaded(entry: &Arc<BaseEntry>, config: &SessionConfig, key: BaseKey) -> Loaded {
         entry.record_fork();
-        let chase = entry
-            .chase
-            .as_ref()
-            .map(|base| IncrementalChase::fork(base, ChaseConfig::with_max_steps(config.max_steps)));
+        let chase = entry.chase.as_ref().map(|base| {
+            IncrementalChase::fork(base, ChaseConfig::with_max_steps(config.max_steps))
+        });
         let sms = config.incremental_models.then(|| {
             let state = IncrementalSmsState::new(
                 Arc::clone(&entry.disjunctive),
@@ -545,6 +553,7 @@ impl Session {
         }
         if !sms_only {
             let pool = parallel::pool_stats();
+            lines.push(format!("STAT server_requests={}", server_requests()));
             lines.push(format!("STAT threads={}", parallel::num_threads()));
             lines.push(format!("STAT pool_enabled={}", parallel::pool_enabled()));
             lines.push(format!("STAT pool_workers={}", pool.workers));

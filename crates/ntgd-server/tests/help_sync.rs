@@ -1,0 +1,53 @@
+//! One source of truth for the verb summary: the served `HELP` output and
+//! the block embedded in `docs/PROTOCOL.md` must be identical.  Both derive
+//! from [`ntgd_server::HELP_LINES`] — the session maps over it at runtime,
+//! the doc mirrors it between `<!-- HELP-BEGIN -->`/`<!-- HELP-END -->`
+//! markers, and this test fails the build when either side drifts.
+
+use ntgd_server::{Session, SessionConfig, HELP_LINES};
+
+/// The lines inside PROTOCOL.md's HELP markers, code fence stripped.
+fn documented_help() -> Vec<String> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/PROTOCOL.md");
+    let doc = std::fs::read_to_string(path).expect("docs/PROTOCOL.md is readable");
+    let (_, after) = doc
+        .split_once("<!-- HELP-BEGIN -->")
+        .expect("PROTOCOL.md has a <!-- HELP-BEGIN --> marker");
+    let (block, _) = after
+        .split_once("<!-- HELP-END -->")
+        .expect("PROTOCOL.md has a <!-- HELP-END --> marker");
+    block
+        .lines()
+        .map(str::trim_end)
+        .filter(|line| !line.is_empty() && !line.starts_with("```"))
+        .map(str::to_owned)
+        .collect()
+}
+
+#[test]
+fn protocol_doc_embeds_help_lines_verbatim() {
+    assert_eq!(
+        documented_help(),
+        HELP_LINES.to_vec(),
+        "docs/PROTOCOL.md's HELP block diverged from protocol::HELP_LINES — \
+         update whichever side is stale"
+    );
+}
+
+#[test]
+fn served_help_is_help_lines_plus_terminator() {
+    let mut session = Session::new(SessionConfig::default());
+    let response = session.execute("HELP");
+    let (terminator, data) = response.lines.split_last().expect("nonempty response");
+    // Data lines are wire-framed as `INFO <help line>` so they can never be
+    // mistaken for a terminator; the payload itself is HELP_LINES verbatim.
+    let served: Vec<&str> = data
+        .iter()
+        .map(|line| {
+            line.strip_prefix("INFO ")
+                .expect("HELP data lines are INFO-framed")
+        })
+        .collect();
+    assert_eq!(served, HELP_LINES.to_vec());
+    assert_eq!(terminator, "OK help");
+}

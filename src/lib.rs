@@ -4,6 +4,7 @@ pub use ntgd_classes as classes;
 pub use ntgd_core as core;
 pub use ntgd_disjunction as disjunction;
 pub use ntgd_encodings as encodings;
+pub use ntgd_loadgen as loadgen;
 pub use ntgd_lp as lp;
 pub use ntgd_parser as parser;
 pub use ntgd_sat as sat;
