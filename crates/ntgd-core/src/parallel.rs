@@ -261,6 +261,49 @@ where
     }
 }
 
+/// A `Sync` view over one element of a `&mut [T]`, submittable through
+/// [`par_map_with`]'s shared-slice interface.  Soundness rests on the pool's
+/// unique-claim contract: every item index is claimed by exactly one
+/// executor, so exactly one `&mut T` is ever produced per element.
+#[repr(transparent)]
+struct MutCell<T>(UnsafeCell<T>);
+
+// Safety: see `MutCell` — each cell is accessed by the unique claimer of its
+// index only, so the element effectively *moves* to that worker for the
+// duration of the call (hence `T: Send`, not `T: Sync`).
+unsafe impl<T: Send> Sync for MutCell<T> {}
+
+/// The **batch-submit entry point**: applies `f` to every element of a
+/// mutable slice — each element handed to its executor as `&mut T` — and
+/// returns the results in item order.
+///
+/// This is what stateful batch consumers use: the server's event-driven
+/// connection layer collects the sessions that have complete requests
+/// buffered and submits the whole batch here, so independent sessions
+/// execute concurrently on the persistent pool while each individual
+/// session stays strictly serial (it is one item, owned by one claimer for
+/// the whole call).  A nested [`par_map`] issued from inside `f` follows the
+/// usual rule: inline on a pool worker, pooled on the submitting thread —
+/// so a batch of one still fans its inner chase/grounding rounds out.
+///
+/// `threads` follows [`par_map_with`]: pass [`threads_for`]`(items.len())`
+/// (or `1` to force the inline path).
+pub fn par_map_mut<T, R, F>(items: &mut [T], threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    // Safety: `MutCell<T>` is `repr(transparent)` over `UnsafeCell<T>`,
+    // which is `repr(transparent)` over `T`, so the slice layouts match.
+    let cells: &[MutCell<T>] = unsafe { &*(items as *mut [T] as *const [MutCell<T>]) };
+    par_map_with(cells, threads, |index, cell| {
+        // Safety: the pool claims each index exactly once (documented on
+        // `JobCore`), so this is the only reference to the element.
+        f(index, unsafe { &mut *cell.0.get() })
+    })
+}
+
 // ---------------------------------------------------------------------------
 // Scoped fallback (the pre-pool implementation, kept for comparison).
 // ---------------------------------------------------------------------------

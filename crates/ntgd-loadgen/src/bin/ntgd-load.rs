@@ -8,8 +8,13 @@
 //!   --addr <host:port>    drive an external ntgd-serve (default: in-process)
 //!   --bench               also run a caches-off server and record per-verb
 //!                         speedups (in-process only)
+//!   --transport-bench     run the evented and the threaded connection layer
+//!                         back to back (both cached, in-process only) and
+//!                         record the total-wall speedup of evented vs
+//!                         threaded
 //!   --rounds <n>          repeat runs and report the median (default 1,
-//!                         or 5 with --bench; env NTGD_LOAD_ROUNDS)
+//!                         or 5 with --bench/--transport-bench;
+//!                         env NTGD_LOAD_ROUNDS)
 //!   --out <path>          report file (default BENCH_server.json; "-" for
 //!                         stdout only)
 //!   --slo [verb:]q=<dur>  latency SLO, e.g. p99=5ms or assert:max=50ms;
@@ -27,6 +32,7 @@ use std::process::ExitCode;
 use ntgd_loadgen::driver::{self, ServerMode};
 use ntgd_loadgen::report::{self, RunReport, SloRule};
 use ntgd_loadgen::{generate, WorkloadSpec};
+use ntgd_server::Transport;
 
 struct Args {
     spec_path: String,
@@ -34,6 +40,7 @@ struct Args {
     sessions: Option<usize>,
     addr: Option<String>,
     bench: bool,
+    transport_bench: bool,
     rounds: Option<usize>,
     out: String,
     slos: Vec<SloRule>,
@@ -43,8 +50,8 @@ struct Args {
 
 fn usage() -> &'static str {
     "usage: ntgd-load --spec <file> [--seed N] [--sessions N] [--addr host:port] \
-     [--bench] [--rounds N] [--out path] [--slo [verb:]metric=duration]... \
-     [--report-only] [--print-ops]"
+     [--bench | --transport-bench] [--rounds N] [--out path] \
+     [--slo [verb:]metric=duration]... [--report-only] [--print-ops]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -54,6 +61,7 @@ fn parse_args() -> Result<Args, String> {
         sessions: None,
         addr: None,
         bench: false,
+        transport_bench: false,
         rounds: None,
         out: "BENCH_server.json".to_owned(),
         slos: Vec::new(),
@@ -83,6 +91,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--addr" => args.addr = Some(value("--addr")?),
             "--bench" => args.bench = true,
+            "--transport-bench" => args.transport_bench = true,
             "--rounds" => {
                 let n: usize = value("--rounds")?
                     .parse()
@@ -106,8 +115,11 @@ fn parse_args() -> Result<Args, String> {
     if args.spec_path.is_empty() {
         return Err("--spec is required".to_owned());
     }
-    if args.bench && args.addr.is_some() {
-        return Err("--bench needs an in-process server; drop --addr".to_owned());
+    if (args.bench || args.transport_bench) && args.addr.is_some() {
+        return Err("--bench/--transport-bench need an in-process server; drop --addr".to_owned());
+    }
+    if args.bench && args.transport_bench {
+        return Err("--bench and --transport-bench are mutually exclusive".to_owned());
     }
     if args.rounds.is_none() {
         if let Ok(rounds) = std::env::var("NTGD_LOAD_ROUNDS") {
@@ -123,22 +135,32 @@ fn parse_args() -> Result<Args, String> {
 
 /// Runs `rounds` fresh rounds against `mode` (or the external address) and
 /// returns every round's report.  In-process targets get a fresh server per
-/// round so registry state never leaks across rounds.
+/// round so registry state never leaks across rounds — and each round's
+/// server is gracefully shut down afterwards (acceptor, pollers and live
+/// connections joined), so a many-round run holds one server at a time
+/// instead of leaking a thread and listener per round.
 fn run_rounds(
     workload: &ntgd_loadgen::Workload,
     addr: &Option<String>,
     mode: ServerMode,
     rounds: usize,
+    transport: Option<Transport>,
 ) -> Result<Vec<RunReport>, String> {
     (0..rounds)
-        .map(|_| {
-            let addr = match addr {
-                Some(addr) => addr.clone(),
-                None => {
-                    driver::spawn_server(mode).map_err(|e| format!("cannot spawn server: {e}"))?
+        .map(|_| match addr {
+            Some(addr) => driver::run(workload, addr),
+            None => {
+                let server = match transport {
+                    Some(transport) => driver::spawn_server_on(mode, transport),
+                    None => driver::spawn_server(mode),
                 }
-            };
-            driver::run(workload, &addr)
+                .map_err(|e| format!("cannot spawn server: {e}"))?;
+                let report = driver::run(workload, server.addr());
+                server
+                    .shutdown()
+                    .map_err(|e| format!("server shutdown failed: {e}"))?;
+                report
+            }
         })
         .collect()
 }
@@ -171,7 +193,13 @@ fn real_main() -> Result<ExitCode, String> {
         println!("# fingerprint={:#018x}", workload.fingerprint());
         return Ok(ExitCode::SUCCESS);
     }
-    let rounds = args.rounds.unwrap_or(if args.bench { 5 } else { 1 });
+    let rounds = args
+        .rounds
+        .unwrap_or(if args.bench || args.transport_bench {
+            5
+        } else {
+            1
+        });
     println!(
         "ntgd-load: workload {} (family {}, seed {}): {} sessions x {} ops, {} round(s){}",
         spec.name,
@@ -182,14 +210,28 @@ fn real_main() -> Result<ExitCode, String> {
         rounds,
         if args.bench {
             " + caches-off baseline"
+        } else if args.transport_bench {
+            " + threaded-transport baseline"
         } else {
             ""
         },
     );
-    let cached = run_rounds(&workload, &args.addr, ServerMode::Cached, rounds)?;
+    // --transport-bench pins the measured run to the evented transport;
+    // everything else follows NTGD_TRANSPORT (default evented).
+    let pinned = args.transport_bench.then_some(Transport::Evented);
+    let cached = run_rounds(&workload, &args.addr, ServerMode::Cached, rounds, pinned)?;
     let speedups = if args.bench {
-        let uncached = run_rounds(&workload, &args.addr, ServerMode::FromScratch, rounds)?;
+        let uncached = run_rounds(&workload, &args.addr, ServerMode::FromScratch, rounds, None)?;
         Some(report::speedups(&cached, &uncached))
+    } else if args.transport_bench {
+        let threaded = run_rounds(
+            &workload,
+            &args.addr,
+            ServerMode::Cached,
+            rounds,
+            Some(Transport::Threaded),
+        )?;
+        Some(report::transport_speedups(&cached, &threaded))
     } else {
         None
     };
@@ -211,18 +253,29 @@ fn real_main() -> Result<ExitCode, String> {
         chosen.wall_ns as f64 / 1e6
     );
     if let Some(speedups) = &speedups {
+        let baseline = if args.transport_bench {
+            "vs threaded transport"
+        } else {
+            "vs caches-off"
+        };
         for (label, ratio) in &speedups.verbs {
-            println!("  speedup    {label:<10} {ratio:.1}x vs caches-off");
+            println!("  speedup    {label:<10} {ratio:.1}x {baseline}");
         }
-        println!(
-            "  speedup    total      {:.1}x vs caches-off",
-            speedups.total
-        );
+        println!("  speedup    total      {:.1}x {baseline}", speedups.total);
     }
     let command = format!(
-        "cargo run --release -p ntgd-loadgen --bin ntgd-load -- --spec {}{}{}",
+        "cargo run --release -p ntgd-loadgen --bin ntgd-load -- --spec {}{}{}{}{}",
         args.spec_path,
+        match args.sessions {
+            Some(n) => format!(" --sessions {n}"),
+            None => String::new(),
+        },
         if args.bench { " --bench" } else { "" },
+        if args.transport_bench {
+            " --transport-bench"
+        } else {
+            ""
+        },
         match args.rounds {
             Some(n) => format!(" --rounds {n}"),
             None => String::new(),

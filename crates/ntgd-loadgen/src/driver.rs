@@ -9,17 +9,21 @@
 //! request beyond the request line itself.
 //!
 //! The target is either an external server (`ntgd-load --addr host:port`) or
-//! an in-process one ([`spawn_server`]): the same `serve_tcp` loop the
+//! an in-process one ([`spawn_server`]): the same serving loop the
 //! `ntgd-serve` binary runs, on an OS-assigned loopback port.  In-process
 //! targets are what `--bench` uses, since it must control the server's
-//! caching configuration ([`ServerMode`]).
+//! caching configuration ([`ServerMode`]) — and what `--transport-bench`
+//! uses via [`spawn_server_on`], which pins the connection transport.  The
+//! returned [`LoadServer`] owns the server's [`ServeHandle`], so each
+//! `--rounds` round shuts its server down cleanly instead of leaking an
+//! acceptor thread and listener per round.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
-use ntgd_server::{serve_tcp, BaseRegistry, SessionConfig};
+use ntgd_server::{serve, BaseRegistry, ServeHandle, SessionConfig, Transport};
 
 use crate::generator::{Verb, Workload};
 use crate::histogram::Histogram;
@@ -36,23 +40,57 @@ pub enum ServerMode {
     FromScratch,
 }
 
-/// Starts an in-process `serve_tcp` on an OS-assigned loopback port and
-/// returns its address.  The acceptor thread serves until process exit
-/// (exactly like the binary; load runs are short-lived processes).
-pub fn spawn_server(mode: ServerMode) -> std::io::Result<String> {
+/// An in-process target server: its address plus the owned
+/// [`ServeHandle`].  [`LoadServer::shutdown`] stops accepting, closes the
+/// live connections and joins every server thread; dropping without it
+/// leaves the server running detached for the life of the process (what
+/// one-shot runs rely on).
+pub struct LoadServer {
+    addr: String,
+    handle: Option<ServeHandle>,
+}
+
+impl LoadServer {
+    /// The loopback address clients connect to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// The server's connection counters (what `STATS conn` serves).
+    pub fn conn_stats(&self) -> Option<ntgd_server::ConnSnapshot> {
+        self.handle.as_ref().map(ServeHandle::conn_stats)
+    }
+
+    /// Gracefully stops the server and joins its threads.
+    pub fn shutdown(mut self) -> std::io::Result<()> {
+        match self.handle.take() {
+            Some(handle) => handle.shutdown(),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Starts an in-process server on an OS-assigned loopback port, on the
+/// environment-selected transport (`NTGD_TRANSPORT`, default evented).
+pub fn spawn_server(mode: ServerMode) -> std::io::Result<LoadServer> {
+    spawn_server_on(mode, Transport::from_env())
+}
+
+/// Starts an in-process server on an explicit transport (what
+/// `--transport-bench` uses to compare evented vs threaded on one process).
+pub fn spawn_server_on(mode: ServerMode, transport: Transport) -> std::io::Result<LoadServer> {
     let listener = TcpListener::bind("127.0.0.1:0")?;
-    let addr = listener.local_addr()?.to_string();
     let config = SessionConfig {
         incremental_models: mode == ServerMode::Cached,
         base_registry: (mode == ServerMode::Cached).then(|| Arc::new(BaseRegistry::new())),
+        transport,
         ..SessionConfig::default()
     };
-    std::thread::Builder::new()
-        .name("ntgd-load-server".to_owned())
-        .spawn(move || {
-            let _ = serve_tcp(listener, config);
-        })?;
-    Ok(addr)
+    let handle = serve(listener, config)?;
+    Ok(LoadServer {
+        addr: handle.addr().to_string(),
+        handle: Some(handle),
+    })
 }
 
 /// One connected protocol client.

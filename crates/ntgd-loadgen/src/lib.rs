@@ -35,8 +35,12 @@ pub mod histogram;
 pub mod report;
 pub mod spec;
 
-pub use driver::{fetch_server_requests, run, spawn_server, ServerMode};
+pub use driver::{
+    fetch_server_requests, run, spawn_server, spawn_server_on, LoadServer, ServerMode,
+};
 pub use generator::{generate, Operation, Verb, Workload};
 pub use histogram::Histogram;
-pub use report::{render_json, speedups, RunReport, ServerSpeedups, SloRule, VerbReport};
+pub use report::{
+    render_json, speedups, transport_speedups, RunReport, ServerSpeedups, SloRule, VerbReport,
+};
 pub use spec::{Distribution, Family, SpecError, WorkloadSpec};

@@ -18,6 +18,14 @@ fn smoke_spec() -> WorkloadSpec {
     WorkloadSpec::parse_file(path).expect("committed smoke spec parses")
 }
 
+fn high_sessions_spec() -> WorkloadSpec {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../ci/server_load_high_sessions.spec"
+    );
+    WorkloadSpec::parse_file(path).expect("committed high-sessions spec parses")
+}
+
 #[test]
 fn committed_spec_renders_identically_across_runs() {
     let spec = smoke_spec();
@@ -53,6 +61,25 @@ fn committed_spec_fingerprint_is_pinned() {
     assert_eq!(
         workload.fingerprint(),
         0xe059_79f8_689d_976f,
+        "generator output changed for the committed spec (fingerprint {:#018x})",
+        workload.fingerprint()
+    );
+}
+
+#[test]
+fn committed_high_sessions_fingerprint_is_pinned() {
+    // Same contract for the 256-session connection-layer gate spec: its
+    // stream (and the 256 concurrent sessions CI drives with it) must not
+    // drift silently.
+    let workload = generate(&high_sessions_spec());
+    assert_eq!(
+        workload.sessions.len(),
+        256,
+        "the spec IS the 256-session gate"
+    );
+    assert_eq!(
+        workload.fingerprint(),
+        0x3a7b_7e09_5d69_708b,
         "generator output changed for the committed spec (fingerprint {:#018x})",
         workload.fingerprint()
     );

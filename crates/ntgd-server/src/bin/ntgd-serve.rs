@@ -4,20 +4,25 @@
 //! ntgd-serve [--repl]                          # one session on stdin/stdout
 //! ntgd-serve --listen 127.0.0.1:7171           # one session per TCP connection
 //!            [--max-steps N] [--max-models N]  # session limits
+//!            [--transport evented|threaded]    # connection layer (default:
+//!                                              #   NTGD_TRANSPORT, then evented)
+//!            [--max-sessions N]                # admission cap (default:
+//!                                              #   NTGD_MAX_SESSIONS, then none)
 //! ```
 //!
 //! In TCP mode the bound address is announced on stdout as
 //! `LISTENING <addr>` (bind to port 0 to let the OS pick), then the process
 //! serves forever.  See the `ntgd_server` crate documentation for the
-//! protocol.
+//! protocol and `docs/OPERATIONS.md` for the connection layer.
 
 use std::net::TcpListener;
 use std::process::ExitCode;
 
-use ntgd_server::{serve_repl, serve_tcp, BaseRegistry, SessionConfig};
+use ntgd_server::{serve_repl, serve_tcp, BaseRegistry, SessionConfig, Transport};
 
 fn usage() -> &'static str {
-    "usage: ntgd-serve [--repl | --listen <addr>] [--max-steps N] [--max-models N]"
+    "usage: ntgd-serve [--repl | --listen <addr>] [--max-steps N] [--max-models N] \
+     [--transport evented|threaded] [--max-sessions N]"
 }
 
 fn main() -> ExitCode {
@@ -34,16 +39,23 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
-            "--max-steps" | "--max-models" => {
+            "--max-steps" | "--max-models" | "--max-sessions" => {
                 let Some(value) = args.next().and_then(|v| v.parse::<usize>().ok()) else {
                     eprintln!("{arg} needs a number\n{}", usage());
                     return ExitCode::FAILURE;
                 };
-                if arg == "--max-steps" {
-                    config.max_steps = value;
-                } else {
-                    config.max_models = value;
+                match arg.as_str() {
+                    "--max-steps" => config.max_steps = value,
+                    "--max-models" => config.max_models = value,
+                    _ => config.max_sessions = Some(value).filter(|&cap| cap > 0),
                 }
+            }
+            "--transport" => {
+                let Some(transport) = args.next().as_deref().and_then(Transport::parse) else {
+                    eprintln!("--transport needs 'evented' or 'threaded'\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                config.transport = transport;
             }
             "--help" | "-h" => {
                 println!("{}", usage());

@@ -12,7 +12,17 @@
 //! The `ntgd-serve` binary exposes sessions in two std-only transports:
 //!
 //! * **TCP** (`ntgd-serve --listen 127.0.0.1:7171`): one session per
-//!   connection, one thread per connection ([`serve_tcp`]).
+//!   connection.  The connection layer is **event-driven** by default —
+//!   sessions are `Send`-able state machines owned by non-blocking
+//!   [`Conn`]s on sharded poller threads, with ready batches executing on
+//!   the persistent `ntgd_core::parallel` pool (per-session serial,
+//!   cross-session parallel), so one process holds thousands of live
+//!   sessions without one OS thread each.  `NTGD_TRANSPORT=threaded`
+//!   selects the historical thread-per-connection path, kept for
+//!   differential testing; transcripts are byte-identical across both.
+//!   `NTGD_MAX_SESSIONS` caps live sessions (over the cap: one
+//!   `ERR server at capacity` line, no banner).  [`serve`] returns a
+//!   [`ServeHandle`] for graceful shutdown; [`serve_tcp`] blocks.
 //! * **REPL** (`ntgd-serve` or `--repl`): a single session on
 //!   stdin/stdout ([`serve_repl`]) — also what the CI smoke test scripts.
 //!
@@ -36,10 +46,13 @@
 //! query     = "QUERY" query-text            ; "?- lits." or "?(X) :- lits."
 //! models    = "MODELS" ["sms" | "lp"] ["max=" n]
 //! retract   = "RETRACT-TO" mark             ; roll back to an earlier mark
-//! stats     = "STATS" ["sms" | "base"]      ; "sms": only the deterministic
+//! stats     = "STATS" ["sms" | "base" | "conn"]
+//!                                           ; "sms": only the deterministic
 //!                                           ;   incremental-MODELS counters;
 //!                                           ; "base": only the shared-base
-//!                                           ;   counters
+//!                                           ;   counters;
+//!                                           ; "conn": only the connection-
+//!                                           ;   layer counters
 //! ping      = "PING"
 //! help      = "HELP"
 //! quit      = "QUIT"                        ; closes the session
@@ -178,5 +191,8 @@ pub mod session;
 
 pub use protocol::{parse_command, Command, ModelsMode, Response, StatsScope, HELP_LINES};
 pub use registry::{BaseEntry, BaseKey, BaseRegistry, BaseStats};
-pub use server::{handle_session, serve_repl, serve_tcp};
+pub use server::{
+    handle_session, serve, serve_repl, serve_tcp, Conn, ConnSnapshot, ConnStats, LineBuffer,
+    ServeHandle, Transport,
+};
 pub use session::{server_requests, Session, SessionConfig};

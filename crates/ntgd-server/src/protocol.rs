@@ -25,9 +25,10 @@ impl fmt::Display for ModelsMode {
     }
 }
 
-/// Which counters `STATS` prints.  The `sms` and `base` scopes print only
-/// lines that are a pure function of the request history — never of thread
-/// count, pool mode or machine — so transcripts can assert them verbatim.
+/// Which counters `STATS` prints.  The `sms`, `base` and `conn` scopes print
+/// only lines that are a pure function of the request/connection history —
+/// never of thread count, pool mode or machine — so transcripts can assert
+/// them verbatim.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StatsScope {
     /// Everything, including the machine-dependent pool counters.
@@ -37,6 +38,9 @@ pub enum StatsScope {
     /// Only the deterministic shared-base counters (registry hits/misses,
     /// base vs overlay atom counts, fork count).
     Base,
+    /// Only the connection-layer counters (transport, accepted/active/peak/
+    /// rejected) — deterministic for any scripted sequence of connections.
+    Conn,
 }
 
 /// The `HELP` response body, one entry per line (the session prefixes each
@@ -50,7 +54,7 @@ pub const HELP_LINES: [&str; 6] = [
     "QUERY <?- lits. | ?(X) :- lits.>  certain answers",
     "MODELS [sms|lp] [max=<n>]   enumerate stable models",
     "RETRACT-TO <mark>           roll back to an epoch mark",
-    "STATS [sms|base] | PING | HELP | QUIT",
+    "STATS [sms|base|conn] | PING | HELP | QUIT",
 ];
 
 /// One parsed request line.
@@ -155,6 +159,9 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
             "base" => Ok(Command::Stats {
                 scope: StatsScope::Base,
             }),
+            "conn" => Ok(Command::Stats {
+                scope: StatsScope::Conn,
+            }),
             other => Err(format!("unknown STATS scope: {other}")),
         },
         "PING" => Ok(Command::Ping),
@@ -254,6 +261,12 @@ mod tests {
             parse_command("STATS Base"),
             Ok(Command::Stats {
                 scope: StatsScope::Base
+            })
+        );
+        assert_eq!(
+            parse_command("STATS conn"),
+            Ok(Command::Stats {
+                scope: StatsScope::Conn
             })
         );
         assert!(parse_command("STATS quantum").is_err());

@@ -1,0 +1,316 @@
+//! One evented connection: a non-blocking socket, a read-accumulation
+//! buffer with line framing, a pending-write buffer, and the [`Session`]
+//! state machine they feed.
+//!
+//! [`Conn`] is the unit the event loop schedules: the poller reports the
+//! socket readable → [`Conn::fill`] accumulates bytes; the scheduler picks
+//! runnable connections → [`Conn::run_ready`] executes every complete
+//! buffered line through the session (per-connection serial — the batch
+//! runs cross-connection parallel on the pool); the loop then drains the
+//! write buffer with [`Conn::flush`], arming write interest only while
+//! bytes are pending.  Framing mirrors the threaded transport's
+//! `BufRead::lines` exactly — trailing `\r` stripped from complete lines, a
+//! final unterminated line executed on EOF (its `\r` kept), invalid UTF-8
+//! closing the connection — so per-session transcripts are byte-identical
+//! across transports.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+use crate::server::BANNER;
+use crate::session::Session;
+
+/// Stop [`Conn::fill`] once this many unconsumed bytes are buffered; the
+/// level-triggered poller re-reports the socket readable, so a pipelining
+/// flood gets natural backpressure instead of an unbounded buffer.
+const READ_SOFT_CAP: usize = 64 * 1024;
+
+/// Reclaim consumed prefix bytes once they pass this size.
+const COMPACT_AT: usize = 4 * 1024;
+
+/// A byte accumulator with line framing, mirroring `BufRead::lines`:
+/// [`LineBuffer::next_line`] yields complete `\n`-terminated lines with the
+/// terminator (and one preceding `\r`, if any) stripped;
+/// [`LineBuffer::take_partial`] yields the final unterminated line at EOF
+/// verbatim (no `\r` stripping — `lines` only strips `\r` before a `\n`).
+/// Invalid UTF-8 surfaces as an error, like `lines` again.
+#[derive(Default)]
+pub struct LineBuffer {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl LineBuffer {
+    /// An empty buffer.
+    pub fn new() -> LineBuffer {
+        LineBuffer::default()
+    }
+
+    /// Appends received bytes.
+    pub fn push_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Unconsumed bytes currently buffered.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Whether a complete line is buffered.
+    pub fn has_line(&self) -> bool {
+        self.buf[self.start..].contains(&b'\n')
+    }
+
+    /// The next complete line, if one is buffered.
+    pub fn next_line(&mut self) -> Option<io::Result<String>> {
+        let newline = self.buf[self.start..].iter().position(|&b| b == b'\n')?;
+        let end = self.start + newline;
+        let mut line = &self.buf[self.start..end];
+        if line.last() == Some(&b'\r') {
+            line = &line[..line.len() - 1];
+        }
+        let parsed = String::from_utf8(line.to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "stream not valid UTF-8"));
+        self.start = end + 1;
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start >= COMPACT_AT {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        Some(parsed)
+    }
+
+    /// The final unterminated line (called at EOF); empties the buffer.
+    pub fn take_partial(&mut self) -> Option<io::Result<String>> {
+        if self.start >= self.buf.len() {
+            return None;
+        }
+        let parsed = String::from_utf8(self.buf[self.start..].to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "stream not valid UTF-8"));
+        self.buf.clear();
+        self.start = 0;
+        Some(parsed)
+    }
+}
+
+/// One live evented connection: the non-blocking socket, its framing and
+/// write buffers, and the owned [`Session`].  `Send` by construction — the
+/// event loop migrates ready connections onto pool workers for execution
+/// (`tests/event_loop_e2e.rs` carries the compile-time audit).
+pub struct Conn {
+    stream: TcpStream,
+    session: Session,
+    read_buf: LineBuffer,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// The peer half-closed its send side (EOF observed).
+    eof: bool,
+    /// The connection died of an I/O or framing error; drop it without
+    /// further protocol activity (the threaded path behaves identically:
+    /// a read error ends `handle_session`).
+    dead: bool,
+    /// The session ended (`QUIT`, or EOF fully processed); close once the
+    /// write buffer drains.  Further buffered requests are discarded, like
+    /// the threaded path never reading past `QUIT`.
+    closing: bool,
+    /// Whether the poller currently has write interest armed (event-loop
+    /// bookkeeping, see `set_write_armed`).
+    write_armed: bool,
+}
+
+impl Conn {
+    /// Wraps an accepted socket: switches it non-blocking, disables Nagle
+    /// (small-response latency, like the threaded path), and queues the
+    /// [`BANNER`].
+    pub fn new(stream: TcpStream, session: Session) -> io::Result<Conn> {
+        stream.set_nonblocking(true)?;
+        let _ = stream.set_nodelay(true);
+        let mut conn = Conn {
+            stream,
+            session,
+            read_buf: LineBuffer::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            eof: false,
+            dead: false,
+            closing: false,
+            write_armed: false,
+        };
+        conn.queue_line(BANNER);
+        Ok(conn)
+    }
+
+    /// The underlying socket (for poller registration and shutdown).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    fn queue_line(&mut self, line: &str) {
+        self.write_buf.extend_from_slice(line.as_bytes());
+        self.write_buf.push(b'\n');
+    }
+
+    /// Drains the socket into the read buffer (until `WouldBlock`, EOF, the
+    /// soft cap, or an error).
+    pub fn fill(&mut self) {
+        let mut chunk = [0u8; 4096];
+        while !self.eof && !self.dead && self.read_buf.pending() < READ_SOFT_CAP {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => self.eof = true,
+                Ok(n) => self.read_buf.push_bytes(&chunk[..n]),
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => break,
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => self.dead = true,
+            }
+        }
+    }
+
+    /// Whether the scheduler should run this connection: it has a complete
+    /// request buffered (or EOF to process) and is neither closed nor dead.
+    pub fn runnable(&self) -> bool {
+        !self.dead && !self.closing && (self.read_buf.has_line() || self.eof)
+    }
+
+    /// Executes every complete buffered request through the session,
+    /// appending responses to the write buffer; at EOF also executes the
+    /// final unterminated line (exactly what `BufRead::lines` feeds the
+    /// threaded path).  Called with the connection pinned to one executor —
+    /// per-session serial, cross-session parallel.
+    pub fn run_ready(&mut self) {
+        while !self.closing && !self.dead {
+            match self.read_buf.next_line() {
+                Some(Ok(line)) => self.execute_line(&line),
+                Some(Err(_)) => self.dead = true,
+                None => break,
+            }
+        }
+        if self.eof && !self.closing && !self.dead {
+            match self.read_buf.take_partial() {
+                Some(Ok(line)) => self.execute_line(&line),
+                Some(Err(_)) => self.dead = true,
+                None => {}
+            }
+            self.closing = true;
+        }
+    }
+
+    fn execute_line(&mut self, line: &str) {
+        let response = self.session.execute(line);
+        for out in &response.lines {
+            self.queue_line(out);
+        }
+        if response.close {
+            self.closing = true;
+        }
+    }
+
+    /// Writes pending response bytes (until `WouldBlock`, done, or error).
+    pub fn flush(&mut self) {
+        while self.write_pos < self.write_buf.len() && !self.dead {
+            match self.stream.write(&self.write_buf[self.write_pos..]) {
+                Ok(0) => self.dead = true,
+                Ok(n) => self.write_pos += n,
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => break,
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => self.dead = true,
+            }
+        }
+        if self.write_pos >= self.write_buf.len() {
+            self.write_buf.clear();
+            self.write_pos = 0;
+        }
+    }
+
+    /// Whether response bytes are pending (the loop arms write interest
+    /// exactly while this holds).
+    pub fn wants_write(&self) -> bool {
+        self.write_pos < self.write_buf.len()
+    }
+
+    /// Whether the connection can be dropped: dead, or ended with its
+    /// responses fully flushed.
+    pub fn finished(&self) -> bool {
+        self.dead || (self.closing && !self.wants_write())
+    }
+
+    /// See [`Conn::set_write_armed`].
+    pub fn write_armed(&self) -> bool {
+        self.write_armed
+    }
+
+    /// Records whether the poller has write interest armed for this socket
+    /// (so the loop issues modifications only on transitions).
+    pub fn set_write_armed(&mut self, armed: bool) {
+        self.write_armed = armed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(buffer: &mut LineBuffer) -> Vec<String> {
+        let mut out = Vec::new();
+        while let Some(line) = buffer.next_line() {
+            out.push(line.expect("valid UTF-8"));
+        }
+        out
+    }
+
+    #[test]
+    fn partial_lines_accumulate_until_the_newline_arrives() {
+        let mut buffer = LineBuffer::new();
+        buffer.push_bytes(b"PI");
+        assert!(!buffer.has_line());
+        assert!(buffer.next_line().is_none());
+        buffer.push_bytes(b"NG\nQU");
+        assert_eq!(lines(&mut buffer), vec!["PING"]);
+        assert_eq!(buffer.pending(), 2);
+        buffer.push_bytes(b"IT\n");
+        assert_eq!(lines(&mut buffer), vec!["QUIT"]);
+        assert_eq!(buffer.pending(), 0);
+    }
+
+    #[test]
+    fn pipelined_requests_split_into_individual_lines() {
+        let mut buffer = LineBuffer::new();
+        buffer.push_bytes(b"PING\nHELP\nSTATS sms\nQUIT\n");
+        assert_eq!(
+            lines(&mut buffer),
+            vec!["PING", "HELP", "STATS sms", "QUIT"]
+        );
+    }
+
+    #[test]
+    fn crlf_is_stripped_from_complete_lines_only() {
+        let mut buffer = LineBuffer::new();
+        buffer.push_bytes(b"PING\r\nPONG\r");
+        assert_eq!(lines(&mut buffer), vec!["PING"]);
+        // The final unterminated line keeps its carriage return — exactly
+        // what BufRead::lines yields at EOF.
+        let partial = buffer.take_partial().expect("partial present");
+        assert_eq!(partial.unwrap(), "PONG\r");
+        assert!(buffer.take_partial().is_none());
+    }
+
+    #[test]
+    fn invalid_utf8_is_an_error_like_bufread_lines() {
+        let mut buffer = LineBuffer::new();
+        buffer.push_bytes(&[0xff, 0xfe, b'\n']);
+        let result = buffer.next_line().expect("line is framed");
+        assert_eq!(result.unwrap_err().kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn long_consumed_prefixes_are_compacted() {
+        let mut buffer = LineBuffer::new();
+        let line = vec![b'a'; COMPACT_AT];
+        buffer.push_bytes(&line);
+        buffer.push_bytes(b"\ntail");
+        assert_eq!(buffer.next_line().unwrap().unwrap().len(), COMPACT_AT);
+        assert_eq!(buffer.pending(), 4);
+        assert_eq!(buffer.buf.len(), 4, "consumed prefix reclaimed");
+    }
+}

@@ -1,0 +1,314 @@
+//! The event-driven transport: non-blocking accept feeding sharded poller
+//! threads, sessions executing as bounded batches on the persistent
+//! `ntgd_core::parallel` pool.
+//!
+//! # Shape
+//!
+//! One **acceptor** thread blocks in `accept` (sharing the backoff and
+//! admission policy of `server::mod` with the threaded transport), wraps
+//! each admitted socket in a [`Conn`] — non-blocking, banner queued — and
+//! hands it round-robin to one of a few **shard** threads through a
+//! mutex-protected inbox, waking the shard via a loopback [`Waker`] socket
+//! registered in its poller.
+//!
+//! Each shard runs a readiness loop ([`Poller`]: `epoll` on Linux, portable
+//! scan fallback): readable sockets are drained into their connection's
+//! line buffer, then every *runnable* connection (a complete request
+//! buffered, or EOF to finalise) is executed as one **bounded batch** via
+//! [`parallel::par_map_mut`] — each connection pinned to exactly one
+//! executor for the whole batch, so a session is strictly serial while
+//! distinct sessions run in parallel on the pool.  A batch of one runs
+//! inline on the shard thread, where a nested `par_map` from the chase or
+//! grounding fans out to the full pool — lone expensive requests keep their
+//! inner parallelism, concurrent batches trade it for cross-session
+//! parallelism.  Batches are capped at [`EXEC_BATCH`] connections per round
+//! so a flood of ready sessions cannot starve socket I/O; the remainder
+//! stays runnable and the next round polls with a zero timeout.
+//!
+//! Write-side: responses accumulate in the connection's write buffer,
+//! flushed opportunistically after execution; write interest is armed only
+//! while bytes are pending.  A connection closes when its session ends
+//! (`QUIT`/EOF) and the buffer has drained, or on I/O error — identical
+//! observable semantics to the threaded transport, byte for byte.
+
+use std::io::{self, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ntgd_core::parallel;
+
+use crate::server::poller::{drain, Event, Poller};
+use crate::server::{admit, next_conn, AcceptBackoff, Conn, ConnStats};
+use crate::session::{Session, SessionConfig};
+
+/// The poller token reserved for the shard's waker socket.
+const WAKER_TOKEN: usize = usize::MAX;
+
+/// Most connections one batch submits to the pool per loop round.
+const EXEC_BATCH: usize = 64;
+
+/// Wakes a shard parked in its poller by writing one byte to the loopback
+/// pair whose read side the shard has registered.
+pub(super) struct Waker {
+    tx: TcpStream,
+}
+
+impl Waker {
+    /// Non-blocking, fallible by design: a full pipe means a wake-up is
+    /// already pending.
+    pub(super) fn wake(&self) {
+        let _ = (&self.tx).write(&[1u8]);
+    }
+}
+
+/// A connected loopback pair: the write side wakes, the read side gets
+/// registered in the shard's poller.
+fn waker_pair() -> io::Result<(Waker, TcpStream)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let tx = TcpStream::connect(listener.local_addr()?)?;
+    let (rx, _) = listener.accept()?;
+    tx.set_nonblocking(true)?;
+    rx.set_nonblocking(true)?;
+    Ok((Waker { tx }, rx))
+}
+
+/// Poller shards: enough to spread socket I/O without competing with the
+/// reasoning pool for cores (execution parallelism comes from the pool, not
+/// from shard count).  `NTGD_POLLERS` overrides.
+fn shard_count() -> usize {
+    std::env::var("NTGD_POLLERS")
+        .ok()
+        .and_then(|value| value.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| parallel::num_threads().clamp(1, 4))
+}
+
+/// Spawns the acceptor and the shard threads; returns their handles plus
+/// the wakers the [`ServeHandle`](crate::server::ServeHandle) uses for
+/// shutdown.
+#[allow(clippy::type_complexity)]
+pub(super) fn spawn(
+    listener: TcpListener,
+    config: SessionConfig,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<ConnStats>,
+) -> io::Result<(
+    JoinHandle<io::Result<()>>,
+    Vec<JoinHandle<()>>,
+    Arc<Vec<Waker>>,
+)> {
+    let shards = shard_count();
+    let mut inboxes: Vec<Arc<Mutex<Vec<Conn>>>> = Vec::with_capacity(shards);
+    let mut wakers: Vec<Waker> = Vec::with_capacity(shards);
+    let mut workers: Vec<JoinHandle<()>> = Vec::with_capacity(shards);
+    for index in 0..shards {
+        let (waker, rx) = waker_pair()?;
+        let inbox = Arc::new(Mutex::new(Vec::new()));
+        let worker = std::thread::Builder::new()
+            .name(format!("ntgd-poll-{index}"))
+            .spawn({
+                let inbox = inbox.clone();
+                let shutdown = shutdown.clone();
+                let stats = stats.clone();
+                move || shard_loop(rx, &inbox, &shutdown, &stats)
+            })?;
+        inboxes.push(inbox);
+        wakers.push(waker);
+        workers.push(worker);
+    }
+    let wakers = Arc::new(wakers);
+    let acceptor = std::thread::Builder::new()
+        .name("ntgd-accept".to_owned())
+        .spawn({
+            let wakers = wakers.clone();
+            move || {
+                let result = accept_loop(listener, config, &shutdown, &stats, &inboxes, &wakers);
+                if result.is_err() {
+                    // A fatal accept error takes the whole server down; release
+                    // the shards so ServeHandle::join can reap them.
+                    shutdown.store(true, Ordering::SeqCst);
+                    for waker in wakers.iter() {
+                        waker.wake();
+                    }
+                }
+                result
+            }
+        })?;
+    Ok((acceptor, workers, wakers))
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    config: SessionConfig,
+    shutdown: &AtomicBool,
+    stats: &Arc<ConnStats>,
+    inboxes: &[Arc<Mutex<Vec<Conn>>>],
+    wakers: &[Waker],
+) -> io::Result<()> {
+    let mut backoff = AcceptBackoff::new();
+    let mut next_shard = 0usize;
+    loop {
+        match next_conn(&listener, shutdown, &mut backoff)? {
+            None => return Ok(()),
+            Some(stream) => {
+                if !admit(&stream, stats, config.max_sessions) {
+                    continue;
+                }
+                let session = Session::new(config.clone());
+                let mut conn = match Conn::new(stream, session) {
+                    Ok(conn) => conn,
+                    Err(_) => {
+                        stats.disconnected();
+                        continue;
+                    }
+                };
+                // Get the banner out before the shard even wakes.
+                conn.flush();
+                if conn.finished() {
+                    stats.disconnected();
+                    continue;
+                }
+                inboxes[next_shard].lock().unwrap().push(conn);
+                wakers[next_shard].wake();
+                next_shard = (next_shard + 1) % inboxes.len();
+            }
+        }
+    }
+}
+
+/// One poller shard: owns a slab of connections, polls them, and submits
+/// ready batches to the pool.
+fn shard_loop(
+    waker_rx: TcpStream,
+    inbox: &Mutex<Vec<Conn>>,
+    shutdown: &AtomicBool,
+    stats: &ConnStats,
+) {
+    let mut poller = match Poller::new() {
+        Ok(poller) => poller,
+        Err(err) => {
+            eprintln!("ntgd-serve: poller init failed: {err}");
+            return;
+        }
+    };
+    if poller.register(&waker_rx, WAKER_TOKEN, false).is_err() {
+        eprintln!("ntgd-serve: waker registration failed");
+        return;
+    }
+    // Token-addressed slab: a connection's poller token is its slot index.
+    let mut slots: Vec<Option<Conn>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut events: Vec<Event> = Vec::new();
+    // Whether the last round left runnable connections unexecuted (batch
+    // cap): poll without sleeping so they run next.
+    let mut backlog = false;
+    loop {
+        let timeout = if backlog {
+            Duration::ZERO
+        } else {
+            Duration::from_millis(200)
+        };
+        if poller.wait(timeout, &mut events).is_err() {
+            // A broken poller cannot make progress; drop the shard's
+            // connections and exit rather than spin.
+            break;
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        // I/O phase: drain readable sockets, push blocked writes along.
+        for event in &events {
+            if event.token == WAKER_TOKEN {
+                drain(&waker_rx);
+                continue;
+            }
+            let Some(conn) = slots.get_mut(event.token).and_then(Option::as_mut) else {
+                continue;
+            };
+            if event.readable {
+                conn.fill();
+            }
+            if event.writable {
+                conn.flush();
+            }
+        }
+        // Adopt connections the acceptor handed over.
+        let adopted: Vec<Conn> = {
+            let mut inbox = inbox.lock().unwrap();
+            inbox.drain(..).collect()
+        };
+        for mut conn in adopted {
+            let token = free.pop().unwrap_or_else(|| {
+                slots.push(None);
+                slots.len() - 1
+            });
+            if poller
+                .register(conn.stream(), token, conn.wants_write())
+                .is_err()
+            {
+                let _ = conn.stream().shutdown(Shutdown::Both);
+                stats.disconnected();
+                free.push(token);
+                continue;
+            }
+            conn.set_write_armed(conn.wants_write());
+            slots[token] = Some(conn);
+        }
+        // Scheduling phase: one bounded batch of runnable sessions on the
+        // pool — per-session serial, cross-session parallel.
+        let mut runnable: Vec<usize> = slots
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.as_ref().is_some_and(Conn::runnable))
+            .map(|(token, _)| token)
+            .collect();
+        backlog = runnable.len() > EXEC_BATCH;
+        runnable.truncate(EXEC_BATCH);
+        if !runnable.is_empty() {
+            let mut batch: Vec<&mut Conn> = Vec::with_capacity(runnable.len());
+            let mut wanted = runnable.iter().copied().peekable();
+            for (token, slot) in slots.iter_mut().enumerate() {
+                if wanted.peek() == Some(&token) {
+                    wanted.next();
+                    batch.push(slot.as_mut().expect("runnable slot is occupied"));
+                }
+            }
+            let threads = parallel::threads_for(batch.len());
+            parallel::par_map_mut(&mut batch, threads, |_, conn| conn.run_ready());
+        }
+        // Write-back phase: flush, rearm write interest on transitions,
+        // retire finished connections.
+        for (token, slot) in slots.iter_mut().enumerate() {
+            let Some(conn) = slot.as_mut() else {
+                continue;
+            };
+            if conn.wants_write() {
+                conn.flush();
+            }
+            if conn.finished() {
+                let conn = slot.take().expect("slot occupied");
+                let _ = poller.deregister(conn.stream(), token);
+                let _ = conn.stream().shutdown(Shutdown::Both);
+                stats.disconnected();
+                free.push(token);
+            } else {
+                let want = conn.wants_write();
+                if want != conn.write_armed()
+                    && poller
+                        .set_write_interest(conn.stream(), token, want)
+                        .is_ok()
+                {
+                    conn.set_write_armed(want);
+                }
+            }
+        }
+    }
+    // Shutdown: close every connection this shard still holds.
+    for slot in slots.into_iter().flatten() {
+        let _ = slot.stream().shutdown(Shutdown::Both);
+        stats.disconnected();
+    }
+}

@@ -1,0 +1,98 @@
+//! The historical one-thread-per-connection transport, kept selectable
+//! (`NTGD_TRANSPORT=threaded`) as the differential baseline for the evented
+//! loop.  Unlike its pre-handle incarnation it tracks live sessions, so
+//! [`ServeHandle::shutdown`](crate::server::ServeHandle::shutdown) can close
+//! their sockets and join their threads, and it shares the accept backoff
+//! and admission control of `server::mod`.
+
+use std::io::{self, BufReader};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::server::{admit, handle_session, next_conn, AcceptBackoff, ConnStats};
+use crate::session::{Session, SessionConfig};
+
+/// Spawns the accept thread; per-connection threads are its children.
+pub(super) fn spawn(
+    listener: TcpListener,
+    config: SessionConfig,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<ConnStats>,
+) -> io::Result<JoinHandle<io::Result<()>>> {
+    std::thread::Builder::new()
+        .name("ntgd-accept".to_owned())
+        .spawn(move || accept_loop(listener, config, &shutdown, &stats))
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    config: SessionConfig,
+    shutdown: &AtomicBool,
+    stats: &Arc<ConnStats>,
+) -> io::Result<()> {
+    let mut backoff = AcceptBackoff::new();
+    // Live session threads with a socket clone each, so shutdown can
+    // interrupt their blocking reads; finished entries are reaped on every
+    // accept to keep the list proportional to *live* sessions.
+    let mut live: Vec<(JoinHandle<()>, TcpStream)> = Vec::new();
+    let result = loop {
+        match next_conn(&listener, shutdown, &mut backoff) {
+            Ok(None) => break Ok(()),
+            Err(err) => break Err(err),
+            Ok(Some(stream)) => {
+                live.retain(|(handle, _)| !handle.is_finished());
+                if !admit(&stream, stats, config.max_sessions) {
+                    continue;
+                }
+                // Responses are many small writes; without nodelay, Nagle
+                // holding them back for the peer's delayed ACK costs ~40ms
+                // per request on otherwise-idle connections.  The
+                // flush-per-response batching in handle_session (via the
+                // BufWriter below) keeps the packet count low regardless.
+                let _ = stream.set_nodelay(true);
+                let (read_half, shutdown_half) = match (stream.try_clone(), stream.try_clone()) {
+                    (Ok(read_half), Ok(shutdown_half)) => (read_half, shutdown_half),
+                    _ => {
+                        stats.disconnected();
+                        continue;
+                    }
+                };
+                let config = config.clone();
+                let session_stats = stats.clone();
+                // A failed spawn (thread exhaustion under load) drops this
+                // one connection, like a failed accept — it must never take
+                // down the sessions already being served.
+                let spawned = std::thread::Builder::new()
+                    .name("ntgd-session".to_owned())
+                    .spawn(move || {
+                        let session = Session::new(config);
+                        let reader = BufReader::new(read_half);
+                        let mut writer = io::BufWriter::new(stream);
+                        // A dropped client mid-response is that session's
+                        // problem only.
+                        let _ = handle_session(session, reader, &mut writer);
+                        // Shut the socket down explicitly: the accept loop
+                        // still holds shutdown_half, so dropping our clones
+                        // alone would leave the client waiting for an EOF
+                        // that only arrives once this entry is reaped.
+                        let _ = io::Write::flush(&mut writer);
+                        let _ = writer.get_ref().shutdown(Shutdown::Both);
+                        session_stats.disconnected();
+                    });
+                match spawned {
+                    Ok(handle) => live.push((handle, shutdown_half)),
+                    Err(_) => stats.disconnected(),
+                }
+            }
+        }
+    };
+    // Shutdown (or a fatal accept error): unblock every session's read and
+    // reap its thread.
+    for (handle, stream) in live {
+        let _ = stream.shutdown(Shutdown::Both);
+        let _ = handle.join();
+    }
+    result
+}

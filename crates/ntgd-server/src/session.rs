@@ -13,6 +13,7 @@ use ntgd_sms::{GroundingLimits, IncrementalSmsState, NullBudget, SmsEngine, SmsE
 
 use crate::protocol::{parse_command, Command, ModelsMode, Response, StatsScope};
 use crate::registry::{BaseEntry, BaseKey, BaseRegistry};
+use crate::server::{ConnStats, Transport};
 
 /// Process-wide count of protocol requests executed across every session
 /// (blank/comment lines excluded; malformed requests included — they
@@ -47,6 +48,22 @@ pub struct SessionConfig {
     /// privately; `ntgd-serve` installs one registry per process unless
     /// `NTGD_SHARED_BASE=0`.
     pub base_registry: Option<Arc<BaseRegistry>>,
+    /// Which connection transport `serve`/`serve_tcp` run sessions on
+    /// (evented readiness loop vs one thread per connection).  Protocol
+    /// semantics and transcripts are byte-identical across both; the
+    /// threaded path is kept for differential testing.  Defaults from
+    /// `NTGD_TRANSPORT`.
+    pub transport: Transport,
+    /// Admission cap on concurrently live TCP sessions; a connection over
+    /// the cap is answered with a single `ERR server at capacity` line and
+    /// closed (no banner).  `None` (the default) accepts without limit.
+    /// Defaults from `NTGD_MAX_SESSIONS`.
+    pub max_sessions: Option<usize>,
+    /// The serving transport's connection counters, installed by
+    /// `serve`/`serve_repl` so `STATS conn` can report them.  `None` for
+    /// embedded sessions (the scope then prints `conn_transport=embedded`
+    /// and zeros).
+    pub conn_stats: Option<Arc<ConnStats>>,
 }
 
 impl Default for SessionConfig {
@@ -57,6 +74,12 @@ impl Default for SessionConfig {
             incremental_models: std::env::var("NTGD_SMS_INCREMENTAL")
                 .map_or(true, |value| value != "0"),
             base_registry: None,
+            transport: Transport::from_env(),
+            max_sessions: std::env::var("NTGD_MAX_SESSIONS")
+                .ok()
+                .and_then(|value| value.trim().parse::<usize>().ok())
+                .filter(|&cap| cap > 0),
+            conn_stats: None,
         }
     }
 }
@@ -524,13 +547,16 @@ impl Session {
         Response::ok(format!("mark={mark} atoms={atoms}"))
     }
 
-    /// `STATS`: session and engine counters.  The `sms` and `base` scopes
-    /// print only counters that are a pure function of the request history,
-    /// so transcripts can assert them verbatim at any thread count or pool
-    /// mode.
+    /// `STATS`: session and engine counters.  The `sms`, `base` and `conn`
+    /// scopes print only counters that are a pure function of the
+    /// request/connection history, so transcripts can assert them verbatim
+    /// at any thread count or pool mode.
     pub fn stats(&self, scope: StatsScope) -> Response {
         if scope == StatsScope::Base {
             return self.base_stats();
+        }
+        if scope == StatsScope::Conn {
+            return Response::ok_with(conn_stat_lines(&self.config), "stats");
         }
         let sms_only = scope == StatsScope::Sms;
         let mut lines = Vec::new();
@@ -559,6 +585,7 @@ impl Session {
             lines.push(format!("STAT pool_workers={}", pool.workers));
             lines.push(format!("STAT pool_jobs={}", pool.jobs));
             lines.push(format!("STAT pool_items={}", pool.items));
+            lines.extend(conn_stat_lines(&self.config));
         }
         Response::ok_with(lines, "stats")
     }
@@ -634,6 +661,34 @@ impl Loaded {
             .as_ref()
             .map(|chase| chase.instance().len())
             .unwrap_or(self.facts.len())
+    }
+}
+
+/// The connection-layer counter lines of `STATS` / `STATS conn`: which
+/// transport serves this session and its accepted/active/peak/rejected
+/// tallies.  Deterministic for any scripted sequence of connections — the
+/// REPL always reports `conn_transport=repl` with zeros, an embedded
+/// session `conn_transport=embedded` with zeros — so smoke transcripts can
+/// assert the scope verbatim.
+fn conn_stat_lines(config: &SessionConfig) -> Vec<String> {
+    match config.conn_stats.as_ref() {
+        None => vec![
+            "STAT conn_transport=embedded".to_owned(),
+            "STAT conn_accepted=0".to_owned(),
+            "STAT conn_active=0".to_owned(),
+            "STAT conn_peak=0".to_owned(),
+            "STAT conn_rejected=0".to_owned(),
+        ],
+        Some(stats) => {
+            let snapshot = stats.snapshot();
+            vec![
+                format!("STAT conn_transport={}", snapshot.transport),
+                format!("STAT conn_accepted={}", snapshot.accepted),
+                format!("STAT conn_active={}", snapshot.active),
+                format!("STAT conn_peak={}", snapshot.peak),
+                format!("STAT conn_rejected={}", snapshot.rejected),
+            ]
+        }
     }
 }
 

@@ -1,0 +1,346 @@
+//! End-to-end tests for the evented connection layer: transcript parity
+//! with the threaded transport at high concurrency, admission control,
+//! graceful shutdown, and the socket-level framing corners (pipelining,
+//! partial writes, unterminated final lines) that only show up over a real
+//! TCP connection.
+//!
+//! The headline test drives **256 concurrent sessions** against both
+//! transports at `NTGD_THREADS` 1 and 8, pool on and off, and requires every
+//! session's transcript to be byte-identical across transports — the
+//! protocol contract the ISSUE pins: the transport must be invisible to
+//! clients.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use ntgd_core::parallel;
+use ntgd_server::{serve, Conn, ServeHandle, Session, SessionConfig, Transport};
+
+/// Boots a server on an OS-assigned port with an explicit transport.
+fn boot(transport: Transport, max_sessions: Option<usize>) -> ServeHandle {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+    let config = SessionConfig {
+        transport,
+        max_sessions,
+        ..SessionConfig::default()
+    };
+    serve(listener, config).expect("serve")
+}
+
+/// `Session` and `Conn` are the units the scheduler moves between threads:
+/// both must stay `Send`.  This is the compile-time audit — if a future
+/// change smuggles an `Rc` or a raw pointer into session state, this test
+/// stops compiling rather than failing at runtime.
+#[test]
+fn session_and_conn_are_send() {
+    fn assert_send<T: Send>() {}
+    assert_send::<Session>();
+    assert_send::<Conn>();
+}
+
+/// The deterministic request script for session `i`: eight program shapes so
+/// neighbouring sessions exercise different rules, including a disjunctive
+/// variant that runs the SMS engine (nested parallelism inside a pooled
+/// batch).  Every response is deterministic, so transcripts are comparable
+/// byte-for-byte across transports.
+fn script(i: usize) -> Vec<String> {
+    let v = i % 8;
+    if v >= 6 {
+        return vec![
+            format!("LOAD node{v}(X) -> red{v}(X) | green{v}(X)."),
+            format!("ASSERT node{v}(u). node{v}(w)."),
+            "MODELS max=8".to_owned(),
+            "PING".to_owned(),
+        ];
+    }
+    let mut lines = vec![format!(
+        "LOAD e{v}(X, Y) -> n{v}(X). e{v}(X, Y) -> n{v}(Y)."
+    )];
+    for j in 0..=v {
+        lines.push(format!("ASSERT e{v}(a{j}, b{j})."));
+    }
+    lines.push(format!("QUERY ?(X) :- n{v}(X)."));
+    lines.push("RETRACT-TO 1".to_owned());
+    lines.push(format!("QUERY ?(X) :- n{v}(X)."));
+    lines
+}
+
+/// Connects `sessions` concurrent clients, releases them together, runs each
+/// one's script in request/response lockstep, QUITs, and returns every
+/// session's full transcript (banner included, read to server-side EOF).
+fn run_fleet(addr: std::net::SocketAddr, sessions: usize) -> Vec<String> {
+    let barrier = Arc::new(Barrier::new(sessions));
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..sessions)
+            .map(|i| {
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("connect");
+                    stream.set_nodelay(true).expect("nodelay");
+                    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                    let mut writer = stream;
+                    barrier.wait();
+                    fn read_until_terminator(
+                        reader: &mut BufReader<TcpStream>,
+                        transcript: &mut String,
+                    ) {
+                        loop {
+                            let mut line = String::new();
+                            reader.read_line(&mut line).expect("read");
+                            assert!(!line.is_empty(), "server closed mid-request");
+                            let done = line.starts_with("OK") || line.starts_with("ERR");
+                            transcript.push_str(&line);
+                            if done {
+                                break;
+                            }
+                        }
+                    }
+                    let mut transcript = String::new();
+                    {
+                        // Banner.
+                        let mut line = String::new();
+                        reader.read_line(&mut line).expect("banner");
+                        transcript.push_str(&line);
+                    }
+                    for request in script(i) {
+                        writeln!(writer, "{request}").expect("write");
+                        read_until_terminator(&mut reader, &mut transcript);
+                    }
+                    writeln!(writer, "QUIT").expect("write QUIT");
+                    read_until_terminator(&mut reader, &mut transcript);
+                    // The server closes after QUIT on both transports.
+                    let mut rest = String::new();
+                    reader.read_to_string(&mut rest).expect("read to EOF");
+                    transcript.push_str(&rest);
+                    transcript
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    })
+}
+
+/// The tentpole parity gate: 256 concurrent sessions, evented vs threaded,
+/// at 1 and 8 worker threads with the persistent pool on and off.  Each
+/// session's transcript must match byte-for-byte across transports.
+#[test]
+fn evented_matches_threaded_at_256_sessions_across_pool_configs() {
+    const SESSIONS: usize = 256;
+    for threads in [1usize, 8] {
+        for pool in [true, false] {
+            parallel::set_thread_override(Some(threads));
+            parallel::set_pool_enabled(Some(pool));
+            let evented = boot(Transport::Evented, None);
+            let threaded = boot(Transport::Threaded, None);
+            let a = run_fleet(evented.addr(), SESSIONS);
+            let b = run_fleet(threaded.addr(), SESSIONS);
+            let evented_stats = evented.conn_stats();
+            evented.shutdown().expect("evented shutdown");
+            threaded.shutdown().expect("threaded shutdown");
+            parallel::set_thread_override(None);
+            parallel::set_pool_enabled(None);
+            for (i, (ta, tb)) in a.iter().zip(&b).enumerate() {
+                assert_eq!(
+                    ta, tb,
+                    "transcript diverged: session {i}, threads={threads}, pool={pool}"
+                );
+            }
+            assert_eq!(evented_stats.accepted, SESSIONS as u64);
+            assert_eq!(evented_stats.rejected, 0);
+            assert!(evented_stats.peak <= SESSIONS as u64);
+        }
+    }
+}
+
+/// `NTGD_MAX_SESSIONS`: connections over the cap get `ERR server at
+/// capacity` and a closed socket; once a slot frees, new sessions are
+/// admitted again.
+#[test]
+fn admission_cap_rejects_then_recovers() {
+    let server = boot(Transport::Evented, Some(2));
+    let addr = server.addr();
+    let connect_admitted = || {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("banner");
+        assert!(
+            line.starts_with("READY"),
+            "admitted sessions get the banner"
+        );
+        (stream, reader)
+    };
+    let first = connect_admitted();
+    let second = connect_admitted();
+
+    let over = TcpStream::connect(addr).expect("connect over cap");
+    let mut reader = BufReader::new(over);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("rejection line");
+    assert_eq!(line, "ERR server at capacity\n");
+    let mut rest = String::new();
+    reader
+        .read_to_string(&mut rest)
+        .expect("rejected socket EOF");
+    assert!(rest.is_empty(), "nothing follows the rejection");
+
+    // Free a slot and retry: the server must admit again.  The slot is
+    // released when the server retires the connection, so poll briefly.
+    let (mut stream, mut first_reader) = first;
+    writeln!(stream, "QUIT").expect("QUIT");
+    let mut bye = String::new();
+    first_reader.read_line(&mut bye).expect("bye");
+    assert_eq!(bye, "OK bye\n");
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let stream = TcpStream::connect(addr).expect("connect after free");
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("response line");
+        if line.starts_with("READY") {
+            break;
+        }
+        assert_eq!(line, "ERR server at capacity\n");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "slot never freed after QUIT"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let stats = server.conn_stats();
+    assert!(stats.rejected >= 1, "rejection counted");
+    assert_eq!(stats.peak, 2, "peak pinned at the cap");
+    drop(second);
+    server.shutdown().expect("shutdown");
+}
+
+/// Pipelined requests in one TCP segment are answered in order; the QUIT in
+/// the middle of the pipeline terminates the session and everything after
+/// it is discarded (same contract as the threaded `BufRead` loop, which
+/// never reads past QUIT).
+#[test]
+fn pipelined_requests_are_answered_in_order_and_quit_cuts_the_stream() {
+    let server = boot(Transport::Evented, None);
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .write_all(b"PING\nPING\nQUIT\nPING\n")
+        .expect("one pipelined write");
+    let mut everything = String::new();
+    stream.read_to_string(&mut everything).expect("read to EOF");
+    assert_eq!(
+        everything, "READY ntgd-serve protocol=1\nOK pong\nOK pong\nOK bye\n",
+        "responses in order, nothing served after QUIT"
+    );
+    server.shutdown().expect("shutdown");
+}
+
+/// A request split across arbitrary TCP segments (here: byte by byte) is
+/// accumulated until its newline arrives — the event loop never acts on a
+/// partial line.
+#[test]
+fn partial_writes_accumulate_until_the_line_completes() {
+    let server = boot(Transport::Evented, None);
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("banner");
+    for byte in b"PING\n" {
+        stream.write_all(&[*byte]).expect("write one byte");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    line.clear();
+    reader.read_line(&mut line).expect("response");
+    assert_eq!(line, "OK pong\n");
+    // An unterminated final line before EOF still executes (the `BufRead::
+    // lines` contract the threaded transport inherits from the std library).
+    stream.write_all(b"PING").expect("write without newline");
+    stream.shutdown(Shutdown::Write).expect("half-close");
+    line.clear();
+    reader.read_line(&mut line).expect("response to partial");
+    assert_eq!(line, "OK pong\n");
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).expect("EOF");
+    assert!(rest.is_empty());
+    server.shutdown().expect("shutdown");
+}
+
+/// `ServeHandle::shutdown` joins every server thread and closes the
+/// listener: post-shutdown connects must not reach a live session.
+#[test]
+fn shutdown_closes_the_listener_on_both_transports() {
+    for transport in [Transport::Evented, Transport::Threaded] {
+        let server = boot(transport, None);
+        let addr = server.addr();
+        // One live session mid-conversation when shutdown lands.
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("banner");
+        server.shutdown().expect("graceful shutdown");
+        // The live connection is closed out from under the client...
+        let mut rest = String::new();
+        let _ = reader.read_to_string(&mut rest);
+        // ...and fresh connects find nobody serving.
+        match TcpStream::connect_timeout(&addr, Duration::from_millis(200)) {
+            Err(_) => {}
+            Ok(stream) => {
+                stream
+                    .set_read_timeout(Some(Duration::from_millis(200)))
+                    .expect("timeout");
+                let mut buf = [0u8; 8];
+                let got = (&stream).read(&mut buf);
+                assert!(
+                    matches!(got, Ok(0) | Err(_)),
+                    "post-shutdown connection produced data: {got:?}"
+                );
+            }
+        }
+    }
+}
+
+/// `STATS conn` over the wire reports the live transport label and counters.
+#[test]
+fn stats_conn_reports_the_transport() {
+    for (transport, label) in [
+        (Transport::Evented, "evented"),
+        (Transport::Threaded, "threaded"),
+    ] {
+        let server = boot(transport, None);
+        let stream = TcpStream::connect(server.addr()).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream;
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("banner");
+        writeln!(writer, "STATS conn").expect("request");
+        let mut lines = Vec::new();
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("read");
+            let done = line.starts_with("OK") || line.starts_with("ERR");
+            lines.push(line.trim_end().to_owned());
+            if done {
+                break;
+            }
+        }
+        assert!(
+            lines.contains(&format!("STAT conn_transport={label}")),
+            "{lines:?}"
+        );
+        assert!(
+            lines.contains(&"STAT conn_accepted=1".to_owned()),
+            "{lines:?}"
+        );
+        assert!(
+            lines.contains(&"STAT conn_active=1".to_owned()),
+            "{lines:?}"
+        );
+        assert_eq!(lines.last().unwrap(), "OK stats");
+        server.shutdown().expect("shutdown");
+    }
+}
