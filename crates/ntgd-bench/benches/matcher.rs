@@ -136,6 +136,17 @@ fn median_duration<F: FnMut() -> usize>(samples: usize, mut routine: F) -> Durat
     times[times.len() / 2]
 }
 
+fn time_once<F: FnMut() -> usize>(mut routine: F) -> Duration {
+    let start = Instant::now();
+    std::hint::black_box(routine());
+    start.elapsed()
+}
+
+fn median_of(times: &mut [Duration]) -> Duration {
+    times.sort();
+    times[times.len() / 2]
+}
+
 /// The multi-round chain-join delta workload of the plan-cache comparison: a
 /// base graph, the atoms inserted one per round, and the chain body.
 fn compile_cache_workload() -> (Interpretation, Vec<Atom>, Vec<Atom>) {
@@ -472,6 +483,73 @@ fn main() {
             scoped.as_nanos(),
             speedup,
             pooled_atoms,
+        ));
+    }
+
+    // Observability overhead: the server_throughput ASSERT stream once with
+    // the obs registry and span timers recording (the default posture) and
+    // once with them forced off (the NTGD_OBS=0 posture).  The instruments
+    // sit on every chase round, pool batch and request, so this stream is
+    // exactly where their cost would show; the gate keeps the overhead
+    // within noise (speedup ≈ 1.0, disabled time / instrumented time).
+    {
+        let program = "e(X, Y), e(Y, Z) -> chain2(X, Z).\
+             e(X, Y), e(Y, Z), e(Z, W) -> chain3(X, W).\
+             e(X, Y), e(X, Z) -> fanout(Y, Z).\
+             e(X, Y), e(Z, Y) -> fanin(X, Z).\
+             e(X, Y), e(Y, X) -> mutual(X).\
+             e(X, Y), e(Y, Z), e(Z, X) -> triangle(X).";
+        let mut rng = StdRng::seed_from_u64(0x6a06);
+        let batches: Vec<String> = (0..150)
+            .map(|_| {
+                let a = rng.gen_range(0..60);
+                let b = rng.gen_range(0..60);
+                format!("ASSERT e(v{a}, v{b}).")
+            })
+            .collect();
+        let run_stream = |instrumented: bool| -> usize {
+            ntgd_core::obs::set_enabled_override(Some(instrumented));
+            let mut session = ntgd_server::Session::new(ntgd_server::SessionConfig::default());
+            assert!(session.execute(&format!("LOAD {program}")).is_ok());
+            for batch in &batches {
+                assert!(session.execute(batch).is_ok());
+            }
+            let atoms = session.instance().expect("chased instance").len();
+            ntgd_core::obs::set_enabled_override(None);
+            atoms
+        };
+        let on_atoms = run_stream(true);
+        let off_atoms = run_stream(false);
+        assert_eq!(on_atoms, off_atoms, "observability changed session results");
+        criterion.bench_function("matcher/obs_overhead/instrumented", |b| {
+            b.iter(|| run_stream(true))
+        });
+        criterion.bench_function("matcher/obs_overhead/disabled", |b| {
+            b.iter(|| run_stream(false))
+        });
+        // Interleave the two configurations sample-by-sample: the stream
+        // takes tens of milliseconds, so back-to-back blocks of 20 would
+        // measure machine drift as instrumentation overhead (or savings).
+        let mut on_samples = Vec::with_capacity(20);
+        let mut off_samples = Vec::with_capacity(20);
+        for _ in 0..20 {
+            on_samples.push(time_once(|| run_stream(true)));
+            off_samples.push(time_once(|| run_stream(false)));
+        }
+        let instrumented = median_of(&mut on_samples);
+        let disabled = median_of(&mut off_samples);
+        let speedup =
+            disabled.as_secs_f64() / instrumented.as_secs_f64().max(f64::MIN_POSITIVE);
+        let overhead_pct = (1.0 / speedup.max(f64::MIN_POSITIVE) - 1.0) * 100.0;
+        println!(
+            "matcher/obs_overhead: instrumented {instrumented:?}, disabled {disabled:?}, speedup {speedup:.2}x ({overhead_pct:+.1}% overhead), {on_atoms} atoms"
+        );
+        rows.push((
+            "obs_overhead".to_owned(),
+            instrumented.as_nanos(),
+            disabled.as_nanos(),
+            speedup,
+            on_atoms,
         ));
     }
 

@@ -58,11 +58,29 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use ntgd_core::{
-    Atom, CompiledRuleSet, Interpretation, InterpretationBase, NullId, Program, Symbol, Term,
+    obs, Atom, CompiledRuleSet, Interpretation, InterpretationBase, NullId, Program, Symbol, Term,
 };
 
 use crate::restricted::ChaseConfig;
 use crate::trigger::triggers_from_compiled;
+
+/// Chase hot-loop telemetry, batched per worklist drain so the per-trigger
+/// path stays atomic-free: round count, triggers applied, and how the
+/// witness memo split between hits (an existing Skolem witness reused) and
+/// misses (fresh labelled nulls minted).
+static CHASE_ROUNDS: obs::Counter = obs::Counter::new("chase.rounds");
+static CHASE_TRIGGERS: obs::Counter = obs::Counter::new("chase.triggers");
+static CHASE_MEMO_HITS: obs::Counter = obs::Counter::new("chase.witness_memo_hits");
+static CHASE_MEMO_MISSES: obs::Counter = obs::Counter::new("chase.witness_memo_misses");
+
+/// Locally accumulated [`drain`](IncrementalChase::drain) tallies, flushed
+/// to the process-wide counters once per round.
+#[derive(Default)]
+struct DrainTallies {
+    triggers: u64,
+    memo_hits: u64,
+    memo_misses: u64,
+}
 
 /// Memo key of a Skolem witness: rule index plus the values of the rule's
 /// frontier variables (in `frontier_variables()` order).
@@ -436,10 +454,26 @@ impl IncrementalChase {
     /// step budget.  On `Err` the caller is responsible for rolling back.
     fn drain(
         &mut self,
+        pending: VecDeque<crate::trigger::Trigger>,
+    ) -> Result<(), StepLimitExceeded> {
+        let _round = obs::span("chase.round");
+        CHASE_ROUNDS.incr();
+        let mut tallies = DrainTallies::default();
+        let result = self.drain_inner(pending, &mut tallies);
+        CHASE_TRIGGERS.add(tallies.triggers);
+        CHASE_MEMO_HITS.add(tallies.memo_hits);
+        CHASE_MEMO_MISSES.add(tallies.memo_misses);
+        result
+    }
+
+    fn drain_inner(
+        &mut self,
         mut pending: VecDeque<crate::trigger::Trigger>,
+        tallies: &mut DrainTallies,
     ) -> Result<(), StepLimitExceeded> {
         let start = self.steps;
         while let Some(trigger) = pending.pop_front() {
+            tallies.triggers += 1;
             let rule = &self.positive.rules()[trigger.rule_index];
             let frontier: Vec<Term> = rule
                 .frontier_variables()
@@ -453,8 +487,12 @@ impl IncrementalChase {
                 .get(&key)
                 .or_else(|| self.base.as_ref().and_then(|b| b.witnesses.get(&key)));
             let witness_terms = match memoised {
-                Some(terms) => terms.clone(),
+                Some(terms) => {
+                    tallies.memo_hits += 1;
+                    terms.clone()
+                }
                 None => {
+                    tallies.memo_misses += 1;
                     let base_owners = self.base.as_ref().map(|b| &b.null_owner);
                     let terms: Vec<Term> = (0..existentials.len())
                         .map(|index| {

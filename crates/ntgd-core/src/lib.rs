@@ -15,7 +15,11 @@
 //! * [`Ntgd`] / [`Ndtgd`] rules, [`Program`]s and their safety validation;
 //! * normal (Boolean) conjunctive queries ([`Query`]);
 //! * a deterministic scoped-thread [`parallel`] layer used by the chase,
-//!   grounding and stability fixpoints downstream.
+//!   grounding and stability fixpoints downstream;
+//! * a zero-dependency observability layer ([`obs`]): process-wide
+//!   counters, gauges, log-bucketed histograms, RAII span timers and a
+//!   structured event log — write-only for the engine, so it never
+//!   influences execution.
 //!
 //! Everything downstream — the chase, the LP approach, the new stable model
 //! semantics — is built on these types.
@@ -25,6 +29,7 @@ pub mod database;
 pub mod error;
 pub mod interpretation;
 pub mod matcher;
+pub mod obs;
 pub mod parallel;
 pub mod program;
 pub mod query;

@@ -1,0 +1,211 @@
+//! A constant-memory, HDR-style log-bucketed latency histogram.
+//!
+//! Values (nanoseconds) are bucketed into 32 sub-buckets per power of two,
+//! so any recorded value is reproduced by [`Histogram::quantile`] with at
+//! most ~3.2% relative error while the whole histogram is one fixed
+//! `Vec<u64>` — recording is O(1) and allocation-free no matter how many
+//! samples a load run produces.  No dependencies: the workspace is offline.
+
+/// Sub-bucket resolution: 2^5 buckets per octave (≈3.2% worst-case error).
+const SUB_BITS: u32 = 5;
+const SUBS: usize = 1 << SUB_BITS;
+/// Bucket count covering the full `u64` range (highest index is
+/// `bucket(u64::MAX)` = `(63 - SUB_BITS + 1) * SUBS + SUBS - 1`).
+const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUBS;
+
+/// A log-bucketed histogram of `u64` samples (latencies in nanoseconds).
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// The bucket a value lands in.
+fn bucket(value: u64) -> usize {
+    if value < SUBS as u64 {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros();
+    let octave = (msb - SUB_BITS + 1) as usize;
+    let sub = ((value >> (msb - SUB_BITS)) & (SUBS as u64 - 1)) as usize;
+    octave * SUBS + sub
+}
+
+/// The largest value mapping to `index` (what quantiles report, so the
+/// estimate errs pessimistically — never below a recorded latency's bucket).
+fn bucket_upper(index: usize) -> u64 {
+    if index < SUBS {
+        return index as u64;
+    }
+    let octave = (index / SUBS) as u32;
+    let sub = (index % SUBS) as u64;
+    let msb = octave + SUB_BITS - 1;
+    let low = (1u64 << msb) + (sub << (msb - SUB_BITS));
+    // The very top bucket's upper bound is u64::MAX; saturate instead of
+    // overflowing the add.
+    low.saturating_add((1u64 << (msb - SUB_BITS)) - 1)
+}
+
+impl Histogram {
+    /// An empty histogram (~15 KiB, fixed).
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket(value)] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples (for mean latency / throughput ratios).
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Exact maximum recorded sample (not bucket-rounded).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in [0, 1]: the upper bound of the bucket
+    /// holding the ⌈q·count⌉-th smallest sample (≤ ~3.2% above the true
+    /// value), clamped to the exact max.  0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &bucket_count) in self.counts.iter().enumerate() {
+            seen += bucket_count;
+            if seen >= rank {
+                return bucket_upper(index).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The non-empty buckets as `(upper_bound, count)` pairs in ascending
+    /// order (the Prometheus-style exposition in [`crate::obs`] renders
+    /// these as cumulative `_bucket` lines).
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &count)| count != 0)
+            .map(|(index, &count)| (bucket_upper(index), count))
+    }
+
+    /// Merges another histogram into this one (per-thread histograms are
+    /// merged into the per-verb report).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut hist = Histogram::new();
+        for v in 0..32u64 {
+            hist.record(v);
+        }
+        assert_eq!(hist.count(), 32);
+        assert_eq!(hist.quantile(0.0), 0);
+        assert_eq!(hist.quantile(1.0), 31);
+        assert_eq!(hist.max(), 31);
+    }
+
+    #[test]
+    fn quantiles_are_within_the_bucket_error_bound() {
+        let mut hist = Histogram::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut samples: Vec<u64> = (0..10_000)
+            .map(|_| rng.gen_range(100u64..50_000_000))
+            .collect();
+        for &s in &samples {
+            hist.record(s);
+        }
+        samples.sort_unstable();
+        for q in [0.5, 0.9, 0.99] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).max(1) - 1;
+            let exact = samples[rank] as f64;
+            let estimate = hist.quantile(q) as f64;
+            assert!(
+                estimate >= exact * 0.999 && estimate <= exact * 1.04,
+                "q{q}: estimate {estimate} vs exact {exact}"
+            );
+        }
+        assert_eq!(hist.max(), *samples.last().unwrap());
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let mut all = Histogram::new();
+        let mut left = Histogram::new();
+        let mut right = Histogram::new();
+        for v in [3u64, 700, 12_345, 9_999_999, 42] {
+            all.record(v);
+            if v % 2 == 0 {
+                left.record(v)
+            } else {
+                right.record(v)
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), all.count());
+        assert_eq!(left.sum(), all.sum());
+        assert_eq!(left.max(), all.max());
+        for q in [0.25, 0.5, 0.75, 1.0] {
+            assert_eq!(left.quantile(q), all.quantile(q));
+        }
+    }
+
+    #[test]
+    fn extremes_do_not_overflow_the_bucket_map() {
+        let mut hist = Histogram::new();
+        hist.record(0);
+        hist.record(u64::MAX);
+        assert_eq!(hist.count(), 2);
+        assert_eq!(hist.quantile(1.0), u64::MAX);
+    }
+}

@@ -532,6 +532,13 @@ fn run_job(job: &JobCore) {
     }
 }
 
+/// Pool batch telemetry: one `pool.batches` tick and the item count per
+/// submitted round, plus a `pool.batch` span over submit-to-quiesce (the
+/// submitting thread works the job too, so the span is the batch's wall
+/// time, not queueing overhead alone).
+static POOL_BATCHES: crate::obs::Counter = crate::obs::Counter::new("pool.batches");
+static POOL_BATCH_ITEMS: crate::obs::Counter = crate::obs::Counter::new("pool.batch_items");
+
 /// Publishes the round to the pool, works it from the submitting thread, and
 /// waits for stragglers before collecting the slots in item order.
 fn par_map_pooled<T, R, F>(items: &[T], threads: usize, f: &F) -> Vec<R>
@@ -540,6 +547,9 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    POOL_BATCHES.incr();
+    POOL_BATCH_ITEMS.add(items.len() as u64);
+    let _batch = crate::obs::span("pool.batch");
     let slots: Vec<ResultSlot<R>> = items
         .iter()
         .map(|_| ResultSlot(UnsafeCell::new(None)))

@@ -252,6 +252,26 @@ fn real_main() -> Result<ExitCode, String> {
         chosen.ops_per_sec(),
         chosen.wall_ns as f64 / 1e6
     );
+    // Server-observed per-verb counts and p99 from the METRICS scrape; a
+    // count that disagrees with the client's is flagged — it means requests
+    // were lost, double-counted, or a foreign client shared the window.
+    for server in &chosen.server_verbs {
+        let client_count = chosen
+            .verb(server.verb)
+            .map(|v| v.hist.count())
+            .unwrap_or(0);
+        println!(
+            "  server     {:<10} {:>6} reqs  p99 {:>8.1}us{}",
+            server.verb.label(),
+            server.requests,
+            server.p99_ns as f64 / 1e3,
+            if server.requests == client_count {
+                String::new()
+            } else {
+                format!("  DRIFT (client observed {client_count})")
+            },
+        );
+    }
     if let Some(speedups) = &speedups {
         let baseline = if args.transport_bench {
             "vs threaded transport"

@@ -27,7 +27,7 @@ use ntgd_server::{serve, BaseRegistry, ServeHandle, SessionConfig, Transport};
 
 use crate::generator::{Verb, Workload};
 use crate::histogram::Histogram;
-use crate::report::{RunReport, VerbReport};
+use crate::report::{RunReport, ServerVerbReport, VerbReport};
 
 /// Caching posture of an in-process target server.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -169,6 +169,11 @@ fn verb_index(verb: Verb) -> usize {
 /// spec's budgets) broke under this workload.
 pub fn run(workload: &Workload, addr: &str) -> Result<RunReport, String> {
     let sessions = workload.sessions.len();
+    // Scrape the server's cumulative per-verb metrics before the window so
+    // the after-scrape can be reduced to window-scoped deltas (the obs
+    // registry is process-wide — in-process rounds and bench baselines all
+    // share it).
+    let metrics_before = fetch_server_metrics(addr);
     // Connect (and consume the banner) before the clock starts, so the
     // measured window contains requests only.
     let mut clients = Vec::with_capacity(sessions);
@@ -246,6 +251,7 @@ pub fn run(workload: &Workload, addr: &str) -> Result<RunReport, String> {
             verbs.push(VerbReport { verb, hist });
         }
     }
+    let metrics_after = fetch_server_metrics(addr);
     Ok(RunReport {
         name: workload.name.clone(),
         sessions,
@@ -253,7 +259,156 @@ pub fn run(workload: &Workload, addr: &str) -> Result<RunReport, String> {
         requests: stats.iter().map(|s| s.requests).sum(),
         server_requests: fetch_server_requests(addr),
         verbs,
+        server_verbs: server_verb_deltas(metrics_before, metrics_after),
     })
+}
+
+/// A per-verb sample parsed from one `METRICS` scrape: the cumulative
+/// request count and the p99 wall time of the server's
+/// `server.request.<verb>` histogram.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerVerbSample {
+    /// Cumulative `..._ns_count` value.
+    pub count: u64,
+    /// The `{quantile="0.99"}` summary value, nanoseconds.
+    pub p99_ns: u64,
+}
+
+/// The server's metric label for a workload verb (`RETRACT-TO` is counted
+/// as `retract` server-side).
+fn server_metric_verb(verb: Verb) -> &'static str {
+    match verb {
+        Verb::Retract => "retract",
+        other => other.label(),
+    }
+}
+
+/// Folds one exposition line into the per-verb samples (indexed in
+/// [`Verb::ALL`] order).  Lines about other instruments are ignored.
+fn parse_metric_line(line: &str, samples: &mut [ServerVerbSample]) {
+    for (index, &verb) in Verb::ALL.iter().enumerate() {
+        let stem = format!("ntgd_server_request_{}_ns", server_metric_verb(verb));
+        let Some(rest) = line.strip_prefix(&stem) else {
+            continue;
+        };
+        if let Some(value) = rest.strip_prefix("_count ") {
+            if let Ok(count) = value.trim().parse() {
+                samples[index].count = count;
+            }
+        } else if let Some(value) = rest.strip_prefix("{quantile=\"0.99\"} ") {
+            if let Ok(p99) = value.trim().parse() {
+                samples[index].p99_ns = p99;
+            }
+        }
+    }
+}
+
+/// Scrapes a server's `METRICS` exposition (fresh session) and reduces it
+/// to the workload verbs' samples, in [`Verb::ALL`] order.  `None` when the
+/// server predates the verb or refused it; all-zero samples when
+/// observability is disabled (`NTGD_OBS=0`).
+pub fn fetch_server_metrics(addr: &str) -> Option<Vec<ServerVerbSample>> {
+    let mut client = Client::connect(addr).ok()?;
+    client.writer.write_all(b"METRICS\n").ok()?;
+    let mut samples = vec![ServerVerbSample::default(); Verb::ALL.len()];
+    loop {
+        let line = client.read_line().ok()?;
+        if line.starts_with("OK") {
+            return Some(samples);
+        }
+        if line.starts_with("ERR") {
+            return None;
+        }
+        let line = line.to_owned();
+        parse_metric_line(&line, &mut samples);
+    }
+}
+
+/// Reduces before/after scrapes to window-scoped per-verb reports: the
+/// count delta plus the after-scrape's p99.  Verbs the window never touched
+/// are omitted; a failed scrape yields no reports at all.
+fn server_verb_deltas(
+    before: Option<Vec<ServerVerbSample>>,
+    after: Option<Vec<ServerVerbSample>>,
+) -> Vec<ServerVerbReport> {
+    let (Some(before), Some(after)) = (before, after) else {
+        return Vec::new();
+    };
+    Verb::ALL
+        .iter()
+        .zip(after.iter().zip(&before))
+        .filter(|(_, (after, before))| after.count > before.count)
+        .map(|(&verb, (after, before))| ServerVerbReport {
+            verb,
+            requests: after.count - before.count,
+            p99_ns: after.p99_ns,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_lines_parse_counts_and_p99_per_verb() {
+        let mut samples = vec![ServerVerbSample::default(); Verb::ALL.len()];
+        for line in [
+            "# TYPE ntgd_server_request_assert_ns histogram",
+            "ntgd_server_request_assert_ns_bucket{le=\"1024\"} 3",
+            "ntgd_server_request_assert_ns_sum 2500",
+            "ntgd_server_request_assert_ns_count 3",
+            "ntgd_server_request_assert_ns{quantile=\"0.5\"} 700",
+            "ntgd_server_request_assert_ns{quantile=\"0.99\"} 992",
+            "ntgd_server_request_retract_ns_count 2",
+            "ntgd_server_request_retract_ns{quantile=\"0.99\"} 50",
+            // Non-workload instruments are ignored.
+            "ntgd_server_request_ping_ns_count 9",
+            "ntgd_chase_rounds_total 12",
+        ] {
+            parse_metric_line(line, &mut samples);
+        }
+        assert_eq!(
+            samples[verb_index(Verb::Assert)],
+            ServerVerbSample {
+                count: 3,
+                p99_ns: 992
+            }
+        );
+        // RETRACT-TO maps onto the server's "retract" label.
+        assert_eq!(
+            samples[verb_index(Verb::Retract)],
+            ServerVerbSample {
+                count: 2,
+                p99_ns: 50
+            }
+        );
+        assert_eq!(samples[verb_index(Verb::Query)], ServerVerbSample::default());
+    }
+
+    #[test]
+    fn server_deltas_are_window_scoped_and_skip_untouched_verbs() {
+        let mut before = vec![ServerVerbSample::default(); Verb::ALL.len()];
+        before[verb_index(Verb::Assert)] = ServerVerbSample {
+            count: 10,
+            p99_ns: 400,
+        };
+        let mut after = before.clone();
+        after[verb_index(Verb::Assert)] = ServerVerbSample {
+            count: 14,
+            p99_ns: 900,
+        };
+        let deltas = server_verb_deltas(Some(before.clone()), Some(after));
+        assert_eq!(
+            deltas,
+            vec![ServerVerbReport {
+                verb: Verb::Assert,
+                requests: 4,
+                p99_ns: 900
+            }]
+        );
+        assert!(server_verb_deltas(None, Some(before)).is_empty());
+    }
 }
 
 /// Fetches the process-wide `STAT server_requests` counter from a server

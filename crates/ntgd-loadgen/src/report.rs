@@ -21,6 +21,24 @@ pub struct VerbReport {
     pub hist: Histogram,
 }
 
+/// Server-observed statistics of one verb, scraped from the `METRICS`
+/// exposition: the request-count delta across the measured window and the
+/// server-side p99 wall time.  The count is the server's own tally of the
+/// window (before/after scrape difference, since the exposition is
+/// process-cumulative), so it cross-checks the client-observed count —
+/// any drift means requests were dropped, double-counted, or a foreign
+/// client shared the server during the window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServerVerbReport {
+    /// The verb (report bucket).
+    pub verb: Verb,
+    /// Requests the server recorded for this verb during the window.
+    pub requests: u64,
+    /// Server-observed p99 request wall time, nanoseconds (process
+    /// lifetime, not window-scoped — histograms don't subtract).
+    pub p99_ns: u64,
+}
+
 /// One complete load run.
 #[derive(Clone, Debug)]
 pub struct RunReport {
@@ -39,6 +57,10 @@ pub struct RunReport {
     /// Per-verb statistics, in [`Verb::ALL`] order; verbs with no requests
     /// are omitted.
     pub verbs: Vec<VerbReport>,
+    /// Server-observed per-verb statistics from the `METRICS` scrape, in
+    /// [`Verb::ALL`] order; empty when the scrape failed (old server, or
+    /// `NTGD_OBS=0`) or nothing was recorded.
+    pub server_verbs: Vec<ServerVerbReport>,
 }
 
 impl RunReport {
@@ -102,6 +124,14 @@ pub fn render_json(
             us(verb.hist.quantile(0.99)),
             us(verb.hist.max()),
         );
+        if let Some(server) = report.server_verbs.iter().find(|s| s.verb == verb.verb) {
+            let _ = write!(
+                row,
+                ", \"server_requests\": {}, \"server_p99_us\": {:.1}",
+                server.requests,
+                us(server.p99_ns)
+            );
+        }
         if let Some(speedups) = speedups {
             if let Some((_, ratio)) = speedups
                 .verbs
@@ -335,6 +365,7 @@ mod tests {
             requests: samples.len() as u64,
             server_requests: Some(samples.len() as u64 + 1),
             verbs: vec![VerbReport { verb, hist }],
+            server_verbs: Vec::new(),
         }
     }
 
@@ -391,6 +422,21 @@ mod tests {
         let bench = render_json(&report, "cmd", 42, Some(&speedups));
         assert!(bench.contains("\"speedup\": 2.5"));
         assert!(bench.contains("\"speedup\": 1.4"));
+    }
+
+    #[test]
+    fn json_rows_carry_server_observations_when_scraped() {
+        let mut report = report_with(Verb::Assert, &[1_000, 2_000]);
+        report.server_verbs = vec![ServerVerbReport {
+            verb: Verb::Assert,
+            requests: 2,
+            p99_ns: 2_500,
+        }];
+        let json = render_json(&report, "cmd", 42, None);
+        assert!(json.contains("\"server_requests\": 2, \"server_p99_us\": 2.5"));
+        // A verb the server never observed carries no server fields.
+        assert!(!render_json(&report_with(Verb::Query, &[1_000]), "cmd", 42, None)
+            .contains("server_p99_us"));
     }
 
     #[test]

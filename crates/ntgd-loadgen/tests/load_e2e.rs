@@ -60,6 +60,26 @@ fn cached_server_runs_the_smoke_workload_cleanly() {
         .server_requests
         .expect("STATS exposes server_requests");
     assert!(seen > report.requests, "counter includes untimed requests");
+    // The METRICS scrape cross-checks the client's accounting: every verb
+    // the clients timed shows up server-side with at least as many requests
+    // (the obs registry is process-global, so concurrently running tests in
+    // this binary may add to the window — equality only holds in isolation).
+    assert!(!report.server_verbs.is_empty(), "METRICS scrape succeeded");
+    for verb in &report.verbs {
+        let server = report
+            .server_verbs
+            .iter()
+            .find(|s| s.verb == verb.verb)
+            .unwrap_or_else(|| panic!("server observed no {} requests", verb.verb.label()));
+        assert!(
+            server.requests >= verb.hist.count(),
+            "server undercounted {}: {} < {}",
+            verb.verb.label(),
+            server.requests,
+            verb.hist.count()
+        );
+        assert!(server.p99_ns > 0, "server recorded wall times");
+    }
     // The connection counters saw every session (plus the STATS probe) and
     // nobody was rejected: the default server has no admission cap.
     let conn = server.conn_stats().expect("in-process server has counters");

@@ -40,19 +40,25 @@
 //! session start the server sends a single `READY …` banner line.
 //!
 //! ```text
-//! request   = load | assert | query | models | retract | stats | ping | help | quit
+//! request   = load | assert | query | models | retract | stats | metrics
+//!           | ping | help | quit
 //! load      = "LOAD" rules-and-facts        ; (re)initialises the session
 //! assert    = "ASSERT" facts                ; incremental re-chase, returns a mark
 //! query     = "QUERY" query-text            ; "?- lits." or "?(X) :- lits."
 //! models    = "MODELS" ["sms" | "lp"] ["max=" n]
 //! retract   = "RETRACT-TO" mark             ; roll back to an earlier mark
-//! stats     = "STATS" ["sms" | "base" | "conn"]
+//! stats     = "STATS" ["sms" | "base" | "conn" | "metrics"]
 //!                                           ; "sms": only the deterministic
 //!                                           ;   incremental-MODELS counters;
 //!                                           ; "base": only the shared-base
 //!                                           ;   counters;
 //!                                           ; "conn": only the connection-
-//!                                           ;   layer counters
+//!                                           ;   layer counters;
+//!                                           ; "metrics": only the session's
+//!                                           ;   per-verb request counters
+//! metrics   = "METRICS"                     ; process-wide Prometheus-style
+//!                                           ;   exposition (timings included;
+//!                                           ;   nondeterministic by nature)
 //! ping      = "PING"
 //! help      = "HELP"
 //! quit      = "QUIT"                        ; closes the session
@@ -70,8 +76,26 @@
 //!                  OK models=<m> mode=<sms|lp>
 //! RETRACT-TO k  →  OK mark=<k> atoms=<n>
 //! STATS         →  STAT <key>=<value> …  then  OK
+//! METRICS       →  Prometheus-style text lines, then OK metrics lines=<n>
 //! anything else →  ERR <one-line message>
 //! ```
+//!
+//! # Observability
+//!
+//! The server instruments itself through [`ntgd_core::obs`]: per-verb
+//! request counters and wall-time histograms, event-loop and pool phase
+//! timers, and chase/grounding counters from the engine crates.  `METRICS`
+//! serves the whole registry as Prometheus-style text; `STATS metrics`
+//! prints only the session-local per-verb request tallies, which are a
+//! pure function of the request history and therefore byte-stable across
+//! thread counts and pool modes (asserted like the other scopes).
+//! `NTGD_OBS=0` disables the registry; `NTGD_LOG`/`NTGD_LOG_LEVEL` enable
+//! the structured JSON-lines event log; `NTGD_SLOW_MS` logs slow requests;
+//! `NTGD_SESSION_BUDGET` caps per-session cumulative execution time
+//! ([`session::SessionBudget`]).  Hard contract: apart from an explicitly
+//! configured budget, timing data never influences execution decisions —
+//! transcripts are bit-identical with observability on or off
+//! (`tests/differential_oracle.rs`).
 //!
 //! # Session lifecycle
 //!
@@ -195,4 +219,4 @@ pub use server::{
     handle_session, serve, serve_repl, serve_tcp, Conn, ConnSnapshot, ConnStats, LineBuffer,
     ServeHandle, Transport,
 };
-pub use session::{server_requests, Session, SessionConfig};
+pub use session::{server_requests, Session, SessionBudget, SessionConfig};

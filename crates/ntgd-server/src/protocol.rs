@@ -41,6 +41,10 @@ pub enum StatsScope {
     /// Only the connection-layer counters (transport, accepted/active/peak/
     /// rejected) — deterministic for any scripted sequence of connections.
     Conn,
+    /// Only the session-local request counters (per-verb request and error
+    /// tallies) — a pure function of the request history, unlike the
+    /// process-wide timing data the `METRICS` verb exposes.
+    Metrics,
 }
 
 /// The `HELP` response body, one entry per line (the session prefixes each
@@ -54,7 +58,7 @@ pub const HELP_LINES: [&str; 6] = [
     "QUERY <?- lits. | ?(X) :- lits.>  certain answers",
     "MODELS [sms|lp] [max=<n>]   enumerate stable models",
     "RETRACT-TO <mark>           roll back to an epoch mark",
-    "STATS [sms|base|conn] | PING | HELP | QUIT",
+    "STATS [sms|base|conn|metrics] | METRICS | PING | HELP | QUIT",
 ];
 
 /// One parsed request line.
@@ -75,12 +79,17 @@ pub enum Command {
     },
     /// `RETRACT-TO <mark>`: roll back to an earlier epoch mark.
     RetractTo(usize),
-    /// `STATS [sms|base]`: session and engine statistics, optionally
-    /// restricted to one deterministic counter scope (see [`StatsScope`]).
+    /// `STATS [sms|base|conn|metrics]`: session and engine statistics,
+    /// optionally restricted to one deterministic counter scope (see
+    /// [`StatsScope`]).
     Stats {
         /// Which counters to print.
         scope: StatsScope,
     },
+    /// `METRICS`: the process-wide observability registry as
+    /// Prometheus-style text exposition (timings included — excluded from
+    /// transcript-parity tests, unlike every `STATS` scope).
+    Metrics,
     /// `PING`: liveness check.
     Ping,
     /// `HELP`: list the commands.
@@ -162,8 +171,12 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
             "conn" => Ok(Command::Stats {
                 scope: StatsScope::Conn,
             }),
+            "metrics" => Ok(Command::Stats {
+                scope: StatsScope::Metrics,
+            }),
             other => Err(format!("unknown STATS scope: {other}")),
         },
+        "METRICS" => Ok(Command::Metrics),
         "PING" => Ok(Command::Ping),
         "HELP" => Ok(Command::Help),
         "QUIT" | "EXIT" => Ok(Command::Quit),
@@ -269,6 +282,13 @@ mod tests {
                 scope: StatsScope::Conn
             })
         );
+        assert_eq!(
+            parse_command("STATS Metrics"),
+            Ok(Command::Stats {
+                scope: StatsScope::Metrics
+            })
+        );
+        assert_eq!(parse_command("metrics"), Ok(Command::Metrics));
         assert!(parse_command("STATS quantum").is_err());
         assert_eq!(parse_command("QUIT"), Ok(Command::Quit));
         assert_eq!(parse_command("exit"), Ok(Command::Quit));

@@ -38,7 +38,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use ntgd_core::parallel;
+use ntgd_core::{obs, parallel};
 
 use crate::server::poller::{drain, Event, Poller};
 use crate::server::{admit, next_conn, AcceptBackoff, Conn, ConnStats};
@@ -179,6 +179,13 @@ fn accept_loop(
     }
 }
 
+/// Event-loop cycle counters and phase timers: every poller wait, every
+/// bounded batch handed to the pool, and every round that left runnable
+/// connections behind (the backlog rounds an operator watches for).
+static POLL_CYCLES: obs::Counter = obs::Counter::new("server.poll_cycles");
+static EXEC_BATCHES: obs::Counter = obs::Counter::new("server.exec_batches");
+static BACKLOG_ROUNDS: obs::Counter = obs::Counter::new("server.backlog_rounds");
+
 /// One poller shard: owns a slab of connections, polls them, and submits
 /// ready batches to the pool.
 fn shard_loop(
@@ -211,11 +218,16 @@ fn shard_loop(
         } else {
             Duration::from_millis(200)
         };
-        if poller.wait(timeout, &mut events).is_err() {
+        let wait_failed = {
+            let _poll = obs::span("server.poll");
+            poller.wait(timeout, &mut events).is_err()
+        };
+        if wait_failed {
             // A broken poller cannot make progress; drop the shard's
             // connections and exit rather than spin.
             break;
         }
+        POLL_CYCLES.incr();
         if shutdown.load(Ordering::SeqCst) {
             break;
         }
@@ -266,6 +278,9 @@ fn shard_loop(
             .map(|(token, _)| token)
             .collect();
         backlog = runnable.len() > EXEC_BATCH;
+        if backlog {
+            BACKLOG_ROUNDS.incr();
+        }
         runnable.truncate(EXEC_BATCH);
         if !runnable.is_empty() {
             let mut batch: Vec<&mut Conn> = Vec::with_capacity(runnable.len());
@@ -276,6 +291,8 @@ fn shard_loop(
                     batch.push(slot.as_mut().expect("runnable slot is occupied"));
                 }
             }
+            EXEC_BATCHES.incr();
+            let _exec = obs::span("server.exec_batch");
             let threads = parallel::threads_for(batch.len());
             parallel::par_map_mut(&mut batch, threads, |_, conn| conn.run_ready());
         }

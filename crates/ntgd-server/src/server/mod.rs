@@ -42,6 +42,11 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use ntgd_core::obs::{
+    self,
+    log::{FieldValue, Level, RateLimit},
+};
+
 use crate::session::{Session, SessionConfig};
 
 /// The banner sent when a session opens (protocol version 1).
@@ -215,6 +220,14 @@ impl AcceptBackoff {
     }
 }
 
+/// Accept errors are worth counting even when they back off silently.
+static ACCEPT_ERRORS: obs::Counter = obs::Counter::new("server.accept_errors");
+
+/// The backoff path used to retry with no trace at all; now every sleep is
+/// counted and (rate-limited to one event per second, so a persistent
+/// EMFILE loop cannot flood the sink) logged with errno and delay.
+static ACCEPT_ERROR_EVENTS: RateLimit = RateLimit::new(Duration::from_secs(1));
+
 /// Blocking-accepts the next connection, applying the shared backoff
 /// policy.  Returns `Ok(None)` on shutdown, `Err` on a fatal accept error.
 fn next_conn(
@@ -241,7 +254,24 @@ fn next_conn(
                 }
                 match backoff.on_error(err.kind()) {
                     AcceptAction::Retry => continue,
-                    AcceptAction::Sleep(delay) => std::thread::sleep(delay),
+                    AcceptAction::Sleep(delay) => {
+                        ACCEPT_ERRORS.incr();
+                        if ACCEPT_ERROR_EVENTS.allow() && obs::log::log_enabled(Level::Warn) {
+                            obs::log::log_event(
+                                Level::Warn,
+                                "accept_backoff",
+                                &[
+                                    ("kind", FieldValue::from(format!("{:?}", err.kind()))),
+                                    (
+                                        "errno",
+                                        FieldValue::from(i64::from(err.raw_os_error().unwrap_or(0))),
+                                    ),
+                                    ("backoff_ms", FieldValue::from(delay.as_millis() as u64)),
+                                ],
+                            );
+                        }
+                        std::thread::sleep(delay)
+                    }
                     AcceptAction::Fatal => return Err(err),
                 }
             }

@@ -4,8 +4,10 @@
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use ntgd_chase::{ChaseConfig, EpochMark, IncrementalChase};
+use ntgd_core::obs::{self, log::FieldValue, log::Level};
 use ntgd_core::{parallel, Atom, Database, DisjunctiveProgram, Program, Query, Term};
 use ntgd_lp::{LpEngine, LpLimits};
 use ntgd_parser::{parse_database, parse_query, parse_unit};
@@ -25,6 +27,164 @@ static SERVER_REQUESTS: AtomicU64 = AtomicU64::new(0);
 /// The current process-wide request count (see `SERVER_REQUESTS` above).
 pub fn server_requests() -> u64 {
     SERVER_REQUESTS.load(Ordering::Relaxed)
+}
+
+/// Monotonic session ids (the structured log correlates events by them).
+static SESSION_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// Process-wide per-verb request counters and the error tally, served by
+/// `METRICS`.  Distinct from the *session-local* [`RequestCounters`] that
+/// `STATS metrics` prints: these aggregate every session in the process.
+static REQ_LOAD: obs::Counter = obs::Counter::new("server.requests.load");
+static REQ_ASSERT: obs::Counter = obs::Counter::new("server.requests.assert");
+static REQ_QUERY: obs::Counter = obs::Counter::new("server.requests.query");
+static REQ_MODELS: obs::Counter = obs::Counter::new("server.requests.models");
+static REQ_RETRACT: obs::Counter = obs::Counter::new("server.requests.retract");
+static REQ_STATS: obs::Counter = obs::Counter::new("server.requests.stats");
+static REQ_METRICS: obs::Counter = obs::Counter::new("server.requests.metrics");
+static REQ_PING: obs::Counter = obs::Counter::new("server.requests.ping");
+static REQ_HELP: obs::Counter = obs::Counter::new("server.requests.help");
+static REQ_QUIT: obs::Counter = obs::Counter::new("server.requests.quit");
+static REQ_ERRORS: obs::Counter = obs::Counter::new("server.requests.errors");
+static BUDGET_REJECTIONS: obs::Counter = obs::Counter::new("server.budget_rejections");
+
+/// The protocol verb of a parsed command, as a metric label (`None` for
+/// blank/comment lines, which are not requests).
+fn verb_label(command: &Command) -> Option<&'static str> {
+    match command {
+        Command::Load(_) => Some("load"),
+        Command::Assert(_) => Some("assert"),
+        Command::Query(_) => Some("query"),
+        Command::Models { .. } => Some("models"),
+        Command::RetractTo(_) => Some("retract"),
+        Command::Stats { .. } => Some("stats"),
+        Command::Metrics => Some("metrics"),
+        Command::Ping => Some("ping"),
+        Command::Help => Some("help"),
+        Command::Quit => Some("quit"),
+        Command::Nop => None,
+    }
+}
+
+/// The process-wide counter for a verb label.
+fn verb_counter(verb: &'static str) -> &'static obs::Counter {
+    match verb {
+        "load" => &REQ_LOAD,
+        "assert" => &REQ_ASSERT,
+        "query" => &REQ_QUERY,
+        "models" => &REQ_MODELS,
+        "retract" => &REQ_RETRACT,
+        "stats" => &REQ_STATS,
+        "metrics" => &REQ_METRICS,
+        "ping" => &REQ_PING,
+        "help" => &REQ_HELP,
+        _ => &REQ_QUIT,
+    }
+}
+
+/// The per-verb wall-time histogram name for a verb label.
+fn verb_histogram(verb: &'static str) -> &'static str {
+    match verb {
+        "load" => "server.request.load",
+        "assert" => "server.request.assert",
+        "query" => "server.request.query",
+        "models" => "server.request.models",
+        "retract" => "server.request.retract",
+        "stats" => "server.request.stats",
+        "metrics" => "server.request.metrics",
+        "ping" => "server.request.ping",
+        "help" => "server.request.help",
+        _ => "server.request.quit",
+    }
+}
+
+/// The session-local per-verb request tallies behind `STATS metrics`.
+/// Every field is a pure function of the session's request history —
+/// never of wall time, thread count or pool mode — so transcripts assert
+/// the scope verbatim like `STATS sms`/`base`/`conn`.
+#[derive(Clone, Copy, Debug, Default)]
+struct RequestCounters {
+    total: u64,
+    load: u64,
+    assert: u64,
+    query: u64,
+    models: u64,
+    retract: u64,
+    stats: u64,
+    metrics: u64,
+    ping: u64,
+    help: u64,
+    quit: u64,
+    /// Requests answered with `ERR` (parse failures included).
+    errors: u64,
+}
+
+impl RequestCounters {
+    fn bump(&mut self, verb: &str) {
+        match verb {
+            "load" => self.load += 1,
+            "assert" => self.assert += 1,
+            "query" => self.query += 1,
+            "models" => self.models += 1,
+            "retract" => self.retract += 1,
+            "stats" => self.stats += 1,
+            "metrics" => self.metrics += 1,
+            "ping" => self.ping += 1,
+            "help" => self.help += 1,
+            "quit" => self.quit += 1,
+            _ => {}
+        }
+    }
+
+    fn stat_lines(&self) -> Vec<String> {
+        vec![
+            format!("STAT requests_total={}", self.total),
+            format!("STAT requests_load={}", self.load),
+            format!("STAT requests_assert={}", self.assert),
+            format!("STAT requests_query={}", self.query),
+            format!("STAT requests_models={}", self.models),
+            format!("STAT requests_retract={}", self.retract),
+            format!("STAT requests_stats={}", self.stats),
+            format!("STAT requests_metrics={}", self.metrics),
+            format!("STAT requests_ping={}", self.ping),
+            format!("STAT requests_help={}", self.help),
+            format!("STAT requests_quit={}", self.quit),
+            format!("STAT requests_errors={}", self.errors),
+        ]
+    }
+}
+
+/// The `NTGD_SESSION_BUDGET` admission cap: a per-session ceiling on
+/// cumulative execution wall time.  `"<ms>"` rejects compute requests once
+/// the session has spent that many milliseconds; `"warn:<ms>"` only emits
+/// one `budget_exceeded` log event per session.  Off by default — enabling
+/// it makes responses depend on wall time, trading away the determinism
+/// contract for the protected verbs (inspection verbs are always allowed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionBudget {
+    /// Reject compute requests past the cap (milliseconds).
+    Reject(u64),
+    /// Log once past the cap (milliseconds), keep serving.
+    Warn(u64),
+}
+
+impl SessionBudget {
+    /// Parses a `NTGD_SESSION_BUDGET` value; `None` for anything malformed.
+    pub fn parse(text: &str) -> Option<SessionBudget> {
+        let text = text.trim();
+        if let Some(ms) = text.strip_prefix("warn:") {
+            return ms.trim().parse::<u64>().ok().map(SessionBudget::Warn);
+        }
+        text.parse::<u64>().ok().map(SessionBudget::Reject)
+    }
+
+    /// The configured cap from the environment, if any.
+    pub fn from_env() -> Option<SessionBudget> {
+        std::env::var("NTGD_SESSION_BUDGET")
+            .ok()
+            .as_deref()
+            .and_then(SessionBudget::parse)
+    }
 }
 
 /// Per-session limits.
@@ -64,6 +224,14 @@ pub struct SessionConfig {
     /// embedded sessions (the scope then prints `conn_transport=embedded`
     /// and zeros).
     pub conn_stats: Option<Arc<ConnStats>>,
+    /// Optional per-session cumulative execution-time cap (see
+    /// [`SessionBudget`]).  Defaults from `NTGD_SESSION_BUDGET`; `None`
+    /// (the default) never consults timing for any decision.
+    pub session_budget: Option<SessionBudget>,
+    /// Slow-request log threshold in milliseconds: a request whose wall
+    /// time reaches it emits a `slow_request` event to the structured log
+    /// (`NTGD_LOG`).  Defaults from `NTGD_SLOW_MS`; `None` disables.
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for SessionConfig {
@@ -80,6 +248,10 @@ impl Default for SessionConfig {
                 .and_then(|value| value.trim().parse::<usize>().ok())
                 .filter(|&cap| cap > 0),
             conn_stats: None,
+            session_budget: SessionBudget::from_env(),
+            slow_ms: std::env::var("NTGD_SLOW_MS")
+                .ok()
+                .and_then(|value| value.trim().parse::<u64>().ok()),
         }
     }
 }
@@ -127,6 +299,14 @@ struct Loaded {
 pub struct Session {
     config: SessionConfig,
     loaded: Option<Loaded>,
+    /// Process-unique id, correlating this session's log events.
+    id: u64,
+    /// Cumulative wall time spent executing this session's requests.
+    exec_ns: u64,
+    /// Whether a `Warn` budget has already logged for this session.
+    budget_warned: bool,
+    /// The session-local request tallies behind `STATS metrics`.
+    requests: RequestCounters,
 }
 
 impl Session {
@@ -135,37 +315,157 @@ impl Session {
         Session {
             config,
             loaded: None,
+            id: SESSION_IDS.fetch_add(1, Ordering::Relaxed),
+            exec_ns: 0,
+            budget_warned: false,
+            requests: RequestCounters::default(),
         }
     }
 
     /// Parses and executes one protocol line.
+    ///
+    /// Request accounting wraps the dispatch: the session-local
+    /// [`RequestCounters`] count the request *before* it runs (so a `STATS
+    /// metrics` request counts itself), and wall time is recorded into the
+    /// per-verb `server.request.<verb>` histogram afterwards.  Timing is
+    /// observed, never consulted — except under an explicit
+    /// [`SessionBudget`], which is off by default.
     pub fn execute(&mut self, line: &str) -> Response {
         let parsed = parse_command(line);
-        if !matches!(parsed, Ok(Command::Nop)) {
-            SERVER_REQUESTS.fetch_add(1, Ordering::Relaxed);
+        if matches!(parsed, Ok(Command::Nop)) {
+            return Response::none();
         }
-        match parsed {
-            Err(message) => Response::err(message),
-            Ok(Command::Nop) => Response::none(),
-            Ok(Command::Ping) => Response::ok("pong"),
-            Ok(Command::Help) => Response::ok_with(
-                crate::protocol::HELP_LINES
-                    .iter()
-                    .map(|s| format!("INFO {s}"))
-                    .collect(),
-                "help",
-            ),
-            Ok(Command::Quit) => Response {
-                lines: vec!["OK bye".to_owned()],
-                close: true,
+        SERVER_REQUESTS.fetch_add(1, Ordering::Relaxed);
+        self.requests.total += 1;
+        let verb = parsed.as_ref().ok().and_then(verb_label);
+        if let Some(verb) = verb {
+            self.requests.bump(verb);
+        }
+        let started = Instant::now();
+        let response = match self.over_budget(&parsed) {
+            Some(rejection) => rejection,
+            None => match parsed {
+                Err(message) => Response::err(message),
+                Ok(Command::Nop) => Response::none(),
+                Ok(Command::Ping) => Response::ok("pong"),
+                Ok(Command::Help) => Response::ok_with(
+                    crate::protocol::HELP_LINES
+                        .iter()
+                        .map(|s| format!("INFO {s}"))
+                        .collect(),
+                    "help",
+                ),
+                Ok(Command::Quit) => Response {
+                    lines: vec!["OK bye".to_owned()],
+                    close: true,
+                },
+                Ok(Command::Load(text)) => self.load(&text),
+                Ok(Command::Assert(text)) => self.assert_text(&text),
+                Ok(Command::Query(text)) => self.query_text(&text),
+                Ok(Command::Models { mode, max }) => self.models(mode, max),
+                Ok(Command::RetractTo(mark)) => self.retract_to(mark),
+                Ok(Command::Stats { scope }) => self.stats(scope),
+                Ok(Command::Metrics) => Self::metrics(),
             },
-            Ok(Command::Load(text)) => self.load(&text),
-            Ok(Command::Assert(text)) => self.assert_text(&text),
-            Ok(Command::Query(text)) => self.query_text(&text),
-            Ok(Command::Models { mode, max }) => self.models(mode, max),
-            Ok(Command::RetractTo(mark)) => self.retract_to(mark),
-            Ok(Command::Stats { scope }) => self.stats(scope),
+        };
+        let elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.exec_ns = self.exec_ns.saturating_add(elapsed_ns);
+        if !response.is_ok() {
+            self.requests.errors += 1;
+            REQ_ERRORS.incr();
         }
+        if let Some(verb) = verb {
+            verb_counter(verb).incr();
+            obs::record_duration(verb_histogram(verb), elapsed_ns);
+        }
+        self.log_slow(verb, line, &response, elapsed_ns);
+        response
+    }
+
+    /// The `METRICS` verb: the process-wide registry as Prometheus-style
+    /// text lines (see [`obs::prometheus_lines`]).  Timing-laden and
+    /// process-global, so transcript-parity tests exclude it.
+    fn metrics() -> Response {
+        let lines = obs::prometheus_lines();
+        let count = lines.len();
+        Response::ok_with(lines, format!("metrics lines={count}"))
+    }
+
+    /// Applies the optional [`SessionBudget`] to a compute request:
+    /// `Some(ERR …)` when a `Reject` budget is exhausted.  Inspection
+    /// verbs (`STATS`, `METRICS`, `PING`, `HELP`, `QUIT`) always run, so
+    /// an over-budget session stays diagnosable.
+    fn over_budget(&mut self, parsed: &Result<Command, String>) -> Option<Response> {
+        let budget = self.config.session_budget?;
+        let compute = matches!(
+            parsed,
+            Ok(Command::Load(_)
+                | Command::Assert(_)
+                | Command::Query(_)
+                | Command::Models { .. }
+                | Command::RetractTo(_))
+        );
+        if !compute {
+            return None;
+        }
+        let spent_ms = self.exec_ns / 1_000_000;
+        match budget {
+            SessionBudget::Reject(cap_ms) if spent_ms >= cap_ms => {
+                BUDGET_REJECTIONS.incr();
+                obs::log::log_event(
+                    Level::Warn,
+                    "budget_rejected",
+                    &[
+                        ("session", FieldValue::from(self.id)),
+                        ("spent_ms", FieldValue::from(spent_ms)),
+                        ("budget_ms", FieldValue::from(cap_ms)),
+                    ],
+                );
+                Some(Response::err(format!(
+                    "session budget exceeded (spent {spent_ms}ms >= budget {cap_ms}ms)"
+                )))
+            }
+            SessionBudget::Warn(cap_ms) if spent_ms >= cap_ms && !self.budget_warned => {
+                self.budget_warned = true;
+                obs::log::log_event(
+                    Level::Warn,
+                    "budget_exceeded",
+                    &[
+                        ("session", FieldValue::from(self.id)),
+                        ("spent_ms", FieldValue::from(spent_ms)),
+                        ("budget_ms", FieldValue::from(cap_ms)),
+                    ],
+                );
+                None
+            }
+            _ => None,
+        }
+    }
+
+    /// Emits a `slow_request` event when the request's wall time reaches
+    /// the configured `NTGD_SLOW_MS` threshold.
+    fn log_slow(&self, verb: Option<&'static str>, line: &str, response: &Response, ns: u64) {
+        let Some(threshold_ms) = self.config.slow_ms else {
+            return;
+        };
+        let elapsed_ms = ns / 1_000_000;
+        if elapsed_ms < threshold_ms || !obs::log::log_enabled(Level::Warn) {
+            return;
+        }
+        let response_bytes: usize = response.lines.iter().map(String::len).sum();
+        obs::log::log_event(
+            Level::Warn,
+            "slow_request",
+            &[
+                ("verb", FieldValue::from(verb.unwrap_or("invalid"))),
+                ("session", FieldValue::from(self.id)),
+                ("duration_ms", FieldValue::from(elapsed_ms)),
+                ("request_bytes", FieldValue::from(line.len())),
+                ("response_lines", FieldValue::from(response.lines.len())),
+                ("response_bytes", FieldValue::from(response_bytes)),
+                ("ok", FieldValue::from(response.is_ok())),
+            ],
+        );
     }
 
     /// `LOAD`: parse rules (and optional initial facts), compile the rule
@@ -547,16 +847,19 @@ impl Session {
         Response::ok(format!("mark={mark} atoms={atoms}"))
     }
 
-    /// `STATS`: session and engine counters.  The `sms`, `base` and `conn`
-    /// scopes print only counters that are a pure function of the
-    /// request/connection history, so transcripts can assert them verbatim
-    /// at any thread count or pool mode.
+    /// `STATS`: session and engine counters.  The `sms`, `base`, `conn`
+    /// and `metrics` scopes print only counters that are a pure function
+    /// of the request/connection history, so transcripts can assert them
+    /// verbatim at any thread count or pool mode.
     pub fn stats(&self, scope: StatsScope) -> Response {
         if scope == StatsScope::Base {
             return self.base_stats();
         }
         if scope == StatsScope::Conn {
             return Response::ok_with(conn_stat_lines(&self.config), "stats");
+        }
+        if scope == StatsScope::Metrics {
+            return Response::ok_with(self.requests.stat_lines(), "stats");
         }
         let sms_only = scope == StatsScope::Sms;
         let mut lines = Vec::new();

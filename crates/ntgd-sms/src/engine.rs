@@ -7,14 +7,18 @@ use std::ops::ControlFlow;
 use std::sync::Arc;
 
 use ntgd_core::{
-    parallel, Atom, CompiledConjunction, Database, DisjunctiveProgram, Interpretation, Program,
-    Query, Substitution, Term,
+    obs, parallel, Atom, CompiledConjunction, Database, DisjunctiveProgram, Interpretation,
+    Program, Query, Substitution, Term,
 };
 use ntgd_sat::{CnfBuilder, Lit};
 
 use crate::grounding::{ground_sms, GroundSmsProgram, GroundingError, GroundingLimits};
 use crate::stability::find_instability_witness;
 use crate::universe::{build_domain, NullBudget};
+
+/// One tick per CEGAR guess-and-check pass: how many candidate batches a
+/// search burned before converging (or exhausting the space).
+static SMS_CEGAR_ITERATIONS: obs::Counter = obs::Counter::new("sms.cegar_iterations");
 
 /// Options controlling the engine.
 #[derive(Clone, Debug)]
@@ -464,6 +468,8 @@ impl SmsEngine {
         let mut models: Vec<Interpretation> = Vec::new();
         let mut exhausted = false;
         'search: while !exhausted {
+            SMS_CEGAR_ITERATIONS.incr();
+            let _iteration = obs::span("sms.cegar_iteration");
             // Collect up to CANDIDATE_BATCH distinct classical models.  The
             // per-candidate blocking clause (the sequential loop's "safety
             // net") is added at collection time, which both guarantees

@@ -61,7 +61,9 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use ntgd_core::{Atom, CompiledDisjunctiveRuleSet, Database, DisjunctiveProgram, Interpretation};
+use ntgd_core::{
+    obs, Atom, CompiledDisjunctiveRuleSet, Database, DisjunctiveProgram, Interpretation,
+};
 
 use crate::grounding::{
     advance_possibly_true_closure, collect_pending, existentials_for_program,
@@ -69,6 +71,11 @@ use crate::grounding::{
     GroundingLimits,
 };
 use crate::universe::{build_domain, NullBudget};
+
+/// Process-wide closure-maintenance counters: cheap-path advances versus
+/// full regroundings (the expensive path an operator wants to watch).
+static SMS_CLOSURE_ADVANCES: obs::Counter = obs::Counter::new("sms.closure_advances");
+static SMS_GROUNDINGS: obs::Counter = obs::Counter::new("sms.groundings");
 
 /// Cumulative reuse counters of one [`IncrementalSmsState`].
 ///
@@ -353,6 +360,8 @@ impl IncrementalSmsState {
         let domain = build_domain(&database, &self.program, None, budget);
         if let Some(live) = self.live.as_mut() {
             if live.facts_consumed <= facts.len() && live.ground.domain == domain {
+                let _advance = obs::span("sms.advance");
+                SMS_CLOSURE_ADVANCES.incr();
                 match Self::advance(
                     live,
                     &self.program,
@@ -369,6 +378,8 @@ impl IncrementalSmsState {
             }
         }
         self.stats.rebuilds += 1;
+        SMS_GROUNDINGS.incr();
+        let _grounding = obs::span("sms.grounding");
         let plans = Arc::new(CompiledDisjunctiveRuleSet::from_disjunctive(
             &self.program,
             &database.to_interpretation(),

@@ -250,6 +250,12 @@ fn fixed_seeds_match_the_from_scratch_oracle() {
 
 #[test]
 fn thread_and_pool_matrix_is_bit_identical_and_oracle_equal() {
+    // Observability is forced ON for the whole matrix: its instruments sit
+    // on the chase, the grounding and the CEGAR loop, and this assertion is
+    // what makes "timing data never influences execution decisions" a
+    // tested contract rather than a convention (recording is on by default,
+    // but an ambient NTGD_OBS=0 must not be able to weaken the test).
+    stable_tgd::core::obs::set_enabled_override(Some(true));
     let seeds = [0xD1FF_0101u64, 0xD1FF_0102];
     for seed in seeds {
         let mut reference: Option<Vec<String>> = None;
@@ -271,6 +277,7 @@ fn thread_and_pool_matrix_is_bit_identical_and_oracle_equal() {
             }
         }
     }
+    stable_tgd::core::obs::set_enabled_override(None);
 }
 
 /// Replays a pre-generated command stream through one session, checking
