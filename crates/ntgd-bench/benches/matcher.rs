@@ -711,6 +711,90 @@ fn main() {
         ));
     }
 
+    // The decidability front door: every LOAD classifies its program against
+    // the landscape (`ntgd_classes::classify`) and the verdict decides the
+    // chase/null budgets, but registry forks *inherit* the registered verdict
+    // instead of reclassifying.  This row prices that design on the four
+    // loadgen family templates (the shapes `ntgd-load` drives): classify
+    // once per family (the registry path) versus once per LOAD of an
+    // 8-session fleet (the reclassify-every-time strawman).  All four
+    // families must come back chase-terminating — the verdict that lifts the
+    // step budget for every load-harness run.
+    {
+        const FLEET: usize = 8;
+        let families: [(&str, &str); 4] = [
+            (
+                "chain",
+                "e(X, Y) -> p1(X, Y). p1(X, Y), e(Y, Z) -> p2(X, Z).\
+                 p2(X, Y), e(Y, Z) -> p3(X, Z).",
+            ),
+            ("star", "r1(X, Y1), r2(X, Y2), r3(X, Y3) -> hub(X)."),
+            (
+                "existential",
+                "node(X0) -> owns(X0, V), t1(V). t1(V) -> link1(V, W), t2(W).\
+                 t2(V) -> link2(V, W), t3(W).",
+            ),
+            (
+                "disjunctive",
+                "node(X0) -> red(X0) | green(X0). node(X0) -> seen(X0).\
+                 red(X) -> shade1a(X) | shade1b(X).",
+            ),
+        ];
+        // Disjunctive payloads classify their positive-conjunctive
+        // transform, exactly like the session's LOAD path.
+        let programs: Vec<(&str, ntgd_core::Program)> = families
+            .iter()
+            .map(|(name, text)| {
+                let unit = ntgd_parser::parse_unit(text).expect("family template parses");
+                let program = match unit.program() {
+                    Some(program) => program,
+                    None => unit
+                        .disjunctive_program()
+                        .expect("family template is consistent")
+                        .positive_conjunctive_part(),
+                };
+                (*name, program)
+            })
+            .collect();
+        let classify_fleet = |per_load: bool| -> usize {
+            let mut memberships = 0usize;
+            for (name, program) in &programs {
+                for _ in 0..if per_load { FLEET } else { 1 } {
+                    let report = ntgd_classes::classify(std::hint::black_box(program));
+                    assert_eq!(
+                        report.verdict(),
+                        ntgd_classes::ClassVerdict::Terminating,
+                        "{name} family must be chase-terminating"
+                    );
+                    memberships += report.entries().iter().filter(|(_, m)| *m).count();
+                }
+            }
+            memberships
+        };
+        let memberships = classify_fleet(false);
+        criterion.bench_function("matcher/classes_landscape/inherited", |b| {
+            b.iter(|| classify_fleet(false))
+        });
+        criterion.bench_function("matcher/classes_landscape/reclassified", |b| {
+            b.iter(|| classify_fleet(true))
+        });
+        let inherited = median_duration(40, || classify_fleet(false));
+        let reclassified = median_duration(40, || classify_fleet(true));
+        let speedup =
+            reclassified.as_secs_f64() / inherited.as_secs_f64().max(f64::MIN_POSITIVE);
+        println!(
+            "matcher/classes_landscape: classify-once {inherited:?}, per-LOAD {reclassified:?}, speedup {speedup:.1}x over a {FLEET}-session fleet, {memberships} memberships across {} families",
+            families.len()
+        );
+        rows.push((
+            "classes_landscape".to_owned(),
+            inherited.as_nanos(),
+            reclassified.as_nanos(),
+            speedup,
+            memberships,
+        ));
+    }
+
     bench_delta(&mut criterion);
 
     let mut json = String::from(

@@ -522,10 +522,10 @@ impl IncrementalChase {
             }
             if new_atom {
                 self.steps += 1;
-                if self.steps - start >= self.config.max_steps {
-                    return Err(StepLimitExceeded {
-                        max_steps: self.config.max_steps,
-                    });
+                if let Some(max_steps) = self.config.max_steps {
+                    if self.steps - start >= max_steps {
+                        return Err(StepLimitExceeded { max_steps });
+                    }
                 }
                 pending.extend(triggers_from_compiled(
                     &self.plans,

@@ -46,7 +46,7 @@ pub fn oblivious_chase(
         if !applied.insert(trigger.key(&positive.rules()[trigger.rule_index])) {
             continue;
         }
-        if steps >= config.max_steps {
+        if config.max_steps.is_some_and(|max| steps >= max) {
             return ChaseResult {
                 instance,
                 steps,

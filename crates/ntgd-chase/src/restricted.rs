@@ -9,22 +9,35 @@ use crate::trigger::{active_triggers_from_compiled, apply_trigger, is_active_com
 /// Configuration for a chase run.
 #[derive(Clone, Debug)]
 pub struct ChaseConfig {
-    /// Maximum number of trigger applications before giving up.  The chase of
-    /// a weakly-acyclic program always terminates, but arbitrary programs may
-    /// not; the bound makes every call total.
-    pub max_steps: usize,
+    /// Maximum number of trigger applications before giving up, or `None`
+    /// for no bound at all.  The chase of a weakly-acyclic program always
+    /// terminates, but arbitrary programs may not; the default bound makes
+    /// every call total.  `None` is reserved for callers that have *proved*
+    /// termination (e.g. a `ntgd_classes::ClassReport` with a terminating
+    /// verdict) — an unbounded chase of a non-terminating program diverges.
+    pub max_steps: Option<usize>,
 }
 
 impl Default for ChaseConfig {
     fn default() -> Self {
-        ChaseConfig { max_steps: 100_000 }
+        ChaseConfig {
+            max_steps: Some(100_000),
+        }
     }
 }
 
 impl ChaseConfig {
     /// A configuration with the given step bound.
     pub fn with_max_steps(max_steps: usize) -> ChaseConfig {
-        ChaseConfig { max_steps }
+        ChaseConfig {
+            max_steps: Some(max_steps),
+        }
+    }
+
+    /// A configuration with no step bound: only sound for programs whose
+    /// chase provably terminates.
+    pub fn unbounded() -> ChaseConfig {
+        ChaseConfig { max_steps: None }
     }
 }
 
@@ -151,7 +164,7 @@ pub fn restricted_chase(
         {
             continue;
         }
-        if steps >= config.max_steps {
+        if config.max_steps.is_some_and(|max| steps >= max) {
             return ChaseResult {
                 instance,
                 steps,

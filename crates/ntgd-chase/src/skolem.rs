@@ -86,7 +86,7 @@ pub fn skolem_chase(database: &Database, program: &Program, config: &ChaseConfig
         }
         if new_atom {
             steps += 1;
-            if steps >= config.max_steps {
+            if config.max_steps.is_some_and(|max| steps >= max) {
                 return ChaseResult {
                     instance,
                     steps,

@@ -22,6 +22,7 @@ use crate::mfa::is_model_faithful_acyclic;
 use crate::rule_dependencies::is_agrd;
 use crate::stickiness::is_sticky;
 use crate::stratification::is_stratified;
+use crate::triangular::is_triangularly_guarded;
 use crate::weak_acyclicity::is_weakly_acyclic;
 
 /// The membership of a program in every syntactic class implemented by this
@@ -55,6 +56,44 @@ pub struct ClassReport {
     /// Stratification of the negation (predicate dependency graph has no
     /// cycle through a negative edge).
     pub stratified: bool,
+    /// Triangular guardedness (Asuncion & Zhang): every pair of frontier
+    /// variables co-occurs in some positive body atom.
+    pub triangularly_guarded: bool,
+}
+
+/// The coarse decidability verdict a [`ClassReport`] supports: what the class
+/// membership guarantees about chase termination and reasoning.  A pure
+/// function of the program text, so services can expose it in deterministic
+/// transcripts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClassVerdict {
+    /// Some membership guarantees the (restricted) chase terminates on every
+    /// database: the chase may run without a step budget.
+    Terminating,
+    /// No termination guarantee, but some membership keeps reasoning
+    /// decidable (guardedness/stickiness-style fragments).
+    Decidable,
+    /// The program sits in none of the implemented fragments: budgets stay on
+    /// and callers deserve a warning.
+    OutOfFragment,
+}
+
+impl ClassVerdict {
+    /// The verdict as a stable lowercase label (used in STATS lines, obs
+    /// counter names and log events).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ClassVerdict::Terminating => "terminating",
+            ClassVerdict::Decidable => "decidable",
+            ClassVerdict::OutOfFragment => "out-of-fragment",
+        }
+    }
+}
+
+impl fmt::Display for ClassVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
 }
 
 impl ClassReport {
@@ -70,7 +109,7 @@ impl ClassReport {
     }
 
     /// `(class name, membership)` pairs in a fixed order.
-    pub fn entries(&self) -> [(&'static str, bool); 13] {
+    pub fn entries(&self) -> [(&'static str, bool); 14] {
         [
             ("weakly-acyclic", self.weakly_acyclic),
             ("jointly-acyclic", self.jointly_acyclic),
@@ -81,6 +120,7 @@ impl ClassReport {
             ("weakly-guarded", self.weakly_guarded),
             ("frontier-guarded", self.frontier_guarded),
             ("weakly-frontier-guarded", self.weakly_frontier_guarded),
+            ("triangularly-guarded", self.triangularly_guarded),
             ("linear", self.linear),
             ("frontier-1", self.frontier_one),
             ("full", self.full),
@@ -88,11 +128,49 @@ impl ClassReport {
         ]
     }
 
+    /// Returns `true` if some membership guarantees that the (restricted)
+    /// chase terminates on every database, so it may run without a step
+    /// budget: the acyclicity notions, plus fullness (no existential ever
+    /// fires, so the chase is plain Datalog saturation).
+    pub fn chase_terminating(&self) -> bool {
+        self.weakly_acyclic
+            || self.jointly_acyclic
+            || self.model_faithful_acyclic
+            || self.agrd
+            || self.full
+    }
+
+    /// Returns `true` if some membership keeps reasoning decidable even
+    /// though the chase may not terminate (the guardedness/stickiness
+    /// paradigms and their refinements).
+    pub fn decidable(&self) -> bool {
+        self.chase_terminating()
+            || self.sticky
+            || self.guarded
+            || self.weakly_guarded
+            || self.frontier_guarded
+            || self.weakly_frontier_guarded
+            || self.triangularly_guarded
+            || self.linear
+            || self.frontier_one
+    }
+
+    /// The coarse decidability verdict this report supports.
+    pub fn verdict(&self) -> ClassVerdict {
+        if self.chase_terminating() {
+            ClassVerdict::Terminating
+        } else if self.decidable() {
+            ClassVerdict::Decidable
+        } else {
+            ClassVerdict::OutOfFragment
+        }
+    }
+
     /// Checks the containments that hold between the implemented classes;
     /// returns the name of the first violated containment, if any.  Useful in
     /// tests and as a sanity check in the experiments binary.
     pub fn violated_containment(&self) -> Option<&'static str> {
-        let containments: [(&'static str, bool, bool); 7] = [
+        let containments: [(&'static str, bool, bool); 8] = [
             (
                 "weakly-acyclic ⊆ jointly-acyclic",
                 self.weakly_acyclic,
@@ -123,6 +201,11 @@ impl ClassReport {
                 "weakly-guarded ⊆ weakly-frontier-guarded",
                 self.weakly_guarded,
                 self.weakly_frontier_guarded,
+            ),
+            (
+                "frontier-guarded ⊆ triangularly-guarded",
+                self.frontier_guarded,
+                self.triangularly_guarded,
             ),
         ];
         containments
@@ -159,6 +242,7 @@ pub fn classify(program: &Program) -> ClassReport {
         frontier_one: is_frontier_one(program),
         full: is_full(program),
         stratified: is_stratified(program),
+        triangularly_guarded: is_triangularly_guarded(program),
     }
 }
 
@@ -223,6 +307,37 @@ mod tests {
         assert!(report.guarded);
         assert!(report.stratified);
         assert!(report.member_classes().len() >= 10);
+    }
+
+    #[test]
+    fn verdicts_follow_the_membership_guarantees() {
+        // Weakly acyclic: the chase terminates, no budget needed.
+        let terminating = classify(&parse_program(EXAMPLE1).unwrap());
+        assert_eq!(terminating.verdict(), ClassVerdict::Terminating);
+        assert!(terminating.chase_terminating());
+
+        // Guarded but with a non-terminating chase: decidable only.
+        let decidable = classify(&parse_program("person(X) -> parent(X, Y), person(Y).").unwrap());
+        assert!(!decidable.chase_terminating());
+        assert!(decidable.decidable());
+        assert_eq!(decidable.verdict(), ClassVerdict::Decidable);
+
+        // Triangularly guarded alone (with a head cycle defeating the
+        // acyclicity notions) still counts as decidable.
+        let triangular = classify(
+            &parse_program("r(X, Y), s(Y, Z), t(X, Z) -> u(X, Y, Z), r(Y, W), s(W, X).").unwrap(),
+        );
+        assert!(triangular.triangularly_guarded);
+        assert!(!triangular.frontier_guarded);
+
+        // Out of fragment: existential recursion with an unguardable join.
+        let out = classify(
+            &parse_program("e(X, Y), e(Y, Z) -> e(X, Z). e(X, Y) -> e(Y, W).").unwrap(),
+        );
+        assert_eq!(out.verdict(), ClassVerdict::OutOfFragment);
+        assert_eq!(out.verdict().label(), "out-of-fragment");
+        assert_eq!(ClassVerdict::Terminating.label(), "terminating");
+        assert_eq!(ClassVerdict::Decidable.to_string(), "decidable");
     }
 
     #[test]

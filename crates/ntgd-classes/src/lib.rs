@@ -26,9 +26,12 @@
 //! * **guardedness fragments** — linear, frontier-1, (weakly)
 //!   frontier-guarded and weakly guarded rules ([`fragments`]), built on the
 //!   affected-position analysis of [`affected`];
+//! * **triangular guardedness** ([`triangular`]) — every pair of frontier
+//!   variables co-occurs in some positive body atom (Asuncion & Zhang);
 //! * **stratification** of the negation ([`stratification`]);
 //! * a one-stop [`classify`] function returning the full [`ClassReport`]
-//!   ([`landscape`]).
+//!   ([`landscape`]), with a coarse [`ClassVerdict`] (terminating /
+//!   decidable / out-of-fragment) that services can act on.
 
 pub mod affected;
 pub mod fragments;
@@ -40,6 +43,7 @@ pub mod position_graph;
 pub mod rule_dependencies;
 pub mod stickiness;
 pub mod stratification;
+pub mod triangular;
 pub mod weak_acyclicity;
 
 pub use affected::{affected_positions, AffectedPositions};
@@ -49,10 +53,11 @@ pub use fragments::{
 };
 pub use guardedness::{is_guarded, is_guarded_rule};
 pub use joint_acyclicity::{is_jointly_acyclic, ExistentialVariable, JointAcyclicityAnalysis};
-pub use landscape::{classify, ClassReport};
+pub use landscape::{classify, ClassReport, ClassVerdict};
 pub use mfa::{is_model_faithful_acyclic, mfa_report, FunctionSymbol, MfaConfig, MfaReport};
 pub use position_graph::{EdgeKind, PositionGraph};
 pub use rule_dependencies::{is_agrd, rule_depends_on, RuleDependencyGraph};
 pub use stickiness::{is_sticky, marked_variables, MarkedVariable};
 pub use stratification::{is_stratified, DependencyGraph, DependencyKind};
+pub use triangular::{is_triangularly_guarded, is_triangularly_guarded_rule};
 pub use weak_acyclicity::{is_weakly_acyclic, is_weakly_acyclic_disjunctive, WeakAcyclicityReport};

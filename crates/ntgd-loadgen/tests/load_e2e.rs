@@ -132,6 +132,56 @@ fn disjunctive_workloads_enumerate_models_over_the_wire() {
 }
 
 #[test]
+fn every_family_classifies_to_a_terminating_verdict() {
+    // The decidability-aware front door must have a real opinion about
+    // every generated program shape: all four family templates are
+    // chase-terminating by construction (chain/star are full TGDs, the
+    // existential family is a forward weakly-acyclic chain, and the
+    // disjunctive family's positive transform is full), so `STATS classes`
+    // after their `LOAD` must report the terminating verdict — which is
+    // what lifts the chase budget for every loadgen run.
+    use std::io::{BufRead, BufReader, Write};
+    let server = spawn_server(ServerMode::Cached).expect("spawn server");
+    for family in ["chain", "star", "existential", "disjunctive"] {
+        let workload = generate(&spec(&format!(
+            "name = e2e-class\nfamily = {family}\nsessions = 1\nops = 1\n"
+        )));
+        let load = &workload.sessions[0][0];
+        assert_eq!(load.verb, Verb::Load, "{family}: ops[0] is the LOAD");
+        let stream = TcpStream::connect(server.addr()).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream;
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("banner");
+        let mut request = |text: &str| -> Vec<String> {
+            writeln!(writer, "{text}").expect("request");
+            let mut lines = Vec::new();
+            loop {
+                let mut line = String::new();
+                reader.read_line(&mut line).expect("response line");
+                let done = line.starts_with("OK") || line.starts_with("ERR");
+                lines.push(line.trim_end().to_owned());
+                if done {
+                    return lines;
+                }
+            }
+        };
+        let loaded = request(&load.line);
+        assert!(
+            loaded.last().unwrap().starts_with("OK"),
+            "{family}: LOAD failed: {loaded:?}"
+        );
+        let classes = request("STATS classes");
+        assert!(
+            classes.contains(&"STAT class_verdict=terminating".to_owned()),
+            "{family}: expected a terminating verdict, got {classes:?}"
+        );
+        request("QUIT");
+    }
+    server.shutdown().expect("clean shutdown");
+}
+
+#[test]
 fn server_requests_counter_is_monotone_over_stats_probes() {
     let server = spawn_server(ServerMode::FromScratch).expect("spawn server");
     let first = fetch_server_requests(server.addr()).expect("first probe");

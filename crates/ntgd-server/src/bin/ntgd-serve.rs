@@ -8,6 +8,9 @@
 //!                                              #   NTGD_TRANSPORT, then evented)
 //!            [--max-sessions N]                # admission cap (default:
 //!                                              #   NTGD_MAX_SESSIONS, then none)
+//!            [--idle-timeout MS]               # reap silent connections
+//!                                              #   (default: NTGD_IDLE_TIMEOUT,
+//!                                              #   then never; evented only)
 //! ```
 //!
 //! In TCP mode the bound address is announced on stdout as
@@ -22,7 +25,7 @@ use ntgd_server::{serve_repl, serve_tcp, BaseRegistry, SessionConfig, Transport}
 
 fn usage() -> &'static str {
     "usage: ntgd-serve [--repl | --listen <addr>] [--max-steps N] [--max-models N] \
-     [--transport evented|threaded] [--max-sessions N]"
+     [--transport evented|threaded] [--max-sessions N] [--idle-timeout MS]"
 }
 
 fn main() -> ExitCode {
@@ -39,7 +42,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
-            "--max-steps" | "--max-models" | "--max-sessions" => {
+            "--max-steps" | "--max-models" | "--max-sessions" | "--idle-timeout" => {
                 let Some(value) = args.next().and_then(|v| v.parse::<usize>().ok()) else {
                     eprintln!("{arg} needs a number\n{}", usage());
                     return ExitCode::FAILURE;
@@ -47,7 +50,11 @@ fn main() -> ExitCode {
                 match arg.as_str() {
                     "--max-steps" => config.max_steps = value,
                     "--max-models" => config.max_models = value,
-                    _ => config.max_sessions = Some(value).filter(|&cap| cap > 0),
+                    "--max-sessions" => config.max_sessions = Some(value).filter(|&cap| cap > 0),
+                    _ => {
+                        config.idle_timeout = (value > 0)
+                            .then(|| std::time::Duration::from_millis(value as u64))
+                    }
                 }
             }
             "--transport" => {

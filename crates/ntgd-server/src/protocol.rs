@@ -45,6 +45,10 @@ pub enum StatsScope {
     /// tallies) — a pure function of the request history, unlike the
     /// process-wide timing data the `METRICS` verb exposes.
     Metrics,
+    /// Only the decidability-classification lines of the loaded program
+    /// (member classes, verdict, budget decisions) — a pure function of the
+    /// `LOAD` payload, so transcripts assert the scope verbatim.
+    Classes,
 }
 
 /// The `HELP` response body, one entry per line (the session prefixes each
@@ -58,7 +62,7 @@ pub const HELP_LINES: [&str; 6] = [
     "QUERY <?- lits. | ?(X) :- lits.>  certain answers",
     "MODELS [sms|lp] [max=<n>]   enumerate stable models",
     "RETRACT-TO <mark>           roll back to an epoch mark",
-    "STATS [sms|base|conn|metrics] | METRICS | PING | HELP | QUIT",
+    "STATS [sms|base|conn|metrics|classes] | METRICS | PING | HELP | QUIT",
 ];
 
 /// One parsed request line.
@@ -174,6 +178,9 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
             "metrics" => Ok(Command::Stats {
                 scope: StatsScope::Metrics,
             }),
+            "classes" => Ok(Command::Stats {
+                scope: StatsScope::Classes,
+            }),
             other => Err(format!("unknown STATS scope: {other}")),
         },
         "METRICS" => Ok(Command::Metrics),
@@ -286,6 +293,12 @@ mod tests {
             parse_command("STATS Metrics"),
             Ok(Command::Stats {
                 scope: StatsScope::Metrics
+            })
+        );
+        assert_eq!(
+            parse_command("STATS Classes"),
+            Ok(Command::Stats {
+                scope: StatsScope::Classes
             })
         );
         assert_eq!(parse_command("metrics"), Ok(Command::Metrics));

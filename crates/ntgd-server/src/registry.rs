@@ -33,8 +33,35 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use ntgd_chase::ChaseBase;
+use ntgd_classes::{ClassReport, ClassVerdict};
 use ntgd_core::{Atom, DisjunctiveProgram, Program};
 use ntgd_sms::SmsBaseSnapshot;
+
+/// The decidability classification of a registered program: the full
+/// landscape report plus the coarse verdict derived from it.  Computed once
+/// when the base is built; every fork inherits it without reclassifying
+/// (`STATS classes` reports the provenance as `class_source=inherited`).
+#[derive(Clone, Copy, Debug)]
+pub struct ProgramClass {
+    /// Membership in every implemented class.
+    pub report: ClassReport,
+    /// The verdict the memberships support (terminating / decidable /
+    /// out-of-fragment).
+    pub verdict: ClassVerdict,
+}
+
+impl ProgramClass {
+    /// Classifies a normal program (for disjunctive payloads the session
+    /// classifies the positive-conjunctive transform, in line with how the
+    /// chase and the `Auto` domain probe treat them).
+    pub fn of(program: &Program) -> ProgramClass {
+        let report = ntgd_classes::classify(program);
+        ProgramClass {
+            report,
+            verdict: report.verdict(),
+        }
+    }
+}
 
 /// The canonical identity of a shared base: the exact (trimmed) `LOAD`
 /// payload plus the chase step budget it was chased under.  Two sessions
@@ -88,6 +115,10 @@ pub struct BaseEntry {
     pub(crate) sms: Option<Arc<SmsBaseSnapshot>>,
     /// The deduplicated initial facts, in assertion order.
     pub(crate) facts: Vec<Atom>,
+    /// The program's classification, computed once by the registering
+    /// session (`None` when it classified with `NTGD_CLASSIFY=0`); forks
+    /// inherit the verdict instead of reclassifying.
+    pub(crate) class: Option<ProgramClass>,
     hits: AtomicU64,
     misses: AtomicU64,
     rebuilds: AtomicU64,
@@ -102,6 +133,7 @@ impl BaseEntry {
         chase: Option<Arc<ChaseBase>>,
         sms: Option<Arc<SmsBaseSnapshot>>,
         facts: Vec<Atom>,
+        class: Option<ProgramClass>,
     ) -> BaseEntry {
         BaseEntry {
             disjunctive,
@@ -109,6 +141,7 @@ impl BaseEntry {
             chase,
             sms,
             facts,
+            class,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             rebuilds: AtomicU64::new(0),
@@ -223,6 +256,7 @@ mod tests {
             None,
             None,
             Vec::new(),
+            None,
         ))
     }
 

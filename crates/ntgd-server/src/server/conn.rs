@@ -16,6 +16,7 @@
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 use crate::server::BANNER;
 use crate::session::Session;
@@ -118,6 +119,10 @@ pub struct Conn {
     /// Whether the poller currently has write interest armed (event-loop
     /// bookkeeping, see `set_write_armed`).
     write_armed: bool,
+    /// When the peer last sent bytes (admission time counts); the idle
+    /// reaper compares this against [`SessionConfig::idle_timeout`]
+    /// (`SessionConfig` in `crate::session`).
+    last_activity: Instant,
 }
 
 impl Conn {
@@ -137,6 +142,7 @@ impl Conn {
             dead: false,
             closing: false,
             write_armed: false,
+            last_activity: Instant::now(),
         };
         conn.queue_line(BANNER);
         Ok(conn)
@@ -159,12 +165,22 @@ impl Conn {
         while !self.eof && !self.dead && self.read_buf.pending() < READ_SOFT_CAP {
             match self.stream.read(&mut chunk) {
                 Ok(0) => self.eof = true,
-                Ok(n) => self.read_buf.push_bytes(&chunk[..n]),
+                Ok(n) => {
+                    self.read_buf.push_bytes(&chunk[..n]);
+                    self.last_activity = Instant::now();
+                }
                 Err(err) if err.kind() == io::ErrorKind::WouldBlock => break,
                 Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
                 Err(_) => self.dead = true,
             }
         }
+    }
+
+    /// How long the peer has been silent as of `now` (zero if `now` is
+    /// before the last activity — the reaper passes one timestamp for a
+    /// whole slab scan).
+    pub fn idle_for(&self, now: Instant) -> Duration {
+        now.saturating_duration_since(self.last_activity)
     }
 
     /// Whether the scheduler should run this connection: it has a complete

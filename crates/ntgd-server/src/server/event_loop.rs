@@ -104,6 +104,7 @@ pub(super) fn spawn(
     let mut inboxes: Vec<Arc<Mutex<Vec<Conn>>>> = Vec::with_capacity(shards);
     let mut wakers: Vec<Waker> = Vec::with_capacity(shards);
     let mut workers: Vec<JoinHandle<()>> = Vec::with_capacity(shards);
+    let idle_timeout = config.idle_timeout;
     for index in 0..shards {
         let (waker, rx) = waker_pair()?;
         let inbox = Arc::new(Mutex::new(Vec::new()));
@@ -113,7 +114,7 @@ pub(super) fn spawn(
                 let inbox = inbox.clone();
                 let shutdown = shutdown.clone();
                 let stats = stats.clone();
-                move || shard_loop(rx, &inbox, &shutdown, &stats)
+                move || shard_loop(rx, &inbox, &shutdown, &stats, idle_timeout)
             })?;
         inboxes.push(inbox);
         wakers.push(waker);
@@ -154,7 +155,7 @@ fn accept_loop(
         match next_conn(&listener, shutdown, &mut backoff)? {
             None => return Ok(()),
             Some(stream) => {
-                if !admit(&stream, stats, config.max_sessions) {
+                if !admit(&stream, stats, &config) {
                     continue;
                 }
                 let session = Session::new(config.clone());
@@ -185,14 +186,19 @@ fn accept_loop(
 static POLL_CYCLES: obs::Counter = obs::Counter::new("server.poll_cycles");
 static EXEC_BATCHES: obs::Counter = obs::Counter::new("server.exec_batches");
 static BACKLOG_ROUNDS: obs::Counter = obs::Counter::new("server.backlog_rounds");
+static IDLE_CLOSED: obs::Counter = obs::Counter::new("server.idle_closed");
 
 /// One poller shard: owns a slab of connections, polls them, and submits
-/// ready batches to the pool.
+/// ready batches to the pool.  With an idle timeout configured, each round
+/// also reaps connections whose last read activity is older than the
+/// timeout — an abandoned client releases its admission slot instead of
+/// holding it forever.
 fn shard_loop(
     waker_rx: TcpStream,
     inbox: &Mutex<Vec<Conn>>,
     shutdown: &AtomicBool,
     stats: &ConnStats,
+    idle_timeout: Option<Duration>,
 ) {
     let mut poller = match Poller::new() {
         Ok(poller) => poller,
@@ -216,7 +222,12 @@ fn shard_loop(
         let timeout = if backlog {
             Duration::ZERO
         } else {
-            Duration::from_millis(200)
+            // Cap the wait by the idle timeout so reaping is not quantised
+            // to the 200ms poll cadence when the operator asked for less.
+            idle_timeout
+                .map_or(Duration::from_millis(200), |idle| {
+                    idle.min(Duration::from_millis(200))
+                })
         };
         let wait_failed = {
             let _poll = obs::span("server.poll");
@@ -297,7 +308,8 @@ fn shard_loop(
             parallel::par_map_mut(&mut batch, threads, |_, conn| conn.run_ready());
         }
         // Write-back phase: flush, rearm write interest on transitions,
-        // retire finished connections.
+        // retire finished connections, reap idle ones.
+        let now = std::time::Instant::now();
         for (token, slot) in slots.iter_mut().enumerate() {
             let Some(conn) = slot.as_mut() else {
                 continue;
@@ -305,11 +317,19 @@ fn shard_loop(
             if conn.wants_write() {
                 conn.flush();
             }
-            if conn.finished() {
+            let idle = idle_timeout
+                .is_some_and(|timeout| !conn.runnable() && conn.idle_for(now) >= timeout);
+            if conn.finished() || idle {
+                let finished = conn.finished();
                 let conn = slot.take().expect("slot occupied");
                 let _ = poller.deregister(conn.stream(), token);
                 let _ = conn.stream().shutdown(Shutdown::Both);
-                stats.disconnected();
+                if finished {
+                    stats.disconnected();
+                } else {
+                    IDLE_CLOSED.incr();
+                    stats.idle_closed();
+                }
                 free.push(token);
             } else {
                 let want = conn.wants_write();

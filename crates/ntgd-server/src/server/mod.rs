@@ -47,7 +47,7 @@ use ntgd_core::obs::{
     log::{FieldValue, Level, RateLimit},
 };
 
-use crate::session::{Session, SessionConfig};
+use crate::session::{server_exec_ns, Session, SessionBudget, SessionConfig};
 
 /// The banner sent when a session opens (protocol version 1).
 pub const BANNER: &str = "READY ntgd-serve protocol=1";
@@ -105,6 +105,7 @@ pub struct ConnStats {
     active: AtomicU64,
     peak: AtomicU64,
     rejected: AtomicU64,
+    idle_closed: AtomicU64,
 }
 
 /// A point-in-time copy of [`ConnStats`].
@@ -118,8 +119,12 @@ pub struct ConnSnapshot {
     pub active: u64,
     /// High-water mark of `active`.
     pub peak: u64,
-    /// Connections turned away by the `max_sessions` admission cap.
+    /// Connections turned away at admission — by the `max_sessions` cap or
+    /// by the fleet-wide [`SessionBudget`] allowance.
     pub rejected: u64,
+    /// Connections reaped by the idle-session timeout
+    /// ([`SessionConfig::idle_timeout`], evented transport only).
+    pub idle_closed: u64,
 }
 
 impl ConnStats {
@@ -131,6 +136,7 @@ impl ConnStats {
             active: AtomicU64::new(0),
             peak: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            idle_closed: AtomicU64::new(0),
         }
     }
 
@@ -142,6 +148,7 @@ impl ConnStats {
             active: self.active.load(Ordering::Relaxed),
             peak: self.peak.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            idle_closed: self.idle_closed.load(Ordering::Relaxed),
         }
     }
 
@@ -157,6 +164,11 @@ impl ConnStats {
 
     fn rejected(&self) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn idle_closed(&self) {
+        self.idle_closed.fetch_add(1, Ordering::Relaxed);
+        self.active.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -279,20 +291,33 @@ fn next_conn(
     }
 }
 
-/// Admission control shared by both transports: over the `max_sessions`
-/// cap the connection gets a single `ERR server at capacity` line (no
-/// banner — clients can tell rejection from a session) and is closed.
-/// Returns whether the connection was admitted; an admitted connection is
-/// already counted in `stats`.
-fn admit(stream: &TcpStream, stats: &ConnStats, max_sessions: Option<usize>) -> bool {
-    if let Some(cap) = max_sessions {
-        if stats.active.load(Ordering::Relaxed) >= cap as u64 {
-            stats.rejected();
-            let _ = stream.set_nodelay(true);
-            let _ = (&*stream).write_all(b"ERR server at capacity\n");
-            let _ = stream.shutdown(std::net::Shutdown::Both);
-            return false;
-        }
+/// Admission control shared by both transports: a connection over the
+/// `max_sessions` cap — or arriving while the fleet is over its cumulative
+/// [`SessionBudget`] allowance — gets a single `ERR server at capacity`
+/// line (no banner — clients can tell rejection from a session) and is
+/// closed.  The fleet check grants every session (the new one included) the
+/// per-session budget and sheds *new* work once the process's cumulative
+/// execution time exceeds that aggregate; live sessions are never touched,
+/// so the budget degrades admission, not service.  Returns whether the
+/// connection was admitted; an admitted connection is already counted in
+/// `stats`.
+fn admit(stream: &TcpStream, stats: &ConnStats, config: &SessionConfig) -> bool {
+    let active = stats.active.load(Ordering::Relaxed);
+    let over_cap = config
+        .max_sessions
+        .is_some_and(|cap| active >= cap as u64);
+    let over_fleet_budget = config.session_budget.is_some_and(|budget| {
+        let cap_ms = match budget {
+            SessionBudget::Reject(ms) | SessionBudget::Warn(ms) => ms,
+        };
+        server_exec_ns() / 1_000_000 >= cap_ms.saturating_mul(active + 1)
+    });
+    if over_cap || over_fleet_budget {
+        stats.rejected();
+        let _ = stream.set_nodelay(true);
+        let _ = (&*stream).write_all(b"ERR server at capacity\n");
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+        return false;
     }
     stats.connected();
     true

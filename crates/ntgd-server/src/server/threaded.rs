@@ -43,7 +43,7 @@ fn accept_loop(
             Err(err) => break Err(err),
             Ok(Some(stream)) => {
                 live.retain(|(handle, _)| !handle.is_finished());
-                if !admit(&stream, stats, config.max_sessions) {
+                if !admit(&stream, stats, &config) {
                     continue;
                 }
                 // Responses are many small writes; without nodelay, Nagle

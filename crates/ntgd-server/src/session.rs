@@ -4,9 +4,10 @@
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ntgd_chase::{ChaseConfig, EpochMark, IncrementalChase};
+use ntgd_classes::ClassVerdict;
 use ntgd_core::obs::{self, log::FieldValue, log::Level};
 use ntgd_core::{parallel, Atom, Database, DisjunctiveProgram, Program, Query, Term};
 use ntgd_lp::{LpEngine, LpLimits};
@@ -14,7 +15,7 @@ use ntgd_parser::{parse_database, parse_query, parse_unit};
 use ntgd_sms::{GroundingLimits, IncrementalSmsState, NullBudget, SmsEngine, SmsError, SmsOptions};
 
 use crate::protocol::{parse_command, Command, ModelsMode, Response, StatsScope};
-use crate::registry::{BaseEntry, BaseKey, BaseRegistry};
+use crate::registry::{BaseEntry, BaseKey, BaseRegistry, ProgramClass};
 use crate::server::{ConnStats, Transport};
 
 /// Process-wide count of protocol requests executed across every session
@@ -27,6 +28,17 @@ static SERVER_REQUESTS: AtomicU64 = AtomicU64::new(0);
 /// The current process-wide request count (see `SERVER_REQUESTS` above).
 pub fn server_requests() -> u64 {
     SERVER_REQUESTS.load(Ordering::Relaxed)
+}
+
+/// Process-wide cumulative request execution wall time (nanoseconds) across
+/// every session, dead or alive.  The admission-control fleet budget (see
+/// `crate::server`) reads it to shed new connections when the whole fleet is
+/// over its aggregate [`SessionBudget`] allowance.
+static SERVER_EXEC_NS: AtomicU64 = AtomicU64::new(0);
+
+/// The cumulative execution wall time above, in nanoseconds.
+pub fn server_exec_ns() -> u64 {
+    SERVER_EXEC_NS.load(Ordering::Relaxed)
 }
 
 /// Monotonic session ids (the structured log correlates events by them).
@@ -47,6 +59,23 @@ static REQ_HELP: obs::Counter = obs::Counter::new("server.requests.help");
 static REQ_QUIT: obs::Counter = obs::Counter::new("server.requests.quit");
 static REQ_ERRORS: obs::Counter = obs::Counter::new("server.requests.errors");
 static BUDGET_REJECTIONS: obs::Counter = obs::Counter::new("server.budget_rejections");
+
+/// Per-`LOAD` classification-verdict counters (tentpole of the
+/// decidability-aware front door): every installed program bumps the counter
+/// of its verdict, so `METRICS` shows how much of the fleet's traffic runs
+/// on the budget-free fast path.
+static CLASS_TERMINATING: obs::Counter = obs::Counter::new("server.class.terminating");
+static CLASS_DECIDABLE: obs::Counter = obs::Counter::new("server.class.decidable");
+static CLASS_OUT_OF_FRAGMENT: obs::Counter = obs::Counter::new("server.class.out_of_fragment");
+
+/// The process-wide counter for a classification verdict.
+fn class_counter(verdict: ClassVerdict) -> &'static obs::Counter {
+    match verdict {
+        ClassVerdict::Terminating => &CLASS_TERMINATING,
+        ClassVerdict::Decidable => &CLASS_DECIDABLE,
+        ClassVerdict::OutOfFragment => &CLASS_OUT_OF_FRAGMENT,
+    }
+}
 
 /// The protocol verb of a parsed command, as a metric label (`None` for
 /// blank/comment lines, which are not requests).
@@ -232,6 +261,21 @@ pub struct SessionConfig {
     /// time reaches it emits a `slow_request` event to the structured log
     /// (`NTGD_LOG`).  Defaults from `NTGD_SLOW_MS`; `None` disables.
     pub slow_ms: Option<u64>,
+    /// Whether `LOAD` classifies the program against the decidability
+    /// landscape (`ntgd_classes::classify`) and exploits the verdict:
+    /// chase-terminating programs run with no chase step budget and an
+    /// exact `Auto` null budget; out-of-fragment programs keep the budget
+    /// and get a one-line `WARN` on `LOAD`.  Classification is purely
+    /// syntactic (timing-independent), so transcripts stay deterministic.
+    /// On by default; `NTGD_CLASSIFY=0` restores the blind-budget
+    /// behaviour.
+    pub classify: bool,
+    /// Idle-session timeout for the evented transport: a connection with no
+    /// read activity for this long is closed and its admission slot
+    /// released (counted as `conn_idle_closed` in `STATS conn`).  Defaults
+    /// from `NTGD_IDLE_TIMEOUT` (milliseconds); `None` (the default) never
+    /// reaps.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for SessionConfig {
@@ -252,6 +296,12 @@ impl Default for SessionConfig {
             slow_ms: std::env::var("NTGD_SLOW_MS")
                 .ok()
                 .and_then(|value| value.trim().parse::<u64>().ok()),
+            classify: std::env::var("NTGD_CLASSIFY").map_or(true, |value| value != "0"),
+            idle_timeout: std::env::var("NTGD_IDLE_TIMEOUT")
+                .ok()
+                .and_then(|value| value.trim().parse::<u64>().ok())
+                .filter(|&ms| ms > 0)
+                .map(Duration::from_millis),
         }
     }
 }
@@ -291,6 +341,33 @@ struct Loaded {
     /// Facts covered by the shared base (0 when built privately); the
     /// `STATS base` overlay count for chase-less (disjunctive) sessions.
     base_facts: usize,
+    /// The program's decidability classification (`None` when
+    /// [`SessionConfig::classify`] is off).
+    class: Option<ProgramClass>,
+    /// Whether the classification was inherited from a registered base
+    /// (`STATS classes` provenance) rather than computed by this session.
+    class_inherited: bool,
+}
+
+/// The chase step budget the classification verdict supports: unbounded for
+/// provably chase-terminating programs, the configured cap otherwise.  A
+/// pure function of (verdict, config), shared by the private-build and fork
+/// paths so both install identical budgets.
+fn chase_config_for(class: Option<&ProgramClass>, config: &SessionConfig) -> ChaseConfig {
+    match class {
+        Some(class) if class.verdict == ClassVerdict::Terminating => ChaseConfig::unbounded(),
+        _ => ChaseConfig::with_max_steps(config.max_steps),
+    }
+}
+
+/// The `MODELS` null budget the verdict supports: the exact (unbounded
+/// probe) `Auto` budget for chase-terminating programs, the clamped default
+/// otherwise.
+fn null_budget_for(class: Option<&ProgramClass>) -> NullBudget {
+    match class {
+        Some(class) if class.verdict == ClassVerdict::Terminating => NullBudget::AutoExact,
+        _ => NullBudget::Auto,
+    }
 }
 
 /// A reasoning session.  [`Session::execute`] drives it with protocol lines;
@@ -370,6 +447,7 @@ impl Session {
         };
         let elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.exec_ns = self.exec_ns.saturating_add(elapsed_ns);
+        SERVER_EXEC_NS.fetch_add(elapsed_ns, Ordering::Relaxed);
         if !response.is_ok() {
             self.requests.errors += 1;
             REQ_ERRORS.incr();
@@ -516,12 +594,21 @@ impl Session {
             Err(error) => return Err(Response::err(error)),
         };
         let normal = unit.program();
+        // Classify before building anything: the verdict decides the chase
+        // and null budgets.  Disjunctive payloads are classified through
+        // their positive-conjunctive transform — the program the chase and
+        // the `Auto` domain probe actually run on.
+        let class = self
+            .config
+            .classify
+            .then(|| match &normal {
+                Some(program) => ProgramClass::of(program),
+                None => ProgramClass::of(&disjunctive.positive_conjunctive_part()),
+            });
         let chase = match &normal {
             Some(program) => {
-                match IncrementalChase::new(
-                    program,
-                    ChaseConfig::with_max_steps(self.config.max_steps),
-                ) {
+                match IncrementalChase::new(program, chase_config_for(class.as_ref(), &self.config))
+                {
                     Ok(chase) => Some(chase),
                     Err(limit) => return Err(Response::err(limit)),
                 }
@@ -532,7 +619,7 @@ impl Session {
         let sms = self.config.incremental_models.then(|| {
             IncrementalSmsState::new(
                 Arc::clone(&disjunctive),
-                NullBudget::Auto,
+                null_budget_for(class.as_ref()),
                 GroundingLimits::default(),
             )
         });
@@ -548,6 +635,8 @@ impl Session {
             models_cache: None,
             shared: None,
             base_facts: 0,
+            class,
+            class_inherited: false,
         };
         let initial_facts: Vec<Atom> = unit.database.facts().cloned().collect();
         if let Some(chase) = loaded.chase.as_mut() {
@@ -567,13 +656,38 @@ impl Session {
         Ok(loaded)
     }
 
-    /// Installs a loaded state and emits the `LOAD` response.
+    /// Installs a loaded state and emits the `LOAD` response.  Out-of-
+    /// fragment programs get a structured `WARN` data line before the `OK`
+    /// (plus a log event): the budget stays on and the client deserves to
+    /// know why its chase may be cut off.
     fn install(&mut self, loaded: Loaded) -> Response {
         let rules = loaded.disjunctive.len();
         let facts = loaded.facts.len();
         let atoms = loaded.atoms();
+        let class = loaded.class;
         self.loaded = Some(loaded);
-        Response::ok(format!("rules={rules} facts={facts} atoms={atoms} mark=0"))
+        let summary = format!("rules={rules} facts={facts} atoms={atoms} mark=0");
+        if let Some(class) = class {
+            class_counter(class.verdict).incr();
+            if class.verdict == ClassVerdict::OutOfFragment {
+                obs::log::log_event(
+                    Level::Warn,
+                    "class_out_of_fragment",
+                    &[
+                        ("session", FieldValue::from(self.id)),
+                        ("budget", FieldValue::from(self.config.max_steps)),
+                    ],
+                );
+                return Response::ok_with(
+                    vec![format!(
+                        "WARN class=out-of-fragment budget={}",
+                        self.config.max_steps
+                    )],
+                    summary,
+                );
+            }
+        }
+        Response::ok(summary)
     }
 
     /// Freezes a freshly built private state into a registrable
@@ -590,6 +704,7 @@ impl Session {
             chase,
             sms,
             facts,
+            class,
             ..
         } = loaded;
         let chase = chase.map(IncrementalChase::freeze);
@@ -597,7 +712,7 @@ impl Session {
             Ok(_) => state.freeze(&facts),
             Err(_) => None,
         });
-        BaseEntry::new(disjunctive, normal, chase, sms, facts)
+        BaseEntry::new(disjunctive, normal, chase, sms, facts, class)
     }
 
     /// Forks a registered base into a fresh session state in O(1): the
@@ -606,13 +721,17 @@ impl Session {
     /// zero-copy and adopts the snapshot on the first extension.
     fn fork_loaded(entry: &Arc<BaseEntry>, config: &SessionConfig, key: BaseKey) -> Loaded {
         entry.record_fork();
-        let chase = entry.chase.as_ref().map(|base| {
-            IncrementalChase::fork(base, ChaseConfig::with_max_steps(config.max_steps))
-        });
+        // The verdict is inherited from the registered base — never
+        // recomputed — so a thousand forks of one program classify once.
+        let class = if config.classify { entry.class } else { None };
+        let chase = entry
+            .chase
+            .as_ref()
+            .map(|base| IncrementalChase::fork(base, chase_config_for(class.as_ref(), config)));
         let sms = config.incremental_models.then(|| {
             let state = IncrementalSmsState::new(
                 Arc::clone(&entry.disjunctive),
-                NullBudget::Auto,
+                null_budget_for(class.as_ref()),
                 GroundingLimits::default(),
             );
             match entry.sms.as_ref() {
@@ -634,6 +753,8 @@ impl Session {
             generation: 0,
             models_cache: None,
             shared: Some(key),
+            class,
+            class_inherited: true,
         };
         loaded.marks.push(SessionMark {
             chase: loaded.chase.as_ref().map(IncrementalChase::mark),
@@ -819,11 +940,14 @@ impl Session {
         let Some(loaded) = self.loaded.as_mut() else {
             return Response::err("no program loaded");
         };
+        // Every load establishes mark 0, but the guard must not assume it:
+        // `marks.len() - 1` underflows on an empty history, so an
+        // out-of-range mark always answers a clean `ERR`, never a panic.
         if mark >= loaded.marks.len() {
-            return Response::err(format!(
-                "unknown mark {mark} (have 0..={})",
-                loaded.marks.len() - 1
-            ));
+            return Response::err(match loaded.marks.len() {
+                0 => format!("unknown mark {mark} (no marks)"),
+                have => format!("unknown mark {mark} (have 0..={})", have - 1),
+            });
         }
         let target = loaded.marks[mark];
         if let (Some(chase), Some(epoch)) = (loaded.chase.as_mut(), target.chase.as_ref()) {
@@ -860,6 +984,9 @@ impl Session {
         }
         if scope == StatsScope::Metrics {
             return Response::ok_with(self.requests.stat_lines(), "stats");
+        }
+        if scope == StatsScope::Classes {
+            return self.class_stats();
         }
         let sms_only = scope == StatsScope::Sms;
         let mut lines = Vec::new();
@@ -930,6 +1057,55 @@ impl Session {
         Response::ok_with(lines, "stats")
     }
 
+    /// `STATS classes`: the decidability classification of the loaded
+    /// program and what the front door did with it — member classes,
+    /// verdict, the budgets the verdict bought, and whether the verdict was
+    /// computed here or inherited from the shared-base registry.  Every
+    /// line is a pure function of the `LOAD` payload (classification is
+    /// syntactic), so transcripts assert the scope verbatim at any thread
+    /// count or pool mode.
+    fn class_stats(&self) -> Response {
+        let Some(loaded) = self.loaded.as_ref() else {
+            return Response::ok_with(vec!["STAT classes_loaded=false".to_owned()], "stats");
+        };
+        let Some(class) = loaded.class.as_ref() else {
+            return Response::ok_with(vec!["STAT classes_enabled=false".to_owned()], "stats");
+        };
+        let members: Vec<&'static str> = class
+            .report
+            .entries()
+            .iter()
+            .filter(|(_, member)| *member)
+            .map(|(name, _)| *name)
+            .collect();
+        let members = if members.is_empty() {
+            "none".to_owned()
+        } else {
+            members.join(",")
+        };
+        let chase_budget = match chase_config_for(Some(class), &self.config).max_steps {
+            None => "unbounded".to_owned(),
+            Some(max_steps) => max_steps.to_string(),
+        };
+        let null_budget = match null_budget_for(Some(class)) {
+            NullBudget::AutoExact => "auto-exact",
+            _ => "auto",
+        };
+        let source = if loaded.class_inherited {
+            "inherited"
+        } else {
+            "classified"
+        };
+        let lines = vec![
+            format!("STAT class_members={members}"),
+            format!("STAT class_verdict={}", class.verdict),
+            format!("STAT class_chase_budget={chase_budget}"),
+            format!("STAT class_null_budget={null_budget}"),
+            format!("STAT class_source={source}"),
+        ];
+        Response::ok_with(lines, "stats")
+    }
+
     /// The chased instance of a loaded normal program (for embedders and
     /// tests; protocol clients use `QUERY`).
     pub fn instance(&self) -> Option<&ntgd_core::Interpretation> {
@@ -981,6 +1157,7 @@ fn conn_stat_lines(config: &SessionConfig) -> Vec<String> {
             "STAT conn_active=0".to_owned(),
             "STAT conn_peak=0".to_owned(),
             "STAT conn_rejected=0".to_owned(),
+            "STAT conn_idle_closed=0".to_owned(),
         ],
         Some(stats) => {
             let snapshot = stats.snapshot();
@@ -990,6 +1167,7 @@ fn conn_stat_lines(config: &SessionConfig) -> Vec<String> {
                 format!("STAT conn_active={}", snapshot.active),
                 format!("STAT conn_peak={}", snapshot.peak),
                 format!("STAT conn_rejected={}", snapshot.rejected),
+                format!("STAT conn_idle_closed={}", snapshot.idle_closed),
             ]
         }
     }
@@ -1302,6 +1480,153 @@ mod tests {
             session.execute("QUERY ?(X) :- n(X).").terminator(),
             Some("OK answers=2")
         );
+    }
+
+    /// A normal, weakly-acyclic chain whose initial chase takes more steps
+    /// than the tiny budget the tests configure — so whether `LOAD`
+    /// succeeds reveals whether the classification verdict lifted the
+    /// budget.
+    const CHAIN: &str = "a(X) -> b(X). b(X) -> c(X). c(X) -> d(X). a(s1). a(s2).";
+
+    /// Transitive closure plus an existential-head rule over the same
+    /// predicate: the GRD has a cycle through an existential edge, no
+    /// guardedness notion applies — out of every implemented fragment.
+    const WILD: &str = "e(X, Y), e(Y, Z) -> e(X, Z). e(X, Y) -> e(Y, W).";
+
+    #[test]
+    fn terminating_verdicts_lift_the_chase_budget() {
+        // Classified (default): weakly acyclic => terminating => the chase
+        // runs unbounded and the six-step initial chase beats max_steps=3.
+        let mut classified = Session::new(SessionConfig {
+            max_steps: 3,
+            ..SessionConfig::default()
+        });
+        let loaded = classified.execute(&format!("LOAD {CHAIN}"));
+        assert_eq!(ok_line(&loaded), "OK rules=3 facts=2 atoms=8 mark=0");
+        let stats = classified.execute("STATS classes");
+        assert!(stats
+            .lines
+            .iter()
+            .any(|l| l.starts_with("STAT class_members=") && l.contains("weakly-acyclic")));
+        assert!(stats.lines.contains(&"STAT class_verdict=terminating".into()));
+        assert!(stats
+            .lines
+            .contains(&"STAT class_chase_budget=unbounded".into()));
+        assert!(stats
+            .lines
+            .contains(&"STAT class_null_budget=auto-exact".into()));
+        assert!(stats.lines.contains(&"STAT class_source=classified".into()));
+        // Unclassified: the same program trips the 3-step budget.
+        let mut blind = Session::new(SessionConfig {
+            max_steps: 3,
+            classify: false,
+            ..SessionConfig::default()
+        });
+        assert!(!blind.execute(&format!("LOAD {CHAIN}")).is_ok());
+        assert_eq!(
+            blind.execute("STATS classes").lines,
+            vec!["STAT classes_loaded=false", "OK stats"]
+        );
+        assert!(blind.execute("LOAD a(X) -> b(X). a(s1).").is_ok());
+        assert_eq!(
+            blind.execute("STATS classes").lines,
+            vec!["STAT classes_enabled=false", "OK stats"]
+        );
+    }
+
+    #[test]
+    fn out_of_fragment_loads_warn_and_keep_the_budget() {
+        let mut session = Session::new(SessionConfig::default());
+        assert_eq!(
+            session.execute("STATS classes").lines,
+            vec!["STAT classes_loaded=false", "OK stats"]
+        );
+        let loaded = session.execute(&format!("LOAD {WILD}"));
+        assert_eq!(
+            loaded.lines,
+            vec![
+                "WARN class=out-of-fragment budget=100000",
+                "OK rules=2 facts=0 atoms=0 mark=0"
+            ]
+        );
+        let stats = session.execute("STATS classes");
+        assert_eq!(
+            stats.lines,
+            vec![
+                // Stratification (vacuous: no negation) is orthogonal to
+                // decidability — membership alone buys no verdict.
+                "STAT class_members=stratified",
+                "STAT class_verdict=out-of-fragment",
+                "STAT class_chase_budget=100000",
+                "STAT class_null_budget=auto",
+                "STAT class_source=classified",
+                "OK stats",
+            ]
+        );
+    }
+
+    #[test]
+    fn decidable_verdicts_keep_the_budget() {
+        // Guarded but not terminating: the existential feeds its own body
+        // predicate, so the chase diverges and the budget must stay on.
+        let mut session = Session::new(SessionConfig {
+            max_steps: 20,
+            ..SessionConfig::default()
+        });
+        assert!(session
+            .execute("LOAD person(X) -> parent(X, Y), person(Y).")
+            .is_ok());
+        let stats = session.execute("STATS classes");
+        assert!(stats.lines.contains(&"STAT class_verdict=decidable".into()));
+        assert!(stats.lines.contains(&"STAT class_chase_budget=20".into()));
+        assert!(stats.lines.contains(&"STAT class_null_budget=auto".into()));
+        assert!(!session.execute("ASSERT person(adam).").is_ok());
+    }
+
+    #[test]
+    fn forked_sessions_inherit_the_registered_verdict() {
+        let registry = Arc::new(BaseRegistry::new());
+        let config = SessionConfig {
+            max_steps: 3,
+            base_registry: Some(Arc::clone(&registry)),
+            ..SessionConfig::default()
+        };
+        let mut first = Session::new(config.clone());
+        let mut second = Session::new(config.clone());
+        // The budget-free fast path survives the registry: the 3-step cap
+        // would kill this LOAD without the inherited terminating verdict.
+        assert!(first.execute(&format!("LOAD {CHAIN}")).is_ok());
+        assert!(second.execute(&format!("LOAD {CHAIN}")).is_ok());
+        let first_stats = first.execute("STATS classes");
+        let second_stats = second.execute("STATS classes");
+        // Registering and forking sessions report identical provenance —
+        // transcripts cannot depend on arrival order.
+        assert_eq!(first_stats.lines, second_stats.lines);
+        assert!(first_stats
+            .lines
+            .contains(&"STAT class_source=inherited".into()));
+        assert!(first_stats
+            .lines
+            .contains(&"STAT class_verdict=terminating".into()));
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn retract_to_rejects_out_of_range_marks_cleanly() {
+        let mut session = Session::new(SessionConfig::default());
+        session.execute("LOAD p(X) -> q(X). p(a).");
+        assert_eq!(
+            session.execute("RETRACT-TO 99").lines,
+            vec!["ERR unknown mark 99 (have 0..=0)"]
+        );
+        session.execute("ASSERT p(b).");
+        assert_eq!(
+            session.execute(&format!("RETRACT-TO {}", usize::MAX)).lines,
+            vec![format!("ERR unknown mark {} (have 0..=1)", usize::MAX)]
+        );
+        // The session is still live and the marks intact.
+        assert_eq!(session.marks(), 2);
+        assert!(session.execute("RETRACT-TO 0").is_ok());
     }
 
     #[test]

@@ -16,16 +16,21 @@ use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
 use ntgd_core::parallel;
-use ntgd_server::{serve, Conn, ServeHandle, Session, SessionConfig, Transport};
+use ntgd_server::{serve, Conn, ServeHandle, Session, SessionBudget, SessionConfig, Transport};
 
 /// Boots a server on an OS-assigned port with an explicit transport.
 fn boot(transport: Transport, max_sessions: Option<usize>) -> ServeHandle {
-    let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
     let config = SessionConfig {
         transport,
         max_sessions,
         ..SessionConfig::default()
     };
+    boot_with(config)
+}
+
+/// Boots a server on an OS-assigned port with a fully explicit config.
+fn boot_with(config: SessionConfig) -> ServeHandle {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
     serve(listener, config).expect("serve")
 }
 
@@ -300,6 +305,98 @@ fn shutdown_closes_the_listener_on_both_transports() {
                     "post-shutdown connection produced data: {got:?}"
                 );
             }
+        }
+    }
+}
+
+/// `NTGD_IDLE_TIMEOUT`: a client that goes silent is reaped by the evented
+/// loop — its socket is closed server-side, `conn_idle_closed` counts it,
+/// and crucially its admission slot is *released*, so a stalled client can
+/// no longer pin the server at capacity forever.
+#[test]
+fn idle_sessions_are_reaped_and_release_capacity() {
+    let server = boot_with(SessionConfig {
+        transport: Transport::Evented,
+        max_sessions: Some(1),
+        idle_timeout: Some(Duration::from_millis(100)),
+        ..SessionConfig::default()
+    });
+    let addr = server.addr();
+
+    // The stalled client: admitted (banner read), then silent forever.
+    let stalled = TcpStream::connect(addr).expect("connect");
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+    let mut reader = BufReader::new(stalled.try_clone().expect("clone"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("banner");
+    assert!(line.starts_with("READY"), "stalled client was admitted");
+
+    // It holds the only slot, so a second connection is shed...
+    {
+        let over = TcpStream::connect(addr).expect("connect over cap");
+        let mut reader = BufReader::new(over);
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("rejection line");
+        assert_eq!(line, "ERR server at capacity\n");
+    }
+
+    // ...until the reaper closes the silent connection (EOF, not a read
+    // timeout — the 5 s socket timeout above converts a hang into a failure).
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).expect("reaped to EOF");
+    assert!(rest.is_empty(), "nothing served after the banner");
+
+    // The slot is free again: a live client is admitted.  The counter
+    // bump and the socket close are not atomic, so poll briefly.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let stream = TcpStream::connect(addr).expect("connect after reap");
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("response line");
+        if line.starts_with("READY") {
+            break;
+        }
+        assert_eq!(line, "ERR server at capacity\n");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "slot never freed after the idle reap"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let stats = server.conn_stats();
+    assert!(stats.idle_closed >= 1, "reap counted: {stats:?}");
+    server.shutdown().expect("shutdown");
+}
+
+/// `NTGD_SESSION_BUDGET` admission control: once the fleet's cumulative
+/// execution time exceeds the per-session allowance, *new* connections are
+/// shed with `ERR server at capacity` (live sessions are untouched).  A
+/// zero budget makes the breach deterministic: every connection is over it.
+#[test]
+fn fleet_budget_sheds_new_connections_on_both_transports() {
+    for transport in [Transport::Evented, Transport::Threaded] {
+        for budget in [SessionBudget::Reject(0), SessionBudget::Warn(0)] {
+            let server = boot_with(SessionConfig {
+                transport,
+                session_budget: Some(budget),
+                ..SessionConfig::default()
+            });
+            let stream = TcpStream::connect(server.addr()).expect("connect");
+            let mut reader = BufReader::new(stream);
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("rejection line");
+            assert_eq!(line, "ERR server at capacity\n", "{transport:?}");
+            let mut rest = String::new();
+            reader.read_to_string(&mut rest).expect("shed socket EOF");
+            assert!(rest.is_empty(), "no banner, nothing after the rejection");
+            let stats = server.conn_stats();
+            assert!(stats.rejected >= 1, "shed counted: {stats:?}");
+            assert_eq!(stats.accepted, 0, "never admitted: {stats:?}");
+            server.shutdown().expect("shutdown");
         }
     }
 }

@@ -354,7 +354,9 @@ impl IncrementalSmsState {
             // No existential variables anywhere: the restricted chase of the
             // positive part cannot invent a null, so the Auto budget is zero
             // — skip the per-request chase.
-            NullBudget::Auto if !self.has_existentials => NullBudget::Exact(0),
+            NullBudget::Auto | NullBudget::AutoExact if !self.has_existentials => {
+                NullBudget::Exact(0)
+            }
             budget => budget,
         };
         let domain = build_domain(&database, &self.program, None, budget);

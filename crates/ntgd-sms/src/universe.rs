@@ -25,6 +25,12 @@ pub enum NullBudget {
     /// (clamped by the chase step limit).
     #[default]
     Auto,
+    /// Like [`NullBudget::Auto`], but the probe chase runs with no step
+    /// limit, so the budget is exact rather than clamped.  Only sound for
+    /// programs whose chase provably terminates (e.g. a terminating
+    /// `ntgd_classes` verdict); identical to `Auto` whenever the probe
+    /// terminates within the default step limit.
+    AutoExact,
     /// Use exactly this many nulls.
     Exact(usize),
     /// Do not add any nulls (complete only for programs whose stable models
@@ -105,6 +111,7 @@ pub fn build_domain(
         NullBudget::Exact(n) => n,
         NullBudget::None => 0,
         NullBudget::Auto => auto_null_budget(database, program),
+        NullBudget::AutoExact => auto_null_budget_unbounded(database, program),
     };
     for i in 0..null_count {
         terms.insert(Term::Null(i as u64));
@@ -121,6 +128,16 @@ pub fn build_domain(
 pub fn auto_null_budget(database: &Database, program: &DisjunctiveProgram) -> usize {
     let positive: Program = program.positive_conjunctive_part();
     let result = restricted_chase(database, &positive, &ChaseConfig::default());
+    result.nulls_created as usize
+}
+
+/// The exact automatic null budget: like [`auto_null_budget`] but the probe
+/// chase runs unbounded, so the count is never clamped by a step limit.
+/// Diverges on programs whose chase does not terminate — callers must hold a
+/// termination proof (see [`NullBudget::AutoExact`]).
+pub fn auto_null_budget_unbounded(database: &Database, program: &DisjunctiveProgram) -> usize {
+    let positive: Program = program.positive_conjunctive_part();
+    let result = restricted_chase(database, &positive, &ChaseConfig::unbounded());
     result.nulls_created as usize
 }
 
@@ -167,6 +184,16 @@ mod tests {
         let db2 = parse_database("person(alice). hasFather(alice, bob).").unwrap();
         let dom2 = build_domain(&db2, &prog, None, NullBudget::Auto);
         assert_eq!(dom2.null_count(), 0);
+    }
+
+    #[test]
+    fn auto_exact_budget_matches_auto_when_the_probe_terminates() {
+        let db = parse_database("person(alice). person(carol).").unwrap();
+        let prog = disjunctive("person(X) -> hasFather(X, Y).");
+        let auto = build_domain(&db, &prog, None, NullBudget::Auto);
+        let exact = build_domain(&db, &prog, None, NullBudget::AutoExact);
+        assert_eq!(auto, exact);
+        assert_eq!(exact.null_count(), 2);
     }
 
     #[test]

@@ -432,6 +432,112 @@ fn forked_transcripts_are_bit_identical_across_threads_and_pool_modes() {
     }
 }
 
+/// A PRNG program that is weakly acyclic **by construction**: a stratified
+/// forward chain `p → q → r(∃) → t → u` whose only existential rule points
+/// strictly down the chain, so the dependency graph has no cycle through a
+/// special edge and the restricted chase terminates on every fact set.
+fn random_weakly_acyclic_program(rng: &mut Rng) -> String {
+    let core = [
+        "p(X) -> q(X).",
+        "q(X) -> r(X, Y).",
+        "r(X, Y) -> t(Y).",
+        "r(X, Y) -> t(X).",
+        "t(X) -> u(X).",
+    ];
+    // Always keep the existential rule so the lifted Auto null budget is
+    // actually exercised, then sample the rest of the chain around it.
+    let mut rules = vec!["q(X) -> r(X, Y).".to_owned()];
+    for _ in 0..2 + rng.below(3) {
+        rules.push((*rng.pick(&core)).to_owned());
+    }
+    rules.join(" ")
+}
+
+#[test]
+fn classified_budget_free_runs_match_blind_budgeted_runs() {
+    // The decidability-aware front door must be invisible in results: a
+    // program classified chase-terminating runs with NO chase step budget
+    // and the *exact* Auto null budget, and that lifted run must be
+    // bit-identical to the blind budgeted run — classification is purely
+    // syntactic, so the verdict may change resource policy but never
+    // answers — across NTGD_THREADS {1, 2, 8} and both pool modes.  A
+    // third config proves the lift is real rather than vacuous: with a
+    // 3-step budget these programs could not even LOAD blind (the session
+    // unit tests pin that failure), yet the classified session transcribes
+    // identically to the default-budget runs.
+    for seed in [0xC1A5_0001u64, 0xC1A5_0002] {
+        let mut rng = Rng::new(seed);
+        let program_text = random_weakly_acyclic_program(&mut rng);
+        let program = Arc::new(
+            parse_unit(&program_text)
+                .expect("generated programs parse")
+                .disjunctive_program()
+                .expect("generated programs are consistent"),
+        );
+        let mut commands = vec![format!("LOAD {program_text}")];
+        let mut marks = 1usize;
+        for _ in 0..8 {
+            let roll = rng.below(10);
+            if roll < 5 {
+                commands.push(format!("ASSERT {}", random_fact(&mut rng)));
+                marks += 1;
+            } else if roll < 7 {
+                let target = rng.below(marks);
+                commands.push(format!("RETRACT-TO {target}"));
+                marks = target + 1;
+            } else {
+                commands.push("MODELS".to_owned());
+            }
+        }
+        commands.push("MODELS".to_owned());
+        let classified = SessionConfig {
+            incremental_models: true,
+            classify: true,
+            ..SessionConfig::default()
+        };
+        let blind = SessionConfig {
+            incremental_models: true,
+            classify: false,
+            ..SessionConfig::default()
+        };
+        let tight = SessionConfig {
+            incremental_models: true,
+            classify: true,
+            max_steps: 3,
+            ..SessionConfig::default()
+        };
+        let mut reference: Option<Vec<String>> = None;
+        for threads in [1usize, 2, 8] {
+            for pooled in [true, false] {
+                parallel::set_thread_override(Some(threads));
+                parallel::set_pool_enabled(Some(pooled));
+                let context =
+                    format!("seed {seed:#x} threads {threads} pooled {pooled} `{program_text}`");
+                let lifted = replay(&commands, &classified, &program, &context);
+                let budgeted = replay(&commands, &blind, &program, &context);
+                let lifted_tight = replay(&commands, &tight, &program, &context);
+                parallel::set_pool_enabled(None);
+                parallel::set_thread_override(None);
+                assert_eq!(
+                    lifted, budgeted,
+                    "{context}: the lifted budget changed results"
+                );
+                assert_eq!(
+                    lifted, lifted_tight,
+                    "{context}: a terminating verdict must make max_steps irrelevant"
+                );
+                match &reference {
+                    None => reference = Some(lifted),
+                    Some(expected) => assert_eq!(
+                        expected, &lifted,
+                        "{context}: transcript depends on the parallelism cell"
+                    ),
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn env_seeded_round_matches_the_oracle() {
     // CI randomises NTGD_DIFF_SEED and echoes it; reproduce a failure with
