@@ -176,10 +176,14 @@
 //!
 //! * **Identity.**  A base is keyed by the *canonical program text* — the
 //!   trimmed `LOAD` payload, initial facts included — plus the session's
-//!   `max_steps` budget.  Textually different spellings of one program miss
-//!   the cache (conservative: two distinct programs can never alias); a
-//!   changed step budget is a different key, since it could freeze a
-//!   different fixpoint attempt.
+//!   step policy: the `max_steps` budget *and* the classification switch.
+//!   Textually different spellings of one program miss the cache
+//!   (conservative: two distinct programs can never alias); a changed step
+//!   budget is a different key, since it could freeze a different fixpoint
+//!   attempt — and so is a flipped `NTGD_CLASSIFY`, since a classified
+//!   session may chase a terminating program unbounded where a blind one
+//!   must stop at the budget, and sharing across that line would make
+//!   `LOAD` outcomes depend on registry arrival order.
 //! * **First `LOAD` (miss).**  The session parses, compiles, chases the
 //!   initial facts to a fixpoint, eagerly grounds the `MODELS sms` closure
 //!   of those facts, then freezes everything — arena, compiled plans,

@@ -14,10 +14,12 @@
 //! `ntgd_chase::ChaseBase` and `ntgd_sms::SmsBaseSnapshot`).
 //!
 //! Entries are keyed by the **canonical program text** (the trimmed `LOAD`
-//! payload, rules and initial facts alike) plus the chase step budget they
-//! were built under.  Textually different spellings of the same program
-//! miss the cache — a conservative identity that can never alias two
-//! distinct programs.  Registration is first-wins: when two sessions race
+//! payload, rules and initial facts alike) plus the step policy they were
+//! built under — the chase step budget and the classification switch
+//! (classified sessions may chase terminating programs unbounded, so they
+//! never share a base with blind-budget sessions).  Textually different
+//! spellings of the same program miss the cache — a conservative identity
+//! that can never alias two distinct programs.  Registration is first-wins: when two sessions race
 //! to build the same base, the second registration is discarded and the
 //! loser forks the winner's entry, so every session of a process shares one
 //! arena per program.
@@ -64,21 +66,28 @@ impl ProgramClass {
 }
 
 /// The canonical identity of a shared base: the exact (trimmed) `LOAD`
-/// payload plus the chase step budget it was chased under.  Two sessions
-/// share a base iff their keys are equal — the full text is the key, so
-/// distinct programs can never alias.
+/// payload plus the step policy it was chased under — the configured step
+/// budget *and* the classification switch, since a classified session may
+/// chase a provably terminating program unbounded while a blind session
+/// with the same `max_steps` must stay budgeted.  Keeping the switch in
+/// the key means the two can never share a base built under the other's
+/// policy, so `LOAD` outcomes never depend on registry arrival order.  Two
+/// sessions share a base iff their keys are equal — the full text is the
+/// key, so distinct programs can never alias.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct BaseKey {
     text: String,
     max_steps: usize,
+    classify: bool,
 }
 
 impl BaseKey {
     /// Canonicalises a `LOAD` payload into a registry key.
-    pub fn new(text: &str, max_steps: usize) -> BaseKey {
+    pub fn new(text: &str, max_steps: usize, classify: bool) -> BaseKey {
         BaseKey {
             text: text.trim().to_owned(),
             max_steps,
+            classify,
         }
     }
 }
@@ -263,23 +272,29 @@ mod tests {
     #[test]
     fn keys_canonicalise_whitespace_but_not_content() {
         assert_eq!(
-            BaseKey::new("  p(X) -> q(X).  ", 10),
-            BaseKey::new("p(X) -> q(X).", 10)
+            BaseKey::new("  p(X) -> q(X).  ", 10, true),
+            BaseKey::new("p(X) -> q(X).", 10, true)
         );
         assert_ne!(
-            BaseKey::new("p(X) -> q(X).", 10),
-            BaseKey::new("p(X) -> q(X).", 11)
+            BaseKey::new("p(X) -> q(X).", 10, true),
+            BaseKey::new("p(X) -> q(X).", 11, true)
         );
         assert_ne!(
-            BaseKey::new("p(X) -> q(X).", 10),
-            BaseKey::new("p(X) -> r(X).", 10)
+            BaseKey::new("p(X) -> q(X).", 10, true),
+            BaseKey::new("p(X) -> r(X).", 10, true)
+        );
+        // Classified and blind sessions run different step policies, so
+        // they must never share a base.
+        assert_ne!(
+            BaseKey::new("p(X) -> q(X).", 10, true),
+            BaseKey::new("p(X) -> q(X).", 10, false)
         );
     }
 
     #[test]
     fn register_is_first_wins_and_counts() {
         let registry = BaseRegistry::new();
-        let key = BaseKey::new("p(a).", 10);
+        let key = BaseKey::new("p(a).", 10, true);
         assert!(registry.lookup(&key).is_none());
         let first = registry.register(key.clone(), empty_entry());
         // A racing second build is discarded; its miss lands on the winner.

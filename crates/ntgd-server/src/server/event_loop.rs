@@ -192,7 +192,8 @@ static IDLE_CLOSED: obs::Counter = obs::Counter::new("server.idle_closed");
 /// ready batches to the pool.  With an idle timeout configured, each round
 /// also reaps connections whose last read activity is older than the
 /// timeout — an abandoned client releases its admission slot instead of
-/// holding it forever.
+/// holding it forever.  Connections with unflushed response bytes are
+/// exempt: a slow reader mid-drain is making progress, not abandoned.
 fn shard_loop(
     waker_rx: TcpStream,
     inbox: &Mutex<Vec<Conn>>,
@@ -317,8 +318,13 @@ fn shard_loop(
             if conn.wants_write() {
                 conn.flush();
             }
-            let idle = idle_timeout
-                .is_some_and(|timeout| !conn.runnable() && conn.idle_for(now) >= timeout);
+            // A connection still draining a response is working, not idle —
+            // last_activity only tracks reads, so without the wants_write
+            // guard a client slowly consuming a large MODELS reply would be
+            // cut off mid-response.
+            let idle = idle_timeout.is_some_and(|timeout| {
+                !conn.runnable() && !conn.wants_write() && conn.idle_for(now) >= timeout
+            });
             if conn.finished() || idle {
                 let finished = conn.finished();
                 let conn = slot.take().expect("slot occupied");

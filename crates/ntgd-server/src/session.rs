@@ -186,9 +186,15 @@ impl RequestCounters {
 /// The `NTGD_SESSION_BUDGET` admission cap: a per-session ceiling on
 /// cumulative execution wall time.  `"<ms>"` rejects compute requests once
 /// the session has spent that many milliseconds; `"warn:<ms>"` only emits
-/// one `budget_exceeded` log event per session.  Off by default — enabling
-/// it makes responses depend on wall time, trading away the determinism
-/// contract for the protected verbs (inspection verbs are always allowed).
+/// one `budget_exceeded` log event per session.  The budget also feeds the
+/// fleet-wide admission check (see `crate::server`): under the reject form,
+/// new connections are shed with `ERR server at capacity` while the
+/// process's cumulative execution time exceeds the per-session allowance ×
+/// (sessions ever admitted + 1); the warn form never sheds — a breach only
+/// emits a rate-limited `fleet_budget_exceeded` event.  Off by default —
+/// enabling it makes responses depend on wall time, trading away the
+/// determinism contract for the protected verbs (inspection verbs are
+/// always allowed).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SessionBudget {
     /// Reject compute requests past the cap (milliseconds).
@@ -557,7 +563,7 @@ impl Session {
     /// instead of re-parsing, re-compiling, re-chasing and re-grounding it.
     pub fn load(&mut self, text: &str) -> Response {
         if let Some(registry) = self.config.base_registry.clone() {
-            let key = BaseKey::new(text, self.config.max_steps);
+            let key = BaseKey::new(text, self.config.max_steps, self.config.classify);
             let entry = match registry.lookup(&key) {
                 Some(entry) => entry,
                 None => {

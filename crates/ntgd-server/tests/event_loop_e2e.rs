@@ -373,32 +373,93 @@ fn idle_sessions_are_reaped_and_release_capacity() {
 }
 
 /// `NTGD_SESSION_BUDGET` admission control: once the fleet's cumulative
-/// execution time exceeds the per-session allowance, *new* connections are
-/// shed with `ERR server at capacity` (live sessions are untouched).  A
-/// zero budget makes the breach deterministic: every connection is over it.
+/// execution time exceeds the aggregate allowance, *new* connections are
+/// shed with `ERR server at capacity` under a **reject** budget (live
+/// sessions are untouched), while a **warn** budget only logs and keeps
+/// admitting.  A zero budget makes the breach deterministic: every
+/// connection is over it.
 #[test]
 fn fleet_budget_sheds_new_connections_on_both_transports() {
     for transport in [Transport::Evented, Transport::Threaded] {
-        for budget in [SessionBudget::Reject(0), SessionBudget::Warn(0)] {
-            let server = boot_with(SessionConfig {
-                transport,
-                session_budget: Some(budget),
-                ..SessionConfig::default()
-            });
-            let stream = TcpStream::connect(server.addr()).expect("connect");
-            let mut reader = BufReader::new(stream);
-            let mut line = String::new();
-            reader.read_line(&mut line).expect("rejection line");
-            assert_eq!(line, "ERR server at capacity\n", "{transport:?}");
-            let mut rest = String::new();
-            reader.read_to_string(&mut rest).expect("shed socket EOF");
-            assert!(rest.is_empty(), "no banner, nothing after the rejection");
-            let stats = server.conn_stats();
-            assert!(stats.rejected >= 1, "shed counted: {stats:?}");
-            assert_eq!(stats.accepted, 0, "never admitted: {stats:?}");
-            server.shutdown().expect("shutdown");
-        }
+        let server = boot_with(SessionConfig {
+            transport,
+            session_budget: Some(SessionBudget::Reject(0)),
+            ..SessionConfig::default()
+        });
+        let stream = TcpStream::connect(server.addr()).expect("connect");
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("rejection line");
+        assert_eq!(line, "ERR server at capacity\n", "{transport:?}");
+        let mut rest = String::new();
+        reader.read_to_string(&mut rest).expect("shed socket EOF");
+        assert!(rest.is_empty(), "no banner, nothing after the rejection");
+        let stats = server.conn_stats();
+        assert!(stats.rejected >= 1, "shed counted: {stats:?}");
+        assert_eq!(stats.accepted, 0, "never admitted: {stats:?}");
+        server.shutdown().expect("shutdown");
     }
+}
+
+/// A `warn:` fleet budget is observability-only: even with the breach
+/// deterministic (zero budget), new connections are still admitted — the
+/// warn form must never convert into connection shedding.
+#[test]
+fn warn_fleet_budget_admits_new_connections_on_both_transports() {
+    for transport in [Transport::Evented, Transport::Threaded] {
+        let server = boot_with(SessionConfig {
+            transport,
+            session_budget: Some(SessionBudget::Warn(0)),
+            ..SessionConfig::default()
+        });
+        let stream = TcpStream::connect(server.addr()).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream;
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("banner");
+        assert!(line.starts_with("READY"), "warn budget admits: {transport:?}");
+        writeln!(writer, "PING").expect("request");
+        line.clear();
+        reader.read_line(&mut line).expect("pong");
+        assert_eq!(line, "OK pong\n", "{transport:?}");
+        let stats = server.conn_stats();
+        assert_eq!(stats.rejected, 0, "warn never sheds: {stats:?}");
+        assert_eq!(stats.accepted, 1, "admitted: {stats:?}");
+        server.shutdown().expect("shutdown");
+    }
+}
+
+/// The fleet-budget allowance scales with sessions ever **admitted**, not
+/// currently active: spend left behind by dead sessions must not wedge an
+/// idle server shut.  With a 1-hour per-session allowance, each admission
+/// grants far more than the fleet could have spent, so connections keep
+/// being admitted through session churn — under the old active-only
+/// allowance this still held, but the accepted-based allowance is what
+/// keeps it holding as cumulative spend outlives its sessions.
+#[test]
+fn fleet_budget_allowance_survives_session_churn() {
+    let server = boot_with(SessionConfig {
+        transport: Transport::Evented,
+        session_budget: Some(SessionBudget::Reject(3_600_000)),
+        ..SessionConfig::default()
+    });
+    for round in 0..3 {
+        let stream = TcpStream::connect(server.addr()).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream;
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("banner");
+        assert!(line.starts_with("READY"), "round {round} admitted");
+        writeln!(writer, "QUIT").expect("request");
+        line.clear();
+        reader.read_line(&mut line).expect("bye");
+        assert_eq!(line, "OK bye\n", "round {round}");
+        // The session is gone (active back to 0) but its spend remains.
+    }
+    let stats = server.conn_stats();
+    assert_eq!(stats.rejected, 0, "churn never shed: {stats:?}");
+    assert_eq!(stats.accepted, 3, "all rounds admitted: {stats:?}");
+    server.shutdown().expect("shutdown");
 }
 
 /// `STATS conn` over the wire reports the live transport label and counters.
